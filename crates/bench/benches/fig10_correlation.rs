@@ -1,0 +1,63 @@
+//! Figure 10 (appendix C): CDF of Pearson correlation between NCD scores
+//! and BinHunt difference scores over BinTuner's iterations, for
+//! 462.libquantum (LLVM) and 429.mcf (GCC).
+//!
+//! Reproduction target: a clear majority of windows show significant
+//! positive correlation (paper: ~70% above 0.6).
+
+use bench::{print_table, tune};
+use bintuner::pearson;
+use minicc::{Compiler, CompilerKind, OptLevel};
+
+fn main() {
+    let cases = vec![
+        (CompilerKind::Llvm, corpus::by_name("462.libquantum").unwrap()),
+        (CompilerKind::Gcc, corpus::by_name("429.mcf").unwrap()),
+    ];
+    for (kind, bench) in cases {
+        let cc = Compiler::new(kind);
+        let o0 = cc
+            .compile_preset(&bench.module, OptLevel::O0, binrep::Arch::X86)
+            .unwrap();
+        let result = tune(&bench, kind, 90, 0xF10);
+        // Sample iterations and compute both scores per sample.
+        let rows = result.db.rows();
+        let step = (rows.len() / 36).max(1);
+        let mut ncds = Vec::new();
+        let mut bh = Vec::new();
+        for r in rows.iter().step_by(step) {
+            let bin = cc
+                .compile(&bench.module, &r.flags, binrep::Arch::X86)
+                .unwrap();
+            ncds.push(r.ncd);
+            bh.push(binhunt::diff_binaries_with_beam(&o0, &bin, 4).difference);
+        }
+        // Sliding-window correlations.
+        let w = 10usize.min(ncds.len());
+        let mut corrs = Vec::new();
+        for i in 0..=ncds.len().saturating_sub(w) {
+            corrs.push(pearson(&ncds[i..i + w], &bh[i..i + w]));
+        }
+        corrs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let cdf_rows: Vec<Vec<String>> = (0..=10)
+            .map(|k| {
+                let t = k as f64 / 10.0;
+                let frac =
+                    corrs.iter().filter(|&&c| c <= t).count() as f64 / corrs.len().max(1) as f64;
+                vec![format!("{t:.1}"), format!("{:.0}%", frac * 100.0)]
+            })
+            .collect();
+        print_table(
+            &format!("Figure 10 ({kind} & {}): correlation CDF", bench.name),
+            &["corr ≤", "cumulative %"],
+            &cdf_rows,
+        );
+        let overall = pearson(&ncds, &bh);
+        let significant = corrs.iter().filter(|&&c| c > 0.6).count() as f64
+            / corrs.len().max(1) as f64;
+        println!(
+            "overall Pearson(NCD, BinHunt) = {overall:.2}; windows with corr > 0.6: {:.0}% (paper: ~70%)",
+            significant * 100.0
+        );
+    }
+}

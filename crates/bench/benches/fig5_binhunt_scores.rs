@@ -1,0 +1,73 @@
+//! Figure 5: BinHunt difference scores of the dataset under various
+//! optimization settings (LLVM 11.0 and GCC 10.2 profiles).
+//!
+//! Reproduction target (shape): BinTuner's outputs beat "O3 vs O0" in all
+//! cases; -O3 ≈ -O2; Coreutils' GCC -Os can exceed -O3.
+
+use bench::{print_table, selected_benchmarks, tune};
+use minicc::{Compiler, CompilerKind, OptLevel};
+
+fn main() {
+    for kind in [CompilerKind::Llvm, CompilerKind::Gcc] {
+        let cc = Compiler::new(kind);
+        let excluded = corpus::excluded_for(kind);
+        let first_level = match kind {
+            CompilerKind::Llvm => OptLevel::O1,
+            CompilerKind::Gcc => OptLevel::Os,
+        };
+        let mut rows = Vec::new();
+        let mut improvements = Vec::new();
+        for bench in selected_benchmarks(true) {
+            if excluded.contains(&bench.name) {
+                continue;
+            }
+            let o0 = cc
+                .compile_preset(&bench.module, OptLevel::O0, binrep::Arch::X86)
+                .unwrap();
+            let score = |bin: &binrep::Binary| {
+                binhunt::diff_binaries_with_beam(&o0, bin, 6).difference
+            };
+            let at = |l: OptLevel| {
+                score(&cc.compile_preset(&bench.module, l, binrep::Arch::X86).unwrap())
+            };
+            let tuned = tune(&bench, kind, 90, 0xF15);
+            let d_first = at(first_level);
+            let d2 = at(OptLevel::O2);
+            let d3 = at(OptLevel::O3);
+            let dt = score(&tuned.best_binary);
+            let o3bin = cc
+                .compile_preset(&bench.module, OptLevel::O3, binrep::Arch::X86)
+                .unwrap();
+            let dt_vs_o3 =
+                binhunt::diff_binaries_with_beam(&o3bin, &tuned.best_binary, 6).difference;
+            improvements.push((dt - d3) / d3.max(1e-9));
+            rows.push(vec![
+                bench.name.to_string(),
+                format!("{d_first:.3}"),
+                format!("{d2:.3}"),
+                format!("{d3:.3}"),
+                format!("{dt:.3}"),
+                format!("{dt_vs_o3:.3}"),
+                if dt > d3 { "yes".into() } else { "NO".into() },
+            ]);
+        }
+        let avg = improvements.iter().sum::<f64>() / improvements.len().max(1) as f64;
+        print_table(
+            &format!("Figure 5 ({kind}): BinHunt difference scores vs O0"),
+            &[
+                "benchmark",
+                &format!("{first_level} vs O0"),
+                "O2 vs O0",
+                "O3 vs O0",
+                "BinTuner vs O0",
+                "BinTuner vs O3",
+                "tuned>O3",
+            ],
+            &rows,
+        );
+        println!(
+            "average improvement of BinTuner over 'O3 vs O0': {:+.1}% (paper: +18% LLVM / +15% GCC)",
+            avg * 100.0
+        );
+    }
+}

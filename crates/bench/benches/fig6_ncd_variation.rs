@@ -1,0 +1,40 @@
+//! Figure 6: NCD variation over BinTuner iterations for the four most
+//! significant cases (LLVM × {462.libquantum, 445.gobmk}, GCC ×
+//! {Coreutils, 429.mcf}), with the default levels' NCD as reference lines.
+
+use bench::{downsample, sparkline, tune};
+use lzc::NcdBaseline;
+use minicc::{Compiler, CompilerKind, OptLevel};
+
+fn main() {
+    let cases: Vec<(CompilerKind, corpus::Benchmark)> = vec![
+        (CompilerKind::Llvm, corpus::by_name("462.libquantum").unwrap()),
+        (CompilerKind::Llvm, corpus::by_name("445.gobmk").unwrap()),
+        (CompilerKind::Gcc, corpus::coreutils()),
+        (CompilerKind::Gcc, corpus::by_name("429.mcf").unwrap()),
+    ];
+    for (kind, bench) in cases {
+        let cc = Compiler::new(kind);
+        let result = tune(&bench, kind, 110, 0xF16);
+        let ncd = NcdBaseline::new(binrep::encode_binary(&result.baseline));
+        let ref_ncd = |l: OptLevel| {
+            let bin = cc.compile_preset(&bench.module, l, binrep::Arch::X86).unwrap();
+            ncd.score(&binrep::encode_binary(&bin))
+        };
+        println!("\n== Figure 6 ({kind} & {}): NCD over iterations ==", bench.name);
+        let best: Vec<f64> = result.db.rows().iter().map(|r| r.best_ncd).collect();
+        let raw: Vec<f64> = result.db.rows().iter().map(|r| r.ncd).collect();
+        println!("iterations: {}   final best NCD: {:.4}", result.iterations, result.best_ncd);
+        println!("best-so-far: {}", sparkline(&downsample(&best, 64)));
+        println!("per-iter   : {}", sparkline(&downsample(&raw, 64)));
+        let levels: &[OptLevel] = match kind {
+            CompilerKind::Gcc => &[OptLevel::O1, OptLevel::Os, OptLevel::O2, OptLevel::O3],
+            CompilerKind::Llvm => &[OptLevel::O1, OptLevel::O2, OptLevel::O3],
+        };
+        for &l in levels {
+            println!("reference {l}: NCD {:.4}", ref_ncd(l));
+        }
+        let beats_all = levels.iter().all(|&l| result.best_ncd >= ref_ncd(l));
+        println!("BinTuner beats all default levels: {}", if beats_all { "yes" } else { "NO" });
+    }
+}

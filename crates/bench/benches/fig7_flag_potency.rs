@@ -1,0 +1,43 @@
+//! Figure 7: the top-10 most potent optimization flags of BinTuner's tuned
+//! sequence (leave-one-out BinHunt score drop, normalized to 100%), plus
+//! the Jaccard index between -O3 and the tuned flag set.
+
+use bench::{full_run, print_table, tune};
+use bintuner::flag_potency;
+use minicc::{Compiler, CompilerKind, OptLevel};
+
+fn main() {
+    let mut cases: Vec<(CompilerKind, corpus::Benchmark)> = vec![
+        (CompilerKind::Llvm, corpus::by_name("462.libquantum").unwrap()),
+        (CompilerKind::Gcc, corpus::by_name("429.mcf").unwrap()),
+    ];
+    if full_run() {
+        cases.push((CompilerKind::Llvm, corpus::by_name("445.gobmk").unwrap()));
+        cases.push((CompilerKind::Gcc, corpus::coreutils()));
+    }
+    for (kind, bench) in cases {
+        let cc = Compiler::new(kind);
+        let result = tune(&bench, kind, 90, 0xF17);
+        let potencies = flag_potency(&cc, &bench.module, &result.best_flags, binrep::Arch::X86, 4);
+        let rows: Vec<Vec<String>> = potencies
+            .iter()
+            .take(10)
+            .map(|p| vec![p.name.to_string(), format!("{:.1}%", p.share * 100.0)])
+            .collect();
+        print_table(
+            &format!("Figure 7 ({kind} & {}): top-10 flag potency", bench.name),
+            &["flag", "potency"],
+            &rows,
+        );
+        let rest: f64 = potencies.iter().skip(10).map(|p| p.share).sum();
+        println!(
+            "{} other flags: {:.1}%",
+            potencies.len().saturating_sub(10),
+            rest * 100.0
+        );
+        let jaccard = cc
+            .profile()
+            .jaccard(&cc.profile().preset(OptLevel::O3), &result.best_flags);
+        println!("Jaccard index (O3, BinTuner) = {jaccard:.2} (paper: 0.54-0.63)");
+    }
+}

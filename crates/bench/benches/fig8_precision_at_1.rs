@@ -1,0 +1,100 @@
+//! Figure 8: Precision@1 of prominent binary-diffing tools under four
+//! compilation settings: (a) GCC & Coreutils with {O1, O3, Os, BinTuner},
+//! (b) LLVM & OpenSSL with {O1, O3, Obfuscator-LLVM, BinTuner}.
+//!
+//! Reproduction targets (shape): precision declines as settings get more
+//! aggressive; BinTuner is the worst case and even beats O-LLVM; IMF-SIM
+//! is the most robust tool.
+
+use bench::{print_table, tune};
+use bintuner::{obfuscate, ObfuscatorConfig};
+use difftools::{precision_at_1, Tool};
+use minicc::{Compiler, CompilerKind, OptLevel};
+
+fn main() {
+    // (a) GCC & Coreutils — INNEREYE only works with LLVM (paper note).
+    run_suite(
+        "Figure 8(a): GCC & Coreutils",
+        CompilerKind::Gcc,
+        corpus::coreutils(),
+        &[
+            Tool::Asm2Vec,
+            Tool::VulSeeker,
+            Tool::ImfSim,
+            Tool::CoP,
+            Tool::MultiMh,
+            Tool::BinSlayer,
+        ],
+        &[("O1", Setting::Level(OptLevel::O1)), ("O3", Setting::Level(OptLevel::O3)),
+          ("Os", Setting::Level(OptLevel::Os)), ("BinTuner", Setting::Tuned)],
+    );
+    // (b) LLVM & OpenSSL — all seven tools, plus Obfuscator-LLVM.
+    run_suite(
+        "Figure 8(b): LLVM & OpenSSL",
+        CompilerKind::Llvm,
+        corpus::openssl(),
+        &Tool::ALL,
+        &[("O1", Setting::Level(OptLevel::O1)), ("O3", Setting::Level(OptLevel::O3)),
+          ("O-LLVM", Setting::Ollvm), ("BinTuner", Setting::Tuned)],
+    );
+}
+
+#[derive(Clone, Copy)]
+enum Setting {
+    Level(OptLevel),
+    Ollvm,
+    Tuned,
+}
+
+fn run_suite(
+    title: &str,
+    kind: CompilerKind,
+    bench: corpus::Benchmark,
+    tools: &[Tool],
+    settings: &[(&str, Setting)],
+) {
+    let cc = Compiler::new(kind);
+    let o0 = cc
+        .compile_preset(&bench.module, OptLevel::O0, binrep::Arch::X86)
+        .unwrap();
+    let binaries: Vec<(String, binrep::Binary)> = settings
+        .iter()
+        .map(|(name, s)| {
+            let bin = match s {
+                Setting::Level(l) => cc
+                    .compile_preset(&bench.module, *l, binrep::Arch::X86)
+                    .unwrap(),
+                Setting::Ollvm => {
+                    let mut b = cc
+                        .compile_preset(&bench.module, OptLevel::O2, binrep::Arch::X86)
+                        .unwrap();
+                    obfuscate(&mut b, &ObfuscatorConfig::default());
+                    b
+                }
+                Setting::Tuned => tune(&bench, kind, 90, 0xF18).best_binary,
+            };
+            (name.to_string(), bin)
+        })
+        .collect();
+    let mut rows = Vec::new();
+    for tool in tools {
+        let mut cells = vec![tool.name().to_string()];
+        let mut prev = f64::INFINITY;
+        let mut monotone = true;
+        for (_, bin) in &binaries {
+            let p = precision_at_1(*tool, &o0, bin, 0xF18);
+            if p > prev + 0.2 {
+                monotone = false;
+            }
+            prev = p;
+            cells.push(format!("{p:.2}"));
+        }
+        cells.push(if monotone { "~decl".into() } else { "mixed".into() });
+        rows.push(cells);
+    }
+    let mut headers: Vec<&str> = vec!["tool"];
+    let names: Vec<String> = settings.iter().map(|(n, _)| n.to_string()).collect();
+    headers.extend(names.iter().map(String::as_str));
+    headers.push("trend");
+    print_table(title, &headers, &rows);
+}

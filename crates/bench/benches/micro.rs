@@ -1,0 +1,125 @@
+//! Criterion micro-benchmarks backing the paper's performance claims:
+//! NCD is a cheap fitness function (§4.2 reports two orders of magnitude
+//! over BinDiff/BinHunt-score fitness), compilation and GA steps are
+//! fast, and symbolic block summarization scales.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minicc::{Compiler, CompilerKind, OptLevel};
+
+fn bench_compression(c: &mut Criterion) {
+    let bench = corpus::by_name("445.gobmk").unwrap();
+    let cc = Compiler::new(CompilerKind::Gcc);
+    let bin = cc
+        .compile_preset(&bench.module, OptLevel::O2, binrep::Arch::X86)
+        .unwrap();
+    let code = binrep::encode_binary(&bin);
+    c.bench_function("lzc_compress_code_section", |b| {
+        b.iter(|| lzc::compressed_len(std::hint::black_box(&code)))
+    });
+}
+
+fn bench_fitness_cost(c: &mut Criterion) {
+    // The paper's §4.2 claim: NCD fitness is orders of magnitude cheaper
+    // than a BinHunt-score fitness per iteration.
+    let bench = corpus::by_name("429.mcf").unwrap();
+    let cc = Compiler::new(CompilerKind::Gcc);
+    let o0 = cc
+        .compile_preset(&bench.module, OptLevel::O0, binrep::Arch::X86)
+        .unwrap();
+    let o3 = cc
+        .compile_preset(&bench.module, OptLevel::O3, binrep::Arch::X86)
+        .unwrap();
+    let baseline = lzc::NcdBaseline::new(binrep::encode_binary(&o0));
+    let code3 = binrep::encode_binary(&o3);
+    let mut g = c.benchmark_group("fitness_cost");
+    g.bench_function("ncd_fitness", |b| {
+        b.iter(|| baseline.score(std::hint::black_box(&code3)))
+    });
+    g.bench_function("binhunt_fitness", |b| {
+        b.iter(|| binhunt::diff_binaries(std::hint::black_box(&o0), std::hint::black_box(&o3)))
+    });
+    g.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let bench = corpus::by_name("462.libquantum").unwrap();
+    let cc = Compiler::new(CompilerKind::Llvm);
+    let flags = cc.profile().preset(OptLevel::O3);
+    c.bench_function("compile_libquantum_O3", |b| {
+        b.iter(|| {
+            cc.compile(
+                std::hint::black_box(&bench.module),
+                std::hint::black_box(&flags),
+                binrep::Arch::X86,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_symbolic_summary(c: &mut Criterion) {
+    let bench = corpus::by_name("445.gobmk").unwrap();
+    let cc = Compiler::new(CompilerKind::Gcc);
+    let bin = cc
+        .compile_preset(&bench.module, OptLevel::O2, binrep::Arch::X86)
+        .unwrap();
+    c.bench_function("summarize_all_blocks", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for f in &bin.functions {
+                for blk in &f.cfg.blocks {
+                    let s = binhunt::summarize(std::hint::black_box(&blk.insns));
+                    n += s.regs.len();
+                }
+            }
+            n
+        })
+    });
+}
+
+fn bench_ga_generation(c: &mut Criterion) {
+    use genetic::{Ga, GaParams, Termination};
+    c.bench_function("ga_200_evaluations_onemax", |b| {
+        b.iter(|| {
+            let mut ga = Ga::new(120, GaParams::default(), 1);
+            ga.run(
+                |g| (g.iter().filter(|&&x| x).count() as f64, 0.0),
+                |g, _| g.to_vec(),
+                &Termination {
+                    max_evaluations: 200,
+                    plateau_growth: 0.0,
+                    ..Default::default()
+                },
+            )
+            .evaluations
+        })
+    });
+}
+
+fn bench_emulation(c: &mut Criterion) {
+    let bench = corpus::by_name("429.mcf").unwrap();
+    let cc = Compiler::new(CompilerKind::Gcc);
+    let bin = cc
+        .compile_preset(&bench.module, OptLevel::O2, binrep::Arch::X86)
+        .unwrap();
+    c.bench_function("emulate_mcf_run", |b| {
+        b.iter(|| {
+            emu::Machine::new(std::hint::black_box(&bin))
+                .run(&[], &[3, 11], 5_000_000)
+                .unwrap()
+                .ret
+        })
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_compression,
+    bench_fitness_cost,
+    bench_compile,
+    bench_symbolic_summary,
+    bench_ga_generation,
+    bench_emulation
+);
+criterion_main!(micro);

@@ -1,0 +1,51 @@
+//! Table 2: anti-virus scanners recognizing IoT malware variants
+//! (LightAidra, BASHLIFE) across four ISAs, under the default build
+//! (GCC -O2), GCC -O3, and BinTuner.
+//!
+//! Reproduction target: detection falls slightly at -O3 and by more than
+//! half for BinTuner-tuned variants, with the survivors being the
+//! data-section and API-set signatures (paper §5.5).
+
+use avscan::Ensemble;
+use bench::print_table;
+use minicc::{Compiler, CompilerKind, OptLevel};
+
+fn main() {
+    let cc = Compiler::new(CompilerKind::Gcc);
+    let mut rows = Vec::new();
+    for family in [corpus::MalwareFamily::LightAidra, corpus::MalwareFamily::Bashlife] {
+        let bench = corpus::malware(family, 0);
+        let mut cells_default = vec![format!("{} Default (GCC -O2)", family.name())];
+        let mut cells_o3 = vec![format!("{} GCC -O3", family.name())];
+        let mut cells_tuned = vec![format!("{} BinTuner", family.name())];
+        for arch in binrep::Arch::ALL {
+            let reference = cc.compile_preset(&bench.module, OptLevel::O2, arch).unwrap();
+            // AV vendors sign the common (default-built) variant.
+            let ensemble = Ensemble::from_reference(&reference, 48, arch as u64 ^ 0xAB);
+            let o3 = cc.compile_preset(&bench.module, OptLevel::O3, arch).unwrap();
+            let tuned = {
+                let config = bintuner::TunerConfig {
+                    compiler: CompilerKind::Gcc,
+                    arch,
+                    termination: bench::budget(70),
+                    seed: 0x7AB2 ^ arch as u64,
+                    ..Default::default()
+                };
+                bintuner::Tuner::new(config).tune(&bench.module).best_binary
+            };
+            cells_default.push(ensemble.detection_count(&reference).to_string());
+            cells_o3.push(ensemble.detection_count(&o3).to_string());
+            cells_tuned.push(ensemble.detection_count(&tuned).to_string());
+        }
+        rows.push(cells_default);
+        rows.push(cells_o3);
+        rows.push(cells_tuned);
+    }
+    print_table(
+        "Table 2: AV engines detecting each variant (of 48)",
+        &["variant", "x86-32", "x86-64", "ARM", "MIPS"],
+        &rows,
+    );
+    println!("paper shape: Default ≈ O3 >> BinTuner (drop of more than half);");
+    println!("survivors match data-section strings / API sets, not code bytes.");
+}

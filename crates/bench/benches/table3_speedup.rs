@@ -1,0 +1,51 @@
+//! Table 3: average execution speedup of -O3 and BinTuner's output over
+//! -O0, per suite and compiler (modelled cycles).
+//!
+//! Reproduction target: -O3 is faster than BinTuner's output almost
+//! everywhere (BinTuner optimizes difference, not speed) — the paper's
+//! single-objective-fitness caveat (§7).
+
+use bench::{print_table, selected_benchmarks, tune};
+use minicc::{Compiler, CompilerKind, OptLevel};
+
+fn main() {
+    let mut rows = Vec::new();
+    for kind in [CompilerKind::Gcc, CompilerKind::Llvm] {
+        let cc = Compiler::new(kind);
+        let mut by_suite: std::collections::BTreeMap<&str, (Vec<f64>, Vec<f64>)> =
+            Default::default();
+        for bench in selected_benchmarks(true) {
+            if corpus::excluded_for(kind).contains(&bench.name) {
+                continue;
+            }
+            let o0 = cc
+                .compile_preset(&bench.module, OptLevel::O0, binrep::Arch::X86)
+                .unwrap();
+            let o3 = cc
+                .compile_preset(&bench.module, OptLevel::O3, binrep::Arch::X86)
+                .unwrap();
+            let tuned = tune(&bench, kind, 80, 0x7AB3).best_binary;
+            let inputs = &bench.test_inputs[0];
+            let s3 = perfmodel::speedup(&o0, &o3, inputs).unwrap_or(0.0);
+            let st = perfmodel::speedup(&o0, &tuned, inputs).unwrap_or(0.0);
+            let e = by_suite.entry(bench.suite.name()).or_default();
+            e.0.push(s3);
+            e.1.push(st);
+        }
+        for (suite, (s3s, sts)) in by_suite {
+            let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+            rows.push(vec![
+                kind.to_string(),
+                suite.to_string(),
+                format!("{:.1}%", avg(&s3s) * 100.0),
+                format!("{:.1}%", avg(&sts) * 100.0),
+            ]);
+        }
+    }
+    print_table(
+        "Table 3: average execution speedup over -O0 (modelled cycles)",
+        &["compiler", "suite", "O3", "BinTuner"],
+        &rows,
+    );
+    println!("paper shape: O3 ≥ BinTuner in nearly all cells (5-7% vs 4-5%)");
+}

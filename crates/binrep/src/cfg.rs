@@ -1,0 +1,353 @@
+//! Basic blocks, terminators, and the control flow graph.
+
+use crate::insn::{BlockId, Cond, Insn};
+use crate::reg::Gpr;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How control leaves a basic block.
+///
+/// Terminators are structured (rather than raw jump instructions) so that
+/// optimization passes can rewrite control flow without re-deriving edges;
+/// the byte [encoder](crate::encode) lowers them to branch instructions,
+/// eliding fall-through jumps, which makes the encoded bytes sensitive to
+/// block layout — exactly the property `-freorder-blocks` exploits.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jmp(BlockId),
+    /// Conditional branch on the current FLAGS.
+    Branch {
+        /// Branch condition.
+        cond: Cond,
+        /// Target when the condition holds.
+        then_bb: BlockId,
+        /// Target when it does not.
+        else_bb: BlockId,
+    },
+    /// Indirect jump through a jump table: `jmp [table + index*4]`.
+    ///
+    /// `index` must already be in range `0..targets.len()`; switch lowering
+    /// emits the bounds check before the terminator.
+    JumpTable {
+        /// Register holding the zero-based case index.
+        index: Gpr,
+        /// One target per case value.
+        targets: Vec<BlockId>,
+    },
+    /// `loop` instruction: decrement `ecx` (without touching FLAGS) and
+    /// branch to `body` while non-zero, else fall through to `exit`.
+    LoopBack {
+        /// Loop header to re-enter.
+        body: BlockId,
+        /// Block reached when `ecx` hits zero.
+        exit: BlockId,
+    },
+    /// Return to the caller (return value in `eax`).
+    Ret,
+    /// Tail call: jump to another function's entry (`-foptimize-sibling-
+    /// calls`). Encodes as a jump, so static call-graph recovery misses the
+    /// edge — exactly the effect §3.1.1 of the paper describes.
+    TailCall(crate::insn::FuncId),
+}
+
+impl Terminator {
+    /// Successor blocks in deterministic order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jmp(t) => vec![*t],
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            Terminator::JumpTable { targets, .. } => {
+                let mut v: Vec<BlockId> = targets.clone();
+                v.sort();
+                v.dedup();
+                v
+            }
+            Terminator::LoopBack { body, exit } => vec![*body, *exit],
+            Terminator::Ret | Terminator::TailCall(_) => vec![],
+        }
+    }
+
+    /// Rewrite every referenced block id through `f`.
+    pub fn retarget(&mut self, mut f: impl FnMut(BlockId) -> BlockId) {
+        match self {
+            Terminator::Jmp(t) => *t = f(*t),
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => {
+                *then_bb = f(*then_bb);
+                *else_bb = f(*else_bb);
+            }
+            Terminator::JumpTable { targets, .. } => {
+                for t in targets {
+                    *t = f(*t);
+                }
+            }
+            Terminator::LoopBack { body, exit } => {
+                *body = f(*body);
+                *exit = f(*exit);
+            }
+            Terminator::Ret | Terminator::TailCall(_) => {}
+        }
+    }
+}
+
+/// A basic block: straight-line instructions plus one terminator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// Block id, unique within the owning function.
+    pub id: BlockId,
+    /// Straight-line body.
+    pub insns: Vec<Insn>,
+    /// Control transfer out of the block.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// A block holding `insns` and ending in `term`.
+    pub fn new(id: BlockId, insns: Vec<Insn>, term: Terminator) -> Block {
+        Block { id, insns, term }
+    }
+}
+
+/// A function body: blocks in **layout order**, with a designated entry.
+///
+/// Layout order is meaningful — it is the order blocks are encoded into the
+/// code section, so reordering passes permute `blocks` without touching ids.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cfg {
+    /// Blocks in layout order.
+    pub blocks: Vec<Block>,
+    /// Entry block id (not necessarily `blocks[0]` after reordering).
+    pub entry: BlockId,
+    next_id: u32,
+}
+
+impl Cfg {
+    /// An empty CFG with a fresh entry block ending in `Ret`.
+    pub fn new() -> Cfg {
+        Cfg {
+            blocks: vec![Block::new(BlockId(0), Vec::new(), Terminator::Ret)],
+            entry: BlockId(0),
+            next_id: 1,
+        }
+    }
+
+    /// Allocate a fresh block id (the block must be pushed separately).
+    pub fn fresh_id(&mut self) -> BlockId {
+        let id = BlockId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Append a block.
+    pub fn push(&mut self, block: Block) {
+        debug_assert!(block.id.0 < self.next_id, "block id not allocated");
+        self.blocks.push(block);
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the CFG has no blocks (never true for well-formed bodies).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Shared access to a block by id.
+    pub fn block(&self, id: BlockId) -> &Block {
+        self.blocks
+            .iter()
+            .find(|b| b.id == id)
+            .unwrap_or_else(|| panic!("no block {id}"))
+    }
+
+    /// Mutable access to a block by id.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        self.blocks
+            .iter_mut()
+            .find(|b| b.id == id)
+            .unwrap_or_else(|| panic!("no block {id}"))
+    }
+
+    /// Whether a block with this id exists.
+    pub fn contains(&self, id: BlockId) -> bool {
+        self.blocks.iter().any(|b| b.id == id)
+    }
+
+    /// All `(from, to)` edges, deduplicated, in deterministic order.
+    pub fn edges(&self) -> Vec<(BlockId, BlockId)> {
+        let mut out = BTreeSet::new();
+        for b in &self.blocks {
+            for s in b.term.successors() {
+                out.insert((b.id, s));
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Predecessor map.
+    pub fn predecessors(&self) -> BTreeMap<BlockId, Vec<BlockId>> {
+        let mut preds: BTreeMap<BlockId, Vec<BlockId>> =
+            self.blocks.iter().map(|b| (b.id, Vec::new())).collect();
+        for (from, to) in self.edges() {
+            preds.entry(to).or_default().push(from);
+        }
+        preds
+    }
+
+    /// Reverse post-order starting at the entry block.
+    pub fn rpo(&self) -> Vec<BlockId> {
+        let mut visited = BTreeSet::new();
+        let mut post = Vec::new();
+        // Iterative DFS to avoid recursion depth limits on long chains.
+        let mut stack: Vec<(BlockId, usize)> = vec![(self.entry, 0)];
+        visited.insert(self.entry);
+        while let Some((id, child)) = stack.pop() {
+            let succs = self.block(id).term.successors();
+            if child < succs.len() {
+                stack.push((id, child + 1));
+                let s = succs[child];
+                if visited.insert(s) {
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(id);
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// Blocks unreachable from the entry.
+    pub fn unreachable_blocks(&self) -> Vec<BlockId> {
+        let reach: BTreeSet<BlockId> = self.rpo().into_iter().collect();
+        self.blocks
+            .iter()
+            .map(|b| b.id)
+            .filter(|id| !reach.contains(id))
+            .collect()
+    }
+
+    /// Remove blocks unreachable from the entry. Returns how many were
+    /// removed.
+    pub fn remove_unreachable(&mut self) -> usize {
+        let dead: BTreeSet<BlockId> = self.unreachable_blocks().into_iter().collect();
+        let before = self.blocks.len();
+        self.blocks.retain(|b| !dead.contains(&b.id));
+        before - self.blocks.len()
+    }
+
+    /// Total instruction count (terminators excluded).
+    pub fn insn_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insns.len()).sum()
+    }
+
+    /// Validate structural invariants; returns a human-readable error.
+    ///
+    /// Checked invariants: entry exists, ids are unique, every terminator
+    /// target exists, jump tables are non-empty.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.contains(self.entry) {
+            return Err(format!("entry {} missing", self.entry));
+        }
+        let mut seen = BTreeSet::new();
+        for b in &self.blocks {
+            if !seen.insert(b.id) {
+                return Err(format!("duplicate block id {}", b.id));
+            }
+        }
+        for b in &self.blocks {
+            if let Terminator::JumpTable { targets, .. } = &b.term {
+                if targets.is_empty() {
+                    return Err(format!("{}: empty jump table", b.id));
+                }
+            }
+            for s in b.term.successors() {
+                if !self.contains(s) {
+                    return Err(format!("{}: dangling edge to {}", b.id, s));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for Cfg {
+    fn default() -> Self {
+        Cfg::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::Opcode;
+
+    fn diamond() -> Cfg {
+        // 0 -> {1, 2} -> 3
+        let mut cfg = Cfg::new();
+        let b1 = cfg.fresh_id();
+        let b2 = cfg.fresh_id();
+        let b3 = cfg.fresh_id();
+        cfg.block_mut(BlockId(0)).term = Terminator::Branch {
+            cond: Cond::E,
+            then_bb: b1,
+            else_bb: b2,
+        };
+        cfg.push(Block::new(b1, vec![Insn::op0(Opcode::Nop)], Terminator::Jmp(b3)));
+        cfg.push(Block::new(b2, vec![], Terminator::Jmp(b3)));
+        cfg.push(Block::new(b3, vec![], Terminator::Ret));
+        cfg
+    }
+
+    #[test]
+    fn edges_and_preds() {
+        let cfg = diamond();
+        assert_eq!(cfg.edges().len(), 4);
+        let preds = cfg.predecessors();
+        assert_eq!(preds[&BlockId(3)].len(), 2);
+        assert!(preds[&BlockId(0)].is_empty());
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let cfg = diamond();
+        let rpo = cfg.rpo();
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo.len(), 4);
+    }
+
+    #[test]
+    fn unreachable_removal() {
+        let mut cfg = diamond();
+        let dead = cfg.fresh_id();
+        cfg.push(Block::new(dead, vec![], Terminator::Ret));
+        assert_eq!(cfg.unreachable_blocks(), vec![dead]);
+        assert_eq!(cfg.remove_unreachable(), 1);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_dangling_edge() {
+        let mut cfg = Cfg::new();
+        cfg.block_mut(BlockId(0)).term = Terminator::Jmp(BlockId(99));
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn retarget_rewrites_all_targets() {
+        let mut t = Terminator::Branch {
+            cond: Cond::L,
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
+        t.retarget(|b| BlockId(b.0 + 10));
+        assert_eq!(t.successors(), vec![BlockId(11), BlockId(12)]);
+    }
+}

@@ -1,0 +1,652 @@
+//! Instructions of the mini-ISA.
+//!
+//! The instruction set intentionally covers every idiom the paper's §3
+//! discusses: FLAGS side-effect tricks (`sbb`, `setcc`, `cmovcc`), the
+//! `loop` instruction, SSE-style vector operations, `lea`, and the usual
+//! ALU/data-movement core. Semantics are defined precisely by the `emu`
+//! crate; this crate only defines structure and encoding.
+
+use crate::reg::{Gpr, Xmm};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a basic block within one function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+/// Identifier of a function within one binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FuncId(pub u32);
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+impl std::fmt::Display for FuncId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fn{}", self.0)
+    }
+}
+
+/// Condition codes, signed and unsigned, mirroring x86 `cc` suffixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Cond {
+    /// Equal (ZF).
+    E,
+    /// Not equal (!ZF).
+    Ne,
+    /// Signed less-than (SF != OF).
+    L,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    G,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned below (CF).
+    B,
+    /// Unsigned below-or-equal.
+    Be,
+    /// Unsigned above.
+    A,
+    /// Unsigned above-or-equal (!CF).
+    Ae,
+}
+
+impl Cond {
+    /// All condition codes in encoding order.
+    pub const ALL: [Cond; 10] = [
+        Cond::E,
+        Cond::Ne,
+        Cond::L,
+        Cond::Le,
+        Cond::G,
+        Cond::Ge,
+        Cond::B,
+        Cond::Be,
+        Cond::A,
+        Cond::Ae,
+    ];
+
+    /// The logically negated condition (`E` ↔ `Ne`, `L` ↔ `Ge`, ...).
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::E => Cond::Ne,
+            Cond::Ne => Cond::E,
+            Cond::L => Cond::Ge,
+            Cond::Le => Cond::G,
+            Cond::G => Cond::Le,
+            Cond::Ge => Cond::L,
+            Cond::B => Cond::Ae,
+            Cond::Be => Cond::A,
+            Cond::A => Cond::Be,
+            Cond::Ae => Cond::B,
+        }
+    }
+
+    /// The condition with operand order swapped (`a cc b` == `b swap(cc) a`).
+    pub fn swap(self) -> Cond {
+        match self {
+            Cond::E => Cond::E,
+            Cond::Ne => Cond::Ne,
+            Cond::L => Cond::G,
+            Cond::Le => Cond::Ge,
+            Cond::G => Cond::L,
+            Cond::Ge => Cond::Le,
+            Cond::B => Cond::A,
+            Cond::Be => Cond::Ae,
+            Cond::A => Cond::B,
+            Cond::Ae => Cond::Be,
+        }
+    }
+
+    /// Encoding number, 0..10.
+    pub fn number(self) -> u8 {
+        Self::ALL.iter().position(|&c| c == self).unwrap() as u8
+    }
+
+    /// Inverse of [`Cond::number`].
+    pub fn from_number(n: u8) -> Option<Cond> {
+        Self::ALL.get(n as usize).copied()
+    }
+
+    /// Assembly-style suffix, e.g. `"ge"`.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Cond::E => "e",
+            Cond::Ne => "ne",
+            Cond::L => "l",
+            Cond::Le => "le",
+            Cond::G => "g",
+            Cond::Ge => "ge",
+            Cond::B => "b",
+            Cond::Be => "be",
+            Cond::A => "a",
+            Cond::Ae => "ae",
+        }
+    }
+}
+
+/// A memory reference: `[base + index*scale + disp]`.
+///
+/// Addresses are computed modulo 2³². Global data lives at
+/// [`crate::DATA_BASE`]; stack frames are `Ebp`-relative with negative
+/// displacements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemRef {
+    /// Base register, if any.
+    pub base: Option<Gpr>,
+    /// Index register, if any.
+    pub index: Option<Gpr>,
+    /// Scale applied to the index register (1, 2, 4 or 8).
+    pub scale: u8,
+    /// Constant displacement.
+    pub disp: i32,
+}
+
+impl MemRef {
+    /// `[reg]`
+    pub fn base_only(base: Gpr) -> MemRef {
+        MemRef {
+            base: Some(base),
+            index: None,
+            scale: 1,
+            disp: 0,
+        }
+    }
+
+    /// `[base + disp]`
+    pub fn base_disp(base: Gpr, disp: i32) -> MemRef {
+        MemRef {
+            base: Some(base),
+            index: None,
+            scale: 1,
+            disp,
+        }
+    }
+
+    /// `[disp]` — absolute address, used for globals.
+    pub fn abs(disp: i32) -> MemRef {
+        MemRef {
+            base: None,
+            index: None,
+            scale: 1,
+            disp,
+        }
+    }
+
+    /// `[base + index*scale + disp]`
+    pub fn indexed(base: Option<Gpr>, index: Gpr, scale: u8, disp: i32) -> MemRef {
+        MemRef {
+            base,
+            index: Some(index),
+            scale,
+            disp,
+        }
+    }
+
+    /// Registers read when evaluating this address.
+    pub fn regs(&self) -> impl Iterator<Item = Gpr> + '_ {
+        self.base.into_iter().chain(self.index)
+    }
+
+    /// Rewrite base/index registers through `f` (used by register
+    /// renaming passes).
+    pub fn map_regs(mut self, mut f: impl FnMut(Gpr) -> Gpr) -> MemRef {
+        self.base = self.base.map(&mut f);
+        self.index = self.index.map(&mut f);
+        self
+    }
+}
+
+impl std::fmt::Display for MemRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        let mut first = true;
+        if let Some(b) = self.base {
+            write!(f, "{b}")?;
+            first = false;
+        }
+        if let Some(i) = self.index {
+            if !first {
+                write!(f, "+")?;
+            }
+            write!(f, "{i}*{}", self.scale)?;
+            first = false;
+        }
+        if self.disp != 0 || first {
+            if !first && self.disp >= 0 {
+                write!(f, "+")?;
+            }
+            write!(f, "{:#x}", self.disp)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// General-purpose register.
+    Reg(Gpr),
+    /// Vector register.
+    Vec(Xmm),
+    /// Immediate constant (always 32-bit semantics; stored sign-extended).
+    Imm(i64),
+    /// Memory reference.
+    Mem(MemRef),
+}
+
+impl Operand {
+    /// The register, if this operand is a plain GPR.
+    pub fn as_reg(&self) -> Option<Gpr> {
+        match self {
+            Operand::Reg(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// The immediate value, if this operand is an immediate.
+    pub fn as_imm(&self) -> Option<i64> {
+        match self {
+            Operand::Imm(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The memory reference, if this operand is a memory operand.
+    pub fn as_mem(&self) -> Option<MemRef> {
+        match self {
+            Operand::Mem(m) => Some(*m),
+            _ => None,
+        }
+    }
+}
+
+impl From<Gpr> for Operand {
+    fn from(r: Gpr) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<Xmm> for Operand {
+    fn from(x: Xmm) -> Self {
+        Operand::Vec(x)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl From<MemRef> for Operand {
+    fn from(m: MemRef) -> Self {
+        Operand::Mem(m)
+    }
+}
+
+impl std::fmt::Display for Operand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Vec(x) => write!(f, "{x}"),
+            Operand::Imm(v) => write!(f, "{v:#x}"),
+            Operand::Mem(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// Name of an imported ("library") function, e.g. `strcpy` or `socket`.
+///
+/// Imports are the ISA's foreign-function interface: the emulator implements
+/// their semantics, the AV scanner matches on the set of referenced imports,
+/// and the inliner treats them as opaque (unless a builtin expansion pass
+/// rewrites them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ImportId(pub u16);
+
+/// Instruction opcodes.
+///
+/// Two-operand ALU forms compute `a = a op b` and set FLAGS; `Cmp`/`Test`
+/// only set FLAGS. Vector opcodes operate on four packed 32-bit lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Opcode {
+    /// `a = b` (no FLAGS).
+    Mov,
+    /// `a = address-of b` (b must be Mem; no FLAGS).
+    Lea,
+    /// `a += b`.
+    Add,
+    /// `a -= b`.
+    Sub,
+    /// `a = a - b - CF`.
+    Sbb,
+    /// `a = a + b + CF`.
+    Adc,
+    /// `a *= b` (low 32 bits).
+    Imul,
+    /// `a = a / b` (unsigned; division by zero yields 0 by ISA definition).
+    Udiv,
+    /// `a = a % b` (unsigned; modulo zero yields the dividend).
+    Urem,
+    /// `a = high 32 bits of a*b` (unsigned widening multiply) — the
+    /// work-horse of magic-number division.
+    Umulh,
+    /// `a &= b`.
+    And,
+    /// `a |= b`.
+    Or,
+    /// `a ^= b`.
+    Xor,
+    /// `a = !a` (bitwise not; no FLAGS, like x86).
+    Not,
+    /// `a = -a`.
+    Neg,
+    /// `a += 1` (does not touch CF, like x86).
+    Inc,
+    /// `a -= 1` (does not touch CF).
+    Dec,
+    /// `a <<= b & 31`.
+    Shl,
+    /// `a >>= b & 31` (logical).
+    Shr,
+    /// `a >>= b & 31` (arithmetic).
+    Sar,
+    /// FLAGS = compare(a, b) via subtraction.
+    Cmp,
+    /// FLAGS = a & b.
+    Test,
+    /// `a = cond ? 1 : 0`.
+    Set(Cond),
+    /// `a = cond ? b : a`.
+    Cmov(Cond),
+    /// Push a onto the stack.
+    Push,
+    /// Pop the stack into a.
+    Pop,
+    /// Call a local function. `a` is `Imm(FuncId)`.
+    Call,
+    /// Call an imported function. `a` is `Imm(ImportId)`.
+    CallImport,
+    /// Vector load: `a (xmm) = 16 bytes at b (mem)`.
+    Vload,
+    /// Vector store: `16 bytes at a (mem) = b (xmm)`.
+    Vstore,
+    /// `a += b` lane-wise.
+    Vadd,
+    /// `a -= b` lane-wise.
+    Vsub,
+    /// `a *= b` lane-wise (low 32 bits).
+    Vmul,
+    /// Horizontal sum of b's lanes into GPR a.
+    Vhsum,
+    /// One-byte no-op (alignment padding).
+    Nop,
+}
+
+impl Opcode {
+    /// Number of operands this opcode takes.
+    pub fn arity(self) -> usize {
+        match self {
+            Opcode::Nop => 0,
+            Opcode::Not
+            | Opcode::Neg
+            | Opcode::Inc
+            | Opcode::Dec
+            | Opcode::Push
+            | Opcode::Pop
+            | Opcode::Call
+            | Opcode::CallImport
+            | Opcode::Set(_) => 1,
+            _ => 2,
+        }
+    }
+
+    /// Whether the instruction writes FLAGS.
+    pub fn writes_flags(self) -> bool {
+        matches!(
+            self,
+            Opcode::Add
+                | Opcode::Sub
+                | Opcode::Sbb
+                | Opcode::Adc
+                | Opcode::Imul
+                | Opcode::Udiv
+                | Opcode::Urem
+                | Opcode::Umulh
+                | Opcode::And
+                | Opcode::Or
+                | Opcode::Xor
+                | Opcode::Neg
+                | Opcode::Inc
+                | Opcode::Dec
+                | Opcode::Shl
+                | Opcode::Shr
+                | Opcode::Sar
+                | Opcode::Cmp
+                | Opcode::Test
+        )
+    }
+
+    /// Whether the instruction reads FLAGS.
+    pub fn reads_flags(self) -> bool {
+        matches!(self, Opcode::Sbb | Opcode::Adc | Opcode::Set(_) | Opcode::Cmov(_))
+    }
+
+    /// Mnemonic, e.g. `"add"` or `"cmovge"`.
+    pub fn mnemonic(self) -> String {
+        match self {
+            Opcode::Mov => "mov".into(),
+            Opcode::Lea => "lea".into(),
+            Opcode::Add => "add".into(),
+            Opcode::Sub => "sub".into(),
+            Opcode::Sbb => "sbb".into(),
+            Opcode::Adc => "adc".into(),
+            Opcode::Imul => "imul".into(),
+            Opcode::Udiv => "udiv".into(),
+            Opcode::Urem => "urem".into(),
+            Opcode::Umulh => "umulh".into(),
+            Opcode::And => "and".into(),
+            Opcode::Or => "or".into(),
+            Opcode::Xor => "xor".into(),
+            Opcode::Not => "not".into(),
+            Opcode::Neg => "neg".into(),
+            Opcode::Inc => "inc".into(),
+            Opcode::Dec => "dec".into(),
+            Opcode::Shl => "shl".into(),
+            Opcode::Shr => "shr".into(),
+            Opcode::Sar => "sar".into(),
+            Opcode::Cmp => "cmp".into(),
+            Opcode::Test => "test".into(),
+            Opcode::Set(c) => format!("set{}", c.suffix()),
+            Opcode::Cmov(c) => format!("cmov{}", c.suffix()),
+            Opcode::Push => "push".into(),
+            Opcode::Pop => "pop".into(),
+            Opcode::Call => "call".into(),
+            Opcode::CallImport => "call@import".into(),
+            Opcode::Vload => "movups".into(),
+            Opcode::Vstore => "movaps".into(),
+            Opcode::Vadd => "paddd".into(),
+            Opcode::Vsub => "psubd".into(),
+            Opcode::Vmul => "pmulld".into(),
+            Opcode::Vhsum => "phsumd".into(),
+            Opcode::Nop => "nop".into(),
+        }
+    }
+}
+
+/// One instruction: opcode plus up to two operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Insn {
+    /// Opcode.
+    pub op: Opcode,
+    /// First operand (destination in two-operand forms).
+    pub a: Option<Operand>,
+    /// Second operand (source).
+    pub b: Option<Operand>,
+}
+
+impl Insn {
+    /// Zero-operand instruction.
+    pub fn op0(op: Opcode) -> Insn {
+        debug_assert_eq!(op.arity(), 0);
+        Insn {
+            op,
+            a: None,
+            b: None,
+        }
+    }
+
+    /// One-operand instruction.
+    pub fn op1(op: Opcode, a: impl Into<Operand>) -> Insn {
+        debug_assert_eq!(op.arity(), 1);
+        Insn {
+            op,
+            a: Some(a.into()),
+            b: None,
+        }
+    }
+
+    /// Two-operand instruction.
+    pub fn op2(op: Opcode, a: impl Into<Operand>, b: impl Into<Operand>) -> Insn {
+        debug_assert_eq!(op.arity(), 2);
+        Insn {
+            op,
+            a: Some(a.into()),
+            b: Some(b.into()),
+        }
+    }
+
+    /// `call f`.
+    pub fn call(f: FuncId) -> Insn {
+        Insn::op1(Opcode::Call, Operand::Imm(f.0 as i64))
+    }
+
+    /// `call import`.
+    pub fn call_import(i: ImportId) -> Insn {
+        Insn::op1(Opcode::CallImport, Operand::Imm(i.0 as i64))
+    }
+
+    /// The callee, when this is a local call.
+    pub fn callee(&self) -> Option<FuncId> {
+        if self.op == Opcode::Call {
+            self.a.and_then(|o| o.as_imm()).map(|v| FuncId(v as u32))
+        } else {
+            None
+        }
+    }
+
+    /// The import, when this is an import call.
+    pub fn import(&self) -> Option<ImportId> {
+        if self.op == Opcode::CallImport {
+            self.a.and_then(|o| o.as_imm()).map(|v| ImportId(v as u16))
+        } else {
+            None
+        }
+    }
+
+    /// GPRs read by this instruction (conservative; excludes FLAGS).
+    pub fn uses(&self) -> Vec<Gpr> {
+        let mut out = Vec::new();
+        fn add_read(out: &mut Vec<Gpr>, o: &Operand) {
+            match o {
+                Operand::Reg(r) => out.push(*r),
+                Operand::Mem(m) => out.extend(m.regs()),
+                _ => {}
+            }
+        }
+        // Destination operand is also read by read-modify-write opcodes
+        // and by memory destinations (for the address).
+        if let Some(a) = &self.a {
+            match self.op {
+                Opcode::Mov | Opcode::Lea | Opcode::Set(_) | Opcode::Pop | Opcode::Vload => {
+                    if let Operand::Mem(m) = a {
+                        out.extend(m.regs());
+                    }
+                }
+                _ => add_read(&mut out, a),
+            }
+        }
+        if let Some(b) = &self.b {
+            add_read(&mut out, b);
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The GPR written by this instruction, if any (excludes FLAGS/memory).
+    pub fn def(&self) -> Option<Gpr> {
+        match self.op {
+            Opcode::Cmp | Opcode::Test | Opcode::Push | Opcode::Vstore | Opcode::Nop => None,
+            Opcode::Call | Opcode::CallImport => Some(Gpr::Eax),
+            Opcode::Vhsum => self.a.and_then(|o| o.as_reg()),
+            _ => self.a.and_then(|o| o.as_reg()),
+        }
+    }
+}
+
+impl std::fmt::Display for Insn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.op.mnemonic())?;
+        if let Some(a) = &self.a {
+            write!(f, " {a}")?;
+        }
+        if let Some(b) = &self.b {
+            write!(f, ", {b}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_negate_is_involution() {
+        for c in Cond::ALL {
+            assert_eq!(c.negate().negate(), c);
+            assert_eq!(c.swap().swap(), c);
+            assert_eq!(Cond::from_number(c.number()), Some(c));
+        }
+    }
+
+    #[test]
+    fn arity_matches_constructor() {
+        let i = Insn::op2(Opcode::Add, Gpr::Eax, 5i64);
+        assert_eq!(i.op.arity(), 2);
+        assert_eq!(i.to_string(), "add eax, 0x5");
+    }
+
+    #[test]
+    fn uses_and_defs() {
+        let i = Insn::op2(
+            Opcode::Add,
+            Gpr::Eax,
+            MemRef::indexed(Some(Gpr::Ebx), Gpr::Ecx, 4, 8),
+        );
+        assert_eq!(i.uses(), vec![Gpr::Eax, Gpr::Ecx, Gpr::Ebx]);
+        assert_eq!(i.def(), Some(Gpr::Eax));
+
+        let store = Insn::op2(Opcode::Mov, MemRef::base_disp(Gpr::Ebp, -4), Gpr::Edx);
+        assert_eq!(store.uses(), vec![Gpr::Edx, Gpr::Ebp]);
+        assert_eq!(store.def(), None);
+
+        let call = Insn::call(FuncId(3));
+        assert_eq!(call.def(), Some(Gpr::Eax));
+        assert_eq!(call.callee(), Some(FuncId(3)));
+    }
+
+    #[test]
+    fn flags_classification() {
+        assert!(Opcode::Cmp.writes_flags());
+        assert!(!Opcode::Mov.writes_flags());
+        assert!(Opcode::Sbb.reads_flags());
+        assert!(Opcode::Cmov(Cond::E).reads_flags());
+        assert!(!Opcode::Not.writes_flags());
+    }
+}

@@ -1,0 +1,174 @@
+//! Register file of the mini-ISA.
+//!
+//! The ISA is x86-flavoured: eight "classic" 32-bit general-purpose
+//! registers, eight "extended" registers (only encodable on
+//! [`Arch::X8664`](crate::Arch::X8664)), and eight 128-bit vector registers
+//! used by the vectorization passes.
+
+use serde::{Deserialize, Serialize};
+
+/// A general-purpose 32-bit register.
+///
+/// `Esp` and `Ebp` are reserved by the ABI for the stack/frame pointer; the
+/// register allocator never assigns them to values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Gpr {
+    Eax,
+    Ecx,
+    Edx,
+    Ebx,
+    Esp,
+    Ebp,
+    Esi,
+    Edi,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    R15,
+}
+
+impl Gpr {
+    /// All sixteen general-purpose registers in encoding order.
+    pub const ALL: [Gpr; 16] = [
+        Gpr::Eax,
+        Gpr::Ecx,
+        Gpr::Edx,
+        Gpr::Ebx,
+        Gpr::Esp,
+        Gpr::Ebp,
+        Gpr::Esi,
+        Gpr::Edi,
+        Gpr::R8,
+        Gpr::R9,
+        Gpr::R10,
+        Gpr::R11,
+        Gpr::R12,
+        Gpr::R13,
+        Gpr::R14,
+        Gpr::R15,
+    ];
+
+    /// Registers the register allocator may assign (everything except the
+    /// stack and frame pointers).
+    pub const ALLOCATABLE: [Gpr; 6] = [Gpr::Eax, Gpr::Ecx, Gpr::Edx, Gpr::Ebx, Gpr::Esi, Gpr::Edi];
+
+    /// Extra allocatable registers available on 64-bit targets.
+    pub const ALLOCATABLE_EXT: [Gpr; 8] = [
+        Gpr::R8,
+        Gpr::R9,
+        Gpr::R10,
+        Gpr::R11,
+        Gpr::R12,
+        Gpr::R13,
+        Gpr::R14,
+        Gpr::R15,
+    ];
+
+    /// Encoding number, 0..16.
+    pub fn number(self) -> u8 {
+        Self::ALL.iter().position(|&r| r == self).unwrap() as u8
+    }
+
+    /// Inverse of [`Gpr::number`]. Returns `None` for numbers >= 16.
+    pub fn from_number(n: u8) -> Option<Gpr> {
+        Self::ALL.get(n as usize).copied()
+    }
+
+    /// Whether this register is one of the extended (`R8`..`R15`) set that
+    /// only exists on 64-bit targets.
+    pub fn is_extended(self) -> bool {
+        self.number() >= 8
+    }
+
+    /// Short assembly-style name, e.g. `"eax"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gpr::Eax => "eax",
+            Gpr::Ecx => "ecx",
+            Gpr::Edx => "edx",
+            Gpr::Ebx => "ebx",
+            Gpr::Esp => "esp",
+            Gpr::Ebp => "ebp",
+            Gpr::Esi => "esi",
+            Gpr::Edi => "edi",
+            Gpr::R8 => "r8d",
+            Gpr::R9 => "r9d",
+            Gpr::R10 => "r10d",
+            Gpr::R11 => "r11d",
+            Gpr::R12 => "r12d",
+            Gpr::R13 => "r13d",
+            Gpr::R14 => "r14d",
+            Gpr::R15 => "r15d",
+        }
+    }
+}
+
+impl std::fmt::Display for Gpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A 128-bit vector register (`xmm0`..`xmm7`).
+///
+/// Vector lanes are four 32-bit integers; the vectorizer packs four scalar
+/// loop iterations into one vector operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Xmm(pub u8);
+
+impl Xmm {
+    /// All eight vector registers.
+    pub const ALL: [Xmm; 8] = [
+        Xmm(0),
+        Xmm(1),
+        Xmm(2),
+        Xmm(3),
+        Xmm(4),
+        Xmm(5),
+        Xmm(6),
+        Xmm(7),
+    ];
+}
+
+impl std::fmt::Display for Xmm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "xmm{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_round_trip() {
+        for r in Gpr::ALL {
+            assert_eq!(Gpr::from_number(r.number()), Some(r));
+        }
+        assert_eq!(Gpr::from_number(16), None);
+    }
+
+    #[test]
+    fn extended_split() {
+        assert!(!Gpr::Eax.is_extended());
+        assert!(Gpr::R8.is_extended());
+        assert_eq!(Gpr::ALL.iter().filter(|r| r.is_extended()).count(), 8);
+    }
+
+    #[test]
+    fn allocatable_excludes_stack_regs() {
+        assert!(!Gpr::ALLOCATABLE.contains(&Gpr::Esp));
+        assert!(!Gpr::ALLOCATABLE.contains(&Gpr::Ebp));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Gpr::Eax.to_string(), "eax");
+        assert_eq!(Gpr::R15.to_string(), "r15d");
+        assert_eq!(Xmm(3).to_string(), "xmm3");
+    }
+}

@@ -1,0 +1,241 @@
+//! Descriptive statistics over binaries.
+//!
+//! These are the "scalable but less robust" numeric features §3.2 of the
+//! paper talks about: opcode histograms, transfer-instruction counts, byte
+//! n-grams. They feed the `difftools` feature-vector matchers and the AV
+//! scanner.
+
+use crate::insn::{Insn, Opcode};
+use crate::program::{Binary, Function};
+use std::collections::BTreeMap;
+
+/// Per-function descriptive feature vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionFeatures {
+    /// Number of basic blocks.
+    pub blocks: usize,
+    /// Number of CFG edges.
+    pub edges: usize,
+    /// Number of instructions.
+    pub insns: usize,
+    /// Number of call instructions (local + import).
+    pub calls: usize,
+    /// Number of conditional branches.
+    pub branches: usize,
+    /// Number of arithmetic instructions.
+    pub arith: usize,
+    /// Number of logic instructions.
+    pub logic: usize,
+    /// Number of data-movement instructions.
+    pub moves: usize,
+    /// Number of vector (SIMD) instructions.
+    pub vector: usize,
+    /// Number of distinct immediates.
+    pub distinct_imms: usize,
+    /// Number of memory-operand instructions.
+    pub mem_ops: usize,
+}
+
+impl FunctionFeatures {
+    /// Numeric vector form (fixed order), for cosine/Euclidean matchers.
+    pub fn to_vec(&self) -> Vec<f64> {
+        vec![
+            self.blocks as f64,
+            self.edges as f64,
+            self.insns as f64,
+            self.calls as f64,
+            self.branches as f64,
+            self.arith as f64,
+            self.logic as f64,
+            self.moves as f64,
+            self.vector as f64,
+            self.distinct_imms as f64,
+            self.mem_ops as f64,
+        ]
+    }
+
+    /// Cosine similarity with another feature vector, in [0, 1].
+    pub fn cosine(&self, other: &FunctionFeatures) -> f64 {
+        let a = self.to_vec();
+        let b = other.to_vec();
+        let dot: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            return if na == nb { 1.0 } else { 0.0 };
+        }
+        dot / (na * nb)
+    }
+}
+
+fn classify(i: &Insn) -> (bool, bool, bool, bool) {
+    let arith = matches!(
+        i.op,
+        Opcode::Add
+            | Opcode::Sub
+            | Opcode::Sbb
+            | Opcode::Adc
+            | Opcode::Imul
+            | Opcode::Udiv
+            | Opcode::Urem
+            | Opcode::Umulh
+            | Opcode::Neg
+            | Opcode::Inc
+            | Opcode::Dec
+    );
+    let logic = matches!(
+        i.op,
+        Opcode::And | Opcode::Or | Opcode::Xor | Opcode::Not | Opcode::Shl | Opcode::Shr | Opcode::Sar
+    );
+    let mv = matches!(
+        i.op,
+        Opcode::Mov | Opcode::Lea | Opcode::Push | Opcode::Pop | Opcode::Set(_) | Opcode::Cmov(_)
+    );
+    let vec = matches!(
+        i.op,
+        Opcode::Vload | Opcode::Vstore | Opcode::Vadd | Opcode::Vsub | Opcode::Vmul | Opcode::Vhsum
+    );
+    (arith, logic, mv, vec)
+}
+
+/// Compute descriptive features for a function.
+pub fn function_features(f: &Function) -> FunctionFeatures {
+    let mut feats = FunctionFeatures {
+        blocks: f.cfg.len(),
+        edges: f.cfg.edges().len(),
+        insns: 0,
+        calls: 0,
+        branches: 0,
+        arith: 0,
+        logic: 0,
+        moves: 0,
+        vector: 0,
+        distinct_imms: 0,
+        mem_ops: 0,
+    };
+    let mut imms = std::collections::BTreeSet::new();
+    for b in &f.cfg.blocks {
+        if matches!(
+            b.term,
+            crate::cfg::Terminator::Branch { .. } | crate::cfg::Terminator::LoopBack { .. }
+        ) {
+            feats.branches += 1;
+        }
+        for i in &b.insns {
+            feats.insns += 1;
+            if matches!(i.op, Opcode::Call | Opcode::CallImport) {
+                feats.calls += 1;
+            }
+            let (a, l, m, v) = classify(i);
+            feats.arith += a as usize;
+            feats.logic += l as usize;
+            feats.moves += m as usize;
+            feats.vector += v as usize;
+            if matches!(i.op, Opcode::Call | Opcode::CallImport) {
+                // Call targets are code references, not data constants.
+                continue;
+            }
+            for o in [&i.a, &i.b].into_iter().flatten() {
+                match o {
+                    crate::insn::Operand::Imm(v) => {
+                        imms.insert(*v);
+                    }
+                    crate::insn::Operand::Mem(_) => feats.mem_ops += 1,
+                    _ => {}
+                }
+            }
+        }
+    }
+    feats.distinct_imms = imms.len();
+    feats
+}
+
+/// Opcode histogram over the whole binary (mnemonic → count).
+pub fn opcode_histogram(bin: &Binary) -> BTreeMap<String, usize> {
+    let mut h = BTreeMap::new();
+    for f in &bin.functions {
+        for b in &f.cfg.blocks {
+            for i in &b.insns {
+                *h.entry(i.op.mnemonic()).or_insert(0) += 1;
+            }
+        }
+    }
+    h
+}
+
+/// Byte n-grams of the encoded code section (used by AV signatures and the
+/// `Multi-MH`-style matcher).
+pub fn byte_ngrams(code: &[u8], n: usize) -> Vec<&[u8]> {
+    if code.len() < n || n == 0 {
+        return Vec::new();
+    }
+    (0..=code.len() - n).map(|i| &code[i..i + n]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Terminator;
+    use crate::insn::{BlockId, FuncId, Insn};
+    use crate::program::Arch;
+    use crate::reg::Gpr;
+
+    fn f_with(insns: Vec<Insn>) -> Function {
+        let mut f = Function::new(FuncId(0), "t", 0);
+        f.cfg.block_mut(BlockId(0)).insns = insns;
+        f
+    }
+
+    #[test]
+    fn features_count_categories() {
+        let f = f_with(vec![
+            Insn::op2(Opcode::Add, Gpr::Eax, 1i64),
+            Insn::op2(Opcode::Xor, Gpr::Eax, Gpr::Eax),
+            Insn::op2(Opcode::Mov, Gpr::Ebx, 7i64),
+            Insn::call(FuncId(0)),
+        ]);
+        let feats = function_features(&f);
+        assert_eq!(feats.insns, 4);
+        assert_eq!(feats.arith, 1);
+        assert_eq!(feats.logic, 1);
+        assert_eq!(feats.moves, 1);
+        assert_eq!(feats.calls, 1);
+        assert_eq!(feats.distinct_imms, 2);
+    }
+
+    #[test]
+    fn cosine_is_one_for_identical() {
+        let f = f_with(vec![Insn::op2(Opcode::Add, Gpr::Eax, 1i64)]);
+        let feats = function_features(&f);
+        assert!((feats.cosine(&feats) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn branches_counted_from_terminators() {
+        let mut f = f_with(vec![]);
+        let b1 = f.cfg.fresh_id();
+        f.cfg.block_mut(BlockId(0)).term = Terminator::Branch {
+            cond: crate::insn::Cond::E,
+            then_bb: b1,
+            else_bb: b1,
+        };
+        f.cfg.push(crate::cfg::Block::new(b1, vec![], Terminator::Ret));
+        assert_eq!(function_features(&f).branches, 1);
+    }
+
+    #[test]
+    fn histogram_and_ngrams() {
+        let mut bin = Binary::new("t", Arch::X86);
+        bin.functions.push(f_with(vec![
+            Insn::op2(Opcode::Add, Gpr::Eax, 1i64),
+            Insn::op2(Opcode::Add, Gpr::Ebx, 2i64),
+        ]));
+        let h = opcode_histogram(&bin);
+        assert_eq!(h["add"], 2);
+        let code = crate::encode::encode_binary(&bin);
+        let grams = byte_ngrams(&code, 4);
+        assert_eq!(grams.len(), code.len() - 3);
+        assert!(byte_ngrams(&code, 0).is_empty());
+        assert!(byte_ngrams(&[1, 2], 4).is_empty());
+    }
+}

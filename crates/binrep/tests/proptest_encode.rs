@@ -1,0 +1,91 @@
+//! Property tests: arbitrary instruction streams survive the
+//! encode → decode round trip on every architecture.
+
+use binrep::{Arch, BlockId, Cond, FuncId, Function, Gpr, Insn, Item, MemRef, Opcode, Xmm};
+use proptest::prelude::*;
+
+fn arb_gpr() -> impl Strategy<Value = Gpr> {
+    (0u8..16).prop_map(|n| Gpr::from_number(n).unwrap())
+}
+
+fn arb_mem() -> impl Strategy<Value = MemRef> {
+    (
+        proptest::option::of(arb_gpr()),
+        proptest::option::of(arb_gpr()),
+        prop_oneof![Just(1u8), Just(2), Just(4), Just(8)],
+        any::<i32>(),
+    )
+        .prop_map(|(base, index, scale, disp)| MemRef {
+            base,
+            index,
+            scale,
+            disp,
+        })
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    (0u8..10).prop_map(|n| Cond::from_number(n).unwrap())
+}
+
+fn arb_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        (arb_gpr(), arb_gpr()).prop_map(|(a, b)| Insn::op2(Opcode::Mov, a, b)),
+        (arb_gpr(), any::<i32>()).prop_map(|(a, v)| Insn::op2(Opcode::Add, a, v as i64)),
+        (arb_gpr(), arb_mem()).prop_map(|(a, m)| Insn::op2(Opcode::Sub, a, m)),
+        (arb_mem(), arb_gpr()).prop_map(|(m, b)| Insn::op2(Opcode::Mov, m, b)),
+        (arb_gpr(), arb_mem()).prop_map(|(a, m)| Insn::op2(Opcode::Lea, a, m)),
+        arb_gpr().prop_map(|a| Insn::op1(Opcode::Not, a)),
+        arb_gpr().prop_map(|a| Insn::op1(Opcode::Push, a)),
+        (arb_cond(), arb_gpr()).prop_map(|(c, a)| Insn::op1(Opcode::Set(c), a)),
+        (arb_cond(), arb_gpr(), arb_gpr()).prop_map(|(c, a, b)| Insn::op2(Opcode::Cmov(c), a, b)),
+        (0u8..8, arb_mem()).prop_map(|(x, m)| Insn::op2(Opcode::Vload, Xmm(x), m)),
+        (0u16..999).prop_map(|f| Insn::call(FuncId(f as u32))),
+        Just(Insn::op0(Opcode::Nop)),
+        (arb_gpr(), arb_gpr()).prop_map(|(a, b)| Insn::op2(Opcode::Umulh, a, b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_round_trip_all_arches(insns in proptest::collection::vec(arb_insn(), 0..40)) {
+        for arch in Arch::ALL {
+            let mut f = Function::new(FuncId(0), "f", 0);
+            f.cfg.block_mut(BlockId(0)).insns = insns.clone();
+            let mut buf = bytes::BytesMut::new();
+            binrep::encode_function(&mut buf, &f, arch);
+            let items = binrep::decode(&buf, arch)
+                .unwrap_or_else(|e| panic!("{arch:?}: {e}"));
+            let decoded: Vec<Insn> = items
+                .into_iter()
+                .filter_map(|i| match i {
+                    Item::Insn(i) => Some(i),
+                    _ => None,
+                })
+                .collect();
+            prop_assert_eq!(&decoded, &insns, "{:?}", arch);
+        }
+    }
+
+    #[test]
+    fn prop_layout_order_changes_bytes_only(insns in proptest::collection::vec(arb_insn(), 1..12)) {
+        // Swapping block layout preserves decodability.
+        let mut f = Function::new(FuncId(0), "f", 0);
+        let b1 = f.cfg.fresh_id();
+        f.cfg.block_mut(BlockId(0)).insns = insns.clone();
+        f.cfg.block_mut(BlockId(0)).term = binrep::Terminator::Jmp(b1);
+        f.cfg.push(binrep::Block::new(
+            b1,
+            vec![Insn::op0(Opcode::Nop)],
+            binrep::Terminator::Ret,
+        ));
+        let mut a = bytes::BytesMut::new();
+        binrep::encode_function(&mut a, &f, Arch::X86);
+        f.cfg.blocks.swap(0, 1);
+        let mut b = bytes::BytesMut::new();
+        binrep::encode_function(&mut b, &f, Arch::X86);
+        prop_assert!(binrep::decode(&a, Arch::X86).is_ok());
+        prop_assert!(binrep::decode(&b, Arch::X86).is_ok());
+    }
+}

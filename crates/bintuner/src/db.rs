@@ -1,0 +1,114 @@
+//! Iteration database (paper Figure 4's "Database" box).
+//!
+//! Every compilation iteration's flags and scores are stored "for future
+//! exploration" — and to regenerate the NCD-variation plots (Figure 6).
+
+/// One compilation iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationRow {
+    /// 1-based iteration number.
+    pub iteration: usize,
+    /// NCD of this iteration's binary against `-O0`.
+    pub ncd: f64,
+    /// Best NCD so far.
+    pub best_ncd: f64,
+    /// Accumulated modelled compile time, seconds.
+    pub elapsed_seconds: f64,
+    /// Flag vector compiled.
+    pub flags: Vec<bool>,
+}
+
+/// An append-only record of a tuning run.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    rows: Vec<IterationRow>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, row: IterationRow) {
+        self.rows.push(row);
+    }
+
+    /// All rows, in iteration order.
+    pub fn rows(&self) -> &[IterationRow] {
+        &self.rows
+    }
+
+    /// The NCD trajectory `(iteration, ncd, best_ncd)` for plotting.
+    pub fn trajectory(&self) -> Vec<(usize, f64, f64)> {
+        self.rows
+            .iter()
+            .map(|r| (r.iteration, r.ncd, r.best_ncd))
+            .collect()
+    }
+
+    /// Iterations achieving the final best score (the paper selects "the
+    /// last one" of these as BinTuner's output).
+    pub fn best_iterations(&self) -> Vec<usize> {
+        let best = self
+            .rows
+            .iter()
+            .map(|r| r.best_ncd)
+            .fold(f64::NEG_INFINITY, f64::max);
+        self.rows
+            .iter()
+            .filter(|r| (r.ncd - best).abs() < 1e-12)
+            .map(|r| r.iteration)
+            .collect()
+    }
+
+    /// Export as CSV (`iteration,ncd,best_ncd,elapsed_seconds,n_flags_on`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("iteration,ncd,best_ncd,elapsed_seconds,flags_enabled\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{:.6},{:.6},{:.3},{}\n",
+                r.iteration,
+                r.ncd,
+                r.best_ncd,
+                r.elapsed_seconds,
+                r.flags.iter().filter(|&&b| b).count()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Database {
+        let mut db = Database::new();
+        for (i, ncd) in [0.4, 0.6, 0.5, 0.7].iter().enumerate() {
+            db.push(IterationRow {
+                iteration: i + 1,
+                ncd: *ncd,
+                best_ncd: [0.4, 0.6, 0.6, 0.7][i],
+                elapsed_seconds: i as f64,
+                flags: vec![i % 2 == 0; 4],
+            });
+        }
+        db
+    }
+
+    #[test]
+    fn trajectory_and_best() {
+        let db = sample();
+        assert_eq!(db.trajectory().len(), 4);
+        assert_eq!(db.best_iterations(), vec![4]);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = sample().to_csv();
+        assert_eq!(csv.lines().count(), 5);
+        assert!(csv.starts_with("iteration,"));
+    }
+}

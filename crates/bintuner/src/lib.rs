@@ -1,0 +1,37 @@
+//! # bintuner — auto-tuning binary code difference via iterative compilation
+//!
+//! The paper's primary contribution (§4): a search-based iterative-
+//! compilation framework that drives a genetic algorithm over a compiler's
+//! optimization-flag space to *maximize* the binary code difference from
+//! the `-O0` baseline, using Normalized Compression Distance as the
+//! fitness function, a constraint solver to keep flag sequences valid, and
+//! a per-iteration database.
+//!
+//! Also here: the flag-potency analysis of Figure 7 ([`potency`]), the
+//! Obfuscator-LLVM analog used in Figure 8(b) ([`obfuscator`]), and the
+//! Pearson-correlation utility behind Figure 10.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use bintuner::{Tuner, TunerConfig};
+//!
+//! let bench = corpus::by_name("462.libquantum").unwrap();
+//! let result = Tuner::new(TunerConfig::default()).tune(&bench.module);
+//! println!(
+//!     "{}: NCD {:.3} after {} iterations",
+//!     bench.name, result.best_ncd, result.iterations
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod db;
+pub mod obfuscator;
+pub mod potency;
+pub mod tuner;
+
+pub use db::{Database, IterationRow};
+pub use obfuscator::{obfuscate, ObfuscatorConfig};
+pub use potency::{flag_potency, pearson, FlagPotency};
+pub use tuner::{TuneResult, Tuner, TunerConfig};

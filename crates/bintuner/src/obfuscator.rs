@@ -1,0 +1,259 @@
+//! Obfuscator-LLVM analog (paper §5.4, Figure 8(b) comparison).
+//!
+//! The three O-LLVM schemes, implemented over the mini-ISA:
+//! instruction substitution (fixed diversification rules), bogus control
+//! flow through opaque predicates, and control-flow flattening
+//! (dispatcher-based). All three preserve semantics — validated by
+//! differential execution in the integration tests.
+
+use binrep::{Binary, Block, Cond, Function, Gpr, Insn, Opcode, Operand, Terminator};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Which O-LLVM schemes to apply.
+#[derive(Debug, Clone, Copy)]
+pub struct ObfuscatorConfig {
+    /// Instruction substitution (`-mllvm -sub`).
+    pub substitution: bool,
+    /// Bogus control flow (`-mllvm -bcf`).
+    pub bogus_cfg: bool,
+    /// Control-flow flattening (`-mllvm -fla`).
+    pub flatten: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ObfuscatorConfig {
+    fn default() -> ObfuscatorConfig {
+        ObfuscatorConfig {
+            substitution: true,
+            bogus_cfg: true,
+            flatten: true,
+            seed: 0x0117,
+        }
+    }
+}
+
+/// Apply Obfuscator-LLVM-style transformations to a binary.
+pub fn obfuscate(bin: &mut Binary, config: &ObfuscatorConfig) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    for f in &mut bin.functions {
+        if config.substitution {
+            substitute(f);
+        }
+        if config.bogus_cfg {
+            bogus_cfg(f, &mut rng);
+        }
+        if config.flatten {
+            flatten(f);
+        }
+        debug_assert_eq!(f.cfg.validate(), Ok(()));
+    }
+}
+
+fn flags_dead_after(insns: &[Insn], i: usize, term_reads: bool) -> bool {
+    for insn in &insns[i + 1..] {
+        if insn.op.reads_flags() {
+            return false;
+        }
+        if insn.op.writes_flags() || matches!(insn.op, Opcode::Call | Opcode::CallImport) {
+            return true;
+        }
+    }
+    !term_reads
+}
+
+/// Instruction substitution: O-LLVM's "several fixed rules to diversify
+/// arithmetic operations" (§5.4). Applied where FLAGS liveness allows.
+fn substitute(f: &mut Function) {
+    for b in &mut f.cfg.blocks {
+        let term_reads = matches!(b.term, Terminator::Branch { .. });
+        let mut i = 0;
+        while i < b.insns.len() {
+            let dead = flags_dead_after(&b.insns, i, term_reads);
+            let insn = b.insns[i];
+            let r = insn.a.and_then(|o| o.as_reg());
+            let imm = insn.b.and_then(|o| o.as_imm());
+            let new: Option<Vec<Insn>> = match (insn.op, r, imm, dead) {
+                // a + c → a - (-c)
+                (Opcode::Add, Some(r), Some(c), true) if c != 0 && c.unsigned_abs() < i32::MAX as u64 => {
+                    Some(vec![Insn::op2(Opcode::Sub, r, -(c as i32 as i64))])
+                }
+                // a ^ c → (a | c) - (a & c)  [via scratch edx]
+                (Opcode::Xor, Some(r), Some(c), true) if r != Gpr::Edx => Some(vec![
+                    Insn::op2(Opcode::Mov, Gpr::Edx, r),
+                    Insn::op2(Opcode::Or, r, c),
+                    Insn::op2(Opcode::And, Gpr::Edx, c),
+                    Insn::op2(Opcode::Sub, r, Gpr::Edx),
+                ]),
+                // mov r, c → mov r, c^K ; xor r, K
+                (Opcode::Mov, Some(r), Some(c), true)
+                    if insn.b.map(|o| o.as_imm().is_some()).unwrap_or(false)
+                        && c.unsigned_abs() > 64 =>
+                {
+                    let k = 0x5a5a_5a5ai64;
+                    let masked = ((c as u32) ^ (k as u32)) as i64;
+                    Some(vec![
+                        Insn::op2(Opcode::Mov, r, masked),
+                        Insn::op2(Opcode::Xor, r, k),
+                    ])
+                }
+                _ => None,
+            };
+            match new {
+                Some(seq) => {
+                    let n = seq.len();
+                    b.insns.splice(i..=i, seq);
+                    i += n;
+                }
+                None => i += 1,
+            }
+        }
+    }
+}
+
+/// Bogus control flow: wrap blocks behind an always-true opaque
+/// predicate, with a never-executed junk clone as the false arm.
+fn bogus_cfg(f: &mut Function, rng: &mut StdRng) {
+    let targets: Vec<binrep::BlockId> = f
+        .cfg
+        .blocks
+        .iter()
+        .filter(|b| b.insns.len() >= 2 && rng.gen_bool(0.4))
+        .map(|b| b.id)
+        .collect();
+    for id in targets {
+        // Move the real body to a fresh block; the original becomes the
+        // opaque dispatcher.
+        let real = f.cfg.fresh_id();
+        let junk = f.cfg.fresh_id();
+        let original = f.cfg.block_mut(id);
+        let insns = std::mem::take(&mut original.insns);
+        let term = std::mem::replace(&mut original.term, Terminator::Ret);
+        // Opaque predicate: test edx, 0 sets ZF=1 always → E is taken.
+        original
+            .insns
+            .push(Insn::op2(Opcode::Test, Gpr::Edx, 0i64));
+        original.term = Terminator::Branch {
+            cond: Cond::E,
+            then_bb: real,
+            else_bb: junk,
+        };
+        f.cfg.push(Block::new(real, insns.clone(), term));
+        // Junk arm: a mangled clone (never executed).
+        let mut junk_insns: Vec<Insn> = insns
+            .into_iter()
+            .take(4)
+            .map(|mut i| {
+                if let Some(Operand::Imm(v)) = i.b {
+                    i.b = Some(Operand::Imm(v ^ 0x2f));
+                }
+                i
+            })
+            .collect();
+        junk_insns.push(Insn::op2(Opcode::Xor, Gpr::Edx, Gpr::Edx));
+        f.cfg.push(Block::new(junk, junk_insns, Terminator::Jmp(real)));
+    }
+}
+
+/// Control-flow flattening: route unconditional transfers through a
+/// central dispatcher driven by a state register (`edx`).
+fn flatten(f: &mut Function) {
+    if f.cfg.len() < 3 {
+        return;
+    }
+    let ids: Vec<binrep::BlockId> = f.cfg.blocks.iter().map(|b| b.id).collect();
+    let dispatcher = f.cfg.fresh_id();
+    let index_of = |id: binrep::BlockId, ids: &[binrep::BlockId]| {
+        ids.iter().position(|&x| x == id).unwrap() as i64
+    };
+    // Rewrite every unconditional Jmp to set the state and enter the
+    // dispatcher. (Branches keep FLAGS live, so they are left intact —
+    // O-LLVM's flattening also keeps conditional computations.)
+    for b in &mut f.cfg.blocks {
+        if let Terminator::Jmp(t) = b.term {
+            if t != dispatcher {
+                let idx = index_of(t, &ids);
+                b.insns.push(Insn::op2(Opcode::Mov, Gpr::Edx, idx));
+                b.term = Terminator::Jmp(dispatcher);
+            }
+        }
+    }
+    f.cfg.push(Block::new(
+        dispatcher,
+        Vec::new(),
+        Terminator::JumpTable {
+            index: Gpr::Edx,
+            targets: ids,
+        },
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minicc::{Compiler, CompilerKind, OptLevel};
+
+    #[test]
+    fn obfuscation_preserves_semantics() {
+        let bench = corpus::by_name("429.mcf").unwrap();
+        let cc = Compiler::new(CompilerKind::Llvm);
+        let bin = cc
+            .compile_preset(&bench.module, OptLevel::O1, binrep::Arch::X86)
+            .unwrap();
+        let mut obf = bin.clone();
+        obfuscate(&mut obf, &ObfuscatorConfig::default());
+        obf.validate().unwrap();
+        for inputs in &bench.test_inputs {
+            let a = emu::Machine::new(&bin).run(&[], inputs, 8_000_000).unwrap();
+            let b = emu::Machine::new(&obf).run(&[], inputs, 8_000_000).unwrap();
+            assert_eq!(a.output, b.output, "inputs {inputs:?}");
+        }
+    }
+
+    #[test]
+    fn obfuscation_changes_structure_substantially() {
+        let bench = corpus::by_name("429.mcf").unwrap();
+        let cc = Compiler::new(CompilerKind::Llvm);
+        let bin = cc
+            .compile_preset(&bench.module, OptLevel::O1, binrep::Arch::X86)
+            .unwrap();
+        let mut obf = bin.clone();
+        obfuscate(&mut obf, &ObfuscatorConfig::default());
+        assert!(obf.block_count() > bin.block_count() + bin.block_count() / 4);
+        assert_ne!(binrep::encode_binary(&bin), binrep::encode_binary(&obf));
+    }
+
+    #[test]
+    fn individual_schemes_compose() {
+        let bench = corpus::by_name("648.exchange2_s").unwrap();
+        let cc = Compiler::new(CompilerKind::Llvm);
+        let bin = cc
+            .compile_preset(&bench.module, OptLevel::O1, binrep::Arch::X86)
+            .unwrap();
+        for (sub, bcf, fla) in [
+            (true, false, false),
+            (false, true, false),
+            (false, false, true),
+        ] {
+            let mut obf = bin.clone();
+            obfuscate(
+                &mut obf,
+                &ObfuscatorConfig {
+                    substitution: sub,
+                    bogus_cfg: bcf,
+                    flatten: fla,
+                    seed: 1,
+                },
+            );
+            obf.validate().unwrap();
+            let a = emu::Machine::new(&bin)
+                .run(&[], &bench.test_inputs[0], 8_000_000)
+                .unwrap();
+            let b = emu::Machine::new(&obf)
+                .run(&[], &bench.test_inputs[0], 8_000_000)
+                .unwrap();
+            assert_eq!(a.output, b.output, "sub={sub} bcf={bcf} fla={fla}");
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Flag-potency analysis (paper §5.3, Figure 7): approximate each flag's
+//! contribution by removing it from the tuned sequence and measuring the
+//! BinHunt difference-score drop, normalizing all drops to sum to 100%.
+
+use binrep::Arch;
+use minicc::ast::Module;
+use minicc::Compiler;
+
+/// One flag's measured potency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlagPotency {
+    /// Flag name.
+    pub name: &'static str,
+    /// Normalized potency share (all shares sum to ~1.0).
+    pub share: f64,
+    /// Raw BinHunt score drop when the flag is removed.
+    pub raw_drop: f64,
+}
+
+/// Compute leave-one-out potencies of the enabled flags in `tuned_flags`.
+///
+/// Returns flags sorted by descending share, plus the residual share of
+/// the remaining flags (Figure 7's "N other flags" row is
+/// `1 − Σ top-k shares`).
+pub fn flag_potency(
+    compiler: &Compiler,
+    module: &Module,
+    tuned_flags: &[bool],
+    arch: Arch,
+    beam: usize,
+) -> Vec<FlagPotency> {
+    let baseline = compiler
+        .compile_preset(module, minicc::OptLevel::O0, arch)
+        .expect("O0");
+    let tuned = compiler
+        .compile(module, tuned_flags, arch)
+        .expect("tuned flags compile");
+    let tuned_score = binhunt::diff_binaries_with_beam(&baseline, &tuned, beam).difference;
+    let profile = compiler.profile();
+    let mut drops: Vec<(usize, f64)> = Vec::new();
+    for (i, &on) in tuned_flags.iter().enumerate() {
+        if !on {
+            continue;
+        }
+        let mut flags = tuned_flags.to_vec();
+        flags[i] = false;
+        // Removing a flag can orphan dependent flags: repair (which only
+        // needs to *disable* dependents, keeping the ablation local).
+        let flags = profile.constraints().repair(&flags, i as u64);
+        let bin = match compiler.compile(module, &flags, arch) {
+            Ok(b) => b,
+            Err(_) => continue,
+        };
+        let score = binhunt::diff_binaries_with_beam(&baseline, &bin, beam).difference;
+        drops.push((i, (tuned_score - score).max(0.0)));
+    }
+    let total: f64 = drops.iter().map(|(_, d)| d).sum();
+    let mut out: Vec<FlagPotency> = drops
+        .into_iter()
+        .map(|(i, d)| FlagPotency {
+            name: profile.flags()[i].name,
+            share: if total > 0.0 { d / total } else { 0.0 },
+            raw_drop: d,
+        })
+        .collect();
+    out.sort_by(|a, b| b.share.partial_cmp(&a.share).unwrap());
+    out
+}
+
+/// Pearson correlation coefficient between two equal-length samples
+/// (paper Figure 10: NCD vs BinHunt score correlation).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minicc::{CompilerKind, OptLevel};
+
+    #[test]
+    fn potency_shares_normalize() {
+        let bench = corpus::by_name("429.mcf").unwrap();
+        let cc = Compiler::new(CompilerKind::Gcc);
+        let flags = cc.profile().preset(OptLevel::O3);
+        let pot = flag_potency(&cc, &bench.module, &flags, Arch::X86, 4);
+        assert!(!pot.is_empty());
+        let total: f64 = pot.iter().map(|p| p.share).sum();
+        assert!((total - 1.0).abs() < 1e-6 || total == 0.0, "{total}");
+        // Sorted descending.
+        for w in pot.windows(2) {
+            assert!(w[0].share >= w[1].share);
+        }
+    }
+
+    #[test]
+    fn pearson_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&xs, &[5.0, 5.0, 5.0, 5.0]), 0.0);
+    }
+}

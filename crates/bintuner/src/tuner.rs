@@ -1,0 +1,222 @@
+//! The auto-tuning loop (paper Figure 4): genetic algorithm on the server
+//! side, compiler + fitness computation on the client side, a constraint
+//! solver rejecting/repairing invalid optimization sequences, and a
+//! database recording every iteration.
+
+use crate::db::{Database, IterationRow};
+use binrep::{Arch, Binary};
+use genetic::{Ga, GaParams, GaRun, StopReason, Termination};
+use lzc::NcdBaseline;
+use minicc::ast::Module;
+use minicc::{Compiler, CompilerKind, OptLevel};
+
+/// Tuner configuration.
+#[derive(Debug, Clone)]
+pub struct TunerConfig {
+    /// Compiler family to drive.
+    pub compiler: CompilerKind,
+    /// Target architecture.
+    pub arch: Arch,
+    /// GA parameters.
+    pub ga: GaParams,
+    /// Termination criteria.
+    pub termination: Termination,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TunerConfig {
+    fn default() -> TunerConfig {
+        TunerConfig {
+            compiler: CompilerKind::Gcc,
+            arch: Arch::X86,
+            ga: GaParams::default(),
+            termination: Termination {
+                max_evaluations: 700,
+                min_evaluations: 220,
+                plateau_window: 150,
+                plateau_growth: 0.0035,
+                ..Default::default()
+            },
+            seed: 0xB147,
+        }
+    }
+}
+
+/// The outcome of one tuning run.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// Best (constraint-valid) flag vector found.
+    pub best_flags: Vec<bool>,
+    /// Its NCD against the `-O0` baseline.
+    pub best_ncd: f64,
+    /// Number of compilation iterations performed.
+    pub iterations: usize,
+    /// Why the search stopped.
+    pub stopped_by: StopReason,
+    /// Modelled compilation wall-clock total, in hours (Table 1 scale).
+    pub simulated_hours: f64,
+    /// The tuned binary (recompiled from `best_flags`).
+    pub best_binary: Binary,
+    /// The `-O0` baseline binary.
+    pub baseline: Binary,
+    /// Per-iteration records.
+    pub db: Database,
+}
+
+/// BinTuner: tunes a module's optimization flags to maximize binary code
+/// difference from `-O0`.
+#[derive(Debug)]
+pub struct Tuner {
+    config: TunerConfig,
+    compiler: Compiler,
+}
+
+impl Tuner {
+    /// Build a tuner.
+    pub fn new(config: TunerConfig) -> Tuner {
+        let compiler = Compiler::new(config.compiler);
+        Tuner { config, compiler }
+    }
+
+    /// The compiler profile in use.
+    pub fn compiler(&self) -> &Compiler {
+        &self.compiler
+    }
+
+    /// Run iterative compilation on `module`.
+    ///
+    /// The fitness of a flag vector is `NCD(code(flags), code(-O0))`
+    /// (§4.2); constraint violations are repaired before compilation, so
+    /// every iteration compiles successfully — BinTuner's constraints-
+    /// verification component.
+    pub fn tune(&self, module: &Module) -> TuneResult {
+        let baseline = self
+            .compiler
+            .compile_preset(module, OptLevel::O0, self.config.arch)
+            .expect("O0 compile");
+        let ncd = NcdBaseline::new(binrep::encode_binary(&baseline));
+        let profile = self.compiler.profile();
+        let n = profile.n_flags();
+        let mut db = Database::new();
+        let mut ga = Ga::new(n, self.config.ga.clone(), self.config.seed);
+        let run: GaRun = ga.run(
+            |flags| {
+                let bin = self
+                    .compiler
+                    .compile(module, flags, self.config.arch)
+                    .expect("repaired flags must compile");
+                let code = binrep::encode_binary(&bin);
+                let fitness = ncd.score(&code);
+                let cost = self.compiler.simulated_compile_seconds(module, flags);
+                (fitness, cost)
+            },
+            |flags, seed| profile.constraints().repair(flags, seed),
+            &self.config.termination,
+        );
+        for rec in &run.history {
+            db.push(IterationRow {
+                iteration: rec.iteration,
+                ncd: rec.fitness,
+                best_ncd: rec.best_so_far,
+                elapsed_seconds: rec.elapsed_seconds,
+                flags: rec.genes.clone(),
+            });
+        }
+        let best_binary = self
+            .compiler
+            .compile(module, &run.best_genes, self.config.arch)
+            .expect("best flags compile");
+        TuneResult {
+            best_flags: run.best_genes,
+            best_ncd: run.best_fitness,
+            iterations: run.evaluations,
+            stopped_by: run.stopped_by,
+            simulated_hours: run.elapsed_seconds / 3600.0,
+            best_binary,
+            baseline,
+            db,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(max_evals: usize) -> TunerConfig {
+        TunerConfig {
+            termination: Termination {
+                max_evaluations: max_evals,
+                min_evaluations: max_evals / 2,
+                plateau_window: max_evals / 3,
+                ..Default::default()
+            },
+            ga: GaParams {
+                population: 10,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn tuner_beats_default_presets() {
+        let bench = corpus::by_name("429.mcf").unwrap();
+        let tuner = Tuner::new(small_config(120));
+        let result = tuner.tune(&bench.module);
+        // The tuned NCD must beat every default preset's NCD.
+        let ncd = lzc::NcdBaseline::new(binrep::encode_binary(&result.baseline));
+        for level in [OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Os] {
+            let bin = tuner
+                .compiler()
+                .compile_preset(&bench.module, level, Arch::X86)
+                .unwrap();
+            let d = ncd.score(&binrep::encode_binary(&bin));
+            assert!(
+                result.best_ncd >= d - 1e-9,
+                "{level}: preset {d} > tuned {}",
+                result.best_ncd
+            );
+        }
+        assert_eq!(result.iterations, result.db.rows().len());
+        assert!(result.simulated_hours > 0.0);
+    }
+
+    #[test]
+    fn tuned_binary_preserves_semantics() {
+        let bench = corpus::by_name("605.mcf_s").unwrap();
+        let tuner = Tuner::new(small_config(80));
+        let result = tuner.tune(&bench.module);
+        for inputs in &bench.test_inputs {
+            let base = emu::Machine::new(&result.baseline)
+                .run(&[], inputs, 5_000_000)
+                .unwrap();
+            let tuned = emu::Machine::new(&result.best_binary)
+                .run(&[], inputs, 5_000_000)
+                .unwrap();
+            assert_eq!(base.output, tuned.output, "inputs {inputs:?}");
+        }
+    }
+
+    #[test]
+    fn tuning_is_deterministic() {
+        let bench = corpus::by_name("648.exchange2_s").unwrap();
+        let r1 = Tuner::new(small_config(60)).tune(&bench.module);
+        let r2 = Tuner::new(small_config(60)).tune(&bench.module);
+        assert_eq!(r1.best_flags, r2.best_flags);
+        assert_eq!(r1.iterations, r2.iterations);
+    }
+
+    #[test]
+    fn best_flags_are_constraint_valid() {
+        let bench = corpus::by_name("473.astar").unwrap();
+        let tuner = Tuner::new(small_config(60));
+        let result = tuner.tune(&bench.module);
+        assert!(tuner
+            .compiler()
+            .profile()
+            .constraints()
+            .is_valid(&result.best_flags));
+    }
+}

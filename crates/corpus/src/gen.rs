@@ -1,0 +1,636 @@
+//! The synthetic program generator engine.
+//!
+//! Generates deterministic mini-C modules whose *code-structure mix*
+//! (loop-heavy, switch-heavy, call-heavy, string-heavy, crypto-arithmetic)
+//! is parameterized per benchmark. Generated programs obey the language's
+//! structural rules (calls in statement position, ≤4 params, definite
+//! assignment before use, bounded loops, call DAG by construction) so that
+//! every optimization pass applies and differential execution terminates.
+
+use minicc::ast::{BinOp, Expr, FuncDef, Global, LValue, Module, Stmt};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Statement-mix weights for a program profile. Higher = more frequent.
+#[derive(Debug, Clone, Copy)]
+pub struct Mix {
+    /// Plain arithmetic assignments.
+    pub arith: u32,
+    /// Counted `for` loops over scalars.
+    pub loops: u32,
+    /// Element-wise / reduction array loops (vectorizer food).
+    pub vec_loops: u32,
+    /// Dense and sparse switches.
+    pub switches: u32,
+    /// If/else (including branch-free-convertible shapes).
+    pub branches: u32,
+    /// String operations (`strcpy`, `strlen` of literals).
+    pub strings: u32,
+    /// Calls to lower-tier functions.
+    pub calls: u32,
+}
+
+impl Default for Mix {
+    fn default() -> Mix {
+        Mix {
+            arith: 6,
+            loops: 3,
+            vec_loops: 2,
+            switches: 2,
+            branches: 4,
+            strings: 1,
+            calls: 3,
+        }
+    }
+}
+
+/// A full program profile.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// RNG seed — fixes the program completely.
+    pub seed: u64,
+    /// Number of functions (besides `main`).
+    pub funcs: usize,
+    /// Statement mix.
+    pub mix: Mix,
+    /// Ops favoured inside expressions (crypto → xor/shift/mul heavy).
+    pub ops: &'static [BinOp],
+    /// Number of global arrays.
+    pub globals: usize,
+    /// Portion (0..=100) of functions marked as statically-linked library
+    /// code (Coreutils/OpenSSL style).
+    pub library_pct: u32,
+    /// Extra string literals interned per string op (C2 tables etc.).
+    pub string_pool: &'static [&'static str],
+    /// Imports available to the program besides I/O.
+    pub imports: &'static [&'static str],
+}
+
+const DEFAULT_OPS: &[BinOp] = &[
+    BinOp::Add,
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Xor,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Shr,
+    BinOp::Div,
+    BinOp::Rem,
+];
+
+/// Crypto-flavoured op mix (OpenSSL-alike).
+pub const CRYPTO_OPS: &[BinOp] = &[
+    BinOp::Xor,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::Shr,
+    BinOp::Mul,
+    BinOp::Add,
+    BinOp::Or,
+    BinOp::And,
+];
+
+const DEFAULT_STRINGS: &[&str] = &[
+    "usage: %s [OPTION]...",
+    "out of memory",
+    "invalid argument",
+    "/etc/config",
+    "Hello World!",
+];
+
+impl Default for Profile {
+    fn default() -> Profile {
+        Profile {
+            seed: 1,
+            funcs: 24,
+            mix: Mix::default(),
+            ops: DEFAULT_OPS,
+            globals: 3,
+            library_pct: 0,
+            string_pool: DEFAULT_STRINGS,
+            imports: &["print_u32", "read_input"],
+        }
+    }
+}
+
+struct Gen {
+    rng: StdRng,
+    profile: Profile,
+}
+
+struct FnSpec {
+    name: String,
+    params: usize,
+    tier: usize,
+}
+
+impl Gen {
+    fn pick_op(&mut self) -> BinOp {
+        *self.profile.ops.choose(&mut self.rng).unwrap()
+    }
+
+    fn small(&mut self, max: u32) -> u32 {
+        self.rng.gen_range(1..=max)
+    }
+
+    /// A pure expression over the given readable scalars, depth-bounded.
+    fn expr(&mut self, vars: &[String], arrays: &[(String, usize)], depth: usize) -> Expr {
+        if depth == 0 || self.rng.gen_bool(0.35) {
+            return match self.rng.gen_range(0..3) {
+                0 if !vars.is_empty() => Expr::Var(vars.choose(&mut self.rng).unwrap().clone()),
+                1 if !arrays.is_empty() => {
+                    let (a, n) = arrays.choose(&mut self.rng).unwrap().clone();
+                    Expr::Index(a, Box::new(Expr::Const(self.rng.gen_range(0..n as u32))))
+                }
+                _ => Expr::Const(self.rng.gen_range(0..4096)),
+            };
+        }
+        let op = self.pick_op();
+        // Division/remainder by interesting constants (magic-number food).
+        if matches!(op, BinOp::Div | BinOp::Rem) {
+            let divisors = [3u32, 7, 10, 255, 1000, 16, 8];
+            return Expr::bin(
+                op,
+                self.expr(vars, arrays, depth - 1),
+                Expr::Const(*divisors.choose(&mut self.rng).unwrap()),
+            );
+        }
+        if matches!(op, BinOp::Shl | BinOp::Shr) {
+            return Expr::bin(
+                op,
+                self.expr(vars, arrays, depth - 1),
+                Expr::Const(self.rng.gen_range(1..13)),
+            );
+        }
+        Expr::bin(
+            op,
+            self.expr(vars, arrays, depth - 1),
+            self.expr(vars, arrays, depth - 1),
+        )
+    }
+
+    fn cmp_expr(&mut self, vars: &[String]) -> Expr {
+        let ops = [BinOp::Eq, BinOp::Ne, BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge];
+        let op = *ops.choose(&mut self.rng).unwrap();
+        let v = vars.choose(&mut self.rng).unwrap().clone();
+        Expr::bin(op, Expr::Var(v), Expr::Const(self.rng.gen_range(0..2048)))
+    }
+
+    /// Generate one statement; `scalars` are all defined scalar vars.
+    #[allow(clippy::too_many_arguments)]
+    fn stmt(
+        &mut self,
+        scalars: &[String],
+        arrays: &[(String, usize)],
+        callees: &[FnSpec],
+        globals: &[(String, usize)],
+        budget: &mut usize,
+        depth: usize,
+    ) -> Option<Stmt> {
+        if *budget == 0 {
+            return None;
+        }
+        *budget -= 1;
+        let mix = self.profile.mix;
+        let total =
+            mix.arith + mix.loops + mix.vec_loops + mix.switches + mix.branches + mix.strings
+                + mix.calls;
+        let mut roll = self.rng.gen_range(0..total);
+        let mut take = |w: u32| {
+            if roll < w {
+                true
+            } else {
+                roll -= w;
+                false
+            }
+        };
+        // Nesting limit keeps bodies compilable and runs bounded.
+        let can_nest = depth < 2;
+        if take(mix.arith) || !can_nest {
+            let target = scalars.choose(&mut self.rng).unwrap().clone();
+            let e = self.expr(scalars, arrays, 3);
+            return Some(Stmt::Assign(LValue::Var(target), e));
+        }
+        if take(mix.loops) {
+            // Counted loop writing an accumulator. ~40% of bodies do not
+            // reference the induction variable, making them candidates for
+            // `-fbranch-count-reg`'s `loop`-instruction lowering.
+            let acc = scalars.choose(&mut self.rng).unwrap().clone();
+            let n = self.small(24);
+            let i = format!("i{}", self.rng.gen_range(0..4));
+            let step_expr = if self.rng.gen_bool(0.4) {
+                Expr::bin(
+                    BinOp::Xor,
+                    Expr::Var(acc.clone()),
+                    Expr::Const(self.small(512)),
+                )
+            } else {
+                Expr::bin(BinOp::Add, Expr::Var(i.clone()), Expr::Const(self.small(64)))
+            };
+            let body = vec![Stmt::Assign(
+                LValue::Var(acc.clone()),
+                Expr::bin(self.pick_op(), Expr::Var(acc), step_expr),
+            )];
+            return Some(Stmt::For {
+                var: i,
+                start: Expr::Const(0),
+                end: Expr::Const(n),
+                step: 1,
+                body,
+            });
+        }
+        if take(mix.vec_loops) {
+            // Element-wise map or reduction over arrays.
+            if arrays.len() >= 3 && self.rng.gen_bool(0.6) {
+                let mut picks = arrays.choose_multiple(&mut self.rng, 3).cloned().collect::<Vec<_>>();
+                picks.sort_by_key(|(_, n)| *n);
+                let n = picks[0].1.min(picks[1].1).min(picks[2].1) as u32;
+                let (c, a, b) = (picks[0].0.clone(), picks[1].0.clone(), picks[2].0.clone());
+                if c != a && c != b {
+                    let op = *[BinOp::Add, BinOp::Sub, BinOp::Mul].choose(&mut self.rng).unwrap();
+                    let i = "vi".to_string();
+                    return Some(Stmt::For {
+                        var: i.clone(),
+                        start: Expr::Const(0),
+                        end: Expr::Const(n),
+                        step: 1,
+                        body: vec![Stmt::Assign(
+                            LValue::Index(c, Expr::Var(i.clone())),
+                            Expr::bin(
+                                op,
+                                Expr::Index(a, Box::new(Expr::Var(i.clone()))),
+                                Expr::Index(b, Box::new(Expr::Var(i))),
+                            ),
+                        )],
+                    });
+                }
+            }
+            if let Some((a, n)) = arrays.choose(&mut self.rng).cloned() {
+                let acc = scalars.choose(&mut self.rng).unwrap().clone();
+                let i = "vi".to_string();
+                return Some(Stmt::For {
+                    var: i.clone(),
+                    start: Expr::Const(0),
+                    end: Expr::Const(n as u32),
+                    step: 1,
+                    body: vec![Stmt::Assign(
+                        LValue::Var(acc.clone()),
+                        Expr::bin(
+                            BinOp::Add,
+                            Expr::Var(acc),
+                            Expr::Index(a, Box::new(Expr::Var(i))),
+                        ),
+                    )],
+                });
+            }
+            let target = scalars.choose(&mut self.rng).unwrap().clone();
+            return Some(Stmt::Assign(LValue::Var(target), Expr::Const(self.small(100))));
+        }
+        if take(mix.switches) {
+            let scrut = scalars.choose(&mut self.rng).unwrap().clone();
+            let target = scalars.choose(&mut self.rng).unwrap().clone();
+            let dense = self.rng.gen_bool(0.5);
+            let ncases = self.rng.gen_range(3..9usize);
+            let values: Vec<u32> = if dense {
+                (0..ncases as u32).collect()
+            } else {
+                let mut v: Vec<u32> = (0..ncases)
+                    .map(|k| (k as u32) * self.rng.gen_range(7..60) + self.rng.gen_range(0..5))
+                    .collect();
+                v.sort();
+                v.dedup();
+                v
+            };
+            let cases = values
+                .iter()
+                .map(|&k| {
+                    (
+                        k,
+                        vec![Stmt::Assign(
+                            LValue::Var(target.clone()),
+                            Expr::bin(
+                                self.pick_op(),
+                                Expr::Var(target.clone()),
+                                Expr::Const(k.wrapping_mul(17).wrapping_add(3)),
+                            ),
+                        )],
+                    )
+                })
+                .collect();
+            return Some(Stmt::Switch {
+                scrutinee: Expr::bin(BinOp::Rem, Expr::Var(scrut), Expr::Const(64)),
+                cases,
+                default: vec![Stmt::Assign(
+                    LValue::Var(target.clone()),
+                    Expr::vc(BinOp::Add, &target, 1),
+                )],
+            });
+        }
+        if take(mix.branches) {
+            let cond = self.cmp_expr(scalars);
+            let target = scalars.choose(&mut self.rng).unwrap().clone();
+            if self.rng.gen_bool(0.45) {
+                // Branch-free-convertible diamond.
+                let (a, b) = if self.rng.gen_bool(0.5) {
+                    (Expr::Const(1), Expr::Const(0))
+                } else {
+                    (
+                        self.expr(scalars, arrays, 1),
+                        self.expr(scalars, arrays, 1),
+                    )
+                };
+                return Some(Stmt::If {
+                    cond,
+                    then_body: vec![Stmt::Assign(LValue::Var(target.clone()), a)],
+                    else_body: vec![Stmt::Assign(LValue::Var(target), b)],
+                });
+            }
+            let mut then_budget = (*budget).min(3);
+            let then_body = self.body(scalars, arrays, callees, globals, &mut then_budget, depth + 1);
+            let mut else_budget = (*budget).min(2);
+            let else_body = if self.rng.gen_bool(0.5) {
+                self.body(scalars, arrays, callees, globals, &mut else_budget, depth + 1)
+            } else {
+                Vec::new()
+            };
+            return Some(Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            });
+        }
+        if take(mix.strings) {
+            let s = *self.profile.string_pool.choose(&mut self.rng).unwrap();
+            if let Some((a, n)) = arrays.iter().find(|(_, n)| *n * 4 >= s.len() + 4).cloned() {
+                let _ = n;
+                return Some(Stmt::ExprStmt(Expr::CallImport(
+                    "strcpy".into(),
+                    vec![Expr::AddrOf(a), Expr::Str(s.to_string())],
+                )));
+            }
+            let target = scalars.choose(&mut self.rng).unwrap().clone();
+            return Some(Stmt::Assign(
+                LValue::Var(target),
+                Expr::CallImport("strlen".into(), vec![Expr::Str(s.to_string())]),
+            ));
+        }
+        // Calls.
+        if !callees.is_empty() {
+            let callee = callees.choose(&mut self.rng).unwrap();
+            let args: Vec<Expr> = (0..callee.params)
+                .map(|_| self.expr(scalars, &[], 1))
+                .collect();
+            let target = scalars.choose(&mut self.rng).unwrap().clone();
+            let call = Expr::Call(callee.name.clone(), args);
+            return Some(if self.rng.gen_bool(0.8) {
+                Stmt::Assign(LValue::Var(target), call)
+            } else {
+                Stmt::ExprStmt(call)
+            });
+        }
+        let target = scalars.choose(&mut self.rng).unwrap().clone();
+        let e = self.expr(scalars, arrays, 2);
+        Some(Stmt::Assign(LValue::Var(target), e))
+    }
+
+    fn body(
+        &mut self,
+        scalars: &[String],
+        arrays: &[(String, usize)],
+        callees: &[FnSpec],
+        globals: &[(String, usize)],
+        budget: &mut usize,
+        depth: usize,
+    ) -> Vec<Stmt> {
+        let n = self.rng.gen_range(1..=4usize);
+        let mut out = Vec::new();
+        for _ in 0..n {
+            if let Some(s) = self.stmt(scalars, arrays, callees, globals, budget, depth) {
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    fn function(&mut self, spec: &FnSpec, callees: &[FnSpec], globals: &[(String, usize)]) -> FuncDef {
+        let params: Vec<String> = (0..spec.params).map(|i| format!("p{i}")).collect();
+        let mut f = FuncDef::new(spec.name.clone(), params.clone(), vec![]);
+        // Locals: accumulators, loop counters, optional local arrays.
+        let n_scalars = self.rng.gen_range(2..5usize);
+        let mut scalars: Vec<String> = params.clone();
+        for k in 0..n_scalars {
+            let name = format!("v{k}");
+            f.local(name.clone());
+            scalars.push(name);
+        }
+        for k in 0..4 {
+            f.local(format!("i{k}"));
+        }
+        f.local("vi");
+        let mut arrays: Vec<(String, usize)> = Vec::new();
+        if self.rng.gen_bool(0.5) {
+            let n = [8usize, 12, 16].choose(&mut self.rng).copied().unwrap();
+            f.local_array("arr", n);
+            arrays.push(("arr".into(), n));
+        }
+        arrays.extend(globals.iter().cloned());
+
+        let mut body = Vec::new();
+        // Definite assignment: init every local scalar from params/consts.
+        for (k, v) in scalars.iter().enumerate().skip(params.len()) {
+            let init = if params.is_empty() || self.rng.gen_bool(0.3) {
+                Expr::Const((k as u32) * 37 + 1)
+            } else {
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::Var(params.choose(&mut self.rng).unwrap().clone()),
+                    Expr::Const(k as u32 + 1),
+                )
+            };
+            body.push(Stmt::Assign(LValue::Var(v.clone()), init));
+        }
+        // Init local arrays with a fill loop (definite assignment for
+        // later reads).
+        for (a, n) in &arrays {
+            if globals.iter().any(|(g, _)| g == a) {
+                continue; // globals are initialized data
+            }
+            body.push(Stmt::For {
+                var: "i3".into(),
+                start: Expr::Const(0),
+                end: Expr::Const(*n as u32),
+                step: 1,
+                body: vec![Stmt::Assign(
+                    LValue::Index(a.clone(), Expr::Var("i3".into())),
+                    Expr::bin(
+                        BinOp::Add,
+                        Expr::bin(BinOp::Mul, Expr::Var("i3".into()), Expr::Const(5)),
+                        Expr::Const(self.small(100)),
+                    ),
+                )],
+            });
+        }
+        // Early-exit shape on some functions (partial-inline candidates).
+        if !params.is_empty() && self.rng.gen_bool(0.25) {
+            body.push(Stmt::If {
+                cond: Expr::bin(
+                    BinOp::Gt,
+                    Expr::Var(params[0].clone()),
+                    Expr::Const(100_000),
+                ),
+                then_body: vec![Stmt::Return(Expr::Const(self.small(64)))],
+                else_body: vec![],
+            });
+        }
+        let mut budget = self.rng.gen_range(4..12usize);
+        body.extend(self.body(&scalars, &arrays, callees, globals, &mut budget, 0));
+        // Trailing return: usually a combining expression, sometimes a
+        // `return g(..)` trampoline — the `-foptimize-sibling-calls`
+        // tail-call shape (paper §3.1.1).
+        if !callees.is_empty() && self.rng.gen_bool(0.3) {
+            let callee = callees.choose(&mut self.rng).unwrap();
+            let args: Vec<Expr> = (0..callee.params)
+                .map(|_| Expr::Var(scalars.choose(&mut self.rng).unwrap().clone()))
+                .collect();
+            body.push(Stmt::Return(Expr::Call(callee.name.clone(), args)));
+        } else {
+            let mut ret = Expr::Var(scalars.last().unwrap().clone());
+            for v in scalars.iter().rev().skip(1).take(2) {
+                ret = Expr::bin(BinOp::Add, ret, Expr::Var(v.clone()));
+            }
+            body.push(Stmt::Return(ret));
+        }
+        f.body = body;
+        f
+    }
+}
+
+/// Generate a module from a profile. Deterministic in `profile.seed`.
+pub fn generate(name: &str, profile: &Profile) -> Module {
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(profile.seed),
+        profile: profile.clone(),
+    };
+    let mut m = Module::new(name);
+    // Globals.
+    let mut globals = Vec::new();
+    for k in 0..g.profile.globals {
+        let n = [8usize, 16, 16, 32].choose(&mut g.rng).copied().unwrap();
+        let name = format!("g{k}");
+        let words = (0..n).map(|i| (i as u32).wrapping_mul(2654435761).rotate_left(k as u32) % 10_000).collect();
+        m.globals.push(Global {
+            name: name.clone(),
+            words,
+        });
+        globals.push((name, n));
+    }
+    // Function specs in tiers so the call graph is a DAG.
+    let n = g.profile.funcs.max(2);
+    let tiers = 3usize;
+    let specs: Vec<FnSpec> = (0..n)
+        .map(|k| FnSpec {
+            name: format!("f{k:03}"),
+            params: g.rng.gen_range(0..=3usize),
+            tier: k * tiers / n,
+        })
+        .collect();
+    let lib_cut = n * g.profile.library_pct as usize / 100;
+    for (k, spec) in specs.iter().enumerate() {
+        let callees: Vec<FnSpec> = specs
+            .iter()
+            .filter(|s| s.tier < spec.tier)
+            .map(|s| FnSpec {
+                name: s.name.clone(),
+                params: s.params,
+                tier: s.tier,
+            })
+            .collect();
+        let mut f = g.function(spec, &callees, &globals);
+        f.is_library = k < lib_cut;
+        m.funcs.push(f);
+    }
+    // main: read inputs, drive the top tier, print a checksum.
+    let top: Vec<&FnSpec> = specs.iter().filter(|s| s.tier == tiers - 1).collect();
+    let mut main = FuncDef::new("main", vec![], vec![]);
+    main.local("x").local("y").local("sum");
+    let mut body = vec![
+        Stmt::Assign(
+            LValue::Var("x".into()),
+            Expr::CallImport("read_input".into(), vec![]),
+        ),
+        Stmt::Assign(
+            LValue::Var("y".into()),
+            Expr::CallImport("read_input".into(), vec![]),
+        ),
+        Stmt::Assign(LValue::Var("sum".into()), Expr::Const(0)),
+    ];
+    for (k, spec) in top.iter().enumerate().take(12) {
+        let args: Vec<Expr> = (0..spec.params)
+            .map(|j| {
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::Var(if (k + j) % 2 == 0 { "x" } else { "y" }.into()),
+                    Expr::Const((k * 13 + j) as u32),
+                )
+            })
+            .collect();
+        body.push(Stmt::Assign(
+            LValue::Var("y".into()),
+            Expr::Call(spec.name.clone(), args),
+        ));
+        body.push(Stmt::Assign(
+            LValue::Var("sum".into()),
+            Expr::bin(
+                BinOp::Add,
+                Expr::bin(BinOp::Mul, Expr::Var("sum".into()), Expr::Const(31)),
+                Expr::Var("y".into()),
+            ),
+        ));
+    }
+    body.push(Stmt::ExprStmt(Expr::CallImport(
+        "print_u32".into(),
+        vec![Expr::Var("sum".into())],
+    )));
+    body.push(Stmt::Return(Expr::Var("sum".into())));
+    main.body = body;
+    m.funcs.push(main);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_modules_validate() {
+        for seed in [1u64, 7, 99, 4242] {
+            let m = generate(
+                "t",
+                &Profile {
+                    seed,
+                    funcs: 20,
+                    ..Default::default()
+                },
+            );
+            m.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(m.funcs.len() == 21);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = Profile {
+            seed: 1234,
+            ..Default::default()
+        };
+        assert_eq!(generate("a", &p), generate("a", &p));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate("a", &Profile { seed: 1, ..Default::default() });
+        let b = generate("a", &Profile { seed: 2, ..Default::default() });
+        assert_ne!(a, b);
+    }
+}

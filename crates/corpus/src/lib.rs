@@ -1,0 +1,157 @@
+//! # corpus — the benchmark dataset of the BinTuner study
+//!
+//! Deterministic synthetic programs standing in for the paper's dataset
+//! (§5): SPECint 2006, SPECspeed 2017 Integer, Coreutils-8.30, OpenSSL-1.1.1,
+//! and the leaked IoT-malware sources (Mirai, LightAidra, BASHLIFE).
+//! See `DESIGN.md` for the substitution rationale; sizes are reduced ~20×
+//! but the per-benchmark *code-structure mix* follows the traits the paper
+//! reports for each program.
+//!
+//! ## Example
+//!
+//! ```
+//! use minicc::{Compiler, CompilerKind, OptLevel};
+//!
+//! let bench = corpus::by_name("462.libquantum").unwrap();
+//! let cc = Compiler::new(CompilerKind::Llvm);
+//! let bin = cc.compile_preset(&bench.module, OptLevel::O3, binrep::Arch::X86).unwrap();
+//! assert!(bin.insn_count() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod spec;
+
+pub use gen::{generate, Mix, Profile, CRYPTO_OPS};
+pub use spec::{
+    all_benign, coreutils, excluded_for, malware, openssl, spec2006, spec2017, Benchmark,
+    MalwareFamily, Suite,
+};
+
+/// Look up a benign benchmark by its paper name (e.g. `"429.mcf"`,
+/// `"Coreutils"`).
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    all_benign().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emu::Machine;
+    use minicc::{Compiler, CompilerKind, OptLevel};
+
+    #[test]
+    fn all_benchmarks_validate() {
+        for b in all_benign() {
+            b.module
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert!(b.module.funcs.len() >= 10, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn benchmarks_execute_at_o0() {
+        let cc = Compiler::new(CompilerKind::Gcc);
+        for b in [by_name("429.mcf").unwrap(), by_name("462.libquantum").unwrap()] {
+            let bin = cc
+                .compile_preset(&b.module, OptLevel::O0, binrep::Arch::X86)
+                .unwrap();
+            for inputs in &b.test_inputs {
+                let r = Machine::new(&bin)
+                    .run(&[], inputs, 5_000_000)
+                    .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+                assert!(!r.output.is_empty(), "{} produced no output", b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn semantics_preserved_across_presets_for_sampled_benchmarks() {
+        // The full-corpus sweep lives in the integration tests; here we
+        // spot-check one small benchmark per compiler.
+        for kind in [CompilerKind::Gcc, CompilerKind::Llvm] {
+            let cc = Compiler::new(kind);
+            let b = by_name("605.mcf_s").unwrap();
+            let o0 = cc
+                .compile_preset(&b.module, OptLevel::O0, binrep::Arch::X86)
+                .unwrap();
+            let want: Vec<_> = b
+                .test_inputs
+                .iter()
+                .map(|i| Machine::new(&o0).run(&[], i, 5_000_000).unwrap().output)
+                .collect();
+            for level in [OptLevel::O2, OptLevel::O3, OptLevel::Os] {
+                let bin = cc
+                    .compile_preset(&b.module, level, binrep::Arch::X86)
+                    .unwrap();
+                for (inputs, expect) in b.test_inputs.iter().zip(&want) {
+                    let got = Machine::new(&bin).run(&[], inputs, 5_000_000).unwrap().output;
+                    assert_eq!(&got, expect, "{kind} {level} {:?}", inputs);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coreutils_has_utility_symbols_and_libraries() {
+        let b = coreutils();
+        assert!(b.module.func("ls_main").is_some());
+        assert!(b.module.func("md5sum_main").is_some());
+        let libs = b.module.funcs.iter().filter(|f| f.is_library).count();
+        assert!(libs > 20, "{libs}");
+    }
+
+    #[test]
+    fn malware_variants_share_signatures_but_differ_in_code() {
+        let a = malware(MalwareFamily::Mirai, 1);
+        let b = malware(MalwareFamily::Mirai, 2);
+        assert_ne!(a.module, b.module);
+        // The data-section payload (C2 strings) is identical.
+        let strings = |m: &minicc::ast::Module| {
+            m.globals
+                .iter()
+                .filter(|g| g.name.starts_with("c2_"))
+                .map(|g| g.words.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(strings(&a.module), strings(&b.module));
+        // Both carry the malicious API set.
+        let cc = Compiler::new(CompilerKind::Gcc);
+        let bin = cc
+            .compile_preset(&a.module, OptLevel::O2, binrep::Arch::X86)
+            .unwrap();
+        let imports = bin.referenced_imports();
+        for api in ["socket", "connect", "send", "kill"] {
+            assert!(imports.iter().any(|i| i == api), "missing {api}");
+        }
+    }
+
+    #[test]
+    fn malware_runs_on_all_arches() {
+        let cc = Compiler::new(CompilerKind::Gcc);
+        for fam in [
+            MalwareFamily::Mirai,
+            MalwareFamily::LightAidra,
+            MalwareFamily::Bashlife,
+        ] {
+            let b = malware(fam, 0);
+            for arch in binrep::Arch::ALL {
+                let bin = cc.compile_preset(&b.module, OptLevel::O2, arch).unwrap();
+                Machine::new(&bin)
+                    .run(&[], &b.test_inputs[0], 5_000_000)
+                    .unwrap_or_else(|e| panic!("{} {arch}: {e}", b.name));
+            }
+        }
+    }
+
+    #[test]
+    fn exclusions_match_paper_footnote() {
+        assert!(excluded_for(CompilerKind::Llvm).contains(&"403.gcc"));
+        assert!(excluded_for(CompilerKind::Gcc).contains(&"401.bzip2"));
+        for k in [CompilerKind::Gcc, CompilerKind::Llvm] {
+            assert!(excluded_for(k).contains(&"602.gcc_s"));
+        }
+    }
+}

@@ -1,0 +1,494 @@
+//! Benchmark definitions: SPEC CPU2006/CPU2017-alikes, Coreutils, OpenSSL,
+//! and the IoT-malware sources (paper §5 dataset).
+//!
+//! Each benchmark is a deterministic synthetic program whose size and
+//! statement mix mirror the traits the paper attributes to the original
+//! (462.libquantum: factorization + dot products → vectorizable loops;
+//! Coreutils: 95 utilities statically linked, string/switch heavy;
+//! OpenSSL: crypto arithmetic; 483/623.xalancbmk: large and call-heavy).
+//! Absolute scale is reduced ~20× to laptop scale (DESIGN.md §5).
+
+use crate::gen::{generate, Mix, Profile, CRYPTO_OPS};
+use minicc::ast::{BinOp, Expr, FuncDef, Global, LValue, Module, Stmt};
+use minicc::CompilerKind;
+
+/// Which suite a benchmark belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPECint 2006.
+    Spec2006,
+    /// SPECspeed 2017 Integer.
+    Spec2017,
+    /// Coreutils-8.30 (statically linked into one binary).
+    Coreutils,
+    /// OpenSSL-1.1.1.
+    OpenSsl,
+    /// IoT malware (leaked sources).
+    Malware,
+}
+
+impl Suite {
+    /// Display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::Spec2006 => "SPECint 2006",
+            Suite::Spec2017 => "SPECspeed 2017",
+            Suite::Coreutils => "Coreutils",
+            Suite::OpenSsl => "OpenSSL",
+            Suite::Malware => "IoT malware",
+        }
+    }
+}
+
+/// A ready-to-compile benchmark program.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Paper name, e.g. `"462.libquantum"`.
+    pub name: &'static str,
+    /// Owning suite.
+    pub suite: Suite,
+    /// The source module.
+    pub module: Module,
+    /// Input vectors for differential testing ("the test cases shipped
+    /// with our dataset", §5.1).
+    pub test_inputs: Vec<Vec<u32>>,
+}
+
+fn mk(name: &'static str, suite: Suite, profile: Profile) -> Benchmark {
+    let module = generate(name, &profile);
+    Benchmark {
+        name,
+        suite,
+        module,
+        test_inputs: vec![vec![3, 11], vec![250, 9], vec![77777, 123]],
+    }
+}
+
+fn profile(seed: u64, funcs: usize, mix: Mix) -> Profile {
+    Profile {
+        seed,
+        funcs,
+        mix,
+        ..Default::default()
+    }
+}
+
+/// SPECint 2006 benchmarks (the paper's "4**" programs).
+pub fn spec2006() -> Vec<Benchmark> {
+    let m = Mix::default();
+    vec![
+        mk("400.perlbench", Suite::Spec2006, profile(0x400, 64, Mix { switches: 4, strings: 3, ..m })),
+        mk("401.bzip2", Suite::Spec2006, profile(0x401, 18, Mix { loops: 5, vec_loops: 3, ..m })),
+        mk("403.gcc", Suite::Spec2006, profile(0x403, 96, Mix { switches: 5, calls: 5, ..m })),
+        mk("429.mcf", Suite::Spec2006, profile(0x429, 12, Mix { loops: 5, arith: 8, ..m })),
+        mk("445.gobmk", Suite::Spec2006, profile(0x445, 72, Mix { branches: 7, switches: 3, ..m })),
+        mk("456.hmmer", Suite::Spec2006, profile(0x456, 28, Mix { vec_loops: 5, loops: 4, ..m })),
+        mk("458.sjeng", Suite::Spec2006, profile(0x458, 24, Mix { branches: 6, switches: 3, ..m })),
+        mk(
+            "462.libquantum",
+            Suite::Spec2006,
+            profile(0x462, 20, Mix { vec_loops: 6, loops: 4, arith: 7, ..m }),
+        ),
+        mk("464.h264ref", Suite::Spec2006, profile(0x464, 40, Mix { vec_loops: 5, loops: 5, ..m })),
+        mk("471.omnetpp", Suite::Spec2006, profile(0x471, 48, Mix { calls: 6, branches: 5, ..m })),
+        mk("473.astar", Suite::Spec2006, profile(0x473, 16, Mix { loops: 5, branches: 5, ..m })),
+        mk("483.xalancbmk", Suite::Spec2006, profile(0x483, 110, Mix { calls: 7, switches: 4, strings: 2, ..m })),
+    ]
+}
+
+/// SPECspeed 2017 Integer benchmarks (the paper's "6**" programs).
+pub fn spec2017() -> Vec<Benchmark> {
+    let m = Mix::default();
+    vec![
+        mk("600.perlbench_s", Suite::Spec2017, profile(0x600, 72, Mix { switches: 4, strings: 3, ..m })),
+        mk("602.gcc_s", Suite::Spec2017, profile(0x602, 100, Mix { switches: 5, calls: 5, ..m })),
+        mk("605.mcf_s", Suite::Spec2017, profile(0x605, 14, Mix { loops: 5, arith: 8, ..m })),
+        mk("620.omnetpp_s", Suite::Spec2017, profile(0x620, 78, Mix { calls: 6, branches: 5, ..m })),
+        mk("623.xalancbmk_s", Suite::Spec2017, profile(0x623, 120, Mix { calls: 7, switches: 4, strings: 2, ..m })),
+        mk("625.x264_s", Suite::Spec2017, profile(0x625, 20, Mix { vec_loops: 6, loops: 4, ..m })),
+        mk("631.deepsjeng_s", Suite::Spec2017, profile(0x631, 26, Mix { branches: 6, switches: 3, ..m })),
+        mk("641.leela_s", Suite::Spec2017, profile(0x641, 34, Mix { branches: 5, loops: 4, ..m })),
+        mk("648.exchange2_s", Suite::Spec2017, profile(0x648, 16, Mix { loops: 6, arith: 7, ..m })),
+        mk("657.xz_s", Suite::Spec2017, profile(0x657, 30, Mix { loops: 5, vec_loops: 4, switches: 2, ..m })),
+    ]
+}
+
+/// Benchmarks the paper had to exclude for a compiler (footnote 2:
+/// compilation or linking errors).
+pub fn excluded_for(kind: CompilerKind) -> &'static [&'static str] {
+    match kind {
+        CompilerKind::Llvm => &["403.gcc", "471.omnetpp", "602.gcc_s"],
+        CompilerKind::Gcc => &["401.bzip2", "464.h264ref", "602.gcc_s"],
+    }
+}
+
+/// Coreutils-8.30 as one statically linked binary: 95 small utilities
+/// plus a shared library layer.
+pub fn coreutils() -> Benchmark {
+    let mix = Mix {
+        arith: 5,
+        loops: 3,
+        vec_loops: 1,
+        switches: 5,
+        branches: 5,
+        strings: 5,
+        calls: 4,
+    };
+    let mut b = mk(
+        "Coreutils",
+        Suite::Coreutils,
+        Profile {
+            seed: 0xC04E,
+            funcs: 130,
+            mix,
+            library_pct: 35,
+            string_pool: &[
+                "--help",
+                "--version",
+                "cannot open %s",
+                "missing operand",
+                "invalid option -- %c",
+                "write error",
+                "/usr/share/locale",
+                "GNU coreutils",
+            ],
+            ..Default::default()
+        },
+    );
+    // Rename the top-tier functions after real utilities so matching
+    // experiments read naturally.
+    const UTILS: &[&str] = &[
+        "cat", "chmod", "chown", "cp", "cut", "date", "dd", "df", "du", "echo", "env", "expand",
+        "factor", "head", "id", "join", "kill", "ln", "ls", "md5sum", "mkdir", "mv", "nice", "nl",
+        "od", "paste", "pr", "printf", "pwd", "rm", "rmdir", "seq", "sort", "split", "stat",
+        "sum", "tail", "tee", "touch", "tr", "true", "tsort", "uniq", "wc", "who", "yes",
+    ];
+    let mut renames: Vec<(String, String)> = Vec::new();
+    {
+        let m = &mut b.module;
+        let n = m.funcs.len();
+        let top_start = n.saturating_sub(UTILS.len() + 1); // keep `main` last
+        for (i, f) in m.funcs[top_start..n - 1].iter_mut().enumerate() {
+            if let Some(u) = UTILS.get(i) {
+                renames.push((f.name.clone(), format!("{u}_main")));
+                f.name = format!("{u}_main");
+            }
+        }
+    }
+    // Fix call sites for renamed functions.
+    for (old, new) in renames {
+        for f in &mut b.module.funcs {
+            rename_calls(&mut f.body, &old, &new);
+        }
+    }
+    b.module.validate().unwrap();
+    b
+}
+
+fn rename_calls(body: &mut [Stmt], old: &str, new: &str) {
+    fn expr(e: &mut Expr, old: &str, new: &str) {
+        match e {
+            Expr::Call(n, args) => {
+                if n == old {
+                    *n = new.to_string();
+                }
+                args.iter_mut().for_each(|a| expr(a, old, new));
+            }
+            Expr::CallImport(_, args) => args.iter_mut().for_each(|a| expr(a, old, new)),
+            Expr::Bin(_, a, b) => {
+                expr(a, old, new);
+                expr(b, old, new);
+            }
+            Expr::Not(a) | Expr::Neg(a) => expr(a, old, new),
+            Expr::Index(_, i) => expr(i, old, new),
+            _ => {}
+        }
+    }
+    for s in body {
+        match s {
+            Stmt::Assign(LValue::Index(_, i), e) => {
+                expr(i, old, new);
+                expr(e, old, new);
+            }
+            Stmt::Assign(_, e) | Stmt::Return(e) | Stmt::ExprStmt(e) => expr(e, old, new),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                expr(cond, old, new);
+                rename_calls(then_body, old, new);
+                rename_calls(else_body, old, new);
+            }
+            Stmt::While { cond, body } => {
+                expr(cond, old, new);
+                rename_calls(body, old, new);
+            }
+            Stmt::For {
+                start, end, body, ..
+            } => {
+                expr(start, old, new);
+                expr(end, old, new);
+                rename_calls(body, old, new);
+            }
+            Stmt::Switch {
+                scrutinee,
+                cases,
+                default,
+            } => {
+                expr(scrutinee, old, new);
+                for (_, b) in cases {
+                    rename_calls(b, old, new);
+                }
+                rename_calls(default, old, new);
+            }
+        }
+    }
+}
+
+/// OpenSSL-1.1.1: crypto-arithmetic heavy.
+pub fn openssl() -> Benchmark {
+    mk(
+        "OpenSSL",
+        Suite::OpenSsl,
+        Profile {
+            seed: 0x055E,
+            funcs: 110,
+            mix: Mix {
+                arith: 8,
+                loops: 5,
+                vec_loops: 4,
+                switches: 2,
+                branches: 3,
+                strings: 2,
+                calls: 4,
+            },
+            ops: CRYPTO_OPS,
+            library_pct: 50,
+            string_pool: &[
+                "OpenSSL 1.1.1",
+                "RSA part of OpenSSL",
+                "bad decrypt",
+                "wrong version number",
+                "certificate verify failed",
+            ],
+            ..Default::default()
+        },
+    )
+}
+
+/// All 22 SPEC benchmarks plus Coreutils and OpenSSL.
+pub fn all_benign() -> Vec<Benchmark> {
+    let mut v = spec2006();
+    v.extend(spec2017());
+    v.push(coreutils());
+    v.push(openssl());
+    v
+}
+
+/// The paper's two tuned IoT malware families (Table 2) plus Mirai
+/// (Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MalwareFamily {
+    /// Linux.Mirai (leaked 2016 source).
+    Mirai,
+    /// LightAidra.
+    LightAidra,
+    /// BASHLIFE.
+    Bashlife,
+}
+
+impl MalwareFamily {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MalwareFamily::Mirai => "Mirai",
+            MalwareFamily::LightAidra => "LightAidra",
+            MalwareFamily::Bashlife => "BASHLIFE",
+        }
+    }
+}
+
+/// Build an IoT-malware source module. `variant_seed` perturbs the
+/// generated filler code (source-level variants), while the *signature-
+/// bearing* parts — C2 strings in the data section, the API call set, the
+/// scanner/killer/attack structure — stay fixed, which is what lets some
+/// AV signatures survive BinTuner (paper §5.5).
+pub fn malware(family: MalwareFamily, variant_seed: u64) -> Benchmark {
+    let (name, seed, c2, funcs): (&'static str, u64, &'static [&'static str], usize) = match family
+    {
+        MalwareFamily::Mirai => (
+            "mirai",
+            0x314A1,
+            &[
+                "POST /cdn-cgi/ HTTP/1.1",
+                "/bin/busybox MIRAI",
+                "185.70.105.161",
+                "enable\nsystem\nshell\nsh",
+                "/dev/watchdog",
+            ],
+            40,
+        ),
+        MalwareFamily::LightAidra => (
+            "lightaidra",
+            0xA1D4A,
+            &[
+                "/var/run/.lightpid",
+                "JOIN #aidra",
+                "PRIVMSG %s :[scan] started",
+                "176.32.33.12",
+            ],
+            28,
+        ),
+        MalwareFamily::Bashlife => (
+            "bashlife",
+            0xBA5E,
+            &[
+                "PING :gayfgt",
+                "/proc/net/route",
+                "103.41.124.0",
+                "busybox wget",
+            ],
+            24,
+        ),
+    };
+    let profile = Profile {
+        seed: seed ^ variant_seed.wrapping_mul(0x9e3779b97f4a7c15),
+        funcs,
+        mix: Mix {
+            arith: 5,
+            loops: 4,
+            vec_loops: 1,
+            switches: 3,
+            branches: 5,
+            strings: 4,
+            calls: 4,
+        },
+        string_pool: c2,
+        ..Default::default()
+    };
+    let mut module = generate(name, &profile);
+    attach_malware_payload(&mut module, c2);
+    module.validate().unwrap();
+    Benchmark {
+        name: match family {
+            MalwareFamily::Mirai => "Mirai",
+            MalwareFamily::LightAidra => "LightAidra",
+            MalwareFamily::Bashlife => "BASHLIFE",
+        },
+        suite: Suite::Malware,
+        module,
+        test_inputs: vec![vec![1, 2], vec![9, 0]],
+    }
+}
+
+/// The fixed malicious skeleton: C2 strings as *globals* (data-section
+/// signatures), plus scanner/killer/attack functions using the network
+/// and process APIs (API-set signatures).
+fn attach_malware_payload(m: &mut Module, c2: &[&str]) {
+    for (k, s) in c2.iter().enumerate() {
+        let mut bytes: Vec<u8> = s.bytes().collect();
+        bytes.push(0);
+        while bytes.len() % 4 != 0 {
+            bytes.push(0);
+        }
+        let words = bytes
+            .chunks(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        m.globals.push(Global {
+            name: format!("c2_{k}"),
+            words,
+        });
+    }
+    // scanner(): socket/connect/send loop.
+    let mut scanner = FuncDef::new("scanner", vec!["range".into()], vec![]);
+    scanner.local("fd").local("i0").local("hits");
+    scanner.body = vec![
+        Stmt::Assign(LValue::Var("hits".into()), Expr::Const(0)),
+        Stmt::Assign(
+            LValue::Var("fd".into()),
+            Expr::CallImport("socket".into(), vec![Expr::Const(2), Expr::Const(1)]),
+        ),
+        Stmt::For {
+            var: "i0".into(),
+            start: Expr::Const(0),
+            end: Expr::Const(16),
+            step: 1,
+            body: vec![
+                Stmt::Assign(
+                    LValue::Var("hits".into()),
+                    Expr::CallImport(
+                        "connect".into(),
+                        vec![Expr::Var("fd".into()), Expr::Var("i0".into())],
+                    ),
+                ),
+                Stmt::ExprStmt(Expr::CallImport(
+                    "send".into(),
+                    vec![Expr::Var("fd".into()), Expr::Var("i0".into())],
+                )),
+            ],
+        },
+        Stmt::Return(Expr::Var("hits".into())),
+    ];
+    m.funcs.push(scanner);
+    // killer(): kill competing bots.
+    let mut killer = FuncDef::new("killer", vec![], vec![]);
+    killer.local("pid");
+    killer.body = vec![
+        Stmt::Assign(
+            LValue::Var("pid".into()),
+            Expr::CallImport("getpid".into(), vec![]),
+        ),
+        Stmt::ExprStmt(Expr::CallImport(
+            "kill".into(),
+            vec![Expr::vc(BinOp::Add, "pid", 1), Expr::Const(9)],
+        )),
+        Stmt::ExprStmt(Expr::CallImport("unlink".into(), vec![Expr::Const(0)])),
+        Stmt::Return(Expr::Var("pid".into())),
+    ];
+    m.funcs.push(killer);
+    // attack(): flood loop.
+    let mut attack = FuncDef::new("attack", vec!["n".into()], vec![]);
+    attack.local("i0").local("sent");
+    attack.body = vec![
+        Stmt::Assign(LValue::Var("sent".into()), Expr::Const(0)),
+        Stmt::For {
+            var: "i0".into(),
+            start: Expr::Const(0),
+            end: Expr::bin(BinOp::Rem, Expr::Var("n".into()), Expr::Const(24)),
+            step: 1,
+            body: vec![Stmt::Assign(
+                LValue::Var("sent".into()),
+                Expr::CallImport(
+                    "send".into(),
+                    vec![Expr::Const(3), Expr::Var("i0".into())],
+                ),
+            )],
+        },
+        Stmt::Return(Expr::Var("sent".into())),
+    ];
+    m.funcs.push(attack);
+    // Wire the payload into main (before its return).
+    let main = m
+        .funcs
+        .iter_mut()
+        .find(|f| f.name == "main")
+        .expect("generated module has main");
+    let ret = main.body.pop().unwrap();
+    let print = main.body.pop().unwrap();
+    main.body.push(Stmt::Assign(
+        LValue::Var("x".into()),
+        Expr::Call("scanner".into(), vec![Expr::Var("x".into())]),
+    ));
+    main.body.push(Stmt::Assign(
+        LValue::Var("y".into()),
+        Expr::Call("killer".into(), vec![]),
+    ));
+    main.body.push(Stmt::Assign(
+        LValue::Var("sum".into()),
+        Expr::Call("attack".into(), vec![Expr::Var("sum".into())]),
+    ));
+    main.body.push(print);
+    main.body.push(ret);
+}

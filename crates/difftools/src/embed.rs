@@ -1,0 +1,259 @@
+//! Token-embedding machinery shared by the Asm2Vec and INNEREYE
+//! re-implementations: a small CBOW model with negative sampling trained
+//! by SGD over instruction-token streams.
+//!
+//! Fidelity note: Asm2Vec uses a PV-DM variant and INNEREYE an LSTM; what
+//! the paper's experiment exercises is the *representation family* —
+//! lexical embeddings of instruction tokens, robust to renaming but tied
+//! to token distribution — which CBOW captures, deterministically and
+//! fast.
+
+use binrep::{Binary, Function, Insn, Operand};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+
+/// Embedding dimensionality.
+pub const DIM: usize = 16;
+
+/// Tokenize one instruction into lexical tokens (mnemonic + operand
+/// shape tokens, registers kept by name — Asm2Vec learns their
+/// relationships rather than normalizing them away).
+pub fn tokens(insn: &Insn) -> Vec<String> {
+    let mut out = vec![insn.op.mnemonic()];
+    let mut op_token = |o: &Operand| {
+        out.push(match o {
+            Operand::Reg(r) => r.name().to_string(),
+            Operand::Vec(x) => format!("xmm{}", x.0),
+            Operand::Imm(v) => {
+                if v.unsigned_abs() < 16 {
+                    format!("imm{v}")
+                } else {
+                    "imm_large".to_string()
+                }
+            }
+            Operand::Mem(m) => {
+                let mut t = "mem".to_string();
+                if let Some(b) = m.base {
+                    t.push('_');
+                    t.push_str(b.name());
+                }
+                if m.index.is_some() {
+                    t.push_str("_idx");
+                }
+                t
+            }
+        })
+    };
+    if let Some(a) = &insn.a {
+        op_token(a);
+    }
+    if let Some(b) = &insn.b {
+        op_token(b);
+    }
+    out
+}
+
+/// A trained token-embedding model.
+#[derive(Debug, Clone)]
+pub struct Model {
+    vocab: HashMap<String, usize>,
+    vectors: Vec<[f32; DIM]>,
+    counts: Vec<u32>,
+}
+
+impl Model {
+    /// Train on every instruction stream in a binary.
+    pub fn train(bin: &Binary, epochs: usize, seed: u64) -> Model {
+        let mut streams: Vec<Vec<String>> = Vec::new();
+        for f in &bin.functions {
+            let mut s = Vec::new();
+            for b in &f.cfg.blocks {
+                for i in &b.insns {
+                    s.extend(tokens(i));
+                }
+            }
+            if !s.is_empty() {
+                streams.push(s);
+            }
+        }
+        let mut vocab = HashMap::new();
+        let mut counts = Vec::new();
+        for t in streams.iter().flatten() {
+            let id = *vocab.entry(t.clone()).or_insert_with(|| {
+                counts.push(0);
+                counts.len() - 1
+            });
+            counts[id] += 1;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut vectors: Vec<[f32; DIM]> = (0..vocab.len())
+            .map(|_| {
+                let mut v = [0f32; DIM];
+                for x in &mut v {
+                    *x = (rng.gen::<f32>() - 0.5) / DIM as f32;
+                }
+                v
+            })
+            .collect();
+        let mut ctx_vectors = vectors.clone();
+        let ids: Vec<Vec<usize>> = streams
+            .iter()
+            .map(|s| s.iter().map(|t| vocab[t]).collect())
+            .collect();
+        let vocab_size = vectors.len().max(1);
+        let lr = 0.05f32;
+        for _ in 0..epochs {
+            for stream in &ids {
+                for (pos, &center) in stream.iter().enumerate() {
+                    // Context: window of 2 either side.
+                    let lo = pos.saturating_sub(2);
+                    let hi = (pos + 3).min(stream.len());
+                    let mut ctx = [0f32; DIM];
+                    let mut n = 0;
+                    for w in stream[lo..hi].iter() {
+                        if *w != center {
+                            for d in 0..DIM {
+                                ctx[d] += ctx_vectors[*w][d];
+                            }
+                            n += 1;
+                        }
+                    }
+                    if n == 0 {
+                        continue;
+                    }
+                    for x in &mut ctx {
+                        *x /= n as f32;
+                    }
+                    // Positive + 2 negative samples.
+                    for (target, label) in [(center, 1.0f32)]
+                        .into_iter()
+                        .chain((0..2).map(|_| (rng.gen_range(0..vocab_size), 0.0)))
+                    {
+                        let w = &vectors[target];
+                        let dot: f32 = (0..DIM).map(|d| ctx[d] * w[d]).sum();
+                        let pred = 1.0 / (1.0 + (-dot).exp());
+                        let g = lr * (label - pred);
+                        let wv = vectors[target];
+                        for d in 0..DIM {
+                            vectors[target][d] += g * ctx[d];
+                        }
+                        for token in stream[lo..hi].iter() {
+                            if *token != center {
+                                for d in 0..DIM {
+                                    ctx_vectors[*token][d] += g * wv[d] / n as f32;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Model {
+            vocab,
+            vectors,
+            counts,
+        }
+    }
+
+    /// Embed a token sequence: inverse-frequency-weighted average.
+    pub fn embed_tokens<'a>(&self, toks: impl Iterator<Item = &'a str>) -> [f32; DIM] {
+        let mut v = [0f32; DIM];
+        let mut total = 0f32;
+        for t in toks {
+            if let Some(&id) = self.vocab.get(t) {
+                let w = 1.0 / (1.0 + (self.counts[id] as f32).ln().max(0.0));
+                for d in 0..DIM {
+                    v[d] += w * self.vectors[id][d];
+                }
+                total += w;
+            }
+        }
+        if total > 0.0 {
+            for x in &mut v {
+                *x /= total;
+            }
+        }
+        v
+    }
+
+    /// Embed a whole function.
+    pub fn embed_function(&self, f: &Function) -> [f32; DIM] {
+        let toks: Vec<String> = f
+            .cfg
+            .blocks
+            .iter()
+            .flat_map(|b| b.insns.iter())
+            .flat_map(tokens)
+            .collect();
+        self.embed_tokens(toks.iter().map(String::as_str))
+    }
+
+    /// Embed one basic block's instruction list.
+    pub fn embed_block(&self, insns: &[Insn]) -> [f32; DIM] {
+        let toks: Vec<String> = insns.iter().flat_map(tokens).collect();
+        self.embed_tokens(toks.iter().map(String::as_str))
+    }
+}
+
+/// Cosine similarity of two embeddings.
+pub fn cosine(a: &[f32; DIM], b: &[f32; DIM]) -> f64 {
+    let dot: f32 = (0..DIM).map(|d| a[d] * b[d]).sum();
+    let na: f32 = (0..DIM).map(|d| a[d] * a[d]).sum::<f32>().sqrt();
+    let nb: f32 = (0..DIM).map(|d| b[d] * b[d]).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot / (na * nb)) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use binrep::{Arch, BlockId, FuncId, Gpr, Opcode};
+
+    fn tiny_binary() -> Binary {
+        let mut bin = Binary::new("t", Arch::X86);
+        for k in 0..4u32 {
+            let mut f = Function::new(FuncId(k), format!("f{k}"), 1);
+            let blk = f.cfg.block_mut(BlockId(0));
+            for j in 0..12 {
+                blk.insns
+                    .push(Insn::op2(Opcode::Add, Gpr::Eax, (k * 7 + j) as i64));
+                blk.insns.push(Insn::op2(Opcode::Mov, Gpr::Ebx, Gpr::Eax));
+            }
+            bin.functions.push(f);
+        }
+        bin
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let bin = tiny_binary();
+        let m1 = Model::train(&bin, 2, 42);
+        let m2 = Model::train(&bin, 2, 42);
+        assert_eq!(m1.vectors.len(), m2.vectors.len());
+        for (a, b) in m1.vectors.iter().zip(&m2.vectors) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn identical_functions_have_identical_embeddings() {
+        let bin = tiny_binary();
+        let m = Model::train(&bin, 2, 1);
+        let e0 = m.embed_function(&bin.functions[0]);
+        let e0b = m.embed_function(&bin.functions[0]);
+        assert_eq!(e0, e0b);
+        assert!((cosine(&e0, &e0b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tokens_capture_operand_shapes() {
+        let i = Insn::op2(Opcode::Mov, Gpr::Eax, binrep::MemRef::base_disp(Gpr::Ebp, -4));
+        let t = tokens(&i);
+        assert_eq!(t, vec!["mov", "eax", "mem_ebp"]);
+        let j = Insn::op2(Opcode::Add, Gpr::Ebx, 100000i64);
+        assert_eq!(tokens(&j), vec!["add", "ebx", "imm_large"]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Hungarian algorithm (Kuhn–Munkres) for minimum-cost bipartite
+//! assignment — the improvement BinSlayer (PPREW '13) adds over BinDiff's
+//! greedy graph-matching heuristics.
+
+/// Solve the assignment problem for an `n×m` cost matrix.
+///
+/// Returns `assign[i] = Some(j)` mapping each row to a distinct column
+/// minimizing total cost. When `n > m`, the extra rows stay unassigned.
+pub fn assign(costs: &[Vec<f64>]) -> Vec<Option<usize>> {
+    let n = costs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let m = costs[0].len();
+    let dim = n.max(m);
+    const PAD: f64 = 1e9;
+    // Pad to square.
+    let cost = |i: usize, j: usize| -> f64 {
+        if i < n && j < m {
+            costs[i][j]
+        } else {
+            PAD
+        }
+    };
+    // Kuhn–Munkres with potentials (O(dim³)), 1-based internal arrays.
+    let mut u = vec![0.0f64; dim + 1];
+    let mut v = vec![0.0f64; dim + 1];
+    let mut p = vec![0usize; dim + 1]; // p[j] = row matched to column j
+    let mut way = vec![0usize; dim + 1];
+    for i in 1..=dim {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; dim + 1];
+        let mut used = vec![false; dim + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0;
+            for j in 1..=dim {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=dim {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut out = vec![None; n];
+    for j in 1..=dim {
+        let i = p[j];
+        if i >= 1 && i <= n && j <= m {
+            // Reject padded assignments.
+            if cost(i - 1, j - 1) < PAD {
+                out[i - 1] = Some(j - 1);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_square() {
+        let costs = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let a = assign(&costs);
+        // Optimal: (0,1)=1, (1,0)=2, (2,2)=2 → total 5.
+        assert_eq!(a, vec![Some(1), Some(0), Some(2)]);
+    }
+
+    #[test]
+    fn identity_is_optimal_for_diagonal() {
+        let n = 6;
+        let costs: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| if i == j { 0.0 } else { 10.0 }).collect())
+            .collect();
+        let a = assign(&costs);
+        for (i, j) in a.iter().enumerate() {
+            assert_eq!(*j, Some(i));
+        }
+    }
+
+    #[test]
+    fn rectangular_matrices() {
+        // More rows than columns: one row unassigned.
+        let costs = vec![vec![1.0], vec![0.5], vec![2.0]];
+        let a = assign(&costs);
+        assert_eq!(a.iter().filter(|x| x.is_some()).count(), 1);
+        assert_eq!(a[1], Some(0));
+        // More columns than rows.
+        let costs = vec![vec![3.0, 1.0, 2.0]];
+        assert_eq!(assign(&costs), vec![Some(1)]);
+    }
+
+    #[test]
+    fn total_cost_is_minimal_vs_brute_force() {
+        // Deterministic pseudo-random matrices, verified against brute force.
+        let mut x = 0x1357u32;
+        let mut rnd = move || {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            (x % 100) as f64
+        };
+        for _ in 0..20 {
+            let n = 5;
+            let costs: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..n).map(|_| rnd()).collect())
+                .collect();
+            let a = assign(&costs);
+            let got: f64 = a
+                .iter()
+                .enumerate()
+                .map(|(i, j)| costs[i][j.unwrap()])
+                .sum();
+            // Brute force over permutations.
+            let mut best = f64::INFINITY;
+            let mut perm: Vec<usize> = (0..n).collect();
+            permute(&mut perm, 0, &mut |p| {
+                let c: f64 = p.iter().enumerate().map(|(i, &j)| costs[i][j]).sum();
+                if c < best {
+                    best = c;
+                }
+            });
+            assert!((got - best).abs() < 1e-9, "{got} vs {best}");
+        }
+    }
+
+    fn permute(arr: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+        if k == arr.len() {
+            f(arr);
+            return;
+        }
+        for i in k..arr.len() {
+            arr.swap(k, i);
+            permute(arr, k + 1, f);
+            arr.swap(k, i);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # difftools — prominent binary-diffing approaches, re-implemented
+//!
+//! The paper's §5.4 comparative evaluation runs seven open-source (or
+//! re-implemented) diffing tools against BinTuner's output. This crate
+//! rebuilds each tool's defining *code representation + matcher*
+//! ([`Tool`]) plus the Precision@1 evaluation protocol
+//! ([`precision_at_1`]) used by IMF-SIM and Asm2Vec.
+//!
+//! ## Example
+//!
+//! ```
+//! use difftools::{precision_at_1, Tool};
+//! use minicc::{Compiler, CompilerKind, OptLevel};
+//!
+//! let bench = corpus::by_name("429.mcf").unwrap();
+//! let cc = Compiler::new(CompilerKind::Gcc);
+//! let o0 = cc.compile_preset(&bench.module, OptLevel::O0, binrep::Arch::X86).unwrap();
+//! let o1 = cc.compile_preset(&bench.module, OptLevel::O1, binrep::Arch::X86).unwrap();
+//! let p = precision_at_1(Tool::Asm2Vec, &o0, &o1, 42);
+//! assert!((0.0..=1.0).contains(&p));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod embed;
+pub mod hungarian;
+pub mod tools;
+
+pub use embed::{cosine, Model};
+pub use hungarian::assign;
+pub use tools::{precision_at_1, Tool};

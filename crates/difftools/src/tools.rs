@@ -1,0 +1,424 @@
+//! Re-implementations of the seven binary-diffing tools of the paper's
+//! §5.4 comparative evaluation, and the Precision@1 harness.
+//!
+//! Each tool is reproduced at the level of its *code representation and
+//! matching strategy* (§2.2's taxonomy): lexical function embeddings
+//! (Asm2Vec), basic-block embeddings (INNEREYE), CFG/DFG numeric semantic
+//! features (VulSeeker), in-memory fuzzing of function I/O (IMF-SIM),
+//! symbolic basic-block equivalence along paths (CoP), MinHash over block
+//! semantics (Multi-MH), and global bipartite CFG/CG matching with the
+//! Hungarian algorithm (BinSlayer).
+
+use crate::embed::{cosine, Model};
+use crate::hungarian;
+use binhunt::{canonicalize, summarize};
+use binrep::{Binary, Function};
+use emu::Machine;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+
+/// The tools compared in Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tool {
+    /// Asm2Vec (S&P '19): lexical function embeddings.
+    Asm2Vec,
+    /// INNEREYE (NDSS '19): basic-block embeddings (LLVM-trained in the
+    /// paper, hence only evaluated on the LLVM suite).
+    InnerEye,
+    /// VulSeeker (ASE '18): CFG+DFG numeric semantic features.
+    VulSeeker,
+    /// IMF-SIM (ASE '17): in-memory fuzzing, function I/O comparison.
+    ImfSim,
+    /// CoP (FSE '14): symbolic block equivalence + longest common
+    /// subsequence of blocks.
+    CoP,
+    /// Multi-MH (S&P '15): MinHash over basic-block semantics.
+    MultiMh,
+    /// BinSlayer (PPREW '13): bipartite graph matching, Hungarian
+    /// algorithm.
+    BinSlayer,
+}
+
+impl Tool {
+    /// All seven tools.
+    pub const ALL: [Tool; 7] = [
+        Tool::Asm2Vec,
+        Tool::InnerEye,
+        Tool::VulSeeker,
+        Tool::ImfSim,
+        Tool::CoP,
+        Tool::MultiMh,
+        Tool::BinSlayer,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tool::Asm2Vec => "Asm2Vec",
+            Tool::InnerEye => "INNEREYE",
+            Tool::VulSeeker => "VulSeeker",
+            Tool::ImfSim => "IMF-SIM",
+            Tool::CoP => "CoP",
+            Tool::MultiMh => "Multi-MH",
+            Tool::BinSlayer => "BinSlayer",
+        }
+    }
+}
+
+fn eligible(f: &Function) -> bool {
+    !f.is_library && f.cfg.insn_count() >= 4
+}
+
+/// Precision@1 of `tool` matching functions of `query` (a transformed
+/// binary) against `base` (the `-O0` training side, per the paper's
+/// Asm2Vec-style setup). Ground truth is symbol-name equality.
+pub fn precision_at_1(tool: Tool, base: &Binary, query: &Binary, seed: u64) -> f64 {
+    let base_fns: Vec<&Function> = base.functions.iter().filter(|f| eligible(f)).collect();
+    let query_fns: Vec<&Function> = query
+        .functions
+        .iter()
+        .filter(|f| eligible(f) && base_fns.iter().any(|g| g.name == f.name))
+        .collect();
+    if query_fns.is_empty() || base_fns.is_empty() {
+        return 0.0;
+    }
+    if tool == Tool::BinSlayer {
+        return binslayer_precision(&base_fns, &query_fns, base, query);
+    }
+    let scorer = build_scorer(tool, base, query, &base_fns, seed);
+    let mut correct = 0usize;
+    for qf in &query_fns {
+        let mut best: Option<(f64, &str)> = None;
+        for (bi, bf) in base_fns.iter().enumerate() {
+            let s = scorer.score(qf, bi, bf);
+            if best.map(|(b, _)| s > b).unwrap_or(true) {
+                best = Some((s, &bf.name));
+            }
+        }
+        if best.map(|(_, n)| n == qf.name).unwrap_or(false) {
+            correct += 1;
+        }
+    }
+    correct as f64 / query_fns.len() as f64
+}
+
+// ------------------------------------------------------------- scorers
+
+enum Scorer<'a> {
+    Embedding {
+        model: Model,
+        base_vecs: Vec<[f32; crate::embed::DIM]>,
+    },
+    BlockEmbedding {
+        model: Model,
+        base_blocks: Vec<Vec<[f32; crate::embed::DIM]>>,
+    },
+    Features {
+        base_feats: Vec<binrep::FunctionFeatures>,
+    },
+    Io {
+        machine_base: Machine<'a>,
+        machine_query: Machine<'a>,
+        base_sigs: Vec<Vec<u32>>,
+        arg_sets: Vec<[u32; 4]>,
+        query_sig_cache: std::cell::RefCell<HashMap<u32, Vec<u32>>>,
+    },
+    Lcs {
+        base_seqs: Vec<Vec<u64>>,
+    },
+    MinHash {
+        base_sigs: Vec<[u64; 32]>,
+    },
+}
+
+fn block_hashes(f: &Function) -> Vec<u64> {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    f.cfg
+        .blocks
+        .iter()
+        .map(|b| {
+            let mut h = DefaultHasher::new();
+            canonicalize(&summarize(&b.insns)).hash(&mut h);
+            h.finish()
+        })
+        .collect()
+}
+
+fn minhash(elems: &[u64]) -> [u64; 32] {
+    let mut sig = [u64::MAX; 32];
+    for &e in elems {
+        for (k, s) in sig.iter_mut().enumerate() {
+            let h = e
+                .wrapping_mul(0x9e3779b97f4a7c15 ^ (k as u64).wrapping_mul(0xc2b2ae3d27d4eb4f))
+                .rotate_left((k % 61) as u32);
+            if h < *s {
+                *s = h;
+            }
+        }
+    }
+    sig
+}
+
+fn io_signature(machine: &Machine<'_>, f: &Function, arg_sets: &[[u32; 4]]) -> Vec<u32> {
+    let mut sig = Vec::with_capacity(arg_sets.len() * 2);
+    for args in arg_sets {
+        match machine.run_function(f.id, &args[..f.params.min(4)], &[7, 3], 60_000) {
+            Ok(r) => {
+                sig.push(r.ret);
+                sig.push(r.output.iter().fold(0u32, |h, &v| {
+                    h.wrapping_mul(31).wrapping_add(v)
+                }));
+            }
+            Err(_) => {
+                sig.push(0xdead_beef);
+                sig.push(0);
+            }
+        }
+    }
+    sig
+}
+
+fn build_scorer<'a>(
+    tool: Tool,
+    base: &'a Binary,
+    query: &'a Binary,
+    base_fns: &[&Function],
+    seed: u64,
+) -> Scorer<'a> {
+    match tool {
+        Tool::Asm2Vec => {
+            let model = Model::train(base, 2, seed);
+            let base_vecs = base_fns.iter().map(|f| model.embed_function(f)).collect();
+            Scorer::Embedding { model, base_vecs }
+        }
+        Tool::InnerEye => {
+            let model = Model::train(base, 2, seed);
+            let base_blocks = base_fns
+                .iter()
+                .map(|f| {
+                    f.cfg
+                        .blocks
+                        .iter()
+                        .filter(|b| !b.insns.is_empty())
+                        .map(|b| model.embed_block(&b.insns))
+                        .collect()
+                })
+                .collect();
+            Scorer::BlockEmbedding { model, base_blocks }
+        }
+        Tool::VulSeeker => Scorer::Features {
+            base_feats: base_fns
+                .iter()
+                .map(|f| binrep::function_features(f))
+                .collect(),
+        },
+        Tool::ImfSim => {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x1f);
+            let arg_sets: Vec<[u32; 4]> = (0..6)
+                .map(|_| [rng.gen_range(0..256), rng.gen_range(0..1024), rng.gen(), rng.gen_range(0..16)])
+                .collect();
+            let machine_base = Machine::new(base);
+            let base_sigs = base_fns
+                .iter()
+                .map(|f| io_signature(&machine_base, f, &arg_sets))
+                .collect();
+            Scorer::Io {
+                machine_base,
+                machine_query: Machine::new(query),
+                base_sigs,
+                arg_sets,
+                query_sig_cache: Default::default(),
+            }
+        }
+        Tool::CoP => Scorer::Lcs {
+            base_seqs: base_fns.iter().map(|f| block_hashes(f)).collect(),
+        },
+        Tool::MultiMh => Scorer::MinHash {
+            base_sigs: base_fns
+                .iter()
+                .map(|f| minhash(&block_hashes(f)))
+                .collect(),
+        },
+        Tool::BinSlayer => unreachable!("handled separately"),
+    }
+}
+
+fn lcs_len(a: &[u64], b: &[u64]) -> usize {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut cur = vec![0usize; b.len() + 1];
+    for x in a {
+        for (j, y) in b.iter().enumerate() {
+            cur[j + 1] = if x == y {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+impl<'a> Scorer<'a> {
+    fn score(&self, qf: &Function, bi: usize, _bf: &Function) -> f64 {
+        match self {
+            Scorer::Embedding { model, base_vecs } => {
+                let qv = model.embed_function(qf);
+                cosine(&qv, &base_vecs[bi])
+            }
+            Scorer::BlockEmbedding { model, base_blocks } => {
+                let q_blocks: Vec<_> = qf
+                    .cfg
+                    .blocks
+                    .iter()
+                    .filter(|b| !b.insns.is_empty())
+                    .map(|b| model.embed_block(&b.insns))
+                    .collect();
+                if q_blocks.is_empty() || base_blocks[bi].is_empty() {
+                    return 0.0;
+                }
+                // Mean of best block-pair similarities (query side).
+                let mut total = 0.0;
+                for qb in &q_blocks {
+                    let best = base_blocks[bi]
+                        .iter()
+                        .map(|bb| cosine(qb, bb))
+                        .fold(f64::MIN, f64::max);
+                    total += best;
+                }
+                total / q_blocks.len() as f64
+            }
+            Scorer::Features { base_feats } => {
+                binrep::function_features(qf).cosine(&base_feats[bi])
+            }
+            Scorer::Io {
+                machine_query,
+                base_sigs,
+                arg_sets,
+                query_sig_cache,
+                ..
+            } => {
+                let mut cache = query_sig_cache.borrow_mut();
+                let sig = cache
+                    .entry(qf.id.0)
+                    .or_insert_with(|| io_signature(machine_query, qf, arg_sets))
+                    .clone();
+                let base = &base_sigs[bi];
+                let eq = sig.iter().zip(base).filter(|(a, b)| a == b).count();
+                eq as f64 / sig.len().max(1) as f64
+            }
+            Scorer::Lcs { base_seqs } => {
+                let q = block_hashes(qf);
+                let l = lcs_len(&q, &base_seqs[bi]);
+                l as f64 / q.len().max(base_seqs[bi].len()).max(1) as f64
+            }
+            Scorer::MinHash { base_sigs } => {
+                let q = minhash(&block_hashes(qf));
+                let eq = q.iter().zip(&base_sigs[bi]).filter(|(a, b)| a == b).count();
+                eq as f64 / 32.0
+            }
+        }
+    }
+}
+
+fn binslayer_precision(
+    base_fns: &[&Function],
+    query_fns: &[&Function],
+    base: &Binary,
+    query: &Binary,
+) -> f64 {
+    // Cost = L1 distance between structural feature vectors plus call-
+    // degree mismatch (BinSlayer's node cost over CFG/CG shape).
+    let cg_base = base.call_graph();
+    let cg_query = query.call_graph();
+    let degree = |bin: &Binary, f: &Function, cg: &std::collections::BTreeMap<binrep::FuncId, Vec<binrep::FuncId>>| {
+        let out = cg.get(&f.id).map(Vec::len).unwrap_or(0);
+        let inc = cg.values().filter(|v| v.contains(&f.id)).count();
+        let _ = bin;
+        (out, inc)
+    };
+    let feat = |f: &Function| binrep::function_features(f).to_vec();
+    let base_feats: Vec<(Vec<f64>, (usize, usize))> = base_fns
+        .iter()
+        .map(|f| (feat(f), degree(base, f, &cg_base)))
+        .collect();
+    let costs: Vec<Vec<f64>> = query_fns
+        .iter()
+        .map(|qf| {
+            let qv = feat(qf);
+            let qd = degree(query, qf, &cg_query);
+            base_feats
+                .iter()
+                .map(|(bv, bd)| {
+                    let l1: f64 = qv.iter().zip(bv).map(|(a, b)| (a - b).abs()).sum();
+                    l1 + 3.0 * (qd.0.abs_diff(bd.0) + qd.1.abs_diff(bd.1)) as f64
+                })
+                .collect()
+        })
+        .collect();
+    let assignment = hungarian::assign(&costs);
+    let correct = assignment
+        .iter()
+        .enumerate()
+        .filter(|(qi, bi)| bi.map(|bi| base_fns[bi].name == query_fns[*qi].name).unwrap_or(false))
+        .count();
+    correct as f64 / query_fns.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minicc::{Compiler, CompilerKind, OptLevel};
+
+    fn compiled(level: OptLevel) -> Binary {
+        let b = corpus::by_name("429.mcf").unwrap();
+        Compiler::new(CompilerKind::Gcc)
+            .compile_preset(&b.module, level, binrep::Arch::X86)
+            .unwrap()
+    }
+
+    #[test]
+    fn self_match_is_perfect_for_all_tools() {
+        let bin = compiled(OptLevel::O0);
+        for tool in Tool::ALL {
+            let p = precision_at_1(tool, &bin, &bin, 7);
+            // IMF-SIM compares blackbox I/O only: two functions computing
+            // identical outputs are genuinely indistinguishable to it, so
+            // its self-precision may dip below 1.0 even on identical
+            // binaries (a faithful property of the approach).
+            let floor = if tool == Tool::ImfSim { 0.85 } else { 0.95 };
+            assert!(p > floor, "{} self-precision {p}", tool.name());
+        }
+    }
+
+    #[test]
+    fn precision_declines_with_optimization_level() {
+        let o0 = compiled(OptLevel::O0);
+        let o1 = compiled(OptLevel::O1);
+        let o3 = compiled(OptLevel::O3);
+        for tool in [Tool::Asm2Vec, Tool::CoP, Tool::MultiMh, Tool::BinSlayer] {
+            let p1 = precision_at_1(tool, &o0, &o1, 7);
+            let p3 = precision_at_1(tool, &o0, &o3, 7);
+            assert!(
+                p3 <= p1 + 0.15,
+                "{}: O1 {p1} vs O3 {p3}",
+                tool.name()
+            );
+        }
+    }
+
+    #[test]
+    fn imf_sim_is_robust_to_intra_procedural_change() {
+        // IMF-SIM compares I/O behaviour, which optimization preserves —
+        // the paper's explanation for it beating the other tools.
+        let o0 = compiled(OptLevel::O0);
+        let o3 = compiled(OptLevel::O3);
+        let p = precision_at_1(Tool::ImfSim, &o0, &o3, 7);
+        assert!(p > 0.5, "IMF-SIM O3 precision {p}");
+    }
+}

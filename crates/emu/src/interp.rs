@@ -1,0 +1,796 @@
+//! The interpreter: CPU state, FLAGS semantics, memory, imports.
+
+use binrep::{
+    Binary, BlockId, Cond, FuncId, Insn, MemRef, Opcode, Operand, Terminator, DATA_BASE,
+    HEAP_BASE, STACK_TOP,
+};
+use std::collections::{BTreeMap, HashMap};
+
+/// Execution errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmuError {
+    /// Instruction budget exhausted.
+    OutOfFuel,
+    /// Misaligned memory access.
+    Unaligned(u32),
+    /// Jump-table index out of range.
+    BadTableIndex { index: u32, len: usize },
+    /// Call depth exceeded the limit.
+    StackOverflow,
+    /// Import with no emulator semantics.
+    UnknownImport(String),
+    /// Structurally invalid operand for an opcode.
+    BadOperand(&'static str),
+}
+
+impl std::fmt::Display for EmuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmuError::OutOfFuel => f.write_str("out of fuel"),
+            EmuError::Unaligned(a) => write!(f, "unaligned access at {a:#x}"),
+            EmuError::BadTableIndex { index, len } => {
+                write!(f, "jump table index {index} out of range 0..{len}")
+            }
+            EmuError::StackOverflow => f.write_str("call depth limit exceeded"),
+            EmuError::UnknownImport(n) => write!(f, "unknown import {n}"),
+            EmuError::BadOperand(what) => write!(f, "bad operand: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EmuError {}
+
+/// FLAGS register.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Flags {
+    /// Zero flag.
+    pub zf: bool,
+    /// Sign flag.
+    pub sf: bool,
+    /// Carry flag.
+    pub cf: bool,
+    /// Overflow flag.
+    pub of: bool,
+}
+
+impl Flags {
+    /// Evaluate a condition code against the current flags.
+    pub fn cond(&self, c: Cond) -> bool {
+        match c {
+            Cond::E => self.zf,
+            Cond::Ne => !self.zf,
+            Cond::L => self.sf != self.of,
+            Cond::Le => self.zf || self.sf != self.of,
+            Cond::G => !self.zf && self.sf == self.of,
+            Cond::Ge => self.sf == self.of,
+            Cond::B => self.cf,
+            Cond::Be => self.cf || self.zf,
+            Cond::A => !self.cf && !self.zf,
+            Cond::Ae => !self.cf,
+        }
+    }
+
+    fn set_zs(&mut self, r: u32) {
+        self.zf = r == 0;
+        self.sf = (r as i32) < 0;
+    }
+}
+
+/// Counters collected during execution (consumed by `perfmodel`).
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Total instructions executed (terminators included).
+    pub steps: u64,
+    /// Executed-count per mnemonic.
+    pub op_counts: BTreeMap<String, u64>,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Conditional branches whose direction differed from the previous
+    /// execution of the same branch site (a crude misprediction proxy).
+    pub direction_changes: u64,
+    /// Indirect (jump-table) transfers.
+    pub table_jumps: u64,
+    /// Calls executed (local + import).
+    pub calls: u64,
+    /// Vector instructions executed.
+    pub vector_ops: u64,
+}
+
+/// The outcome of a successful run.
+#[derive(Debug, Clone)]
+pub struct ExecResult {
+    /// Return value of the entry function (`eax`).
+    pub ret: u32,
+    /// Values emitted through output imports (`print_u32`, `printf`, ...).
+    pub output: Vec<u32>,
+    /// Names of imports called, in order (the dynamic API trace).
+    pub api_trace: Vec<String>,
+    /// Execution counters.
+    pub stats: ExecStats,
+}
+
+// The interpreter recurses one Rust frame per emulated call; 128 levels is
+// generous for the corpus (which bounds recursion) while staying well within
+// the 2 MiB default test-thread stack.
+const MAX_CALL_DEPTH: usize = 128;
+
+struct FuncIndex {
+    block_pos: HashMap<(u32, u32), usize>,
+}
+
+/// A loaded binary ready to execute.
+pub struct Machine<'a> {
+    bin: &'a Binary,
+    index: FuncIndex,
+}
+
+struct Cpu {
+    regs: [u32; 16],
+    xmm: [[u32; 4]; 8],
+    flags: Flags,
+    mem: HashMap<u32, u32>,
+    heap_next: u32,
+    rng_state: u32,
+    output: Vec<u32>,
+    api_trace: Vec<String>,
+    stats: ExecStats,
+    branch_history: HashMap<(u32, u32), bool>,
+    inputs: Vec<u32>,
+    input_pos: usize,
+    exited: Option<u32>,
+}
+
+impl<'a> Machine<'a> {
+    /// Load a binary (indexes blocks; memory is created per-run).
+    pub fn new(bin: &'a Binary) -> Machine<'a> {
+        let mut block_pos = HashMap::new();
+        for f in &bin.functions {
+            for (i, b) in f.cfg.blocks.iter().enumerate() {
+                block_pos.insert((f.id.0, b.id.0), i);
+            }
+        }
+        Machine {
+            bin,
+            index: FuncIndex { block_pos },
+        }
+    }
+
+    /// The loaded binary.
+    pub fn binary(&self) -> &Binary {
+        self.bin
+    }
+
+    /// Run the entry function with `args` in the argument registers and
+    /// `inputs` available through the `read_input` import.
+    ///
+    /// # Errors
+    ///
+    /// See [`EmuError`]; `fuel` bounds the executed instruction count.
+    pub fn run(&self, args: &[u32], inputs: &[u32], fuel: u64) -> Result<ExecResult, EmuError> {
+        self.run_function(self.bin.entry, args, inputs, fuel)
+    }
+
+    /// Run an arbitrary function (used by IMF-SIM-style samplers).
+    ///
+    /// # Errors
+    ///
+    /// See [`EmuError`].
+    pub fn run_function(
+        &self,
+        func: FuncId,
+        args: &[u32],
+        inputs: &[u32],
+        fuel: u64,
+    ) -> Result<ExecResult, EmuError> {
+        let mut cpu = Cpu {
+            regs: [0; 16],
+            xmm: [[0; 4]; 8],
+            flags: Flags::default(),
+            mem: HashMap::new(),
+            heap_next: HEAP_BASE as u32,
+            rng_state: 0x9e3779b9,
+            output: Vec::new(),
+            api_trace: Vec::new(),
+            stats: ExecStats::default(),
+            branch_history: HashMap::new(),
+            inputs: inputs.to_vec(),
+            input_pos: 0,
+            exited: None,
+        };
+        // Load the data section.
+        for (i, w) in self.bin.data.iter().enumerate() {
+            cpu.mem.insert((DATA_BASE as u32) + (i as u32) * 4, *w);
+        }
+        cpu.regs[binrep::Gpr::Esp.number() as usize] = STACK_TOP as u32;
+        // Argument registers: ecx, edx, esi, edi.
+        let arg_regs = [
+            binrep::Gpr::Ecx,
+            binrep::Gpr::Edx,
+            binrep::Gpr::Esi,
+            binrep::Gpr::Edi,
+        ];
+        for (i, &a) in args.iter().take(4).enumerate() {
+            cpu.regs[arg_regs[i].number() as usize] = a;
+        }
+
+        let mut remaining = fuel;
+        self.exec_call(&mut cpu, func, 0, &mut remaining)?;
+        Ok(ExecResult {
+            ret: cpu.exited.unwrap_or(cpu.regs[0]),
+            output: cpu.output,
+            api_trace: cpu.api_trace,
+            stats: cpu.stats,
+        })
+    }
+
+    fn block_at(&self, func: FuncId, block: BlockId) -> &binrep::Block {
+        let pos = self.index.block_pos[&(func.0, block.0)];
+        &self.bin.function(func).cfg.blocks[pos]
+    }
+
+    fn exec_call(
+        &self,
+        cpu: &mut Cpu,
+        func: FuncId,
+        depth: usize,
+        fuel: &mut u64,
+    ) -> Result<(), EmuError> {
+        if depth >= MAX_CALL_DEPTH {
+            return Err(EmuError::StackOverflow);
+        }
+        let f = self.bin.function(func);
+        let mut block = f.cfg.entry;
+        loop {
+            if cpu.exited.is_some() {
+                return Ok(());
+            }
+            let b = self.block_at(func, block);
+            for insn in &b.insns {
+                if *fuel == 0 {
+                    return Err(EmuError::OutOfFuel);
+                }
+                *fuel -= 1;
+                cpu.stats.steps += 1;
+                self.exec_insn(cpu, insn, depth, fuel)?;
+                if cpu.exited.is_some() {
+                    return Ok(());
+                }
+            }
+            if *fuel == 0 {
+                return Err(EmuError::OutOfFuel);
+            }
+            *fuel -= 1;
+            cpu.stats.steps += 1;
+            match &b.term {
+                Terminator::Jmp(t) => block = *t,
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    cpu.stats.branches += 1;
+                    let taken = cpu.flags.cond(*cond);
+                    let key = (func.0, b.id.0);
+                    if let Some(prev) = cpu.branch_history.insert(key, taken) {
+                        if prev != taken {
+                            cpu.stats.direction_changes += 1;
+                        }
+                    }
+                    block = if taken { *then_bb } else { *else_bb };
+                }
+                Terminator::JumpTable { index, targets } => {
+                    cpu.stats.table_jumps += 1;
+                    let idx = cpu.regs[index.number() as usize];
+                    let t = targets.get(idx as usize).ok_or(EmuError::BadTableIndex {
+                        index: idx,
+                        len: targets.len(),
+                    })?;
+                    block = *t;
+                }
+                Terminator::LoopBack { body, exit } => {
+                    cpu.stats.branches += 1;
+                    let ecx = binrep::Gpr::Ecx.number() as usize;
+                    cpu.regs[ecx] = cpu.regs[ecx].wrapping_sub(1);
+                    block = if cpu.regs[ecx] != 0 { *body } else { *exit };
+                }
+                Terminator::Ret => return Ok(()),
+                Terminator::TailCall(callee) => {
+                    // Semantically `call; ret` without frame growth — run
+                    // the callee in this frame's continuation.
+                    cpu.stats.calls += 1;
+                    let callee = *callee;
+                    return self.exec_call(cpu, callee, depth, fuel);
+                }
+            }
+        }
+    }
+
+    fn exec_insn(
+        &self,
+        cpu: &mut Cpu,
+        insn: &Insn,
+        depth: usize,
+        fuel: &mut u64,
+    ) -> Result<(), EmuError> {
+        *cpu.stats.op_counts.entry(insn.op.mnemonic()).or_insert(0) += 1;
+        match insn.op {
+            Opcode::Vload | Opcode::Vstore | Opcode::Vadd | Opcode::Vsub | Opcode::Vmul
+            | Opcode::Vhsum => cpu.stats.vector_ops += 1,
+            Opcode::Call | Opcode::CallImport => cpu.stats.calls += 1,
+            _ => {}
+        }
+        match insn.op {
+            Opcode::Mov => {
+                let v = cpu.read(&insn.b.unwrap())?;
+                cpu.write(&insn.a.unwrap(), v)?;
+            }
+            Opcode::Lea => {
+                let m = insn
+                    .b
+                    .and_then(|o| o.as_mem())
+                    .ok_or(EmuError::BadOperand("lea needs mem src"))?;
+                let addr = cpu.effective_addr(&m);
+                cpu.write(&insn.a.unwrap(), addr)?;
+            }
+            Opcode::Add => cpu.alu2(insn, |cpu, a, b| {
+                let r = a.wrapping_add(b);
+                cpu.flags.cf = r < a;
+                cpu.flags.of = ((a ^ !b) & (a ^ r)) >> 31 != 0;
+                cpu.flags.set_zs(r);
+                r
+            })?,
+            Opcode::Sub => cpu.alu2(insn, |cpu, a, b| {
+                let r = a.wrapping_sub(b);
+                cpu.flags.cf = a < b;
+                cpu.flags.of = ((a ^ b) & (a ^ r)) >> 31 != 0;
+                cpu.flags.set_zs(r);
+                r
+            })?,
+            Opcode::Sbb => cpu.alu2(insn, |cpu, a, b| {
+                let borrow = cpu.flags.cf as u32;
+                let r = a.wrapping_sub(b).wrapping_sub(borrow);
+                let wide = (b as u64) + (borrow as u64);
+                cpu.flags.cf = (a as u64) < wide;
+                let signed = (a as i32 as i64) - (b as i32 as i64) - (borrow as i64);
+                cpu.flags.of = signed != (r as i32 as i64);
+                cpu.flags.set_zs(r);
+                r
+            })?,
+            Opcode::Adc => cpu.alu2(insn, |cpu, a, b| {
+                let carry = cpu.flags.cf as u32;
+                let r = a.wrapping_add(b).wrapping_add(carry);
+                let wide = (a as u64) + (b as u64) + (carry as u64);
+                cpu.flags.cf = wide > u32::MAX as u64;
+                let signed = (a as i32 as i64) + (b as i32 as i64) + (carry as i64);
+                cpu.flags.of = signed != (r as i32 as i64);
+                cpu.flags.set_zs(r);
+                r
+            })?,
+            Opcode::Imul => cpu.alu2(insn, |cpu, a, b| {
+                let r = a.wrapping_mul(b);
+                cpu.flags.cf = false;
+                cpu.flags.of = false;
+                cpu.flags.set_zs(r);
+                r
+            })?,
+            Opcode::Udiv => cpu.alu2(insn, |cpu, a, b| {
+                // ISA definition: division by zero yields zero.
+                let r = if b == 0 { 0 } else { a / b };
+                cpu.flags.cf = false;
+                cpu.flags.of = false;
+                cpu.flags.set_zs(r);
+                r
+            })?,
+            Opcode::Urem => cpu.alu2(insn, |cpu, a, b| {
+                // ISA definition: modulo zero yields the dividend.
+                let r = if b == 0 { a } else { a % b };
+                cpu.flags.cf = false;
+                cpu.flags.of = false;
+                cpu.flags.set_zs(r);
+                r
+            })?,
+            Opcode::Umulh => cpu.alu2(insn, |cpu, a, b| {
+                let r = (((a as u64) * (b as u64)) >> 32) as u32;
+                cpu.flags.cf = false;
+                cpu.flags.of = false;
+                cpu.flags.set_zs(r);
+                r
+            })?,
+            Opcode::And => cpu.logic2(insn, |a, b| a & b)?,
+            Opcode::Or => cpu.logic2(insn, |a, b| a | b)?,
+            Opcode::Xor => cpu.logic2(insn, |a, b| a ^ b)?,
+            Opcode::Not => {
+                let a = insn.a.unwrap();
+                let v = cpu.read(&a)?;
+                cpu.write(&a, !v)?;
+            }
+            Opcode::Neg => {
+                let a = insn.a.unwrap();
+                let v = cpu.read(&a)?;
+                let r = 0u32.wrapping_sub(v);
+                cpu.flags.cf = v != 0;
+                cpu.flags.of = v == 0x8000_0000;
+                cpu.flags.set_zs(r);
+                cpu.write(&a, r)?;
+            }
+            Opcode::Inc => {
+                let a = insn.a.unwrap();
+                let v = cpu.read(&a)?;
+                let r = v.wrapping_add(1);
+                // inc preserves CF (classic x86 wart the paper's `sbb`
+                // branch-free trick depends on).
+                cpu.flags.of = v == 0x7fff_ffff;
+                cpu.flags.set_zs(r);
+                cpu.write(&a, r)?;
+            }
+            Opcode::Dec => {
+                let a = insn.a.unwrap();
+                let v = cpu.read(&a)?;
+                let r = v.wrapping_sub(1);
+                cpu.flags.of = v == 0x8000_0000;
+                cpu.flags.set_zs(r);
+                cpu.write(&a, r)?;
+            }
+            Opcode::Shl => cpu.shift(insn, |a, s| {
+                (a.checked_shl(s).unwrap_or(0), (a >> (32 - s)) & 1 == 1)
+            })?,
+            Opcode::Shr => cpu.shift(insn, |a, s| {
+                (a.checked_shr(s).unwrap_or(0), (a >> (s - 1)) & 1 == 1)
+            })?,
+            Opcode::Sar => cpu.shift(insn, |a, s| {
+                (((a as i32) >> s.min(31)) as u32, ((a as i32) >> (s - 1)) & 1 == 1)
+            })?,
+            Opcode::Cmp => {
+                let a = cpu.read(&insn.a.unwrap())?;
+                let b = cpu.read(&insn.b.unwrap())?;
+                let r = a.wrapping_sub(b);
+                cpu.flags.cf = a < b;
+                cpu.flags.of = ((a ^ b) & (a ^ r)) >> 31 != 0;
+                cpu.flags.set_zs(r);
+            }
+            Opcode::Test => {
+                let a = cpu.read(&insn.a.unwrap())?;
+                let b = cpu.read(&insn.b.unwrap())?;
+                let r = a & b;
+                cpu.flags.cf = false;
+                cpu.flags.of = false;
+                cpu.flags.set_zs(r);
+            }
+            Opcode::Set(c) => {
+                let v = cpu.flags.cond(c) as u32;
+                cpu.write(&insn.a.unwrap(), v)?;
+            }
+            Opcode::Cmov(c) => {
+                if cpu.flags.cond(c) {
+                    let v = cpu.read(&insn.b.unwrap())?;
+                    cpu.write(&insn.a.unwrap(), v)?;
+                }
+            }
+            Opcode::Push => {
+                let v = cpu.read(&insn.a.unwrap())?;
+                let esp = binrep::Gpr::Esp.number() as usize;
+                cpu.regs[esp] = cpu.regs[esp].wrapping_sub(4);
+                let addr = cpu.regs[esp];
+                cpu.store(addr, v)?;
+            }
+            Opcode::Pop => {
+                let esp = binrep::Gpr::Esp.number() as usize;
+                let addr = cpu.regs[esp];
+                let v = cpu.load(addr)?;
+                cpu.regs[esp] = cpu.regs[esp].wrapping_add(4);
+                cpu.write(&insn.a.unwrap(), v)?;
+            }
+            Opcode::Call => {
+                let callee = insn.callee().ok_or(EmuError::BadOperand("call target"))?;
+                self.exec_call(cpu, callee, depth + 1, fuel)?;
+            }
+            Opcode::CallImport => {
+                let imp = insn.import().ok_or(EmuError::BadOperand("import id"))?;
+                let name = self.bin.import_name(imp).to_string();
+                cpu.call_import(&name)?;
+            }
+            Opcode::Vload => {
+                let x = match insn.a.unwrap() {
+                    Operand::Vec(x) => x,
+                    _ => return Err(EmuError::BadOperand("vload dst")),
+                };
+                let m = insn
+                    .b
+                    .and_then(|o| o.as_mem())
+                    .ok_or(EmuError::BadOperand("vload src"))?;
+                let base = cpu.effective_addr(&m);
+                for lane in 0..4 {
+                    cpu.xmm[x.0 as usize][lane] = cpu.load(base.wrapping_add(lane as u32 * 4))?;
+                }
+            }
+            Opcode::Vstore => {
+                let m = insn
+                    .a
+                    .and_then(|o| o.as_mem())
+                    .ok_or(EmuError::BadOperand("vstore dst"))?;
+                let x = match insn.b.unwrap() {
+                    Operand::Vec(x) => x,
+                    _ => return Err(EmuError::BadOperand("vstore src")),
+                };
+                let base = cpu.effective_addr(&m);
+                for lane in 0..4 {
+                    cpu.store(base.wrapping_add(lane as u32 * 4), cpu.xmm[x.0 as usize][lane])?;
+                }
+            }
+            Opcode::Vadd | Opcode::Vsub | Opcode::Vmul => {
+                let (a, b) = match (insn.a.unwrap(), insn.b.unwrap()) {
+                    (Operand::Vec(a), Operand::Vec(b)) => (a, b),
+                    _ => return Err(EmuError::BadOperand("vector alu")),
+                };
+                for lane in 0..4 {
+                    let x = cpu.xmm[a.0 as usize][lane];
+                    let y = cpu.xmm[b.0 as usize][lane];
+                    cpu.xmm[a.0 as usize][lane] = match insn.op {
+                        Opcode::Vadd => x.wrapping_add(y),
+                        Opcode::Vsub => x.wrapping_sub(y),
+                        _ => x.wrapping_mul(y),
+                    };
+                }
+            }
+            Opcode::Vhsum => {
+                let x = match insn.b.unwrap() {
+                    Operand::Vec(x) => x,
+                    _ => return Err(EmuError::BadOperand("vhsum src")),
+                };
+                let sum = cpu.xmm[x.0 as usize]
+                    .iter()
+                    .fold(0u32, |acc, &v| acc.wrapping_add(v));
+                cpu.write(&insn.a.unwrap(), sum)?;
+            }
+            Opcode::Nop => {}
+        }
+        Ok(())
+    }
+}
+
+impl Cpu {
+    fn effective_addr(&self, m: &MemRef) -> u32 {
+        let mut addr = m.disp as u32;
+        if let Some(b) = m.base {
+            addr = addr.wrapping_add(self.regs[b.number() as usize]);
+        }
+        if let Some(i) = m.index {
+            addr = addr.wrapping_add(self.regs[i.number() as usize].wrapping_mul(m.scale as u32));
+        }
+        addr
+    }
+
+    fn load(&self, addr: u32) -> Result<u32, EmuError> {
+        if addr % 4 != 0 {
+            return Err(EmuError::Unaligned(addr));
+        }
+        Ok(*self.mem.get(&addr).unwrap_or(&0))
+    }
+
+    fn store(&mut self, addr: u32, v: u32) -> Result<(), EmuError> {
+        if addr % 4 != 0 {
+            return Err(EmuError::Unaligned(addr));
+        }
+        self.mem.insert(addr, v);
+        Ok(())
+    }
+
+    fn read(&self, o: &Operand) -> Result<u32, EmuError> {
+        Ok(match o {
+            Operand::Reg(r) => self.regs[r.number() as usize],
+            Operand::Imm(v) => *v as u32,
+            Operand::Mem(m) => self.load(self.effective_addr(m))?,
+            Operand::Vec(_) => return Err(EmuError::BadOperand("scalar read of xmm")),
+        })
+    }
+
+    fn write(&mut self, o: &Operand, v: u32) -> Result<(), EmuError> {
+        match o {
+            Operand::Reg(r) => self.regs[r.number() as usize] = v,
+            Operand::Mem(m) => self.store(self.effective_addr(m), v)?,
+            _ => return Err(EmuError::BadOperand("bad write destination")),
+        }
+        Ok(())
+    }
+
+    fn alu2(
+        &mut self,
+        insn: &Insn,
+        f: impl Fn(&mut Cpu, u32, u32) -> u32,
+    ) -> Result<(), EmuError> {
+        let a = self.read(&insn.a.unwrap())?;
+        let b = self.read(&insn.b.unwrap())?;
+        let r = f(self, a, b);
+        self.write(&insn.a.unwrap(), r)
+    }
+
+    fn logic2(&mut self, insn: &Insn, f: impl Fn(u32, u32) -> u32) -> Result<(), EmuError> {
+        let a = self.read(&insn.a.unwrap())?;
+        let b = self.read(&insn.b.unwrap())?;
+        let r = f(a, b);
+        self.flags.cf = false;
+        self.flags.of = false;
+        self.flags.set_zs(r);
+        self.write(&insn.a.unwrap(), r)
+    }
+
+    fn shift(
+        &mut self,
+        insn: &Insn,
+        f: impl Fn(u32, u32) -> (u32, bool),
+    ) -> Result<(), EmuError> {
+        let a = self.read(&insn.a.unwrap())?;
+        let s = self.read(&insn.b.unwrap())? & 31;
+        if s == 0 {
+            // Zero-count shifts leave FLAGS untouched, like x86.
+            return Ok(());
+        }
+        let (r, cf) = f(a, s);
+        self.flags.cf = cf;
+        self.flags.of = false;
+        self.flags.set_zs(r);
+        self.write(&insn.a.unwrap(), r)
+    }
+
+    fn load_byte(&self, addr: u32) -> Result<u8, EmuError> {
+        let w = self.load(addr & !3)?;
+        Ok(((w >> ((addr % 4) * 8)) & 0xff) as u8)
+    }
+
+    fn store_byte(&mut self, addr: u32, v: u8) -> Result<(), EmuError> {
+        let w = self.load(addr & !3)?;
+        let shift = (addr % 4) * 8;
+        let nw = (w & !(0xffu32 << shift)) | ((v as u32) << shift);
+        self.store(addr & !3, nw)
+    }
+
+    fn read_cstr(&self, mut addr: u32) -> Result<Vec<u8>, EmuError> {
+        let mut out = Vec::new();
+        for _ in 0..65536 {
+            let b = self.load_byte(addr)?;
+            if b == 0 {
+                return Ok(out);
+            }
+            out.push(b);
+            addr = addr.wrapping_add(1);
+        }
+        Ok(out)
+    }
+
+    fn call_import(&mut self, name: &str) -> Result<(), EmuError> {
+        self.api_trace.push(name.to_string());
+        let ecx = self.regs[binrep::Gpr::Ecx.number() as usize];
+        let edx = self.regs[binrep::Gpr::Edx.number() as usize];
+        let esi = self.regs[binrep::Gpr::Esi.number() as usize];
+        let ret: u32 = match name {
+            "read_input" => {
+                let v = if self.inputs.is_empty() {
+                    0
+                } else {
+                    self.inputs[self.input_pos % self.inputs.len()]
+                };
+                self.input_pos += 1;
+                v
+            }
+            "print_u32" | "putchar" => {
+                self.output.push(ecx);
+                ecx
+            }
+            "printf" => {
+                // fmt in ecx (hashed into output), first vararg in edx.
+                let fmt = self.read_cstr(ecx)?;
+                let h = fmt.iter().fold(5381u32, |h, &b| {
+                    h.wrapping_mul(33).wrapping_add(b as u32)
+                });
+                self.output.push(h);
+                self.output.push(edx);
+                0
+            }
+            "puts" => {
+                let s = self.read_cstr(ecx)?;
+                let h = s.iter().fold(5381u32, |h, &b| {
+                    h.wrapping_mul(33).wrapping_add(b as u32)
+                });
+                self.output.push(h);
+                s.len() as u32
+            }
+            "malloc" => {
+                let size = (ecx.max(4) + 3) & !3;
+                let p = self.heap_next;
+                self.heap_next = self.heap_next.wrapping_add(size).wrapping_add(16);
+                p
+            }
+            "free" => 0,
+            "strlen" => self.read_cstr(ecx)?.len() as u32,
+            "strcpy" => {
+                // Word-wise copy until (and including) a word containing a
+                // zero byte — consistent with the builtin-expansion pass.
+                let mut off = 0u32;
+                loop {
+                    let w = self.load(edx.wrapping_add(off))?;
+                    self.store(ecx.wrapping_add(off), w)?;
+                    if w.to_le_bytes().contains(&0) {
+                        break;
+                    }
+                    off = off.wrapping_add(4);
+                    if off > 1 << 16 {
+                        break;
+                    }
+                }
+                ecx
+            }
+            "strcmp" => {
+                let a = self.read_cstr(ecx)?;
+                let b = self.read_cstr(edx)?;
+                match a.cmp(&b) {
+                    std::cmp::Ordering::Less => 0xffff_ffff,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                }
+            }
+            "memcpy" => {
+                // Copies ceil(n/4) words.
+                let words = esi.div_ceil(4);
+                for i in 0..words.min(1 << 16) {
+                    let w = self.load(edx.wrapping_add(i * 4))?;
+                    self.store(ecx.wrapping_add(i * 4), w)?;
+                }
+                ecx
+            }
+            "memset" => {
+                let words = esi.div_ceil(4);
+                let fill = edx & 0xff;
+                let w = fill | fill << 8 | fill << 16 | fill << 24;
+                for i in 0..words.min(1 << 16) {
+                    self.store(ecx.wrapping_add(i * 4), w)?;
+                }
+                ecx
+            }
+            "atoi" => {
+                let s = self.read_cstr(ecx)?;
+                let mut v: u32 = 0;
+                for &b in s.iter().take_while(|b| b.is_ascii_digit()) {
+                    v = v.wrapping_mul(10).wrapping_add((b - b'0') as u32);
+                }
+                v
+            }
+            "rand" => {
+                self.rng_state ^= self.rng_state << 13;
+                self.rng_state ^= self.rng_state >> 17;
+                self.rng_state ^= self.rng_state << 5;
+                self.rng_state & 0x7fff_ffff
+            }
+            "time" => 0x5f5e_1000,
+            "getpid" => 0x1234,
+            "exit" => {
+                self.exited = Some(ecx);
+                ecx
+            }
+            // Network/process APIs used by the IoT-malware corpus. They
+            // return deterministic pseudo-handles; the AV scanner keys on
+            // their presence, not their behaviour.
+            "socket" => 3,
+            "connect" | "bind" | "listen" | "setsockopt" | "kill" | "ptrace" | "unlink"
+            | "prctl" | "ioctl" => 0,
+            "accept" => 4,
+            "send" | "write" => {
+                self.output.push(edx);
+                edx
+            }
+            "recv" | "read" => {
+                let v = if self.inputs.is_empty() {
+                    0
+                } else {
+                    self.inputs[self.input_pos % self.inputs.len()]
+                };
+                self.input_pos += 1;
+                v & 0xff
+            }
+            "fork" => 0x42,
+            "execve" | "system" => 0,
+            other => return Err(EmuError::UnknownImport(other.to_string())),
+        };
+        self.regs[0] = ret;
+        Ok(())
+    }
+}

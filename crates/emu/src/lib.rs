@@ -1,0 +1,314 @@
+//! # emu — interpreter for the binrep mini-ISA
+//!
+//! Executes [`binrep::Binary`] images with precise FLAGS semantics
+//! (including the x86 warts the paper's branch-free tricks rely on: `sbb`
+//! after `cmp`, `inc` preserving CF, the `loop` instruction not touching
+//! FLAGS at all), a word-granular memory, and deterministic implementations
+//! of the import table ("library functions").
+//!
+//! The emulator is the ground truth for the whole workspace:
+//! * every `minicc` optimization pass is validated by differential
+//!   execution (O0 vs optimized must produce identical observable output);
+//! * `difftools`' IMF-SIM re-implementation samples function I/O through
+//!   [`Machine::run_function`];
+//! * `perfmodel` consumes [`ExecStats`] to estimate execution speed.
+//!
+//! ## Example
+//!
+//! ```
+//! use binrep::{Arch, Binary, BlockId, FuncId, Function, Gpr, Insn, Opcode};
+//! use emu::Machine;
+//!
+//! // fn add1(x) { return x + 1 }  (arg in ecx, result in eax)
+//! let mut f = Function::new(FuncId(0), "add1", 1);
+//! let entry = f.cfg.block_mut(BlockId(0));
+//! entry.insns.push(Insn::op2(Opcode::Mov, Gpr::Eax, Gpr::Ecx));
+//! entry.insns.push(Insn::op1(Opcode::Inc, Gpr::Eax));
+//! let mut bin = Binary::new("demo", Arch::X86);
+//! bin.functions.push(f);
+//!
+//! let result = Machine::new(&bin).run(&[41], &[], 1_000).unwrap();
+//! assert_eq!(result.ret, 42);
+//! ```
+
+#![warn(missing_docs)]
+
+mod interp;
+
+pub use interp::{EmuError, ExecResult, ExecStats, Flags, Machine};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use binrep::{
+        Arch, Binary, Block, BlockId, Cond, FuncId, Function, Gpr, Insn, MemRef, Opcode, Operand,
+        Terminator, Xmm,
+    };
+
+    fn one_func_bin(build: impl FnOnce(&mut Function, &mut Binary)) -> Binary {
+        let mut bin = Binary::new("t", Arch::X86);
+        let mut f = Function::new(FuncId(0), "main", 4);
+        build(&mut f, &mut bin);
+        bin.functions.push(f);
+        bin.validate().unwrap();
+        bin
+    }
+
+    fn run(bin: &Binary, args: &[u32]) -> u32 {
+        Machine::new(bin).run(args, &[], 100_000).unwrap().ret
+    }
+
+    #[test]
+    fn loop_instruction_sums_without_flags() {
+        // sum = 0; for (i = 10; i > 0; i--) sum += i;   via `loop`.
+        let bin = one_func_bin(|f, _| {
+            let body = f.cfg.fresh_id();
+            let exit = f.cfg.fresh_id();
+            let e = f.cfg.block_mut(BlockId(0));
+            e.insns.push(Insn::op2(Opcode::Mov, Gpr::Eax, 0i64));
+            e.insns.push(Insn::op2(Opcode::Mov, Gpr::Ecx, 10i64));
+            e.term = Terminator::Jmp(body);
+            f.cfg.push(Block::new(
+                body,
+                vec![Insn::op2(Opcode::Add, Gpr::Eax, Gpr::Ecx)],
+                Terminator::LoopBack { body, exit },
+            ));
+            f.cfg.push(Block::new(exit, vec![], Terminator::Ret));
+        });
+        assert_eq!(run(&bin, &[]), 55);
+    }
+
+    #[test]
+    fn sbb_branch_free_ge_test() {
+        // Figure 2(b) pattern: eax = ([mem] >= 10) ? 1 : 0 without branches:
+        //   cmp [addr], 10 ; sbb eax, eax ; inc eax  — wait, sbb gives
+        //   -CF, so after cmp a,10 (CF = a < 10): sbb -> 0 or -1; inc -> 1
+        //   when a >= 10 and 0 when a < 10... inc of -1 is 0, of 0 is 1. ✓
+        for (val, want) in [(5u32, 0u32), (10, 1), (200, 1)] {
+            let bin = one_func_bin(|f, bin| {
+                let addr = bin.add_data_word(val, false);
+                let e = f.cfg.block_mut(BlockId(0));
+                e.insns
+                    .push(Insn::op2(Opcode::Cmp, MemRef::abs(addr as i32), 10i64));
+                e.insns.push(Insn::op2(Opcode::Sbb, Gpr::Eax, Gpr::Eax));
+                e.insns.push(Insn::op1(Opcode::Inc, Gpr::Eax));
+            });
+            assert_eq!(run(&bin, &[]), want, "val {val}");
+        }
+    }
+
+    #[test]
+    fn setcc_and_cmov() {
+        // eax = (ecx == 5) ? 1 : 0, then edx = eax ? 100 : 7 via cmov.
+        let bin = one_func_bin(|f, _| {
+            let e = f.cfg.block_mut(BlockId(0));
+            e.insns.push(Insn::op2(Opcode::Mov, Gpr::Ebx, 100i64));
+            e.insns.push(Insn::op2(Opcode::Mov, Gpr::Eax, 7i64));
+            e.insns.push(Insn::op2(Opcode::Cmp, Gpr::Ecx, 5i64));
+            e.insns
+                .push(Insn::op2(Opcode::Cmov(Cond::E), Gpr::Eax, Gpr::Ebx));
+        });
+        assert_eq!(run(&bin, &[5]), 100);
+        assert_eq!(run(&bin, &[6]), 7);
+    }
+
+    #[test]
+    fn setcc_produces_bool() {
+        let bin = one_func_bin(|f, _| {
+            let e = f.cfg.block_mut(BlockId(0));
+            e.insns.push(Insn::op2(Opcode::Cmp, Gpr::Ecx, Gpr::Edx));
+            e.insns.push(Insn::op1(Opcode::Set(Cond::B), Gpr::Eax));
+        });
+        assert_eq!(run(&bin, &[3, 9]), 1); // 3 < 9 unsigned
+        assert_eq!(run(&bin, &[9, 3]), 0);
+        assert_eq!(run(&bin, &[0xffff_fff0, 3]), 0); // unsigned compare
+    }
+
+    #[test]
+    fn jump_table_dispatch() {
+        // switch (ecx) { case 0: 11; case 1: 22; case 2: 33 }
+        let bin = one_func_bin(|f, _| {
+            let cases: Vec<BlockId> = (0..3).map(|_| f.cfg.fresh_id()).collect();
+            let exit = f.cfg.fresh_id();
+            f.cfg.block_mut(BlockId(0)).term = Terminator::JumpTable {
+                index: Gpr::Ecx,
+                targets: cases.clone(),
+            };
+            for (i, &c) in cases.iter().enumerate() {
+                f.cfg.push(Block::new(
+                    c,
+                    vec![Insn::op2(Opcode::Mov, Gpr::Eax, (11 * (i as i64 + 1)))],
+                    Terminator::Jmp(exit),
+                ));
+            }
+            f.cfg.push(Block::new(exit, vec![], Terminator::Ret));
+        });
+        assert_eq!(run(&bin, &[0]), 11);
+        assert_eq!(run(&bin, &[1]), 22);
+        assert_eq!(run(&bin, &[2]), 33);
+        let r = Machine::new(&bin).run(&[7], &[], 1000);
+        assert!(matches!(r, Err(EmuError::BadTableIndex { .. })));
+    }
+
+    #[test]
+    fn push_pop_and_frames() {
+        let bin = one_func_bin(|f, _| {
+            let e = f.cfg.block_mut(BlockId(0));
+            e.insns.push(Insn::op1(Opcode::Push, Gpr::Ebp));
+            e.insns.push(Insn::op2(Opcode::Mov, Gpr::Ebp, Gpr::Esp));
+            e.insns.push(Insn::op2(Opcode::Sub, Gpr::Esp, 16i64));
+            e.insns
+                .push(Insn::op2(Opcode::Mov, MemRef::base_disp(Gpr::Ebp, -4), Gpr::Ecx));
+            e.insns
+                .push(Insn::op2(Opcode::Mov, Gpr::Eax, MemRef::base_disp(Gpr::Ebp, -4)));
+            e.insns.push(Insn::op2(Opcode::Mov, Gpr::Esp, Gpr::Ebp));
+            e.insns.push(Insn::op1(Opcode::Pop, Gpr::Ebp));
+        });
+        assert_eq!(run(&bin, &[77]), 77);
+    }
+
+    #[test]
+    fn call_and_return_value() {
+        // main calls square(ecx).
+        let mut bin = Binary::new("t", Arch::X86);
+        let mut main = Function::new(FuncId(0), "main", 1);
+        main.cfg
+            .block_mut(BlockId(0))
+            .insns
+            .push(Insn::call(FuncId(1)));
+        let mut sq = Function::new(FuncId(1), "square", 1);
+        {
+            let e = sq.cfg.block_mut(BlockId(0));
+            e.insns.push(Insn::op2(Opcode::Mov, Gpr::Eax, Gpr::Ecx));
+            e.insns.push(Insn::op2(Opcode::Imul, Gpr::Eax, Gpr::Ecx));
+        }
+        bin.functions.push(main);
+        bin.functions.push(sq);
+        bin.validate().unwrap();
+        assert_eq!(run(&bin, &[9]), 81);
+    }
+
+    #[test]
+    fn vector_ops_match_scalar_sum() {
+        // Sum data[0..8] with SIMD: two vloads + vadd + hsum.
+        let bin = one_func_bin(|f, bin| {
+            let base = bin.add_data_word(1, false);
+            for w in 2..=8 {
+                bin.add_data_word(w, false);
+            }
+            let e = f.cfg.block_mut(BlockId(0));
+            e.insns
+                .push(Insn::op2(Opcode::Vload, Xmm(0), MemRef::abs(base as i32)));
+            e.insns
+                .push(Insn::op2(Opcode::Vload, Xmm(1), MemRef::abs(base as i32 + 16)));
+            e.insns.push(Insn::op2(Opcode::Vadd, Xmm(0), Xmm(1)));
+            e.insns
+                .push(Insn::op2(Opcode::Vhsum, Gpr::Eax, Operand::Vec(Xmm(0))));
+        });
+        assert_eq!(run(&bin, &[]), 36);
+    }
+
+    #[test]
+    fn division_by_zero_is_defined() {
+        let bin = one_func_bin(|f, _| {
+            let e = f.cfg.block_mut(BlockId(0));
+            e.insns.push(Insn::op2(Opcode::Mov, Gpr::Eax, Gpr::Ecx));
+            e.insns.push(Insn::op2(Opcode::Udiv, Gpr::Eax, Gpr::Edx));
+        });
+        assert_eq!(run(&bin, &[100, 5]), 20);
+        assert_eq!(run(&bin, &[100, 0]), 0);
+    }
+
+    #[test]
+    fn strcpy_import_copies_strings() {
+        let bin = one_func_bin(|f, bin| {
+            let s = bin.add_string("Hello World!");
+            let id = bin.import_by_name("strcpy");
+            let strlen = bin.import_by_name("strlen");
+            let e = f.cfg.block_mut(BlockId(0));
+            // strcpy(heap_scratch, s); return strlen(heap_scratch).
+            e.insns
+                .push(Insn::op2(Opcode::Mov, Gpr::Ecx, binrep::HEAP_BASE));
+            e.insns.push(Insn::op2(Opcode::Mov, Gpr::Edx, s));
+            e.insns.push(Insn::call_import(id));
+            e.insns
+                .push(Insn::op2(Opcode::Mov, Gpr::Ecx, binrep::HEAP_BASE));
+            e.insns.push(Insn::call_import(strlen));
+        });
+        assert_eq!(run(&bin, &[]), 12);
+    }
+
+    #[test]
+    fn fuel_limit_is_enforced() {
+        let bin = one_func_bin(|f, _| {
+            f.cfg.block_mut(BlockId(0)).term = Terminator::Jmp(BlockId(0));
+        });
+        let r = Machine::new(&bin).run(&[], &[], 100);
+        assert_eq!(r.unwrap_err(), EmuError::OutOfFuel);
+    }
+
+    #[test]
+    fn recursion_depth_is_bounded() {
+        let mut bin = Binary::new("t", Arch::X86);
+        let mut f = Function::new(FuncId(0), "rec", 0);
+        f.cfg
+            .block_mut(BlockId(0))
+            .insns
+            .push(Insn::call(FuncId(0)));
+        bin.functions.push(f);
+        let r = Machine::new(&bin).run(&[], &[], u64::MAX / 2);
+        assert_eq!(r.unwrap_err(), EmuError::StackOverflow);
+    }
+
+    #[test]
+    fn stats_track_execution() {
+        let bin = one_func_bin(|f, _| {
+            let t = f.cfg.fresh_id();
+            let e = f.cfg.fresh_id();
+            f.cfg.block_mut(BlockId(0)).insns.push(Insn::op2(
+                Opcode::Cmp,
+                Gpr::Ecx,
+                0i64,
+            ));
+            f.cfg.block_mut(BlockId(0)).term = Terminator::Branch {
+                cond: Cond::E,
+                then_bb: t,
+                else_bb: e,
+            };
+            f.cfg.push(Block::new(t, vec![], Terminator::Ret));
+            f.cfg.push(Block::new(e, vec![], Terminator::Ret));
+        });
+        let r = Machine::new(&bin).run(&[0], &[], 1000).unwrap();
+        assert_eq!(r.stats.branches, 1);
+        assert_eq!(r.stats.op_counts["cmp"], 1);
+        assert!(r.stats.steps >= 2);
+    }
+
+    #[test]
+    fn exit_import_short_circuits() {
+        let bin = one_func_bin(|f, bin| {
+            let exit = bin.import_by_name("exit");
+            let e = f.cfg.block_mut(BlockId(0));
+            e.insns.push(Insn::op2(Opcode::Mov, Gpr::Ecx, 3i64));
+            e.insns.push(Insn::call_import(exit));
+            // Unreachable: would return 99.
+            e.insns.push(Insn::op2(Opcode::Mov, Gpr::Eax, 99i64));
+        });
+        assert_eq!(run(&bin, &[]), 3);
+    }
+
+    #[test]
+    fn inc_preserves_carry() {
+        // cmp sets CF, inc must not clobber it, sbb then consumes it.
+        let bin = one_func_bin(|f, _| {
+            let e = f.cfg.block_mut(BlockId(0));
+            e.insns.push(Insn::op2(Opcode::Mov, Gpr::Ebx, 0i64));
+            e.insns.push(Insn::op2(Opcode::Cmp, Gpr::Ecx, 10i64)); // CF = ecx < 10
+            e.insns.push(Insn::op1(Opcode::Inc, Gpr::Ebx));
+            e.insns.push(Insn::op2(Opcode::Sbb, Gpr::Eax, Gpr::Eax)); // -CF
+            e.insns.push(Insn::op1(Opcode::Neg, Gpr::Eax)); // CF
+        });
+        assert_eq!(run(&bin, &[5]), 1);
+        assert_eq!(run(&bin, &[15]), 0);
+    }
+}

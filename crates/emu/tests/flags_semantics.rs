@@ -1,0 +1,124 @@
+//! Property tests pinning the FLAGS semantics the paper's branch-free
+//! idioms depend on, against a pure-Rust reference model.
+
+use binrep::{Arch, Binary, BlockId, Cond, FuncId, Function, Gpr, Insn, Opcode};
+use emu::Machine;
+use proptest::prelude::*;
+
+/// Run a tiny program: insns operate on ecx/edx (args), result in eax.
+fn run(insns: Vec<Insn>, a: u32, b: u32) -> u32 {
+    let mut f = Function::new(FuncId(0), "main", 2);
+    f.cfg.block_mut(BlockId(0)).insns = insns;
+    let mut bin = Binary::new("t", Arch::X86);
+    bin.functions.push(f);
+    Machine::new(&bin).run(&[a, b], &[], 10_000).unwrap().ret
+}
+
+fn setcc(cond: Cond) -> Vec<Insn> {
+    vec![
+        Insn::op2(Opcode::Cmp, Gpr::Ecx, Gpr::Edx),
+        Insn::op1(Opcode::Set(cond), Gpr::Eax),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every condition code after `cmp a, b` equals its mathematical
+    /// definition (unsigned and signed).
+    #[test]
+    fn prop_setcc_matches_reference(a in any::<u32>(), b in any::<u32>()) {
+        let sa = a as i32;
+        let sb = b as i32;
+        let expect: [(Cond, bool); 10] = [
+            (Cond::E, a == b),
+            (Cond::Ne, a != b),
+            (Cond::B, a < b),
+            (Cond::Be, a <= b),
+            (Cond::A, a > b),
+            (Cond::Ae, a >= b),
+            (Cond::L, sa < sb),
+            (Cond::Le, sa <= sb),
+            (Cond::G, sa > sb),
+            (Cond::Ge, sa >= sb),
+        ];
+        for (cond, want) in expect {
+            prop_assert_eq!(run(setcc(cond), a, b), want as u32, "{:?} {} {}", cond, a, b);
+        }
+    }
+
+    /// The Figure 2(b) `sbb` trick: cmp; sbb eax,eax; inc eax == (a >= b).
+    #[test]
+    fn prop_sbb_trick(a in any::<u32>(), b in any::<u32>()) {
+        let insns = vec![
+            Insn::op2(Opcode::Cmp, Gpr::Ecx, Gpr::Edx),
+            Insn::op2(Opcode::Sbb, Gpr::Eax, Gpr::Eax),
+            Insn::op1(Opcode::Inc, Gpr::Eax),
+        ];
+        prop_assert_eq!(run(insns, a, b), (a >= b) as u32);
+    }
+
+    /// cmov selects exactly like an if-else.
+    #[test]
+    fn prop_cmov_is_select(a in any::<u32>(), b in any::<u32>()) {
+        let insns = vec![
+            Insn::op2(Opcode::Mov, Gpr::Eax, 111i64),
+            Insn::op2(Opcode::Mov, Gpr::Ebx, 222i64),
+            Insn::op2(Opcode::Cmp, Gpr::Ecx, Gpr::Edx),
+            Insn::op2(Opcode::Cmov(Cond::B), Gpr::Eax, Gpr::Ebx),
+        ];
+        let want = if a < b { 222 } else { 111 };
+        prop_assert_eq!(run(insns, a, b), want);
+    }
+
+    /// Arithmetic matches wrapping u32 semantics.
+    #[test]
+    fn prop_alu_reference(a in any::<u32>(), b in any::<u32>()) {
+        let cases: Vec<(Opcode, u32)> = vec![
+            (Opcode::Add, a.wrapping_add(b)),
+            (Opcode::Sub, a.wrapping_sub(b)),
+            (Opcode::Imul, a.wrapping_mul(b)),
+            (Opcode::And, a & b),
+            (Opcode::Or, a | b),
+            (Opcode::Xor, a ^ b),
+            (Opcode::Udiv, if b == 0 { 0 } else { a / b }),
+            (Opcode::Urem, if b == 0 { a } else { a % b }),
+            (Opcode::Umulh, (((a as u64) * (b as u64)) >> 32) as u32),
+        ];
+        for (op, want) in cases {
+            let insns = vec![
+                Insn::op2(Opcode::Mov, Gpr::Eax, Gpr::Ecx),
+                Insn::op2(op, Gpr::Eax, Gpr::Edx),
+            ];
+            prop_assert_eq!(run(insns, a, b), want, "{:?}", op);
+        }
+    }
+
+    /// Shifts mask their count to 5 bits and match Rust semantics.
+    #[test]
+    fn prop_shift_reference(a in any::<u32>(), s in 0u32..64) {
+        let sh = s & 31;
+        let cases: Vec<(Opcode, u32)> = vec![
+            (Opcode::Shl, a << sh),
+            (Opcode::Shr, a >> sh),
+            (Opcode::Sar, ((a as i32) >> sh) as u32),
+        ];
+        for (op, want) in cases {
+            let insns = vec![
+                Insn::op2(Opcode::Mov, Gpr::Eax, Gpr::Ecx),
+                Insn::op2(op, Gpr::Eax, Gpr::Edx),
+            ];
+            prop_assert_eq!(run(insns, a, s), want, "{:?} {} {}", op, a, s);
+        }
+    }
+
+    /// push/pop is the identity on any value.
+    #[test]
+    fn prop_push_pop_identity(a in any::<u32>()) {
+        let insns = vec![
+            Insn::op1(Opcode::Push, Gpr::Ecx),
+            Insn::op1(Opcode::Pop, Gpr::Eax),
+        ];
+        prop_assert_eq!(run(insns, a, 0), a);
+    }
+}

@@ -1,0 +1,431 @@
+//! # genetic — the metaheuristic search engine of BinTuner
+//!
+//! Paper §4.1 / Appendix B: compiler optimization flags are encoded as a
+//! chromosome-like boolean vector; selection, crossover and mutation evolve
+//! the population under a fitness function (NCD), with a constraint-repair
+//! step keeping every individual a *valid* optimization sequence. The four
+//! tuned parameters — `mutation_rate`, `crossover_rate`,
+//! `must_mutate_count`, `crossover_strength` — appear exactly as in the
+//! paper, as do the three termination criteria (iteration cap, time budget,
+//! diminishing returns on fitness growth).
+//!
+//! ## Example
+//!
+//! ```
+//! use genetic::{Ga, GaParams, Termination};
+//!
+//! // Maximize the number of set bits. The fitness closure returns
+//! // (fitness, cost-in-seconds); evaluations are the paper's
+//! // "compilation iterations".
+//! let mut ga = Ga::new(16, GaParams::default(), 42);
+//! let run = ga.run(
+//!     |genes| (genes.iter().filter(|&&g| g).count() as f64, 0.1),
+//!     |genes, _| genes.to_vec(), // no constraints to repair
+//!     &Termination { max_evaluations: 800, plateau_growth: 0.0, ..Default::default() },
+//! );
+//! assert!(run.best_fitness >= 14.0);
+//! ```
+
+#![warn(missing_docs)]
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Genetic-algorithm parameters (the four the paper tunes, plus
+/// population shape).
+#[derive(Debug, Clone)]
+pub struct GaParams {
+    /// Number of individuals per generation.
+    pub population: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Probability a child is produced by crossover (vs. cloning).
+    pub crossover_rate: f64,
+    /// Minimum number of genes force-flipped in a mutated child.
+    pub must_mutate_count: usize,
+    /// Fraction of genes taken from the fitter parent during crossover.
+    pub crossover_strength: f64,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Individuals carried over unchanged each generation.
+    pub elitism: usize,
+}
+
+impl Default for GaParams {
+    fn default() -> GaParams {
+        GaParams {
+            population: 24,
+            mutation_rate: 0.04,
+            crossover_rate: 0.85,
+            must_mutate_count: 2,
+            crossover_strength: 0.6,
+            tournament: 3,
+            elitism: 2,
+        }
+    }
+}
+
+/// Termination criteria (Appendix B lists exactly these three).
+#[derive(Debug, Clone)]
+pub struct Termination {
+    /// Hard cap on fitness evaluations ("compilation iterations").
+    pub max_evaluations: usize,
+    /// Simulated/wall time budget in seconds (caller supplies per-eval
+    /// cost through [`GaRun::charge_time`]'s accounting; 0 = unlimited).
+    pub max_seconds: f64,
+    /// Stop when the best fitness's growth rate over the last window is
+    /// below this fraction (paper: 0.35%).
+    pub plateau_growth: f64,
+    /// Window (in evaluations) over which growth is measured.
+    pub plateau_window: usize,
+    /// Minimum evaluations before the plateau criterion may fire.
+    pub min_evaluations: usize,
+}
+
+impl Default for Termination {
+    fn default() -> Termination {
+        Termination {
+            max_evaluations: 2000,
+            max_seconds: 0.0,
+            plateau_growth: 0.0035,
+            plateau_window: 120,
+            min_evaluations: 160,
+        }
+    }
+}
+
+/// One fitness evaluation's record (drives the paper's Figure 6 plots).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalRecord {
+    /// 1-based evaluation index.
+    pub iteration: usize,
+    /// Fitness of the evaluated individual.
+    pub fitness: f64,
+    /// Best fitness seen so far.
+    pub best_so_far: f64,
+    /// The genes evaluated.
+    pub genes: Vec<bool>,
+    /// Accumulated charged time (seconds) when this evaluation finished.
+    pub elapsed_seconds: f64,
+}
+
+/// The outcome of a GA run.
+#[derive(Debug, Clone)]
+pub struct GaRun {
+    /// Best genes found.
+    pub best_genes: Vec<bool>,
+    /// Best fitness.
+    pub best_fitness: f64,
+    /// Total fitness evaluations performed.
+    pub evaluations: usize,
+    /// Per-evaluation history.
+    pub history: Vec<EvalRecord>,
+    /// Which criterion stopped the run.
+    pub stopped_by: StopReason,
+    /// Total charged time in seconds.
+    pub elapsed_seconds: f64,
+}
+
+/// Why a run terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Evaluation cap reached.
+    MaxEvaluations,
+    /// Time budget exhausted.
+    TimeBudget,
+    /// Fitness growth reached the point of diminishing returns.
+    Plateau,
+}
+
+/// The genetic algorithm engine.
+#[derive(Debug)]
+pub struct Ga {
+    n_genes: usize,
+    params: GaParams,
+    rng: StdRng,
+}
+
+impl Ga {
+    /// A GA over `n_genes`-bit chromosomes.
+    pub fn new(n_genes: usize, params: GaParams, seed: u64) -> Ga {
+        Ga {
+            n_genes,
+            params,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn mutate(&mut self, genes: &mut [bool]) {
+        let mut flipped = 0usize;
+        for g in genes.iter_mut() {
+            if self.rng.gen_bool(self.params.mutation_rate) {
+                *g = !*g;
+                flipped += 1;
+            }
+        }
+        while flipped < self.params.must_mutate_count {
+            let i = self.rng.gen_range(0..self.n_genes.max(1));
+            genes[i] = !genes[i];
+            flipped += 1;
+        }
+    }
+
+    fn crossover(&mut self, fitter: &[bool], other: &[bool]) -> Vec<bool> {
+        (0..self.n_genes)
+            .map(|i| {
+                if self.rng.gen_bool(self.params.crossover_strength) {
+                    fitter[i]
+                } else {
+                    other[i]
+                }
+            })
+            .collect()
+    }
+
+    fn tournament_pick<'a>(&mut self, pop: &'a [(Vec<bool>, f64)]) -> &'a (Vec<bool>, f64) {
+        let mut best: Option<&(Vec<bool>, f64)> = None;
+        for _ in 0..self.params.tournament {
+            let c = &pop[self.rng.gen_range(0..pop.len())];
+            if best.map(|b| c.1 > b.1).unwrap_or(true) {
+                best = Some(c);
+            }
+        }
+        best.unwrap()
+    }
+
+    /// Run the GA. `fitness` scores a chromosome (higher is better);
+    /// `repair` must return a constraint-valid chromosome (paper §4.1's
+    /// constraints-verification step).
+    pub fn run(
+        &mut self,
+        mut fitness: impl FnMut(&[bool]) -> (f64, f64),
+        repair: impl Fn(&[bool], u64) -> Vec<bool>,
+        term: &Termination,
+    ) -> GaRun {
+        let mut history: Vec<EvalRecord> = Vec::new();
+        let mut best: (Vec<bool>, f64) = (vec![false; self.n_genes], f64::NEG_INFINITY);
+        let mut elapsed = 0.0f64;
+        let mut evals = 0usize;
+        let mut stopped = StopReason::MaxEvaluations;
+
+        let mut evaluate =
+            |genes: Vec<bool>,
+             history: &mut Vec<EvalRecord>,
+             best: &mut (Vec<bool>, f64),
+             elapsed: &mut f64,
+             evals: &mut usize,
+             fitness: &mut dyn FnMut(&[bool]) -> (f64, f64)|
+             -> f64 {
+                let (fit, cost) = fitness(&genes);
+                *evals += 1;
+                *elapsed += cost;
+                if fit > best.1 {
+                    *best = (genes.clone(), fit);
+                }
+                history.push(EvalRecord {
+                    iteration: *evals,
+                    fitness: fit,
+                    best_so_far: best.1,
+                    genes,
+                    elapsed_seconds: *elapsed,
+                });
+                fit
+            };
+
+        // Initial population: the all-off vector, a few dense vectors, and
+        // random ones — all repaired.
+        let mut population: Vec<(Vec<bool>, f64)> = Vec::new();
+        for k in 0..self.params.population {
+            let raw: Vec<bool> = match k {
+                0 => vec![false; self.n_genes],
+                1 => vec![true; self.n_genes],
+                _ => (0..self.n_genes).map(|_| self.rng.gen_bool(0.5)).collect(),
+            };
+            let genes = repair(&raw, k as u64);
+            let fit = evaluate(
+                genes.clone(),
+                &mut history,
+                &mut best,
+                &mut elapsed,
+                &mut evals,
+                &mut fitness,
+            );
+            population.push((genes, fit));
+        }
+
+        'outer: loop {
+            // Termination checks.
+            if evals >= term.max_evaluations {
+                stopped = StopReason::MaxEvaluations;
+                break;
+            }
+            if term.max_seconds > 0.0 && elapsed >= term.max_seconds {
+                stopped = StopReason::TimeBudget;
+                break;
+            }
+            if evals >= term.min_evaluations && evals > term.plateau_window {
+                let then = history[evals - term.plateau_window - 1].best_so_far;
+                let now = best.1;
+                let growth = if then.abs() > 1e-12 {
+                    (now - then) / then.abs()
+                } else {
+                    1.0
+                };
+                if growth < term.plateau_growth {
+                    stopped = StopReason::Plateau;
+                    break;
+                }
+            }
+            // Next generation.
+            let mut sorted = population.clone();
+            sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            let mut next: Vec<(Vec<bool>, f64)> = sorted
+                .iter()
+                .take(self.params.elitism)
+                .cloned()
+                .collect();
+            while next.len() < self.params.population {
+                let p1 = self.tournament_pick(&population).clone();
+                let p2 = self.tournament_pick(&population).clone();
+                let (fitter, other) = if p1.1 >= p2.1 { (&p1, &p2) } else { (&p2, &p1) };
+                let mut child = if self.rng.gen_bool(self.params.crossover_rate) {
+                    self.crossover(&fitter.0, &other.0)
+                } else {
+                    fitter.0.clone()
+                };
+                self.mutate(&mut child);
+                let child = repair(&child, self.rng.gen());
+                let fit = evaluate(
+                    child.clone(),
+                    &mut history,
+                    &mut best,
+                    &mut elapsed,
+                    &mut evals,
+                    &mut fitness,
+                );
+                next.push((child, fit));
+                if evals >= term.max_evaluations
+                    || (term.max_seconds > 0.0 && elapsed >= term.max_seconds)
+                {
+                    population = next;
+                    continue 'outer;
+                }
+            }
+            population = next;
+        }
+
+        GaRun {
+            best_genes: best.0,
+            best_fitness: best.1,
+            evaluations: evals,
+            history,
+            stopped_by: stopped,
+            elapsed_seconds: elapsed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn onemax(genes: &[bool]) -> (f64, f64) {
+        (genes.iter().filter(|&&g| g).count() as f64, 0.01)
+    }
+
+    #[test]
+    fn solves_onemax() {
+        let mut ga = Ga::new(24, GaParams::default(), 1);
+        let run = ga.run(onemax, |g, _| g.to_vec(), &Termination {
+            max_evaluations: 1500,
+            plateau_growth: 0.0,
+            ..Default::default()
+        });
+        assert!(run.best_fitness >= 22.0, "{}", run.best_fitness);
+        assert_eq!(run.evaluations, run.history.len());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let term = Termination {
+            max_evaluations: 300,
+            ..Default::default()
+        };
+        let run1 = Ga::new(16, GaParams::default(), 7).run(onemax, |g, _| g.to_vec(), &term);
+        let run2 = Ga::new(16, GaParams::default(), 7).run(onemax, |g, _| g.to_vec(), &term);
+        assert_eq!(run1.best_genes, run2.best_genes);
+        assert_eq!(run1.evaluations, run2.evaluations);
+    }
+
+    #[test]
+    fn plateau_terminates_early() {
+        // Constant fitness plateaus immediately after the window.
+        let mut ga = Ga::new(12, GaParams::default(), 3);
+        let run = ga.run(|_| (5.0, 0.0), |g, _| g.to_vec(), &Termination {
+            max_evaluations: 5000,
+            plateau_window: 50,
+            min_evaluations: 60,
+            ..Default::default()
+        });
+        assert_eq!(run.stopped_by, StopReason::Plateau);
+        assert!(run.evaluations < 300, "{}", run.evaluations);
+    }
+
+    #[test]
+    fn time_budget_terminates() {
+        let mut ga = Ga::new(12, GaParams::default(), 3);
+        let run = ga.run(
+            |g| (onemax(g).0, 1.0),
+            |g, _| g.to_vec(),
+            &Termination {
+                max_evaluations: 100_000,
+                max_seconds: 40.0,
+                plateau_growth: 0.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(run.stopped_by, StopReason::TimeBudget);
+        assert!(run.elapsed_seconds >= 40.0);
+    }
+
+    #[test]
+    fn repair_is_always_applied() {
+        // Repair forces gene 0 off; no evaluated individual may have it on.
+        let mut ga = Ga::new(8, GaParams::default(), 9);
+        let run = ga.run(
+            onemax,
+            |g, _| {
+                let mut g = g.to_vec();
+                g[0] = false;
+                g
+            },
+            &Termination {
+                max_evaluations: 400,
+                ..Default::default()
+            },
+        );
+        assert!(run.history.iter().all(|r| !r.genes[0]));
+        assert!(run.best_fitness <= 7.0);
+    }
+
+    #[test]
+    fn must_mutate_count_diversifies_clones() {
+        let params = GaParams {
+            crossover_rate: 0.0,
+            mutation_rate: 0.0,
+            must_mutate_count: 3,
+            ..Default::default()
+        };
+        let mut ga = Ga::new(20, params, 11);
+        let run = ga.run(onemax, |g, _| g.to_vec(), &Termination {
+            max_evaluations: 200,
+            plateau_growth: 0.0,
+            ..Default::default()
+        });
+        // Forced mutation keeps producing new individuals even without
+        // crossover/mutation probability.
+        let distinct: std::collections::BTreeSet<Vec<bool>> =
+            run.history.iter().map(|r| r.genes.clone()).collect();
+        assert!(distinct.len() > 50, "{}", distinct.len());
+    }
+}

@@ -1,0 +1,122 @@
+//! LSB-first bit-level I/O used by the compressed stream format.
+
+/// Writes bits LSB-first into a byte vector.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    cur: u32,
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// A fresh writer.
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Append the low `n` bits of `value` (`n` ≤ 24).
+    pub fn put(&mut self, value: u32, n: u32) {
+        debug_assert!(n <= 24);
+        debug_assert!(n == 32 || value < (1u32 << n.max(1)) || n == 0);
+        self.cur |= value << self.nbits;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.bytes.push((self.cur & 0xff) as u8);
+            self.cur >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    /// Flush any partial byte (zero-padded) and return the bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.bytes.push((self.cur & 0xff) as u8);
+        }
+        self.bytes
+    }
+
+    /// Bits written so far (including buffered partial byte).
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8 + self.nbits as usize
+    }
+}
+
+/// Reads bits LSB-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    cur: u32,
+    nbits: u32,
+}
+
+/// Error produced when a read runs past the end of the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfBits;
+
+impl std::fmt::Display for OutOfBits {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("compressed stream truncated")
+    }
+}
+
+impl std::error::Error for OutOfBits {}
+
+impl<'a> BitReader<'a> {
+    /// Read from `bytes`.
+    pub fn new(bytes: &'a [u8]) -> BitReader<'a> {
+        BitReader {
+            bytes,
+            pos: 0,
+            cur: 0,
+            nbits: 0,
+        }
+    }
+
+    /// Read `n` bits (`n` ≤ 24).
+    pub fn get(&mut self, n: u32) -> Result<u32, OutOfBits> {
+        debug_assert!(n <= 24);
+        while self.nbits < n {
+            let b = *self.bytes.get(self.pos).ok_or(OutOfBits)?;
+            self.pos += 1;
+            self.cur |= (b as u32) << self.nbits;
+            self.nbits += 8;
+        }
+        let mask = if n == 0 { 0 } else { (1u32 << n) - 1 };
+        let v = self.cur & mask;
+        self.cur >>= n;
+        self.nbits -= n;
+        Ok(v)
+    }
+
+    /// Read a single bit.
+    pub fn bit(&mut self) -> Result<u32, OutOfBits> {
+        self.get(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_widths() {
+        let mut w = BitWriter::new();
+        let values = [(5u32, 3u32), (0, 1), (1023, 10), (1, 1), (0xabcd & 0x3fff, 14)];
+        for (v, n) in values {
+            w.put(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for (v, n) in values {
+            assert_eq!(r.get(n).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut r = BitReader::new(&[0xff]);
+        assert!(r.get(8).is_ok());
+        assert_eq!(r.get(1), Err(OutOfBits));
+    }
+}

@@ -1,0 +1,273 @@
+//! Canonical Huffman coding with a bounded maximum code length.
+
+use crate::bitio::{BitReader, BitWriter, OutOfBits};
+
+/// Maximum code length in bits.
+pub const MAX_BITS: usize = 15;
+
+/// Compute bounded code lengths for the given symbol frequencies.
+///
+/// Returns one length per symbol (0 = symbol absent). Uses the classic
+/// heap-based Huffman construction; if the tree exceeds [`MAX_BITS`] the
+/// frequencies are damped (`f = f/2 + 1`) and construction retried, which
+/// converges quickly and stays near-optimal.
+pub fn code_lengths(freqs: &[u64]) -> Vec<u8> {
+    let n = freqs.len();
+    let present: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    let mut lens = vec![0u8; n];
+    match present.len() {
+        0 => return lens,
+        1 => {
+            // A single symbol still needs one bit.
+            lens[present[0]] = 1;
+            return lens;
+        }
+        _ => {}
+    }
+    let mut f: Vec<u64> = freqs.to_vec();
+    loop {
+        let lengths = huffman_lengths(&f);
+        let max = lengths.iter().copied().max().unwrap_or(0);
+        if (max as usize) <= MAX_BITS {
+            return lengths;
+        }
+        for x in f.iter_mut() {
+            if *x > 0 {
+                *x = *x / 2 + 1;
+            }
+        }
+    }
+}
+
+fn huffman_lengths(freqs: &[u64]) -> Vec<u8> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    struct Node {
+        freq: u64,
+        // Tie-break on creation order for determinism.
+        order: u32,
+        idx: usize,
+    }
+
+    // Internal tree: nodes[i] = (left, right) for internal, or symbol.
+    enum Tree {
+        Leaf(usize),
+        Internal(usize, usize),
+    }
+
+    let mut heap: BinaryHeap<Reverse<Node>> = BinaryHeap::new();
+    let mut nodes: Vec<Tree> = Vec::new();
+    let mut order = 0u32;
+    for (sym, &f) in freqs.iter().enumerate() {
+        if f > 0 {
+            nodes.push(Tree::Leaf(sym));
+            heap.push(Reverse(Node {
+                freq: f,
+                order,
+                idx: nodes.len() - 1,
+            }));
+            order += 1;
+        }
+    }
+    while heap.len() > 1 {
+        let a = heap.pop().unwrap().0;
+        let b = heap.pop().unwrap().0;
+        nodes.push(Tree::Internal(a.idx, b.idx));
+        heap.push(Reverse(Node {
+            freq: a.freq + b.freq,
+            order,
+            idx: nodes.len() - 1,
+        }));
+        order += 1;
+    }
+    let root = heap.pop().unwrap().0.idx;
+    let mut lens = vec![0u8; freqs.len()];
+    // Iterative depth assignment.
+    let mut stack = vec![(root, 0u8)];
+    while let Some((idx, depth)) = stack.pop() {
+        match nodes[idx] {
+            Tree::Leaf(sym) => lens[sym] = depth.max(1),
+            Tree::Internal(l, r) => {
+                stack.push((l, depth + 1));
+                stack.push((r, depth + 1));
+            }
+        }
+    }
+    lens
+}
+
+/// Canonical encoder table: symbol → (code, length).
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    codes: Vec<(u16, u8)>,
+}
+
+impl Encoder {
+    /// Build from code lengths (as produced by [`code_lengths`]).
+    pub fn from_lengths(lens: &[u8]) -> Encoder {
+        let mut codes = vec![(0u16, 0u8); lens.len()];
+        let max = lens.iter().copied().max().unwrap_or(0) as usize;
+        let mut bl_count = vec![0u16; max + 1];
+        for &l in lens {
+            if l > 0 {
+                bl_count[l as usize] += 1;
+            }
+        }
+        let mut next = vec![0u16; max + 2];
+        let mut code = 0u16;
+        for bits in 1..=max {
+            code = (code + bl_count[bits - 1]) << 1;
+            next[bits] = code;
+        }
+        for (sym, &l) in lens.iter().enumerate() {
+            if l > 0 {
+                codes[sym] = (next[l as usize], l);
+                next[l as usize] += 1;
+            }
+        }
+        Encoder { codes }
+    }
+
+    /// Emit the code for `sym` (bit-reversed, since the stream is LSB-first).
+    pub fn put(&self, w: &mut BitWriter, sym: usize) {
+        let (code, len) = self.codes[sym];
+        debug_assert!(len > 0, "encoding absent symbol {sym}");
+        // Reverse `len` bits so the decoder can read MSB-of-code first.
+        let mut rev = 0u32;
+        for i in 0..len {
+            rev |= (((code >> i) & 1) as u32) << (len - 1 - i);
+        }
+        w.put(rev, len as u32);
+    }
+
+    /// Code length for a symbol (0 if absent).
+    pub fn len_of(&self, sym: usize) -> u8 {
+        self.codes[sym].1
+    }
+}
+
+/// Canonical decoder (simple length-walk decode; adequate for our sizes).
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    // For each length 1..=MAX_BITS: (first_code, first_index, count).
+    by_len: Vec<(u32, u32, u32)>,
+    // Symbols sorted by (length, symbol).
+    symbols: Vec<u16>,
+}
+
+/// Error for malformed Huffman tables/streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BadCode;
+
+impl std::fmt::Display for BadCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("invalid huffman code in stream")
+    }
+}
+
+impl std::error::Error for BadCode {}
+
+impl Decoder {
+    /// Build from code lengths.
+    pub fn from_lengths(lens: &[u8]) -> Decoder {
+        let max = lens.iter().copied().max().unwrap_or(0) as usize;
+        let mut symbols: Vec<u16> = Vec::new();
+        let mut by_len = Vec::with_capacity(max);
+        let mut code = 0u32;
+        for bits in 1..=max {
+            code <<= 1;
+            let first_code = code;
+            let first_index = symbols.len() as u32;
+            for (sym, &l) in lens.iter().enumerate() {
+                if l as usize == bits {
+                    symbols.push(sym as u16);
+                    code += 1;
+                }
+            }
+            by_len.push((first_code, first_index, symbols.len() as u32 - first_index));
+        }
+        Decoder { by_len, symbols }
+    }
+
+    /// Decode one symbol from the reader.
+    ///
+    /// # Errors
+    ///
+    /// [`BadCode`] if the bit pattern matches no code, or the stream ends.
+    pub fn get(&self, r: &mut BitReader<'_>) -> Result<u16, BadCode> {
+        let mut code = 0u32;
+        for (first_code, first_index, count) in &self.by_len {
+            code = (code << 1) | r.bit().map_err(|OutOfBits| BadCode)?;
+            if code < first_code + count {
+                if code >= *first_code {
+                    return Ok(self.symbols[(first_index + (code - first_code)) as usize]);
+                }
+                return Err(BadCode);
+            }
+        }
+        Err(BadCode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(freqs: &[u64], seq: &[usize]) {
+        let lens = code_lengths(freqs);
+        let enc = Encoder::from_lengths(&lens);
+        let dec = Decoder::from_lengths(&lens);
+        let mut w = BitWriter::new();
+        for &s in seq {
+            enc.put(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in seq {
+            assert_eq!(dec.get(&mut r).unwrap() as usize, s);
+        }
+    }
+
+    #[test]
+    fn simple_alphabet() {
+        round_trip(&[10, 1, 1, 5], &[0, 1, 2, 3, 0, 0, 3]);
+    }
+
+    #[test]
+    fn single_symbol_gets_one_bit() {
+        let lens = code_lengths(&[0, 7, 0]);
+        assert_eq!(lens, vec![0, 1, 0]);
+        round_trip(&[0, 7, 0], &[1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_alphabet() {
+        assert_eq!(code_lengths(&[0, 0]), vec![0, 0]);
+    }
+
+    #[test]
+    fn skewed_frequencies_respect_max_bits() {
+        // Fibonacci-ish frequencies force deep trees; damping must cap them.
+        let mut freqs = vec![0u64; 40];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let lens = code_lengths(&freqs);
+        assert!(lens.iter().all(|&l| (l as usize) <= MAX_BITS));
+        assert!(lens.iter().all(|&l| l > 0));
+        let seq: Vec<usize> = (0..40).collect();
+        round_trip(&freqs, &seq);
+    }
+
+    #[test]
+    fn frequent_symbols_get_short_codes() {
+        let lens = code_lengths(&[1000, 1, 1, 1]);
+        assert!(lens[0] < lens[1]);
+    }
+}

@@ -1,0 +1,31 @@
+//! # lzc — lossless compression and Normalized Compression Distance
+//!
+//! BinTuner's fitness function is NCD (paper §4.2): an information-theoretic
+//! approximation of Kolmogorov-complexity distance computed with a real
+//! lossless compressor. The paper uses LZMA; this crate provides a
+//! from-scratch LZ77 + canonical-Huffman compressor with an ~32 MiB match
+//! window (so concatenated code sections can reference each other, which is
+//! what makes NCD work) and the NCD computation on top.
+//!
+//! ## Example
+//!
+//! ```
+//! let original = b"the quick brown fox jumps over the lazy dog".repeat(100);
+//! let packed = lzc::compress(&original);
+//! assert!(packed.len() < original.len());
+//! assert_eq!(lzc::decompress(&packed).unwrap(), original);
+//!
+//! // NCD: 0.0 = identical, ->1.0 = unrelated.
+//! assert!(lzc::ncd(&original, &original) < 0.15);
+//! ```
+
+#![warn(missing_docs)]
+
+mod bitio;
+mod huffman;
+mod lz;
+mod ncd;
+mod proptests;
+
+pub use lz::{compress, compressed_len, decompress, LzError, MAX_MATCH, MIN_MATCH};
+pub use ncd::{ncd, NcdBaseline};

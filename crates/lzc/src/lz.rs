@@ -1,0 +1,383 @@
+//! LZ77 tokenizer and the `lzc` stream format.
+//!
+//! The format is deflate-like (literal/length alphabet + distance alphabet,
+//! both canonical-Huffman coded) but with an effectively unbounded match
+//! window (~32 MiB), because NCD concatenates two whole code sections and
+//! must be able to find cross-section matches — the property LZMA provides
+//! in the paper.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::huffman::{code_lengths, Decoder, Encoder};
+
+/// Minimum match length.
+pub const MIN_MATCH: usize = 4;
+/// Maximum match length.
+pub const MAX_MATCH: usize = 258;
+
+const EOB: usize = 256;
+const HASH_BITS: u32 = 16;
+const MAX_CHAIN: usize = 64;
+
+/// Errors returned by [`decompress`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LzError {
+    /// Stream does not start with the `LZC1` magic.
+    BadMagic,
+    /// Stream ended early or contained an invalid code.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for LzError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LzError::BadMagic => f.write_str("not an lzc stream"),
+            LzError::Corrupt(what) => write!(f, "corrupt lzc stream: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LzError {}
+
+/// Length-code table entry: `(base, extra_bits)`.
+fn length_codes() -> Vec<(usize, u32)> {
+    let mut v = Vec::new();
+    let mut base = 3usize;
+    for _ in 0..8 {
+        v.push((base, 0));
+        base += 1;
+    }
+    for extra in 1..=5u32 {
+        for _ in 0..4 {
+            v.push((base, extra));
+            base += 1 << extra;
+        }
+    }
+    debug_assert_eq!(base, 259);
+    v
+}
+
+/// Distance-code table entry: `(base, extra_bits)`.
+fn dist_codes() -> Vec<(usize, u32)> {
+    let mut v = Vec::new();
+    let mut base = 1usize;
+    for _ in 0..4 {
+        v.push((base, 0));
+        base += 1;
+    }
+    for extra in 1..=23u32 {
+        for _ in 0..2 {
+            v.push((base, extra));
+            base += 1 << extra;
+        }
+    }
+    v
+}
+
+fn code_for(codes: &[(usize, u32)], value: usize) -> usize {
+    // Largest base <= value.
+    match codes.binary_search_by(|(b, _)| b.cmp(&value)) {
+        Ok(i) => i,
+        Err(i) => i - 1,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Token {
+    Literal(u8),
+    Match { len: usize, dist: usize },
+}
+
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+fn tokenize(data: &[u8]) -> Vec<Token> {
+    let n = data.len();
+    let mut tokens = Vec::with_capacity(n / 3);
+    if n < MIN_MATCH {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+    let mut head = vec![u32::MAX; 1 << HASH_BITS];
+    let mut prev = vec![u32::MAX; n];
+    let mut i = 0usize;
+    while i < n {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= n {
+            let h = hash4(data, i);
+            let mut cand = head[h];
+            let mut chain = 0;
+            while cand != u32::MAX && chain < MAX_CHAIN {
+                let c = cand as usize;
+                // Quick reject on first byte beyond current best.
+                if best_len == 0 || data.get(c + best_len) == data.get(i + best_len) {
+                    let max = (n - i).min(MAX_MATCH);
+                    let mut l = 0usize;
+                    while l < max && data[c + l] == data[i + l] {
+                        l += 1;
+                    }
+                    if l >= MIN_MATCH && l > best_len {
+                        best_len = l;
+                        best_dist = i - c;
+                        if l == max {
+                            break;
+                        }
+                    }
+                }
+                cand = prev[c];
+                chain += 1;
+            }
+            // Insert current position into the chain.
+            prev[i] = head[h];
+            head[h] = i as u32;
+        }
+        if best_len >= MIN_MATCH {
+            tokens.push(Token::Match {
+                len: best_len,
+                dist: best_dist,
+            });
+            // Insert skipped positions (sparsely, every position, bounded
+            // work since insertion is O(1)).
+            let end = (i + best_len).min(n.saturating_sub(MIN_MATCH - 1));
+            let mut j = i + 1;
+            while j < end {
+                let h = hash4(data, j);
+                prev[j] = head[h];
+                head[h] = j as u32;
+                j += 1;
+            }
+            i += best_len;
+        } else {
+            tokens.push(Token::Literal(data[i]));
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Compress `data` into an `lzc` stream.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let lcodes = length_codes();
+    let dcodes = dist_codes();
+    let tokens = tokenize(data);
+
+    let mut lit_freq = vec![0u64; 257 + lcodes.len()];
+    let mut dist_freq = vec![0u64; dcodes.len()];
+    lit_freq[EOB] = 1;
+    for t in &tokens {
+        match t {
+            Token::Literal(b) => lit_freq[*b as usize] += 1,
+            Token::Match { len, dist } => {
+                lit_freq[257 + code_for(&lcodes, *len)] += 1;
+                dist_freq[code_for(&dcodes, *dist)] += 1;
+            }
+        }
+    }
+    let lit_lens = code_lengths(&lit_freq);
+    let dist_lens = code_lengths(&dist_freq);
+    let lit_enc = Encoder::from_lengths(&lit_lens);
+    let dist_enc = Encoder::from_lengths(&dist_lens);
+
+    let mut out = Vec::with_capacity(data.len() / 2 + 64);
+    out.extend_from_slice(b"LZC1");
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+
+    let mut w = BitWriter::new();
+    for &l in lit_lens.iter().chain(dist_lens.iter()) {
+        w.put(l as u32, 4);
+    }
+    for t in &tokens {
+        match t {
+            Token::Literal(b) => lit_enc.put(&mut w, *b as usize),
+            Token::Match { len, dist } => {
+                let lc = code_for(&lcodes, *len);
+                lit_enc.put(&mut w, 257 + lc);
+                let (base, extra) = lcodes[lc];
+                w.put((*len - base) as u32, extra);
+                let dc = code_for(&dcodes, *dist);
+                dist_enc.put(&mut w, dc);
+                let (dbase, dextra) = dcodes[dc];
+                w.put((*dist - dbase) as u32, dextra);
+            }
+        }
+    }
+    lit_enc.put(&mut w, EOB);
+    out.extend_from_slice(&w.finish());
+    out
+}
+
+/// Decompress an `lzc` stream produced by [`compress`].
+///
+/// # Errors
+///
+/// Returns [`LzError`] on bad magic, truncation, invalid codes, or
+/// out-of-range match references.
+pub fn decompress(stream: &[u8]) -> Result<Vec<u8>, LzError> {
+    let lcodes = length_codes();
+    let dcodes = dist_codes();
+    if stream.len() < 12 || &stream[..4] != b"LZC1" {
+        return Err(LzError::BadMagic);
+    }
+    let raw_len = u64::from_le_bytes(stream[4..12].try_into().unwrap()) as usize;
+    let mut r = BitReader::new(&stream[12..]);
+    let n_lit = 257 + lcodes.len();
+    let mut lit_lens = vec![0u8; n_lit];
+    let mut dist_lens = vec![0u8; dcodes.len()];
+    for l in lit_lens.iter_mut().chain(dist_lens.iter_mut()) {
+        *l = r.get(4).map_err(|_| LzError::Corrupt("table"))? as u8;
+    }
+    let lit_dec = Decoder::from_lengths(&lit_lens);
+    let dist_dec = Decoder::from_lengths(&dist_lens);
+
+    // Cap the pre-allocation: `raw_len` comes from the (possibly corrupt)
+    // stream and must not drive an unbounded allocation.
+    let mut out = Vec::with_capacity(raw_len.min(1 << 22));
+    loop {
+        let sym = lit_dec
+            .get(&mut r)
+            .map_err(|_| LzError::Corrupt("literal"))? as usize;
+        if sym < 256 {
+            out.push(sym as u8);
+        } else if sym == EOB {
+            break;
+        } else {
+            let (base, extra) = lcodes
+                .get(sym - 257)
+                .copied()
+                .ok_or(LzError::Corrupt("length code"))?;
+            let len = base + r.get(extra).map_err(|_| LzError::Corrupt("length"))? as usize;
+            let dc = dist_dec
+                .get(&mut r)
+                .map_err(|_| LzError::Corrupt("distance"))? as usize;
+            let (dbase, dextra) = dcodes
+                .get(dc)
+                .copied()
+                .ok_or(LzError::Corrupt("distance code"))?;
+            let dist = dbase + r.get(dextra).map_err(|_| LzError::Corrupt("distance"))? as usize;
+            if dist == 0 || dist > out.len() {
+                return Err(LzError::Corrupt("match out of range"));
+            }
+            let start = out.len() - dist;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        }
+        if out.len() > raw_len {
+            return Err(LzError::Corrupt("output longer than declared"));
+        }
+    }
+    if out.len() != raw_len {
+        return Err(LzError::Corrupt("output shorter than declared"));
+    }
+    Ok(out)
+}
+
+/// Length in bytes of the compressed form of `data`.
+///
+/// This is `C(x)` in the paper's NCD formula (Equation 1).
+pub fn compressed_len(data: &[u8]) -> usize {
+    compress(data).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let c = compress(data);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"ab");
+        round_trip(b"abc");
+    }
+
+    #[test]
+    fn repetitive_data_compresses_well() {
+        let data: Vec<u8> = b"boilerplate-".iter().copied().cycle().take(40_000).collect();
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 20, "{} vs {}", c.len(), data.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_data_survives() {
+        // A simple xorshift stream — no long repeats.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..50_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x & 0xff) as u8
+            })
+            .collect();
+        round_trip(&data);
+        let c = compress(&data);
+        // Overhead must stay modest.
+        assert!(c.len() < data.len() + data.len() / 8 + 512);
+    }
+
+    #[test]
+    fn long_range_matches_are_found() {
+        // Two identical 100 KiB halves of incompressible data: the second
+        // half should compress to almost nothing thanks to the wide window.
+        let mut x = 0xdeadbeefu32;
+        let half: Vec<u8> = (0..100_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x >> 8) as u8
+            })
+            .collect();
+        let mut data = half.clone();
+        data.extend_from_slice(&half);
+        let c_half = compressed_len(&half);
+        let c_full = compressed_len(&data);
+        assert!(
+            c_full < c_half + c_half / 4,
+            "no long-range match: {c_full} vs {c_half}"
+        );
+        round_trip(&data);
+    }
+
+    #[test]
+    fn max_length_matches() {
+        let data = vec![0xAAu8; 10_000];
+        round_trip(&data);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(decompress(b"nope"), Err(LzError::BadMagic));
+        let mut c = compress(b"hello world hello world hello world");
+        c.truncate(c.len() - 1);
+        assert!(matches!(decompress(&c), Err(LzError::Corrupt(_))));
+    }
+
+    #[test]
+    fn code_tables_are_monotone() {
+        for table in [length_codes(), dist_codes()] {
+            for w in table.windows(2) {
+                assert!(w[0].0 < w[1].0);
+            }
+        }
+        let lc = length_codes();
+        assert_eq!(lc[0].0, 3);
+        assert!(lc.last().unwrap().0 <= MAX_MATCH + 1);
+        // Every length in 3..=258 maps to a code whose range contains it.
+        for len in 3..=MAX_MATCH {
+            let c = code_for(&lc, len);
+            let (base, extra) = lc[c];
+            assert!(base <= len && len < base + (1 << extra).max(1));
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Property-based tests for the compressor and NCD.
+
+#![cfg(test)]
+
+use crate::{compress, decompress, ncd};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lossless round trip on arbitrary bytes.
+    #[test]
+    fn prop_round_trip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    /// Round trip on highly repetitive inputs (worst case for match logic).
+    #[test]
+    fn prop_round_trip_repetitive(byte in any::<u8>(), n in 0usize..8192, stride in 1usize..17) {
+        let data: Vec<u8> = (0..n).map(|i| byte.wrapping_add((i % stride) as u8)).collect();
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    /// NCD stays within its theoretical-ish bounds and is ~0 on identity.
+    #[test]
+    fn prop_ncd_bounds(a in proptest::collection::vec(any::<u8>(), 1..2048),
+                       b in proptest::collection::vec(any::<u8>(), 1..2048)) {
+        let d = ncd(&a, &b);
+        prop_assert!((0.0..=1.25).contains(&d), "ncd out of range: {}", d);
+        prop_assert!(ncd(&a, &a) <= 0.3);
+    }
+
+    /// Truncating a stream never panics — it errors.
+    #[test]
+    fn prop_truncation_errors_not_panics(data in proptest::collection::vec(any::<u8>(), 16..512),
+                                         cut in 1usize..12) {
+        let mut c = compress(&data);
+        let new_len = c.len().saturating_sub(cut);
+        c.truncate(new_len);
+        let _ = decompress(&c); // must not panic
+    }
+
+    /// Flipping a byte never panics.
+    #[test]
+    fn prop_corruption_errors_not_panics(data in proptest::collection::vec(any::<u8>(), 16..512),
+                                         pos in any::<usize>(), flip in 1u8..255) {
+        let mut c = compress(&data);
+        let idx = pos % c.len();
+        c[idx] ^= flip;
+        if let Ok(out) = decompress(&c) {
+            // If it still decodes (flip in padding bits), length must match.
+            prop_assert_eq!(out.len(), data.len());
+        }
+    }
+}

@@ -1,0 +1,619 @@
+//! # minicc — a miniature optimizing compiler for the BinTuner study
+//!
+//! This crate is the stand-in for GCC 10.2 and LLVM 11.0: a compiler for a
+//! small C-like language ([`ast`]) targeting the `binrep` mini-ISA, with
+//! two *compiler profiles* exposing >100 named optimization flags each
+//! ([`flags`]), genuinely implemented optimization passes at the AST level
+//! ([`astopt`]), lowering strategies ([`codegen`]) and machine level
+//! ([`mir_opt`]), and documented flag constraints checked by the `satz`
+//! solver — everything BinTuner's iterative compilation needs to explore.
+//!
+//! ## Example
+//!
+//! ```
+//! use minicc::{Compiler, CompilerKind, OptLevel};
+//! use minicc::ast::{BinOp, Expr, FuncDef, LValue, Module, Stmt};
+//!
+//! let mut m = Module::new("demo");
+//! m.funcs.push(FuncDef::new(
+//!     "main",
+//!     vec![],
+//!     vec![Stmt::Return(Expr::bin(BinOp::Mul, Expr::Const(6), Expr::Const(7)))],
+//! ));
+//! m.validate().unwrap();
+//!
+//! let cc = Compiler::new(CompilerKind::Gcc);
+//! let o0 = cc.compile_preset(&m, OptLevel::O0, binrep::Arch::X86).unwrap();
+//! let o3 = cc.compile_preset(&m, OptLevel::O3, binrep::Arch::X86).unwrap();
+//! assert_ne!(binrep::encode_binary(&o0), binrep::encode_binary(&o3));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod astopt;
+pub mod codegen;
+pub mod flags;
+pub mod magic;
+pub mod mir_opt;
+
+pub use flags::{CompilerKind, CompilerProfile, Effect, EffectConfig, FlagDef, OptLevel};
+
+use ast::Module;
+use binrep::{Arch, Binary};
+
+/// Errors from [`Compiler::compile`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The flag vector violates documented flag constraints — the
+    /// "compilation error" case BinTuner's constraint verification exists
+    /// to prevent (paper §4.1).
+    InvalidFlags(Vec<satz::Violation>),
+    /// The module failed validation.
+    BadModule(String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::InvalidFlags(v) => {
+                write!(f, "conflicting optimization flags ({} violations)", v.len())
+            }
+            CompileError::BadModule(e) => write!(f, "invalid module: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A compiler instance for one profile (GCC or LLVM model).
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    profile: CompilerProfile,
+}
+
+impl Compiler {
+    /// Build a compiler for the given family.
+    pub fn new(kind: CompilerKind) -> Compiler {
+        Compiler {
+            profile: CompilerProfile::new(kind),
+        }
+    }
+
+    /// The flag profile (vocabulary, presets, constraints).
+    pub fn profile(&self) -> &CompilerProfile {
+        &self.profile
+    }
+
+    /// Compile a module under an explicit flag vector.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::InvalidFlags`] when the flag vector violates the
+    /// profile's constraints; [`CompileError::BadModule`] when the module
+    /// is structurally invalid.
+    pub fn compile(&self, m: &Module, flags: &[bool], arch: Arch) -> Result<Binary, CompileError> {
+        let violations = self.profile.constraints().check(flags);
+        if !violations.is_empty() {
+            return Err(CompileError::InvalidFlags(violations));
+        }
+        m.validate().map_err(CompileError::BadModule)?;
+        let eff = EffectConfig::from_flags(&self.profile, flags);
+        let optimized = astopt::optimize(m, &eff);
+        let mut bin = codegen::lower_module(&optimized, &eff, arch);
+        mir_opt::optimize(&mut bin, &eff);
+        debug_assert_eq!(bin.validate(), Ok(()));
+        Ok(bin)
+    }
+
+    /// Compile with a default `-Ox` preset.
+    ///
+    /// # Errors
+    ///
+    /// See [`Compiler::compile`].
+    pub fn compile_preset(
+        &self,
+        m: &Module,
+        level: OptLevel,
+        arch: Arch,
+    ) -> Result<Binary, CompileError> {
+        self.compile(m, &self.profile.preset(level), arch)
+    }
+
+    /// Model of one compilation's wall-clock cost in seconds, used to
+    /// report Table 1's "hours" column at paper scale. Proportional to
+    /// module size with a per-enabled-flag pass cost — large programs with
+    /// heavy flag sets (the paper's 623.xalancbmk_s case) dominate.
+    pub fn simulated_compile_seconds(&self, m: &Module, flags: &[bool]) -> f64 {
+        let enabled = flags.iter().filter(|&&b| b).count();
+        let size = m.size() as f64;
+        0.05 + size * (6.0e-4 + 2.0e-5 * enabled as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ast::{BinOp, Expr, FuncDef, Global, LValue, Stmt};
+    use emu::Machine;
+
+    /// A module exercising every optimization surface: loops (counted,
+    /// while, nested, vectorizable, reduction), dense & sparse switches,
+    /// early-exit and small helpers, division by constants, strings,
+    /// recursion, and branch-free-convertible ifs.
+    fn kitchen_sink() -> Module {
+        let mut m = Module::new("kitchen_sink");
+        m.globals.push(Global {
+            name: "gv".into(),
+            words: vec![11],
+        });
+        m.globals.push(Global {
+            name: "table".into(),
+            words: (0..16).map(|i| i * 3 + 1).collect(),
+        });
+
+        // Small single-exit helper (inline candidate).
+        m.funcs.push(FuncDef::new(
+            "mix",
+            vec!["a".into(), "b".into()],
+            vec![Stmt::Return(Expr::bin(
+                BinOp::Xor,
+                Expr::bin(BinOp::Mul, Expr::Var("a".into()), Expr::Const(2654435761)),
+                Expr::vc(BinOp::Shr, "b", 13),
+            ))],
+        ));
+
+        // Early-exit function (partial-inline candidate).
+        m.funcs.push(FuncDef::new(
+            "clamp100",
+            vec!["x".into()],
+            vec![
+                Stmt::If {
+                    cond: Expr::vc(BinOp::Gt, "x", 100),
+                    then_body: vec![Stmt::Return(Expr::Const(100))],
+                    else_body: vec![],
+                },
+                Stmt::Return(Expr::bin(
+                    BinOp::Add,
+                    Expr::Var("x".into()),
+                    Expr::Global("gv".into()),
+                )),
+            ],
+        ));
+
+        // Recursive function (must never be inlined).
+        m.funcs.push(FuncDef::new(
+            "fib",
+            vec!["n".into()],
+            {
+                let mut f = vec![
+                    Stmt::If {
+                        cond: Expr::vc(BinOp::Lt, "n", 2),
+                        then_body: vec![Stmt::Return(Expr::Var("n".into()))],
+                        else_body: vec![],
+                    },
+                    Stmt::Assign(
+                        LValue::Var("a".into()),
+                        Expr::Call("fib".into(), vec![Expr::vc(BinOp::Sub, "n", 1)]),
+                    ),
+                    Stmt::Assign(
+                        LValue::Var("b".into()),
+                        Expr::Call("fib".into(), vec![Expr::vc(BinOp::Sub, "n", 2)]),
+                    ),
+                    Stmt::Return(Expr::bin(
+                        BinOp::Add,
+                        Expr::Var("a".into()),
+                        Expr::Var("b".into()),
+                    )),
+                ];
+                f.rotate_left(0);
+                f
+            },
+        ));
+        m.funcs.last_mut().unwrap().local("a");
+        m.funcs.last_mut().unwrap().local("b");
+
+        // Vector workload: c[i] = a[i]*b[i]; s = Σ c[i]; plus division.
+        let mut vecf = FuncDef::new("dotish", vec!["n".into()], vec![]);
+        vecf.local_array("a", 16)
+            .local_array("b", 16)
+            .local_array("c", 16)
+            .local("i")
+            .local("s");
+        vecf.body = vec![
+            Stmt::For {
+                var: "i".into(),
+                start: Expr::Const(0),
+                end: Expr::Var("n".into()),
+                step: 1,
+                body: vec![
+                    Stmt::Assign(
+                        LValue::Index("a".into(), Expr::Var("i".into())),
+                        Expr::bin(BinOp::Add, Expr::Var("i".into()), Expr::Const(3)),
+                    ),
+                    Stmt::Assign(
+                        LValue::Index("b".into(), Expr::Var("i".into())),
+                        Expr::bin(BinOp::Mul, Expr::Var("i".into()), Expr::Const(5)),
+                    ),
+                ],
+            },
+            Stmt::For {
+                var: "i".into(),
+                start: Expr::Const(0),
+                end: Expr::Var("n".into()),
+                step: 1,
+                body: vec![Stmt::Assign(
+                    LValue::Index("c".into(), Expr::Var("i".into())),
+                    Expr::bin(
+                        BinOp::Mul,
+                        Expr::Index("a".into(), Box::new(Expr::Var("i".into()))),
+                        Expr::Index("b".into(), Box::new(Expr::Var("i".into()))),
+                    ),
+                )],
+            },
+            Stmt::Assign(LValue::Var("s".into()), Expr::Const(0)),
+            Stmt::For {
+                var: "i".into(),
+                start: Expr::Const(0),
+                end: Expr::Var("n".into()),
+                step: 1,
+                body: vec![Stmt::Assign(
+                    LValue::Var("s".into()),
+                    Expr::bin(
+                        BinOp::Add,
+                        Expr::Var("s".into()),
+                        Expr::Index("c".into(), Box::new(Expr::Var("i".into()))),
+                    ),
+                )],
+            },
+            Stmt::Return(Expr::bin(
+                BinOp::Add,
+                Expr::vc(BinOp::Div, "s", 255),
+                Expr::vc(BinOp::Rem, "s", 16),
+            )),
+        ];
+        m.funcs.push(vecf);
+
+        // Switch-heavy function: one dense, one sparse.
+        let mut sw = FuncDef::new("dispatch", vec!["op".into()], vec![]);
+        sw.local("r");
+        sw.body = vec![
+            Stmt::Switch {
+                scrutinee: Expr::Var("op".into()),
+                cases: (0..6)
+                    .map(|k| {
+                        (
+                            k,
+                            vec![Stmt::Assign(
+                                LValue::Var("r".into()),
+                                Expr::Const(k * 7 + 1),
+                            )],
+                        )
+                    })
+                    .collect(),
+                default: vec![Stmt::Assign(LValue::Var("r".into()), Expr::Const(999))],
+            },
+            Stmt::Switch {
+                scrutinee: Expr::Var("op".into()),
+                cases: vec![
+                    (2, vec![Stmt::Assign(LValue::Var("r".into()), Expr::vc(BinOp::Add, "r", 10))]),
+                    (40, vec![Stmt::Assign(LValue::Var("r".into()), Expr::vc(BinOp::Add, "r", 20))]),
+                    (1000, vec![Stmt::Assign(LValue::Var("r".into()), Expr::vc(BinOp::Add, "r", 30))]),
+                    (77777, vec![Stmt::Assign(LValue::Var("r".into()), Expr::vc(BinOp::Add, "r", 40))]),
+                    (5, vec![Stmt::Assign(LValue::Var("r".into()), Expr::vc(BinOp::Add, "r", 50))]),
+                ],
+                default: vec![],
+            },
+            Stmt::Return(Expr::Var("r".into())),
+        ];
+        m.funcs.push(sw);
+
+        // Trampoline in tail-call shape; `dispatch` is too big to inline,
+        // so `-foptimize-sibling-calls` turns this into a tail jump.
+        m.funcs.push(FuncDef::new(
+            "route",
+            vec!["x".into()],
+            vec![Stmt::Return(Expr::Call(
+                "dispatch".into(),
+                vec![Expr::Var("x".into())],
+            ))],
+        ));
+
+        // Counted loop + branch-free if + unswitchable loop + strings.
+        let mut mainf = FuncDef::new("main", vec!["seed".into(), "mode".into()], vec![]);
+        mainf
+            .local("acc")
+            .local("i")
+            .local("t")
+            .local("flag")
+            .local_array("buf", 8);
+        mainf.body = vec![
+            Stmt::Assign(LValue::Var("acc".into()), Expr::Var("seed".into())),
+            // Counted loop with var-free body (loop-insn candidate).
+            Stmt::For {
+                var: "i".into(),
+                start: Expr::Const(0),
+                end: Expr::Const(9),
+                step: 1,
+                body: vec![Stmt::Assign(
+                    LValue::Var("acc".into()),
+                    Expr::bin(
+                        BinOp::Add,
+                        Expr::bin(BinOp::Mul, Expr::Var("acc".into()), Expr::Const(33)),
+                        Expr::Const(17),
+                    ),
+                )],
+            },
+            // Branch-free candidate: if (acc >= 1000) t = 1 else t = 0.
+            Stmt::If {
+                cond: Expr::vc(BinOp::Ge, "acc", 1000),
+                then_body: vec![Stmt::Assign(LValue::Var("t".into()), Expr::Const(1))],
+                else_body: vec![Stmt::Assign(LValue::Var("t".into()), Expr::Const(0))],
+            },
+            // cmov candidate.
+            Stmt::If {
+                cond: Expr::vc(BinOp::Lt, "acc", 500),
+                then_body: vec![Stmt::Assign(
+                    LValue::Var("flag".into()),
+                    Expr::vc(BinOp::Add, "acc", 7),
+                )],
+                else_body: vec![Stmt::Assign(
+                    LValue::Var("flag".into()),
+                    Expr::vc(BinOp::Shr, "acc", 3),
+                )],
+            },
+            // Unswitch candidate: invariant `mode` condition inside a loop.
+            Stmt::For {
+                var: "i".into(),
+                start: Expr::Const(0),
+                end: Expr::Const(12),
+                step: 1,
+                body: vec![Stmt::If {
+                    cond: Expr::vc(BinOp::Eq, "mode", 1),
+                    then_body: vec![Stmt::Assign(
+                        LValue::Var("acc".into()),
+                        Expr::bin(
+                            BinOp::Add,
+                            Expr::Var("acc".into()),
+                            Expr::Index("table".into(), Box::new(Expr::Var("i".into()))),
+                        ),
+                    )],
+                    else_body: vec![Stmt::Assign(
+                        LValue::Var("acc".into()),
+                        Expr::bin(BinOp::Xor, Expr::Var("acc".into()), Expr::Var("i".into())),
+                    )],
+                }],
+            },
+            // Builtin expansion: strcpy of a literal into a local buffer.
+            Stmt::ExprStmt(Expr::CallImport(
+                "strcpy".into(),
+                vec![Expr::AddrOf("buf".into()), Expr::Str("Hello World!".into())],
+            )),
+            Stmt::Assign(
+                LValue::Var("t".into()),
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::Var("t".into()),
+                    Expr::Index("buf".into(), Box::new(Expr::Const(1))),
+                ),
+            ),
+            // Calls into every helper.
+            Stmt::Assign(
+                LValue::Var("acc".into()),
+                Expr::Call(
+                    "mix".into(),
+                    vec![Expr::Var("acc".into()), Expr::Var("t".into())],
+                ),
+            ),
+            Stmt::Assign(
+                LValue::Var("t".into()),
+                Expr::Call("clamp100".into(), vec![Expr::vc(BinOp::Rem, "acc", 300)]),
+            ),
+            Stmt::Assign(
+                LValue::Var("i".into()),
+                Expr::Call("fib".into(), vec![Expr::Const(10)]),
+            ),
+            Stmt::Assign(
+                LValue::Var("flag".into()),
+                Expr::Call("dotish".into(), vec![Expr::Const(13)]),
+            ),
+            Stmt::Assign(
+                LValue::Var("mode".into()),
+                Expr::Call("route".into(), vec![Expr::vc(BinOp::Rem, "acc", 8)]),
+            ),
+            // Tail-call shape: return mix(..) as the last statement.
+            Stmt::Return(Expr::Call(
+                "mix".into(),
+                vec![
+                    Expr::bin(
+                        BinOp::Add,
+                        Expr::bin(
+                            BinOp::Add,
+                            Expr::Var("t".into()),
+                            Expr::bin(
+                                BinOp::Add,
+                                Expr::Var("i".into()),
+                                Expr::Var("flag".into()),
+                            ),
+                        ),
+                        Expr::Var("mode".into()),
+                    ),
+                    Expr::Var("acc".into()),
+                ],
+            )),
+        ];
+        m.funcs.push(mainf);
+        m.validate().unwrap();
+        m
+    }
+
+    fn observe(bin: &Binary, args: &[u32]) -> (u32, Vec<u32>) {
+        let r = Machine::new(bin)
+            .run(args, &[5, 9, 1], 3_000_000)
+            .unwrap_or_else(|e| panic!("{}: {e}", bin.name));
+        (r.ret, r.output)
+    }
+
+    #[test]
+    fn presets_preserve_semantics_gcc() {
+        let m = kitchen_sink();
+        let cc = Compiler::new(CompilerKind::Gcc);
+        let base = cc.compile_preset(&m, OptLevel::O0, Arch::X86).unwrap();
+        let want: Vec<(u32, Vec<u32>)> = [[3u32, 1], [1234, 0], [0, 1], [99999, 2]]
+            .iter()
+            .map(|a| observe(&base, a))
+            .collect();
+        for level in OptLevel::ALL {
+            let bin = cc.compile_preset(&m, level, Arch::X86).unwrap();
+            bin.validate().unwrap();
+            for (args, expect) in [[3u32, 1], [1234, 0], [0, 1], [99999, 2]].iter().zip(&want) {
+                assert_eq!(&observe(&bin, args), expect, "{level} args {args:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn presets_preserve_semantics_llvm_all_arches() {
+        let m = kitchen_sink();
+        let cc = Compiler::new(CompilerKind::Llvm);
+        for arch in Arch::ALL {
+            let base = cc.compile_preset(&m, OptLevel::O0, arch).unwrap();
+            let want = observe(&base, &[42, 1]);
+            for level in [OptLevel::O2, OptLevel::O3, OptLevel::Os] {
+                let bin = cc.compile_preset(&m, level, arch).unwrap();
+                assert_eq!(observe(&bin, &[42, 1]), want, "{level} {arch}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_valid_flag_vectors_preserve_semantics() {
+        use rand::prelude::*;
+        let m = kitchen_sink();
+        for kind in [CompilerKind::Gcc, CompilerKind::Llvm] {
+            let cc = Compiler::new(kind);
+            let n = cc.profile().n_flags();
+            let mut rng = StdRng::seed_from_u64(0xb1a5);
+            let base = cc.compile_preset(&m, OptLevel::O0, Arch::X86).unwrap();
+            let want = observe(&base, &[7, 1]);
+            for trial in 0..24 {
+                let raw: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+                let flags = cc.profile().constraints().repair(&raw, trial as u64);
+                let bin = cc.compile(&m, &flags, Arch::X86).unwrap();
+                assert_eq!(observe(&bin, &[7, 1]), want, "{kind} trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_flags_are_rejected() {
+        let m = kitchen_sink();
+        let cc = Compiler::new(CompilerKind::Gcc);
+        let mut flags = vec![false; cc.profile().n_flags()];
+        // -fpartial-inlining without -finline-functions.
+        flags[cc.profile().flag_index("-fpartial-inlining").unwrap()] = true;
+        match cc.compile(&m, &flags, Arch::X86) {
+            Err(CompileError::InvalidFlags(v)) => assert_eq!(v.len(), 1),
+            other => panic!("expected InvalidFlags, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optimization_changes_code_structure() {
+        let m = kitchen_sink();
+        let cc = Compiler::new(CompilerKind::Gcc);
+        let o0 = cc.compile_preset(&m, OptLevel::O0, Arch::X86).unwrap();
+        let o3 = cc.compile_preset(&m, OptLevel::O3, Arch::X86).unwrap();
+        // O3 must look substantially different: fewer or equal functions
+        // post-inlining is not modelled (all kept), but instruction count,
+        // block structure and bytes must shift.
+        assert_ne!(o0.insn_count(), o3.insn_count());
+        let c0 = binrep::encode_binary(&o0);
+        let c3 = binrep::encode_binary(&o3);
+        assert_ne!(c0, c3);
+        // The NCD fitness signal: O3 is further from O0 than O1 is (§4.2).
+        let o1 = cc.compile_preset(&m, OptLevel::O1, Arch::X86).unwrap();
+        let c1 = binrep::encode_binary(&o1);
+        let d01 = lzc::ncd(&c0, &c1);
+        let d03 = lzc::ncd(&c0, &c3);
+        assert!(d03 > d01, "ncd(O0,O1)={d01} ncd(O0,O3)={d03}");
+    }
+
+    #[test]
+    fn jump_tables_flag_produces_tables() {
+        let m = kitchen_sink();
+        let cc = Compiler::new(CompilerKind::Gcc);
+        let with = cc.compile_preset(&m, OptLevel::O2, Arch::X86).unwrap();
+        let has_table = |b: &Binary| {
+            b.functions.iter().any(|f| {
+                f.cfg
+                    .blocks
+                    .iter()
+                    .any(|b| matches!(b.term, binrep::Terminator::JumpTable { .. }))
+            })
+        };
+        assert!(has_table(&with));
+        let without = cc.compile_preset(&m, OptLevel::O0, Arch::X86).unwrap();
+        assert!(!has_table(&without));
+    }
+
+    #[test]
+    fn vectorize_flag_produces_vector_ops() {
+        let m = kitchen_sink();
+        let cc = Compiler::new(CompilerKind::Gcc);
+        let o3 = cc.compile_preset(&m, OptLevel::O3, Arch::X86).unwrap();
+        let hist = binrep::opcode_histogram(&o3);
+        assert!(hist.contains_key("paddd") || hist.contains_key("pmulld"), "{hist:?}");
+        let o1 = cc.compile_preset(&m, OptLevel::O1, Arch::X86).unwrap();
+        let hist1 = binrep::opcode_histogram(&o1);
+        assert!(!hist1.contains_key("pmulld"));
+    }
+
+    #[test]
+    fn tail_call_flag_hides_call_edges() {
+        let m = kitchen_sink();
+        let cc = Compiler::new(CompilerKind::Gcc);
+        let o2 = cc.compile_preset(&m, OptLevel::O2, Arch::X86).unwrap();
+        let tail_calls = o2
+            .functions
+            .iter()
+            .flat_map(|f| f.cfg.blocks.iter())
+            .filter(|b| matches!(b.term, binrep::Terminator::TailCall(_)))
+            .count();
+        assert!(tail_calls > 0, "expected tail calls at O2");
+        // The static call graph at O2 misses edges O0 sees.
+        let o0 = cc.compile_preset(&m, OptLevel::O0, Arch::X86).unwrap();
+        let edges = |b: &Binary| -> usize { b.call_graph().values().map(Vec::len).sum() };
+        assert!(edges(&o2) < edges(&o0));
+    }
+
+    #[test]
+    fn presets_differ_pairwise_in_bytes() {
+        let m = kitchen_sink();
+        for kind in [CompilerKind::Gcc, CompilerKind::Llvm] {
+            let cc = Compiler::new(kind);
+            let encoded: Vec<Vec<u8>> = OptLevel::ALL
+                .iter()
+                .map(|&l| binrep::encode_binary(&cc.compile_preset(&m, l, Arch::X86).unwrap()))
+                .collect();
+            for i in 0..encoded.len() {
+                for j in i + 1..encoded.len() {
+                    assert_ne!(
+                        encoded[i], encoded[j],
+                        "{kind}: {} == {}",
+                        OptLevel::ALL[i], OptLevel::ALL[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compile_time_model_scales() {
+        let m = kitchen_sink();
+        let cc = Compiler::new(CompilerKind::Gcc);
+        let o0 = cc.simulated_compile_seconds(&m, &cc.profile().preset(OptLevel::O0));
+        let o3 = cc.simulated_compile_seconds(&m, &cc.profile().preset(OptLevel::O3));
+        assert!(o3 > o0);
+    }
+}

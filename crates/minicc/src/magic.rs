@@ -1,0 +1,174 @@
+//! Granlund–Montgomery magic numbers for unsigned division by a constant
+//! (PLDI '94, and Figure 3(a) of the paper: strength reduction rewrites
+//! `x / c` into multiplication).
+//!
+//! The emitted sequence must be *exactly* equivalent — BinTuner's outputs
+//! have to pass the program's test suite — so this is the real algorithm
+//! (Hacker's Delight §10-8 `magicu`), not the paper's illustrative
+//! approximation.
+
+/// Magic constants for dividing a `u32` by `d`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MagicU32 {
+    /// Multiplier.
+    pub m: u32,
+    /// Whether the "add" correction sequence is needed.
+    pub add: bool,
+    /// Post-shift amount.
+    pub shift: u32,
+}
+
+/// Compute magic constants for division by `d`.
+///
+/// # Panics
+///
+/// Panics if `d < 2` (division by 0 and 1 need no magic).
+pub fn magic_u32(d: u32) -> MagicU32 {
+    assert!(d >= 2, "magic numbers need d >= 2");
+    let d = d as u64;
+    let mut add = false;
+    // nc = largest value such that nc % d == d - 1 (HD 10-8).
+    let two32 = 1u64 << 32;
+    let nc = two32 - 1 - (two32 - d) % d;
+    let two31 = 1u64 << 31;
+    let mut p: u32 = 31;
+    let mut q1 = two31 / nc;
+    let mut r1 = two31 - q1 * nc;
+    let mut q2 = (two31 - 1) / d;
+    let mut r2 = (two31 - 1) - q2 * d;
+    loop {
+        p += 1;
+        if r1 >= nc - r1 {
+            q1 = 2 * q1 + 1;
+            r1 = 2 * r1 - nc;
+        } else {
+            q1 *= 2;
+            r1 *= 2;
+        }
+        if r2 + 1 >= d - r2 {
+            if q2 >= two31 - 1 {
+                add = true;
+            }
+            q2 = 2 * q2 + 1;
+            r2 = 2 * r2 + 1 - d;
+        } else {
+            if q2 >= two31 {
+                add = true;
+            }
+            q2 *= 2;
+            r2 = 2 * r2 + 1;
+        }
+        let delta = d - 1 - r2;
+        if !(p < 64 && (q1 < delta || (q1 == delta && r1 == 0))) {
+            break;
+        }
+    }
+    MagicU32 {
+        m: (q2 + 1) as u32,
+        add,
+        shift: p - 32,
+    }
+}
+
+/// Reference implementation of the emitted instruction sequence, used by
+/// tests and by the peephole pass's own self-check.
+pub fn divide_via_magic(n: u32, magic: MagicU32) -> u32 {
+    let hi = (((n as u64) * (magic.m as u64)) >> 32) as u32;
+    if magic.add {
+        // q = (hi + ((n - hi) >> 1)) >> (shift - 1)
+        let t = (n.wrapping_sub(hi) >> 1).wrapping_add(hi);
+        t >> (magic.shift - 1)
+    } else {
+        hi >> magic.shift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(d: u32) {
+        let m = magic_u32(d);
+        let samples = [
+            0u32,
+            1,
+            2,
+            d - 1,
+            d,
+            d.wrapping_add(1),
+            d.wrapping_mul(2),
+            0x7fff_ffff,
+            0x8000_0000,
+            0xffff_fffe,
+            0xffff_ffff,
+            12345,
+            0x1234_5678,
+            255,
+            256,
+            65535,
+            65536,
+        ];
+        for &n in &samples {
+            assert_eq!(divide_via_magic(n, m), n / d, "n={n} d={d} magic={m:?}");
+        }
+        // A deterministic pseudo-random sweep.
+        let mut x = 0x243f6a88u32 ^ d;
+        for _ in 0..4000 {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            assert_eq!(divide_via_magic(x, m), x / d, "n={x} d={d} magic={m:?}");
+        }
+    }
+
+    #[test]
+    fn paper_example_255() {
+        // Figure 3(a): x/255. (The paper shows an approximation; the real
+        // magic constant differs but is exact.)
+        check(255);
+        let m = magic_u32(255);
+        assert!(!m.add || m.shift >= 1);
+    }
+
+    #[test]
+    fn small_divisors() {
+        for d in 2..=100 {
+            check(d);
+        }
+    }
+
+    #[test]
+    fn known_hard_divisors() {
+        // Divisors known to require the add-correction path.
+        for d in [7, 14, 19, 31, 37, 641, 6_700_417, 0xffff_fffb] {
+            check(d);
+        }
+    }
+
+    #[test]
+    fn powers_of_two_still_work() {
+        // The peephole pass prefers shifts for these, but magic must be
+        // correct anyway.
+        for k in 1..31 {
+            check(1u32 << k);
+        }
+    }
+
+    #[test]
+    fn random_divisors() {
+        let mut x = 0xb5297a4du32;
+        for _ in 0..200 {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            let d = (x % 0xffff_fff0).max(2);
+            check(d);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "d >= 2")]
+    fn rejects_trivial_divisors() {
+        magic_u32(1);
+    }
+}

@@ -1,0 +1,567 @@
+//! Machine-level (post-codegen) optimization passes.
+//!
+//! These operate on the lowered [`Binary`]: peephole substitution
+//! (including exact division-by-constant magic), tail-call conversion,
+//! block merging (jump threading), basic-block and function layout
+//! reordering, and alignment padding. Reordering passes change encoded
+//! bytes without touching semantics — the paper's `-freorder-blocks` /
+//! `-freorder-functions` effects.
+
+use crate::flags::EffectConfig;
+use crate::magic::magic_u32;
+use binrep::{
+    Binary, BlockId, Cond, Function, Gpr, Insn, Opcode, Operand, Terminator,
+};
+use std::collections::BTreeMap;
+
+/// Run all enabled machine-level passes on the binary, in pipeline order.
+pub fn optimize(bin: &mut Binary, eff: &EffectConfig) {
+    if eff.tail_calls {
+        for f in &mut bin.functions {
+            tail_calls(f);
+        }
+    }
+    if eff.merge_blocks {
+        for f in &mut bin.functions {
+            merge_blocks(f);
+        }
+    }
+    if eff.peephole || eff.strength_reduce {
+        for f in &mut bin.functions {
+            peephole(f, eff);
+        }
+    }
+    if eff.reorder_blocks {
+        for f in &mut bin.functions {
+            reorder_blocks(f, eff.reorder_partition);
+        }
+    }
+    if eff.align_functions > 0 {
+        for f in &mut bin.functions {
+            // Deterministic per-name padding in 0..align.
+            let h = f.name.bytes().fold(7u32, |h, b| {
+                h.wrapping_mul(31).wrapping_add(b as u32)
+            });
+            f.align_pad = (h % eff.align_functions as u32) as u8;
+        }
+    }
+    if eff.reorder_functions {
+        reorder_functions(bin);
+    }
+}
+
+/// Tail-call conversion (`-foptimize-sibling-calls`).
+///
+/// A block whose instructions end in `call g` (optionally followed by a
+/// result passthrough `mov X, eax; mov eax, X`) and whose terminator jumps
+/// straight to the function epilogue becomes: inline epilogue (restoring
+/// callee-saved registers) + `TailCall(g)`. The call edge disappears from
+/// the encoded bytes and the static call graph.
+pub fn tail_calls(f: &mut Function) {
+    let epilogues: Vec<(BlockId, Vec<Insn>)> = f
+        .cfg
+        .blocks
+        .iter()
+        .filter(|b| is_epilogue(b) && matches!(b.term, Terminator::Ret))
+        .map(|b| (b.id, b.insns.clone()))
+        .collect();
+    if epilogues.is_empty() {
+        return;
+    }
+    for b in &mut f.cfg.blocks {
+        let epi_insns = match b.term {
+            Terminator::Jmp(t) => match epilogues.iter().find(|(id, _)| *id == t) {
+                Some((_, insns)) => insns.clone(),
+                None => continue,
+            },
+            _ => continue,
+        };
+        // Locate the trailing call, allowing only a result passthrough
+        // after it (a dead store/reload of eax through one location).
+        let call_pos = match b.insns.iter().rposition(|i| i.callee().is_some()) {
+            Some(p) => p,
+            None => continue,
+        };
+        let suffix = &b.insns[call_pos + 1..];
+        let passthrough_ok = match suffix {
+            [] => true,
+            [store, load] => {
+                store.op == Opcode::Mov
+                    && load.op == Opcode::Mov
+                    && store.b == Some(Operand::Reg(Gpr::Eax))
+                    && load.a == Some(Operand::Reg(Gpr::Eax))
+                    && store.a == load.b
+                    // The intermediate must be a frame slot or a plain
+                    // caller-visible-dead register.
+                    && match store.a {
+                        Some(Operand::Mem(m)) => m.base == Some(Gpr::Ebp),
+                        Some(Operand::Reg(r)) => r != Gpr::Esp && r != Gpr::Ebp,
+                        _ => false,
+                    }
+            }
+            _ => false,
+        };
+        if !passthrough_ok {
+            continue;
+        }
+        let callee = b.insns[call_pos].callee().unwrap();
+        b.insns.truncate(call_pos);
+        // Inline the *actual* epilogue (restores callee-saved registers)
+        // before transferring control.
+        b.insns.extend(epi_insns);
+        b.term = Terminator::TailCall(callee);
+    }
+    f.cfg.remove_unreachable();
+}
+
+fn is_epilogue(b: &binrep::Block) -> bool {
+    // The epilogue shape emitted by codegen: register restores (moves from
+    // frame slots), `mov esp, ebp` (or the lea variant), `pop ebp`,
+    // optional nop.
+    b.insns.iter().all(|i| {
+        matches!(
+            i.op,
+            Opcode::Mov | Opcode::Lea | Opcode::Pop | Opcode::Nop
+        )
+    }) && b
+        .insns
+        .iter()
+        .any(|i| i.op == Opcode::Pop && i.a == Some(Operand::Reg(Gpr::Ebp)))
+}
+
+/// Merge single-predecessor/single-successor block chains (jump
+/// threading / `-fcrossjumping` analog). Reduces basic-block counts —
+/// the "compound conditionals" effect of Figure 2(a).
+pub fn merge_blocks(f: &mut Function) {
+    loop {
+        let preds = f.cfg.predecessors();
+        // Find A -jmp-> B where B has exactly one predecessor.
+        let mut candidate: Option<(BlockId, BlockId)> = None;
+        for b in &f.cfg.blocks {
+            if let Terminator::Jmp(t) = b.term {
+                if t != b.id
+                    && preds.get(&t).map(|p| p.len()) == Some(1)
+                    && t != f.cfg.entry
+                {
+                    candidate = Some((b.id, t));
+                    break;
+                }
+            }
+        }
+        let (a, b) = match candidate {
+            Some(c) => c,
+            None => return,
+        };
+        let donor = f.cfg.block(b).clone();
+        let target = f.cfg.block_mut(a);
+        target.insns.extend(donor.insns);
+        target.term = donor.term;
+        f.cfg.blocks.retain(|blk| blk.id != b);
+    }
+}
+
+/// Peephole substitutions. Each rule preserves semantics; rules that
+/// change FLAGS behaviour are applied only when no live FLAGS reader
+/// follows before the next FLAGS writer (checked conservatively).
+pub fn peephole(f: &mut Function, eff: &EffectConfig) {
+    for b in &mut f.cfg.blocks {
+        let term_reads_flags = matches!(b.term, Terminator::Branch { .. });
+        let mut i = 0;
+        while i < b.insns.len() {
+            let flags_dead = flags_dead_after(&b.insns, i, term_reads_flags);
+            let insn = b.insns[i];
+            let mut replaced: Option<Vec<Insn>> = None;
+            if eff.peephole {
+                replaced = peephole_rule(&insn, flags_dead);
+            }
+            if replaced.is_none() && eff.strength_reduce {
+                replaced = strength_rule(&insn, flags_dead);
+            }
+            match replaced {
+                Some(new) => {
+                    let n = new.len();
+                    b.insns.splice(i..=i, new);
+                    i += n;
+                }
+                None => i += 1,
+            }
+        }
+    }
+}
+
+/// Whether FLAGS produced at position `i` are observably dead: no
+/// flags-reading instruction occurs after `i` before the next
+/// flags-writing instruction, and the terminator doesn't read them
+/// without an intervening writer.
+fn flags_dead_after(insns: &[Insn], i: usize, term_reads: bool) -> bool {
+    for insn in &insns[i + 1..] {
+        if insn.op.reads_flags() {
+            return false;
+        }
+        if insn.op.writes_flags() {
+            return true;
+        }
+        // `loop` (LoopBack) ignores FLAGS; calls clobber them in our ABI.
+        if matches!(insn.op, Opcode::Call | Opcode::CallImport) {
+            return true;
+        }
+    }
+    !term_reads
+}
+
+fn peephole_rule(insn: &Insn, flags_dead: bool) -> Option<Vec<Insn>> {
+    let (a, b) = (insn.a?, insn.b);
+    let r = match a {
+        Operand::Reg(r) => Some(r),
+        _ => None,
+    };
+    match (insn.op, r, b) {
+        // mov r, 0 → xor r, r (writes FLAGS: needs them dead).
+        (Opcode::Mov, Some(r), Some(Operand::Imm(0))) if flags_dead => {
+            Some(vec![Insn::op2(Opcode::Xor, r, r)])
+        }
+        // imul r, 3/5/9 → lea r, [r + r*scale] (no FLAGS at all — while
+        // imul writes them, removing a write is safe only when dead).
+        (Opcode::Imul, Some(r), Some(Operand::Imm(m @ (3 | 5 | 9)))) if flags_dead => {
+            Some(vec![Insn::op2(
+                Opcode::Lea,
+                r,
+                binrep::MemRef::indexed(Some(r), r, (m - 1) as u8, 0),
+            )])
+        }
+        // imul r, 2^k → shl r, k.
+        (Opcode::Imul, Some(r), Some(Operand::Imm(m)))
+            if flags_dead && m > 1 && (m as u64).is_power_of_two() =>
+        {
+            Some(vec![Insn::op2(Opcode::Shl, r, m.trailing_zeros() as i64)])
+        }
+        // add r, 1 → inc r / sub r, 1 → dec r (CF behaviour differs).
+        (Opcode::Add, Some(r), Some(Operand::Imm(1))) if flags_dead => {
+            Some(vec![Insn::op1(Opcode::Inc, r)])
+        }
+        (Opcode::Sub, Some(r), Some(Operand::Imm(1))) if flags_dead => {
+            Some(vec![Insn::op1(Opcode::Dec, r)])
+        }
+        // xor r, -1 → not r (not doesn't write FLAGS).
+        (Opcode::Xor, Some(r), Some(Operand::Imm(-1))) if flags_dead => {
+            Some(vec![Insn::op1(Opcode::Not, r)])
+        }
+        _ => None,
+    }
+}
+
+fn strength_rule(insn: &Insn, flags_dead: bool) -> Option<Vec<Insn>> {
+    if !flags_dead {
+        return None;
+    }
+    let r = insn.a?.as_reg()?;
+    let imm = insn.b?.as_imm()?;
+    if imm < 2 || imm > u32::MAX as i64 {
+        return None;
+    }
+    let d = imm as u32;
+    match insn.op {
+        Opcode::Udiv => {
+            if d.is_power_of_two() {
+                return Some(vec![Insn::op2(Opcode::Shr, r, d.trailing_zeros() as i64)]);
+            }
+            // Granlund–Montgomery multiply (Figure 3(a)); edx is the fixed
+            // scratch register, free at this point by construction.
+            let m = magic_u32(d);
+            let mut seq = vec![
+                Insn::op2(Opcode::Mov, Gpr::Edx, r),
+                Insn::op2(Opcode::Umulh, Gpr::Edx, m.m as i64),
+            ];
+            if m.add {
+                // q = (hi + ((n - hi) >> 1)) >> (shift - 1)
+                seq.push(Insn::op2(Opcode::Sub, r, Gpr::Edx));
+                seq.push(Insn::op2(Opcode::Shr, r, 1i64));
+                seq.push(Insn::op2(Opcode::Add, r, Gpr::Edx));
+                if m.shift > 1 {
+                    seq.push(Insn::op2(Opcode::Shr, r, (m.shift - 1) as i64));
+                }
+            } else {
+                seq.push(Insn::op2(Opcode::Mov, r, Gpr::Edx));
+                if m.shift > 0 {
+                    seq.push(Insn::op2(Opcode::Shr, r, m.shift as i64));
+                }
+            }
+            Some(seq)
+        }
+        Opcode::Urem if d.is_power_of_two() => {
+            Some(vec![Insn::op2(Opcode::And, r, (d - 1) as i64)])
+        }
+        _ => None,
+    }
+}
+
+/// Reorder blocks within a function. `partition` additionally moves
+/// "cold" blocks (those ending in plain `Ret`) to the end — a hot/cold
+/// split analog.
+pub fn reorder_blocks(f: &mut Function, partition: bool) {
+    if f.cfg.blocks.len() <= 2 {
+        return;
+    }
+    // Layout = reverse post-order (a real compiler layout), which differs
+    // from the emission order codegen produced.
+    let rpo = f.cfg.rpo();
+    let pos: BTreeMap<BlockId, usize> = rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+    f.cfg
+        .blocks
+        .sort_by_key(|b| pos.get(&b.id).copied().unwrap_or(usize::MAX));
+    if partition {
+        // Stable partition: blocks that end in Ret (cold exits) sink.
+        let (hot, cold): (Vec<_>, Vec<_>) = f
+            .cfg
+            .blocks
+            .drain(..)
+            .partition(|b| !matches!(b.term, Terminator::Ret | Terminator::TailCall(_)));
+        f.cfg.blocks = hot;
+        f.cfg.blocks.extend(cold);
+    }
+    // The entry must stay first for fall-through correctness of encoding
+    // (encoding is position-independent but readers expect entry-first).
+    if let Some(epos) = f.cfg.blocks.iter().position(|b| b.id == f.cfg.entry) {
+        if epos != 0 {
+            let e = f.cfg.blocks.remove(epos);
+            f.cfg.blocks.insert(0, e);
+        }
+    }
+}
+
+/// Reorder functions in the binary by name hash (`-freorder-functions`).
+pub fn reorder_functions(bin: &mut Binary) {
+    bin.functions.sort_by_key(|f| {
+        f.name
+            .bytes()
+            .fold(0xcbf29ce484222325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x100000001b3)
+            })
+    });
+}
+
+/// Count conditional-branch terminators (used by tests and metrics).
+pub fn branch_count(f: &Function) -> usize {
+    f.cfg
+        .blocks
+        .iter()
+        .filter(|b| matches!(b.term, Terminator::Branch { .. }))
+        .count()
+}
+
+/// Invert branches whose then-target equals the fall-through (cleanup
+/// used by tests; exercised via reorder_blocks).
+pub fn normalize_branches(f: &mut Function) {
+    let order: Vec<BlockId> = f.cfg.blocks.iter().map(|b| b.id).collect();
+    for (i, b) in f.cfg.blocks.iter_mut().enumerate() {
+        if let Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } = &mut b.term
+        {
+            if order.get(i + 1) == Some(then_bb) {
+                let t = *then_bb;
+                *then_bb = *else_bb;
+                *else_bb = t;
+                *cond = cond.negate();
+            }
+        }
+    }
+}
+
+/// Jump-table terminators degrade to binary-search compare chains when
+/// jump tables are disabled *after* lowering — used by the ablation
+/// benches to isolate the switch-lowering effect. Returns how many tables
+/// were rewritten.
+pub fn lower_jump_tables(f: &mut Function) -> usize {
+    let mut rewritten = 0;
+    let tables: Vec<(BlockId, Gpr, Vec<BlockId>)> = f
+        .cfg
+        .blocks
+        .iter()
+        .filter_map(|b| match &b.term {
+            Terminator::JumpTable { index, targets } => {
+                Some((b.id, *index, targets.clone()))
+            }
+            _ => None,
+        })
+        .collect();
+    for (src, index, targets) in tables {
+        rewritten += 1;
+        // Chain of equality tests; the last case falls through to the
+        // final target (the table is total by construction).
+        let mut cur = src;
+        for (k, t) in targets.iter().enumerate().take(targets.len() - 1) {
+            let next = f.cfg.fresh_id();
+            f.cfg.push(binrep::Block::new(next, Vec::new(), Terminator::Ret));
+            let blk = f.cfg.block_mut(cur);
+            blk.insns.push(Insn::op2(Opcode::Cmp, index, k as i64));
+            blk.term = Terminator::Branch {
+                cond: Cond::E,
+                then_bb: *t,
+                else_bb: next,
+            };
+            cur = next;
+        }
+        let last = *targets.last().unwrap();
+        f.cfg.block_mut(cur).term = Terminator::Jmp(last);
+    }
+    rewritten
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use binrep::{Arch, Block};
+
+    fn func_with_blocks(n: usize) -> Function {
+        let mut f = Function::new(binrep::FuncId(0), "t", 0);
+        let mut prev = BlockId(0);
+        for _ in 1..n {
+            let b = f.cfg.fresh_id();
+            f.cfg.block_mut(prev).term = Terminator::Jmp(b);
+            f.cfg.push(Block::new(b, vec![Insn::op0(Opcode::Nop)], Terminator::Ret));
+            prev = b;
+        }
+        f
+    }
+
+    #[test]
+    fn merge_collapses_chains() {
+        let mut f = func_with_blocks(5);
+        merge_blocks(&mut f);
+        assert_eq!(f.cfg.len(), 1);
+        f.cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn merge_preserves_multi_pred_blocks() {
+        // Diamond: join has 2 preds, must survive.
+        let mut f = Function::new(binrep::FuncId(0), "t", 0);
+        let t = f.cfg.fresh_id();
+        let e = f.cfg.fresh_id();
+        let j = f.cfg.fresh_id();
+        f.cfg.block_mut(BlockId(0)).term = Terminator::Branch {
+            cond: Cond::E,
+            then_bb: t,
+            else_bb: e,
+        };
+        f.cfg.push(Block::new(t, vec![], Terminator::Jmp(j)));
+        f.cfg.push(Block::new(e, vec![], Terminator::Jmp(j)));
+        f.cfg.push(Block::new(j, vec![], Terminator::Ret));
+        merge_blocks(&mut f);
+        assert_eq!(f.cfg.len(), 4);
+    }
+
+    #[test]
+    fn peephole_rewrites_mul_and_movzero() {
+        let mut f = Function::new(binrep::FuncId(0), "t", 0);
+        f.cfg.block_mut(BlockId(0)).insns = vec![
+            Insn::op2(Opcode::Mov, Gpr::Eax, 0i64),
+            Insn::op2(Opcode::Imul, Gpr::Ebx, 8i64),
+            Insn::op2(Opcode::Add, Gpr::Ecx, 1i64),
+        ];
+        let eff = EffectConfig {
+            peephole: true,
+            ..Default::default()
+        };
+        peephole(&mut f, &eff);
+        let ops: Vec<Opcode> = f.cfg.block(BlockId(0)).insns.iter().map(|i| i.op).collect();
+        assert_eq!(ops, vec![Opcode::Xor, Opcode::Shl, Opcode::Inc]);
+    }
+
+    #[test]
+    fn peephole_respects_live_flags() {
+        // mov eax, 0 directly before a branch that reads FLAGS set by the
+        // preceding cmp: must NOT become xor (which would clobber them).
+        let mut f = Function::new(binrep::FuncId(0), "t", 0);
+        let t = f.cfg.fresh_id();
+        let e = f.cfg.fresh_id();
+        f.cfg.block_mut(BlockId(0)).insns = vec![
+            Insn::op2(Opcode::Cmp, Gpr::Ebx, 5i64),
+            Insn::op2(Opcode::Mov, Gpr::Eax, 0i64),
+        ];
+        f.cfg.block_mut(BlockId(0)).term = Terminator::Branch {
+            cond: Cond::E,
+            then_bb: t,
+            else_bb: e,
+        };
+        f.cfg.push(Block::new(t, vec![], Terminator::Ret));
+        f.cfg.push(Block::new(e, vec![], Terminator::Ret));
+        let eff = EffectConfig {
+            peephole: true,
+            ..Default::default()
+        };
+        peephole(&mut f, &eff);
+        assert_eq!(f.cfg.block(BlockId(0)).insns[1].op, Opcode::Mov);
+    }
+
+    #[test]
+    fn strength_reduction_divides_correctly() {
+        use emu::Machine;
+        for d in [3u32, 7, 10, 255, 641] {
+            let mut bin = Binary::new("t", Arch::X86);
+            let mut f = Function::new(binrep::FuncId(0), "main", 1);
+            {
+                let blk = f.cfg.block_mut(BlockId(0));
+                blk.insns.push(Insn::op2(Opcode::Mov, Gpr::Eax, Gpr::Ecx));
+                blk.insns.push(Insn::op2(Opcode::Udiv, Gpr::Eax, d as i64));
+            }
+            let mut fo = f.clone();
+            let eff = EffectConfig {
+                strength_reduce: true,
+                ..Default::default()
+            };
+            peephole(&mut fo, &eff);
+            assert!(
+                !fo.cfg.blocks[0].insns.iter().any(|i| i.op == Opcode::Udiv),
+                "division not reduced for d={d}"
+            );
+            let mut bo = bin.clone();
+            bin.functions.push(f);
+            bo.functions.push(fo);
+            for n in [0u32, 1, d, d + 1, 1000, u32::MAX, 0x8000_0001] {
+                let a = Machine::new(&bin).run(&[n], &[], 10_000).unwrap().ret;
+                let b = Machine::new(&bo).run(&[n], &[], 10_000).unwrap().ret;
+                assert_eq!(a, b, "n={n} d={d}");
+                assert_eq!(a, n / d);
+            }
+        }
+    }
+
+    #[test]
+    fn reorder_blocks_changes_layout_not_semantics() {
+        let mut f = func_with_blocks(6);
+        // Scramble initial layout.
+        f.cfg.blocks.reverse();
+        let ids_before: std::collections::BTreeSet<u32> =
+            f.cfg.blocks.iter().map(|b| b.id.0).collect();
+        reorder_blocks(&mut f, true);
+        let ids_after: std::collections::BTreeSet<u32> =
+            f.cfg.blocks.iter().map(|b| b.id.0).collect();
+        assert_eq!(ids_before, ids_after);
+        assert_eq!(f.cfg.blocks[0].id, f.cfg.entry);
+        f.cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn lower_jump_tables_rewrites_to_chain() {
+        let mut f = Function::new(binrep::FuncId(0), "t", 0);
+        let cases: Vec<BlockId> = (0..3).map(|_| f.cfg.fresh_id()).collect();
+        for &c in &cases {
+            f.cfg.push(Block::new(c, vec![], Terminator::Ret));
+        }
+        f.cfg.block_mut(BlockId(0)).term = Terminator::JumpTable {
+            index: Gpr::Eax,
+            targets: cases,
+        };
+        assert_eq!(lower_jump_tables(&mut f), 1);
+        f.cfg.validate().unwrap();
+        assert!(f
+            .cfg
+            .blocks
+            .iter()
+            .all(|b| !matches!(b.term, Terminator::JumpTable { .. })));
+    }
+}

@@ -1,0 +1,122 @@
+//! # perfmodel — execution-speed estimation for the mini-ISA
+//!
+//! The paper's Table 3 compares the runtime speedup of `-O3` and
+//! BinTuner's output over `-O0`. With a synthetic ISA there is no silicon
+//! to time, so speed is *modelled*: the emulator supplies exact dynamic
+//! instruction counts and branch-behaviour statistics
+//! ([`emu::ExecStats`]), and a per-opcode cycle table plus misprediction
+//! and call penalties produce a cycle estimate whose *relative* ordering
+//! (what Table 3 reports) is meaningful.
+//!
+//! ## Example
+//!
+//! ```
+//! use minicc::{Compiler, CompilerKind, OptLevel};
+//!
+//! let bench = corpus::by_name("429.mcf").unwrap();
+//! let cc = Compiler::new(CompilerKind::Gcc);
+//! let o0 = cc.compile_preset(&bench.module, OptLevel::O0, binrep::Arch::X86).unwrap();
+//! let o3 = cc.compile_preset(&bench.module, OptLevel::O3, binrep::Arch::X86).unwrap();
+//! let s = perfmodel::speedup(&o0, &o3, &bench.test_inputs[0]).unwrap();
+//! assert!(s > -0.5); // sane range
+//! ```
+
+#![warn(missing_docs)]
+
+use binrep::Binary;
+use emu::{EmuError, ExecStats, Machine};
+
+/// Modelled cycle cost of one executed instruction, by mnemonic.
+fn cycle_cost(mnemonic: &str) -> f64 {
+    match mnemonic {
+        "udiv" | "urem" => 24.0,
+        "umulh" => 4.0,
+        "imul" | "pmulld" => 3.0,
+        "call" | "call@import" => 6.0,
+        "push" | "pop" => 1.5,
+        "movups" | "movaps" => 1.5,
+        "paddd" | "psubd" | "phsumd" => 1.2,
+        "nop" => 0.25,
+        _ => 1.0,
+    }
+}
+
+/// Misprediction penalty in cycles (applied per observed branch
+/// direction change — a crude two-level-predictor proxy).
+const MISPREDICT: f64 = 14.0;
+/// Indirect-jump (table) cost.
+const TABLE_JUMP: f64 = 3.0;
+
+/// Estimated cycles for an execution's statistics.
+pub fn cycles_for_stats(stats: &ExecStats) -> f64 {
+    let mut c = 0.0;
+    for (mn, n) in &stats.op_counts {
+        c += cycle_cost(mn) * *n as f64;
+    }
+    // Terminators not in op_counts: charge branches and table jumps.
+    c += stats.branches as f64;
+    c += stats.direction_changes as f64 * MISPREDICT;
+    c += stats.table_jumps as f64 * TABLE_JUMP;
+    c
+}
+
+/// Run a binary and estimate its cycle count.
+///
+/// # Errors
+///
+/// Propagates emulator errors (fuel exhaustion etc.).
+pub fn estimate_cycles(bin: &Binary, inputs: &[u32]) -> Result<f64, EmuError> {
+    let r = Machine::new(bin).run(&[], inputs, 50_000_000)?;
+    Ok(cycles_for_stats(&r.stats))
+}
+
+/// Relative speedup of `optimized` over `baseline`:
+/// `cycles(baseline) / cycles(optimized) − 1`. Positive = faster.
+///
+/// # Errors
+///
+/// Propagates emulator errors from either run.
+pub fn speedup(baseline: &Binary, optimized: &Binary, inputs: &[u32]) -> Result<f64, EmuError> {
+    let cb = estimate_cycles(baseline, inputs)?;
+    let co = estimate_cycles(optimized, inputs)?;
+    Ok(cb / co - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minicc::{Compiler, CompilerKind, OptLevel};
+
+    #[test]
+    fn optimized_code_is_faster() {
+        let bench = corpus::by_name("462.libquantum").unwrap();
+        let cc = Compiler::new(CompilerKind::Gcc);
+        let o0 = cc
+            .compile_preset(&bench.module, OptLevel::O0, binrep::Arch::X86)
+            .unwrap();
+        let o3 = cc
+            .compile_preset(&bench.module, OptLevel::O3, binrep::Arch::X86)
+            .unwrap();
+        let s = speedup(&o0, &o3, &bench.test_inputs[0]).unwrap();
+        assert!(s > 0.0, "O3 speedup {s}");
+    }
+
+    #[test]
+    fn speedup_of_identity_is_zero() {
+        let bench = corpus::by_name("429.mcf").unwrap();
+        let cc = Compiler::new(CompilerKind::Gcc);
+        let o2 = cc
+            .compile_preset(&bench.module, OptLevel::O2, binrep::Arch::X86)
+            .unwrap();
+        let s = speedup(&o2, &o2, &bench.test_inputs[0]).unwrap();
+        assert!(s.abs() < 1e-12);
+    }
+
+    #[test]
+    fn division_dominates_cost_model() {
+        assert!(cycle_cost("udiv") > cycle_cost("imul"));
+        assert!(cycle_cost("imul") > cycle_cost("add"));
+        // The magic-divide sequence (umulh + shifts) is cheaper than udiv.
+        assert!(cycle_cost("umulh") + 3.0 * cycle_cost("shr") < cycle_cost("udiv"));
+    }
+}

@@ -1,0 +1,118 @@
+//! CNF formula representation.
+
+/// A literal: variable index (1-based) with sign. `Lit(3)` is *x₃*,
+/// `Lit(-3)` is *¬x₃*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub i32);
+
+impl Lit {
+    /// Positive literal for variable `var` (0-based).
+    pub fn pos(var: usize) -> Lit {
+        Lit(var as i32 + 1)
+    }
+
+    /// Negative literal for variable `var` (0-based).
+    pub fn neg(var: usize) -> Lit {
+        Lit(-(var as i32 + 1))
+    }
+
+    /// 0-based variable index.
+    pub fn var(self) -> usize {
+        (self.0.unsigned_abs() as usize) - 1
+    }
+
+    /// Whether the literal is positive.
+    pub fn is_pos(self) -> bool {
+        self.0 > 0
+    }
+
+    /// The negated literal.
+    pub fn negate(self) -> Lit {
+        Lit(-self.0)
+    }
+
+    /// Evaluate under an assignment.
+    pub fn eval(self, assignment: &[bool]) -> bool {
+        assignment[self.var()] == self.is_pos()
+    }
+}
+
+/// A disjunction of literals.
+pub type Clause = Vec<Lit>;
+
+/// A formula in conjunctive normal form.
+#[derive(Debug, Clone, Default)]
+pub struct Cnf {
+    /// Number of variables (vars are `0..num_vars`).
+    pub num_vars: usize,
+    /// Conjoined clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// An empty (trivially satisfiable) formula over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Cnf {
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Add a clause. Empty clauses make the formula unsatisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references a variable `>= num_vars`.
+    pub fn add(&mut self, clause: Clause) {
+        for l in &clause {
+            assert!(l.var() < self.num_vars, "literal out of range");
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Add the implication `a → b` as the clause `(¬a ∨ b)`.
+    pub fn add_implies(&mut self, a: Lit, b: Lit) {
+        self.add(vec![a.negate(), b]);
+    }
+
+    /// Evaluate the formula under a full assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| l.eval(assignment)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_round_trip() {
+        let p = Lit::pos(4);
+        let n = Lit::neg(4);
+        assert_eq!(p.var(), 4);
+        assert_eq!(n.var(), 4);
+        assert!(p.is_pos());
+        assert!(!n.is_pos());
+        assert_eq!(p.negate(), n);
+    }
+
+    #[test]
+    fn eval_clauses() {
+        let mut f = Cnf::new(2);
+        f.add(vec![Lit::pos(0), Lit::pos(1)]);
+        f.add_implies(Lit::pos(0), Lit::pos(1));
+        assert!(f.eval(&[false, true]));
+        assert!(f.eval(&[true, true]));
+        assert!(!f.eval(&[true, false]));
+        assert!(!f.eval(&[false, false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let mut f = Cnf::new(1);
+        f.add(vec![Lit::pos(5)]);
+    }
+}

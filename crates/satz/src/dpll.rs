@@ -1,0 +1,289 @@
+//! Iterative DPLL SAT solver with unit propagation.
+//!
+//! Complete for the boolean flag-constraint fragment BinTuner needs (the
+//! paper uses Z3 for the same purpose). Formulas here are small — a couple
+//! of hundred variables — so watched literals are unnecessary; plain
+//! counting propagation keeps the code short and obviously correct.
+
+use crate::cnf::{Cnf, Lit};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Value {
+    Unassigned,
+    True,
+    False,
+}
+
+/// The result of a satisfiability query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a model (one bool per variable).
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// The model, if satisfiable.
+    pub fn model(&self) -> Option<&[bool]> {
+        match self {
+            SatResult::Sat(m) => Some(m),
+            SatResult::Unsat => None,
+        }
+    }
+
+    /// Whether the result is SAT.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+struct Solver<'a> {
+    cnf: &'a Cnf,
+    values: Vec<Value>,
+    trail: Vec<usize>,
+    // Decision points: (trail length, decided var).
+    decisions: Vec<(usize, usize, bool)>,
+}
+
+impl<'a> Solver<'a> {
+    fn lit_value(&self, l: Lit) -> Value {
+        match self.values[l.var()] {
+            Value::Unassigned => Value::Unassigned,
+            Value::True => {
+                if l.is_pos() {
+                    Value::True
+                } else {
+                    Value::False
+                }
+            }
+            Value::False => {
+                if l.is_pos() {
+                    Value::False
+                } else {
+                    Value::True
+                }
+            }
+        }
+    }
+
+    fn assign(&mut self, l: Lit) {
+        self.values[l.var()] = if l.is_pos() { Value::True } else { Value::False };
+        self.trail.push(l.var());
+    }
+
+    /// Unit propagation: returns false on conflict.
+    fn propagate(&mut self) -> bool {
+        loop {
+            let mut progressed = false;
+            for clause in &self.cnf.clauses {
+                let mut unassigned: Option<Lit> = None;
+                let mut n_unassigned = 0;
+                let mut satisfied = false;
+                for &l in clause {
+                    match self.lit_value(l) {
+                        Value::True => {
+                            satisfied = true;
+                            break;
+                        }
+                        Value::Unassigned => {
+                            n_unassigned += 1;
+                            unassigned = Some(l);
+                        }
+                        Value::False => {}
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match n_unassigned {
+                    0 => return false, // conflict
+                    1 => {
+                        self.assign(unassigned.unwrap());
+                        progressed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !progressed {
+                return true;
+            }
+        }
+    }
+
+    fn pick_branch(&self) -> Option<usize> {
+        self.values.iter().position(|&v| v == Value::Unassigned)
+    }
+
+    fn backtrack(&mut self) -> bool {
+        while let Some((trail_len, var, tried_true)) = self.decisions.pop() {
+            while self.trail.len() > trail_len {
+                let v = self.trail.pop().unwrap();
+                self.values[v] = Value::Unassigned;
+            }
+            if tried_true {
+                // Try the other branch: false.
+                self.decisions.push((self.trail.len(), var, false));
+                self.assign(Lit::neg(var));
+                return true;
+            }
+        }
+        false
+    }
+
+    fn solve(mut self) -> SatResult {
+        // Top-level propagation first.
+        if !self.propagate() {
+            return SatResult::Unsat;
+        }
+        loop {
+            match self.pick_branch() {
+                None => {
+                    let model = self
+                        .values
+                        .iter()
+                        .map(|&v| v == Value::True)
+                        .collect();
+                    return SatResult::Sat(model);
+                }
+                Some(var) => {
+                    self.decisions.push((self.trail.len(), var, true));
+                    self.assign(Lit::pos(var));
+                }
+            }
+            while !self.propagate() {
+                if !self.backtrack() {
+                    return SatResult::Unsat;
+                }
+            }
+        }
+    }
+}
+
+/// Decide satisfiability of `cnf`.
+pub fn solve(cnf: &Cnf) -> SatResult {
+    solve_with_assumptions(cnf, &[])
+}
+
+/// Decide satisfiability under the given assumed literals.
+///
+/// Assumptions are forced assignments — useful for "is this partial flag
+/// selection extensible to a valid configuration?" queries.
+pub fn solve_with_assumptions(cnf: &Cnf, assumptions: &[Lit]) -> SatResult {
+    let mut s = Solver {
+        cnf,
+        values: vec![Value::Unassigned; cnf.num_vars],
+        trail: Vec::new(),
+        decisions: Vec::new(),
+    };
+    for &a in assumptions {
+        match s.lit_value(a) {
+            Value::False => return SatResult::Unsat,
+            Value::Unassigned => s.assign(a),
+            Value::True => {}
+        }
+    }
+    s.solve()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force_sat(cnf: &Cnf) -> bool {
+        let n = cnf.num_vars;
+        (0..(1u32 << n)).any(|bits| {
+            let a: Vec<bool> = (0..n).map(|i| bits & (1 << i) != 0).collect();
+            cnf.eval(&a)
+        })
+    }
+
+    #[test]
+    fn simple_sat() {
+        let mut f = Cnf::new(3);
+        f.add(vec![Lit::pos(0), Lit::pos(1)]);
+        f.add(vec![Lit::neg(0)]);
+        f.add_implies(Lit::pos(1), Lit::pos(2));
+        let r = solve(&f);
+        let m = r.model().expect("sat");
+        assert!(f.eval(m));
+        assert!(!m[0] && m[1] && m[2]);
+    }
+
+    #[test]
+    fn simple_unsat() {
+        let mut f = Cnf::new(1);
+        f.add(vec![Lit::pos(0)]);
+        f.add(vec![Lit::neg(0)]);
+        assert_eq!(solve(&f), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut f = Cnf::new(1);
+        f.add(vec![]);
+        assert_eq!(solve(&f), SatResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_conflict() {
+        let mut f = Cnf::new(2);
+        f.add_implies(Lit::pos(0), Lit::pos(1));
+        assert!(solve_with_assumptions(&f, &[Lit::pos(0), Lit::neg(1)]) == SatResult::Unsat);
+        assert!(solve_with_assumptions(&f, &[Lit::pos(0), Lit::pos(1)]).is_sat());
+        // Contradictory assumptions on the same variable.
+        assert_eq!(
+            solve_with_assumptions(&f, &[Lit::pos(0), Lit::neg(0)]),
+            SatResult::Unsat
+        );
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p_{i,j}: pigeon i in hole j. 3 pigeons, 2 holes.
+        let var = |i: usize, j: usize| i * 2 + j;
+        let mut f = Cnf::new(6);
+        for i in 0..3 {
+            f.add(vec![Lit::pos(var(i, 0)), Lit::pos(var(i, 1))]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    f.add(vec![Lit::neg(var(i1, j)), Lit::neg(var(i2, j))]);
+                }
+            }
+        }
+        assert_eq!(solve(&f), SatResult::Unsat);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_formulas() {
+        // Deterministic pseudo-random 3-SAT near the phase transition.
+        let mut x = 0x2545f491u32;
+        let mut rnd = move |m: u32| {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            x % m
+        };
+        for _ in 0..200 {
+            let n = 4 + (rnd(8) as usize); // 4..11 vars
+            let m = (n as f64 * 4.2) as usize;
+            let mut f = Cnf::new(n);
+            for _ in 0..m {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = rnd(n as u32) as usize;
+                    c.push(if rnd(2) == 0 { Lit::pos(v) } else { Lit::neg(v) });
+                }
+                f.add(c);
+            }
+            let got = solve(&f);
+            let want = brute_force_sat(&f);
+            assert_eq!(got.is_sat(), want, "mismatch on {f:?}");
+            if let SatResult::Sat(m) = got {
+                assert!(f.eval(&m));
+            }
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Optimization-flag constraint layer (the paper's "Constraints
+//! Verification" component, §4.1).
+//!
+//! GCC and LLVM document adverse interactions and dependency relationships
+//! between optimization flags; BinTuner translates them into logical
+//! formulas offline and uses a solver online to reject or repair conflicting
+//! optimization sequences. This module provides that translation and the
+//! repair operation used by the genetic algorithm.
+
+use crate::cnf::{Cnf, Lit};
+use crate::dpll::solve_with_assumptions;
+
+/// A constraint between flags (flags are indices into a flag vector).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Constraint {
+    /// `a` only has an effect / is only legal when `b` is enabled
+    /// (e.g. `-fpartial-inlining` requires `-finline-functions`):
+    /// `a → b`.
+    Requires(usize, usize),
+    /// Enabling both causes a compilation error: `¬(a ∧ b)`.
+    Conflicts(usize, usize),
+    /// `a` requires at least one of `bs`: `a → (b₁ ∨ … ∨ bₙ)`.
+    RequiresAny(usize, Vec<usize>),
+    /// At most one of the group may be enabled (mutually exclusive family).
+    AtMostOne(Vec<usize>),
+}
+
+/// A violation report from [`ConstraintSet::check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Index of the violated constraint.
+    pub constraint: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// A set of constraints over a fixed-size flag vector.
+#[derive(Debug, Clone, Default)]
+pub struct ConstraintSet {
+    n_flags: usize,
+    constraints: Vec<Constraint>,
+}
+
+impl ConstraintSet {
+    /// An empty set over `n_flags` flags.
+    pub fn new(n_flags: usize) -> ConstraintSet {
+        ConstraintSet {
+            n_flags,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of flags.
+    pub fn n_flags(&self) -> usize {
+        self.n_flags
+    }
+
+    /// The constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Add a constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flag index is out of range.
+    pub fn add(&mut self, c: Constraint) {
+        let check = |i: usize| assert!(i < self.n_flags, "flag {i} out of range");
+        match &c {
+            Constraint::Requires(a, b) | Constraint::Conflicts(a, b) => {
+                check(*a);
+                check(*b);
+            }
+            Constraint::RequiresAny(a, bs) => {
+                check(*a);
+                bs.iter().copied().for_each(check);
+            }
+            Constraint::AtMostOne(xs) => xs.iter().copied().for_each(check),
+        }
+        self.constraints.push(c);
+    }
+
+    /// Translate to CNF (one variable per flag).
+    pub fn to_cnf(&self) -> Cnf {
+        let mut f = Cnf::new(self.n_flags);
+        for c in &self.constraints {
+            match c {
+                Constraint::Requires(a, b) => f.add_implies(Lit::pos(*a), Lit::pos(*b)),
+                Constraint::Conflicts(a, b) => f.add(vec![Lit::neg(*a), Lit::neg(*b)]),
+                Constraint::RequiresAny(a, bs) => {
+                    let mut clause = vec![Lit::neg(*a)];
+                    clause.extend(bs.iter().map(|&b| Lit::pos(b)));
+                    f.add(clause);
+                }
+                Constraint::AtMostOne(xs) => {
+                    for i in 0..xs.len() {
+                        for j in (i + 1)..xs.len() {
+                            f.add(vec![Lit::neg(xs[i]), Lit::neg(xs[j])]);
+                        }
+                    }
+                }
+            }
+        }
+        f
+    }
+
+    /// Check a concrete flag vector, returning every violation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flags.len() != n_flags`.
+    pub fn check(&self, flags: &[bool]) -> Vec<Violation> {
+        assert_eq!(flags.len(), self.n_flags);
+        let mut out = Vec::new();
+        for (idx, c) in self.constraints.iter().enumerate() {
+            let violated = match c {
+                Constraint::Requires(a, b) => flags[*a] && !flags[*b],
+                Constraint::Conflicts(a, b) => flags[*a] && flags[*b],
+                Constraint::RequiresAny(a, bs) => flags[*a] && !bs.iter().any(|&b| flags[b]),
+                Constraint::AtMostOne(xs) => xs.iter().filter(|&&x| flags[x]).count() > 1,
+            };
+            if violated {
+                out.push(Violation {
+                    constraint: idx,
+                    message: format!("{c:?}"),
+                });
+            }
+        }
+        out
+    }
+
+    /// Whether a concrete flag vector satisfies all constraints.
+    pub fn is_valid(&self, flags: &[bool]) -> bool {
+        self.check(flags).is_empty()
+    }
+
+    /// Whether fixing the given `(flag, value)` pairs still admits a valid
+    /// configuration (a SAT query with assumptions).
+    pub fn satisfiable_with(&self, fixed: &[(usize, bool)]) -> bool {
+        let cnf = self.to_cnf();
+        let assumptions: Vec<Lit> = fixed
+            .iter()
+            .map(|&(f, v)| if v { Lit::pos(f) } else { Lit::neg(f) })
+            .collect();
+        solve_with_assumptions(&cnf, &assumptions).is_sat()
+    }
+
+    /// Repair a flag vector into a valid one, changing as few flags as the
+    /// greedy strategy allows. Deterministic given `seed`.
+    ///
+    /// Strategy: iterate violations; for `Requires(a,b)` either enable `b`
+    /// or disable `a` (seed-dependent), for `Conflicts` disable one side,
+    /// for `RequiresAny` enable one option or disable the source, for
+    /// `AtMostOne` keep one member. Loops to a fixpoint; falls back to
+    /// disabling all flags involved in still-violated constraints (always
+    /// valid for implication/conflict systems with this shape).
+    pub fn repair(&self, flags: &[bool], seed: u64) -> Vec<bool> {
+        assert_eq!(flags.len(), self.n_flags);
+        let mut out = flags.to_vec();
+        let mut state = seed | 1;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _round in 0..self.constraints.len() + 8 {
+            let violations = self.check(&out);
+            if violations.is_empty() {
+                return out;
+            }
+            for v in violations {
+                match &self.constraints[v.constraint] {
+                    Constraint::Requires(a, b) => {
+                        if rnd() & 1 == 0 {
+                            out[*b] = true;
+                        } else {
+                            out[*a] = false;
+                        }
+                    }
+                    Constraint::Conflicts(a, b) => {
+                        if rnd() & 1 == 0 {
+                            out[*a] = false;
+                        } else {
+                            out[*b] = false;
+                        }
+                    }
+                    Constraint::RequiresAny(a, bs) => {
+                        if rnd() & 1 == 0 && !bs.is_empty() {
+                            let pick = bs[(rnd() as usize) % bs.len()];
+                            out[pick] = true;
+                        } else {
+                            out[*a] = false;
+                        }
+                    }
+                    Constraint::AtMostOne(xs) => {
+                        let enabled: Vec<usize> =
+                            xs.iter().copied().filter(|&x| out[x]).collect();
+                        // Earlier repairs in this round may already have
+                        // emptied the group — the violation list is stale.
+                        if enabled.len() > 1 {
+                            let keep = enabled[(rnd() as usize) % enabled.len()];
+                            for x in enabled {
+                                out[x] = x == keep;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Fallback: disable every flag mentioned by a violated constraint.
+        loop {
+            let violations = self.check(&out);
+            if violations.is_empty() {
+                return out;
+            }
+            for v in violations {
+                match &self.constraints[v.constraint] {
+                    Constraint::Requires(a, _) => out[*a] = false,
+                    Constraint::Conflicts(a, b) => {
+                        out[*a] = false;
+                        out[*b] = false;
+                    }
+                    Constraint::RequiresAny(a, _) => out[*a] = false,
+                    Constraint::AtMostOne(xs) => {
+                        for &x in xs {
+                            out[x] = false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConstraintSet {
+        let mut cs = ConstraintSet::new(6);
+        cs.add(Constraint::Requires(0, 1)); // partial-inlining -> inline-functions
+        cs.add(Constraint::Conflicts(2, 3));
+        cs.add(Constraint::RequiresAny(4, vec![1, 3]));
+        cs.add(Constraint::AtMostOne(vec![3, 5]));
+        cs
+    }
+
+    #[test]
+    fn check_reports_each_violation() {
+        let cs = sample();
+        let v = cs.check(&[true, false, true, true, true, true]);
+        // Violated: Requires(0,1), Conflicts(2,3), AtMostOne(3,5).
+        assert_eq!(v.len(), 3);
+        assert!(cs.is_valid(&[true, true, false, false, true, false]));
+    }
+
+    #[test]
+    fn cnf_agrees_with_check() {
+        let cs = sample();
+        let cnf = cs.to_cnf();
+        for bits in 0..(1u32 << 6) {
+            let flags: Vec<bool> = (0..6).map(|i| bits & (1 << i) != 0).collect();
+            assert_eq!(cnf.eval(&flags), cs.is_valid(&flags), "flags {flags:?}");
+        }
+    }
+
+    #[test]
+    fn repair_always_produces_valid_vectors() {
+        let cs = sample();
+        for bits in 0..(1u32 << 6) {
+            let flags: Vec<bool> = (0..6).map(|i| bits & (1 << i) != 0).collect();
+            for seed in [1, 42, 0xdead] {
+                let repaired = cs.repair(&flags, seed);
+                assert!(cs.is_valid(&repaired), "bits {bits:#b} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn repair_keeps_valid_vectors_unchanged() {
+        let cs = sample();
+        let ok = vec![true, true, false, false, true, false];
+        assert_eq!(cs.repair(&ok, 7), ok);
+    }
+
+    #[test]
+    fn satisfiable_with_assumptions() {
+        let cs = sample();
+        assert!(cs.satisfiable_with(&[(0, true)]));
+        // Flag 4 with both 1 and 3 forced off is impossible.
+        assert!(!cs.satisfiable_with(&[(4, true), (1, false), (3, false)]));
+    }
+}

@@ -1,0 +1,36 @@
+//! # satz — a DPLL SAT solver and flag-constraint layer
+//!
+//! BinTuner (paper §4.1) uses Z3 to verify that a newly generated
+//! optimization sequence respects the dependency/conflict constraints GCC
+//! and LLVM document between flags. The constraint language needed is purely
+//! boolean, so this crate provides a small, complete DPLL solver
+//! ([`solve`]) plus the domain layer ([`ConstraintSet`]) that translates
+//! flag constraints into CNF, checks concrete flag vectors, and — for the
+//! genetic algorithm — repairs invalid chromosomes into valid ones.
+//!
+//! ## Example
+//!
+//! ```
+//! use satz::{Constraint, ConstraintSet};
+//!
+//! // -fpartial-inlining (0) has effect only with -finline-functions (1);
+//! // flags 2 and 3 conflict.
+//! let mut cs = ConstraintSet::new(4);
+//! cs.add(Constraint::Requires(0, 1));
+//! cs.add(Constraint::Conflicts(2, 3));
+//!
+//! assert!(!cs.is_valid(&[true, false, false, false]));
+//! let repaired = cs.repair(&[true, false, true, true], 42);
+//! assert!(cs.is_valid(&repaired));
+//! ```
+
+#![warn(missing_docs)]
+
+mod cnf;
+mod dpll;
+mod flags;
+mod proptests;
+
+pub use cnf::{Clause, Cnf, Lit};
+pub use dpll::{solve, solve_with_assumptions, SatResult};
+pub use flags::{Constraint, ConstraintSet, Violation};

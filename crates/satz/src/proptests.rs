@@ -1,0 +1,83 @@
+//! Property-based tests for the solver and constraint layer.
+
+#![cfg(test)]
+
+use crate::cnf::{Cnf, Lit};
+use crate::dpll::{solve, SatResult};
+use crate::flags::{Constraint, ConstraintSet};
+use proptest::prelude::*;
+
+fn arb_cnf() -> impl Strategy<Value = Cnf> {
+    (2usize..9).prop_flat_map(|n| {
+        let lit = (0..n, any::<bool>()).prop_map(|(v, s)| if s { Lit::pos(v) } else { Lit::neg(v) });
+        let clause = proptest::collection::vec(lit, 1..4);
+        proptest::collection::vec(clause, 0..24).prop_map(move |clauses| {
+            let mut f = Cnf::new(n);
+            for c in clauses {
+                f.add(c);
+            }
+            f
+        })
+    })
+}
+
+fn arb_constraints() -> impl Strategy<Value = ConstraintSet> {
+    let n = 10usize;
+    let c = prop_oneof![
+        (0..n, 0..n).prop_map(|(a, b)| Constraint::Requires(a, b)),
+        (0..n, 0..n).prop_filter("distinct", |(a, b)| a != b)
+            .prop_map(|(a, b)| Constraint::Conflicts(a, b)),
+        (0..n, proptest::collection::vec(0..n, 1..4))
+            .prop_map(|(a, bs)| Constraint::RequiresAny(a, bs)),
+        proptest::collection::vec(0..n, 2..4).prop_map(Constraint::AtMostOne),
+    ];
+    proptest::collection::vec(c, 0..12).prop_map(move |cs| {
+        let mut set = ConstraintSet::new(n);
+        for c in cs {
+            set.add(c);
+        }
+        set
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any model the solver returns actually satisfies the formula.
+    #[test]
+    fn prop_models_are_real(f in arb_cnf()) {
+        if let SatResult::Sat(m) = solve(&f) {
+            prop_assert!(f.eval(&m));
+        }
+    }
+
+    /// Solver agrees with brute force on small formulas.
+    #[test]
+    fn prop_agrees_with_brute_force(f in arb_cnf()) {
+        let brute = (0..(1u32 << f.num_vars)).any(|bits| {
+            let a: Vec<bool> = (0..f.num_vars).map(|i| bits & (1 << i) != 0).collect();
+            f.eval(&a)
+        });
+        prop_assert_eq!(solve(&f).is_sat(), brute);
+    }
+
+    /// Repair output is always valid, and valid inputs are fixpoints.
+    #[test]
+    fn prop_repair_validity(cs in arb_constraints(),
+                            flags in proptest::collection::vec(any::<bool>(), 10),
+                            seed in any::<u64>()) {
+        // Note: `Requires(a, a)` is vacuously fine; contradictions like
+        // Requires(a,b) + Conflicts(a,b) force a off, which repair handles.
+        let repaired = cs.repair(&flags, seed);
+        prop_assert!(cs.is_valid(&repaired));
+        let again = cs.repair(&repaired, seed);
+        prop_assert_eq!(again, repaired);
+    }
+
+    /// The CNF translation agrees with direct checking.
+    #[test]
+    fn prop_cnf_translation(cs in arb_constraints(),
+                            flags in proptest::collection::vec(any::<bool>(), 10)) {
+        prop_assert_eq!(cs.to_cnf().eval(&flags), cs.is_valid(&flags));
+    }
+}

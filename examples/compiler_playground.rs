@@ -1,0 +1,93 @@
+//! Poke at the minicc compiler directly: build a small program in the
+//! mini-C AST, compile it under different flags, and inspect what the
+//! optimizations did to the machine code.
+//!
+//! ```sh
+//! cargo run --release --example compiler_playground
+//! ```
+
+use minicc::ast::{BinOp, Expr, FuncDef, LValue, Module, Stmt};
+use minicc::{Compiler, CompilerKind, OptLevel};
+
+fn main() {
+    // sum = Σ i∈[0,16) (a[i] * b[i]);  return sum / 255;
+    let mut m = Module::new("playground");
+    let mut f = FuncDef::new("main", vec![], vec![]);
+    f.local("sum").local("i").local_array("a", 16).local_array("b", 16);
+    f.body = vec![
+        Stmt::For {
+            var: "i".into(),
+            start: Expr::Const(0),
+            end: Expr::Const(16),
+            step: 1,
+            body: vec![
+                Stmt::Assign(
+                    LValue::Index("a".into(), Expr::Var("i".into())),
+                    Expr::vc(BinOp::Add, "i", 3),
+                ),
+                Stmt::Assign(
+                    LValue::Index("b".into(), Expr::Var("i".into())),
+                    Expr::vc(BinOp::Mul, "i", 5),
+                ),
+            ],
+        },
+        Stmt::Assign(LValue::Var("sum".into()), Expr::Const(0)),
+        Stmt::For {
+            var: "i".into(),
+            start: Expr::Const(0),
+            end: Expr::Const(16),
+            step: 1,
+            body: vec![Stmt::Assign(
+                LValue::Var("sum".into()),
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::Var("sum".into()),
+                    Expr::bin(
+                        BinOp::Mul,
+                        Expr::Index("a".into(), Box::new(Expr::Var("i".into()))),
+                        Expr::Index("b".into(), Box::new(Expr::Var("i".into()))),
+                    ),
+                ),
+            )],
+        },
+        Stmt::Return(Expr::vc(BinOp::Div, "sum", 255)),
+    ];
+    m.funcs.push(f);
+    m.validate().expect("valid module");
+
+    let cc = Compiler::new(CompilerKind::Gcc);
+    for level in [OptLevel::O0, OptLevel::O2, OptLevel::O3] {
+        let bin = cc
+            .compile_preset(&m, level, binrep::Arch::X86)
+            .expect("compiles");
+        let hist = binrep::opcode_histogram(&bin);
+        let code = binrep::encode_binary(&bin);
+        let r = emu::Machine::new(&bin).run(&[], &[], 100_000).expect("runs");
+        println!(
+            "{level}: {} insns, {} blocks, {} bytes, result={} \
+             (div present: {}, SIMD mul: {})",
+            bin.insn_count(),
+            bin.block_count(),
+            code.len(),
+            r.ret,
+            hist.contains_key("udiv"),
+            hist.contains_key("pmulld"),
+        );
+    }
+    println!(
+        "\nnote: at -O3 the division by 255 becomes a Granlund–Montgomery\n\
+         multiply (no udiv) and the product loop vectorizes (pmulld)."
+    );
+
+    // Disassemble main's first blocks at O3 to see it with your own eyes.
+    let o3 = cc.compile_preset(&m, OptLevel::O3, binrep::Arch::X86).unwrap();
+    let main = o3.function_by_name("main").unwrap();
+    println!("\nmain at -O3, first two blocks:");
+    for block in main.cfg.blocks.iter().take(2) {
+        println!("{}:", block.id);
+        for insn in &block.insns {
+            println!("    {insn}");
+        }
+        println!("    ; -> {:?}", block.term.successors());
+    }
+}

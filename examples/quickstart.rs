@@ -1,0 +1,62 @@
+//! Quickstart: tune one benchmark and compare BinTuner's output against
+//! the default optimization levels.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bintuner::{Tuner, TunerConfig};
+use genetic::Termination;
+use lzc::NcdBaseline;
+use minicc::{Compiler, CompilerKind, OptLevel};
+
+fn main() {
+    // 1. Pick a benchmark from the corpus (the paper's LLVM showcase).
+    let bench = corpus::by_name("462.libquantum").expect("benchmark exists");
+    println!("benchmark: {} ({} functions)", bench.name, bench.module.funcs.len());
+
+    // 2. Tune with the LLVM profile and a small GA budget.
+    let config = TunerConfig {
+        compiler: CompilerKind::Llvm,
+        termination: Termination {
+            max_evaluations: 150,
+            min_evaluations: 100,
+            plateau_window: 50,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let tuner = Tuner::new(config);
+    let result = tuner.tune(&bench.module);
+    println!(
+        "tuned in {} iterations (stopped by {:?}), best NCD vs -O0: {:.4}",
+        result.iterations, result.stopped_by, result.best_ncd
+    );
+
+    // 3. Compare against the default levels.
+    let cc = Compiler::new(CompilerKind::Llvm);
+    let ncd = NcdBaseline::new(binrep::encode_binary(&result.baseline));
+    for level in [OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Os] {
+        let bin = cc
+            .compile_preset(&bench.module, level, binrep::Arch::X86)
+            .expect("preset compiles");
+        println!("  {level}: NCD {:.4}", ncd.score(&binrep::encode_binary(&bin)));
+    }
+    println!("  BinTuner: NCD {:.4}  <-- should be the largest", result.best_ncd);
+
+    // 4. Functional correctness: the tuned binary behaves identically.
+    for inputs in &bench.test_inputs {
+        let base = emu::Machine::new(&result.baseline)
+            .run(&[], inputs, 10_000_000)
+            .expect("baseline runs");
+        let tuned = emu::Machine::new(&result.best_binary)
+            .run(&[], inputs, 10_000_000)
+            .expect("tuned runs");
+        assert_eq!(base.output, tuned.output);
+    }
+    println!("functional correctness: all test inputs produce identical output");
+
+    // 5. What did the search pick? Show the enabled flags.
+    let names = tuner.compiler().profile().enabled_names(&result.best_flags);
+    println!("{} flags enabled, e.g.: {:?}", names.len(), &names[..names.len().min(8)]);
+}

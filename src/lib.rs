@@ -1,0 +1,18 @@
+//! Umbrella crate for the BinTuner reproduction workspace.
+//!
+//! Re-exports every sub-crate so downstream users can depend on one
+//! package. See the repository README for the architecture overview and
+//! `DESIGN.md` for the paper-to-crate mapping.
+
+pub use avscan;
+pub use binhunt;
+pub use binrep;
+pub use bintuner;
+pub use corpus;
+pub use difftools;
+pub use emu;
+pub use genetic;
+pub use lzc;
+pub use minicc;
+pub use perfmodel;
+pub use satz;

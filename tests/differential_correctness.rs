@@ -1,0 +1,143 @@
+//! The repository's central guarantee, tested end to end: **every
+//! optimization configuration preserves program semantics** — BinTuner's
+//! outputs "retain functional correctness" (paper §5.1).
+//!
+//! Differential execution on the emulator: `-O0` output is the oracle;
+//! presets, random valid flag vectors, and obfuscated builds must agree.
+
+use minicc::{Compiler, CompilerKind, OptLevel};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn observe(bin: &binrep::Binary, inputs: &[u32]) -> Vec<u32> {
+    emu::Machine::new(bin)
+        .run(&[], inputs, 20_000_000)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", bin.name))
+        .output
+}
+
+#[test]
+fn presets_preserve_semantics_across_corpus() {
+    let benchmarks = ["429.mcf", "462.libquantum", "657.xz_s", "458.sjeng"];
+    for kind in [CompilerKind::Gcc, CompilerKind::Llvm] {
+        let cc = Compiler::new(kind);
+        for name in benchmarks {
+            if corpus::excluded_for(kind).contains(&name) {
+                continue;
+            }
+            let bench = corpus::by_name(name).unwrap();
+            let o0 = cc
+                .compile_preset(&bench.module, OptLevel::O0, binrep::Arch::X86)
+                .unwrap();
+            let oracle: Vec<Vec<u32>> = bench
+                .test_inputs
+                .iter()
+                .map(|i| observe(&o0, i))
+                .collect();
+            for level in [OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Os] {
+                let bin = cc
+                    .compile_preset(&bench.module, level, binrep::Arch::X86)
+                    .unwrap();
+                for (inputs, want) in bench.test_inputs.iter().zip(&oracle) {
+                    assert_eq!(
+                        &observe(&bin, inputs),
+                        want,
+                        "{kind} {level} {name} inputs {inputs:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn random_flag_vectors_preserve_semantics() {
+    // The property BinTuner's whole search rests on: any *valid* point of
+    // the optimization space is a correct compiler configuration.
+    let bench = corpus::by_name("605.mcf_s").unwrap();
+    for kind in [CompilerKind::Gcc, CompilerKind::Llvm] {
+        let cc = Compiler::new(kind);
+        let o0 = cc
+            .compile_preset(&bench.module, OptLevel::O0, binrep::Arch::X86)
+            .unwrap();
+        let want = observe(&o0, &bench.test_inputs[0]);
+        let mut rng = StdRng::seed_from_u64(0x5EED);
+        for trial in 0..16 {
+            let raw: Vec<bool> = (0..cc.profile().n_flags())
+                .map(|_| rng.gen_bool(0.5))
+                .collect();
+            let flags = cc.profile().constraints().repair(&raw, trial);
+            let bin = cc.compile(&bench.module, &flags, binrep::Arch::X86).unwrap();
+            assert_eq!(
+                observe(&bin, &bench.test_inputs[0]),
+                want,
+                "{kind} trial {trial}"
+            );
+        }
+    }
+}
+
+#[test]
+fn semantics_hold_on_every_architecture() {
+    let bench = corpus::by_name("648.exchange2_s").unwrap();
+    let cc = Compiler::new(CompilerKind::Gcc);
+    for arch in binrep::Arch::ALL {
+        let o0 = cc.compile_preset(&bench.module, OptLevel::O0, arch).unwrap();
+        let o3 = cc.compile_preset(&bench.module, OptLevel::O3, arch).unwrap();
+        assert_eq!(
+            observe(&o0, &bench.test_inputs[0]),
+            observe(&o3, &bench.test_inputs[0]),
+            "{arch}"
+        );
+    }
+}
+
+#[test]
+fn obfuscated_builds_preserve_semantics() {
+    let bench = corpus::by_name("462.libquantum").unwrap();
+    let cc = Compiler::new(CompilerKind::Llvm);
+    let o2 = cc
+        .compile_preset(&bench.module, OptLevel::O2, binrep::Arch::X86)
+        .unwrap();
+    let mut obf = o2.clone();
+    bintuner::obfuscate(&mut obf, &bintuner::ObfuscatorConfig::default());
+    for inputs in &bench.test_inputs {
+        assert_eq!(observe(&o2, inputs), observe(&obf, inputs));
+    }
+}
+
+#[test]
+fn malware_variants_preserve_behaviour_when_tuned() {
+    // Table 2's premise: the tuned malware still *works* (same output,
+    // same API trace), it just looks different.
+    let bench = corpus::malware(corpus::MalwareFamily::Bashlife, 3);
+    let config = bintuner::TunerConfig {
+        termination: genetic::Termination {
+            max_evaluations: 50,
+            min_evaluations: 40,
+            plateau_window: 20,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let result = bintuner::Tuner::new(config).tune(&bench.module);
+    for inputs in &bench.test_inputs {
+        let a = emu::Machine::new(&result.baseline)
+            .run(&[], inputs, 20_000_000)
+            .unwrap();
+        let b = emu::Machine::new(&result.best_binary)
+            .run(&[], inputs, 20_000_000)
+            .unwrap();
+        assert_eq!(a.output, b.output);
+        // Builtin expansion (-fbuiltin) legitimately inlines strcpy-like
+        // library calls, like real GCC — compare only the behavioural
+        // (network/process) API trace.
+        let behavioural = |t: &[String]| -> Vec<String> {
+            t.iter()
+                .filter(|n| !matches!(n.as_str(), "strcpy" | "strlen" | "memcpy" | "memset"))
+                .cloned()
+                .collect()
+        };
+        assert_eq!(behavioural(&a.api_trace), behavioural(&b.api_trace));
+    }
+}

@@ -1,0 +1,232 @@
+//! Per-flag ablation tests: each major optimization flag, enabled on top
+//! of a fixed base configuration, must (a) leave semantics intact and
+//! (b) leave its *structural signature* in the produced binary — the very
+//! signatures §3 of the paper says break diffing assumptions.
+
+use minicc::{Compiler, CompilerKind, OptLevel};
+
+fn base_flags(cc: &Compiler) -> Vec<bool> {
+    cc.profile().preset(OptLevel::O1)
+}
+
+fn with_flag(cc: &Compiler, base: &[bool], name: &str) -> Vec<bool> {
+    let mut f = base.to_vec();
+    let i = cc
+        .profile()
+        .flag_index(name)
+        .unwrap_or_else(|| panic!("flag {name} exists"));
+    f[i] = true;
+    cc.profile().constraints().repair(&f, 1)
+}
+
+fn observe(bin: &binrep::Binary, inputs: &[u32]) -> Vec<u32> {
+    emu::Machine::new(bin)
+        .run(&[], inputs, 20_000_000)
+        .unwrap_or_else(|e| panic!("{}: {e}", bin.name))
+        .output
+}
+
+struct Ablation {
+    bench: corpus::Benchmark,
+    cc: Compiler,
+    base_bin: binrep::Binary,
+    base: Vec<bool>,
+    oracle: Vec<Vec<u32>>,
+}
+
+impl Ablation {
+    fn new(name: &str) -> Ablation {
+        let bench = corpus::by_name(name).unwrap();
+        let cc = Compiler::new(CompilerKind::Gcc);
+        let base = base_flags(&cc);
+        let base_bin = cc.compile(&bench.module, &base, binrep::Arch::X86).unwrap();
+        let oracle = bench
+            .test_inputs
+            .iter()
+            .map(|i| observe(&base_bin, i))
+            .collect();
+        Ablation {
+            bench,
+            cc,
+            base_bin,
+            base,
+            oracle,
+        }
+    }
+
+    /// Enable `flag`, check semantics, return the new binary.
+    fn enable(&self, flag: &str) -> binrep::Binary {
+        let flags = with_flag(&self.cc, &self.base, flag);
+        let bin = self
+            .cc
+            .compile(&self.bench.module, &flags, binrep::Arch::X86)
+            .unwrap();
+        for (inputs, want) in self.bench.test_inputs.iter().zip(&self.oracle) {
+            assert_eq!(&observe(&bin, inputs), want, "{flag} broke semantics");
+        }
+        bin
+    }
+}
+
+fn count_term(bin: &binrep::Binary, pred: impl Fn(&binrep::Terminator) -> bool) -> usize {
+    bin.functions
+        .iter()
+        .flat_map(|f| f.cfg.blocks.iter())
+        .filter(|b| pred(&b.term))
+        .count()
+}
+
+#[test]
+fn jump_tables_flag_creates_indirect_jumps() {
+    let ab = Ablation::new("445.gobmk");
+    let bin = ab.enable("-fjump-tables");
+    let tables = count_term(&bin, |t| matches!(t, binrep::Terminator::JumpTable { .. }));
+    let base_tables = count_term(&ab.base_bin, |t| {
+        matches!(t, binrep::Terminator::JumpTable { .. })
+    });
+    assert!(tables > base_tables, "{tables} vs {base_tables}");
+}
+
+#[test]
+fn tail_call_flag_removes_call_edges() {
+    let ab = Ablation::new("483.xalancbmk");
+    let bin = ab.enable("-foptimize-sibling-calls");
+    let tails = count_term(&bin, |t| matches!(t, binrep::Terminator::TailCall(_)));
+    assert!(tails > 0);
+    let edges = |b: &binrep::Binary| -> usize { b.call_graph().values().map(Vec::len).sum() };
+    assert!(edges(&bin) < edges(&ab.base_bin));
+}
+
+#[test]
+fn vectorize_flag_emits_simd() {
+    let ab = Ablation::new("462.libquantum");
+    let bin = ab.enable("-ftree-vectorize");
+    let hist = binrep::opcode_histogram(&bin);
+    assert!(
+        hist.contains_key("paddd") || hist.contains_key("pmulld") || hist.contains_key("movups"),
+        "{hist:?}"
+    );
+}
+
+#[test]
+fn unroll_flag_reduces_loop_back_edges_per_iteration() {
+    let ab = Ablation::new("462.libquantum");
+    let bin = ab.enable("-funroll-loops");
+    // Unrolling replicates bodies: more instructions in total.
+    assert!(bin.insn_count() > ab.base_bin.insn_count());
+}
+
+#[test]
+fn inline_flag_removes_calls() {
+    let ab = Ablation::new("483.xalancbmk");
+    let bin = ab.enable("-finline-functions");
+    let calls = |b: &binrep::Binary| -> usize {
+        b.functions
+            .iter()
+            .flat_map(|f| f.cfg.blocks.iter())
+            .flat_map(|bl| bl.insns.iter())
+            .filter(|i| i.callee().is_some())
+            .count()
+    };
+    assert!(calls(&bin) < calls(&ab.base_bin));
+}
+
+#[test]
+fn peephole_and_strength_reduction_remove_division() {
+    // Hand-built module with a guaranteed division by a non-power-of-two
+    // constant (Figure 3(a)'s x/255).
+    use minicc::ast::{BinOp, Expr, FuncDef, Module, Stmt};
+    let mut m = Module::new("divtest");
+    m.funcs.push(FuncDef::new(
+        "main",
+        vec!["x".into()],
+        vec![Stmt::Return(Expr::vc(BinOp::Div, "x", 255))],
+    ));
+    m.validate().unwrap();
+    // Clean base (no style-bit filler flags): the O1 preset includes
+    // -fcprop-registers, whose codegen style loads constants into a
+    // register first and thereby hides the `udiv r, imm` pattern from the
+    // peephole — a real flag interaction, but not what this test probes.
+    let cc = Compiler::new(CompilerKind::Gcc);
+    let base = vec![false; cc.profile().n_flags()];
+    let plain = cc.compile(&m, &base, binrep::Arch::X86).unwrap();
+    let mut flags = base.clone();
+    flags[cc.profile().flag_index("-fexpensive-optimizations").unwrap()] = true;
+    let flags = cc.profile().constraints().repair(&flags, 1);
+    let reduced = cc.compile(&m, &flags, binrep::Arch::X86).unwrap();
+    let hist_base = binrep::opcode_histogram(&plain);
+    let hist = binrep::opcode_histogram(&reduced);
+    assert!(hist_base.contains_key("udiv"));
+    assert!(!hist.contains_key("udiv"), "{hist:?}");
+    assert!(hist.contains_key("umulh"), "magic multiply expected");
+    // Exact semantics across the whole u32 edge set.
+    for x in [0u32, 1, 254, 255, 256, 0xffff_ffff, 0x8000_0000] {
+        let a = emu::Machine::new(&plain).run(&[x], &[], 10_000).unwrap().ret;
+        let b = emu::Machine::new(&reduced).run(&[x], &[], 10_000).unwrap().ret;
+        assert_eq!(a, b);
+        assert_eq!(a, x / 255);
+    }
+}
+
+#[test]
+fn branch_count_reg_uses_loop_instruction() {
+    let ab = Ablation::new("648.exchange2_s");
+    let bin = ab.enable("-fbranch-count-reg");
+    let loops = count_term(&bin, |t| matches!(t, binrep::Terminator::LoopBack { .. }));
+    assert!(loops > 0, "expected `loop` instruction lowering");
+}
+
+#[test]
+fn reorder_functions_permutes_layout() {
+    let ab = Ablation::new("429.mcf");
+    let bin = ab.enable("-freorder-functions");
+    let names = |b: &binrep::Binary| -> Vec<String> {
+        b.functions.iter().map(|f| f.name.clone()).collect()
+    };
+    assert_ne!(names(&bin), names(&ab.base_bin));
+    // Same set, different order.
+    let mut a = names(&bin);
+    let mut b = names(&ab.base_bin);
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn align_functions_pads_with_nops() {
+    let ab = Ablation::new("429.mcf");
+    let bin = ab.enable("-falign-functions");
+    let padded = bin.functions.iter().filter(|f| f.align_pad > 0).count();
+    assert!(padded > 0);
+}
+
+#[test]
+fn merge_all_constants_shrinks_data() {
+    let ab = Ablation::new("400.perlbench");
+    let bin = ab.enable("-fmerge-all-constants");
+    assert!(bin.data.len() <= ab.base_bin.data.len());
+}
+
+#[test]
+fn every_single_flag_alone_preserves_semantics() {
+    // The exhaustive sweep: each flag individually on top of O0.
+    let bench = corpus::by_name("605.mcf_s").unwrap();
+    let cc = Compiler::new(CompilerKind::Llvm);
+    let o0 = cc
+        .compile_preset(&bench.module, OptLevel::O0, binrep::Arch::X86)
+        .unwrap();
+    let want = observe(&o0, &bench.test_inputs[0]);
+    let n = cc.profile().n_flags();
+    for i in 0..n {
+        let mut flags = vec![false; n];
+        flags[i] = true;
+        let flags = cc.profile().constraints().repair(&flags, i as u64);
+        let bin = cc.compile(&bench.module, &flags, binrep::Arch::X86).unwrap();
+        assert_eq!(
+            observe(&bin, &bench.test_inputs[0]),
+            want,
+            "flag {} alone broke semantics",
+            cc.profile().flags()[i].name
+        );
+    }
+}

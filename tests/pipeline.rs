@@ -1,0 +1,114 @@
+//! End-to-end pipeline tests spanning all crates: tuner → binhunt →
+//! difftools → avscan, reproducing each paper claim's *shape* at test
+//! scale.
+
+use bintuner::{Tuner, TunerConfig};
+use genetic::Termination;
+use minicc::{Compiler, CompilerKind, OptLevel};
+
+fn small(max: usize) -> TunerConfig {
+    TunerConfig {
+        termination: Termination {
+            max_evaluations: max,
+            min_evaluations: max * 2 / 3,
+            plateau_window: max / 3,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn tuned_binary_undermines_binhunt_more_than_o3() {
+    // The paper's headline (Figure 5): BinTuner vs O0 > O3 vs O0.
+    let bench = corpus::by_name("462.libquantum").unwrap();
+    let cc = Compiler::new(CompilerKind::Gcc);
+    let result = Tuner::new(small(90)).tune(&bench.module);
+    let o3 = cc
+        .compile_preset(&bench.module, OptLevel::O3, binrep::Arch::X86)
+        .unwrap();
+    let d3 = binhunt::diff_binaries_with_beam(&result.baseline, &o3, 5).difference;
+    let dt = binhunt::diff_binaries_with_beam(&result.baseline, &result.best_binary, 5).difference;
+    assert!(
+        dt >= d3 - 0.02,
+        "BinTuner {dt:.3} should reach/beat O3 {d3:.3}"
+    );
+}
+
+#[test]
+fn tuned_binary_degrades_difftool_precision() {
+    // Figure 8's shape: Precision@1 of a representative tool drops from
+    // O1 to BinTuner.
+    let bench = corpus::by_name("657.xz_s").unwrap();
+    let cc = Compiler::new(CompilerKind::Gcc);
+    let result = Tuner::new(small(80)).tune(&bench.module);
+    let o0 = &result.baseline;
+    let o1 = cc
+        .compile_preset(&bench.module, OptLevel::O1, binrep::Arch::X86)
+        .unwrap();
+    for tool in [difftools::Tool::Asm2Vec, difftools::Tool::CoP] {
+        let p1 = difftools::precision_at_1(tool, o0, &o1, 5);
+        let pt = difftools::precision_at_1(tool, o0, &result.best_binary, 5);
+        assert!(
+            pt <= p1 + 0.05,
+            "{}: O1 {p1:.2} vs tuned {pt:.2}",
+            tool.name()
+        );
+    }
+}
+
+#[test]
+fn tuned_malware_evades_code_signatures() {
+    // Table 2's shape: detection drops by more than a third (paper: more
+    // than half at full budget) and data/API signatures survive.
+    let bench = corpus::malware(corpus::MalwareFamily::LightAidra, 0);
+    let cc = Compiler::new(CompilerKind::Gcc);
+    let reference = cc
+        .compile_preset(&bench.module, OptLevel::O2, binrep::Arch::X86)
+        .unwrap();
+    let ensemble = avscan::Ensemble::from_reference(&reference, 48, 11);
+    let base_detections = ensemble.detection_count(&reference);
+    let result = Tuner::new(small(70)).tune(&bench.module);
+    let tuned_detections = ensemble.detection_count(&result.best_binary);
+    assert!(
+        (tuned_detections as f64) < 0.67 * base_detections as f64,
+        "tuned {tuned_detections} vs reference {base_detections}"
+    );
+    assert!(tuned_detections > 0, "data/API signatures must survive");
+}
+
+#[test]
+fn ncd_correlates_with_binhunt_over_presets() {
+    // The fitness-function sanity behind §4.2/Figure 10.
+    let bench = corpus::by_name("429.mcf").unwrap();
+    let cc = Compiler::new(CompilerKind::Gcc);
+    let o0 = cc
+        .compile_preset(&bench.module, OptLevel::O0, binrep::Arch::X86)
+        .unwrap();
+    let ncd = lzc::NcdBaseline::new(binrep::encode_binary(&o0));
+    let mut ncds = Vec::new();
+    let mut bhs = Vec::new();
+    for level in [OptLevel::O1, OptLevel::Os, OptLevel::O2, OptLevel::O3] {
+        let bin = cc
+            .compile_preset(&bench.module, level, binrep::Arch::X86)
+            .unwrap();
+        ncds.push(ncd.score(&binrep::encode_binary(&bin)));
+        bhs.push(binhunt::diff_binaries(&o0, &bin).difference);
+    }
+    let r = bintuner::pearson(&ncds, &bhs);
+    assert!(r > 0.4, "Pearson(NCD, BinHunt) = {r:.2}");
+}
+
+#[test]
+fn database_records_full_trajectory() {
+    let bench = corpus::by_name("473.astar").unwrap();
+    let result = Tuner::new(small(50)).tune(&bench.module);
+    let rows = result.db.rows();
+    assert_eq!(rows.len(), result.iterations);
+    // best_ncd is monotone non-decreasing.
+    for w in rows.windows(2) {
+        assert!(w[1].best_ncd >= w[0].best_ncd - 1e-12);
+    }
+    // CSV export round-trips line count.
+    assert_eq!(result.db.to_csv().lines().count(), rows.len() + 1);
+}

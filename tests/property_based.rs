@@ -1,0 +1,82 @@
+//! Property-based integration tests: randomly generated programs,
+//! compiled under randomly chosen (repaired) flag vectors, must behave
+//! exactly like their -O0 builds. This is the strongest statement the
+//! repository makes about the compiler substrate.
+
+use minicc::{Compiler, CompilerKind, OptLevel};
+use proptest::prelude::*;
+
+fn observe(bin: &binrep::Binary, inputs: &[u32]) -> Vec<u32> {
+    emu::Machine::new(bin)
+        .run(&[], inputs, 20_000_000)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", bin.name))
+        .output
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random program × random valid flags × random inputs ≡ -O0.
+    #[test]
+    fn prop_random_program_random_flags_semantics(
+        seed in 0u64..5000,
+        flag_bits in proptest::collection::vec(any::<bool>(), 140..150),
+        input_a in any::<u32>(),
+        input_b in 0u32..100_000,
+    ) {
+        let module = corpus::generate(
+            "prop",
+            &corpus::Profile {
+                seed,
+                funcs: 10,
+                ..Default::default()
+            },
+        );
+        module.validate().unwrap();
+        let kind = if seed % 2 == 0 { CompilerKind::Gcc } else { CompilerKind::Llvm };
+        let cc = Compiler::new(kind);
+        let n = cc.profile().n_flags();
+        let raw: Vec<bool> = (0..n).map(|i| flag_bits[i % flag_bits.len()]).collect();
+        let flags = cc.profile().constraints().repair(&raw, seed);
+        let o0 = cc.compile_preset(&module, OptLevel::O0, binrep::Arch::X86).unwrap();
+        let opt = cc.compile(&module, &flags, binrep::Arch::X86).unwrap();
+        let inputs = vec![input_a, input_b];
+        prop_assert_eq!(observe(&o0, &inputs), observe(&opt, &inputs));
+    }
+
+    /// Encoded binaries always decode (well-formedness of the encoder).
+    #[test]
+    fn prop_encode_decode_round_trip(seed in 0u64..5000) {
+        let module = corpus::generate(
+            "prop",
+            &corpus::Profile { seed, funcs: 6, ..Default::default() },
+        );
+        let cc = Compiler::new(CompilerKind::Gcc);
+        for level in [OptLevel::O0, OptLevel::O3] {
+            for arch in binrep::Arch::ALL {
+                let bin = cc.compile_preset(&module, level, arch).unwrap();
+                let code = binrep::encode_binary(&bin);
+                let items = binrep::decode(&code, arch)
+                    .unwrap_or_else(|e| panic!("{arch} {level}: {e}"));
+                prop_assert!(!items.is_empty());
+            }
+        }
+    }
+
+    /// BinHunt difference is a bounded, self-zero pseudo-metric on the
+    /// binaries we produce.
+    #[test]
+    fn prop_binhunt_score_properties(seed in 0u64..2000) {
+        let module = corpus::generate(
+            "prop",
+            &corpus::Profile { seed, funcs: 6, ..Default::default() },
+        );
+        let cc = Compiler::new(CompilerKind::Llvm);
+        let a = cc.compile_preset(&module, OptLevel::O0, binrep::Arch::X86).unwrap();
+        let b = cc.compile_preset(&module, OptLevel::O2, binrep::Arch::X86).unwrap();
+        let self_diff = binhunt::diff_binaries(&a, &a).difference;
+        let cross = binhunt::diff_binaries(&a, &b).difference;
+        prop_assert!(self_diff < 0.05);
+        prop_assert!((0.0..=1.0).contains(&cross));
+    }
+}
