@@ -203,7 +203,11 @@ fn features(bin: &Binary) -> Vec<f64> {
 }
 
 fn dist(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 impl ProvenanceClassifier {
@@ -211,7 +215,11 @@ impl ProvenanceClassifier {
     /// (compiler, level) pair — the paper trains on Mirai's leaked source
     /// with "all applicable combinations of compiler versions and
     /// optimization levels" (§2.4).
-    pub fn train(training: &minicc::ast::Module, arch: Arch, threshold: f64) -> ProvenanceClassifier {
+    pub fn train(
+        training: &minicc::ast::Module,
+        arch: Arch,
+        threshold: f64,
+    ) -> ProvenanceClassifier {
         let mut centroids = Vec::new();
         for kind in [CompilerKind::Gcc, CompilerKind::Llvm] {
             let cc = Compiler::new(kind);

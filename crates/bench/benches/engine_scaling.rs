@@ -1,0 +1,83 @@
+//! Engine scaling: tuner throughput at 1/2/4/8 fitness-engine workers,
+//! with cache hit-rate — the perf trajectory behind the batched, parallel,
+//! cached fitness engine (the reproduction's analog of the paper's
+//! Table 3 iteration-cost concern).
+//!
+//! The tuned result is identical at every worker count (asserted below);
+//! only wall-clock changes. Speedup requires hardware parallelism —
+//! on a single-core host the 2/4/8-worker rows measure scheduling
+//! overhead, not gains — so the host's available parallelism is printed
+//! alongside.
+
+use bench::print_table;
+use bintuner::{Tuner, TunerConfig};
+use genetic::{GaParams, Termination};
+use std::time::Instant;
+
+fn config(workers: usize) -> TunerConfig {
+    let evals = if bench::full_run() { 700 } else { 240 };
+    TunerConfig {
+        termination: Termination {
+            max_evaluations: evals,
+            min_evaluations: evals * 2 / 3,
+            plateau_window: evals / 3,
+            ..Default::default()
+        },
+        ga: GaParams {
+            population: 24,
+            ..Default::default()
+        },
+        workers,
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let bench_case = corpus::by_name("445.gobmk").expect("known benchmark");
+    println!(
+        "engine scaling on {} (host parallelism: {cores})",
+        bench_case.name
+    );
+
+    let mut rows = Vec::new();
+    let mut baseline_wall = 0.0f64;
+    let mut reference_flags: Option<Vec<bool>> = None;
+    for workers in [1usize, 2, 4, 8] {
+        let tuner = Tuner::new(config(workers));
+        let t = Instant::now();
+        let result = tuner.tune(&bench_case.module).expect("tuning run");
+        let wall = t.elapsed().as_secs_f64();
+        if workers == 1 {
+            baseline_wall = wall;
+        }
+        // Determinism across worker counts is part of the contract.
+        match &reference_flags {
+            None => reference_flags = Some(result.best_flags.clone()),
+            Some(reference) => assert_eq!(
+                reference, &result.best_flags,
+                "{workers} workers diverged from the 1-worker result"
+            ),
+        }
+        let stats = result.engine_stats;
+        rows.push(vec![
+            workers.to_string(),
+            result.iterations.to_string(),
+            format!("{:.3}", result.best_ncd),
+            format!("{:.2}", wall),
+            format!("{:.2}", baseline_wall / wall),
+            format!("{:.0}", result.iterations as f64 / wall),
+            format!("{:.1}%", 100.0 * stats.cache_hit_rate()),
+            stats.failed_compiles.to_string(),
+        ]);
+    }
+    print_table(
+        "Engine scaling (fixed seed; identical results by construction)",
+        &[
+            "workers", "iters", "ncd", "wall_s", "speedup", "iters/s", "cache", "failed",
+        ],
+        &rows,
+    );
+}

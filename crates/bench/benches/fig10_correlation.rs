@@ -11,7 +11,10 @@ use minicc::{Compiler, CompilerKind, OptLevel};
 
 fn main() {
     let cases = vec![
-        (CompilerKind::Llvm, corpus::by_name("462.libquantum").unwrap()),
+        (
+            CompilerKind::Llvm,
+            corpus::by_name("462.libquantum").unwrap(),
+        ),
         (CompilerKind::Gcc, corpus::by_name("429.mcf").unwrap()),
     ];
     for (kind, bench) in cases {
@@ -53,8 +56,8 @@ fn main() {
             &cdf_rows,
         );
         let overall = pearson(&ncds, &bh);
-        let significant = corrs.iter().filter(|&&c| c > 0.6).count() as f64
-            / corrs.len().max(1) as f64;
+        let significant =
+            corrs.iter().filter(|&&c| c > 0.6).count() as f64 / corrs.len().max(1) as f64;
         println!(
             "overall Pearson(NCD, BinHunt) = {overall:.2}; windows with corr > 0.6: {:.0}% (paper: ~70%)",
             significant * 100.0

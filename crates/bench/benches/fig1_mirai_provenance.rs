@@ -18,7 +18,9 @@ fn main() {
     let mirai = corpus::malware(corpus::MalwareFamily::Mirai, 0);
     let cc = Compiler::new(CompilerKind::Gcc);
     let arch = binrep::Arch::X86;
-    let reference = cc.compile_preset(&mirai.module, OptLevel::O2, arch).unwrap();
+    let reference = cc
+        .compile_preset(&mirai.module, OptLevel::O2, arch)
+        .unwrap();
     let ensemble = Ensemble::from_reference(&reference, 54, 0xF01);
     let classifier = ProvenanceClassifier::train(&mirai.module, arch, 0.05);
 
@@ -39,13 +41,12 @@ fn main() {
         let mut classified_nondefault = 0usize;
         let mut classified_default = 0usize;
         for k in 0..per_month {
-            let variant = corpus::malware(
-                corpus::MalwareFamily::Mirai,
-                (month as u64) << 8 | k as u64,
-            );
+            let variant =
+                corpus::malware(corpus::MalwareFamily::Mirai, (month as u64) << 8 | k as u64);
             let is_nondefault = rng.gen_bool(nondefault_share);
             let bin = if is_nondefault {
-                cc.compile(&variant.module, &tuned.best_flags, arch).unwrap()
+                cc.compile(&variant.module, &tuned.best_flags, arch)
+                    .unwrap()
             } else {
                 let level = *[OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Os]
                     .choose(&mut rng)

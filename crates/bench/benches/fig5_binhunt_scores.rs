@@ -24,11 +24,13 @@ fn main() {
             let o0 = cc
                 .compile_preset(&bench.module, OptLevel::O0, binrep::Arch::X86)
                 .unwrap();
-            let score = |bin: &binrep::Binary| {
-                binhunt::diff_binaries_with_beam(&o0, bin, 6).difference
-            };
+            let score =
+                |bin: &binrep::Binary| binhunt::diff_binaries_with_beam(&o0, bin, 6).difference;
             let at = |l: OptLevel| {
-                score(&cc.compile_preset(&bench.module, l, binrep::Arch::X86).unwrap())
+                score(
+                    &cc.compile_preset(&bench.module, l, binrep::Arch::X86)
+                        .unwrap(),
+                )
             };
             let tuned = tune(&bench, kind, 90, 0xF15);
             let d_first = at(first_level);

@@ -8,7 +8,10 @@ use minicc::{Compiler, CompilerKind, OptLevel};
 
 fn main() {
     let cases: Vec<(CompilerKind, corpus::Benchmark)> = vec![
-        (CompilerKind::Llvm, corpus::by_name("462.libquantum").unwrap()),
+        (
+            CompilerKind::Llvm,
+            corpus::by_name("462.libquantum").unwrap(),
+        ),
         (CompilerKind::Llvm, corpus::by_name("445.gobmk").unwrap()),
         (CompilerKind::Gcc, corpus::coreutils()),
         (CompilerKind::Gcc, corpus::by_name("429.mcf").unwrap()),
@@ -18,13 +21,21 @@ fn main() {
         let result = tune(&bench, kind, 110, 0xF16);
         let ncd = NcdBaseline::new(binrep::encode_binary(&result.baseline));
         let ref_ncd = |l: OptLevel| {
-            let bin = cc.compile_preset(&bench.module, l, binrep::Arch::X86).unwrap();
+            let bin = cc
+                .compile_preset(&bench.module, l, binrep::Arch::X86)
+                .unwrap();
             ncd.score(&binrep::encode_binary(&bin))
         };
-        println!("\n== Figure 6 ({kind} & {}): NCD over iterations ==", bench.name);
+        println!(
+            "\n== Figure 6 ({kind} & {}): NCD over iterations ==",
+            bench.name
+        );
         let best: Vec<f64> = result.db.rows().iter().map(|r| r.best_ncd).collect();
         let raw: Vec<f64> = result.db.rows().iter().map(|r| r.ncd).collect();
-        println!("iterations: {}   final best NCD: {:.4}", result.iterations, result.best_ncd);
+        println!(
+            "iterations: {}   final best NCD: {:.4}",
+            result.iterations, result.best_ncd
+        );
         println!("best-so-far: {}", sparkline(&downsample(&best, 64)));
         println!("per-iter   : {}", sparkline(&downsample(&raw, 64)));
         let levels: &[OptLevel] = match kind {
@@ -35,6 +46,9 @@ fn main() {
             println!("reference {l}: NCD {:.4}", ref_ncd(l));
         }
         let beats_all = levels.iter().all(|&l| result.best_ncd >= ref_ncd(l));
-        println!("BinTuner beats all default levels: {}", if beats_all { "yes" } else { "NO" });
+        println!(
+            "BinTuner beats all default levels: {}",
+            if beats_all { "yes" } else { "NO" }
+        );
     }
 }

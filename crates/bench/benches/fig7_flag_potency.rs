@@ -8,7 +8,10 @@ use minicc::{Compiler, CompilerKind, OptLevel};
 
 fn main() {
     let mut cases: Vec<(CompilerKind, corpus::Benchmark)> = vec![
-        (CompilerKind::Llvm, corpus::by_name("462.libquantum").unwrap()),
+        (
+            CompilerKind::Llvm,
+            corpus::by_name("462.libquantum").unwrap(),
+        ),
         (CompilerKind::Gcc, corpus::by_name("429.mcf").unwrap()),
     ];
     if full_run() {

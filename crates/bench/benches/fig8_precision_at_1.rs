@@ -25,8 +25,12 @@ fn main() {
             Tool::MultiMh,
             Tool::BinSlayer,
         ],
-        &[("O1", Setting::Level(OptLevel::O1)), ("O3", Setting::Level(OptLevel::O3)),
-          ("Os", Setting::Level(OptLevel::Os)), ("BinTuner", Setting::Tuned)],
+        &[
+            ("O1", Setting::Level(OptLevel::O1)),
+            ("O3", Setting::Level(OptLevel::O3)),
+            ("Os", Setting::Level(OptLevel::Os)),
+            ("BinTuner", Setting::Tuned),
+        ],
     );
     // (b) LLVM & OpenSSL — all seven tools, plus Obfuscator-LLVM.
     run_suite(
@@ -34,8 +38,12 @@ fn main() {
         CompilerKind::Llvm,
         corpus::openssl(),
         &Tool::ALL,
-        &[("O1", Setting::Level(OptLevel::O1)), ("O3", Setting::Level(OptLevel::O3)),
-          ("O-LLVM", Setting::Ollvm), ("BinTuner", Setting::Tuned)],
+        &[
+            ("O1", Setting::Level(OptLevel::O1)),
+            ("O3", Setting::Level(OptLevel::O3)),
+            ("O-LLVM", Setting::Ollvm),
+            ("BinTuner", Setting::Tuned),
+        ],
     );
 }
 
@@ -89,7 +97,11 @@ fn run_suite(
             prev = p;
             cells.push(format!("{p:.2}"));
         }
-        cells.push(if monotone { "~decl".into() } else { "mixed".into() });
+        cells.push(if monotone {
+            "~decl".into()
+        } else {
+            "mixed".into()
+        });
         rows.push(cells);
     }
     let mut headers: Vec<&str> = vec!["tool"];

@@ -13,16 +13,23 @@ use minicc::{Compiler, CompilerKind, OptLevel};
 fn main() {
     let cc = Compiler::new(CompilerKind::Gcc);
     let mut rows = Vec::new();
-    for family in [corpus::MalwareFamily::LightAidra, corpus::MalwareFamily::Bashlife] {
+    for family in [
+        corpus::MalwareFamily::LightAidra,
+        corpus::MalwareFamily::Bashlife,
+    ] {
         let bench = corpus::malware(family, 0);
         let mut cells_default = vec![format!("{} Default (GCC -O2)", family.name())];
         let mut cells_o3 = vec![format!("{} GCC -O3", family.name())];
         let mut cells_tuned = vec![format!("{} BinTuner", family.name())];
         for arch in binrep::Arch::ALL {
-            let reference = cc.compile_preset(&bench.module, OptLevel::O2, arch).unwrap();
+            let reference = cc
+                .compile_preset(&bench.module, OptLevel::O2, arch)
+                .unwrap();
             // AV vendors sign the common (default-built) variant.
             let ensemble = Ensemble::from_reference(&reference, 48, arch as u64 ^ 0xAB);
-            let o3 = cc.compile_preset(&bench.module, OptLevel::O3, arch).unwrap();
+            let o3 = cc
+                .compile_preset(&bench.module, OptLevel::O3, arch)
+                .unwrap();
             let tuned = {
                 let config = bintuner::TunerConfig {
                     compiler: CompilerKind::Gcc,
@@ -31,7 +38,10 @@ fn main() {
                     seed: 0x7AB2 ^ arch as u64,
                     ..Default::default()
                 };
-                bintuner::Tuner::new(config).tune(&bench.module).best_binary
+                bintuner::Tuner::new(config)
+                    .tune(&bench.module)
+                    .expect("tuning run")
+                    .best_binary
             };
             cells_default.push(ensemble.detection_count(&reference).to_string());
             cells_o3.push(ensemble.detection_count(&o3).to_string());

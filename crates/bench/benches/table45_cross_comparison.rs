@@ -43,7 +43,8 @@ fn run_case(title: &str, kind: CompilerKind, bench: corpus::Benchmark, levels: &
         .map(|&l| {
             (
                 l.name().trim_start_matches('-').to_string(),
-                cc.compile_preset(&bench.module, l, binrep::Arch::X86).unwrap(),
+                cc.compile_preset(&bench.module, l, binrep::Arch::X86)
+                    .unwrap(),
             )
         })
         .collect();
@@ -66,11 +67,11 @@ fn run_case(title: &str, kind: CompilerKind, bench: corpus::Benchmark, levels: &
     let mut sums = Vec::new();
     for i in 0..n {
         let mut cells = vec![named[i].0.clone()];
-        for j in 0..n {
+        for (j, value) in matrix[i].iter().enumerate().take(n) {
             cells.push(if i == j {
                 "–".to_string()
             } else {
-                format!("{:.2}", matrix[i][j])
+                format!("{value:.2}")
             });
         }
         let sum: f64 = matrix[i].iter().sum();

@@ -37,8 +37,10 @@ fn main() {
             };
             let fmt = |(b, e, f): (f64, f64, f64)| format!("({b:.2}, {e:.2}, {f:.2})");
             let result = tune(&bench, kind, 80, 0x7AB7);
-            let r_first =
-                ratio_tuple(&cc.compile_preset(&bench.module, first, binrep::Arch::X86).unwrap());
+            let r_first = ratio_tuple(
+                &cc.compile_preset(&bench.module, first, binrep::Arch::X86)
+                    .unwrap(),
+            );
             let r2 = ratio_tuple(
                 &cc.compile_preset(&bench.module, OptLevel::O2, binrep::Arch::X86)
                     .unwrap(),

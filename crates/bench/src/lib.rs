@@ -13,16 +13,24 @@ use minicc::CompilerKind;
 
 /// Whether the full (slow) sweep was requested.
 pub fn full_run() -> bool {
-    std::env::var("BINTUNER_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("BINTUNER_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The benchmarks exercised by default (one small, one vector-heavy, one
 /// branchy SPEC program per generation, plus the two utility suites).
 pub fn quick_benchmarks() -> Vec<Benchmark> {
-    ["429.mcf", "462.libquantum", "445.gobmk", "605.mcf_s", "657.xz_s"]
-        .iter()
-        .map(|n| corpus::by_name(n).expect("known benchmark"))
-        .collect()
+    [
+        "429.mcf",
+        "462.libquantum",
+        "445.gobmk",
+        "605.mcf_s",
+        "657.xz_s",
+    ]
+    .iter()
+    .map(|n| corpus::by_name(n).expect("known benchmark"))
+    .collect()
 }
 
 /// Benchmarks for a harness: quick subset or the full paper dataset.
@@ -66,7 +74,9 @@ pub fn tune(bench: &Benchmark, kind: CompilerKind, evals: usize, seed: u64) -> T
         seed,
         ..Default::default()
     };
-    Tuner::new(config).tune(&bench.module)
+    Tuner::new(config)
+        .tune(&bench.module)
+        .expect("benchmark module tunes")
 }
 
 /// Print a fixed-width table row.
@@ -100,7 +110,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             &widths
         )
     );
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for r in rows {
         println!("{}", row(r, &widths));
     }

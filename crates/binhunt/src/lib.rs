@@ -28,8 +28,7 @@ pub mod matching;
 pub mod sym;
 
 pub use matching::{
-    diff_binaries, diff_binaries_with_beam, match_cfgs, BlockMatch, CfgMatch, DiffReport,
-    FuncMatch,
+    diff_binaries, diff_binaries_with_beam, match_cfgs, BlockMatch, CfgMatch, DiffReport, FuncMatch,
 };
 pub use sym::{block_score, canonicalize, summarize, BlockSummary, Term};
 

@@ -286,9 +286,7 @@ pub fn diff_binaries_with_beam(a: &Binary, b: &Binary, beam: usize) -> DiffRepor
     let nonlib = |bin: &Binary| bin.functions.iter().filter(|f| !f.is_library).count();
     let matched_funcs = functions
         .iter()
-        .filter(|m| {
-            m.score > 0.25 && !a.functions[m.a].is_library && !b.functions[m.b].is_library
-        })
+        .filter(|m| m.score > 0.25 && !a.functions[m.a].is_library && !b.functions[m.b].is_library)
         .count();
 
     DiffReport {

@@ -95,13 +95,7 @@ impl TermOp {
             TermOp::Sub => a.wrapping_sub(b),
             TermOp::Mul => a.wrapping_mul(b),
             TermOp::MulH => (((a as u64) * (b as u64)) >> 32) as u32,
-            TermOp::Div => {
-                if b == 0 {
-                    0
-                } else {
-                    a / b
-                }
-            }
+            TermOp::Div => a.checked_div(b).unwrap_or(0),
             TermOp::Rem => {
                 if b == 0 {
                     a
@@ -153,7 +147,10 @@ pub fn bin(op: TermOp, a: Rc<Term>, b: Rc<Term>) -> Rc<Term> {
         _ => {}
     }
     // (x op c1) op c2 → x op (c1 op c2) for associative ops with consts.
-    if matches!(op, TermOp::Add | TermOp::Mul | TermOp::And | TermOp::Or | TermOp::Xor) {
+    if matches!(
+        op,
+        TermOp::Add | TermOp::Mul | TermOp::And | TermOp::Or | TermOp::Xor
+    ) {
         if let Term::Const(c2) = &*b {
             if let Term::Bin(op2, x, c1) = &*a {
                 if *op2 == op {
@@ -171,7 +168,11 @@ pub fn bin(op: TermOp, a: Rc<Term>, b: Rc<Term>) -> Rc<Term> {
         }
     }
     // Commutative argument ordering.
-    let (a, b) = if op.commutative() && b < a { (b, a) } else { (a, b) };
+    let (a, b) = if op.commutative() && b < a {
+        (b, a)
+    } else {
+        (a, b)
+    };
     Rc::new(Term::Bin(op, a, b))
 }
 
@@ -255,9 +256,7 @@ impl SymState {
     fn vreg(&mut self, x: Xmm) -> [Rc<Term>; 4] {
         self.vregs
             .entry(x)
-            .or_insert_with(|| {
-                [0, 1, 2, 3].map(|l| Rc::new(Term::InitVec(x.0, l)))
-            })
+            .or_insert_with(|| [0, 1, 2, 3].map(|l| Rc::new(Term::InitVec(x.0, l))))
             .clone()
     }
 
@@ -336,9 +335,11 @@ fn cond_term(s: &mut SymState, cond: Cond) -> Rc<CondTerm> {
         FlagsState::Cmp(a, b) => (a.clone(), b.clone(), false),
         FlagsState::Test(a, b) => (a.clone(), b.clone(), true),
         FlagsState::Alu(t) => (t.clone(), Rc::new(Term::Const(0)), false),
-        FlagsState::Entry | FlagsState::Havoc(_) => {
-            (Rc::new(Term::Havoc(u32::MAX, 0)), Rc::new(Term::Const(0)), false)
-        }
+        FlagsState::Entry | FlagsState::Havoc(_) => (
+            Rc::new(Term::Havoc(u32::MAX, 0)),
+            Rc::new(Term::Const(0)),
+            false,
+        ),
     };
     Rc::new(CondTerm {
         cond,
@@ -514,8 +515,15 @@ fn exec(s: &mut SymState, insn: &Insn) {
                     .zip(lb.iter())
                     .map(|(x, y)| bin(top, x.clone(), y.clone()))
                     .collect();
-                s.vregs
-                    .insert(a, [out[0].clone(), out[1].clone(), out[2].clone(), out[3].clone()]);
+                s.vregs.insert(
+                    a,
+                    [
+                        out[0].clone(),
+                        out[1].clone(),
+                        out[2].clone(),
+                        out[3].clone(),
+                    ],
+                );
             }
         }
         Opcode::Vhsum => {
@@ -535,7 +543,7 @@ fn exec(s: &mut SymState, insn: &Insn) {
 
 /// Rename register numbers in a term through `map` (canonicalization).
 fn rename_term(t: &Rc<Term>, map: &mut BTreeMap<u8, u8>, next: &mut u8) -> Rc<Term> {
-    let mut get = |r: u8, map: &mut BTreeMap<u8, u8>, next: &mut u8| -> u8 {
+    let get = |r: u8, map: &mut BTreeMap<u8, u8>, next: &mut u8| -> u8 {
         *map.entry(r).or_insert_with(|| {
             let v = *next;
             *next += 1;

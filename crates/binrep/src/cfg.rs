@@ -299,7 +299,11 @@ mod tests {
             then_bb: b1,
             else_bb: b2,
         };
-        cfg.push(Block::new(b1, vec![Insn::op0(Opcode::Nop)], Terminator::Jmp(b3)));
+        cfg.push(Block::new(
+            b1,
+            vec![Insn::op0(Opcode::Nop)],
+            Terminator::Jmp(b3),
+        ));
         cfg.push(Block::new(b2, vec![], Terminator::Jmp(b3)));
         cfg.push(Block::new(b3, vec![], Terminator::Ret));
         cfg

@@ -219,7 +219,7 @@ fn put_insn(buf: &mut BytesMut, insn: &Insn, arch: Arch) {
 /// RISC targets use fixed 4-byte instruction words: pad each item.
 fn pad_word(buf: &mut BytesMut, start: usize, arch: Arch) {
     if matches!(arch, Arch::Arm | Arch::Mips) {
-        while (buf.len() - start) % 4 != 0 {
+        while !(buf.len() - start).is_multiple_of(4) {
             buf.put_u8(0x00);
         }
     }
@@ -245,9 +245,8 @@ pub fn encode_function(buf: &mut BytesMut, f: &Function, arch: Arch) {
         for insn in &block.insns {
             put_insn(buf, insn, arch);
         }
-        let next_is = |id: crate::insn::BlockId| {
-            f.cfg.blocks.get(idx + 1).map(|b| b.id) == Some(id)
-        };
+        let next_is =
+            |id: crate::insn::BlockId| f.cfg.blocks.get(idx + 1).map(|b| b.id) == Some(id);
         let rel = |id: crate::insn::BlockId| pos_of(id) - idx as i16;
         let start = buf.len();
         match &block.term {
@@ -498,7 +497,7 @@ pub fn decode(bytes: &[u8], arch: Arch) -> Result<Vec<Item>, DecodeError> {
                 if raw == PAD_BYTE {
                     let item = Item::Insn(Insn::op0(Opcode::Nop));
                     if matches!(arch, Arch::Arm | Arch::Mips) {
-                        while (r.pos - start) % 4 != 0 && r.pos < bytes.len() {
+                        while !(r.pos - start).is_multiple_of(4) && r.pos < bytes.len() {
                             r.u8()?;
                         }
                     }
@@ -538,7 +537,7 @@ pub fn decode(bytes: &[u8], arch: Arch) -> Result<Vec<Item>, DecodeError> {
             }
         };
         if matches!(arch, Arch::Arm | Arch::Mips) {
-            while (r.pos - start) % 4 != 0 && r.pos < bytes.len() {
+            while !(r.pos - start).is_multiple_of(4) && r.pos < bytes.len() {
                 r.u8()?;
             }
         }
@@ -648,11 +647,10 @@ mod tests {
             .map(|&a| {
                 let mut buf = BytesMut::new();
                 let mut f = f.clone();
-                f.cfg.block_mut(BlockId(0)).insns.push(Insn::op2(
-                    Opcode::Add,
-                    Gpr::R8,
-                    Gpr::R9,
-                ));
+                f.cfg
+                    .block_mut(BlockId(0))
+                    .insns
+                    .push(Insn::op2(Opcode::Add, Gpr::R8, Gpr::R9));
                 encode_function(&mut buf, &f, a);
                 buf.to_vec()
             })

@@ -433,7 +433,10 @@ impl Opcode {
 
     /// Whether the instruction reads FLAGS.
     pub fn reads_flags(self) -> bool {
-        matches!(self, Opcode::Sbb | Opcode::Adc | Opcode::Set(_) | Opcode::Cmov(_))
+        matches!(
+            self,
+            Opcode::Sbb | Opcode::Adc | Opcode::Set(_) | Opcode::Cmov(_)
+        )
     }
 
     /// Mnemonic, e.g. `"add"` or `"cmovge"`.

@@ -167,7 +167,7 @@ impl Binary {
     pub fn add_string(&mut self, s: &str) -> i64 {
         let mut bytes: Vec<u8> = s.bytes().collect();
         bytes.push(0);
-        while bytes.len() % 4 != 0 {
+        while !bytes.len().is_multiple_of(4) {
             bytes.push(0);
         }
         let addr = DATA_BASE + (self.data.len() as i64) * 4;
@@ -323,7 +323,10 @@ mod tests {
     fn call_graph_and_validation() {
         let mut b = Binary::new("t", Arch::X86);
         let mut f0 = Function::new(FuncId(0), "main", 0);
-        f0.cfg.block_mut(crate::insn::BlockId(0)).insns.push(Insn::call(FuncId(1)));
+        f0.cfg
+            .block_mut(crate::insn::BlockId(0))
+            .insns
+            .push(Insn::call(FuncId(1)));
         b.functions.push(f0);
         b.functions.push(Function::new(FuncId(1), "helper", 1));
         b.entry = FuncId(0);

@@ -13,21 +13,37 @@ use serde::{Deserialize, Serialize};
 /// register allocator never assigns them to values.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Gpr {
+    /// Accumulator.
     Eax,
+    /// Counter (first argument).
     Ecx,
+    /// Data (second argument).
     Edx,
+    /// Base.
     Ebx,
+    /// Stack pointer (ABI-reserved).
     Esp,
+    /// Frame pointer (ABI-reserved).
     Ebp,
+    /// Source index.
     Esi,
+    /// Destination index.
     Edi,
+    /// Extended register 8.
     R8,
+    /// Extended register 9.
     R9,
+    /// Extended register 10.
     R10,
+    /// Extended register 11.
     R11,
+    /// Extended register 12.
     R12,
+    /// Extended register 13.
     R13,
+    /// Extended register 14.
     R14,
+    /// Extended register 15.
     R15,
 }
 

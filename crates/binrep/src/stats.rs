@@ -85,7 +85,13 @@ fn classify(i: &Insn) -> (bool, bool, bool, bool) {
     );
     let logic = matches!(
         i.op,
-        Opcode::And | Opcode::Or | Opcode::Xor | Opcode::Not | Opcode::Shl | Opcode::Shr | Opcode::Sar
+        Opcode::And
+            | Opcode::Or
+            | Opcode::Xor
+            | Opcode::Not
+            | Opcode::Shl
+            | Opcode::Shr
+            | Opcode::Sar
     );
     let mv = matches!(
         i.op,
@@ -219,7 +225,8 @@ mod tests {
             then_bb: b1,
             else_bb: b1,
         };
-        f.cfg.push(crate::cfg::Block::new(b1, vec![], Terminator::Ret));
+        f.cfg
+            .push(crate::cfg::Block::new(b1, vec![], Terminator::Ret));
         assert_eq!(function_features(&f).branches, 1);
     }
 

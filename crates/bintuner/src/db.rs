@@ -16,6 +16,11 @@ pub struct IterationRow {
     pub elapsed_seconds: f64,
     /// Flag vector compiled.
     pub flags: Vec<bool>,
+    /// Whether the fitness came from the engine's memoization cache.
+    pub cache_hit: bool,
+    /// Measured wall-clock seconds for this evaluation (0 for cache hits
+    /// and for the sequential compat path, which does not measure).
+    pub wall_seconds: f64,
 }
 
 /// An append-only record of a tuning run.
@@ -63,17 +68,35 @@ impl Database {
             .collect()
     }
 
-    /// Export as CSV (`iteration,ncd,best_ncd,elapsed_seconds,n_flags_on`).
+    /// Fraction of recorded iterations served from the fitness cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().filter(|r| r.cache_hit).count() as f64 / self.rows.len() as f64
+    }
+
+    /// Total measured wall-clock seconds across recorded iterations.
+    pub fn wall_seconds(&self) -> f64 {
+        self.rows.iter().map(|r| r.wall_seconds).sum()
+    }
+
+    /// Export as CSV
+    /// (`iteration,ncd,best_ncd,elapsed_seconds,flags_enabled,cache_hit,wall_seconds`).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("iteration,ncd,best_ncd,elapsed_seconds,flags_enabled\n");
+        let mut out = String::from(
+            "iteration,ncd,best_ncd,elapsed_seconds,flags_enabled,cache_hit,wall_seconds\n",
+        );
         for r in &self.rows {
             out.push_str(&format!(
-                "{},{:.6},{:.6},{:.3},{}\n",
+                "{},{:.6},{:.6},{:.3},{},{},{:.6}\n",
                 r.iteration,
                 r.ncd,
                 r.best_ncd,
                 r.elapsed_seconds,
-                r.flags.iter().filter(|&&b| b).count()
+                r.flags.iter().filter(|&&b| b).count(),
+                r.cache_hit as u8,
+                r.wall_seconds
             ));
         }
         out
@@ -93,6 +116,8 @@ mod tests {
                 best_ncd: [0.4, 0.6, 0.6, 0.7][i],
                 elapsed_seconds: i as f64,
                 flags: vec![i % 2 == 0; 4],
+                cache_hit: i == 2,
+                wall_seconds: 0.001 * i as f64,
             });
         }
         db
@@ -110,5 +135,18 @@ mod tests {
         let csv = sample().to_csv();
         assert_eq!(csv.lines().count(), 5);
         assert!(csv.starts_with("iteration,"));
+        assert!(csv
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("cache_hit,wall_seconds"));
+    }
+
+    #[test]
+    fn cache_and_wall_aggregates() {
+        let db = sample();
+        assert!((db.cache_hit_rate() - 0.25).abs() < 1e-12);
+        assert!((db.wall_seconds() - 0.006).abs() < 1e-12);
+        assert_eq!(Database::new().cache_hit_rate(), 0.0);
     }
 }

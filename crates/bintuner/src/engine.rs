@@ -1,0 +1,384 @@
+//! The batch fitness engine — paper Figure 4's client side, built to
+//! scale.
+//!
+//! BinTuner's architecture is client–server: the GA (server) fans
+//! compile-and-measure work out to clients, because fitness evaluation
+//! (compile + NCD) dominates wall-clock (the paper's Table 3 is entirely
+//! about iteration cost). [`FitnessEngine`] is that client side as an
+//! in-process worker pool:
+//!
+//! * **Batching** — it implements [`genetic::Evaluator`], so the GA hands
+//!   it whole generations at once instead of one individual at a time.
+//! * **Parallelism** — unique genomes in a batch are compiled and scored
+//!   across a configurable pool of scoped threads ([`std::thread::scope`];
+//!   no runtime dependency).
+//! * **Caching** — results are memoized at two levels: behind the exact
+//!   repaired flag vector, and behind the vector's resolved
+//!   [`minicc::EffectConfig`]. The emitted binary is a pure function of
+//!   `(module, effect config, arch)`, so two *different* flag vectors
+//!   that resolve to the same effects (common: most of the >100 flags are
+//!   no-ops for any given module) share one compile + NCD score. Cache
+//!   hits still *charge* the modelled compile cost, keeping the GA's
+//!   time-budget accounting identical to a cache-free run — only measured
+//!   wall-clock shrinks.
+//! * **Shared baseline** — the `-O0` baseline is compiled exactly once and
+//!   its compressed length is reused for every NCD score.
+//!
+//! Failed compiles (flag vectors that defeat repair) are not fatal: they
+//! score a fixed penalty fitness and are counted as constraint violations
+//! in [`EngineStats`], so one bad genome can't abort a long tuning run.
+
+use binrep::{Arch, Binary};
+use genetic::{Eval, Evaluator};
+use lzc::NcdBaseline;
+use minicc::ast::Module;
+use minicc::{Compiler, EffectConfig};
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Fitness assigned to a genome whose compile fails constraint checking.
+/// NCD is non-negative, so any successfully compiled genome outranks it.
+pub const FAILED_COMPILE_PENALTY: f64 = -1.0;
+
+/// Worker-pool configuration for [`FitnessEngine`].
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// Worker threads per batch. `0` means auto (available parallelism,
+    /// capped at 8). `1` evaluates sequentially on the calling thread.
+    pub workers: usize,
+}
+
+impl EngineConfig {
+    /// The concrete worker count (resolving `0` to auto).
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    }
+}
+
+/// Cumulative engine telemetry (drives the engine-scaling bench and the
+/// cache-hit column of the iteration database).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineStats {
+    /// Total genome evaluations requested (including cache hits).
+    pub evaluations: usize,
+    /// Evaluations served from the memoization cache (within- and
+    /// across-batch duplicates).
+    pub cache_hits: usize,
+    /// Evaluations whose compile failed constraint checking and scored
+    /// [`FAILED_COMPILE_PENALTY`].
+    pub failed_compiles: usize,
+    /// Measured wall-clock seconds spent inside `evaluate_batch` — the
+    /// quantity parallelism reduces (per-item CPU time is on each
+    /// [`genetic::EvalRecord::wall_seconds`]).
+    pub wall_seconds: f64,
+}
+
+impl EngineStats {
+    /// Fraction of evaluations served from cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.evaluations == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.evaluations as f64
+        }
+    }
+}
+
+/// One memoized evaluation. The modelled compile cost is *not* cached:
+/// it depends on the raw flag vector (per-enabled-flag pass cost), not
+/// the effect config, so it is recomputed per genome.
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    fitness: f64,
+    failed: bool,
+}
+
+/// Interior cache state (one lock: the partition phase touches both
+/// levels together).
+#[derive(Default)]
+struct CacheState {
+    /// Exact repaired-flag-vector memo (front level).
+    by_flags: HashMap<Vec<bool>, CacheEntry>,
+    /// Effect-config memo (back level): distinct flag vectors resolving
+    /// to the same effects share one compile.
+    by_effect: HashMap<EffectConfig, CacheEntry>,
+}
+
+/// The batch fitness engine: compiles genomes, scores them against the
+/// shared `-O0` baseline with NCD, in parallel, with memoization.
+///
+/// Construction compiles the baseline once ([`FitnessEngine::new`]); the
+/// engine is then shared immutably across the GA run — all interior
+/// state (cache, stats) is behind mutexes, and the hot compile/score path
+/// runs lock-free on worker threads.
+pub struct FitnessEngine<'a> {
+    compiler: &'a Compiler,
+    module: &'a Module,
+    arch: Arch,
+    config: EngineConfig,
+    baseline_bin: Binary,
+    baseline: NcdBaseline,
+    cache: Mutex<CacheState>,
+    stats: Mutex<EngineStats>,
+}
+
+// The engine is shared by reference across scoped worker threads; keep
+// that property checked at compile time. `Compiler`, `Module`,
+// `NcdBaseline` are all plain data.
+const _: fn() = || {
+    fn assert_sync<T: Sync>() {}
+    assert_sync::<FitnessEngine<'_>>();
+    assert_sync::<Compiler>();
+    assert_sync::<NcdBaseline>();
+    assert_sync::<Module>();
+};
+
+impl<'a> FitnessEngine<'a> {
+    /// Build an engine for `module`: compiles the `-O0` baseline once and
+    /// pre-compresses it for NCD scoring.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::TuneError::Baseline`] when the baseline itself fails to
+    /// compile (an invalid module; nothing downstream can recover).
+    pub fn new(
+        compiler: &'a Compiler,
+        module: &'a Module,
+        arch: Arch,
+        config: EngineConfig,
+    ) -> Result<FitnessEngine<'a>, crate::TuneError> {
+        let baseline_bin = compiler
+            .compile_preset(module, minicc::OptLevel::O0, arch)
+            .map_err(crate::TuneError::Baseline)?;
+        let baseline = NcdBaseline::new(binrep::encode_binary(&baseline_bin));
+        Ok(FitnessEngine {
+            compiler,
+            module,
+            arch,
+            config,
+            baseline_bin,
+            baseline,
+            cache: Mutex::new(CacheState::default()),
+            stats: Mutex::new(EngineStats::default()),
+        })
+    }
+
+    /// The `-O0` baseline binary the engine scores against.
+    pub fn baseline_binary(&self) -> &Binary {
+        &self.baseline_bin
+    }
+
+    /// A snapshot of the engine's telemetry.
+    pub fn stats(&self) -> EngineStats {
+        *self.stats.lock().unwrap()
+    }
+
+    /// Number of distinct flag vectors memoized so far (the exact-vector
+    /// front level).
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().unwrap().by_flags.len()
+    }
+
+    /// Number of distinct effect configurations compiled so far — the
+    /// number of *actual* compiles a cold run would have needed.
+    pub fn effect_cache_len(&self) -> usize {
+        self.cache.lock().unwrap().by_effect.len()
+    }
+
+    /// Compile + score one genome (the cold path, run on workers).
+    fn evaluate_cold(&self, flags: &[bool]) -> CacheEntry {
+        match self.compiler.compile(self.module, flags, self.arch) {
+            Ok(bin) => CacheEntry {
+                fitness: self.baseline.score(&binrep::encode_binary(&bin)),
+                failed: false,
+            },
+            // A constraint violation that survived repair (or an invalid
+            // module): penalize, don't abort — the GA selects against it.
+            Err(_) => CacheEntry {
+                fitness: FAILED_COMPILE_PENALTY,
+                failed: true,
+            },
+        }
+    }
+}
+
+/// Where a genome's result comes from within one batch.
+enum Source {
+    /// Resolved during partition: a cache hit, or a fresh constraint
+    /// penalty that needed no compile.
+    Ready { entry: CacheEntry, hit: bool },
+    /// To be computed: index into the batch's miss list.
+    Slot(usize),
+}
+
+impl Evaluator for FitnessEngine<'_> {
+    fn evaluate_batch(&self, genomes: &[Vec<bool>]) -> Vec<Eval> {
+        let batch_start = Instant::now();
+        let profile = self.compiler.profile();
+
+        // Resolve each genome's effect config up front (cheap, lock-free).
+        // Invalid vectors get `None`: they must not share the effect cache
+        // with a valid vector resolving to the same effects.
+        let effects: Vec<Option<EffectConfig>> = genomes
+            .iter()
+            .map(|g| {
+                profile
+                    .constraints()
+                    .check(g)
+                    .is_empty()
+                    .then(|| EffectConfig::from_flags(profile, g))
+            })
+            .collect();
+
+        // Partition against the two cache levels: exact flag vector
+        // first, then effect config. The first unseen effect config
+        // becomes a "miss" to compile; everything else is a hit.
+        let mut misses: Vec<(&Vec<bool>, &EffectConfig)> = Vec::new();
+        let mut miss_by_eff: HashMap<&EffectConfig, usize> = HashMap::new();
+        let mut fresh_failures = 0usize;
+        let sources: Vec<Source> = {
+            let mut cache = self.cache.lock().unwrap();
+            genomes
+                .iter()
+                .zip(&effects)
+                .map(|(g, eff)| {
+                    if let Some(entry) = cache.by_flags.get(g) {
+                        return Source::Ready {
+                            entry: *entry,
+                            hit: true,
+                        };
+                    }
+                    let Some(eff) = eff else {
+                        // Constraint violation: penalize without compiling
+                        // (the compiler would reject it anyway).
+                        let entry = CacheEntry {
+                            fitness: FAILED_COMPILE_PENALTY,
+                            failed: true,
+                        };
+                        cache.by_flags.insert(g.clone(), entry);
+                        fresh_failures += 1;
+                        return Source::Ready { entry, hit: false };
+                    };
+                    if let Some(entry) = cache.by_effect.get(eff) {
+                        let entry = *entry;
+                        cache.by_flags.insert(g.clone(), entry);
+                        return Source::Ready { entry, hit: true };
+                    }
+                    if let Some(&slot) = miss_by_eff.get(eff) {
+                        return Source::Slot(slot);
+                    }
+                    let slot = misses.len();
+                    miss_by_eff.insert(eff, slot);
+                    misses.push((g, eff));
+                    Source::Slot(slot)
+                })
+                .collect()
+        };
+
+        // Compile + score the misses on the worker pool (strided split:
+        // batch items have near-uniform cost, so static scheduling is fine
+        // and keeps the hot path allocation-free and lock-free).
+        let workers = self.config.resolved_workers().min(misses.len().max(1));
+        let mut computed: Vec<Option<(CacheEntry, f64)>> = vec![None; misses.len()];
+        if workers <= 1 {
+            for (slot, (flags, _)) in misses.iter().enumerate() {
+                let t = Instant::now();
+                let entry = self.evaluate_cold(flags);
+                computed[slot] = Some((entry, t.elapsed().as_secs_f64()));
+            }
+        } else {
+            let misses_ref = &misses;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        scope.spawn(move || {
+                            let mut part = Vec::new();
+                            let mut i = w;
+                            while i < misses_ref.len() {
+                                let t = Instant::now();
+                                let entry = self.evaluate_cold(misses_ref[i].0);
+                                part.push((i, entry, t.elapsed().as_secs_f64()));
+                                i += workers;
+                            }
+                            part
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (i, entry, wall) in h.join().expect("engine worker panicked") {
+                        computed[i] = Some((entry, wall));
+                    }
+                }
+            });
+        }
+
+        // Memoize the fresh results at both levels (including the
+        // within-batch duplicate vectors that mapped to the same slot).
+        {
+            let mut cache = self.cache.lock().unwrap();
+            for ((flags, eff), result) in misses.iter().zip(&computed) {
+                let (entry, _) = result.expect("every miss slot computed");
+                cache.by_effect.insert((*eff).clone(), entry);
+                cache.by_flags.insert((*flags).clone(), entry);
+            }
+            for (g, src) in genomes.iter().zip(&sources) {
+                if let Source::Slot(slot) = src {
+                    // Representatives were inserted above; only clone the
+                    // key for duplicate vectors not yet memoized.
+                    if !cache.by_flags.contains_key(g) {
+                        let (entry, _) = computed[*slot].expect("miss computed");
+                        cache.by_flags.insert(g.clone(), entry);
+                    }
+                }
+            }
+        }
+
+        // Assemble in input order. Cache hits charge the same modelled
+        // cost as a recompile (so the GA's budget accounting is
+        // cache-agnostic) but report zero measured wall time; within-batch
+        // duplicates pay the compile wall time once, on first occurrence.
+        let mut first_use = vec![true; misses.len()];
+        let mut hits = 0usize;
+        let mut cold_failures = 0usize;
+        let results: Vec<Eval> = genomes
+            .iter()
+            .zip(sources)
+            .map(|(g, src)| {
+                let (entry, wall, hit) = match src {
+                    Source::Ready { entry, hit } => (entry, 0.0, hit),
+                    Source::Slot(slot) => {
+                        let (entry, wall) = computed[slot].expect("miss computed");
+                        if first_use[slot] {
+                            first_use[slot] = false;
+                            cold_failures += entry.failed as usize;
+                            (entry, wall, false)
+                        } else {
+                            (entry, 0.0, true)
+                        }
+                    }
+                };
+                hits += hit as usize;
+                Eval {
+                    fitness: entry.fitness,
+                    cost_seconds: self.compiler.simulated_compile_seconds(self.module, g),
+                    wall_seconds: wall,
+                    cache_hit: hit,
+                }
+            })
+            .collect();
+
+        let mut stats = self.stats.lock().unwrap();
+        stats.evaluations += genomes.len();
+        stats.cache_hits += hits;
+        stats.failed_compiles += fresh_failures + cold_failures;
+        stats.wall_seconds += batch_start.elapsed().as_secs_f64();
+        results
+    }
+}

@@ -11,27 +11,41 @@
 //! Obfuscator-LLVM analog used in Figure 8(b) ([`obfuscator`]), and the
 //! Pearson-correlation utility behind Figure 10.
 //!
+//! Fitness evaluation — the hot path — runs through the batch
+//! [`engine::FitnessEngine`]: whole GA generations are compiled and
+//! NCD-scored in parallel across a worker pool, duplicate genomes are
+//! served from a memoization cache, and the `-O0` baseline is shared by
+//! every evaluation (the paper's client–server split of Figure 4, as an
+//! in-process pool).
+//!
 //! ## Example
 //!
 //! ```no_run
 //! use bintuner::{Tuner, TunerConfig};
 //!
 //! let bench = corpus::by_name("462.libquantum").unwrap();
-//! let result = Tuner::new(TunerConfig::default()).tune(&bench.module);
+//! let result = Tuner::new(TunerConfig::default())
+//!     .tune(&bench.module)
+//!     .expect("tuning run");
 //! println!(
-//!     "{}: NCD {:.3} after {} iterations",
-//!     bench.name, result.best_ncd, result.iterations
+//!     "{}: NCD {:.3} after {} iterations ({:.0}% cache hits)",
+//!     bench.name,
+//!     result.best_ncd,
+//!     result.iterations,
+//!     100.0 * result.db.cache_hit_rate()
 //! );
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod db;
+pub mod engine;
 pub mod obfuscator;
 pub mod potency;
 pub mod tuner;
 
 pub use db::{Database, IterationRow};
+pub use engine::{EngineConfig, EngineStats, FitnessEngine, FAILED_COMPILE_PENALTY};
 pub use obfuscator::{obfuscate, ObfuscatorConfig};
 pub use potency::{flag_potency, pearson, FlagPotency};
-pub use tuner::{TuneResult, Tuner, TunerConfig};
+pub use tuner::{TuneError, TuneResult, Tuner, TunerConfig};

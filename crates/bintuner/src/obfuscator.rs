@@ -76,7 +76,9 @@ fn substitute(f: &mut Function) {
             let imm = insn.b.and_then(|o| o.as_imm());
             let new: Option<Vec<Insn>> = match (insn.op, r, imm, dead) {
                 // a + c → a - (-c)
-                (Opcode::Add, Some(r), Some(c), true) if c != 0 && c.unsigned_abs() < i32::MAX as u64 => {
+                (Opcode::Add, Some(r), Some(c), true)
+                    if c != 0 && c.unsigned_abs() < i32::MAX as u64 =>
+                {
                     Some(vec![Insn::op2(Opcode::Sub, r, -(c as i32 as i64))])
                 }
                 // a ^ c → (a | c) - (a & c)  [via scratch edx]
@@ -131,9 +133,7 @@ fn bogus_cfg(f: &mut Function, rng: &mut StdRng) {
         let insns = std::mem::take(&mut original.insns);
         let term = std::mem::replace(&mut original.term, Terminator::Ret);
         // Opaque predicate: test edx, 0 sets ZF=1 always → E is taken.
-        original
-            .insns
-            .push(Insn::op2(Opcode::Test, Gpr::Edx, 0i64));
+        original.insns.push(Insn::op2(Opcode::Test, Gpr::Edx, 0i64));
         original.term = Terminator::Branch {
             cond: Cond::E,
             then_bb: real,
@@ -152,7 +152,8 @@ fn bogus_cfg(f: &mut Function, rng: &mut StdRng) {
             })
             .collect();
         junk_insns.push(Insn::op2(Opcode::Xor, Gpr::Edx, Gpr::Edx));
-        f.cfg.push(Block::new(junk, junk_insns, Terminator::Jmp(real)));
+        f.cfg
+            .push(Block::new(junk, junk_insns, Terminator::Jmp(real)));
     }
 }
 

@@ -4,11 +4,12 @@
 //! database recording every iteration.
 
 use crate::db::{Database, IterationRow};
+use crate::engine::{EngineConfig, EngineStats, FitnessEngine, FAILED_COMPILE_PENALTY};
 use binrep::{Arch, Binary};
 use genetic::{Ga, GaParams, GaRun, StopReason, Termination};
 use lzc::NcdBaseline;
 use minicc::ast::Module;
-use minicc::{Compiler, CompilerKind, OptLevel};
+use minicc::{CompileError, Compiler, CompilerKind, OptLevel};
 
 /// Tuner configuration.
 #[derive(Debug, Clone)]
@@ -23,6 +24,10 @@ pub struct TunerConfig {
     pub termination: Termination,
     /// RNG seed.
     pub seed: u64,
+    /// Fitness-engine worker threads (`0` = auto; `1` = sequential).
+    /// The tuned result is identical at any worker count — only
+    /// wall-clock changes.
+    pub workers: usize,
 }
 
 impl Default for TunerConfig {
@@ -39,6 +44,42 @@ impl Default for TunerConfig {
                 ..Default::default()
             },
             seed: 0xB147,
+            workers: 0,
+        }
+    }
+}
+
+/// Unrecoverable tuning failures.
+///
+/// Candidate flag vectors that fail to compile are *not* errors: the
+/// engine scores them with [`FAILED_COMPILE_PENALTY`] and the GA selects
+/// against them (BinTuner's constraint-violation handling). Only the two
+/// compiles the run cannot proceed without surface here.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TuneError {
+    /// The `-O0` baseline failed to compile — the module itself is
+    /// invalid, so there is nothing to diff against.
+    Baseline(CompileError),
+    /// The winning flag vector failed to recompile at the end of the run
+    /// (would indicate a constraint-repair bug; recorded, not panicked).
+    BestRecompile(CompileError),
+}
+
+impl std::fmt::Display for TuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuneError::Baseline(e) => write!(f, "baseline -O0 compile failed: {e}"),
+            TuneError::BestRecompile(e) => {
+                write!(f, "best flag vector failed to recompile: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TuneError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TuneError::Baseline(e) | TuneError::BestRecompile(e) => Some(e),
         }
     }
 }
@@ -62,6 +103,9 @@ pub struct TuneResult {
     pub baseline: Binary,
     /// Per-iteration records.
     pub db: Database,
+    /// Fitness-engine telemetry: cache hits, failed compiles, measured
+    /// wall-clock (all zeros on the sequential compat path).
+    pub engine_stats: EngineStats,
 }
 
 /// BinTuner: tunes a module's optimization flags to maximize binary code
@@ -84,36 +128,85 @@ impl Tuner {
         &self.compiler
     }
 
-    /// Run iterative compilation on `module`.
+    /// Run iterative compilation on `module` through the batch fitness
+    /// engine: generations are compiled + NCD-scored in parallel across
+    /// the configured worker pool, duplicate genomes are served from the
+    /// memoization cache, and the `-O0` baseline is compiled exactly once.
     ///
     /// The fitness of a flag vector is `NCD(code(flags), code(-O0))`
-    /// (§4.2); constraint violations are repaired before compilation, so
-    /// every iteration compiles successfully — BinTuner's constraints-
-    /// verification component.
-    pub fn tune(&self, module: &Module) -> TuneResult {
+    /// (§4.2); constraint violations are repaired before compilation, and
+    /// the rare genome that still fails to compile scores
+    /// [`FAILED_COMPILE_PENALTY`] rather than aborting the run.
+    ///
+    /// The result is deterministic in the seed and identical at any
+    /// worker count (and to [`Tuner::tune_sequential`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`TuneError`] — only the baseline compile and the final
+    /// recompile of the winning flag vector can fail the run.
+    pub fn tune(&self, module: &Module) -> Result<TuneResult, TuneError> {
+        let engine = FitnessEngine::new(
+            &self.compiler,
+            module,
+            self.config.arch,
+            EngineConfig {
+                workers: self.config.workers,
+            },
+        )?;
+        let profile = self.compiler.profile();
+        let mut ga = Ga::new(profile.n_flags(), self.config.ga.clone(), self.config.seed);
+        let run: GaRun = ga.run_batched(
+            &engine,
+            |flags, seed| profile.constraints().repair(flags, seed),
+            &self.config.termination,
+        );
+        let baseline = engine.baseline_binary().clone();
+        let stats = engine.stats();
+        self.finish(module, run, baseline, stats)
+    }
+
+    /// Reference path: evaluate one individual at a time through the
+    /// closure protocol, with no parallelism and no cache — the shape of
+    /// the original per-individual loop. A fixed seed yields the same
+    /// best flag vector as [`Tuner::tune`]; the engine path is the
+    /// batched/parallel refactoring of exactly this computation.
+    ///
+    /// # Errors
+    ///
+    /// See [`TuneError`].
+    pub fn tune_sequential(&self, module: &Module) -> Result<TuneResult, TuneError> {
         let baseline = self
             .compiler
             .compile_preset(module, OptLevel::O0, self.config.arch)
-            .expect("O0 compile");
+            .map_err(TuneError::Baseline)?;
         let ncd = NcdBaseline::new(binrep::encode_binary(&baseline));
         let profile = self.compiler.profile();
-        let n = profile.n_flags();
-        let mut db = Database::new();
-        let mut ga = Ga::new(n, self.config.ga.clone(), self.config.seed);
+        let mut ga = Ga::new(profile.n_flags(), self.config.ga.clone(), self.config.seed);
         let run: GaRun = ga.run(
             |flags| {
-                let bin = self
-                    .compiler
-                    .compile(module, flags, self.config.arch)
-                    .expect("repaired flags must compile");
-                let code = binrep::encode_binary(&bin);
-                let fitness = ncd.score(&code);
                 let cost = self.compiler.simulated_compile_seconds(module, flags);
-                (fitness, cost)
+                match self.compiler.compile(module, flags, self.config.arch) {
+                    Ok(bin) => (ncd.score(&binrep::encode_binary(&bin)), cost),
+                    Err(_) => (FAILED_COMPILE_PENALTY, cost),
+                }
             },
             |flags, seed| profile.constraints().repair(flags, seed),
             &self.config.termination,
         );
+        self.finish(module, run, baseline, EngineStats::default())
+    }
+
+    /// Shared post-processing: fill the iteration database, recompile the
+    /// winner, assemble the result.
+    fn finish(
+        &self,
+        module: &Module,
+        run: GaRun,
+        baseline: Binary,
+        engine_stats: EngineStats,
+    ) -> Result<TuneResult, TuneError> {
+        let mut db = Database::new();
         for rec in &run.history {
             db.push(IterationRow {
                 iteration: rec.iteration,
@@ -121,13 +214,15 @@ impl Tuner {
                 best_ncd: rec.best_so_far,
                 elapsed_seconds: rec.elapsed_seconds,
                 flags: rec.genes.clone(),
+                cache_hit: rec.cache_hit,
+                wall_seconds: rec.wall_seconds,
             });
         }
         let best_binary = self
             .compiler
             .compile(module, &run.best_genes, self.config.arch)
-            .expect("best flags compile");
-        TuneResult {
+            .map_err(TuneError::BestRecompile)?;
+        Ok(TuneResult {
             best_flags: run.best_genes,
             best_ncd: run.best_fitness,
             iterations: run.evaluations,
@@ -136,7 +231,8 @@ impl Tuner {
             best_binary,
             baseline,
             db,
-        }
+            engine_stats,
+        })
     }
 }
 
@@ -164,7 +260,7 @@ mod tests {
     fn tuner_beats_default_presets() {
         let bench = corpus::by_name("429.mcf").unwrap();
         let tuner = Tuner::new(small_config(120));
-        let result = tuner.tune(&bench.module);
+        let result = tuner.tune(&bench.module).unwrap();
         // The tuned NCD must beat every default preset's NCD.
         let ncd = lzc::NcdBaseline::new(binrep::encode_binary(&result.baseline));
         for level in [OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Os] {
@@ -187,7 +283,7 @@ mod tests {
     fn tuned_binary_preserves_semantics() {
         let bench = corpus::by_name("605.mcf_s").unwrap();
         let tuner = Tuner::new(small_config(80));
-        let result = tuner.tune(&bench.module);
+        let result = tuner.tune(&bench.module).unwrap();
         for inputs in &bench.test_inputs {
             let base = emu::Machine::new(&result.baseline)
                 .run(&[], inputs, 5_000_000)
@@ -202,8 +298,8 @@ mod tests {
     #[test]
     fn tuning_is_deterministic() {
         let bench = corpus::by_name("648.exchange2_s").unwrap();
-        let r1 = Tuner::new(small_config(60)).tune(&bench.module);
-        let r2 = Tuner::new(small_config(60)).tune(&bench.module);
+        let r1 = Tuner::new(small_config(60)).tune(&bench.module).unwrap();
+        let r2 = Tuner::new(small_config(60)).tune(&bench.module).unwrap();
         assert_eq!(r1.best_flags, r2.best_flags);
         assert_eq!(r1.iterations, r2.iterations);
     }
@@ -212,11 +308,114 @@ mod tests {
     fn best_flags_are_constraint_valid() {
         let bench = corpus::by_name("473.astar").unwrap();
         let tuner = Tuner::new(small_config(60));
-        let result = tuner.tune(&bench.module);
+        let result = tuner.tune(&bench.module).unwrap();
         assert!(tuner
             .compiler()
             .profile()
             .constraints()
             .is_valid(&result.best_flags));
+    }
+
+    #[test]
+    fn parallel_engine_matches_sequential_path() {
+        // Same seed: the 4-worker cached engine and the closure-based
+        // sequential path must agree on the entire run — best flags,
+        // fitness, iteration count, and every recorded NCD.
+        let bench = corpus::by_name("462.libquantum").unwrap();
+        let mut config = small_config(70);
+        config.workers = 4;
+        let par = Tuner::new(config).tune(&bench.module).unwrap();
+        let seq = Tuner::new(small_config(70))
+            .tune_sequential(&bench.module)
+            .unwrap();
+        assert_eq!(par.best_flags, seq.best_flags);
+        assert_eq!(par.best_ncd, seq.best_ncd);
+        assert_eq!(par.iterations, seq.iterations);
+        assert_eq!(par.stopped_by, seq.stopped_by);
+        assert_eq!(par.db.rows().len(), seq.db.rows().len());
+        for (a, b) in par.db.rows().iter().zip(seq.db.rows()) {
+            assert_eq!(a.ncd, b.ncd, "iteration {}", a.iteration);
+            assert_eq!(a.flags, b.flags, "iteration {}", a.iteration);
+            assert_eq!(a.elapsed_seconds, b.elapsed_seconds);
+        }
+        // The engine path must actually have deduplicated something.
+        assert!(par.engine_stats.cache_hits > 0);
+        assert_eq!(seq.engine_stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn cache_hit_is_bit_identical_to_cold_evaluation() {
+        use genetic::Evaluator;
+        let bench = corpus::by_name("429.mcf").unwrap();
+        let compiler = Compiler::new(CompilerKind::Gcc);
+        let engine = FitnessEngine::new(
+            &compiler,
+            &bench.module,
+            Arch::X86,
+            EngineConfig { workers: 2 },
+        )
+        .unwrap();
+        let genome = compiler.profile().preset(OptLevel::O2);
+        let cold = engine.evaluate_batch(std::slice::from_ref(&genome));
+        let warm = engine.evaluate_batch(std::slice::from_ref(&genome));
+        assert!(!cold[0].cache_hit);
+        assert!(warm[0].cache_hit);
+        // Bit-identical, not approximately equal.
+        assert_eq!(cold[0].fitness.to_bits(), warm[0].fitness.to_bits());
+        assert_eq!(
+            cold[0].cost_seconds.to_bits(),
+            warm[0].cost_seconds.to_bits()
+        );
+        assert_eq!(engine.stats().cache_hits, 1);
+        assert_eq!(engine.cache_len(), 1);
+    }
+
+    #[test]
+    fn within_batch_duplicates_are_cache_hits() {
+        use genetic::Evaluator;
+        let bench = corpus::by_name("473.astar").unwrap();
+        let compiler = Compiler::new(CompilerKind::Gcc);
+        let engine = FitnessEngine::new(
+            &compiler,
+            &bench.module,
+            Arch::X86,
+            EngineConfig { workers: 4 },
+        )
+        .unwrap();
+        let a = compiler.profile().preset(OptLevel::O1);
+        let b = compiler.profile().preset(OptLevel::O3);
+        let batch = vec![a.clone(), b.clone(), a.clone(), b, a];
+        let evals = engine.evaluate_batch(&batch);
+        assert_eq!(
+            evals.iter().map(|e| e.cache_hit).collect::<Vec<_>>(),
+            vec![false, false, true, true, true]
+        );
+        assert_eq!(evals[0].fitness.to_bits(), evals[2].fitness.to_bits());
+        assert_eq!(evals[0].fitness.to_bits(), evals[4].fitness.to_bits());
+        assert_eq!(engine.cache_len(), 2);
+    }
+
+    #[test]
+    fn failed_compile_is_penalized_not_fatal() {
+        use genetic::Evaluator;
+        let bench = corpus::by_name("429.mcf").unwrap();
+        let compiler = Compiler::new(CompilerKind::Gcc);
+        let engine = FitnessEngine::new(
+            &compiler,
+            &bench.module,
+            Arch::X86,
+            EngineConfig { workers: 1 },
+        )
+        .unwrap();
+        // -fpartial-inlining without -finline-functions violates the
+        // profile's documented constraints (fed directly, bypassing
+        // repair, as a hostile genome).
+        let mut bad = vec![false; compiler.profile().n_flags()];
+        bad[compiler.profile().flag_index("-fpartial-inlining").unwrap()] = true;
+        let good = compiler.profile().preset(OptLevel::O2);
+        let evals = engine.evaluate_batch(&[bad, good]);
+        assert_eq!(evals[0].fitness, FAILED_COMPILE_PENALTY);
+        assert!(evals[1].fitness > evals[0].fitness);
+        assert_eq!(engine.stats().failed_compiles, 1);
     }
 }

@@ -171,7 +171,14 @@ impl Gen {
     }
 
     fn cmp_expr(&mut self, vars: &[String]) -> Expr {
-        let ops = [BinOp::Eq, BinOp::Ne, BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge];
+        let ops = [
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+        ];
         let op = *ops.choose(&mut self.rng).unwrap();
         let v = vars.choose(&mut self.rng).unwrap().clone();
         Expr::bin(op, Expr::Var(v), Expr::Const(self.rng.gen_range(0..2048)))
@@ -193,9 +200,13 @@ impl Gen {
         }
         *budget -= 1;
         let mix = self.profile.mix;
-        let total =
-            mix.arith + mix.loops + mix.vec_loops + mix.switches + mix.branches + mix.strings
-                + mix.calls;
+        let total = mix.arith
+            + mix.loops
+            + mix.vec_loops
+            + mix.switches
+            + mix.branches
+            + mix.strings
+            + mix.calls;
         let mut roll = self.rng.gen_range(0..total);
         let mut take = |w: u32| {
             if roll < w {
@@ -226,7 +237,11 @@ impl Gen {
                     Expr::Const(self.small(512)),
                 )
             } else {
-                Expr::bin(BinOp::Add, Expr::Var(i.clone()), Expr::Const(self.small(64)))
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::Var(i.clone()),
+                    Expr::Const(self.small(64)),
+                )
             };
             let body = vec![Stmt::Assign(
                 LValue::Var(acc.clone()),
@@ -243,12 +258,17 @@ impl Gen {
         if take(mix.vec_loops) {
             // Element-wise map or reduction over arrays.
             if arrays.len() >= 3 && self.rng.gen_bool(0.6) {
-                let mut picks = arrays.choose_multiple(&mut self.rng, 3).cloned().collect::<Vec<_>>();
+                let mut picks = arrays
+                    .choose_multiple(&mut self.rng, 3)
+                    .cloned()
+                    .collect::<Vec<_>>();
                 picks.sort_by_key(|(_, n)| *n);
                 let n = picks[0].1.min(picks[1].1).min(picks[2].1) as u32;
                 let (c, a, b) = (picks[0].0.clone(), picks[1].0.clone(), picks[2].0.clone());
                 if c != a && c != b {
-                    let op = *[BinOp::Add, BinOp::Sub, BinOp::Mul].choose(&mut self.rng).unwrap();
+                    let op = *[BinOp::Add, BinOp::Sub, BinOp::Mul]
+                        .choose(&mut self.rng)
+                        .unwrap();
                     let i = "vi".to_string();
                     return Some(Stmt::For {
                         var: i.clone(),
@@ -285,7 +305,10 @@ impl Gen {
                 });
             }
             let target = scalars.choose(&mut self.rng).unwrap().clone();
-            return Some(Stmt::Assign(LValue::Var(target), Expr::Const(self.small(100))));
+            return Some(Stmt::Assign(
+                LValue::Var(target),
+                Expr::Const(self.small(100)),
+            ));
         }
         if take(mix.switches) {
             let scrut = scalars.choose(&mut self.rng).unwrap().clone();
@@ -296,7 +319,9 @@ impl Gen {
                 (0..ncases as u32).collect()
             } else {
                 let mut v: Vec<u32> = (0..ncases)
-                    .map(|k| (k as u32) * self.rng.gen_range(7..60) + self.rng.gen_range(0..5))
+                    .map(|k| {
+                        (k as u32) * self.rng.gen_range(7u32..60) + self.rng.gen_range(0u32..5)
+                    })
                     .collect();
                 v.sort();
                 v.dedup();
@@ -335,10 +360,7 @@ impl Gen {
                 let (a, b) = if self.rng.gen_bool(0.5) {
                     (Expr::Const(1), Expr::Const(0))
                 } else {
-                    (
-                        self.expr(scalars, arrays, 1),
-                        self.expr(scalars, arrays, 1),
-                    )
+                    (self.expr(scalars, arrays, 1), self.expr(scalars, arrays, 1))
                 };
                 return Some(Stmt::If {
                     cond,
@@ -347,10 +369,24 @@ impl Gen {
                 });
             }
             let mut then_budget = (*budget).min(3);
-            let then_body = self.body(scalars, arrays, callees, globals, &mut then_budget, depth + 1);
+            let then_body = self.body(
+                scalars,
+                arrays,
+                callees,
+                globals,
+                &mut then_budget,
+                depth + 1,
+            );
             let mut else_budget = (*budget).min(2);
             let else_body = if self.rng.gen_bool(0.5) {
-                self.body(scalars, arrays, callees, globals, &mut else_budget, depth + 1)
+                self.body(
+                    scalars,
+                    arrays,
+                    callees,
+                    globals,
+                    &mut else_budget,
+                    depth + 1,
+                )
             } else {
                 Vec::new()
             };
@@ -413,7 +449,12 @@ impl Gen {
         out
     }
 
-    fn function(&mut self, spec: &FnSpec, callees: &[FnSpec], globals: &[(String, usize)]) -> FuncDef {
+    fn function(
+        &mut self,
+        spec: &FnSpec,
+        callees: &[FnSpec],
+        globals: &[(String, usize)],
+    ) -> FuncDef {
         let params: Vec<String> = (0..spec.params).map(|i| format!("p{i}")).collect();
         let mut f = FuncDef::new(spec.name.clone(), params.clone(), vec![]);
         // Locals: accumulators, loop counters, optional local arrays.
@@ -518,7 +559,9 @@ pub fn generate(name: &str, profile: &Profile) -> Module {
     for k in 0..g.profile.globals {
         let n = [8usize, 16, 16, 32].choose(&mut g.rng).copied().unwrap();
         let name = format!("g{k}");
-        let words = (0..n).map(|i| (i as u32).wrapping_mul(2654435761).rotate_left(k as u32) % 10_000).collect();
+        let words = (0..n)
+            .map(|i| (i as u32).wrapping_mul(2654435761).rotate_left(k as u32) % 10_000)
+            .collect();
         m.globals.push(Global {
             name: name.clone(),
             words,
@@ -629,8 +672,20 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = generate("a", &Profile { seed: 1, ..Default::default() });
-        let b = generate("a", &Profile { seed: 2, ..Default::default() });
+        let a = generate(
+            "a",
+            &Profile {
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let b = generate(
+            "a",
+            &Profile {
+                seed: 2,
+                ..Default::default()
+            },
+        );
         assert_ne!(a, b);
     }
 }

@@ -54,7 +54,10 @@ mod tests {
     #[test]
     fn benchmarks_execute_at_o0() {
         let cc = Compiler::new(CompilerKind::Gcc);
-        for b in [by_name("429.mcf").unwrap(), by_name("462.libquantum").unwrap()] {
+        for b in [
+            by_name("429.mcf").unwrap(),
+            by_name("462.libquantum").unwrap(),
+        ] {
             let bin = cc
                 .compile_preset(&b.module, OptLevel::O0, binrep::Arch::X86)
                 .unwrap();
@@ -87,7 +90,10 @@ mod tests {
                     .compile_preset(&b.module, level, binrep::Arch::X86)
                     .unwrap();
                 for (inputs, expect) in b.test_inputs.iter().zip(&want) {
-                    let got = Machine::new(&bin).run(&[], inputs, 5_000_000).unwrap().output;
+                    let got = Machine::new(&bin)
+                        .run(&[], inputs, 5_000_000)
+                        .unwrap()
+                        .output;
                     assert_eq!(&got, expect, "{kind} {level} {:?}", inputs);
                 }
             }

@@ -77,22 +77,164 @@ fn profile(seed: u64, funcs: usize, mix: Mix) -> Profile {
 pub fn spec2006() -> Vec<Benchmark> {
     let m = Mix::default();
     vec![
-        mk("400.perlbench", Suite::Spec2006, profile(0x400, 64, Mix { switches: 4, strings: 3, ..m })),
-        mk("401.bzip2", Suite::Spec2006, profile(0x401, 18, Mix { loops: 5, vec_loops: 3, ..m })),
-        mk("403.gcc", Suite::Spec2006, profile(0x403, 96, Mix { switches: 5, calls: 5, ..m })),
-        mk("429.mcf", Suite::Spec2006, profile(0x429, 12, Mix { loops: 5, arith: 8, ..m })),
-        mk("445.gobmk", Suite::Spec2006, profile(0x445, 72, Mix { branches: 7, switches: 3, ..m })),
-        mk("456.hmmer", Suite::Spec2006, profile(0x456, 28, Mix { vec_loops: 5, loops: 4, ..m })),
-        mk("458.sjeng", Suite::Spec2006, profile(0x458, 24, Mix { branches: 6, switches: 3, ..m })),
+        mk(
+            "400.perlbench",
+            Suite::Spec2006,
+            profile(
+                0x400,
+                64,
+                Mix {
+                    switches: 4,
+                    strings: 3,
+                    ..m
+                },
+            ),
+        ),
+        mk(
+            "401.bzip2",
+            Suite::Spec2006,
+            profile(
+                0x401,
+                18,
+                Mix {
+                    loops: 5,
+                    vec_loops: 3,
+                    ..m
+                },
+            ),
+        ),
+        mk(
+            "403.gcc",
+            Suite::Spec2006,
+            profile(
+                0x403,
+                96,
+                Mix {
+                    switches: 5,
+                    calls: 5,
+                    ..m
+                },
+            ),
+        ),
+        mk(
+            "429.mcf",
+            Suite::Spec2006,
+            profile(
+                0x429,
+                12,
+                Mix {
+                    loops: 5,
+                    arith: 8,
+                    ..m
+                },
+            ),
+        ),
+        mk(
+            "445.gobmk",
+            Suite::Spec2006,
+            profile(
+                0x445,
+                72,
+                Mix {
+                    branches: 7,
+                    switches: 3,
+                    ..m
+                },
+            ),
+        ),
+        mk(
+            "456.hmmer",
+            Suite::Spec2006,
+            profile(
+                0x456,
+                28,
+                Mix {
+                    vec_loops: 5,
+                    loops: 4,
+                    ..m
+                },
+            ),
+        ),
+        mk(
+            "458.sjeng",
+            Suite::Spec2006,
+            profile(
+                0x458,
+                24,
+                Mix {
+                    branches: 6,
+                    switches: 3,
+                    ..m
+                },
+            ),
+        ),
         mk(
             "462.libquantum",
             Suite::Spec2006,
-            profile(0x462, 20, Mix { vec_loops: 6, loops: 4, arith: 7, ..m }),
+            profile(
+                0x462,
+                20,
+                Mix {
+                    vec_loops: 6,
+                    loops: 4,
+                    arith: 7,
+                    ..m
+                },
+            ),
         ),
-        mk("464.h264ref", Suite::Spec2006, profile(0x464, 40, Mix { vec_loops: 5, loops: 5, ..m })),
-        mk("471.omnetpp", Suite::Spec2006, profile(0x471, 48, Mix { calls: 6, branches: 5, ..m })),
-        mk("473.astar", Suite::Spec2006, profile(0x473, 16, Mix { loops: 5, branches: 5, ..m })),
-        mk("483.xalancbmk", Suite::Spec2006, profile(0x483, 110, Mix { calls: 7, switches: 4, strings: 2, ..m })),
+        mk(
+            "464.h264ref",
+            Suite::Spec2006,
+            profile(
+                0x464,
+                40,
+                Mix {
+                    vec_loops: 5,
+                    loops: 5,
+                    ..m
+                },
+            ),
+        ),
+        mk(
+            "471.omnetpp",
+            Suite::Spec2006,
+            profile(
+                0x471,
+                48,
+                Mix {
+                    calls: 6,
+                    branches: 5,
+                    ..m
+                },
+            ),
+        ),
+        mk(
+            "473.astar",
+            Suite::Spec2006,
+            profile(
+                0x473,
+                16,
+                Mix {
+                    loops: 5,
+                    branches: 5,
+                    ..m
+                },
+            ),
+        ),
+        mk(
+            "483.xalancbmk",
+            Suite::Spec2006,
+            profile(
+                0x483,
+                110,
+                Mix {
+                    calls: 7,
+                    switches: 4,
+                    strings: 2,
+                    ..m
+                },
+            ),
+        ),
     ]
 }
 
@@ -100,16 +242,138 @@ pub fn spec2006() -> Vec<Benchmark> {
 pub fn spec2017() -> Vec<Benchmark> {
     let m = Mix::default();
     vec![
-        mk("600.perlbench_s", Suite::Spec2017, profile(0x600, 72, Mix { switches: 4, strings: 3, ..m })),
-        mk("602.gcc_s", Suite::Spec2017, profile(0x602, 100, Mix { switches: 5, calls: 5, ..m })),
-        mk("605.mcf_s", Suite::Spec2017, profile(0x605, 14, Mix { loops: 5, arith: 8, ..m })),
-        mk("620.omnetpp_s", Suite::Spec2017, profile(0x620, 78, Mix { calls: 6, branches: 5, ..m })),
-        mk("623.xalancbmk_s", Suite::Spec2017, profile(0x623, 120, Mix { calls: 7, switches: 4, strings: 2, ..m })),
-        mk("625.x264_s", Suite::Spec2017, profile(0x625, 20, Mix { vec_loops: 6, loops: 4, ..m })),
-        mk("631.deepsjeng_s", Suite::Spec2017, profile(0x631, 26, Mix { branches: 6, switches: 3, ..m })),
-        mk("641.leela_s", Suite::Spec2017, profile(0x641, 34, Mix { branches: 5, loops: 4, ..m })),
-        mk("648.exchange2_s", Suite::Spec2017, profile(0x648, 16, Mix { loops: 6, arith: 7, ..m })),
-        mk("657.xz_s", Suite::Spec2017, profile(0x657, 30, Mix { loops: 5, vec_loops: 4, switches: 2, ..m })),
+        mk(
+            "600.perlbench_s",
+            Suite::Spec2017,
+            profile(
+                0x600,
+                72,
+                Mix {
+                    switches: 4,
+                    strings: 3,
+                    ..m
+                },
+            ),
+        ),
+        mk(
+            "602.gcc_s",
+            Suite::Spec2017,
+            profile(
+                0x602,
+                100,
+                Mix {
+                    switches: 5,
+                    calls: 5,
+                    ..m
+                },
+            ),
+        ),
+        mk(
+            "605.mcf_s",
+            Suite::Spec2017,
+            profile(
+                0x605,
+                14,
+                Mix {
+                    loops: 5,
+                    arith: 8,
+                    ..m
+                },
+            ),
+        ),
+        mk(
+            "620.omnetpp_s",
+            Suite::Spec2017,
+            profile(
+                0x620,
+                78,
+                Mix {
+                    calls: 6,
+                    branches: 5,
+                    ..m
+                },
+            ),
+        ),
+        mk(
+            "623.xalancbmk_s",
+            Suite::Spec2017,
+            profile(
+                0x623,
+                120,
+                Mix {
+                    calls: 7,
+                    switches: 4,
+                    strings: 2,
+                    ..m
+                },
+            ),
+        ),
+        mk(
+            "625.x264_s",
+            Suite::Spec2017,
+            profile(
+                0x625,
+                20,
+                Mix {
+                    vec_loops: 6,
+                    loops: 4,
+                    ..m
+                },
+            ),
+        ),
+        mk(
+            "631.deepsjeng_s",
+            Suite::Spec2017,
+            profile(
+                0x631,
+                26,
+                Mix {
+                    branches: 6,
+                    switches: 3,
+                    ..m
+                },
+            ),
+        ),
+        mk(
+            "641.leela_s",
+            Suite::Spec2017,
+            profile(
+                0x641,
+                34,
+                Mix {
+                    branches: 5,
+                    loops: 4,
+                    ..m
+                },
+            ),
+        ),
+        mk(
+            "648.exchange2_s",
+            Suite::Spec2017,
+            profile(
+                0x648,
+                16,
+                Mix {
+                    loops: 6,
+                    arith: 7,
+                    ..m
+                },
+            ),
+        ),
+        mk(
+            "657.xz_s",
+            Suite::Spec2017,
+            profile(
+                0x657,
+                30,
+                Mix {
+                    loops: 5,
+                    vec_loops: 4,
+                    switches: 2,
+                    ..m
+                },
+            ),
+        ),
     ]
 }
 
@@ -160,8 +424,8 @@ pub fn coreutils() -> Benchmark {
     const UTILS: &[&str] = &[
         "cat", "chmod", "chown", "cp", "cut", "date", "dd", "df", "du", "echo", "env", "expand",
         "factor", "head", "id", "join", "kill", "ln", "ls", "md5sum", "mkdir", "mv", "nice", "nl",
-        "od", "paste", "pr", "printf", "pwd", "rm", "rmdir", "seq", "sort", "split", "stat",
-        "sum", "tail", "tee", "touch", "tr", "true", "tsort", "uniq", "wc", "who", "yes",
+        "od", "paste", "pr", "printf", "pwd", "rm", "rmdir", "seq", "sort", "split", "stat", "sum",
+        "tail", "tee", "touch", "tr", "true", "tsort", "uniq", "wc", "who", "yes",
     ];
     let mut renames: Vec<(String, String)> = Vec::new();
     {
@@ -389,7 +653,7 @@ fn attach_malware_payload(m: &mut Module, c2: &[&str]) {
     for (k, s) in c2.iter().enumerate() {
         let mut bytes: Vec<u8> = s.bytes().collect();
         bytes.push(0);
-        while bytes.len() % 4 != 0 {
+        while !bytes.len().is_multiple_of(4) {
             bytes.push(0);
         }
         let words = bytes
@@ -460,10 +724,7 @@ fn attach_malware_payload(m: &mut Module, c2: &[&str]) {
             step: 1,
             body: vec![Stmt::Assign(
                 LValue::Var("sent".into()),
-                Expr::CallImport(
-                    "send".into(),
-                    vec![Expr::Const(3), Expr::Var("i0".into())],
-                ),
+                Expr::CallImport("send".into(), vec![Expr::Const(3), Expr::Var("i0".into())]),
             )],
         },
         Stmt::Return(Expr::Var("sent".into())),

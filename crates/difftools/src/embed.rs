@@ -163,8 +163,8 @@ impl Model {
         for t in toks {
             if let Some(&id) = self.vocab.get(t) {
                 let w = 1.0 / (1.0 + (self.counts[id] as f32).ln().max(0.0));
-                for d in 0..DIM {
-                    v[d] += w * self.vectors[id][d];
+                for (slot, x) in v.iter_mut().zip(&self.vectors[id]) {
+                    *slot += w * x;
                 }
                 total += w;
             }
@@ -250,7 +250,11 @@ mod tests {
 
     #[test]
     fn tokens_capture_operand_shapes() {
-        let i = Insn::op2(Opcode::Mov, Gpr::Eax, binrep::MemRef::base_disp(Gpr::Ebp, -4));
+        let i = Insn::op2(
+            Opcode::Mov,
+            Gpr::Eax,
+            binrep::MemRef::base_disp(Gpr::Ebp, -4),
+        );
         let t = tokens(&i);
         assert_eq!(t, vec!["mov", "eax", "mem_ebp"]);
         let j = Insn::op2(Opcode::Add, Gpr::Ebx, 100000i64);

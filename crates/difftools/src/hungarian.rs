@@ -74,8 +74,7 @@ pub fn assign(costs: &[Vec<f64>]) -> Vec<Option<usize>> {
         }
     }
     let mut out = vec![None; n];
-    for j in 1..=dim {
-        let i = p[j];
+    for (j, &i) in p.iter().enumerate().take(dim + 1).skip(1) {
         if i >= 1 && i <= n && j <= m {
             // Reject padded assignments.
             if cost(i - 1, j - 1) < PAD {
@@ -138,9 +137,7 @@ mod tests {
         };
         for _ in 0..20 {
             let n = 5;
-            let costs: Vec<Vec<f64>> = (0..n)
-                .map(|_| (0..n).map(|_| rnd()).collect())
-                .collect();
+            let costs: Vec<Vec<f64>> = (0..n).map(|_| (0..n).map(|_| rnd()).collect()).collect();
             let a = assign(&costs);
             let got: f64 = a
                 .iter()

@@ -1,8 +1,8 @@
 //! The interpreter: CPU state, FLAGS semantics, memory, imports.
 
 use binrep::{
-    Binary, BlockId, Cond, FuncId, Insn, MemRef, Opcode, Operand, Terminator, DATA_BASE,
-    HEAP_BASE, STACK_TOP,
+    Binary, BlockId, Cond, FuncId, Insn, MemRef, Opcode, Operand, Terminator, DATA_BASE, HEAP_BASE,
+    STACK_TOP,
 };
 use std::collections::{BTreeMap, HashMap};
 
@@ -14,7 +14,12 @@ pub enum EmuError {
     /// Misaligned memory access.
     Unaligned(u32),
     /// Jump-table index out of range.
-    BadTableIndex { index: u32, len: usize },
+    BadTableIndex {
+        /// The out-of-range index value.
+        index: u32,
+        /// The table's length.
+        len: usize,
+    },
     /// Call depth exceeded the limit.
     StackOverflow,
     /// Import with no emulator semantics.
@@ -314,7 +319,11 @@ impl<'a> Machine<'a> {
     ) -> Result<(), EmuError> {
         *cpu.stats.op_counts.entry(insn.op.mnemonic()).or_insert(0) += 1;
         match insn.op {
-            Opcode::Vload | Opcode::Vstore | Opcode::Vadd | Opcode::Vsub | Opcode::Vmul
+            Opcode::Vload
+            | Opcode::Vstore
+            | Opcode::Vadd
+            | Opcode::Vsub
+            | Opcode::Vmul
             | Opcode::Vhsum => cpu.stats.vector_ops += 1,
             Opcode::Call | Opcode::CallImport => cpu.stats.calls += 1,
             _ => {}
@@ -375,7 +384,7 @@ impl<'a> Machine<'a> {
             })?,
             Opcode::Udiv => cpu.alu2(insn, |cpu, a, b| {
                 // ISA definition: division by zero yields zero.
-                let r = if b == 0 { 0 } else { a / b };
+                let r = a.checked_div(b).unwrap_or(0);
                 cpu.flags.cf = false;
                 cpu.flags.of = false;
                 cpu.flags.set_zs(r);
@@ -438,7 +447,10 @@ impl<'a> Machine<'a> {
                 (a.checked_shr(s).unwrap_or(0), (a >> (s - 1)) & 1 == 1)
             })?,
             Opcode::Sar => cpu.shift(insn, |a, s| {
-                (((a as i32) >> s.min(31)) as u32, ((a as i32) >> (s - 1)) & 1 == 1)
+                (
+                    ((a as i32) >> s.min(31)) as u32,
+                    ((a as i32) >> (s - 1)) & 1 == 1,
+                )
             })?,
             Opcode::Cmp => {
                 let a = cpu.read(&insn.a.unwrap())?;
@@ -514,7 +526,10 @@ impl<'a> Machine<'a> {
                 };
                 let base = cpu.effective_addr(&m);
                 for lane in 0..4 {
-                    cpu.store(base.wrapping_add(lane as u32 * 4), cpu.xmm[x.0 as usize][lane])?;
+                    cpu.store(
+                        base.wrapping_add(lane as u32 * 4),
+                        cpu.xmm[x.0 as usize][lane],
+                    )?;
                 }
             }
             Opcode::Vadd | Opcode::Vsub | Opcode::Vmul => {
@@ -561,14 +576,14 @@ impl Cpu {
     }
 
     fn load(&self, addr: u32) -> Result<u32, EmuError> {
-        if addr % 4 != 0 {
+        if !addr.is_multiple_of(4) {
             return Err(EmuError::Unaligned(addr));
         }
         Ok(*self.mem.get(&addr).unwrap_or(&0))
     }
 
     fn store(&mut self, addr: u32, v: u32) -> Result<(), EmuError> {
-        if addr % 4 != 0 {
+        if !addr.is_multiple_of(4) {
             return Err(EmuError::Unaligned(addr));
         }
         self.mem.insert(addr, v);
@@ -593,11 +608,7 @@ impl Cpu {
         Ok(())
     }
 
-    fn alu2(
-        &mut self,
-        insn: &Insn,
-        f: impl Fn(&mut Cpu, u32, u32) -> u32,
-    ) -> Result<(), EmuError> {
+    fn alu2(&mut self, insn: &Insn, f: impl Fn(&mut Cpu, u32, u32) -> u32) -> Result<(), EmuError> {
         let a = self.read(&insn.a.unwrap())?;
         let b = self.read(&insn.b.unwrap())?;
         let r = f(self, a, b);
@@ -614,11 +625,7 @@ impl Cpu {
         self.write(&insn.a.unwrap(), r)
     }
 
-    fn shift(
-        &mut self,
-        insn: &Insn,
-        f: impl Fn(u32, u32) -> (u32, bool),
-    ) -> Result<(), EmuError> {
+    fn shift(&mut self, insn: &Insn, f: impl Fn(u32, u32) -> (u32, bool)) -> Result<(), EmuError> {
         let a = self.read(&insn.a.unwrap())?;
         let s = self.read(&insn.b.unwrap())? & 31;
         if s == 0 {
@@ -635,13 +642,6 @@ impl Cpu {
     fn load_byte(&self, addr: u32) -> Result<u8, EmuError> {
         let w = self.load(addr & !3)?;
         Ok(((w >> ((addr % 4) * 8)) & 0xff) as u8)
-    }
-
-    fn store_byte(&mut self, addr: u32, v: u8) -> Result<(), EmuError> {
-        let w = self.load(addr & !3)?;
-        let shift = (addr % 4) * 8;
-        let nw = (w & !(0xffu32 << shift)) | ((v as u32) << shift);
-        self.store(addr & !3, nw)
     }
 
     fn read_cstr(&self, mut addr: u32) -> Result<Vec<u8>, EmuError> {
@@ -679,18 +679,18 @@ impl Cpu {
             "printf" => {
                 // fmt in ecx (hashed into output), first vararg in edx.
                 let fmt = self.read_cstr(ecx)?;
-                let h = fmt.iter().fold(5381u32, |h, &b| {
-                    h.wrapping_mul(33).wrapping_add(b as u32)
-                });
+                let h = fmt
+                    .iter()
+                    .fold(5381u32, |h, &b| h.wrapping_mul(33).wrapping_add(b as u32));
                 self.output.push(h);
                 self.output.push(edx);
                 0
             }
             "puts" => {
                 let s = self.read_cstr(ecx)?;
-                let h = s.iter().fold(5381u32, |h, &b| {
-                    h.wrapping_mul(33).wrapping_add(b as u32)
-                });
+                let h = s
+                    .iter()
+                    .fold(5381u32, |h, &b| h.wrapping_mul(33).wrapping_add(b as u32));
                 self.output.push(h);
                 s.len() as u32
             }

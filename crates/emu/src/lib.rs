@@ -137,7 +137,7 @@ mod tests {
             for (i, &c) in cases.iter().enumerate() {
                 f.cfg.push(Block::new(
                     c,
-                    vec![Insn::op2(Opcode::Mov, Gpr::Eax, (11 * (i as i64 + 1)))],
+                    vec![Insn::op2(Opcode::Mov, Gpr::Eax, 11 * (i as i64 + 1))],
                     Terminator::Jmp(exit),
                 ));
             }
@@ -157,10 +157,16 @@ mod tests {
             e.insns.push(Insn::op1(Opcode::Push, Gpr::Ebp));
             e.insns.push(Insn::op2(Opcode::Mov, Gpr::Ebp, Gpr::Esp));
             e.insns.push(Insn::op2(Opcode::Sub, Gpr::Esp, 16i64));
-            e.insns
-                .push(Insn::op2(Opcode::Mov, MemRef::base_disp(Gpr::Ebp, -4), Gpr::Ecx));
-            e.insns
-                .push(Insn::op2(Opcode::Mov, Gpr::Eax, MemRef::base_disp(Gpr::Ebp, -4)));
+            e.insns.push(Insn::op2(
+                Opcode::Mov,
+                MemRef::base_disp(Gpr::Ebp, -4),
+                Gpr::Ecx,
+            ));
+            e.insns.push(Insn::op2(
+                Opcode::Mov,
+                Gpr::Eax,
+                MemRef::base_disp(Gpr::Ebp, -4),
+            ));
             e.insns.push(Insn::op2(Opcode::Mov, Gpr::Esp, Gpr::Ebp));
             e.insns.push(Insn::op1(Opcode::Pop, Gpr::Ebp));
         });
@@ -199,8 +205,11 @@ mod tests {
             let e = f.cfg.block_mut(BlockId(0));
             e.insns
                 .push(Insn::op2(Opcode::Vload, Xmm(0), MemRef::abs(base as i32)));
-            e.insns
-                .push(Insn::op2(Opcode::Vload, Xmm(1), MemRef::abs(base as i32 + 16)));
+            e.insns.push(Insn::op2(
+                Opcode::Vload,
+                Xmm(1),
+                MemRef::abs(base as i32 + 16),
+            ));
             e.insns.push(Insn::op2(Opcode::Vadd, Xmm(0), Xmm(1)));
             e.insns
                 .push(Insn::op2(Opcode::Vhsum, Gpr::Eax, Operand::Vec(Xmm(0))));
@@ -265,11 +274,10 @@ mod tests {
         let bin = one_func_bin(|f, _| {
             let t = f.cfg.fresh_id();
             let e = f.cfg.fresh_id();
-            f.cfg.block_mut(BlockId(0)).insns.push(Insn::op2(
-                Opcode::Cmp,
-                Gpr::Ecx,
-                0i64,
-            ));
+            f.cfg
+                .block_mut(BlockId(0))
+                .insns
+                .push(Insn::op2(Opcode::Cmp, Gpr::Ecx, 0i64));
             f.cfg.block_mut(BlockId(0)).term = Terminator::Branch {
                 cond: Cond::E,
                 then_bb: t,

@@ -81,7 +81,7 @@ proptest! {
             (Opcode::And, a & b),
             (Opcode::Or, a | b),
             (Opcode::Xor, a ^ b),
-            (Opcode::Udiv, if b == 0 { 0 } else { a / b }),
+            (Opcode::Udiv, a.checked_div(b).unwrap_or(0)),
             (Opcode::Urem, if b == 0 { a } else { a % b }),
             (Opcode::Umulh, (((a as u64) * (b as u64)) >> 32) as u32),
         ];

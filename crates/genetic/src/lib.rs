@@ -30,6 +30,77 @@
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
+use std::cell::RefCell;
+
+/// The outcome of evaluating one genome.
+///
+/// Returned by [`Evaluator::evaluate_batch`]; carries the fitness itself
+/// plus the bookkeeping the tuning loop records per iteration (paper
+/// Table 1's cost accounting and the engine's cache telemetry).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Eval {
+    /// Fitness of the genome (higher is better).
+    pub fitness: f64,
+    /// Modelled cost of the evaluation in seconds (the paper's
+    /// "compilation iterations" time accounting).
+    pub cost_seconds: f64,
+    /// Measured wall-clock spent producing this evaluation, in seconds
+    /// (0 when the evaluator does not measure, e.g. the closure shim).
+    pub wall_seconds: f64,
+    /// Whether the result came from a memoization cache rather than a
+    /// fresh evaluation.
+    pub cache_hit: bool,
+}
+
+impl Eval {
+    /// A plain evaluation: no cache, no measured wall time.
+    pub fn new(fitness: f64, cost_seconds: f64) -> Eval {
+        Eval {
+            fitness,
+            cost_seconds,
+            wall_seconds: 0.0,
+            cache_hit: false,
+        }
+    }
+}
+
+/// Batch fitness evaluation — the server/client split of the paper's
+/// Figure 4 architecture.
+///
+/// The GA produces whole generations at a time; an `Evaluator` scores
+/// them as one batch, which lets implementations fan the work out to a
+/// worker pool, deduplicate repeated genomes, or ship batches to remote
+/// compile farms. `evaluate_batch` must return exactly one [`Eval`] per
+/// input genome, in input order, and must be deterministic in the genome
+/// (the GA's reproducibility guarantee rests on that).
+pub trait Evaluator {
+    /// Score every genome in `genomes`, preserving order.
+    fn evaluate_batch(&self, genomes: &[Vec<bool>]) -> Vec<Eval>;
+}
+
+/// Compat shim: adapts the historical `FnMut(&[bool]) -> (f64, f64)`
+/// fitness closure to the batch protocol (evaluating sequentially).
+pub struct FnEvaluator<F>(RefCell<F>);
+
+impl<F: FnMut(&[bool]) -> (f64, f64)> FnEvaluator<F> {
+    /// Wrap a fitness closure returning `(fitness, cost_seconds)`.
+    pub fn new(f: F) -> FnEvaluator<F> {
+        FnEvaluator(RefCell::new(f))
+    }
+}
+
+impl<F: FnMut(&[bool]) -> (f64, f64)> Evaluator for FnEvaluator<F> {
+    fn evaluate_batch(&self, genomes: &[Vec<bool>]) -> Vec<Eval> {
+        let f = &mut *self.0.borrow_mut();
+        genomes
+            .iter()
+            .map(|g| {
+                let (fitness, cost) = f(g);
+                Eval::new(fitness, cost)
+            })
+            .collect()
+    }
+}
 
 /// Genetic-algorithm parameters (the four the paper tunes, plus
 /// population shape).
@@ -107,6 +178,11 @@ pub struct EvalRecord {
     pub genes: Vec<bool>,
     /// Accumulated charged time (seconds) when this evaluation finished.
     pub elapsed_seconds: f64,
+    /// Whether the evaluation was served from the evaluator's cache.
+    pub cache_hit: bool,
+    /// Measured wall-clock seconds for this evaluation (0 when the
+    /// evaluator does not measure).
+    pub wall_seconds: f64,
 }
 
 /// The outcome of a GA run.
@@ -124,6 +200,11 @@ pub struct GaRun {
     pub stopped_by: StopReason,
     /// Total charged time in seconds.
     pub elapsed_seconds: f64,
+    /// How many evaluations were served from the evaluator's cache.
+    pub cache_hits: usize,
+    /// Total measured wall-clock seconds across evaluations (0 when the
+    /// evaluator does not measure).
+    pub wall_seconds: f64,
 }
 
 /// Why a run terminated.
@@ -193,79 +274,77 @@ impl Ga {
         best.unwrap()
     }
 
-    /// Run the GA. `fitness` scores a chromosome (higher is better);
-    /// `repair` must return a constraint-valid chromosome (paper §4.1's
-    /// constraints-verification step).
+    /// Run the GA with a fitness closure returning
+    /// `(fitness, cost_seconds)` — the historical per-individual protocol,
+    /// kept as a thin shim over [`Ga::run_batched`]. `repair` must return
+    /// a constraint-valid chromosome (paper §4.1's constraints-
+    /// verification step).
     pub fn run(
         &mut self,
-        mut fitness: impl FnMut(&[bool]) -> (f64, f64),
+        fitness: impl FnMut(&[bool]) -> (f64, f64),
         repair: impl Fn(&[bool], u64) -> Vec<bool>,
         term: &Termination,
     ) -> GaRun {
-        let mut history: Vec<EvalRecord> = Vec::new();
-        let mut best: (Vec<bool>, f64) = (vec![false; self.n_genes], f64::NEG_INFINITY);
-        let mut elapsed = 0.0f64;
-        let mut evals = 0usize;
-        let mut stopped = StopReason::MaxEvaluations;
+        self.run_batched(&FnEvaluator::new(fitness), repair, term)
+    }
 
-        let mut evaluate =
-            |genes: Vec<bool>,
-             history: &mut Vec<EvalRecord>,
-             best: &mut (Vec<bool>, f64),
-             elapsed: &mut f64,
-             evals: &mut usize,
-             fitness: &mut dyn FnMut(&[bool]) -> (f64, f64)|
-             -> f64 {
-                let (fit, cost) = fitness(&genes);
-                *evals += 1;
-                *elapsed += cost;
-                if fit > best.1 {
-                    *best = (genes.clone(), fit);
-                }
-                history.push(EvalRecord {
-                    iteration: *evals,
-                    fitness: fit,
-                    best_so_far: best.1,
-                    genes,
-                    elapsed_seconds: *elapsed,
-                });
-                fit
-            };
+    /// Run the GA against a batch [`Evaluator`].
+    ///
+    /// The initial population is evaluated as one batch, and each
+    /// generation's offspring as one batch, so implementations can
+    /// parallelize or deduplicate within a batch. History, termination
+    /// and RNG semantics are identical to the sequential protocol: a
+    /// fixed seed yields the same [`GaRun`] whichever way the evaluator
+    /// schedules the work, because breeding never depends on sibling
+    /// fitness within a generation. When a budget criterion fires
+    /// mid-batch, the remaining evaluations of that batch are discarded
+    /// uncounted — exactly the evaluations the sequential loop would
+    /// never have started.
+    pub fn run_batched(
+        &mut self,
+        evaluator: &dyn Evaluator,
+        repair: impl Fn(&[bool], u64) -> Vec<bool>,
+        term: &Termination,
+    ) -> GaRun {
+        let mut state = RunState {
+            history: Vec::new(),
+            best: (vec![false; self.n_genes], f64::NEG_INFINITY),
+            elapsed: 0.0,
+            wall: 0.0,
+            evals: 0,
+            cache_hits: 0,
+        };
+        let stopped;
 
-        // Initial population: the all-off vector, a few dense vectors, and
-        // random ones — all repaired.
-        let mut population: Vec<(Vec<bool>, f64)> = Vec::new();
-        for k in 0..self.params.population {
-            let raw: Vec<bool> = match k {
-                0 => vec![false; self.n_genes],
-                1 => vec![true; self.n_genes],
-                _ => (0..self.n_genes).map(|_| self.rng.gen_bool(0.5)).collect(),
-            };
-            let genes = repair(&raw, k as u64);
-            let fit = evaluate(
-                genes.clone(),
-                &mut history,
-                &mut best,
-                &mut elapsed,
-                &mut evals,
-                &mut fitness,
-            );
-            population.push((genes, fit));
-        }
+        // Initial population: the all-off vector, a dense vector, and
+        // random ones — all repaired, evaluated as one batch.
+        let initial: Vec<Vec<bool>> = (0..self.params.population)
+            .map(|k| {
+                let raw: Vec<bool> = match k {
+                    0 => vec![false; self.n_genes],
+                    1 => vec![true; self.n_genes],
+                    _ => (0..self.n_genes).map(|_| self.rng.gen_bool(0.5)).collect(),
+                };
+                repair(&raw, k as u64)
+            })
+            .collect();
+        let results = evaluator.evaluate_batch(&initial);
+        let (fitnesses, _) = state.commit(&initial, &results, false, term);
+        let mut population: Vec<(Vec<bool>, f64)> = initial.into_iter().zip(fitnesses).collect();
 
-        'outer: loop {
-            // Termination checks.
-            if evals >= term.max_evaluations {
+        loop {
+            // Termination checks (generation boundary).
+            if state.evals >= term.max_evaluations {
                 stopped = StopReason::MaxEvaluations;
                 break;
             }
-            if term.max_seconds > 0.0 && elapsed >= term.max_seconds {
+            if term.max_seconds > 0.0 && state.elapsed >= term.max_seconds {
                 stopped = StopReason::TimeBudget;
                 break;
             }
-            if evals >= term.min_evaluations && evals > term.plateau_window {
-                let then = history[evals - term.plateau_window - 1].best_so_far;
-                let now = best.1;
+            if state.evals >= term.min_evaluations && state.evals > term.plateau_window {
+                let then = state.history[state.evals - term.plateau_window - 1].best_so_far;
+                let now = state.best.1;
                 let growth = if then.abs() > 1e-12 {
                     (now - then) / then.abs()
                 } else {
@@ -276,52 +355,112 @@ impl Ga {
                     break;
                 }
             }
-            // Next generation.
+            // Breed the next generation, then evaluate it as one batch.
+            // Parents come from the *current* population only, so breeding
+            // order cannot observe sibling fitness — the batch is
+            // semantically identical to the one-at-a-time loop. The brood
+            // is truncated to the remaining evaluation budget: the
+            // sequential loop would stop breeding at the cap, and
+            // evaluating past it would waste real compiles (the time
+            // budget can still cut mid-batch — per-eval cost is only known
+            // after evaluation — and those results are discarded).
             let mut sorted = population.clone();
             sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-            let mut next: Vec<(Vec<bool>, f64)> = sorted
-                .iter()
-                .take(self.params.elitism)
-                .cloned()
+            let elites: Vec<(Vec<bool>, f64)> =
+                sorted.iter().take(self.params.elitism).cloned().collect();
+            let brood =
+                (self.params.population - elites.len()).min(term.max_evaluations - state.evals);
+            let offspring: Vec<Vec<bool>> = (0..brood)
+                .map(|_| {
+                    let p1 = self.tournament_pick(&population).clone();
+                    let p2 = self.tournament_pick(&population).clone();
+                    let (fitter, other) = if p1.1 >= p2.1 { (&p1, &p2) } else { (&p2, &p1) };
+                    let mut child = if self.rng.gen_bool(self.params.crossover_rate) {
+                        self.crossover(&fitter.0, &other.0)
+                    } else {
+                        fitter.0.clone()
+                    };
+                    self.mutate(&mut child);
+                    repair(&child, self.rng.gen())
+                })
                 .collect();
-            while next.len() < self.params.population {
-                let p1 = self.tournament_pick(&population).clone();
-                let p2 = self.tournament_pick(&population).clone();
-                let (fitter, other) = if p1.1 >= p2.1 { (&p1, &p2) } else { (&p2, &p1) };
-                let mut child = if self.rng.gen_bool(self.params.crossover_rate) {
-                    self.crossover(&fitter.0, &other.0)
-                } else {
-                    fitter.0.clone()
-                };
-                self.mutate(&mut child);
-                let child = repair(&child, self.rng.gen());
-                let fit = evaluate(
-                    child.clone(),
-                    &mut history,
-                    &mut best,
-                    &mut elapsed,
-                    &mut evals,
-                    &mut fitness,
-                );
-                next.push((child, fit));
-                if evals >= term.max_evaluations
-                    || (term.max_seconds > 0.0 && elapsed >= term.max_seconds)
-                {
-                    population = next;
-                    continue 'outer;
-                }
+            let results = evaluator.evaluate_batch(&offspring);
+            let (fitnesses, cut) = state.commit(&offspring, &results, true, term);
+            population = elites;
+            population.extend(offspring.into_iter().zip(fitnesses));
+            if cut {
+                // A budget criterion fired mid-batch; the boundary checks
+                // at the top of the loop pick the stop reason.
+                continue;
             }
-            population = next;
         }
 
         GaRun {
-            best_genes: best.0,
-            best_fitness: best.1,
-            evaluations: evals,
-            history,
+            best_genes: state.best.0,
+            best_fitness: state.best.1,
+            evaluations: state.evals,
+            history: state.history,
             stopped_by: stopped,
-            elapsed_seconds: elapsed,
+            elapsed_seconds: state.elapsed,
+            cache_hits: state.cache_hits,
+            wall_seconds: state.wall,
         }
+    }
+}
+
+/// Mutable accounting threaded through one [`Ga::run_batched`] call.
+struct RunState {
+    history: Vec<EvalRecord>,
+    best: (Vec<bool>, f64),
+    elapsed: f64,
+    wall: f64,
+    evals: usize,
+    cache_hits: usize,
+}
+
+impl RunState {
+    /// Commit a batch's results in order. When `bounded`, stop at the
+    /// first evaluation after which a budget criterion fires; the
+    /// remaining results are discarded uncounted (the sequential loop
+    /// would never have started them). Returns every genome's fitness
+    /// (committed or not, so the caller can build a full population) and
+    /// whether the budget cut the batch short.
+    fn commit(
+        &mut self,
+        genomes: &[Vec<bool>],
+        results: &[Eval],
+        bounded: bool,
+        term: &Termination,
+    ) -> (Vec<f64>, bool) {
+        debug_assert_eq!(genomes.len(), results.len());
+        let fitnesses: Vec<f64> = results.iter().map(|e| e.fitness).collect();
+        let mut cut = false;
+        for (genes, eval) in genomes.iter().zip(results) {
+            self.evals += 1;
+            self.elapsed += eval.cost_seconds;
+            self.wall += eval.wall_seconds;
+            self.cache_hits += eval.cache_hit as usize;
+            if eval.fitness > self.best.1 {
+                self.best = (genes.clone(), eval.fitness);
+            }
+            self.history.push(EvalRecord {
+                iteration: self.evals,
+                fitness: eval.fitness,
+                best_so_far: self.best.1,
+                genes: genes.clone(),
+                elapsed_seconds: self.elapsed,
+                cache_hit: eval.cache_hit,
+                wall_seconds: eval.wall_seconds,
+            });
+            if bounded
+                && (self.evals >= term.max_evaluations
+                    || (term.max_seconds > 0.0 && self.elapsed >= term.max_seconds))
+            {
+                cut = true;
+                break;
+            }
+        }
+        (fitnesses, cut)
     }
 }
 
@@ -336,11 +475,15 @@ mod tests {
     #[test]
     fn solves_onemax() {
         let mut ga = Ga::new(24, GaParams::default(), 1);
-        let run = ga.run(onemax, |g, _| g.to_vec(), &Termination {
-            max_evaluations: 1500,
-            plateau_growth: 0.0,
-            ..Default::default()
-        });
+        let run = ga.run(
+            onemax,
+            |g, _| g.to_vec(),
+            &Termination {
+                max_evaluations: 1500,
+                plateau_growth: 0.0,
+                ..Default::default()
+            },
+        );
         assert!(run.best_fitness >= 22.0, "{}", run.best_fitness);
         assert_eq!(run.evaluations, run.history.len());
     }
@@ -361,12 +504,16 @@ mod tests {
     fn plateau_terminates_early() {
         // Constant fitness plateaus immediately after the window.
         let mut ga = Ga::new(12, GaParams::default(), 3);
-        let run = ga.run(|_| (5.0, 0.0), |g, _| g.to_vec(), &Termination {
-            max_evaluations: 5000,
-            plateau_window: 50,
-            min_evaluations: 60,
-            ..Default::default()
-        });
+        let run = ga.run(
+            |_| (5.0, 0.0),
+            |g, _| g.to_vec(),
+            &Termination {
+                max_evaluations: 5000,
+                plateau_window: 50,
+                min_evaluations: 60,
+                ..Default::default()
+            },
+        );
         assert_eq!(run.stopped_by, StopReason::Plateau);
         assert!(run.evaluations < 300, "{}", run.evaluations);
     }
@@ -408,6 +555,103 @@ mod tests {
         assert!(run.best_fitness <= 7.0);
     }
 
+    /// Batch evaluator computing onemax, marking repeats as cache hits
+    /// and charging them nothing — a miniature of the fitness engine.
+    struct BatchOnemax {
+        seen: std::cell::RefCell<std::collections::BTreeSet<Vec<bool>>>,
+    }
+
+    impl BatchOnemax {
+        fn new() -> BatchOnemax {
+            BatchOnemax {
+                seen: std::cell::RefCell::new(Default::default()),
+            }
+        }
+    }
+
+    impl Evaluator for BatchOnemax {
+        fn evaluate_batch(&self, genomes: &[Vec<bool>]) -> Vec<Eval> {
+            let mut seen = self.seen.borrow_mut();
+            genomes
+                .iter()
+                .map(|g| {
+                    let hit = !seen.insert(g.clone());
+                    Eval {
+                        fitness: onemax(g).0,
+                        cost_seconds: 0.01,
+                        wall_seconds: 0.001,
+                        cache_hit: hit,
+                    }
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn batched_protocol_matches_closure_protocol() {
+        // Same seed, same fitness: the batch path and the sequential
+        // closure shim must produce identical runs, record for record.
+        let term = Termination {
+            max_evaluations: 500,
+            ..Default::default()
+        };
+        let run_seq = Ga::new(16, GaParams::default(), 7).run(onemax, |g, _| g.to_vec(), &term);
+        let run_batch = Ga::new(16, GaParams::default(), 7).run_batched(
+            &BatchOnemax::new(),
+            |g, _| g.to_vec(),
+            &term,
+        );
+        assert_eq!(run_seq.best_genes, run_batch.best_genes);
+        assert_eq!(run_seq.best_fitness, run_batch.best_fitness);
+        assert_eq!(run_seq.evaluations, run_batch.evaluations);
+        assert_eq!(run_seq.stopped_by, run_batch.stopped_by);
+        assert_eq!(run_seq.history.len(), run_batch.history.len());
+        for (a, b) in run_seq.history.iter().zip(&run_batch.history) {
+            assert_eq!(a.genes, b.genes);
+            assert_eq!(a.fitness, b.fitness);
+            assert_eq!(a.best_so_far, b.best_so_far);
+        }
+    }
+
+    #[test]
+    fn cache_hits_are_accounted() {
+        let mut ga = Ga::new(12, GaParams::default(), 5);
+        let run = ga.run_batched(
+            &BatchOnemax::new(),
+            |g, _| g.to_vec(),
+            &Termination {
+                max_evaluations: 600,
+                plateau_growth: 0.0,
+                ..Default::default()
+            },
+        );
+        // Tournament selection revisits genomes constantly on a 12-bit
+        // space; the evaluator must have reported hits, and the run must
+        // have accumulated them consistently with its history.
+        assert!(run.cache_hits > 0, "{}", run.cache_hits);
+        assert_eq!(
+            run.cache_hits,
+            run.history.iter().filter(|r| r.cache_hit).count()
+        );
+        assert!(run.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn closure_shim_reports_no_cache_hits() {
+        let mut ga = Ga::new(10, GaParams::default(), 2);
+        let run = ga.run(
+            onemax,
+            |g, _| g.to_vec(),
+            &Termination {
+                max_evaluations: 100,
+                ..Default::default()
+            },
+        );
+        assert_eq!(run.cache_hits, 0);
+        assert_eq!(run.wall_seconds, 0.0);
+        assert!(run.history.iter().all(|r| !r.cache_hit));
+    }
+
     #[test]
     fn must_mutate_count_diversifies_clones() {
         let params = GaParams {
@@ -417,11 +661,15 @@ mod tests {
             ..Default::default()
         };
         let mut ga = Ga::new(20, params, 11);
-        let run = ga.run(onemax, |g, _| g.to_vec(), &Termination {
-            max_evaluations: 200,
-            plateau_growth: 0.0,
-            ..Default::default()
-        });
+        let run = ga.run(
+            onemax,
+            |g, _| g.to_vec(),
+            &Termination {
+                max_evaluations: 200,
+                plateau_growth: 0.0,
+                ..Default::default()
+            },
+        );
         // Forced mutation keeps producing new individuals even without
         // crossover/mutation probability.
         let distinct: std::collections::BTreeSet<Vec<bool>> =

@@ -34,11 +34,6 @@ impl BitWriter {
         }
         self.bytes
     }
-
-    /// Bits written so far (including buffered partial byte).
-    pub fn bit_len(&self) -> usize {
-        self.bytes.len() * 8 + self.nbits as usize
-    }
 }
 
 /// Reads bits LSB-first from a byte slice.
@@ -102,7 +97,13 @@ mod tests {
     #[test]
     fn round_trip_mixed_widths() {
         let mut w = BitWriter::new();
-        let values = [(5u32, 3u32), (0, 1), (1023, 10), (1, 1), (0xabcd & 0x3fff, 14)];
+        let values = [
+            (5u32, 3u32),
+            (0, 1),
+            (1023, 10),
+            (1, 1),
+            (0xabcd & 0x3fff, 14),
+        ];
         for (v, n) in values {
             w.put(v, n);
         }

@@ -141,11 +141,6 @@ impl Encoder {
         }
         w.put(rev, len as u32);
     }
-
-    /// Code length for a symbol (0 if absent).
-    pub fn len_of(&self, sym: usize) -> u8 {
-        self.codes[sym].1
-    }
 }
 
 /// Canonical decoder (simple length-walk decode; adequate for our sizes).

@@ -301,7 +301,12 @@ mod tests {
 
     #[test]
     fn repetitive_data_compresses_well() {
-        let data: Vec<u8> = b"boilerplate-".iter().copied().cycle().take(40_000).collect();
+        let data: Vec<u8> = b"boilerplate-"
+            .iter()
+            .copied()
+            .cycle()
+            .take(40_000)
+            .collect();
         let c = compress(&data);
         assert!(c.len() < data.len() / 20, "{} vs {}", c.len(), data.len());
         assert_eq!(decompress(&c).unwrap(), data);

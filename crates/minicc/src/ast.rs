@@ -76,13 +76,7 @@ impl BinOp {
             BinOp::Add => a.wrapping_add(b),
             BinOp::Sub => a.wrapping_sub(b),
             BinOp::Mul => a.wrapping_mul(b),
-            BinOp::Div => {
-                if b == 0 {
-                    0
-                } else {
-                    a / b
-                }
-            }
+            BinOp::Div => a.checked_div(b).unwrap_or(0),
             BinOp::Rem => {
                 if b == 0 {
                     a
@@ -182,7 +176,9 @@ impl Expr {
     pub fn subst_var(&self, name: &str, replacement: &Expr) -> Expr {
         match self {
             Expr::Var(v) if v == name => replacement.clone(),
-            Expr::Index(arr, i) => Expr::Index(arr.clone(), Box::new(i.subst_var(name, replacement))),
+            Expr::Index(arr, i) => {
+                Expr::Index(arr.clone(), Box::new(i.subst_var(name, replacement)))
+            }
             Expr::Bin(op, a, b) => Expr::bin(
                 *op,
                 a.subst_var(name, replacement),
@@ -192,11 +188,15 @@ impl Expr {
             Expr::Neg(a) => Expr::Neg(Box::new(a.subst_var(name, replacement))),
             Expr::Call(f, args) => Expr::Call(
                 f.clone(),
-                args.iter().map(|a| a.subst_var(name, replacement)).collect(),
+                args.iter()
+                    .map(|a| a.subst_var(name, replacement))
+                    .collect(),
             ),
             Expr::CallImport(f, args) => Expr::CallImport(
                 f.clone(),
-                args.iter().map(|a| a.subst_var(name, replacement)).collect(),
+                args.iter()
+                    .map(|a| a.subst_var(name, replacement))
+                    .collect(),
             ),
             other => other.clone(),
         }
@@ -211,9 +211,10 @@ impl Expr {
             Expr::Bin(op, a, b) => Expr::bin(*op, a.rename_vars(f), b.rename_vars(f)),
             Expr::Not(a) => Expr::Not(Box::new(a.rename_vars(f))),
             Expr::Neg(a) => Expr::Neg(Box::new(a.rename_vars(f))),
-            Expr::Call(name, args) => {
-                Expr::Call(name.clone(), args.iter().map(|a| a.rename_vars(f)).collect())
-            }
+            Expr::Call(name, args) => Expr::Call(
+                name.clone(),
+                args.iter().map(|a| a.rename_vars(f)).collect(),
+            ),
             Expr::CallImport(name, args) => Expr::CallImport(
                 name.clone(),
                 args.iter().map(|a| a.rename_vars(f)).collect(),
@@ -409,16 +410,13 @@ impl Stmt {
                 cond,
                 then_body,
                 else_body,
-            } => {
-                expr_has_call(cond)
-                    || then_body.iter().chain(else_body).any(Stmt::contains_call)
+            } => expr_has_call(cond) || then_body.iter().chain(else_body).any(Stmt::contains_call),
+            Stmt::While { cond, body } => {
+                expr_has_call(cond) || body.iter().any(Stmt::contains_call)
             }
-            Stmt::While { cond, body } => expr_has_call(cond) || body.iter().any(Stmt::contains_call),
             Stmt::For {
                 start, end, body, ..
-            } => {
-                expr_has_call(start) || expr_has_call(end) || body.iter().any(Stmt::contains_call)
-            }
+            } => expr_has_call(start) || expr_has_call(end) || body.iter().any(Stmt::contains_call),
             Stmt::Switch {
                 scrutinee,
                 cases,
@@ -700,11 +698,7 @@ mod tests {
         let mut f = sample_func();
         f.body[0] = Stmt::Assign(
             LValue::Var("y".into()),
-            Expr::bin(
-                BinOp::Add,
-                Expr::Call("f".into(), vec![]),
-                Expr::Const(1),
-            ),
+            Expr::bin(BinOp::Add, Expr::Call("f".into(), vec![]), Expr::Const(1)),
         );
         m.funcs.push(f);
         assert!(m.validate().is_err());

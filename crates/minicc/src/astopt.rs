@@ -362,10 +362,7 @@ fn fold_stmt(s: &Stmt) -> Stmt {
             default,
         } => Stmt::Switch {
             scrutinee: fold_expr(scrutinee),
-            cases: cases
-                .iter()
-                .map(|(v, b)| (*v, fold_body(b)))
-                .collect(),
+            cases: cases.iter().map(|(v, b)| (*v, fold_body(b))).collect(),
             default: fold_body(default),
         },
         Stmt::Return(e) => Stmt::Return(fold_expr(e)),
@@ -449,9 +446,7 @@ impl<'a> Inliner<'a> {
             });
         }
         let renamer = |v: &str| {
-            if callee.params.iter().any(|p| p == v)
-                || callee.locals.iter().any(|l| l.name == v)
-            {
+            if callee.params.iter().any(|p| p == v) || callee.locals.iter().any(|l| l.name == v) {
                 rename(v)
             } else {
                 v.to_string()
@@ -473,8 +468,10 @@ impl<'a> Inliner<'a> {
             out.push(renamed);
         }
         // Void-shaped callee with a result expected: result = 0.
-        if result.is_some() && !matches!(callee.body.last(), Some(Stmt::Return(_))) {
-            out.push(Stmt::Assign(result.unwrap().clone(), Expr::Const(0)));
+        if let Some(result) = result {
+            if !matches!(callee.body.last(), Some(Stmt::Return(_))) {
+                out.push(Stmt::Assign(result.clone(), Expr::Const(0)));
+            }
         }
         out
     }
@@ -754,8 +751,7 @@ fn unroll_body(body: Vec<Stmt>, factor: usize, jam: bool) -> Vec<Stmt> {
                 // Recurse first (inner loops; `jam` also unrolls outers).
                 let inner = unroll_body(body, factor, jam);
                 let writes = body_writes(&inner);
-                let safe = !writes.contains(&var)
-                    && !inner.iter().any(Stmt::contains_return);
+                let safe = !writes.contains(&var) && !inner.iter().any(Stmt::contains_return);
                 let is_outer = inner
                     .iter()
                     .any(|s| matches!(s, Stmt::For { .. } | Stmt::While { .. }));
@@ -793,8 +789,10 @@ fn unroll_body(body: Vec<Stmt>, factor: usize, jam: bool) -> Vec<Stmt> {
                     _ => {
                         // Partial unroll with remainder: requires pure
                         // bounds not written by the body.
-                        let bound_reads: BTreeSet<String> =
-                            expr_reads(&start).union(&expr_reads(&end)).cloned().collect();
+                        let bound_reads: BTreeSet<String> = expr_reads(&start)
+                            .union(&expr_reads(&end))
+                            .cloned()
+                            .collect();
                         if !start.is_pure()
                             || !end.is_pure()
                             || bound_reads.intersection(&writes).next().is_some()
@@ -819,11 +817,7 @@ fn unroll_body(body: Vec<Stmt>, factor: usize, jam: bool) -> Vec<Stmt> {
                             unrolled.extend(inner.iter().cloned());
                             unrolled.push(Stmt::Assign(
                                 LValue::Var(var.clone()),
-                                Expr::bin(
-                                    BinOp::Add,
-                                    Expr::Var(var.clone()),
-                                    Expr::Const(step),
-                                ),
+                                Expr::bin(BinOp::Add, Expr::Var(var.clone()), Expr::Const(step)),
                             ));
                         }
                         // Guard: end >= chunk && var <= end - chunk.
@@ -905,8 +899,10 @@ fn peel_body(body: Vec<Stmt>) -> Vec<Stmt> {
             } => {
                 let inner = peel_body(body);
                 let writes = body_writes(&inner);
-                let bound_reads: BTreeSet<String> =
-                    expr_reads(&start).union(&expr_reads(&end)).cloned().collect();
+                let bound_reads: BTreeSet<String> = expr_reads(&start)
+                    .union(&expr_reads(&end))
+                    .cloned()
+                    .collect();
                 let safe = start.is_pure()
                     && end.is_pure()
                     && !writes.contains(&var)
@@ -969,8 +965,7 @@ fn unswitch_body(body: Vec<Stmt>) -> Vec<Stmt> {
                 // Find a top-level invariant If.
                 let pos = inner.iter().position(|s| match s {
                     Stmt::If { cond, .. } => {
-                        cond.is_pure()
-                            && expr_reads(cond).intersection(&writes).next().is_none()
+                        cond.is_pure() && expr_reads(cond).intersection(&writes).next().is_none()
                     }
                     _ => false,
                 });
@@ -1422,7 +1417,12 @@ mod tests {
         ));
         let inlined = inline_module(&m, 1000, false);
         // Still contains the self-call (as tmp = rec(x); return tmp).
-        assert!(inlined.func("rec").unwrap().body.iter().any(Stmt::contains_call));
+        assert!(inlined
+            .func("rec")
+            .unwrap()
+            .body
+            .iter()
+            .any(Stmt::contains_call));
     }
 
     #[test]

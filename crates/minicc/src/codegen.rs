@@ -44,7 +44,7 @@ pub fn lower_module(module: &Module, eff: &EffectConfig, arch: Arch) -> Binary {
     let mut strings: BTreeMap<String, i64> = BTreeMap::new();
     for f in &module.funcs {
         let id = func_ids[&f.name];
-        let lowered = FnCx::lower(module, f, eff, arch, &func_ids, &globals, &mut strings, &mut bin);
+        let lowered = FnCx::lower(f, eff, arch, &func_ids, &globals, &mut strings, &mut bin);
         let mut lowered = lowered;
         lowered.id = id;
         bin.functions.push(lowered);
@@ -62,7 +62,6 @@ enum Loc {
 }
 
 struct FnCx<'a> {
-    m: &'a Module,
     f: &'a FuncDef,
     eff: &'a EffectConfig,
     arch: Arch,
@@ -85,7 +84,6 @@ const ARG_REGS: [Gpr; 4] = [Gpr::Ecx, Gpr::Edx, Gpr::Esi, Gpr::Edi];
 impl<'a> FnCx<'a> {
     #[allow(clippy::too_many_arguments)]
     fn lower(
-        m: &'a Module,
         f: &'a FuncDef,
         eff: &'a EffectConfig,
         arch: Arch,
@@ -99,7 +97,6 @@ impl<'a> FnCx<'a> {
         let epilogue = cfg.fresh_id();
         cfg.push(Block::new(epilogue, Vec::new(), Terminator::Ret));
         let mut cx = FnCx {
-            m,
             f,
             eff,
             arch,
@@ -136,8 +133,7 @@ impl<'a> FnCx<'a> {
     }
 
     fn assign_locations(&mut self) {
-        let leaf_params =
-            self.eff.regalloc && self.is_leaf() && self.f.params.len() <= 2;
+        let leaf_params = self.eff.regalloc && self.is_leaf() && self.f.params.len() <= 2;
         let mut next_slot: i32 = -4;
         let alloc_slot = |words: usize, next: &mut i32| -> i32 {
             *next -= (words as i32 - 1) * 4;
@@ -283,7 +279,11 @@ impl<'a> FnCx<'a> {
             self.push(Insn::op2(Opcode::Mov, r, MemRef::base_disp(Gpr::Ebp, off)));
         }
         if self.eff.style(11) {
-            self.push(Insn::op2(Opcode::Lea, Gpr::Esp, MemRef::base_disp(Gpr::Ebp, 0)));
+            self.push(Insn::op2(
+                Opcode::Lea,
+                Gpr::Esp,
+                MemRef::base_disp(Gpr::Ebp, 0),
+            ));
         } else {
             self.push(Insn::op2(Opcode::Mov, Gpr::Esp, Gpr::Ebp));
         }
@@ -313,20 +313,6 @@ impl<'a> FnCx<'a> {
             .get(name)
             .unwrap_or_else(|| panic!("{}: unknown global {}", self.f.name, name))
             .0
-    }
-
-    fn array_elem(&mut self, name: &str, idx: &Expr, depth: usize) -> MemRef {
-        // Constant index: direct addressing.
-        if let Expr::Const(k) = idx {
-            return self.array_elem_const(name, *k);
-        }
-        let r = self.eval(idx, depth);
-        if let Some(&base) = self.arrays.get(name) {
-            MemRef::indexed(Some(Gpr::Ebp), r, 4, base)
-        } else {
-            let addr = self.global_addr(name);
-            MemRef::indexed(None, r, 4, addr as i32)
-        }
     }
 
     fn array_elem_const(&self, name: &str, k: u32) -> MemRef {
@@ -464,12 +450,12 @@ impl<'a> FnCx<'a> {
                 self.push(Insn::op1(Opcode::Neg, r));
             }
             Expr::Bin(op, a, b) => {
-                let (a, b) = if self.eff.style(2) && op.is_commutative() && a.is_pure() && b.is_pure()
-                {
-                    (b, a)
-                } else {
-                    (a, b)
-                };
+                let (a, b) =
+                    if self.eff.style(2) && op.is_commutative() && a.is_pure() && b.is_pure() {
+                        (b, a)
+                    } else {
+                        (a, b)
+                    };
                 self.eval_into(a, r, depth);
                 let rhs = self.eval_rhs(b, r, depth);
                 if op.is_cmp() {
@@ -480,7 +466,10 @@ impl<'a> FnCx<'a> {
                 }
             }
             Expr::Call(..) | Expr::CallImport(..) => {
-                panic!("{}: call in expression position survived to codegen", self.f.name)
+                panic!(
+                    "{}: call in expression position survived to codegen",
+                    self.f.name
+                )
             }
         }
     }
@@ -882,11 +871,7 @@ impl<'a> FnCx<'a> {
                 }
                 _ => {
                     let r = cx.eval(
-                        &Expr::bin(
-                            BinOp::Add,
-                            Expr::Var(var.to_string()),
-                            Expr::Const(step),
-                        ),
+                        &Expr::bin(BinOp::Add, Expr::Var(var.to_string()), Expr::Const(step)),
                         0,
                     );
                     cx.store_to(&LValue::Var(var.to_string()), r);
@@ -1311,7 +1296,7 @@ impl<'a> FnCx<'a> {
                 // Words of the interned string, terminator included.
                 let mut bytes: Vec<u8> = s.bytes().collect();
                 bytes.push(0);
-                while bytes.len() % 4 != 0 {
+                while !bytes.len().is_multiple_of(4) {
                     bytes.push(0);
                 }
                 let r = self.eval(dst, 0);

@@ -508,7 +508,11 @@ impl CompilerProfile {
                     }
                 };
                 confl("-fselective-scheduling", "-fschedule-insns2", &mut cs);
-                confl("-freorder-blocks-and-partition", "-ftree-tail-merge", &mut cs);
+                confl(
+                    "-freorder-blocks-and-partition",
+                    "-ftree-tail-merge",
+                    &mut cs,
+                );
                 confl("-flive-range-shrinkage", "-fira-region-all", &mut cs);
             }
             CompilerKind::Llvm => {
@@ -701,7 +705,11 @@ impl CompilerProfile {
         // size-oriented choices.
         let os_extra: &[&str] = match self.kind {
             CompilerKind::Gcc => &["-fmerge-all-constants", "-fbranch-count-reg"],
-            CompilerKind::Llvm => &["-fmerge-all-constants", "-mllvm:hardware-loops", "-mllvm:mergefunc"],
+            CompilerKind::Llvm => &[
+                "-fmerge-all-constants",
+                "-mllvm:hardware-loops",
+                "-mllvm:mergefunc",
+            ],
         };
         let os_removed: &[&str] = &[
             "-falign-loops",
@@ -734,7 +742,10 @@ impl CompilerProfile {
                 }
             }
         }
-        debug_assert!(self.constraints.is_valid(&v), "preset {level} violates constraints");
+        debug_assert!(
+            self.constraints.is_valid(&v),
+            "preset {level} violates constraints"
+        );
         v
     }
 
@@ -761,7 +772,11 @@ impl CompilerProfile {
 }
 
 /// Resolved optimization configuration consumed by codegen and passes.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// `Eq + Hash` so it can key memoization: the emitted binary is a pure
+/// function of `(module, effect config, arch)`, which the fitness engine
+/// exploits to avoid recompiling semantically equivalent flag vectors.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct EffectConfig {
     /// See [`Effect::RegAlloc`].
     pub regalloc: bool,
@@ -833,8 +848,10 @@ impl EffectConfig {
     /// Panics if `flags.len()` doesn't match the profile.
     pub fn from_flags(profile: &CompilerProfile, flags: &[bool]) -> EffectConfig {
         assert_eq!(flags.len(), profile.n_flags());
-        let mut c = EffectConfig::default();
-        c.unroll_factor = 1;
+        let mut c = EffectConfig {
+            unroll_factor: 1,
+            ..Default::default()
+        };
         for (def, &on) in profile.flags().iter().zip(flags) {
             if !on {
                 continue;

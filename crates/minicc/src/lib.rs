@@ -182,34 +182,30 @@ mod tests {
         ));
 
         // Recursive function (must never be inlined).
-        m.funcs.push(FuncDef::new(
-            "fib",
-            vec!["n".into()],
-            {
-                let mut f = vec![
-                    Stmt::If {
-                        cond: Expr::vc(BinOp::Lt, "n", 2),
-                        then_body: vec![Stmt::Return(Expr::Var("n".into()))],
-                        else_body: vec![],
-                    },
-                    Stmt::Assign(
-                        LValue::Var("a".into()),
-                        Expr::Call("fib".into(), vec![Expr::vc(BinOp::Sub, "n", 1)]),
-                    ),
-                    Stmt::Assign(
-                        LValue::Var("b".into()),
-                        Expr::Call("fib".into(), vec![Expr::vc(BinOp::Sub, "n", 2)]),
-                    ),
-                    Stmt::Return(Expr::bin(
-                        BinOp::Add,
-                        Expr::Var("a".into()),
-                        Expr::Var("b".into()),
-                    )),
-                ];
-                f.rotate_left(0);
-                f
-            },
-        ));
+        m.funcs.push(FuncDef::new("fib", vec!["n".into()], {
+            let mut f = vec![
+                Stmt::If {
+                    cond: Expr::vc(BinOp::Lt, "n", 2),
+                    then_body: vec![Stmt::Return(Expr::Var("n".into()))],
+                    else_body: vec![],
+                },
+                Stmt::Assign(
+                    LValue::Var("a".into()),
+                    Expr::Call("fib".into(), vec![Expr::vc(BinOp::Sub, "n", 1)]),
+                ),
+                Stmt::Assign(
+                    LValue::Var("b".into()),
+                    Expr::Call("fib".into(), vec![Expr::vc(BinOp::Sub, "n", 2)]),
+                ),
+                Stmt::Return(Expr::bin(
+                    BinOp::Add,
+                    Expr::Var("a".into()),
+                    Expr::Var("b".into()),
+                )),
+            ];
+            f.rotate_left(0);
+            f
+        }));
         m.funcs.last_mut().unwrap().local("a");
         m.funcs.last_mut().unwrap().local("b");
 
@@ -296,11 +292,41 @@ mod tests {
             Stmt::Switch {
                 scrutinee: Expr::Var("op".into()),
                 cases: vec![
-                    (2, vec![Stmt::Assign(LValue::Var("r".into()), Expr::vc(BinOp::Add, "r", 10))]),
-                    (40, vec![Stmt::Assign(LValue::Var("r".into()), Expr::vc(BinOp::Add, "r", 20))]),
-                    (1000, vec![Stmt::Assign(LValue::Var("r".into()), Expr::vc(BinOp::Add, "r", 30))]),
-                    (77777, vec![Stmt::Assign(LValue::Var("r".into()), Expr::vc(BinOp::Add, "r", 40))]),
-                    (5, vec![Stmt::Assign(LValue::Var("r".into()), Expr::vc(BinOp::Add, "r", 50))]),
+                    (
+                        2,
+                        vec![Stmt::Assign(
+                            LValue::Var("r".into()),
+                            Expr::vc(BinOp::Add, "r", 10),
+                        )],
+                    ),
+                    (
+                        40,
+                        vec![Stmt::Assign(
+                            LValue::Var("r".into()),
+                            Expr::vc(BinOp::Add, "r", 20),
+                        )],
+                    ),
+                    (
+                        1000,
+                        vec![Stmt::Assign(
+                            LValue::Var("r".into()),
+                            Expr::vc(BinOp::Add, "r", 30),
+                        )],
+                    ),
+                    (
+                        77777,
+                        vec![Stmt::Assign(
+                            LValue::Var("r".into()),
+                            Expr::vc(BinOp::Add, "r", 40),
+                        )],
+                    ),
+                    (
+                        5,
+                        vec![Stmt::Assign(
+                            LValue::Var("r".into()),
+                            Expr::vc(BinOp::Add, "r", 50),
+                        )],
+                    ),
                 ],
                 default: vec![],
             },
@@ -430,11 +456,7 @@ mod tests {
                         Expr::bin(
                             BinOp::Add,
                             Expr::Var("t".into()),
-                            Expr::bin(
-                                BinOp::Add,
-                                Expr::Var("i".into()),
-                                Expr::Var("flag".into()),
-                            ),
+                            Expr::bin(BinOp::Add, Expr::Var("i".into()), Expr::Var("flag".into())),
                         ),
                         Expr::Var("mode".into()),
                     ),
@@ -563,7 +585,10 @@ mod tests {
         let cc = Compiler::new(CompilerKind::Gcc);
         let o3 = cc.compile_preset(&m, OptLevel::O3, Arch::X86).unwrap();
         let hist = binrep::opcode_histogram(&o3);
-        assert!(hist.contains_key("paddd") || hist.contains_key("pmulld"), "{hist:?}");
+        assert!(
+            hist.contains_key("paddd") || hist.contains_key("pmulld"),
+            "{hist:?}"
+        );
         let o1 = cc.compile_preset(&m, OptLevel::O1, Arch::X86).unwrap();
         let hist1 = binrep::opcode_histogram(&o1);
         assert!(!hist1.contains_key("pmulld"));
@@ -599,9 +624,11 @@ mod tests {
             for i in 0..encoded.len() {
                 for j in i + 1..encoded.len() {
                     assert_ne!(
-                        encoded[i], encoded[j],
+                        encoded[i],
+                        encoded[j],
                         "{kind}: {} == {}",
-                        OptLevel::ALL[i], OptLevel::ALL[j]
+                        OptLevel::ALL[i],
+                        OptLevel::ALL[j]
                     );
                 }
             }

@@ -9,9 +9,7 @@
 
 use crate::flags::EffectConfig;
 use crate::magic::magic_u32;
-use binrep::{
-    Binary, BlockId, Cond, Function, Gpr, Insn, Opcode, Operand, Terminator,
-};
+use binrep::{Binary, BlockId, Cond, Function, Gpr, Insn, Opcode, Operand, Terminator};
 use std::collections::BTreeMap;
 
 /// Run all enabled machine-level passes on the binary, in pipeline order.
@@ -39,9 +37,10 @@ pub fn optimize(bin: &mut Binary, eff: &EffectConfig) {
     if eff.align_functions > 0 {
         for f in &mut bin.functions {
             // Deterministic per-name padding in 0..align.
-            let h = f.name.bytes().fold(7u32, |h, b| {
-                h.wrapping_mul(31).wrapping_add(b as u32)
-            });
+            let h = f
+                .name
+                .bytes()
+                .fold(7u32, |h, b| h.wrapping_mul(31).wrapping_add(b as u32));
             f.align_pad = (h % eff.align_functions as u32) as u8;
         }
     }
@@ -118,15 +117,12 @@ fn is_epilogue(b: &binrep::Block) -> bool {
     // The epilogue shape emitted by codegen: register restores (moves from
     // frame slots), `mov esp, ebp` (or the lea variant), `pop ebp`,
     // optional nop.
-    b.insns.iter().all(|i| {
-        matches!(
-            i.op,
-            Opcode::Mov | Opcode::Lea | Opcode::Pop | Opcode::Nop
-        )
-    }) && b
-        .insns
+    b.insns
         .iter()
-        .any(|i| i.op == Opcode::Pop && i.a == Some(Operand::Reg(Gpr::Ebp)))
+        .all(|i| matches!(i.op, Opcode::Mov | Opcode::Lea | Opcode::Pop | Opcode::Nop))
+        && b.insns
+            .iter()
+            .any(|i| i.op == Opcode::Pop && i.a == Some(Operand::Reg(Gpr::Ebp)))
 }
 
 /// Merge single-predecessor/single-successor block chains (jump
@@ -139,10 +135,7 @@ pub fn merge_blocks(f: &mut Function) {
         let mut candidate: Option<(BlockId, BlockId)> = None;
         for b in &f.cfg.blocks {
             if let Terminator::Jmp(t) = b.term {
-                if t != b.id
-                    && preds.get(&t).map(|p| p.len()) == Some(1)
-                    && t != f.cfg.entry
-                {
+                if t != b.id && preds.get(&t).map(|p| p.len()) == Some(1) && t != f.cfg.entry {
                     candidate = Some((b.id, t));
                     break;
                 }
@@ -332,11 +325,9 @@ pub fn reorder_blocks(f: &mut Function, partition: bool) {
 /// Reorder functions in the binary by name hash (`-freorder-functions`).
 pub fn reorder_functions(bin: &mut Binary) {
     bin.functions.sort_by_key(|f| {
-        f.name
-            .bytes()
-            .fold(0xcbf29ce484222325u64, |h, b| {
-                (h ^ b as u64).wrapping_mul(0x100000001b3)
-            })
+        f.name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100000001b3)
+        })
     });
 }
 
@@ -361,9 +352,7 @@ pub fn normalize_branches(f: &mut Function) {
         } = &mut b.term
         {
             if order.get(i + 1) == Some(then_bb) {
-                let t = *then_bb;
-                *then_bb = *else_bb;
-                *else_bb = t;
+                std::mem::swap(&mut *then_bb, &mut *else_bb);
                 *cond = cond.negate();
             }
         }
@@ -381,9 +370,7 @@ pub fn lower_jump_tables(f: &mut Function) -> usize {
         .blocks
         .iter()
         .filter_map(|b| match &b.term {
-            Terminator::JumpTable { index, targets } => {
-                Some((b.id, *index, targets.clone()))
-            }
+            Terminator::JumpTable { index, targets } => Some((b.id, *index, targets.clone())),
             _ => None,
         })
         .collect();
@@ -394,7 +381,8 @@ pub fn lower_jump_tables(f: &mut Function) -> usize {
         let mut cur = src;
         for (k, t) in targets.iter().enumerate().take(targets.len() - 1) {
             let next = f.cfg.fresh_id();
-            f.cfg.push(binrep::Block::new(next, Vec::new(), Terminator::Ret));
+            f.cfg
+                .push(binrep::Block::new(next, Vec::new(), Terminator::Ret));
             let blk = f.cfg.block_mut(cur);
             blk.insns.push(Insn::op2(Opcode::Cmp, index, k as i64));
             blk.term = Terminator::Branch {
@@ -421,7 +409,8 @@ mod tests {
         for _ in 1..n {
             let b = f.cfg.fresh_id();
             f.cfg.block_mut(prev).term = Terminator::Jmp(b);
-            f.cfg.push(Block::new(b, vec![Insn::op0(Opcode::Nop)], Terminator::Ret));
+            f.cfg
+                .push(Block::new(b, vec![Insn::op0(Opcode::Nop)], Terminator::Ret));
             prev = b;
         }
         f

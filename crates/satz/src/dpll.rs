@@ -68,7 +68,11 @@ impl<'a> Solver<'a> {
     }
 
     fn assign(&mut self, l: Lit) {
-        self.values[l.var()] = if l.is_pos() { Value::True } else { Value::False };
+        self.values[l.var()] = if l.is_pos() {
+            Value::True
+        } else {
+            Value::False
+        };
         self.trail.push(l.var());
     }
 
@@ -139,11 +143,7 @@ impl<'a> Solver<'a> {
         loop {
             match self.pick_branch() {
                 None => {
-                    let model = self
-                        .values
-                        .iter()
-                        .map(|&v| v == Value::True)
-                        .collect();
+                    let model = self.values.iter().map(|&v| v == Value::True).collect();
                     return SatResult::Sat(model);
                 }
                 Some(var) => {
@@ -274,7 +274,11 @@ mod tests {
                 let mut c = Vec::new();
                 for _ in 0..3 {
                     let v = rnd(n as u32) as usize;
-                    c.push(if rnd(2) == 0 { Lit::pos(v) } else { Lit::neg(v) });
+                    c.push(if rnd(2) == 0 {
+                        Lit::pos(v)
+                    } else {
+                        Lit::neg(v)
+                    });
                 }
                 f.add(c);
             }

@@ -195,8 +195,7 @@ impl ConstraintSet {
                         }
                     }
                     Constraint::AtMostOne(xs) => {
-                        let enabled: Vec<usize> =
-                            xs.iter().copied().filter(|&x| out[x]).collect();
+                        let enabled: Vec<usize> = xs.iter().copied().filter(|&x| out[x]).collect();
                         // Earlier repairs in this round may already have
                         // emptied the group — the violation list is stale.
                         if enabled.len() > 1 {

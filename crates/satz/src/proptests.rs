@@ -9,7 +9,8 @@ use proptest::prelude::*;
 
 fn arb_cnf() -> impl Strategy<Value = Cnf> {
     (2usize..9).prop_flat_map(|n| {
-        let lit = (0..n, any::<bool>()).prop_map(|(v, s)| if s { Lit::pos(v) } else { Lit::neg(v) });
+        let lit =
+            (0..n, any::<bool>()).prop_map(|(v, s)| if s { Lit::pos(v) } else { Lit::neg(v) });
         let clause = proptest::collection::vec(lit, 1..4);
         proptest::collection::vec(clause, 0..24).prop_map(move |clauses| {
             let mut f = Cnf::new(n);
@@ -25,7 +26,8 @@ fn arb_constraints() -> impl Strategy<Value = ConstraintSet> {
     let n = 10usize;
     let c = prop_oneof![
         (0..n, 0..n).prop_map(|(a, b)| Constraint::Requires(a, b)),
-        (0..n, 0..n).prop_filter("distinct", |(a, b)| a != b)
+        (0..n, 0..n)
+            .prop_filter("distinct", |(a, b)| a != b)
             .prop_map(|(a, b)| Constraint::Conflicts(a, b)),
         (0..n, proptest::collection::vec(0..n, 1..4))
             .prop_map(|(a, bs)| Constraint::RequiresAny(a, bs)),

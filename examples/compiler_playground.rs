@@ -13,7 +13,10 @@ fn main() {
     // sum = Σ i∈[0,16) (a[i] * b[i]);  return sum / 255;
     let mut m = Module::new("playground");
     let mut f = FuncDef::new("main", vec![], vec![]);
-    f.local("sum").local("i").local_array("a", 16).local_array("b", 16);
+    f.local("sum")
+        .local("i")
+        .local_array("a", 16)
+        .local_array("b", 16);
     f.body = vec![
         Stmt::For {
             var: "i".into(),
@@ -62,7 +65,9 @@ fn main() {
             .expect("compiles");
         let hist = binrep::opcode_histogram(&bin);
         let code = binrep::encode_binary(&bin);
-        let r = emu::Machine::new(&bin).run(&[], &[], 100_000).expect("runs");
+        let r = emu::Machine::new(&bin)
+            .run(&[], &[], 100_000)
+            .expect("runs");
         println!(
             "{level}: {} insns, {} blocks, {} bytes, result={} \
              (div present: {}, SIMD mul: {})",
@@ -80,7 +85,9 @@ fn main() {
     );
 
     // Disassemble main's first blocks at O3 to see it with your own eyes.
-    let o3 = cc.compile_preset(&m, OptLevel::O3, binrep::Arch::X86).unwrap();
+    let o3 = cc
+        .compile_preset(&m, OptLevel::O3, binrep::Arch::X86)
+        .unwrap();
     let main = o3.function_by_name("main").unwrap();
     println!("\nmain at -O3, first two blocks:");
     for block in main.cfg.blocks.iter().take(2) {

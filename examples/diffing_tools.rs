@@ -16,13 +16,21 @@ fn main() {
     let kind = CompilerKind::Llvm;
     let cc = Compiler::new(kind);
     let arch = binrep::Arch::X86;
-    let o0 = cc.compile_preset(&bench.module, OptLevel::O0, arch).unwrap();
+    let o0 = cc
+        .compile_preset(&bench.module, OptLevel::O0, arch)
+        .unwrap();
 
     // The four settings of Figure 8(b).
-    let o1 = cc.compile_preset(&bench.module, OptLevel::O1, arch).unwrap();
-    let o3 = cc.compile_preset(&bench.module, OptLevel::O3, arch).unwrap();
+    let o1 = cc
+        .compile_preset(&bench.module, OptLevel::O1, arch)
+        .unwrap();
+    let o3 = cc
+        .compile_preset(&bench.module, OptLevel::O3, arch)
+        .unwrap();
     let ollvm = {
-        let mut b = cc.compile_preset(&bench.module, OptLevel::O2, arch).unwrap();
+        let mut b = cc
+            .compile_preset(&bench.module, OptLevel::O2, arch)
+            .unwrap();
         obfuscate(&mut b, &ObfuscatorConfig::default());
         b
     };
@@ -37,10 +45,14 @@ fn main() {
         ..Default::default()
     })
     .tune(&bench.module)
+    .expect("tuning run")
     .best_binary;
 
     println!("Precision@1 matching {} functions against -O0:", bench.name);
-    println!("{:>10} {:>6} {:>6} {:>8} {:>9}", "tool", "O1", "O3", "O-LLVM", "BinTuner");
+    println!(
+        "{:>10} {:>6} {:>6} {:>8} {:>9}",
+        "tool", "O1", "O3", "O-LLVM", "BinTuner"
+    );
     for tool in Tool::ALL {
         let p = |bin: &binrep::Binary| precision_at_1(tool, &o0, bin, 99);
         println!(

@@ -13,7 +13,11 @@ use minicc::{Compiler, CompilerKind, OptLevel};
 fn main() {
     // 1. Pick a benchmark from the corpus (the paper's LLVM showcase).
     let bench = corpus::by_name("462.libquantum").expect("benchmark exists");
-    println!("benchmark: {} ({} functions)", bench.name, bench.module.funcs.len());
+    println!(
+        "benchmark: {} ({} functions)",
+        bench.name,
+        bench.module.funcs.len()
+    );
 
     // 2. Tune with the LLVM profile and a small GA budget.
     let config = TunerConfig {
@@ -27,7 +31,7 @@ fn main() {
         ..Default::default()
     };
     let tuner = Tuner::new(config);
-    let result = tuner.tune(&bench.module);
+    let result = tuner.tune(&bench.module).expect("tuning run");
     println!(
         "tuned in {} iterations (stopped by {:?}), best NCD vs -O0: {:.4}",
         result.iterations, result.stopped_by, result.best_ncd
@@ -40,9 +44,15 @@ fn main() {
         let bin = cc
             .compile_preset(&bench.module, level, binrep::Arch::X86)
             .expect("preset compiles");
-        println!("  {level}: NCD {:.4}", ncd.score(&binrep::encode_binary(&bin)));
+        println!(
+            "  {level}: NCD {:.4}",
+            ncd.score(&binrep::encode_binary(&bin))
+        );
     }
-    println!("  BinTuner: NCD {:.4}  <-- should be the largest", result.best_ncd);
+    println!(
+        "  BinTuner: NCD {:.4}  <-- should be the largest",
+        result.best_ncd
+    );
 
     // 4. Functional correctness: the tuned binary behaves identically.
     for inputs in &bench.test_inputs {
@@ -58,5 +68,9 @@ fn main() {
 
     // 5. What did the search pick? Show the enabled flags.
     let names = tuner.compiler().profile().enabled_names(&result.best_flags);
-    println!("{} flags enabled, e.g.: {:?}", names.len(), &names[..names.len().min(8)]);
+    println!(
+        "{} flags enabled, e.g.: {:?}",
+        names.len(),
+        &names[..names.len().min(8)]
+    );
 }

@@ -29,11 +29,7 @@ fn presets_preserve_semantics_across_corpus() {
             let o0 = cc
                 .compile_preset(&bench.module, OptLevel::O0, binrep::Arch::X86)
                 .unwrap();
-            let oracle: Vec<Vec<u32>> = bench
-                .test_inputs
-                .iter()
-                .map(|i| observe(&o0, i))
-                .collect();
+            let oracle: Vec<Vec<u32>> = bench.test_inputs.iter().map(|i| observe(&o0, i)).collect();
             for level in [OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Os] {
                 let bin = cc
                     .compile_preset(&bench.module, level, binrep::Arch::X86)
@@ -67,7 +63,9 @@ fn random_flag_vectors_preserve_semantics() {
                 .map(|_| rng.gen_bool(0.5))
                 .collect();
             let flags = cc.profile().constraints().repair(&raw, trial);
-            let bin = cc.compile(&bench.module, &flags, binrep::Arch::X86).unwrap();
+            let bin = cc
+                .compile(&bench.module, &flags, binrep::Arch::X86)
+                .unwrap();
             assert_eq!(
                 observe(&bin, &bench.test_inputs[0]),
                 want,
@@ -82,8 +80,12 @@ fn semantics_hold_on_every_architecture() {
     let bench = corpus::by_name("648.exchange2_s").unwrap();
     let cc = Compiler::new(CompilerKind::Gcc);
     for arch in binrep::Arch::ALL {
-        let o0 = cc.compile_preset(&bench.module, OptLevel::O0, arch).unwrap();
-        let o3 = cc.compile_preset(&bench.module, OptLevel::O3, arch).unwrap();
+        let o0 = cc
+            .compile_preset(&bench.module, OptLevel::O0, arch)
+            .unwrap();
+        let o3 = cc
+            .compile_preset(&bench.module, OptLevel::O3, arch)
+            .unwrap();
         assert_eq!(
             observe(&o0, &bench.test_inputs[0]),
             observe(&o3, &bench.test_inputs[0]),
@@ -120,7 +122,9 @@ fn malware_variants_preserve_behaviour_when_tuned() {
         },
         ..Default::default()
     };
-    let result = bintuner::Tuner::new(config).tune(&bench.module);
+    let result = bintuner::Tuner::new(config)
+        .tune(&bench.module)
+        .expect("tuning run");
     for inputs in &bench.test_inputs {
         let a = emu::Machine::new(&result.baseline)
             .run(&[], inputs, 20_000_000)

@@ -151,7 +151,10 @@ fn peephole_and_strength_reduction_remove_division() {
     let base = vec![false; cc.profile().n_flags()];
     let plain = cc.compile(&m, &base, binrep::Arch::X86).unwrap();
     let mut flags = base.clone();
-    flags[cc.profile().flag_index("-fexpensive-optimizations").unwrap()] = true;
+    flags[cc
+        .profile()
+        .flag_index("-fexpensive-optimizations")
+        .unwrap()] = true;
     let flags = cc.profile().constraints().repair(&flags, 1);
     let reduced = cc.compile(&m, &flags, binrep::Arch::X86).unwrap();
     let hist_base = binrep::opcode_histogram(&plain);
@@ -161,8 +164,14 @@ fn peephole_and_strength_reduction_remove_division() {
     assert!(hist.contains_key("umulh"), "magic multiply expected");
     // Exact semantics across the whole u32 edge set.
     for x in [0u32, 1, 254, 255, 256, 0xffff_ffff, 0x8000_0000] {
-        let a = emu::Machine::new(&plain).run(&[x], &[], 10_000).unwrap().ret;
-        let b = emu::Machine::new(&reduced).run(&[x], &[], 10_000).unwrap().ret;
+        let a = emu::Machine::new(&plain)
+            .run(&[x], &[], 10_000)
+            .unwrap()
+            .ret;
+        let b = emu::Machine::new(&reduced)
+            .run(&[x], &[], 10_000)
+            .unwrap()
+            .ret;
         assert_eq!(a, b);
         assert_eq!(a, x / 255);
     }
@@ -221,7 +230,9 @@ fn every_single_flag_alone_preserves_semantics() {
         let mut flags = vec![false; n];
         flags[i] = true;
         let flags = cc.profile().constraints().repair(&flags, i as u64);
-        let bin = cc.compile(&bench.module, &flags, binrep::Arch::X86).unwrap();
+        let bin = cc
+            .compile(&bench.module, &flags, binrep::Arch::X86)
+            .unwrap();
         assert_eq!(
             observe(&bin, &bench.test_inputs[0]),
             want,

@@ -1,0 +1,245 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! provides a small but *real* measuring harness behind criterion's API
+//! shape: [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Timings are wall-clock means over `sample_size` samples, each
+//! sample sized to fill `measurement_time / sample_size`, after a warm-up
+//! pass — no statistics beyond mean/min/max, no plots, no saved baselines.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark configuration and entry point (subset of criterion's).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Untimed warm-up duration before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark under this config.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Criterion {
+        run_bench(id, self, &mut f);
+        self
+    }
+
+    /// Open a named group of benchmarks sharing this config.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks (subset of criterion's).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Total time budget for the timed samples in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.criterion, &mut f);
+        self
+    }
+
+    /// Finish the group (printing is immediate; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure of [`Criterion::bench_function`]; its
+/// [`Bencher::iter`] runs and times the workload.
+pub struct Bencher {
+    mode: Mode,
+    /// Filled by `iter` in measurement mode.
+    sample_nanos: Vec<f64>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+enum Mode {
+    Measure,
+}
+
+impl Bencher {
+    /// Time `f`, called in batches until the measurement budget is spent.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Measure => {
+                // Warm-up: also estimates per-iteration cost.
+                let warm_start = Instant::now();
+                let mut warm_iters: u64 = 0;
+                while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+                    black_box(f());
+                    warm_iters += 1;
+                }
+                let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+                let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+                let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+                self.sample_nanos.clear();
+                for _ in 0..self.sample_size {
+                    let t = Instant::now();
+                    for _ in 0..iters_per_sample {
+                        black_box(f());
+                    }
+                    self.sample_nanos
+                        .push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+                }
+            }
+        }
+    }
+}
+
+fn run_bench(id: &str, config: &Criterion, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        mode: Mode::Measure,
+        sample_nanos: Vec::new(),
+        sample_size: config.sample_size,
+        measurement_time: config.measurement_time,
+        warm_up_time: config.warm_up_time,
+    };
+    f(&mut b);
+    if b.sample_nanos.is_empty() {
+        println!("{id:50} (no measurement — iter never called)");
+        return;
+    }
+    let n = b.sample_nanos.len() as f64;
+    let mean = b.sample_nanos.iter().sum::<f64>() / n;
+    let min = b.sample_nanos.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = b
+        .sample_nanos
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "{id:50} time: [{} {} {}]",
+        fmt_nanos(min),
+        fmt_nanos(mean),
+        fmt_nanos(max)
+    );
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundle benchmark functions into a named runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `fn main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    criterion_group!(smoke, smoke_bench);
+
+    fn smoke_bench(c: &mut Criterion) {
+        c.sample_size = 2;
+        c.measurement_time = Duration::from_millis(10);
+        c.warm_up_time = Duration::from_millis(2);
+        c.bench_function("x", |b| b.iter(|| black_box(2 * 2)));
+    }
+
+    #[test]
+    fn group_macro_runs() {
+        smoke();
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no crates.io access. The workspace uses serde
+//! only as `#[derive(Serialize, Deserialize)]` markers on plain data types
+//! — no code path ever serializes — so these derives expand to nothing.
+//! If real serialization is ever needed, replace this vendored crate with
+//! the upstream dependency; every call site already compiles against the
+//! real API shape.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`'s derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`'s derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
