@@ -1,0 +1,93 @@
+//! Cold-vs-warm tuning: what the persistent cross-run fitness store
+//! (paper Figure 4's database, "stored for future exploration") buys on a
+//! re-tune of the same target.
+//!
+//! Each benchmark is tuned twice against a fresh store file: the cold run
+//! pays every compile and fills the store; the warm run replays the same
+//! search trajectory (identical best genome, by construction) while
+//! serving previously compiled configurations from disk. The interesting
+//! columns are the real-compile counts and the wall-clock ratio.
+
+use bench::print_table;
+use bintuner::{Tuner, TunerConfig};
+use genetic::{GaParams, Termination};
+use std::fs;
+use std::time::Instant;
+
+fn config(cache_path: std::path::PathBuf) -> TunerConfig {
+    let evals = if bench::full_run() { 700 } else { 240 };
+    TunerConfig {
+        termination: Termination {
+            max_evaluations: evals,
+            min_evaluations: evals * 2 / 3,
+            plateau_window: evals / 3,
+            ..Default::default()
+        },
+        ga: GaParams {
+            population: 24,
+            ..Default::default()
+        },
+        cache_path: Some(cache_path),
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let store_path =
+        std::env::temp_dir().join(format!("bintuner_cold_vs_warm_{}.btfs", std::process::id()));
+    let _ = fs::remove_file(&store_path);
+
+    let names = ["429.mcf", "462.libquantum", "473.astar"];
+    let mut rows = Vec::new();
+    for name in names {
+        let bench_case = corpus::by_name(name).expect("known benchmark");
+        // Fresh store per benchmark so each cold row is genuinely cold.
+        let _ = fs::remove_file(&store_path);
+
+        let t = Instant::now();
+        let cold = Tuner::new(config(store_path.clone()))
+            .tune(&bench_case.module)
+            .expect("cold run");
+        let cold_wall = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let warm = Tuner::new(config(store_path.clone()))
+            .tune(&bench_case.module)
+            .expect("warm run");
+        let warm_wall = t.elapsed().as_secs_f64();
+
+        // The warm run must be the same search, minus the compiles.
+        assert_eq!(warm.best_flags, cold.best_flags, "{name}: warm diverged");
+        assert_eq!(warm.best_ncd.to_bits(), cold.best_ncd.to_bits());
+        assert!(warm.engine_stats.compiles < cold.engine_stats.compiles);
+
+        rows.push(vec![
+            name.to_string(),
+            warm.iterations.to_string(),
+            format!("{:.3}", warm.best_ncd),
+            cold.engine_stats.compiles.to_string(),
+            warm.engine_stats.compiles.to_string(),
+            format!("{:.1}%", 100.0 * warm.engine_stats.persistent_hit_rate()),
+            format!("{:.2}", cold_wall),
+            format!("{:.2}", warm_wall),
+            format!("{:.2}x", cold_wall / warm_wall.max(1e-9)),
+        ]);
+    }
+    let _ = fs::remove_file(&store_path);
+
+    print_table(
+        "Cold vs. warm tuning (persistent fitness store; identical results asserted)",
+        &[
+            "benchmark",
+            "iters",
+            "ncd",
+            "cold_compiles",
+            "warm_compiles",
+            "warm_pers_hits",
+            "cold_s",
+            "warm_s",
+            "speedup",
+        ],
+        &rows,
+    );
+}

@@ -2,7 +2,7 @@
 //!
 //! This crate is the machine-level substrate shared by every other crate in
 //! the workspace: a small x86-flavoured instruction set ([`insn`]),
-//! structured basic blocks and control flow graphs ([`cfg`]), whole-binary
+//! structured basic blocks and control flow graphs ([`mod@cfg`]), whole-binary
 //! images with data sections and import tables ([`program`]), deterministic
 //! byte encoders/decoders for four target architectures ([`encode`]), and
 //! descriptive code statistics ([`stats`]).

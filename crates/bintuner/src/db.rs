@@ -16,8 +16,12 @@ pub struct IterationRow {
     pub elapsed_seconds: f64,
     /// Flag vector compiled.
     pub flags: Vec<bool>,
-    /// Whether the fitness came from the engine's memoization cache.
+    /// Whether the fitness came from the engine's in-run memoization
+    /// cache.
     pub cache_hit: bool,
+    /// Whether the fitness came from the persistent cross-run store (a
+    /// warm-start hit; disjoint from `cache_hit`).
+    pub persistent_hit: bool,
     /// Measured wall-clock seconds for this evaluation (0 for cache hits
     /// and for the sequential compat path, which does not measure).
     pub wall_seconds: f64,
@@ -68,12 +72,22 @@ impl Database {
             .collect()
     }
 
-    /// Fraction of recorded iterations served from the fitness cache.
+    /// Fraction of recorded iterations served from the in-run fitness
+    /// cache.
     pub fn cache_hit_rate(&self) -> f64 {
         if self.rows.is_empty() {
             return 0.0;
         }
         self.rows.iter().filter(|r| r.cache_hit).count() as f64 / self.rows.len() as f64
+    }
+
+    /// Fraction of recorded iterations served from the persistent
+    /// cross-run store.
+    pub fn persistent_hit_rate(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().filter(|r| r.persistent_hit).count() as f64 / self.rows.len() as f64
     }
 
     /// Total measured wall-clock seconds across recorded iterations.
@@ -82,20 +96,21 @@ impl Database {
     }
 
     /// Export as CSV
-    /// (`iteration,ncd,best_ncd,elapsed_seconds,flags_enabled,cache_hit,wall_seconds`).
+    /// (`iteration,ncd,best_ncd,elapsed_seconds,flags_enabled,cache_hit,persistent_hit,wall_seconds`).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "iteration,ncd,best_ncd,elapsed_seconds,flags_enabled,cache_hit,wall_seconds\n",
+            "iteration,ncd,best_ncd,elapsed_seconds,flags_enabled,cache_hit,persistent_hit,wall_seconds\n",
         );
         for r in &self.rows {
             out.push_str(&format!(
-                "{},{:.6},{:.6},{:.3},{},{},{:.6}\n",
+                "{},{:.6},{:.6},{:.3},{},{},{},{:.6}\n",
                 r.iteration,
                 r.ncd,
                 r.best_ncd,
                 r.elapsed_seconds,
                 r.flags.iter().filter(|&&b| b).count(),
                 r.cache_hit as u8,
+                r.persistent_hit as u8,
                 r.wall_seconds
             ));
         }
@@ -117,6 +132,7 @@ mod tests {
                 elapsed_seconds: i as f64,
                 flags: vec![i % 2 == 0; 4],
                 cache_hit: i == 2,
+                persistent_hit: i == 3,
                 wall_seconds: 0.001 * i as f64,
             });
         }
@@ -139,14 +155,16 @@ mod tests {
             .lines()
             .next()
             .unwrap()
-            .ends_with("cache_hit,wall_seconds"));
+            .ends_with("cache_hit,persistent_hit,wall_seconds"));
     }
 
     #[test]
     fn cache_and_wall_aggregates() {
         let db = sample();
         assert!((db.cache_hit_rate() - 0.25).abs() < 1e-12);
+        assert!((db.persistent_hit_rate() - 0.25).abs() < 1e-12);
         assert!((db.wall_seconds() - 0.006).abs() < 1e-12);
         assert_eq!(Database::new().cache_hit_rate(), 0.0);
+        assert_eq!(Database::new().persistent_hit_rate(), 0.0);
     }
 }

@@ -12,15 +12,20 @@
 //! * **Parallelism** — unique genomes in a batch are compiled and scored
 //!   across a configurable pool of scoped threads ([`std::thread::scope`];
 //!   no runtime dependency).
-//! * **Caching** — results are memoized at two levels: behind the exact
-//!   repaired flag vector, and behind the vector's resolved
-//!   [`minicc::EffectConfig`]. The emitted binary is a pure function of
+//! * **Caching** — results are memoized at three tiers: behind the exact
+//!   repaired flag vector, behind the vector's resolved
+//!   [`minicc::EffectConfig`], and — when the engine is built with
+//!   [`FitnessEngine::with_store`] — behind a *persistent* cross-run
+//!   [`FitnessStore`] keyed by `(module content hash, compiler profile,
+//!   arch, effect digest)`. The emitted binary is a pure function of
 //!   `(module, effect config, arch)`, so two *different* flag vectors
 //!   that resolve to the same effects (common: most of the >100 flags are
-//!   no-ops for any given module) share one compile + NCD score. Cache
-//!   hits still *charge* the modelled compile cost, keeping the GA's
+//!   no-ops for any given module) share one compile + NCD score, and a
+//!   re-tuned module starts warm from prior runs' compiles. Cache hits of
+//!   any tier still *charge* the modelled compile cost, keeping the GA's
 //!   time-budget accounting identical to a cache-free run — only measured
-//!   wall-clock shrinks.
+//!   wall-clock shrinks, which is what makes a warm run converge to the
+//!   same best genome as a cold one.
 //! * **Shared baseline** — the `-O0` baseline is compiled exactly once and
 //!   its compressed length is reused for every NCD score.
 //!
@@ -28,6 +33,7 @@
 //! score a fixed penalty fitness and are counted as constraint violations
 //! in [`EngineStats`], so one bad genome can't abort a long tuning run.
 
+use crate::store::{FitnessStore, StoreKey, StoredFitness};
 use binrep::{Arch, Binary};
 use genetic::{Eval, Evaluator};
 use lzc::NcdBaseline;
@@ -68,11 +74,22 @@ impl EngineConfig {
 pub struct EngineStats {
     /// Total genome evaluations requested (including cache hits).
     pub evaluations: usize,
-    /// Evaluations served from the memoization cache (within- and
-    /// across-batch duplicates).
+    /// Evaluations served from the *in-run* memoization cache (within-
+    /// and across-batch duplicates first computed by this engine).
     pub cache_hits: usize,
+    /// Evaluations whose result was first served from the persistent
+    /// cross-run store — each one a real compile some earlier run paid
+    /// for. Repeat accesses to the same entry count as in-run
+    /// `cache_hits`, so this is exactly the number of compiles
+    /// warm-starting saved.
+    pub persistent_hits: usize,
+    /// Real compiles this engine performed (misses of every cache tier).
+    pub compiles: usize,
     /// Evaluations whose compile failed constraint checking and scored
-    /// [`FAILED_COMPILE_PENALTY`].
+    /// [`FAILED_COMPILE_PENALTY`], counted once per distinct
+    /// configuration per run — including failures first served from the
+    /// persistent store, so a warm run reports the same count as the
+    /// cold run it replays.
     pub failed_compiles: usize,
     /// Measured wall-clock seconds spent inside `evaluate_batch` — the
     /// quantity parallelism reduces (per-item CPU time is on each
@@ -81,12 +98,21 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
-    /// Fraction of evaluations served from cache.
+    /// Fraction of evaluations served from the in-run cache.
     pub fn cache_hit_rate(&self) -> f64 {
         if self.evaluations == 0 {
             0.0
         } else {
             self.cache_hits as f64 / self.evaluations as f64
+        }
+    }
+
+    /// Fraction of evaluations served from the persistent store.
+    pub fn persistent_hit_rate(&self) -> f64 {
+        if self.evaluations == 0 {
+            0.0
+        } else {
+            self.persistent_hits as f64 / self.evaluations as f64
         }
     }
 }
@@ -121,12 +147,20 @@ struct CacheState {
 pub struct FitnessEngine<'a> {
     compiler: &'a Compiler,
     module: &'a Module,
+    /// Stable content hash of `module` — the persistent store's key
+    /// component, computed once at construction.
+    module_hash: u64,
     arch: Arch,
     config: EngineConfig,
     baseline_bin: Binary,
     baseline: NcdBaseline,
     cache: Mutex<CacheState>,
     stats: Mutex<EngineStats>,
+    /// Third cache tier: the cross-run store. Consulted during batch
+    /// partition (under the partition's store lock, not per-worker) and
+    /// fed every fresh result; recovered with
+    /// [`FitnessEngine::into_store`] for the end-of-run save.
+    store: Option<Mutex<FitnessStore>>,
 }
 
 // The engine is shared by reference across scoped worker threads; keep
@@ -154,6 +188,35 @@ impl<'a> FitnessEngine<'a> {
         arch: Arch,
         config: EngineConfig,
     ) -> Result<FitnessEngine<'a>, crate::TuneError> {
+        Self::build(compiler, module, arch, config, None)
+    }
+
+    /// Build an engine backed by a persistent cross-run store
+    /// (warm-start): entries for this `(module, profile, arch)` serve as
+    /// a third cache tier, and every fresh compile is recorded into the
+    /// store. Recover it with [`FitnessEngine::into_store`] and call
+    /// [`FitnessStore::save`] to persist the run's new results.
+    ///
+    /// # Errors
+    ///
+    /// See [`FitnessEngine::new`].
+    pub fn with_store(
+        compiler: &'a Compiler,
+        module: &'a Module,
+        arch: Arch,
+        config: EngineConfig,
+        store: FitnessStore,
+    ) -> Result<FitnessEngine<'a>, crate::TuneError> {
+        Self::build(compiler, module, arch, config, Some(store))
+    }
+
+    fn build(
+        compiler: &'a Compiler,
+        module: &'a Module,
+        arch: Arch,
+        config: EngineConfig,
+        store: Option<FitnessStore>,
+    ) -> Result<FitnessEngine<'a>, crate::TuneError> {
         let baseline_bin = compiler
             .compile_preset(module, minicc::OptLevel::O0, arch)
             .map_err(crate::TuneError::Baseline)?;
@@ -161,13 +224,32 @@ impl<'a> FitnessEngine<'a> {
         Ok(FitnessEngine {
             compiler,
             module,
+            module_hash: module.content_hash(),
             arch,
             config,
             baseline_bin,
             baseline,
             cache: Mutex::new(CacheState::default()),
             stats: Mutex::new(EngineStats::default()),
+            store: store.map(Mutex::new),
         })
+    }
+
+    /// The persistent-store key for an effect configuration of this
+    /// engine's `(module, profile, arch)`.
+    fn store_key(&self, eff: &EffectConfig) -> StoreKey {
+        StoreKey::new(
+            self.module_hash,
+            self.compiler.profile().kind(),
+            self.arch,
+            eff.stable_digest(),
+        )
+    }
+
+    /// Recover the persistent store (with this run's fresh results
+    /// pending) for the end-of-run save.
+    pub fn into_store(self) -> Option<FitnessStore> {
+        self.store.map(|s| s.into_inner().unwrap())
     }
 
     /// The `-O0` baseline binary the engine scores against.
@@ -209,11 +291,23 @@ impl<'a> FitnessEngine<'a> {
     }
 }
 
+/// Which tier resolved a genome during partition.
+#[derive(Clone, Copy, PartialEq)]
+enum Hit {
+    /// Not a cache hit: a fresh constraint penalty that needed no
+    /// compile.
+    Fresh,
+    /// Served from the in-run memo (exact vector or effect config).
+    InRun,
+    /// First served from the persistent cross-run store.
+    Persistent,
+}
+
 /// Where a genome's result comes from within one batch.
 enum Source {
     /// Resolved during partition: a cache hit, or a fresh constraint
     /// penalty that needed no compile.
-    Ready { entry: CacheEntry, hit: bool },
+    Ready { entry: CacheEntry, hit: Hit },
     /// To be computed: index into the batch's miss list.
     Slot(usize),
 }
@@ -237,9 +331,10 @@ impl Evaluator for FitnessEngine<'_> {
             })
             .collect();
 
-        // Partition against the two cache levels: exact flag vector
-        // first, then effect config. The first unseen effect config
-        // becomes a "miss" to compile; everything else is a hit.
+        // Partition against the cache tiers: exact flag vector first,
+        // then effect config, then the persistent cross-run store. The
+        // first effect config unseen by every tier becomes a "miss" to
+        // compile; everything else is a hit.
         let mut misses: Vec<(&Vec<bool>, &EffectConfig)> = Vec::new();
         let mut miss_by_eff: HashMap<&EffectConfig, usize> = HashMap::new();
         let mut fresh_failures = 0usize;
@@ -252,7 +347,7 @@ impl Evaluator for FitnessEngine<'_> {
                     if let Some(entry) = cache.by_flags.get(g) {
                         return Source::Ready {
                             entry: *entry,
-                            hit: true,
+                            hit: Hit::InRun,
                         };
                     }
                     let Some(eff) = eff else {
@@ -264,12 +359,37 @@ impl Evaluator for FitnessEngine<'_> {
                         };
                         cache.by_flags.insert(g.clone(), entry);
                         fresh_failures += 1;
-                        return Source::Ready { entry, hit: false };
+                        return Source::Ready {
+                            entry,
+                            hit: Hit::Fresh,
+                        };
                     };
                     if let Some(entry) = cache.by_effect.get(eff) {
                         let entry = *entry;
                         cache.by_flags.insert(g.clone(), entry);
-                        return Source::Ready { entry, hit: true };
+                        return Source::Ready {
+                            entry,
+                            hit: Hit::InRun,
+                        };
+                    }
+                    if let Some(store) = &self.store {
+                        // Persistent tier: a hit is promoted into the
+                        // in-run memo, so only this first serve counts as
+                        // persistent — persistent_hits stays equal to the
+                        // number of compiles warm-starting saved.
+                        let persisted = store.lock().unwrap().get(&self.store_key(eff));
+                        if let Some(hit) = persisted {
+                            let entry = CacheEntry {
+                                fitness: hit.fitness,
+                                failed: hit.failed,
+                            };
+                            cache.by_effect.insert(eff.clone(), entry);
+                            cache.by_flags.insert(g.clone(), entry);
+                            return Source::Ready {
+                                entry,
+                                hit: Hit::Persistent,
+                            };
+                        }
                     }
                     if let Some(&slot) = miss_by_eff.get(eff) {
                         return Source::Slot(slot);
@@ -319,9 +439,23 @@ impl Evaluator for FitnessEngine<'_> {
             });
         }
 
-        // Memoize the fresh results at both levels (including the
-        // within-batch duplicate vectors that mapped to the same slot).
+        // Memoize the fresh results at both in-run levels (including the
+        // within-batch duplicate vectors that mapped to the same slot),
+        // and record them into the persistent store for future runs.
         {
+            if let Some(store) = &self.store {
+                let mut store = store.lock().unwrap();
+                for ((_, eff), result) in misses.iter().zip(&computed) {
+                    let (entry, _) = result.expect("every miss slot computed");
+                    store.insert(
+                        self.store_key(eff),
+                        StoredFitness {
+                            fitness: entry.fitness,
+                            failed: entry.failed,
+                        },
+                    );
+                }
+            }
             let mut cache = self.cache.lock().unwrap();
             for ((flags, eff), result) in misses.iter().zip(&computed) {
                 let (entry, _) = result.expect("every miss slot computed");
@@ -340,36 +474,48 @@ impl Evaluator for FitnessEngine<'_> {
             }
         }
 
-        // Assemble in input order. Cache hits charge the same modelled
-        // cost as a recompile (so the GA's budget accounting is
-        // cache-agnostic) but report zero measured wall time; within-batch
-        // duplicates pay the compile wall time once, on first occurrence.
+        // Assemble in input order. Cache hits (in-run or persistent)
+        // charge the same modelled cost as a recompile (so the GA's
+        // budget accounting is cache-agnostic) but report zero measured
+        // wall time; within-batch duplicates pay the compile wall time
+        // once, on first occurrence.
         let mut first_use = vec![true; misses.len()];
         let mut hits = 0usize;
+        let mut persistent = 0usize;
         let mut cold_failures = 0usize;
         let results: Vec<Eval> = genomes
             .iter()
             .zip(sources)
             .map(|(g, src)| {
                 let (entry, wall, hit) = match src {
-                    Source::Ready { entry, hit } => (entry, 0.0, hit),
+                    Source::Ready { entry, hit } => {
+                        if hit == Hit::Persistent {
+                            // A failure first served from the store is the
+                            // warm analog of a fresh failed compile: count
+                            // it once so cold and warm telemetry agree.
+                            cold_failures += entry.failed as usize;
+                        }
+                        (entry, 0.0, hit)
+                    }
                     Source::Slot(slot) => {
                         let (entry, wall) = computed[slot].expect("miss computed");
                         if first_use[slot] {
                             first_use[slot] = false;
                             cold_failures += entry.failed as usize;
-                            (entry, wall, false)
+                            (entry, wall, Hit::Fresh)
                         } else {
-                            (entry, 0.0, true)
+                            (entry, 0.0, Hit::InRun)
                         }
                     }
                 };
-                hits += hit as usize;
+                hits += (hit == Hit::InRun) as usize;
+                persistent += (hit == Hit::Persistent) as usize;
                 Eval {
                     fitness: entry.fitness,
                     cost_seconds: self.compiler.simulated_compile_seconds(self.module, g),
                     wall_seconds: wall,
-                    cache_hit: hit,
+                    cache_hit: hit == Hit::InRun,
+                    persistent_hit: hit == Hit::Persistent,
                 }
             })
             .collect();
@@ -377,6 +523,8 @@ impl Evaluator for FitnessEngine<'_> {
         let mut stats = self.stats.lock().unwrap();
         stats.evaluations += genomes.len();
         stats.cache_hits += hits;
+        stats.persistent_hits += persistent;
+        stats.compiles += misses.len();
         stats.failed_compiles += fresh_failures + cold_failures;
         stats.wall_seconds += batch_start.elapsed().as_secs_f64();
         results

@@ -16,7 +16,10 @@
 //! NCD-scored in parallel across a worker pool, duplicate genomes are
 //! served from a memoization cache, and the `-O0` baseline is shared by
 //! every evaluation (the paper's client–server split of Figure 4, as an
-//! in-process pool).
+//! in-process pool). With [`TunerConfig::cache_path`] set, results also
+//! persist across runs in a [`store::FitnessStore`] (Figure 4's
+//! database, "stored for future exploration"), so re-tuning the same
+//! target starts warm; see `docs/ARCHITECTURE.md` for the full map.
 //!
 //! ## Example
 //!
@@ -42,10 +45,12 @@ pub mod db;
 pub mod engine;
 pub mod obfuscator;
 pub mod potency;
+pub mod store;
 pub mod tuner;
 
 pub use db::{Database, IterationRow};
 pub use engine::{EngineConfig, EngineStats, FitnessEngine, FAILED_COMPILE_PENALTY};
 pub use obfuscator::{obfuscate, ObfuscatorConfig};
 pub use potency::{flag_potency, pearson, FlagPotency};
-pub use tuner::{TuneError, TuneResult, Tuner, TunerConfig};
+pub use store::{FitnessStore, LoadReport, StoreKey, StoredFitness};
+pub use tuner::{PersistSummary, TuneError, TuneResult, Tuner, TunerConfig};

@@ -1,0 +1,553 @@
+//! Persistent cross-run fitness store — paper Figure 4's server-side
+//! database, "stored for future exploration".
+//!
+//! BinTuner records every compiled variant's fitness in a database so
+//! that re-tuning the same target starts warm. This module is that
+//! database as a single-file, append-only log:
+//!
+//! * **Key** — `(module content hash, compiler profile, arch,
+//!   effect-config digest)`: exactly the tuple the emitted binary is a
+//!   pure function of. All components come from `minicc`'s stable
+//!   canonical hashing ([`minicc::StableHasher`]), never from
+//!   `std`'s process-seeded hashers, so keys survive restarts.
+//! * **Append-only log + compaction** — each run appends only the
+//!   configurations it actually compiled, as fixed-size checksummed
+//!   records, in one `write_all`. When dead records (overwritten keys)
+//!   dominate, [`FitnessStore::save`] compacts: the live set is rewritten
+//!   to a sibling temp file and atomically `rename`d over the log.
+//! * **Corruption tolerance** — loading never fails and never panics: a
+//!   bad magic/version yields a clean cold start (the file is rewritten
+//!   wholesale on the next save), and a truncated or checksum-corrupt
+//!   tail drops exactly the damaged suffix, keeping the valid prefix.
+//!   A torn append therefore loses at most the interrupted run's new
+//!   entries.
+//!
+//! The on-disk encoding is hand-rolled little-endian via the vendored
+//! [`bytes::BufMut`] surface (the vendored `serde` is derive-markers
+//! only — it has no serialization runtime), and is versioned: bump
+//! [`FORMAT_VERSION`] whenever the record layout *or* any canonical hash
+//! encoding changes, so stale files degrade to a cold start instead of
+//! being misread.
+//!
+//! Concurrency: one store value is owned by one tuning run at a time
+//! (the engine wraps it in a `Mutex`). Two *processes* appending to the
+//! same file concurrently are not coordinated — the corruption-tolerant
+//! loader bounds the damage, but a shared server-side database (the
+//! paper's real deployment) needs the remote-evaluation backend on the
+//! roadmap.
+
+use binrep::Arch;
+use bytes::BufMut;
+use minicc::CompilerKind;
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// File magic: `BTFS` (BinTuner Fitness Store).
+pub const MAGIC: [u8; 4] = *b"BTFS";
+
+/// On-disk format version. Covers the header/record layout *and* the
+/// canonical encodings behind [`minicc::ast::Module::content_hash`] and
+/// [`minicc::EffectConfig::stable_digest`] — a mismatch is a clean cold
+/// start, never a misread.
+pub const FORMAT_VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 8;
+/// module_hash(8) + compiler(1) + arch(1) + digest(16) + fitness(8) +
+/// failed(1) payload, plus a 4-byte FNV-1a checksum.
+const RECORD_PAYLOAD_LEN: usize = 35;
+const RECORD_LEN: usize = RECORD_PAYLOAD_LEN + 4;
+/// Compaction floor: below this many disk records, dead entries are not
+/// worth a rewrite.
+const COMPACT_MIN_RECORDS: usize = 64;
+
+/// The cache key a fitness result is filed under.
+///
+/// `compiler` and `arch` are stored as stable one-byte tags (see
+/// [`CompilerKind::stable_id`]) rather than enums, so records written by
+/// a future version with more variants load as never-matching keys
+/// instead of failing to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StoreKey {
+    /// [`minicc::ast::Module::content_hash`] of the tuned module.
+    pub module_hash: u64,
+    /// [`CompilerKind::stable_id`] tag.
+    pub compiler: u8,
+    /// Stable architecture tag (see [`arch_tag`]).
+    pub arch: u8,
+    /// [`minicc::EffectConfig::stable_digest`] of the resolved config.
+    pub effect_digest: u128,
+}
+
+impl StoreKey {
+    /// Build a key from the typed components.
+    pub fn new(module_hash: u64, compiler: CompilerKind, arch: Arch, effect_digest: u128) -> Self {
+        StoreKey {
+            module_hash,
+            compiler: compiler.stable_id(),
+            arch: arch_tag(arch),
+            effect_digest,
+        }
+    }
+}
+
+/// Stable one-byte tag for an architecture — part of the on-disk format;
+/// assignments must never be reordered or reused.
+pub fn arch_tag(arch: Arch) -> u8 {
+    match arch {
+        Arch::X86 => 0,
+        Arch::X8664 => 1,
+        Arch::Arm => 2,
+        Arch::Mips => 3,
+    }
+}
+
+/// One persisted fitness result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoredFitness {
+    /// NCD against the `-O0` baseline (bit-exact as computed), or the
+    /// failure penalty when `failed`.
+    pub fitness: f64,
+    /// Whether the compile failed constraint checking.
+    pub failed: bool,
+}
+
+/// What [`FitnessStore::load`] found on disk — telemetry for warm-start
+/// reporting and the recovery tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Records decoded and kept.
+    pub valid_records: usize,
+    /// Trailing bytes dropped (truncation or checksum corruption).
+    pub dropped_bytes: usize,
+    /// The file carried a different [`FORMAT_VERSION`] — cold start.
+    pub version_mismatch: bool,
+    /// The file did not start with [`MAGIC`] — cold start.
+    pub malformed_header: bool,
+    /// No file existed at the path — clean first run.
+    pub missing: bool,
+}
+
+/// A disk-backed map from [`StoreKey`] to [`StoredFitness`].
+///
+/// All mutation is in-memory until [`FitnessStore::save`]; the engine
+/// inserts fresh results as it compiles, and the tuner saves once at the
+/// end of a run.
+#[derive(Debug, Default)]
+pub struct FitnessStore {
+    path: Option<PathBuf>,
+    entries: HashMap<StoreKey, StoredFitness>,
+    /// Entries inserted since the last save, in insertion order.
+    pending: Vec<(StoreKey, StoredFitness)>,
+    /// Records currently in the file, including dead (overwritten) ones.
+    disk_records: usize,
+    /// The file must be rewritten wholesale (corrupt/foreign/missing
+    /// content that cannot be appended to).
+    needs_rewrite: bool,
+    report: LoadReport,
+}
+
+impl FitnessStore {
+    /// A store with no backing file: [`FitnessStore::save`] is a no-op.
+    /// Useful for tests and for engines that only want in-run sharing.
+    pub fn in_memory() -> FitnessStore {
+        FitnessStore::default()
+    }
+
+    /// Load a store from `path`. Never fails: a missing file is a clean
+    /// first run, a foreign or version-mismatched file is a cold start
+    /// (rewritten on the next save), and a damaged tail is dropped while
+    /// the valid prefix is kept. Inspect [`FitnessStore::report`] for
+    /// what happened.
+    pub fn load(path: impl Into<PathBuf>) -> FitnessStore {
+        let path = path.into();
+        let mut store = FitnessStore {
+            path: Some(path.clone()),
+            ..FitnessStore::default()
+        };
+        match fs::read(&path) {
+            Ok(bytes) => store.parse(&bytes),
+            Err(_) => store.report.missing = true,
+        }
+        store
+    }
+
+    fn parse(&mut self, bytes: &[u8]) {
+        if bytes.len() < HEADER_LEN || bytes[..4] != MAGIC {
+            self.report.malformed_header = true;
+            self.report.dropped_bytes = bytes.len();
+            self.needs_rewrite = true;
+            return;
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            self.report.version_mismatch = true;
+            self.report.dropped_bytes = bytes.len();
+            self.needs_rewrite = true;
+            return;
+        }
+        let mut off = HEADER_LEN;
+        while off + RECORD_LEN <= bytes.len() {
+            let payload = &bytes[off..off + RECORD_PAYLOAD_LEN];
+            let stored = u32::from_le_bytes(
+                bytes[off + RECORD_PAYLOAD_LEN..off + RECORD_LEN]
+                    .try_into()
+                    .unwrap(),
+            );
+            if checksum(payload) != stored {
+                break;
+            }
+            let (key, value) = decode_payload(payload);
+            self.entries.insert(key, value);
+            self.disk_records += 1;
+            off += RECORD_LEN;
+        }
+        self.report.valid_records = self.disk_records;
+        if off != bytes.len() {
+            // Truncated or corrupt tail: appending after it would
+            // misalign every future record, so force a rewrite.
+            self.report.dropped_bytes = bytes.len() - off;
+            self.needs_rewrite = true;
+        }
+    }
+
+    /// The backing path, if any.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// What loading found on disk.
+    pub fn report(&self) -> LoadReport {
+        self.report
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries inserted since the last [`FitnessStore::save`].
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Look up a persisted result.
+    pub fn get(&self, key: &StoreKey) -> Option<StoredFitness> {
+        self.entries.get(key).copied()
+    }
+
+    /// Insert (or overwrite) a result; queued for the next save. An
+    /// insert that matches the stored value bit-for-bit is a no-op, so
+    /// re-tuning a warm target never grows the log.
+    pub fn insert(&mut self, key: StoreKey, value: StoredFitness) {
+        if self.entries.get(&key).is_some_and(|v| {
+            v.fitness.to_bits() == value.fitness.to_bits() && v.failed == value.failed
+        }) {
+            return;
+        }
+        self.entries.insert(key, value);
+        self.pending.push((key, value));
+    }
+
+    /// Flush pending entries to disk.
+    ///
+    /// Fast path: one appended `write_all` of the new records. The file
+    /// is rewritten wholesale — to a temp file, then atomically
+    /// `rename`d into place — when it was corrupt/foreign/missing, or
+    /// when dead records make compaction worthwhile (the live set is at
+    /// most half the log and the log is non-trivial).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; the in-memory state is unchanged by a
+    /// failed save, so it can be retried.
+    pub fn save(&mut self) -> io::Result<()> {
+        let Some(path) = self.path.clone() else {
+            self.pending.clear();
+            return Ok(());
+        };
+        if self.pending.is_empty() && !self.needs_rewrite {
+            return Ok(());
+        }
+        let future_records = self.disk_records + self.pending.len();
+        let compact = self.needs_rewrite
+            || !path.exists()
+            || (future_records >= COMPACT_MIN_RECORDS && self.entries.len() * 2 <= future_records);
+        if compact {
+            self.rewrite(&path)
+        } else {
+            self.append(&path)
+        }
+    }
+
+    fn rewrite(&mut self, path: &Path) -> io::Result<()> {
+        let mut buf: Vec<u8> = Vec::with_capacity(HEADER_LEN + self.entries.len() * RECORD_LEN);
+        buf.put_slice(&MAGIC);
+        buf.put_u32_le(FORMAT_VERSION);
+        for (key, value) in &self.entries {
+            encode_record(key, value, &mut buf);
+        }
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        fs::write(&tmp, &buf)?;
+        fs::rename(&tmp, path)?;
+        self.disk_records = self.entries.len();
+        self.pending.clear();
+        self.needs_rewrite = false;
+        Ok(())
+    }
+
+    fn append(&mut self, path: &Path) -> io::Result<()> {
+        let mut buf: Vec<u8> = Vec::with_capacity(self.pending.len() * RECORD_LEN);
+        for (key, value) in &self.pending {
+            encode_record(key, value, &mut buf);
+        }
+        let mut file = fs::OpenOptions::new().append(true).open(path)?;
+        file.write_all(&buf)?;
+        self.disk_records += self.pending.len();
+        self.pending.clear();
+        Ok(())
+    }
+}
+
+/// FNV-1a 32-bit over a record payload.
+fn checksum(payload: &[u8]) -> u32 {
+    let mut state: u32 = 0x811c_9dc5;
+    for &b in payload {
+        state ^= u32::from(b);
+        state = state.wrapping_mul(0x0100_0193);
+    }
+    state
+}
+
+fn encode_record(key: &StoreKey, value: &StoredFitness, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.put_u64_le(key.module_hash);
+    out.put_u8(key.compiler);
+    out.put_u8(key.arch);
+    out.put_u64_le((key.effect_digest >> 64) as u64);
+    out.put_u64_le(key.effect_digest as u64);
+    out.put_u64_le(value.fitness.to_bits());
+    out.put_u8(value.failed as u8);
+    debug_assert_eq!(out.len() - start, RECORD_PAYLOAD_LEN);
+    let ck = checksum(&out[start..]);
+    out.put_u32_le(ck);
+}
+
+fn decode_payload(payload: &[u8]) -> (StoreKey, StoredFitness) {
+    let u64_at = |off: usize| u64::from_le_bytes(payload[off..off + 8].try_into().unwrap());
+    let key = StoreKey {
+        module_hash: u64_at(0),
+        compiler: payload[8],
+        arch: payload[9],
+        effect_digest: (u128::from(u64_at(10)) << 64) | u128::from(u64_at(18)),
+    };
+    let value = StoredFitness {
+        fitness: f64::from_bits(u64_at(26)),
+        failed: payload[34] != 0,
+    };
+    (key, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Unique scratch path per test (no tempfile crate in the container).
+    fn scratch(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!(
+            "bintuner_store_{}_{}.btfs",
+            std::process::id(),
+            name
+        ));
+        let _ = fs::remove_file(&p);
+        p
+    }
+
+    fn key(i: u64) -> StoreKey {
+        StoreKey::new(
+            0xAA00 + i,
+            CompilerKind::Gcc,
+            Arch::X86,
+            u128::from(i) << 64 | 0x5EED,
+        )
+    }
+
+    fn value(i: u64) -> StoredFitness {
+        StoredFitness {
+            fitness: i as f64 * 0.125 + 0.25,
+            failed: i.is_multiple_of(7),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let path = scratch("round_trip");
+        let mut store = FitnessStore::load(&path);
+        assert!(store.report().missing);
+        for i in 0..20 {
+            store.insert(key(i), value(i));
+        }
+        store.save().unwrap();
+
+        let reloaded = FitnessStore::load(&path);
+        assert_eq!(reloaded.len(), 20);
+        assert_eq!(reloaded.report().valid_records, 20);
+        assert_eq!(reloaded.report().dropped_bytes, 0);
+        for i in 0..20 {
+            let got = reloaded.get(&key(i)).unwrap();
+            assert_eq!(got.fitness.to_bits(), value(i).fitness.to_bits());
+            assert_eq!(got.failed, value(i).failed);
+        }
+        assert_eq!(reloaded.get(&key(99)), None);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn appends_accumulate_across_runs() {
+        let path = scratch("append");
+        let mut first = FitnessStore::load(&path);
+        first.insert(key(1), value(1));
+        first.save().unwrap();
+        let len_one = fs::metadata(&path).unwrap().len();
+
+        let mut second = FitnessStore::load(&path);
+        assert_eq!(second.len(), 1);
+        second.insert(key(2), value(2));
+        // Re-inserting an identical entry must not grow the log.
+        second.insert(key(1), value(1));
+        assert_eq!(second.pending_len(), 1);
+        second.save().unwrap();
+        assert_eq!(
+            fs::metadata(&path).unwrap().len(),
+            len_one + RECORD_LEN as u64
+        );
+        assert_eq!(FitnessStore::load(&path).len(), 2);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_log_keeps_valid_prefix() {
+        let path = scratch("truncated");
+        let mut store = FitnessStore::load(&path);
+        for i in 0..5 {
+            store.insert(key(i), value(i));
+        }
+        store.save().unwrap();
+        // Tear the last record: a torn append loses only the tail.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+
+        let recovered = FitnessStore::load(&path);
+        assert_eq!(recovered.len(), 4);
+        assert_eq!(recovered.report().dropped_bytes, RECORD_LEN - 10);
+        // The next save rewrites a clean file rather than appending after
+        // the torn tail.
+        let mut recovered = recovered;
+        recovered.insert(key(9), value(9));
+        recovered.save().unwrap();
+        let clean = FitnessStore::load(&path);
+        assert_eq!(clean.len(), 5);
+        assert_eq!(clean.report().dropped_bytes, 0);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checksum_corruption_drops_damaged_suffix() {
+        let path = scratch("corrupt");
+        let mut store = FitnessStore::load(&path);
+        for i in 0..6 {
+            store.insert(key(i), value(i));
+        }
+        store.save().unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one payload byte in the third record.
+        bytes[HEADER_LEN + 2 * RECORD_LEN + 5] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+
+        let recovered = FitnessStore::load(&path);
+        assert_eq!(recovered.len(), 2);
+        assert!(recovered.report().dropped_bytes > 0);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_is_a_cold_start() {
+        let path = scratch("version");
+        let mut bytes = Vec::new();
+        bytes.put_slice(&MAGIC);
+        bytes.put_u32_le(FORMAT_VERSION + 1);
+        let mut dummy = Vec::new();
+        encode_record(&key(0), &value(0), &mut dummy);
+        bytes.extend_from_slice(&dummy);
+        fs::write(&path, &bytes).unwrap();
+
+        let mut store = FitnessStore::load(&path);
+        assert!(store.is_empty());
+        assert!(store.report().version_mismatch);
+        // Saving replaces the stale file with a current-version one.
+        store.insert(key(3), value(3));
+        store.save().unwrap();
+        let reloaded = FitnessStore::load(&path);
+        assert!(!reloaded.report().version_mismatch);
+        assert_eq!(reloaded.len(), 1);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn garbage_file_is_a_cold_start() {
+        let path = scratch("garbage");
+        fs::write(&path, b"definitely not a fitness store").unwrap();
+        let store = FitnessStore::load(&path);
+        assert!(store.is_empty());
+        assert!(store.report().malformed_header);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_shrinks_a_log_dominated_by_dead_records() {
+        let path = scratch("compact");
+        // Overwrite the same key with changing values across many saves:
+        // the log accumulates dead records until compaction rewrites it.
+        for round in 0..(COMPACT_MIN_RECORDS as u64 + 8) {
+            let mut store = FitnessStore::load(&path);
+            store.insert(
+                key(0),
+                StoredFitness {
+                    fitness: round as f64,
+                    failed: false,
+                },
+            );
+            store.save().unwrap();
+        }
+        let final_store = FitnessStore::load(&path);
+        assert_eq!(final_store.len(), 1);
+        let size = fs::metadata(&path).unwrap().len() as usize;
+        assert!(
+            size < HEADER_LEN + COMPACT_MIN_RECORDS / 2 * RECORD_LEN,
+            "log never compacted: {size} bytes"
+        );
+        // Atomic rewrite leaves no temp droppings.
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!PathBuf::from(tmp).exists());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn in_memory_store_save_is_a_noop() {
+        let mut store = FitnessStore::in_memory();
+        store.insert(key(1), value(1));
+        store.save().unwrap();
+        assert_eq!(store.pending_len(), 0);
+        assert_eq!(store.len(), 1);
+        assert!(store.path().is_none());
+    }
+}

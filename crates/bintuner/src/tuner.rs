@@ -5,11 +5,13 @@
 
 use crate::db::{Database, IterationRow};
 use crate::engine::{EngineConfig, EngineStats, FitnessEngine, FAILED_COMPILE_PENALTY};
+use crate::store::FitnessStore;
 use binrep::{Arch, Binary};
 use genetic::{Ga, GaParams, GaRun, StopReason, Termination};
 use lzc::NcdBaseline;
 use minicc::ast::Module;
-use minicc::{CompileError, Compiler, CompilerKind, OptLevel};
+use minicc::{CompileError, Compiler, CompilerKind, EffectConfig, OptLevel};
+use std::path::PathBuf;
 
 /// Tuner configuration.
 #[derive(Debug, Clone)]
@@ -28,6 +30,22 @@ pub struct TunerConfig {
     /// The tuned result is identical at any worker count — only
     /// wall-clock changes.
     pub workers: usize,
+    /// Path of the persistent cross-run fitness store (paper Figure 4's
+    /// database). `Some(path)`: results are loaded before the run
+    /// (warm start — previously compiled configurations are served
+    /// without recompiling, and the run converges to the same best
+    /// genome as a cold one) and this run's fresh compiles are saved
+    /// after it. A missing, stale-version, or corrupt file degrades to a
+    /// cold start, never an error. `None`: caching stays in-process.
+    pub cache_path: Option<PathBuf>,
+    /// Population-level dedup: when `true`, breeding consults a
+    /// seen-digest set of resolved [`EffectConfig`]s and re-breeds
+    /// offspring that collapse to an already-evaluated configuration, so
+    /// the evaluation budget goes to genuinely new ones. Changes the
+    /// search trajectory (still deterministic in the seed), so it
+    /// defaults to `false`, under which [`Tuner::tune`] stays
+    /// bit-identical to [`Tuner::tune_sequential`].
+    pub dedup: bool,
 }
 
 impl Default for TunerConfig {
@@ -45,6 +63,8 @@ impl Default for TunerConfig {
             },
             seed: 0xB147,
             workers: 0,
+            cache_path: None,
+            dedup: false,
         }
     }
 }
@@ -84,6 +104,24 @@ impl std::error::Error for TuneError {
     }
 }
 
+/// What happened to the persistent store over one run (present iff
+/// [`TunerConfig::cache_path`] was set).
+///
+/// A failed save is reported here rather than as a [`TuneError`]: the
+/// tuning result itself is complete and valid — only the warm start for
+/// *future* runs was lost.
+#[derive(Debug, Clone)]
+pub struct PersistSummary {
+    /// The store file.
+    pub path: PathBuf,
+    /// Entries loaded from disk before the run (0 on a cold start).
+    pub loaded_entries: usize,
+    /// Fresh results this run added to the store.
+    pub new_entries: usize,
+    /// The error message if saving the store failed.
+    pub save_error: Option<String>,
+}
+
 /// The outcome of one tuning run.
 #[derive(Debug, Clone)]
 pub struct TuneResult {
@@ -103,9 +141,16 @@ pub struct TuneResult {
     pub baseline: Binary,
     /// Per-iteration records.
     pub db: Database,
-    /// Fitness-engine telemetry: cache hits, failed compiles, measured
-    /// wall-clock (all zeros on the sequential compat path).
+    /// Fitness-engine telemetry: cache hits (in-run and persistent),
+    /// real compiles, failed compiles, measured wall-clock (all zeros on
+    /// the sequential compat path).
     pub engine_stats: EngineStats,
+    /// Offspring re-bred by population-level dedup
+    /// ([`TunerConfig::dedup`]; 0 when disabled).
+    pub skipped_duplicates: usize,
+    /// Persistent-store activity ([`TunerConfig::cache_path`]; `None`
+    /// when no store is configured).
+    pub persistence: Option<PersistSummary>,
 }
 
 /// BinTuner: tunes a module's optimization flags to maximize binary code
@@ -139,31 +184,75 @@ impl Tuner {
     /// [`FAILED_COMPILE_PENALTY`] rather than aborting the run.
     ///
     /// The result is deterministic in the seed and identical at any
-    /// worker count (and to [`Tuner::tune_sequential`]).
+    /// worker count (and, with [`TunerConfig::dedup`] off, to
+    /// [`Tuner::tune_sequential`]). With [`TunerConfig::cache_path`]
+    /// set, a warm run also converges to the same best genome and
+    /// fitness as the cold run that filled the store — persistent hits
+    /// return bit-identical fitness and charge the same modelled cost,
+    /// so the GA follows the same trajectory while skipping the real
+    /// compiles.
     ///
     /// # Errors
     ///
     /// See [`TuneError`] — only the baseline compile and the final
     /// recompile of the winning flag vector can fail the run.
     pub fn tune(&self, module: &Module) -> Result<TuneResult, TuneError> {
-        let engine = FitnessEngine::new(
-            &self.compiler,
-            module,
-            self.config.arch,
-            EngineConfig {
-                workers: self.config.workers,
-            },
-        )?;
+        let engine_config = EngineConfig {
+            workers: self.config.workers,
+        };
+        let store = self.config.cache_path.as_ref().map(FitnessStore::load);
+        let loaded_entries = store.as_ref().map_or(0, FitnessStore::len);
+        let engine = match store {
+            Some(store) => FitnessEngine::with_store(
+                &self.compiler,
+                module,
+                self.config.arch,
+                engine_config,
+                store,
+            )?,
+            None => FitnessEngine::new(&self.compiler, module, self.config.arch, engine_config)?,
+        };
         let profile = self.compiler.profile();
         let mut ga = Ga::new(profile.n_flags(), self.config.ga.clone(), self.config.seed);
-        let run: GaRun = ga.run_batched(
-            &engine,
-            |flags, seed| profile.constraints().repair(flags, seed),
-            &self.config.termination,
-        );
+        let repair = |flags: &[bool], seed: u64| profile.constraints().repair(flags, seed);
+        let run: GaRun = if self.config.dedup {
+            ga.run_batched_dedup(
+                &engine,
+                repair,
+                |flags| {
+                    // Mirror the engine's equivalence classes exactly: a
+                    // vector that defeats repair never resolves an effect
+                    // config there (it takes the penalty path keyed by
+                    // exact vector), so classing it under its would-be
+                    // EffectConfig digest could mark a never-evaluated
+                    // config as seen. Give such vectors their own
+                    // exact-vector class instead.
+                    if profile.constraints().check(flags).is_empty() {
+                        EffectConfig::from_flags(profile, flags).stable_digest() as u64
+                    } else {
+                        let mut h = minicc::StableHasher::with_seed(u64::MAX);
+                        flags.iter().for_each(|&b| h.write_bool(b));
+                        h.finish()
+                    }
+                },
+                &self.config.termination,
+            )
+        } else {
+            ga.run_batched(&engine, repair, &self.config.termination)
+        };
         let baseline = engine.baseline_binary().clone();
         let stats = engine.stats();
-        self.finish(module, run, baseline, stats)
+        let persistence = engine.into_store().map(|mut store| {
+            let new_entries = store.pending_len();
+            let save_error = store.save().err().map(|e| e.to_string());
+            PersistSummary {
+                path: store.path().expect("store built from a path").to_path_buf(),
+                loaded_entries,
+                new_entries,
+                save_error,
+            }
+        });
+        self.finish(module, run, baseline, stats, persistence)
     }
 
     /// Reference path: evaluate one individual at a time through the
@@ -194,7 +283,7 @@ impl Tuner {
             |flags, seed| profile.constraints().repair(flags, seed),
             &self.config.termination,
         );
-        self.finish(module, run, baseline, EngineStats::default())
+        self.finish(module, run, baseline, EngineStats::default(), None)
     }
 
     /// Shared post-processing: fill the iteration database, recompile the
@@ -205,6 +294,7 @@ impl Tuner {
         run: GaRun,
         baseline: Binary,
         engine_stats: EngineStats,
+        persistence: Option<PersistSummary>,
     ) -> Result<TuneResult, TuneError> {
         let mut db = Database::new();
         for rec in &run.history {
@@ -215,6 +305,7 @@ impl Tuner {
                 elapsed_seconds: rec.elapsed_seconds,
                 flags: rec.genes.clone(),
                 cache_hit: rec.cache_hit,
+                persistent_hit: rec.persistent_hit,
                 wall_seconds: rec.wall_seconds,
             });
         }
@@ -232,6 +323,8 @@ impl Tuner {
             baseline,
             db,
             engine_stats,
+            skipped_duplicates: run.skipped_duplicates,
+            persistence,
         })
     }
 }

@@ -1,0 +1,187 @@
+//! Differential tests for the persistent cross-run fitness store: a warm
+//! run must converge to the same best genome as the cold run that filled
+//! the store, with strictly fewer real compiles; a damaged store must
+//! degrade to a cold run, never an error.
+
+use bintuner::{Tuner, TunerConfig};
+use genetic::{GaParams, Termination};
+use std::fs;
+use std::path::PathBuf;
+
+/// Unique scratch path per test (no tempfile crate in the container).
+fn scratch(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!(
+        "bintuner_warm_{}_{}.btfs",
+        std::process::id(),
+        name
+    ));
+    let _ = fs::remove_file(&p);
+    p
+}
+
+fn config(cache_path: Option<PathBuf>) -> TunerConfig {
+    TunerConfig {
+        termination: Termination {
+            max_evaluations: 90,
+            min_evaluations: 45,
+            plateau_window: 30,
+            ..Default::default()
+        },
+        ga: GaParams {
+            population: 10,
+            ..Default::default()
+        },
+        workers: 2,
+        cache_path,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn warm_run_matches_cold_run_with_fewer_compiles() {
+    let path = scratch("warm_matches_cold");
+    let bench = corpus::by_name("429.mcf").unwrap();
+
+    let cold = Tuner::new(config(Some(path.clone())))
+        .tune(&bench.module)
+        .unwrap();
+    assert_eq!(cold.engine_stats.persistent_hits, 0);
+    assert!(cold.engine_stats.compiles > 0);
+    let cold_persist = cold.persistence.as_ref().unwrap();
+    assert_eq!(cold_persist.loaded_entries, 0);
+    assert!(cold_persist.new_entries > 0);
+    assert_eq!(cold_persist.save_error, None);
+
+    let warm = Tuner::new(config(Some(path.clone())))
+        .tune(&bench.module)
+        .unwrap();
+
+    // Identical run: same best genome, bit-identical fitness, same
+    // trajectory length — warm-starting must not change the search.
+    assert_eq!(warm.best_flags, cold.best_flags);
+    assert_eq!(warm.best_ncd.to_bits(), cold.best_ncd.to_bits());
+    assert_eq!(warm.iterations, cold.iterations);
+    assert_eq!(warm.stopped_by, cold.stopped_by);
+
+    // Telemetry must agree run-to-run too (failures counted once per
+    // distinct config whether computed fresh or served from the store).
+    assert_eq!(
+        warm.engine_stats.failed_compiles,
+        cold.engine_stats.failed_compiles
+    );
+
+    // ...while doing strictly less real work.
+    assert!(warm.engine_stats.persistent_hits > 0);
+    assert!(
+        warm.engine_stats.compiles < cold.engine_stats.compiles,
+        "warm {} !< cold {}",
+        warm.engine_stats.compiles,
+        cold.engine_stats.compiles
+    );
+    let warm_persist = warm.persistence.as_ref().unwrap();
+    assert_eq!(warm_persist.loaded_entries, cold_persist.new_entries);
+    // An identical re-run discovers nothing new.
+    assert_eq!(warm_persist.new_entries, 0);
+
+    // The warm hits surface in the iteration database and its CSV.
+    assert!(warm.db.persistent_hit_rate() > 0.0);
+    assert_eq!(cold.db.persistent_hit_rate(), 0.0);
+    let header = warm.db.to_csv().lines().next().unwrap().to_string();
+    assert!(header.contains("persistent_hit"), "{header}");
+
+    fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn corrupt_store_degrades_to_cold_run() {
+    let path = scratch("corrupt_degrades");
+    fs::write(&path, b"\x00\x01garbage that is certainly not BTFS").unwrap();
+    let bench = corpus::by_name("473.astar").unwrap();
+
+    let from_corrupt = Tuner::new(config(Some(path.clone())))
+        .tune(&bench.module)
+        .unwrap();
+    let reference = Tuner::new(config(None)).tune(&bench.module).unwrap();
+
+    assert_eq!(from_corrupt.best_flags, reference.best_flags);
+    assert_eq!(
+        from_corrupt.best_ncd.to_bits(),
+        reference.best_ncd.to_bits()
+    );
+    let persist = from_corrupt.persistence.as_ref().unwrap();
+    assert_eq!(persist.loaded_entries, 0);
+    assert_eq!(persist.save_error, None);
+    assert_eq!(from_corrupt.engine_stats.persistent_hits, 0);
+
+    // The save replaced the garbage with a valid store: a second run now
+    // warm-starts.
+    let warm = Tuner::new(config(Some(path.clone())))
+        .tune(&bench.module)
+        .unwrap();
+    assert!(warm.engine_stats.persistent_hits > 0);
+    assert_eq!(warm.best_flags, reference.best_flags);
+
+    fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn store_separates_modules_profiles_and_arches() {
+    let path = scratch("key_separation");
+    let mcf = corpus::by_name("429.mcf").unwrap();
+    let astar = corpus::by_name("473.astar").unwrap();
+
+    let r1 = Tuner::new(config(Some(path.clone())))
+        .tune(&mcf.module)
+        .unwrap();
+    assert!(r1.persistence.as_ref().unwrap().new_entries > 0);
+
+    // A different module must not hit the first module's entries.
+    let r2 = Tuner::new(config(Some(path.clone())))
+        .tune(&astar.module)
+        .unwrap();
+    assert_eq!(r2.engine_stats.persistent_hits, 0);
+    assert!(
+        r2.persistence.as_ref().unwrap().loaded_entries
+            >= r1.persistence.as_ref().unwrap().new_entries
+    );
+
+    // A different arch on the first module is likewise a cold start.
+    let mut other_arch = config(Some(path.clone()));
+    other_arch.arch = binrep::Arch::Arm;
+    let r3 = Tuner::new(other_arch).tune(&mcf.module).unwrap();
+    assert_eq!(r3.engine_stats.persistent_hits, 0);
+
+    // Re-tuning the original target still warm-starts through all the
+    // unrelated entries.
+    let warm = Tuner::new(config(Some(path.clone())))
+        .tune(&mcf.module)
+        .unwrap();
+    assert!(warm.engine_stats.persistent_hits > 0);
+    assert_eq!(warm.best_flags, r1.best_flags);
+
+    fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn dedup_spends_compile_budget_on_new_configs() {
+    let bench = corpus::by_name("462.libquantum").unwrap();
+    let plain = Tuner::new(config(None)).tune(&bench.module).unwrap();
+    let mut dedup_config = config(None);
+    dedup_config.dedup = true;
+    let dedup = Tuner::new(dedup_config).tune(&bench.module).unwrap();
+
+    // Re-breeding fired, and the same evaluation budget covered at least
+    // as many distinct effect configurations (= real compiles, since
+    // each compile is one new config).
+    assert!(dedup.skipped_duplicates > 0, "{}", dedup.skipped_duplicates);
+    assert_eq!(plain.skipped_duplicates, 0);
+    assert!(
+        dedup.engine_stats.compiles >= plain.engine_stats.compiles,
+        "dedup {} < plain {}",
+        dedup.engine_stats.compiles,
+        plain.engine_stats.compiles
+    );
+    // Dedup changes the trajectory but not the quality floor: it still
+    // beats or matches the plain run's preset-beating property.
+    assert!(dedup.best_ncd > 0.0);
+}

@@ -42,6 +42,22 @@ mod tests {
     use minicc::{Compiler, CompilerKind, OptLevel};
 
     #[test]
+    fn content_hashes_are_unique_and_stable() {
+        // The persistent fitness store keys on these hashes: collisions
+        // would silently cross-contaminate caches between benchmarks,
+        // and instability would defeat warm starts. Generation is
+        // deterministic, so regenerating the corpus must reproduce the
+        // exact hashes.
+        let first: Vec<u64> = all_benign().iter().map(Benchmark::content_hash).collect();
+        let mut sorted = first.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), first.len(), "content-hash collision");
+        let second: Vec<u64> = all_benign().iter().map(Benchmark::content_hash).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
     fn all_benchmarks_validate() {
         for b in all_benign() {
             b.module

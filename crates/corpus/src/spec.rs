@@ -54,6 +54,16 @@ pub struct Benchmark {
     pub test_inputs: Vec<Vec<u32>>,
 }
 
+impl Benchmark {
+    /// Stable content hash of the benchmark's module — the identity the
+    /// persistent fitness store files results under, so two runs over
+    /// the same (deterministically generated) benchmark share cache
+    /// entries while any regeneration change invalidates them.
+    pub fn content_hash(&self) -> u64 {
+        self.module.content_hash()
+    }
+}
+
 fn mk(name: &'static str, suite: Suite, profile: Profile) -> Benchmark {
     let module = generate(name, &profile);
     Benchmark {

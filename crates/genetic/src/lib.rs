@@ -47,9 +47,13 @@ pub struct Eval {
     /// Measured wall-clock spent producing this evaluation, in seconds
     /// (0 when the evaluator does not measure, e.g. the closure shim).
     pub wall_seconds: f64,
-    /// Whether the result came from a memoization cache rather than a
-    /// fresh evaluation.
+    /// Whether the result came from the evaluator's *in-run* memoization
+    /// cache rather than a fresh evaluation.
     pub cache_hit: bool,
+    /// Whether the result was served from a *persistent* (cross-run)
+    /// store — a warm-start hit that saved a real evaluation this
+    /// process never performed. Disjoint from `cache_hit`.
+    pub persistent_hit: bool,
 }
 
 impl Eval {
@@ -60,6 +64,7 @@ impl Eval {
             cost_seconds,
             wall_seconds: 0.0,
             cache_hit: false,
+            persistent_hit: false,
         }
     }
 }
@@ -141,8 +146,8 @@ impl Default for GaParams {
 pub struct Termination {
     /// Hard cap on fitness evaluations ("compilation iterations").
     pub max_evaluations: usize,
-    /// Simulated/wall time budget in seconds (caller supplies per-eval
-    /// cost through [`GaRun::charge_time`]'s accounting; 0 = unlimited).
+    /// Simulated/wall time budget in seconds (charged from each
+    /// [`Eval::cost_seconds`]; 0 = unlimited).
     pub max_seconds: f64,
     /// Stop when the best fitness's growth rate over the last window is
     /// below this fraction (paper: 0.35%).
@@ -178,8 +183,12 @@ pub struct EvalRecord {
     pub genes: Vec<bool>,
     /// Accumulated charged time (seconds) when this evaluation finished.
     pub elapsed_seconds: f64,
-    /// Whether the evaluation was served from the evaluator's cache.
+    /// Whether the evaluation was served from the evaluator's in-run
+    /// cache.
     pub cache_hit: bool,
+    /// Whether the evaluation was served from a persistent (cross-run)
+    /// store.
+    pub persistent_hit: bool,
     /// Measured wall-clock seconds for this evaluation (0 when the
     /// evaluator does not measure).
     pub wall_seconds: f64,
@@ -200,8 +209,15 @@ pub struct GaRun {
     pub stopped_by: StopReason,
     /// Total charged time in seconds.
     pub elapsed_seconds: f64,
-    /// How many evaluations were served from the evaluator's cache.
+    /// How many evaluations were served from the evaluator's in-run
+    /// cache.
     pub cache_hits: usize,
+    /// How many evaluations were served from a persistent (cross-run)
+    /// store.
+    pub persistent_hits: usize,
+    /// Offspring discarded before evaluation because their digest was
+    /// already seen (only [`Ga::run_batched_dedup`] produces these).
+    pub skipped_duplicates: usize,
     /// Total measured wall-clock seconds across evaluations (0 when the
     /// evaluator does not measure).
     pub wall_seconds: f64,
@@ -217,6 +233,14 @@ pub enum StopReason {
     /// Fitness growth reached the point of diminishing returns.
     Plateau,
 }
+
+/// Borrowed constraint-repair callback (paper §4.1's constraints-
+/// verification step): maps a raw chromosome plus a repair seed to a
+/// constraint-valid chromosome.
+type RepairFn<'a> = &'a dyn Fn(&[bool], u64) -> Vec<bool>;
+
+/// Borrowed equivalence-class digest for population-level dedup.
+type DigestFn<'a> = &'a dyn Fn(&[bool]) -> u64;
 
 /// The genetic algorithm engine.
 #[derive(Debug)]
@@ -306,6 +330,62 @@ impl Ga {
         repair: impl Fn(&[bool], u64) -> Vec<bool>,
         term: &Termination,
     ) -> GaRun {
+        self.run_inner(evaluator, &repair, None, term)
+    }
+
+    /// Run the GA with population-level deduplication: breeding consults
+    /// a seen-digest set, and an offspring whose digest was already
+    /// evaluated is discarded and re-bred (up to a bounded number of
+    /// attempts) so the evaluation budget is spent on genuinely new
+    /// configurations.
+    ///
+    /// `digest` maps a repaired chromosome to the equivalence class that
+    /// actually determines its fitness — for BinTuner, the resolved
+    /// effect configuration, under which many distinct flag vectors
+    /// collapse. It must be deterministic. Runs remain deterministic in
+    /// the seed, but follow a *different* trajectory than
+    /// [`Ga::run_batched`] (re-breeding consumes RNG), so dedup is
+    /// opt-in. Discards are counted in [`GaRun::skipped_duplicates`];
+    /// when re-breeding exhausts its attempts the duplicate child is
+    /// accepted rather than looping forever (selection still needs a
+    /// full population).
+    pub fn run_batched_dedup(
+        &mut self,
+        evaluator: &dyn Evaluator,
+        repair: impl Fn(&[bool], u64) -> Vec<bool>,
+        digest: impl Fn(&[bool]) -> u64,
+        term: &Termination,
+    ) -> GaRun {
+        self.run_inner(evaluator, &repair, Some(&digest), term)
+    }
+
+    /// Breed one child from the current population (tournament selection,
+    /// crossover-or-clone, mutation, repair).
+    fn breed(&mut self, population: &[(Vec<bool>, f64)], repair: RepairFn<'_>) -> Vec<bool> {
+        let p1 = self.tournament_pick(population).clone();
+        let p2 = self.tournament_pick(population).clone();
+        let (fitter, other) = if p1.1 >= p2.1 { (&p1, &p2) } else { (&p2, &p1) };
+        let mut child = if self.rng.gen_bool(self.params.crossover_rate) {
+            self.crossover(&fitter.0, &other.0)
+        } else {
+            fitter.0.clone()
+        };
+        self.mutate(&mut child);
+        repair(&child, self.rng.gen())
+    }
+
+    fn run_inner(
+        &mut self,
+        evaluator: &dyn Evaluator,
+        repair: RepairFn<'_>,
+        digest: Option<DigestFn<'_>>,
+        term: &Termination,
+    ) -> GaRun {
+        /// Re-breeding attempts per child before accepting a duplicate.
+        /// Bounded so a converged population (or a digest with few
+        /// classes) cannot spin the breeding loop forever.
+        const DEDUP_RETRIES: usize = 12;
+
         let mut state = RunState {
             history: Vec::new(),
             best: (vec![false; self.n_genes], f64::NEG_INFINITY),
@@ -313,7 +393,10 @@ impl Ga {
             wall: 0.0,
             evals: 0,
             cache_hits: 0,
+            persistent_hits: 0,
         };
+        let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut skipped_duplicates = 0usize;
         let stopped;
 
         // Initial population: the all-off vector, a dense vector, and
@@ -328,6 +411,11 @@ impl Ga {
                 repair(&raw, k as u64)
             })
             .collect();
+        if let Some(digest) = digest {
+            for g in &initial {
+                seen.insert(digest(g));
+            }
+        }
         let results = evaluator.evaluate_batch(&initial);
         let (fitnesses, _) = state.commit(&initial, &results, false, term);
         let mut population: Vec<(Vec<bool>, f64)> = initial.into_iter().zip(fitnesses).collect();
@@ -372,16 +460,23 @@ impl Ga {
                 (self.params.population - elites.len()).min(term.max_evaluations - state.evals);
             let offspring: Vec<Vec<bool>> = (0..brood)
                 .map(|_| {
-                    let p1 = self.tournament_pick(&population).clone();
-                    let p2 = self.tournament_pick(&population).clone();
-                    let (fitter, other) = if p1.1 >= p2.1 { (&p1, &p2) } else { (&p2, &p1) };
-                    let mut child = if self.rng.gen_bool(self.params.crossover_rate) {
-                        self.crossover(&fitter.0, &other.0)
-                    } else {
-                        fitter.0.clone()
-                    };
-                    self.mutate(&mut child);
-                    repair(&child, self.rng.gen())
+                    let mut child = self.breed(&population, repair);
+                    if let Some(digest) = digest {
+                        // Skip offspring that collapse to an already-
+                        // evaluated configuration: re-breed, spending the
+                        // budget on new ones. Accepted children enter the
+                        // seen set, which also dedups within this brood.
+                        let mut attempts = 0;
+                        while !seen.insert(digest(&child)) {
+                            if attempts >= DEDUP_RETRIES {
+                                break;
+                            }
+                            attempts += 1;
+                            skipped_duplicates += 1;
+                            child = self.breed(&population, repair);
+                        }
+                    }
+                    child
                 })
                 .collect();
             let results = evaluator.evaluate_batch(&offspring);
@@ -403,6 +498,8 @@ impl Ga {
             stopped_by: stopped,
             elapsed_seconds: state.elapsed,
             cache_hits: state.cache_hits,
+            persistent_hits: state.persistent_hits,
+            skipped_duplicates,
             wall_seconds: state.wall,
         }
     }
@@ -416,6 +513,7 @@ struct RunState {
     wall: f64,
     evals: usize,
     cache_hits: usize,
+    persistent_hits: usize,
 }
 
 impl RunState {
@@ -440,6 +538,7 @@ impl RunState {
             self.elapsed += eval.cost_seconds;
             self.wall += eval.wall_seconds;
             self.cache_hits += eval.cache_hit as usize;
+            self.persistent_hits += eval.persistent_hit as usize;
             if eval.fitness > self.best.1 {
                 self.best = (genes.clone(), eval.fitness);
             }
@@ -450,6 +549,7 @@ impl RunState {
                 genes: genes.clone(),
                 elapsed_seconds: self.elapsed,
                 cache_hit: eval.cache_hit,
+                persistent_hit: eval.persistent_hit,
                 wall_seconds: eval.wall_seconds,
             });
             if bounded
@@ -581,6 +681,7 @@ mod tests {
                         cost_seconds: 0.01,
                         wall_seconds: 0.001,
                         cache_hit: hit,
+                        persistent_hit: false,
                     }
                 })
                 .collect()
@@ -650,6 +751,84 @@ mod tests {
         assert_eq!(run.cache_hits, 0);
         assert_eq!(run.wall_seconds, 0.0);
         assert!(run.history.iter().all(|r| !r.cache_hit));
+    }
+
+    /// Digest collapsing a chromosome to its popcount — a deliberately
+    /// coarse equivalence (n+1 classes) that makes duplicates common,
+    /// mirroring how many flag vectors collapse to one effect config.
+    fn popcount_digest(g: &[bool]) -> u64 {
+        g.iter().filter(|&&b| b).count() as u64
+    }
+
+    #[test]
+    fn dedup_spends_budget_on_new_classes() {
+        let term = Termination {
+            max_evaluations: 300,
+            plateau_growth: 0.0,
+            ..Default::default()
+        };
+        let distinct_classes = |run: &GaRun| {
+            run.history
+                .iter()
+                .map(|r| popcount_digest(&r.genes))
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+        };
+        let plain = Ga::new(24, GaParams::default(), 17).run_batched(
+            &BatchOnemax::new(),
+            |g, _| g.to_vec(),
+            &term,
+        );
+        let dedup = Ga::new(24, GaParams::default(), 17).run_batched_dedup(
+            &BatchOnemax::new(),
+            |g, _| g.to_vec(),
+            popcount_digest,
+            &term,
+        );
+        // Re-breeding must actually have fired, and the same budget must
+        // cover at least as many equivalence classes as without dedup.
+        assert!(dedup.skipped_duplicates > 0, "{}", dedup.skipped_duplicates);
+        assert_eq!(plain.skipped_duplicates, 0);
+        assert!(
+            distinct_classes(&dedup) >= distinct_classes(&plain),
+            "dedup {} < plain {}",
+            distinct_classes(&dedup),
+            distinct_classes(&plain)
+        );
+    }
+
+    #[test]
+    fn dedup_is_deterministic_and_bounded() {
+        let term = Termination {
+            max_evaluations: 200,
+            plateau_growth: 0.0,
+            ..Default::default()
+        };
+        // A single-class digest makes *every* re-breed a duplicate; the
+        // bounded retry must still accept children and terminate.
+        let degenerate = Ga::new(16, GaParams::default(), 3).run_batched_dedup(
+            &BatchOnemax::new(),
+            |g, _| g.to_vec(),
+            |_| 0,
+            &term,
+        );
+        assert_eq!(degenerate.evaluations, 200);
+
+        let a = Ga::new(16, GaParams::default(), 9).run_batched_dedup(
+            &BatchOnemax::new(),
+            |g, _| g.to_vec(),
+            popcount_digest,
+            &term,
+        );
+        let b = Ga::new(16, GaParams::default(), 9).run_batched_dedup(
+            &BatchOnemax::new(),
+            |g, _| g.to_vec(),
+            popcount_digest,
+            &term,
+        );
+        assert_eq!(a.best_genes, b.best_genes);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.skipped_duplicates, b.skipped_duplicates);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!
 //! Structural conventions relied on by the optimizer:
 //! * calls appear only in statement position (`x = f(..)`, `f(..)`,
-//!   `return f(..)`), which the [`crate::ast::FuncDef::validate`] check
+//!   `return f(..)`), which the [`crate::ast::Module::validate`] check
 //!   enforces — this keeps AST inlining a pure splice;
 //! * a function is *inlinable* when `return` appears only as its final
 //!   statement (see [`FuncDef::is_single_exit`]).

@@ -32,6 +32,16 @@ impl CompilerKind {
             CompilerKind::Llvm => "LLVM 11.0",
         }
     }
+
+    /// Stable one-byte tag used in persistent cache keys. Unlike the
+    /// discriminant of `as u8`, this is part of the on-disk format: the
+    /// assignments below must never be reordered or reused.
+    pub fn stable_id(self) -> u8 {
+        match self {
+            CompilerKind::Gcc => 0,
+            CompilerKind::Llvm => 1,
+        }
+    }
 }
 
 impl std::fmt::Display for CompilerKind {

@@ -1,0 +1,475 @@
+//! Stable canonical hashing for persistent cache keys.
+//!
+//! The persistent fitness store (paper Figure 4's server-side database,
+//! "stored for future exploration") keys results by
+//! `(module content hash, compiler profile, arch, effect config)`. Those
+//! keys must survive process restarts, so they cannot use
+//! [`std::collections::hash_map::DefaultHasher`] (SipHash with
+//! implementation-defined keys) or `#[derive(Hash)]` (layout follows the
+//! standard library's unstable protocol). This module provides
+//! [`StableHasher`] — FNV-1a over an explicit, versioned canonical byte
+//! encoding — plus the two canonical encodings the cache needs:
+//! [`Module::content_hash`] and [`EffectConfig::stable_digest`].
+//!
+//! Changing any canonical encoding is a cache-format change: bump
+//! the store's format version (see `bintuner::store`) so stale files are
+//! discarded as a clean cold start instead of being misinterpreted.
+
+use crate::ast::{BinOp, Expr, LValue, Module, Stmt};
+use crate::flags::EffectConfig;
+
+/// Stable one-byte tag for a binary operator — part of the canonical
+/// encoding, so the assignments must never be reordered or reused (a
+/// declaration-order `as u8` would silently re-key the cache if the
+/// enum ever changed shape). Exhaustive: adding a `BinOp` variant
+/// without assigning it a tag here is a compile error.
+fn binop_tag(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Rem => 4,
+        BinOp::And => 5,
+        BinOp::Or => 6,
+        BinOp::Xor => 7,
+        BinOp::Shl => 8,
+        BinOp::Shr => 9,
+        BinOp::Eq => 10,
+        BinOp::Ne => 11,
+        BinOp::Lt => 12,
+        BinOp::Le => 13,
+        BinOp::Gt => 14,
+        BinOp::Ge => 15,
+    }
+}
+
+/// FNV-1a 64-bit hasher with explicit write methods.
+///
+/// Unlike [`std::hash::Hasher`] implementations, the output is a pure
+/// function of the byte stream and is stable across processes, platforms,
+/// and Rust versions — the property a disk cache key needs. Multi-byte
+/// integers are fed little-endian; variable-length data must be
+/// length-prefixed by the caller ([`StableHasher::write_str`] does this)
+/// so adjacent fields cannot alias.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl StableHasher {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A hasher with the standard FNV-1a offset basis.
+    pub fn new() -> StableHasher {
+        StableHasher {
+            state: Self::OFFSET,
+        }
+    }
+
+    /// A hasher whose stream starts with `seed` — used to derive several
+    /// independent digests from the same canonical encoding.
+    pub fn with_seed(seed: u64) -> StableHasher {
+        let mut h = StableHasher::new();
+        h.write_u64(seed);
+        h
+    }
+
+    /// Feed raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Feed one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write(&[v]);
+    }
+
+    /// Feed a bool as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(v as u8);
+    }
+
+    /// Feed a `u32`, little-endian.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feed a `u64`, little-endian.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feed a `usize` widened to `u64` (so 32- and 64-bit hosts agree).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feed a length-prefixed string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write(s.as_bytes());
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> StableHasher {
+        StableHasher::new()
+    }
+}
+
+fn hash_expr(h: &mut StableHasher, e: &Expr) {
+    match e {
+        Expr::Const(c) => {
+            h.write_u8(0);
+            h.write_u32(*c);
+        }
+        Expr::Var(v) => {
+            h.write_u8(1);
+            h.write_str(v);
+        }
+        Expr::Global(g) => {
+            h.write_u8(2);
+            h.write_str(g);
+        }
+        Expr::Index(arr, i) => {
+            h.write_u8(3);
+            h.write_str(arr);
+            hash_expr(h, i);
+        }
+        Expr::Bin(op, a, b) => {
+            h.write_u8(4);
+            h.write_u8(binop_tag(*op));
+            hash_expr(h, a);
+            hash_expr(h, b);
+        }
+        Expr::Not(a) => {
+            h.write_u8(5);
+            hash_expr(h, a);
+        }
+        Expr::Neg(a) => {
+            h.write_u8(6);
+            hash_expr(h, a);
+        }
+        Expr::Call(f, args) => {
+            h.write_u8(7);
+            h.write_str(f);
+            h.write_usize(args.len());
+            args.iter().for_each(|a| hash_expr(h, a));
+        }
+        Expr::CallImport(f, args) => {
+            h.write_u8(8);
+            h.write_str(f);
+            h.write_usize(args.len());
+            args.iter().for_each(|a| hash_expr(h, a));
+        }
+        Expr::Str(s) => {
+            h.write_u8(9);
+            h.write_str(s);
+        }
+        Expr::AddrOf(a) => {
+            h.write_u8(10);
+            h.write_str(a);
+        }
+    }
+}
+
+fn hash_lvalue(h: &mut StableHasher, lv: &LValue) {
+    match lv {
+        LValue::Var(v) => {
+            h.write_u8(0);
+            h.write_str(v);
+        }
+        LValue::Global(g) => {
+            h.write_u8(1);
+            h.write_str(g);
+        }
+        LValue::Index(arr, i) => {
+            h.write_u8(2);
+            h.write_str(arr);
+            hash_expr(h, i);
+        }
+    }
+}
+
+fn hash_body(h: &mut StableHasher, body: &[Stmt]) {
+    h.write_usize(body.len());
+    body.iter().for_each(|s| hash_stmt(h, s));
+}
+
+fn hash_stmt(h: &mut StableHasher, s: &Stmt) {
+    match s {
+        Stmt::Assign(lv, e) => {
+            h.write_u8(0);
+            hash_lvalue(h, lv);
+            hash_expr(h, e);
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            h.write_u8(1);
+            hash_expr(h, cond);
+            hash_body(h, then_body);
+            hash_body(h, else_body);
+        }
+        Stmt::While { cond, body } => {
+            h.write_u8(2);
+            hash_expr(h, cond);
+            hash_body(h, body);
+        }
+        Stmt::For {
+            var,
+            start,
+            end,
+            step,
+            body,
+        } => {
+            h.write_u8(3);
+            h.write_str(var);
+            hash_expr(h, start);
+            hash_expr(h, end);
+            h.write_u32(*step);
+            hash_body(h, body);
+        }
+        Stmt::Switch {
+            scrutinee,
+            cases,
+            default,
+        } => {
+            h.write_u8(4);
+            hash_expr(h, scrutinee);
+            h.write_usize(cases.len());
+            for (value, body) in cases {
+                h.write_u32(*value);
+                hash_body(h, body);
+            }
+            hash_body(h, default);
+        }
+        Stmt::Return(e) => {
+            h.write_u8(5);
+            hash_expr(h, e);
+        }
+        Stmt::ExprStmt(e) => {
+            h.write_u8(6);
+            hash_expr(h, e);
+        }
+    }
+}
+
+impl Module {
+    /// Stable 64-bit content hash of the whole translation unit.
+    ///
+    /// Two structurally identical modules hash identically across
+    /// processes and platforms; any change to a name, constant, statement
+    /// or declaration changes the hash. The module *name* is included:
+    /// it reaches the emitted [`binrep::Binary`], so two same-bodied
+    /// modules with different names are distinct compilation inputs.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = StableHasher::with_seed(0x4d4f_4455_4c45); // "MODULE"
+        h.write_str(&self.name);
+        h.write_usize(self.globals.len());
+        for g in &self.globals {
+            h.write_str(&g.name);
+            h.write_usize(g.words.len());
+            g.words.iter().for_each(|&w| h.write_u32(w));
+        }
+        h.write_usize(self.funcs.len());
+        for f in &self.funcs {
+            h.write_str(&f.name);
+            h.write_usize(f.params.len());
+            f.params.iter().for_each(|p| h.write_str(p));
+            h.write_usize(f.locals.len());
+            for l in &f.locals {
+                h.write_str(&l.name);
+                match l.array {
+                    None => h.write_u8(0),
+                    Some(n) => {
+                        h.write_u8(1);
+                        h.write_usize(n);
+                    }
+                }
+            }
+            h.write_bool(f.is_library);
+            hash_body(&mut h, &f.body);
+        }
+        h.finish()
+    }
+}
+
+impl EffectConfig {
+    /// Stable 128-bit digest of the resolved optimization configuration.
+    ///
+    /// The emitted binary is a pure function of
+    /// `(module, effect config, arch)`, so this digest — not the raw flag
+    /// vector — is the right cache key for persisted fitness results:
+    /// distinct flag vectors resolving to the same effects share one
+    /// entry. 128 bits (two independently seeded FNV-1a streams over the
+    /// same canonical encoding) keep accidental collisions negligible at
+    /// database scale.
+    pub fn stable_digest(&self) -> u128 {
+        let lo = self.digest_half(0x4546_4643); // "EFFC"
+        let hi = self.digest_half(0x9e37_79b9_7f4a_7c15);
+        (u128::from(hi) << 64) | u128::from(lo)
+    }
+
+    fn digest_half(&self, seed: u64) -> u64 {
+        // Exhaustive destructuring: adding a field to EffectConfig without
+        // feeding it here is a compile error, so the digest can never
+        // silently ignore a new optimization dimension.
+        let EffectConfig {
+            regalloc,
+            const_fold,
+            cse,
+            inline_threshold,
+            partial_inline,
+            tail_calls,
+            unroll_factor,
+            peel,
+            unswitch,
+            unroll_and_jam,
+            vectorize_loops,
+            vectorize_slp,
+            jump_tables,
+            if_convert,
+            if_convert2,
+            branch_count_reg,
+            peephole,
+            strength_reduce,
+            reorder_blocks,
+            reorder_partition,
+            reorder_functions,
+            align_loops,
+            align_functions,
+            merge_constants,
+            merge_all_constants,
+            merge_blocks,
+            builtin_expand,
+            licm,
+            loop_distribute,
+            style_bits,
+        } = self;
+        let mut h = StableHasher::with_seed(seed);
+        h.write_bool(*regalloc);
+        h.write_bool(*const_fold);
+        h.write_bool(*cse);
+        h.write_usize(*inline_threshold);
+        h.write_bool(*partial_inline);
+        h.write_bool(*tail_calls);
+        h.write_usize(*unroll_factor);
+        h.write_bool(*peel);
+        h.write_bool(*unswitch);
+        h.write_bool(*unroll_and_jam);
+        h.write_bool(*vectorize_loops);
+        h.write_bool(*vectorize_slp);
+        h.write_bool(*jump_tables);
+        h.write_bool(*if_convert);
+        h.write_bool(*if_convert2);
+        h.write_bool(*branch_count_reg);
+        h.write_bool(*peephole);
+        h.write_bool(*strength_reduce);
+        h.write_bool(*reorder_blocks);
+        h.write_bool(*reorder_partition);
+        h.write_bool(*reorder_functions);
+        h.write_u8(*align_loops);
+        h.write_u8(*align_functions);
+        h.write_bool(*merge_constants);
+        h.write_bool(*merge_all_constants);
+        h.write_bool(*merge_blocks);
+        h.write_bool(*builtin_expand);
+        h.write_bool(*licm);
+        h.write_bool(*loop_distribute);
+        h.write_u64(*style_bits);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, FuncDef};
+    use crate::flags::{CompilerKind, CompilerProfile, OptLevel};
+
+    fn sample_module() -> Module {
+        let mut m = Module::new("hash_sample");
+        m.funcs.push(FuncDef::new(
+            "main",
+            vec!["x".into()],
+            vec![Stmt::Return(Expr::vc(BinOp::Add, "x", 41))],
+        ));
+        m
+    }
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a 64 of "a" must match the published test vector; this
+        // pins the primitive so the on-disk key space can never silently
+        // change hash functions.
+        let mut h = StableHasher::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn module_hash_is_deterministic_and_content_sensitive() {
+        let m = sample_module();
+        assert_eq!(m.content_hash(), sample_module().content_hash());
+
+        let mut renamed = sample_module();
+        renamed.name = "other".into();
+        assert_ne!(m.content_hash(), renamed.content_hash());
+
+        let mut edited = sample_module();
+        edited.funcs[0].body = vec![Stmt::Return(Expr::vc(BinOp::Add, "x", 42))];
+        assert_ne!(m.content_hash(), edited.content_hash());
+    }
+
+    #[test]
+    fn length_prefixing_prevents_field_aliasing() {
+        // Same concatenated text split differently across adjacent
+        // strings must not collide.
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn effect_digest_tracks_effects_not_flag_spelling() {
+        let p = CompilerProfile::new(CompilerKind::Gcc);
+        let o2 = EffectConfig::from_flags(&p, &p.preset(OptLevel::O2));
+        assert_eq!(o2.stable_digest(), o2.clone().stable_digest());
+        let o3 = EffectConfig::from_flags(&p, &p.preset(OptLevel::O3));
+        assert_ne!(o2.stable_digest(), o3.stable_digest());
+
+        // Two *different* flag vectors resolving to the same effects must
+        // digest identically — that is what lets persisted entries be
+        // shared across flag spellings. O3 enables -ftree-vectorize (the
+        // alias for both vectorizers) alongside the two individual
+        // vectorizer flags, so dropping the alias leaves the effect
+        // config unchanged.
+        let o3_flags = p.preset(OptLevel::O3);
+        let mut without_alias = o3_flags.clone();
+        let i = p.flag_index("-ftree-vectorize").unwrap();
+        assert!(without_alias[i]);
+        without_alias[i] = false;
+        assert_ne!(o3_flags, without_alias);
+        assert_eq!(
+            EffectConfig::from_flags(&p, &without_alias).stable_digest(),
+            o3.stable_digest()
+        );
+    }
+}

@@ -34,10 +34,12 @@ pub mod ast;
 pub mod astopt;
 pub mod codegen;
 pub mod flags;
+pub mod hash;
 pub mod magic;
 pub mod mir_opt;
 
 pub use flags::{CompilerKind, CompilerProfile, Effect, EffectConfig, FlagDef, OptLevel};
+pub use hash::StableHasher;
 
 use ast::Module;
 use binrep::{Arch, Binary};

@@ -1,8 +1,9 @@
 //! Umbrella crate for the BinTuner reproduction workspace.
 //!
 //! Re-exports every sub-crate so downstream users can depend on one
-//! package. See the repository README for the architecture overview and
-//! `DESIGN.md` for the paper-to-crate mapping.
+//! package. See the repository README for a quick overview and
+//! `docs/ARCHITECTURE.md` for the paper-to-crate mapping and the
+//! tuning-loop / persistent-store design.
 
 pub use avscan;
 pub use binhunt;

@@ -127,7 +127,7 @@ pub mod strategy {
             }
         }
 
-        /// Type-erase the strategy (used by [`prop_oneof!`]).
+        /// Type-erase the strategy (used by the `prop_oneof!` macro).
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
             Self: Sized + 'static,
@@ -214,7 +214,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice among alternatives (backs [`prop_oneof!`]).
+    /// Uniform choice among alternatives (backs the `prop_oneof!` macro).
     pub struct OneOf<V>(Vec<BoxedStrategy<V>>);
 
     impl<V> OneOf<V> {
@@ -347,7 +347,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Size specification for [`vec`]: exact or a range.
+    /// Size specification for [`vec()`]: exact or a range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
