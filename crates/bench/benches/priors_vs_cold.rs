@@ -1,0 +1,177 @@
+//! Priors-vs-cold tuning: what mining the persistent fitness store into
+//! flag-potency priors buys over a blind cold search — the paper's
+//! "future exploration" angle, measured.
+//!
+//! Per benchmark, three runs against a fresh store file:
+//!
+//! 1. **cold** — `PriorMode::Off`, empty store (fills it);
+//! 2. **seeded** — `PriorMode::SeedOnly`, warm store: the top stored
+//!    configs of the (shape-)nearest module seed the initial population;
+//! 3. **seed+bias** — `PriorMode::SeedAndBias`: additionally biases
+//!    per-flag mutation by mined potency.
+//!
+//! The acceptance bars are *asserted*, not just printed: every prior run
+//! must reach at least the cold best NCD with no more real compiles.
+//! A final section demonstrates cross-module transfer (605.mcf_s tuned
+//! from 429.mcf's store — different content hashes, so every benefit
+//! flows through the feature-based nearest-module lookup).
+
+use bench::print_table;
+use bintuner::{PriorMode, Tuner, TunerConfig};
+use genetic::{GaParams, Termination};
+use std::fs;
+use std::time::Instant;
+
+fn config(cache_path: std::path::PathBuf, priors: PriorMode) -> TunerConfig {
+    let evals = if bench::full_run() { 700 } else { 240 };
+    TunerConfig {
+        termination: Termination {
+            max_evaluations: evals,
+            min_evaluations: evals * 2 / 3,
+            plateau_window: evals / 3,
+            ..Default::default()
+        },
+        ga: GaParams {
+            population: 24,
+            ..Default::default()
+        },
+        cache_path: Some(cache_path),
+        priors,
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let store_path = std::env::temp_dir().join(format!(
+        "bintuner_priors_vs_cold_{}.btfs",
+        std::process::id()
+    ));
+    let _ = fs::remove_file(&store_path);
+
+    let names = ["429.mcf", "462.libquantum", "473.astar"];
+    let mut rows = Vec::new();
+    for name in names {
+        let bench_case = corpus::by_name(name).expect("known benchmark");
+        // Fresh store per benchmark so each cold row is genuinely cold.
+        let _ = fs::remove_file(&store_path);
+
+        let t = Instant::now();
+        let cold = Tuner::new(config(store_path.clone(), PriorMode::Off))
+            .tune(&bench_case.module)
+            .expect("cold run");
+        let cold_wall = t.elapsed().as_secs_f64();
+
+        for mode in [PriorMode::SeedOnly, PriorMode::SeedAndBias] {
+            let t = Instant::now();
+            let tuned = Tuner::new(config(store_path.clone(), mode))
+                .tune(&bench_case.module)
+                .expect("prior run");
+            let wall = t.elapsed().as_secs_f64();
+            let prior = tuned.prior.as_ref().expect("priors on => summary");
+
+            // The acceptance bars: priors never hurt.
+            assert!(
+                tuned.best_ncd >= cold.best_ncd,
+                "{name} {mode}: prior best {} < cold best {}",
+                tuned.best_ncd,
+                cold.best_ncd
+            );
+            assert!(
+                tuned.engine_stats.compiles <= cold.engine_stats.compiles,
+                "{name} {mode}: prior compiles {} > cold {}",
+                tuned.engine_stats.compiles,
+                cold.engine_stats.compiles
+            );
+            assert!(prior.seeds_injected > 0, "{name} {mode}: nothing seeded");
+
+            rows.push(vec![
+                name.to_string(),
+                mode.to_string(),
+                tuned.iterations.to_string(),
+                format!("{:.3}", cold.best_ncd),
+                format!("{:.3}", tuned.best_ncd),
+                cold.engine_stats.compiles.to_string(),
+                tuned.engine_stats.compiles.to_string(),
+                prior.seeds_injected.to_string(),
+                if prior.seed_matched_best { "yes" } else { "no" }.to_string(),
+                prior.biased_flags.to_string(),
+                format!("{:.2}x", cold_wall / wall.max(1e-9)),
+            ]);
+        }
+    }
+    print_table(
+        "Priors vs. cold tuning (same module; floor asserted: prior best >= cold best, compiles <=)",
+        &[
+            "benchmark",
+            "mode",
+            "iters",
+            "cold_ncd",
+            "prior_ncd",
+            "cold_compiles",
+            "prior_compiles",
+            "seeds",
+            "seed_hit",
+            "biased_flags",
+            "speedup",
+        ],
+        &rows,
+    );
+
+    // Cross-module transfer: tune 605.mcf_s from a store that has only
+    // seen 429.mcf and Coreutils. No key overlap (different content
+    // hashes); the nearest-module feature lookup must pick the mcf
+    // variant and its configs ride in as initial-population candidates.
+    let _ = fs::remove_file(&store_path);
+    let near = corpus::by_name("429.mcf").unwrap();
+    let far = corpus::coreutils();
+    let target = corpus::by_name("605.mcf_s").unwrap();
+    Tuner::new(config(store_path.clone(), PriorMode::Off))
+        .tune(&near.module)
+        .expect("warm 429.mcf");
+    Tuner::new(config(store_path.clone(), PriorMode::Off))
+        .tune(&far.module)
+        .expect("warm coreutils");
+    let cold = Tuner::new(config(
+        std::env::temp_dir().join(format!(
+            "bintuner_priors_scratch_{}.btfs",
+            std::process::id()
+        )),
+        PriorMode::Off,
+    ))
+    .tune(&target.module)
+    .expect("cold 605.mcf_s");
+    let transferred = Tuner::new(config(store_path.clone(), PriorMode::SeedOnly))
+        .tune(&target.module)
+        .expect("transfer run");
+    let prior = transferred.prior.as_ref().unwrap();
+    assert_eq!(
+        prior.source_module,
+        Some(near.module.content_hash()),
+        "transfer source must be the shape-nearest module"
+    );
+    print_table(
+        "Cross-module transfer (605.mcf_s seeded from 429.mcf's store)",
+        &[
+            "target",
+            "source_dist",
+            "seeds",
+            "cold_ncd",
+            "transfer_ncd",
+            "transfer_iters",
+        ],
+        &[vec![
+            target.name.to_string(),
+            format!("{:.4}", prior.source_distance.unwrap_or(f64::NAN)),
+            prior.seeds_injected.to_string(),
+            format!("{:.3}", cold.best_ncd),
+            format!("{:.3}", transferred.best_ncd),
+            transferred.iterations.to_string(),
+        ]],
+    );
+
+    let _ = fs::remove_file(&store_path);
+    let _ = fs::remove_file(std::env::temp_dir().join(format!(
+        "bintuner_priors_scratch_{}.btfs",
+        std::process::id()
+    )));
+}

@@ -22,6 +22,10 @@ pub struct IterationRow {
     /// Whether the fitness came from the persistent cross-run store (a
     /// warm-start hit; disjoint from `cache_hit`).
     pub persistent_hit: bool,
+    /// Whether this iteration's flag vector was injected into the
+    /// initial population by a mined prior (config transfer) rather than
+    /// bred or randomly generated.
+    pub seeded_from_prior: bool,
     /// Measured wall-clock seconds for this evaluation (0 for cache hits
     /// and for the sequential compat path, which does not measure).
     pub wall_seconds: f64,
@@ -95,15 +99,20 @@ impl Database {
         self.rows.iter().map(|r| r.wall_seconds).sum()
     }
 
+    /// Iterations whose flag vector was injected by a mined prior.
+    pub fn seeded_count(&self) -> usize {
+        self.rows.iter().filter(|r| r.seeded_from_prior).count()
+    }
+
     /// Export as CSV
-    /// (`iteration,ncd,best_ncd,elapsed_seconds,flags_enabled,cache_hit,persistent_hit,wall_seconds`).
+    /// (`iteration,ncd,best_ncd,elapsed_seconds,flags_enabled,cache_hit,persistent_hit,seeded_from_prior,wall_seconds`).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "iteration,ncd,best_ncd,elapsed_seconds,flags_enabled,cache_hit,persistent_hit,wall_seconds\n",
+            "iteration,ncd,best_ncd,elapsed_seconds,flags_enabled,cache_hit,persistent_hit,seeded_from_prior,wall_seconds\n",
         );
         for r in &self.rows {
             out.push_str(&format!(
-                "{},{:.6},{:.6},{:.3},{},{},{},{:.6}\n",
+                "{},{:.6},{:.6},{:.3},{},{},{},{},{:.6}\n",
                 r.iteration,
                 r.ncd,
                 r.best_ncd,
@@ -111,6 +120,7 @@ impl Database {
                 r.flags.iter().filter(|&&b| b).count(),
                 r.cache_hit as u8,
                 r.persistent_hit as u8,
+                r.seeded_from_prior as u8,
                 r.wall_seconds
             ));
         }
@@ -133,6 +143,7 @@ mod tests {
                 flags: vec![i % 2 == 0; 4],
                 cache_hit: i == 2,
                 persistent_hit: i == 3,
+                seeded_from_prior: i == 1,
                 wall_seconds: 0.001 * i as f64,
             });
         }
@@ -155,7 +166,7 @@ mod tests {
             .lines()
             .next()
             .unwrap()
-            .ends_with("cache_hit,persistent_hit,wall_seconds"));
+            .ends_with("cache_hit,persistent_hit,seeded_from_prior,wall_seconds"));
     }
 
     #[test]
@@ -164,7 +175,9 @@ mod tests {
         assert!((db.cache_hit_rate() - 0.25).abs() < 1e-12);
         assert!((db.persistent_hit_rate() - 0.25).abs() < 1e-12);
         assert!((db.wall_seconds() - 0.006).abs() < 1e-12);
+        assert_eq!(db.seeded_count(), 1);
         assert_eq!(Database::new().cache_hit_rate(), 0.0);
         assert_eq!(Database::new().persistent_hit_rate(), 0.0);
+        assert_eq!(Database::new().seeded_count(), 0);
     }
 }

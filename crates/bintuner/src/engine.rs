@@ -33,7 +33,7 @@
 //! score a fixed penalty fitness and are counted as constraint violations
 //! in [`EngineStats`], so one bad genome can't abort a long tuning run.
 
-use crate::store::{FitnessStore, StoreKey, StoredFitness};
+use crate::store::{FitnessStore, FlagBits, StoreKey, StoredFitness};
 use binrep::{Arch, Binary};
 use genetic::{Eval, Evaluator};
 use lzc::NcdBaseline;
@@ -215,12 +215,18 @@ impl<'a> FitnessEngine<'a> {
         module: &'a Module,
         arch: Arch,
         config: EngineConfig,
-        store: Option<FitnessStore>,
+        mut store: Option<FitnessStore>,
     ) -> Result<FitnessEngine<'a>, crate::TuneError> {
         let baseline_bin = compiler
             .compile_preset(module, minicc::OptLevel::O0, arch)
             .map_err(crate::TuneError::Baseline)?;
         let baseline = NcdBaseline::new(binrep::encode_binary(&baseline_bin));
+        if let Some(store) = &mut store {
+            // Record the module's shape signature so future runs on
+            // *other* modules can find this one as a transfer source
+            // (prior mining; unchanged features never grow the log).
+            store.record_module_features(module.content_hash(), module.features());
+        }
         Ok(FitnessEngine {
             compiler,
             module,
@@ -445,13 +451,16 @@ impl Evaluator for FitnessEngine<'_> {
         {
             if let Some(store) = &self.store {
                 let mut store = store.lock().unwrap();
-                for ((_, eff), result) in misses.iter().zip(&computed) {
+                for ((flags, eff), result) in misses.iter().zip(&computed) {
                     let (entry, _) = result.expect("every miss slot computed");
                     store.insert(
                         self.store_key(eff),
                         StoredFitness {
                             fitness: entry.fitness,
                             failed: entry.failed,
+                            // The representative vector makes the record
+                            // minable (per-flag priors, config transfer).
+                            flags: FlagBits::from_bools(flags),
                         },
                     );
                 }

@@ -45,12 +45,14 @@ pub mod db;
 pub mod engine;
 pub mod obfuscator;
 pub mod potency;
+pub mod priors;
 pub mod store;
 pub mod tuner;
 
 pub use db::{Database, IterationRow};
 pub use engine::{EngineConfig, EngineStats, FitnessEngine, FAILED_COMPILE_PENALTY};
 pub use obfuscator::{obfuscate, ObfuscatorConfig};
-pub use potency::{flag_potency, pearson, FlagPotency};
-pub use store::{FitnessStore, LoadReport, StoreKey, StoredFitness};
-pub use tuner::{PersistSummary, TuneError, TuneResult, Tuner, TunerConfig};
+pub use potency::{flag_potency, marginal_potency, pearson, FlagMarginal, FlagPotency};
+pub use priors::{mine_prior, PotencyPrior, PriorConfig, PriorMode};
+pub use store::{FitnessStore, FlagBits, LoadReport, StoreKey, StoredFitness};
+pub use tuner::{PersistSummary, PriorSummary, TuneError, TuneResult, Tuner, TunerConfig};

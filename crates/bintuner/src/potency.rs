@@ -1,6 +1,16 @@
 //! Flag-potency analysis (paper §5.3, Figure 7): approximate each flag's
 //! contribution by removing it from the tuned sequence and measuring the
 //! BinHunt difference-score drop, normalizing all drops to sum to 100%.
+//!
+//! Two potency estimators live here:
+//!
+//! * [`flag_potency`] — the paper's *leave-one-out* ablation on one tuned
+//!   sequence (expensive: one recompile + BinHunt diff per enabled flag).
+//! * [`FlagMarginal`] / [`marginal_potency`] — *observational* marginal
+//!   potency aggregated over many already-scored `(flag vector, fitness)`
+//!   samples, e.g. everything the persistent fitness store accumulated
+//!   across runs. Free at mining time (no compiles), and the statistical
+//!   substrate `bintuner::priors` turns into search priors.
 
 use binrep::Arch;
 use minicc::ast::Module;
@@ -67,6 +77,100 @@ pub fn flag_potency(
     out
 }
 
+/// Running marginal-potency statistics for one flag, accumulated over
+/// scored flag vectors.
+///
+/// The marginal potency of a flag is the mean fitness of the samples
+/// that had it enabled minus the mean fitness of those that did not — a
+/// cheap observational estimate of Figure 7's ablation signal, computable
+/// from stored records alone. It is confounded by co-occurring flags
+/// (presets enable groups together), which is why consumers weight it by
+/// [`FlagMarginal::confidence`] instead of trusting it outright.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FlagMarginal {
+    /// Samples with the flag enabled.
+    pub n_on: usize,
+    /// Samples with the flag disabled.
+    pub n_off: usize,
+    /// Fitness sum over enabled samples.
+    pub sum_on: f64,
+    /// Fitness sum over disabled samples.
+    pub sum_off: f64,
+}
+
+impl FlagMarginal {
+    /// Fold in one sample.
+    pub fn add(&mut self, enabled: bool, fitness: f64) {
+        if enabled {
+            self.n_on += 1;
+            self.sum_on += fitness;
+        } else {
+            self.n_off += 1;
+            self.sum_off += fitness;
+        }
+    }
+
+    /// Mean fitness with the flag on (0 without on-samples).
+    pub fn mean_on(&self) -> f64 {
+        if self.n_on == 0 {
+            0.0
+        } else {
+            self.sum_on / self.n_on as f64
+        }
+    }
+
+    /// Mean fitness with the flag off (0 without off-samples).
+    pub fn mean_off(&self) -> f64 {
+        if self.n_off == 0 {
+            0.0
+        } else {
+            self.sum_off / self.n_off as f64
+        }
+    }
+
+    /// Marginal potency: `mean_on − mean_off`. Zero unless both sides
+    /// have support (a one-sided flag carries no contrast).
+    pub fn potency(&self) -> f64 {
+        if self.n_on == 0 || self.n_off == 0 {
+            0.0
+        } else {
+            self.mean_on() - self.mean_off()
+        }
+    }
+
+    /// Confidence weight in `[0, 1]`: the balanced support ramp
+    /// `min(n_on, n_off) / min_support`, saturating at 1. A flag seen
+    /// only ever on (or only ever off) has zero confidence — its potency
+    /// is not identified by the data.
+    pub fn confidence(&self, min_support: usize) -> f64 {
+        let balanced = self.n_on.min(self.n_off);
+        if balanced == 0 {
+            0.0
+        } else {
+            (balanced as f64 / min_support.max(1) as f64).min(1.0)
+        }
+    }
+}
+
+/// Aggregate per-flag [`FlagMarginal`]s over `(flag vector, fitness)`
+/// samples. Vectors whose width differs from `n_flags` are skipped (they
+/// were recorded against a different profile).
+pub fn marginal_potency<'a>(
+    n_flags: usize,
+    samples: impl IntoIterator<Item = (&'a [bool], f64)>,
+) -> Vec<FlagMarginal> {
+    let mut stats = vec![FlagMarginal::default(); n_flags];
+    for (flags, fitness) in samples {
+        if flags.len() != n_flags {
+            continue;
+        }
+        for (stat, &on) in stats.iter_mut().zip(flags) {
+            stat.add(on, fitness);
+        }
+    }
+    stats
+}
+
 /// Pearson correlation coefficient between two equal-length samples
 /// (paper Figure 10: NCD vs BinHunt score correlation).
 pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
@@ -109,6 +213,56 @@ mod tests {
         for w in pot.windows(2) {
             assert!(w[0].share >= w[1].share);
         }
+    }
+
+    #[test]
+    fn marginal_potency_recovers_a_planted_signal() {
+        // Flag 0 adds +0.3 to fitness, flag 1 is pure noise-free neutral,
+        // flag 2 subtracts 0.2. The marginals must recover the signs and
+        // magnitudes exactly on this noiseless design.
+        let mut samples: Vec<(Vec<bool>, f64)> = Vec::new();
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    let fitness = 0.5 + if a { 0.3 } else { 0.0 } - if c { 0.2 } else { 0.0 };
+                    samples.push((vec![a, b, c], fitness));
+                }
+            }
+        }
+        let stats = marginal_potency(3, samples.iter().map(|(f, v)| (f.as_slice(), *v)));
+        assert!(
+            (stats[0].potency() - 0.3).abs() < 1e-12,
+            "{}",
+            stats[0].potency()
+        );
+        assert!(stats[1].potency().abs() < 1e-12);
+        assert!((stats[2].potency() + 0.2).abs() < 1e-12);
+        assert_eq!(stats[0].n_on, 4);
+        assert_eq!(stats[0].n_off, 4);
+        assert_eq!(stats[0].confidence(4), 1.0);
+        assert_eq!(stats[0].confidence(8), 0.5);
+    }
+
+    #[test]
+    fn one_sided_flags_have_no_identified_potency() {
+        let samples = [(vec![true, false], 0.9), (vec![true, false], 0.4)];
+        let stats = marginal_potency(2, samples.iter().map(|(f, v)| (f.as_slice(), *v)));
+        // Flag 0 always on, flag 1 always off: no contrast either way.
+        assert_eq!(stats[0].potency(), 0.0);
+        assert_eq!(stats[1].potency(), 0.0);
+        assert_eq!(stats[0].confidence(1), 0.0);
+        assert_eq!(stats[1].confidence(1), 0.0);
+    }
+
+    #[test]
+    fn mismatched_sample_widths_are_skipped() {
+        let samples = [
+            (vec![true, true], 1.0),
+            (vec![true], 100.0), // foreign profile: ignored
+        ];
+        let stats = marginal_potency(2, samples.iter().map(|(f, v)| (f.as_slice(), *v)));
+        assert_eq!(stats[0].n_on, 1);
+        assert_eq!(stats[0].sum_on, 1.0);
     }
 
     #[test]

@@ -10,6 +10,13 @@
 //!   pure function of. All components come from `minicc`'s stable
 //!   canonical hashing ([`minicc::StableHasher`]), never from
 //!   `std`'s process-seeded hashers, so keys survive restarts.
+//! * **Minable records** — besides the fitness itself, each record
+//!   carries the *representative flag vector* that produced it (as a
+//!   fixed-width bitmap, [`FlagBits`]), and the store additionally keeps
+//!   one [`ModuleFeatures`] record per module. Together these are what
+//!   `bintuner::priors` mines into per-flag potency priors and
+//!   cross-module config transfer — the paper's "future exploration" —
+//!   without needing the original sources at mining time.
 //! * **Append-only log + compaction** — each run appends only the
 //!   configurations it actually compiled, as fixed-size checksummed
 //!   records, in one `write_all`. When dead records (overwritten keys)
@@ -27,7 +34,8 @@
 //! only — it has no serialization runtime), and is versioned: bump
 //! [`FORMAT_VERSION`] whenever the record layout *or* any canonical hash
 //! encoding changes, so stale files degrade to a cold start instead of
-//! being misread.
+//! being misread. Version 2 added the flag bitmap and module-features
+//! records; version-1 files load as a clean cold start.
 //!
 //! Concurrency: one store value is owned by one tuning run at a time
 //! (the engine wraps it in a `Mutex`). Two *processes* appending to the
@@ -38,7 +46,7 @@
 
 use binrep::Arch;
 use bytes::BufMut;
-use minicc::CompilerKind;
+use minicc::{CompilerKind, ModuleFeatures};
 use std::collections::HashMap;
 use std::fs;
 use std::io::{self, Write};
@@ -48,19 +56,39 @@ use std::path::{Path, PathBuf};
 pub const MAGIC: [u8; 4] = *b"BTFS";
 
 /// On-disk format version. Covers the header/record layout *and* the
-/// canonical encodings behind [`minicc::ast::Module::content_hash`] and
-/// [`minicc::EffectConfig::stable_digest`] — a mismatch is a clean cold
-/// start, never a misread.
-pub const FORMAT_VERSION: u32 = 1;
+/// canonical encodings behind [`minicc::ast::Module::content_hash`],
+/// [`minicc::EffectConfig::stable_digest`], and the
+/// [`minicc::ModuleFeatures`] component meanings — a mismatch is a clean
+/// cold start, never a misread.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Widest flag vector a stored bitmap can represent. Both modelled
+/// profiles are well under this; a hypothetical wider profile stores an
+/// empty bitmap (the fitness entry itself is unaffected — only prior
+/// mining skips it).
+pub const MAX_STORED_FLAGS: usize = 192;
+
+const FLAG_BYTES: usize = MAX_STORED_FLAGS / 8;
 
 const HEADER_LEN: usize = 8;
+/// Tagged record payload: 1 tag byte + 61 body bytes (the fitness body:
 /// module_hash(8) + compiler(1) + arch(1) + digest(16) + fitness(8) +
-/// failed(1) payload, plus a 4-byte FNV-1a checksum.
-const RECORD_PAYLOAD_LEN: usize = 35;
+/// failed(1) + n_flags(2) + flag bitmap(24); the features body is
+/// shorter and zero-padded to the same width), plus a 4-byte FNV-1a
+/// checksum.
+const RECORD_BODY_LEN: usize = 61;
+const RECORD_PAYLOAD_LEN: usize = 1 + RECORD_BODY_LEN;
 const RECORD_LEN: usize = RECORD_PAYLOAD_LEN + 4;
 /// Compaction floor: below this many disk records, dead entries are not
 /// worth a rewrite.
 const COMPACT_MIN_RECORDS: usize = 64;
+
+const TAG_FITNESS: u8 = 0;
+const TAG_MODULE_FEATURES: u8 = 1;
+
+// The features body (module_hash + N u32 counts) must fit the fixed
+// record body; growing ModuleFeatures::N past this is a format change.
+const _: () = assert!(8 + 4 * ModuleFeatures::N <= RECORD_BODY_LEN);
 
 /// The cache key a fitness result is filed under.
 ///
@@ -103,6 +131,78 @@ pub fn arch_tag(arch: Arch) -> u8 {
     }
 }
 
+/// A fixed-width bitmap of a flag vector — the minable "which flags were
+/// on" half of a stored fitness record.
+///
+/// Width-checked: the bitmap remembers how many flags the source vector
+/// had, so a prior miner can reject records written against a different
+/// profile width instead of misreading them.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct FlagBits {
+    n: u16,
+    bits: [u8; FLAG_BYTES],
+}
+
+impl FlagBits {
+    /// The empty bitmap (no flag vector recorded).
+    pub fn empty() -> FlagBits {
+        FlagBits {
+            n: 0,
+            bits: [0; FLAG_BYTES],
+        }
+    }
+
+    /// Capture a flag vector. Vectors wider than [`MAX_STORED_FLAGS`]
+    /// cannot be represented and yield the empty bitmap (the caller's
+    /// fitness entry is still stored; only mining skips it).
+    pub fn from_bools(flags: &[bool]) -> FlagBits {
+        if flags.is_empty() || flags.len() > MAX_STORED_FLAGS {
+            return FlagBits::empty();
+        }
+        let mut out = FlagBits {
+            n: flags.len() as u16,
+            bits: [0; FLAG_BYTES],
+        };
+        for (i, &on) in flags.iter().enumerate() {
+            if on {
+                out.bits[i / 8] |= 1 << (i % 8);
+            }
+        }
+        out
+    }
+
+    /// Number of flags the source vector had (0 = nothing recorded).
+    pub fn len(&self) -> usize {
+        usize::from(self.n)
+    }
+
+    /// Whether no flag vector was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Whether flag `i` was enabled (false out of range).
+    pub fn get(&self, i: usize) -> bool {
+        i < self.len() && self.bits[i / 8] & (1 << (i % 8)) != 0
+    }
+
+    /// Reconstruct the flag vector.
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+}
+
+impl std::fmt::Debug for FlagBits {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FlagBits({}/{} on)",
+            (0..self.len()).filter(|&i| self.get(i)).count(),
+            self.len()
+        )
+    }
+}
+
 /// One persisted fitness result.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StoredFitness {
@@ -111,13 +211,27 @@ pub struct StoredFitness {
     pub fitness: f64,
     /// Whether the compile failed constraint checking.
     pub failed: bool,
+    /// Representative flag vector that produced this result (empty when
+    /// unknown, e.g. records written before the vector was captured).
+    pub flags: FlagBits,
+}
+
+impl StoredFitness {
+    /// A result with no recorded flag vector.
+    pub fn new(fitness: f64, failed: bool) -> StoredFitness {
+        StoredFitness {
+            fitness,
+            failed,
+            flags: FlagBits::empty(),
+        }
+    }
 }
 
 /// What [`FitnessStore::load`] found on disk — telemetry for warm-start
 /// reporting and the recovery tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LoadReport {
-    /// Records decoded and kept.
+    /// Records decoded and kept (fitness and module-features records).
     pub valid_records: usize,
     /// Trailing bytes dropped (truncation or checksum corruption).
     pub dropped_bytes: usize,
@@ -129,7 +243,15 @@ pub struct LoadReport {
     pub missing: bool,
 }
 
-/// A disk-backed map from [`StoreKey`] to [`StoredFitness`].
+/// A record queued for the next save, in insertion order.
+#[derive(Debug, Clone, Copy)]
+enum PendingRecord {
+    Fitness(StoreKey, StoredFitness),
+    Features(u64, ModuleFeatures),
+}
+
+/// A disk-backed map from [`StoreKey`] to [`StoredFitness`], plus one
+/// [`ModuleFeatures`] entry per module for prior mining.
 ///
 /// All mutation is in-memory until [`FitnessStore::save`]; the engine
 /// inserts fresh results as it compiles, and the tuner saves once at the
@@ -138,8 +260,10 @@ pub struct LoadReport {
 pub struct FitnessStore {
     path: Option<PathBuf>,
     entries: HashMap<StoreKey, StoredFitness>,
-    /// Entries inserted since the last save, in insertion order.
-    pending: Vec<(StoreKey, StoredFitness)>,
+    /// Per-module shape features (see [`minicc::ModuleFeatures`]).
+    features: HashMap<u64, ModuleFeatures>,
+    /// Records inserted since the last save, in insertion order.
+    pending: Vec<PendingRecord>,
     /// Records currently in the file, including dead (overwritten) ones.
     disk_records: usize,
     /// The file must be rewritten wholesale (corrupt/foreign/missing
@@ -195,11 +319,9 @@ impl FitnessStore {
                     .try_into()
                     .unwrap(),
             );
-            if checksum(payload) != stored {
+            if checksum(payload) != stored || !self.decode_record(payload) {
                 break;
             }
-            let (key, value) = decode_payload(payload);
-            self.entries.insert(key, value);
             self.disk_records += 1;
             off += RECORD_LEN;
         }
@@ -209,6 +331,26 @@ impl FitnessStore {
             // misalign every future record, so force a rewrite.
             self.report.dropped_bytes = bytes.len() - off;
             self.needs_rewrite = true;
+        }
+    }
+
+    /// Decode one checksum-verified payload into the in-memory maps.
+    /// Returns false for an unknown tag (treated as a corrupt tail —
+    /// same-version files only ever carry known tags).
+    fn decode_record(&mut self, payload: &[u8]) -> bool {
+        let body = &payload[1..];
+        match payload[0] {
+            TAG_FITNESS => {
+                let (key, value) = decode_fitness(body);
+                self.entries.insert(key, value);
+                true
+            }
+            TAG_MODULE_FEATURES => {
+                let (hash, feats) = decode_features(body);
+                self.features.insert(hash, feats);
+                true
+            }
+            _ => false,
         }
     }
 
@@ -222,19 +364,25 @@ impl FitnessStore {
         self.report
     }
 
-    /// Number of live entries.
+    /// Number of live fitness entries (module-features records are
+    /// bookkeeping and not counted).
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// Whether the store holds no entries.
+    /// Whether the store holds no fitness entries.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
-    /// Entries inserted since the last [`FitnessStore::save`].
+    /// Fitness entries inserted since the last [`FitnessStore::save`]
+    /// (module-features records piggyback on the save but are not
+    /// counted — they are identity metadata, not results).
     pub fn pending_len(&self) -> usize {
-        self.pending.len()
+        self.pending
+            .iter()
+            .filter(|r| matches!(r, PendingRecord::Fitness(..)))
+            .count()
     }
 
     /// Look up a persisted result.
@@ -242,8 +390,15 @@ impl FitnessStore {
         self.entries.get(key).copied()
     }
 
+    /// Iterate all live fitness entries (mining input; arbitrary order —
+    /// consumers that need determinism must sort).
+    pub fn entries(&self) -> impl Iterator<Item = (&StoreKey, &StoredFitness)> {
+        self.entries.iter()
+    }
+
     /// Insert (or overwrite) a result; queued for the next save. An
-    /// insert that matches the stored value bit-for-bit is a no-op, so
+    /// insert whose fitness and failure bit match the stored value
+    /// bit-for-bit is a no-op (the flag bitmap is advisory metadata), so
     /// re-tuning a warm target never grows the log.
     pub fn insert(&mut self, key: StoreKey, value: StoredFitness) {
         if self.entries.get(&key).is_some_and(|v| {
@@ -252,7 +407,30 @@ impl FitnessStore {
             return;
         }
         self.entries.insert(key, value);
-        self.pending.push((key, value));
+        self.pending.push(PendingRecord::Fitness(key, value));
+    }
+
+    /// Record a module's shape features (queued for the next save;
+    /// unchanged features are a no-op so warm re-runs never grow the
+    /// log). The engine calls this once per run for the tuned module.
+    pub fn record_module_features(&mut self, module_hash: u64, feats: ModuleFeatures) {
+        if self.features.get(&module_hash) == Some(&feats) {
+            return;
+        }
+        self.features.insert(module_hash, feats);
+        self.pending
+            .push(PendingRecord::Features(module_hash, feats));
+    }
+
+    /// A module's recorded shape features, if any.
+    pub fn module_features(&self, module_hash: u64) -> Option<ModuleFeatures> {
+        self.features.get(&module_hash).copied()
+    }
+
+    /// Iterate all modules with recorded features (arbitrary order —
+    /// consumers that need determinism must sort).
+    pub fn modules_with_features(&self) -> impl Iterator<Item = (u64, ModuleFeatures)> + '_ {
+        self.features.iter().map(|(&h, &f)| (h, f))
     }
 
     /// Flush pending entries to disk.
@@ -276,9 +454,10 @@ impl FitnessStore {
             return Ok(());
         }
         let future_records = self.disk_records + self.pending.len();
+        let live = self.entries.len() + self.features.len();
         let compact = self.needs_rewrite
             || !path.exists()
-            || (future_records >= COMPACT_MIN_RECORDS && self.entries.len() * 2 <= future_records);
+            || (future_records >= COMPACT_MIN_RECORDS && live * 2 <= future_records);
         if compact {
             self.rewrite(&path)
         } else {
@@ -287,18 +466,22 @@ impl FitnessStore {
     }
 
     fn rewrite(&mut self, path: &Path) -> io::Result<()> {
-        let mut buf: Vec<u8> = Vec::with_capacity(HEADER_LEN + self.entries.len() * RECORD_LEN);
+        let live = self.entries.len() + self.features.len();
+        let mut buf: Vec<u8> = Vec::with_capacity(HEADER_LEN + live * RECORD_LEN);
         buf.put_slice(&MAGIC);
         buf.put_u32_le(FORMAT_VERSION);
+        for (&hash, feats) in &self.features {
+            encode_features_record(hash, feats, &mut buf);
+        }
         for (key, value) in &self.entries {
-            encode_record(key, value, &mut buf);
+            encode_fitness_record(key, value, &mut buf);
         }
         let mut tmp = path.as_os_str().to_owned();
         tmp.push(".tmp");
         let tmp = PathBuf::from(tmp);
         fs::write(&tmp, &buf)?;
         fs::rename(&tmp, path)?;
-        self.disk_records = self.entries.len();
+        self.disk_records = live;
         self.pending.clear();
         self.needs_rewrite = false;
         Ok(())
@@ -306,8 +489,13 @@ impl FitnessStore {
 
     fn append(&mut self, path: &Path) -> io::Result<()> {
         let mut buf: Vec<u8> = Vec::with_capacity(self.pending.len() * RECORD_LEN);
-        for (key, value) in &self.pending {
-            encode_record(key, value, &mut buf);
+        for rec in &self.pending {
+            match rec {
+                PendingRecord::Fitness(key, value) => encode_fitness_record(key, value, &mut buf),
+                PendingRecord::Features(hash, feats) => {
+                    encode_features_record(*hash, feats, &mut buf)
+                }
+            }
         }
         let mut file = fs::OpenOptions::new().append(true).open(path)?;
         file.write_all(&buf)?;
@@ -327,8 +515,20 @@ fn checksum(payload: &[u8]) -> u32 {
     state
 }
 
-fn encode_record(key: &StoreKey, value: &StoredFitness, out: &mut Vec<u8>) {
+/// Append the checksum over the record payload written since `start`,
+/// after zero-padding the body to its fixed width.
+fn finish_record(start: usize, out: &mut Vec<u8>) {
+    while out.len() - start < RECORD_PAYLOAD_LEN {
+        out.put_u8(0);
+    }
+    debug_assert_eq!(out.len() - start, RECORD_PAYLOAD_LEN);
+    let ck = checksum(&out[start..]);
+    out.put_u32_le(ck);
+}
+
+fn encode_fitness_record(key: &StoreKey, value: &StoredFitness, out: &mut Vec<u8>) {
     let start = out.len();
+    out.put_u8(TAG_FITNESS);
     out.put_u64_le(key.module_hash);
     out.put_u8(key.compiler);
     out.put_u8(key.arch);
@@ -336,24 +536,51 @@ fn encode_record(key: &StoreKey, value: &StoredFitness, out: &mut Vec<u8>) {
     out.put_u64_le(key.effect_digest as u64);
     out.put_u64_le(value.fitness.to_bits());
     out.put_u8(value.failed as u8);
-    debug_assert_eq!(out.len() - start, RECORD_PAYLOAD_LEN);
-    let ck = checksum(&out[start..]);
-    out.put_u32_le(ck);
+    out.put_u16_le(value.flags.n);
+    out.put_slice(&value.flags.bits);
+    finish_record(start, out);
 }
 
-fn decode_payload(payload: &[u8]) -> (StoreKey, StoredFitness) {
-    let u64_at = |off: usize| u64::from_le_bytes(payload[off..off + 8].try_into().unwrap());
+fn encode_features_record(module_hash: u64, feats: &ModuleFeatures, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.put_u8(TAG_MODULE_FEATURES);
+    out.put_u64_le(module_hash);
+    for &c in &feats.counts {
+        out.put_u32_le(c);
+    }
+    finish_record(start, out);
+}
+
+fn decode_fitness(body: &[u8]) -> (StoreKey, StoredFitness) {
+    let u64_at = |off: usize| u64::from_le_bytes(body[off..off + 8].try_into().unwrap());
     let key = StoreKey {
         module_hash: u64_at(0),
-        compiler: payload[8],
-        arch: payload[9],
+        compiler: body[8],
+        arch: body[9],
         effect_digest: (u128::from(u64_at(10)) << 64) | u128::from(u64_at(18)),
     };
+    let n = u16::from_le_bytes(body[35..37].try_into().unwrap());
+    let mut flags = FlagBits {
+        n: n.min(MAX_STORED_FLAGS as u16),
+        bits: [0; FLAG_BYTES],
+    };
+    flags.bits.copy_from_slice(&body[37..37 + FLAG_BYTES]);
     let value = StoredFitness {
         fitness: f64::from_bits(u64_at(26)),
-        failed: payload[34] != 0,
+        failed: body[34] != 0,
+        flags,
     };
     (key, value)
+}
+
+fn decode_features(body: &[u8]) -> (u64, ModuleFeatures) {
+    let hash = u64::from_le_bytes(body[0..8].try_into().unwrap());
+    let mut feats = ModuleFeatures::default();
+    for (i, c) in feats.counts.iter_mut().enumerate() {
+        let off = 8 + 4 * i;
+        *c = u32::from_le_bytes(body[off..off + 4].try_into().unwrap());
+    }
+    (hash, feats)
 }
 
 #[cfg(test)]
@@ -384,7 +611,20 @@ mod tests {
         StoredFitness {
             fitness: i as f64 * 0.125 + 0.25,
             failed: i.is_multiple_of(7),
+            flags: FlagBits::from_bools(
+                &(0..140)
+                    .map(|b| (b as u64 + i).is_multiple_of(3))
+                    .collect::<Vec<_>>(),
+            ),
         }
+    }
+
+    fn feats(i: u32) -> ModuleFeatures {
+        let mut f = ModuleFeatures::default();
+        for (j, c) in f.counts.iter_mut().enumerate() {
+            *c = i * 10 + j as u32;
+        }
+        f
     }
 
     #[test]
@@ -395,19 +635,39 @@ mod tests {
         for i in 0..20 {
             store.insert(key(i), value(i));
         }
+        store.record_module_features(0xFEA7, feats(3));
         store.save().unwrap();
 
         let reloaded = FitnessStore::load(&path);
         assert_eq!(reloaded.len(), 20);
-        assert_eq!(reloaded.report().valid_records, 20);
+        assert_eq!(reloaded.report().valid_records, 21);
         assert_eq!(reloaded.report().dropped_bytes, 0);
         for i in 0..20 {
             let got = reloaded.get(&key(i)).unwrap();
             assert_eq!(got.fitness.to_bits(), value(i).fitness.to_bits());
             assert_eq!(got.failed, value(i).failed);
+            assert_eq!(got.flags, value(i).flags);
+            assert_eq!(got.flags.to_bools().len(), 140);
         }
         assert_eq!(reloaded.get(&key(99)), None);
+        assert_eq!(reloaded.module_features(0xFEA7), Some(feats(3)));
+        assert_eq!(reloaded.module_features(0xDEAD), None);
         fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn flag_bits_round_trip_and_bounds() {
+        let v: Vec<bool> = (0..137).map(|i| i % 5 == 0).collect();
+        let bits = FlagBits::from_bools(&v);
+        assert_eq!(bits.len(), 137);
+        assert_eq!(bits.to_bools(), v);
+        assert!(!bits.get(500), "out of range reads false");
+
+        assert!(FlagBits::from_bools(&[]).is_empty());
+        let too_wide = vec![true; MAX_STORED_FLAGS + 1];
+        assert!(FlagBits::from_bools(&too_wide).is_empty());
+        let exactly = vec![true; MAX_STORED_FLAGS];
+        assert_eq!(FlagBits::from_bools(&exactly).to_bools(), exactly);
     }
 
     #[test]
@@ -430,6 +690,28 @@ mod tests {
             len_one + RECORD_LEN as u64
         );
         assert_eq!(FitnessStore::load(&path).len(), 2);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unchanged_module_features_do_not_grow_the_log() {
+        let path = scratch("feat_noop");
+        let mut first = FitnessStore::load(&path);
+        first.record_module_features(7, feats(1));
+        first.save().unwrap();
+        let len_one = fs::metadata(&path).unwrap().len();
+
+        let mut second = FitnessStore::load(&path);
+        second.record_module_features(7, feats(1));
+        assert!(second.pending.is_empty());
+        second.save().unwrap();
+        assert_eq!(fs::metadata(&path).unwrap().len(), len_one);
+
+        // Changed features do append (and win on reload).
+        let mut third = FitnessStore::load(&path);
+        third.record_module_features(7, feats(9));
+        third.save().unwrap();
+        assert_eq!(FitnessStore::load(&path).module_features(7), Some(feats(9)));
         fs::remove_file(&path).unwrap();
     }
 
@@ -479,13 +761,36 @@ mod tests {
     }
 
     #[test]
+    fn unknown_record_tag_is_treated_as_corrupt_tail() {
+        let path = scratch("unknown_tag");
+        let mut store = FitnessStore::load(&path);
+        for i in 0..4 {
+            store.insert(key(i), value(i));
+        }
+        store.save().unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        // Corrupt the third record's tag and re-checksum it so only the
+        // tag-dispatch path (not the checksum) rejects it.
+        let off = HEADER_LEN + 2 * RECORD_LEN;
+        bytes[off] = 0xEE;
+        let ck = checksum(&bytes[off..off + RECORD_PAYLOAD_LEN]);
+        bytes[off + RECORD_PAYLOAD_LEN..off + RECORD_LEN].copy_from_slice(&ck.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+
+        let recovered = FitnessStore::load(&path);
+        assert_eq!(recovered.len(), 2);
+        assert!(recovered.report().dropped_bytes > 0);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn version_mismatch_is_a_cold_start() {
         let path = scratch("version");
         let mut bytes = Vec::new();
         bytes.put_slice(&MAGIC);
         bytes.put_u32_le(FORMAT_VERSION + 1);
         let mut dummy = Vec::new();
-        encode_record(&key(0), &value(0), &mut dummy);
+        encode_fitness_record(&key(0), &value(0), &mut dummy);
         bytes.extend_from_slice(&dummy);
         fs::write(&path, &bytes).unwrap();
 
@@ -518,17 +823,13 @@ mod tests {
         // the log accumulates dead records until compaction rewrites it.
         for round in 0..(COMPACT_MIN_RECORDS as u64 + 8) {
             let mut store = FitnessStore::load(&path);
-            store.insert(
-                key(0),
-                StoredFitness {
-                    fitness: round as f64,
-                    failed: false,
-                },
-            );
+            store.insert(key(0), StoredFitness::new(round as f64, false));
+            store.record_module_features(0xC0, feats(0));
             store.save().unwrap();
         }
         let final_store = FitnessStore::load(&path);
         assert_eq!(final_store.len(), 1);
+        assert_eq!(final_store.module_features(0xC0), Some(feats(0)));
         let size = fs::metadata(&path).unwrap().len() as usize;
         assert!(
             size < HEADER_LEN + COMPACT_MIN_RECORDS / 2 * RECORD_LEN,

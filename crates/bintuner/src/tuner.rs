@@ -5,6 +5,7 @@
 
 use crate::db::{Database, IterationRow};
 use crate::engine::{EngineConfig, EngineStats, FitnessEngine, FAILED_COMPILE_PENALTY};
+use crate::priors::{mine_prior, PriorConfig, PriorMode};
 use crate::store::FitnessStore;
 use binrep::{Arch, Binary};
 use genetic::{Ga, GaParams, GaRun, StopReason, Termination};
@@ -46,6 +47,19 @@ pub struct TunerConfig {
     /// defaults to `false`, under which [`Tuner::tune`] stays
     /// bit-identical to [`Tuner::tune_sequential`].
     pub dedup: bool,
+    /// Prior mining over the persistent store (requires
+    /// [`TunerConfig::cache_path`]; a configured mode without a store is
+    /// inert). [`PriorMode::Off`] (the default) is bit-identical to a
+    /// prior-free tuner; `SeedOnly`/`SeedAndBias` mine the loaded store
+    /// into a [`crate::PotencyPrior`] that seeds the initial population
+    /// (and, for `SeedAndBias`, biases per-flag mutation). An *empty*
+    /// store mines an empty prior, so the run degrades exactly to the
+    /// unseeded cold run — differentially tested.
+    pub priors: PriorMode,
+    /// Mining knobs (seed count, confidence support, bias band) applied
+    /// whenever [`TunerConfig::priors`] is on. The default preserves the
+    /// differential guarantees above.
+    pub prior_config: PriorConfig,
 }
 
 impl Default for TunerConfig {
@@ -65,6 +79,8 @@ impl Default for TunerConfig {
             workers: 0,
             cache_path: None,
             dedup: false,
+            priors: PriorMode::Off,
+            prior_config: PriorConfig::default(),
         }
     }
 }
@@ -122,6 +138,34 @@ pub struct PersistSummary {
     pub save_error: Option<String>,
 }
 
+/// What a mined prior contributed to one run (present iff
+/// [`TunerConfig::priors`] was not [`PriorMode::Off`] and a store was
+/// configured).
+#[derive(Debug, Clone)]
+pub struct PriorSummary {
+    /// The mode the run used.
+    pub mode: PriorMode,
+    /// Store records mined (profile/arch-matching, flag-carrying).
+    pub mined_records: usize,
+    /// Seeds actually evaluated in the initial population (clipped by
+    /// population size; 0 for an empty prior).
+    pub seeds_injected: usize,
+    /// Content hash of the module the seeds were transferred from
+    /// (`None` for an empty prior).
+    pub source_module: Option<u64>,
+    /// Shape distance from the tuned module to the source (0 = itself).
+    pub source_distance: Option<f64>,
+    /// Best fitness among the evaluated seeds (prior hit quality;
+    /// `None` when nothing was seeded).
+    pub seed_best_ncd: Option<f64>,
+    /// Whether a transferred seed achieved the run's final best fitness
+    /// — the strongest form of a prior "hit".
+    pub seed_matched_best: bool,
+    /// Flags whose mutation weight the prior moved off neutral (0 in
+    /// [`PriorMode::SeedOnly`]).
+    pub biased_flags: usize,
+}
+
 /// The outcome of one tuning run.
 #[derive(Debug, Clone)]
 pub struct TuneResult {
@@ -151,6 +195,9 @@ pub struct TuneResult {
     /// Persistent-store activity ([`TunerConfig::cache_path`]; `None`
     /// when no store is configured).
     pub persistence: Option<PersistSummary>,
+    /// What the mined prior contributed ([`TunerConfig::priors`];
+    /// `None` when priors are off or no store is configured).
+    pub prior: Option<PriorSummary>,
 }
 
 /// BinTuner: tunes a module's optimization flags to maximize binary code
@@ -202,6 +249,23 @@ impl Tuner {
         };
         let store = self.config.cache_path.as_ref().map(FitnessStore::load);
         let loaded_entries = store.as_ref().map_or(0, FitnessStore::len);
+        let profile = self.compiler.profile();
+        // Mine the loaded store into a prior before the engine takes
+        // ownership of it. PriorMode::Off takes no prior path at all, and
+        // an empty store mines an empty prior (no seeds, uniform bias):
+        // both leave the GA inputs — and thus the run — bit-identical to
+        // a prior-free tuner.
+        let prior_cfg = &self.config.prior_config;
+        let prior = match (&store, self.config.priors) {
+            (Some(store), PriorMode::SeedOnly | PriorMode::SeedAndBias) => Some(mine_prior(
+                store,
+                profile,
+                self.config.arch,
+                module,
+                prior_cfg,
+            )),
+            _ => None,
+        };
         let engine = match store {
             Some(store) => FitnessEngine::with_store(
                 &self.compiler,
@@ -212,8 +276,14 @@ impl Tuner {
             )?,
             None => FitnessEngine::new(&self.compiler, module, self.config.arch, engine_config)?,
         };
-        let profile = self.compiler.profile();
-        let mut ga = Ga::new(profile.n_flags(), self.config.ga.clone(), self.config.seed);
+        let mut ga_params = self.config.ga.clone();
+        if let Some(prior) = &prior {
+            ga_params.seeded_initial = prior.seeds.clone();
+            if self.config.priors == PriorMode::SeedAndBias {
+                ga_params.mutation_bias = prior.mutation_bias(prior_cfg);
+            }
+        }
+        let mut ga = Ga::new(profile.n_flags(), ga_params, self.config.seed);
         let repair = |flags: &[bool], seed: u64| profile.constraints().repair(flags, seed);
         let run: GaRun = if self.config.dedup {
             ga.run_batched_dedup(
@@ -252,7 +322,32 @@ impl Tuner {
                 save_error,
             }
         });
-        self.finish(module, run, baseline, stats, persistence)
+        let prior_summary = prior.map(|p| {
+            let seed_best_ncd = run
+                .history
+                .iter()
+                .filter(|r| r.seeded)
+                .map(|r| r.fitness)
+                .fold(None, |acc: Option<f64>, f| {
+                    Some(acc.map_or(f, |a| a.max(f)))
+                });
+            PriorSummary {
+                mode: self.config.priors,
+                mined_records: p.mined_records,
+                seeds_injected: run.seeded_evaluations,
+                source_module: p.source_module,
+                source_distance: p.source_distance,
+                seed_best_ncd,
+                seed_matched_best: seed_best_ncd
+                    .is_some_and(|f| f.to_bits() == run.best_fitness.to_bits()),
+                biased_flags: if self.config.priors == PriorMode::SeedAndBias {
+                    p.biased_flag_count(prior_cfg)
+                } else {
+                    0
+                },
+            }
+        });
+        self.finish(module, run, baseline, stats, persistence, prior_summary)
     }
 
     /// Reference path: evaluate one individual at a time through the
@@ -283,7 +378,7 @@ impl Tuner {
             |flags, seed| profile.constraints().repair(flags, seed),
             &self.config.termination,
         );
-        self.finish(module, run, baseline, EngineStats::default(), None)
+        self.finish(module, run, baseline, EngineStats::default(), None, None)
     }
 
     /// Shared post-processing: fill the iteration database, recompile the
@@ -295,6 +390,7 @@ impl Tuner {
         baseline: Binary,
         engine_stats: EngineStats,
         persistence: Option<PersistSummary>,
+        prior: Option<PriorSummary>,
     ) -> Result<TuneResult, TuneError> {
         let mut db = Database::new();
         for rec in &run.history {
@@ -306,6 +402,7 @@ impl Tuner {
                 flags: rec.genes.clone(),
                 cache_hit: rec.cache_hit,
                 persistent_hit: rec.persistent_hit,
+                seeded_from_prior: rec.seeded,
                 wall_seconds: rec.wall_seconds,
             });
         }
@@ -325,6 +422,7 @@ impl Tuner {
             engine_stats,
             skipped_duplicates: run.skipped_duplicates,
             persistence,
+            prior,
         })
     }
 }
@@ -333,6 +431,11 @@ impl Tuner {
 mod tests {
     use super::*;
 
+    /// Unit-test twin of `testutil::small_tuner` — unusable here
+    /// directly: inside the crate's own unit tests, `testutil`'s
+    /// `bintuner` is the *dependency* build, whose `TunerConfig` is a
+    /// distinct type from `crate::TunerConfig`. Integration suites use
+    /// the shared fixture.
     fn small_config(max_evals: usize) -> TunerConfig {
         TunerConfig {
             termination: Termination {
@@ -390,11 +493,27 @@ mod tests {
 
     #[test]
     fn tuning_is_deterministic() {
+        // Two back-to-back runs with an identical config must produce
+        // identical *trajectories* — every iteration's flags, fitness
+        // bits, and charged time — not merely the same winner. (Measured
+        // wall_seconds is telemetry and deliberately excluded: it is the
+        // one field wall-clock is allowed to touch.)
         let bench = corpus::by_name("648.exchange2_s").unwrap();
         let r1 = Tuner::new(small_config(60)).tune(&bench.module).unwrap();
         let r2 = Tuner::new(small_config(60)).tune(&bench.module).unwrap();
         assert_eq!(r1.best_flags, r2.best_flags);
+        assert_eq!(r1.best_ncd.to_bits(), r2.best_ncd.to_bits());
         assert_eq!(r1.iterations, r2.iterations);
+        assert_eq!(r1.stopped_by, r2.stopped_by);
+        assert_eq!(r1.db.rows().len(), r2.db.rows().len());
+        for (a, b) in r1.db.rows().iter().zip(r2.db.rows()) {
+            assert_eq!(a.flags, b.flags, "iteration {}", a.iteration);
+            assert_eq!(a.ncd.to_bits(), b.ncd.to_bits());
+            assert_eq!(a.best_ncd.to_bits(), b.best_ncd.to_bits());
+            assert_eq!(a.elapsed_seconds.to_bits(), b.elapsed_seconds.to_bits());
+            assert_eq!(a.cache_hit, b.cache_hit);
+            assert_eq!(a.seeded_from_prior, b.seeded_from_prior);
+        }
     }
 
     #[test]

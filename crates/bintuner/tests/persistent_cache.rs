@@ -4,42 +4,21 @@
 //! degrade to a cold run, never an error.
 
 use bintuner::{Tuner, TunerConfig};
-use genetic::{GaParams, Termination};
 use std::fs;
 use std::path::PathBuf;
-
-/// Unique scratch path per test (no tempfile crate in the container).
-fn scratch(name: &str) -> PathBuf {
-    let p = std::env::temp_dir().join(format!(
-        "bintuner_warm_{}_{}.btfs",
-        std::process::id(),
-        name
-    ));
-    let _ = fs::remove_file(&p);
-    p
-}
+use testutil::{small_tuner, ScratchStore};
 
 fn config(cache_path: Option<PathBuf>) -> TunerConfig {
     TunerConfig {
-        termination: Termination {
-            max_evaluations: 90,
-            min_evaluations: 45,
-            plateau_window: 30,
-            ..Default::default()
-        },
-        ga: GaParams {
-            population: 10,
-            ..Default::default()
-        },
-        workers: 2,
         cache_path,
-        ..Default::default()
+        ..small_tuner(90)
     }
 }
 
 #[test]
 fn warm_run_matches_cold_run_with_fewer_compiles() {
-    let path = scratch("warm_matches_cold");
+    let store = ScratchStore::new("warm_matches_cold");
+    let path = store.path_buf();
     let bench = corpus::by_name("429.mcf").unwrap();
 
     let cold = Tuner::new(config(Some(path.clone())))
@@ -88,13 +67,12 @@ fn warm_run_matches_cold_run_with_fewer_compiles() {
     assert_eq!(cold.db.persistent_hit_rate(), 0.0);
     let header = warm.db.to_csv().lines().next().unwrap().to_string();
     assert!(header.contains("persistent_hit"), "{header}");
-
-    fs::remove_file(&path).unwrap();
 }
 
 #[test]
 fn corrupt_store_degrades_to_cold_run() {
-    let path = scratch("corrupt_degrades");
+    let store = ScratchStore::new("corrupt_degrades");
+    let path = store.path_buf();
     fs::write(&path, b"\x00\x01garbage that is certainly not BTFS").unwrap();
     let bench = corpus::by_name("473.astar").unwrap();
 
@@ -120,13 +98,12 @@ fn corrupt_store_degrades_to_cold_run() {
         .unwrap();
     assert!(warm.engine_stats.persistent_hits > 0);
     assert_eq!(warm.best_flags, reference.best_flags);
-
-    fs::remove_file(&path).unwrap();
 }
 
 #[test]
 fn store_separates_modules_profiles_and_arches() {
-    let path = scratch("key_separation");
+    let store = ScratchStore::new("key_separation");
+    let path = store.path_buf();
     let mcf = corpus::by_name("429.mcf").unwrap();
     let astar = corpus::by_name("473.astar").unwrap();
 
@@ -158,8 +135,6 @@ fn store_separates_modules_profiles_and_arches() {
         .unwrap();
     assert!(warm.engine_stats.persistent_hits > 0);
     assert_eq!(warm.best_flags, r1.best_flags);
-
-    fs::remove_file(&path).unwrap();
 }
 
 #[test]

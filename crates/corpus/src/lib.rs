@@ -42,6 +42,25 @@ mod tests {
     use minicc::{Compiler, CompilerKind, OptLevel};
 
     #[test]
+    fn shape_features_separate_benchmark_families() {
+        // Prior mining transfers configs between shape-similar modules:
+        // the two mcf generations must land nearer each other than
+        // either lands to the switch/string-heavy Coreutils blob, and
+        // features must be deterministic across regeneration.
+        let mcf06 = by_name("429.mcf").unwrap();
+        let mcf17 = by_name("605.mcf_s").unwrap();
+        let utils = coreutils();
+        let within = mcf06.features().distance(&mcf17.features());
+        let across = mcf06.features().distance(&utils.features());
+        assert!(within < across, "within {within} !< across {across}");
+        assert_eq!(
+            by_name("429.mcf").unwrap().features(),
+            mcf06.features(),
+            "regeneration must reproduce features exactly"
+        );
+    }
+
+    #[test]
     fn content_hashes_are_unique_and_stable() {
         // The persistent fitness store keys on these hashes: collisions
         // would silently cross-contaminate caches between benchmarks,

@@ -62,6 +62,14 @@ impl Benchmark {
     pub fn content_hash(&self) -> u64 {
         self.module.content_hash()
     }
+
+    /// Structural shape features of the benchmark's module — the
+    /// coarse, perturbation-tolerant identity prior mining uses to find
+    /// transfer sources among stored modules (see
+    /// [`minicc::ModuleFeatures`]).
+    pub fn features(&self) -> minicc::ModuleFeatures {
+        self.module.features()
+    }
 }
 
 fn mk(name: &'static str, suite: Suite, profile: Profile) -> Benchmark {

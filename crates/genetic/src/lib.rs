@@ -107,8 +107,56 @@ impl<F: FnMut(&[bool]) -> (f64, f64)> Evaluator for FnEvaluator<F> {
     }
 }
 
+/// Per-gene mutation-rate multipliers — how a learned prior biases the
+/// search toward the genes that historically moved fitness.
+///
+/// [`MutationBias::uniform`] (the default) applies no table at all: the
+/// mutation loop takes exactly the code path it always took, so runs are
+/// *bit-identical* to a bias-free GA — the guarantee the differential
+/// tests pin. A weighted table multiplies the base
+/// [`GaParams::mutation_rate`] per gene (clamped to `[0, 1]`), so weight
+/// `1.0` is neutral, `> 1.0` explores a gene more, `< 1.0` less. Weights
+/// are sanitized at construction: non-finite values become `1.0`
+/// (neutral) and negatives become `0.0`, so a degenerate prior can never
+/// panic the RNG.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MutationBias {
+    weights: Option<Vec<f64>>,
+}
+
+impl MutationBias {
+    /// No bias: every gene mutates at the base rate (bit-identical to a
+    /// GA without bias support).
+    pub fn uniform() -> MutationBias {
+        MutationBias::default()
+    }
+
+    /// A per-gene weight table (sanitized; see type docs). The table
+    /// length must match the chromosome width — a mismatched table is
+    /// ignored (treated as uniform) rather than panicking mid-run.
+    pub fn from_weights(weights: Vec<f64>) -> MutationBias {
+        let weights = weights
+            .into_iter()
+            .map(|w| if w.is_finite() { w.max(0.0) } else { 1.0 })
+            .collect();
+        MutationBias {
+            weights: Some(weights),
+        }
+    }
+
+    /// Whether this is the uniform (no-table) bias.
+    pub fn is_uniform(&self) -> bool {
+        self.weights.is_none()
+    }
+
+    /// The weight table, if any.
+    pub fn weights(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+}
+
 /// Genetic-algorithm parameters (the four the paper tunes, plus
-/// population shape).
+/// population shape and the prior-derived search hints).
 #[derive(Debug, Clone)]
 pub struct GaParams {
     /// Number of individuals per generation.
@@ -125,6 +173,18 @@ pub struct GaParams {
     pub tournament: usize,
     /// Individuals carried over unchanged each generation.
     pub elitism: usize,
+    /// Genomes injected into the initial population (after the all-off
+    /// and all-on baselines, before the random fill) — how a prior seeds
+    /// the search with configurations that scored well before. Seeds are
+    /// repaired like any other individual and marked in the history
+    /// ([`EvalRecord::seeded`]). Empty (the default) leaves the initial
+    /// population — and the RNG stream — exactly as without seeding.
+    /// Seeds whose length does not match the chromosome width, or beyond
+    /// the available population slots, are ignored.
+    pub seeded_initial: Vec<Vec<bool>>,
+    /// Prior-derived per-gene mutation weights (uniform by default; see
+    /// [`MutationBias`]).
+    pub mutation_bias: MutationBias,
 }
 
 impl Default for GaParams {
@@ -137,6 +197,8 @@ impl Default for GaParams {
             crossover_strength: 0.6,
             tournament: 3,
             elitism: 2,
+            seeded_initial: Vec::new(),
+            mutation_bias: MutationBias::uniform(),
         }
     }
 }
@@ -189,6 +251,10 @@ pub struct EvalRecord {
     /// Whether the evaluation was served from a persistent (cross-run)
     /// store.
     pub persistent_hit: bool,
+    /// Whether this individual was injected into the initial population
+    /// from [`GaParams::seeded_initial`] (a prior-transferred seed)
+    /// rather than bred or randomly generated.
+    pub seeded: bool,
     /// Measured wall-clock seconds for this evaluation (0 when the
     /// evaluator does not measure).
     pub wall_seconds: f64,
@@ -218,6 +284,9 @@ pub struct GaRun {
     /// Offspring discarded before evaluation because their digest was
     /// already seen (only [`Ga::run_batched_dedup`] produces these).
     pub skipped_duplicates: usize,
+    /// Evaluations of prior-injected seeds ([`GaParams::seeded_initial`];
+    /// 0 when no seeds were configured or none fit the population).
+    pub seeded_evaluations: usize,
     /// Total measured wall-clock seconds across evaluations (0 when the
     /// evaluator does not measure).
     pub wall_seconds: f64,
@@ -262,10 +331,26 @@ impl Ga {
 
     fn mutate(&mut self, genes: &mut [bool]) {
         let mut flipped = 0usize;
-        for g in genes.iter_mut() {
-            if self.rng.gen_bool(self.params.mutation_rate) {
-                *g = !*g;
-                flipped += 1;
+        // A weight table only applies when it matches the chromosome
+        // width; the uniform path below is the historical code path,
+        // untouched so unbiased runs stay bit-identical.
+        match self.params.mutation_bias.weights() {
+            Some(w) if w.len() == genes.len() => {
+                for (g, &weight) in genes.iter_mut().zip(w) {
+                    let p = (self.params.mutation_rate * weight).clamp(0.0, 1.0);
+                    if self.rng.gen_bool(p) {
+                        *g = !*g;
+                        flipped += 1;
+                    }
+                }
+            }
+            _ => {
+                for g in genes.iter_mut() {
+                    if self.rng.gen_bool(self.params.mutation_rate) {
+                        *g = !*g;
+                        flipped += 1;
+                    }
+                }
             }
         }
         while flipped < self.params.must_mutate_count {
@@ -394,30 +479,48 @@ impl Ga {
             evals: 0,
             cache_hits: 0,
             persistent_hits: 0,
+            seeded_evals: 0,
         };
         let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
         let mut skipped_duplicates = 0usize;
         let stopped;
 
-        // Initial population: the all-off vector, a dense vector, and
-        // random ones — all repaired, evaluated as one batch.
-        let initial: Vec<Vec<bool>> = (0..self.params.population)
+        // Initial population: the all-off vector, a dense vector,
+        // prior-injected seeds (if any), and random ones — all repaired,
+        // evaluated as one batch. Seeds fill slots without consuming RNG,
+        // so an empty seed list leaves the stream — and therefore the
+        // whole run — bit-identical to a seed-free GA.
+        let seeds: Vec<&Vec<bool>> = self
+            .params
+            .seeded_initial
+            .iter()
+            .filter(|s| s.len() == self.n_genes)
+            .collect();
+        let initial: Vec<(Vec<bool>, bool)> = (0..self.params.population)
             .map(|k| {
-                let raw: Vec<bool> = match k {
-                    0 => vec![false; self.n_genes],
-                    1 => vec![true; self.n_genes],
-                    _ => (0..self.n_genes).map(|_| self.rng.gen_bool(0.5)).collect(),
+                let (raw, seeded): (Vec<bool>, bool) = match k {
+                    0 => (vec![false; self.n_genes], false),
+                    1 => (vec![true; self.n_genes], false),
+                    _ => match seeds.get(k - 2) {
+                        Some(&s) => (s.clone(), true),
+                        None => (
+                            (0..self.n_genes).map(|_| self.rng.gen_bool(0.5)).collect(),
+                            false,
+                        ),
+                    },
                 };
-                repair(&raw, k as u64)
+                (repair(&raw, k as u64), seeded)
             })
             .collect();
+        let seeded_mask: Vec<bool> = initial.iter().map(|(_, s)| *s).collect();
+        let initial: Vec<Vec<bool>> = initial.into_iter().map(|(g, _)| g).collect();
         if let Some(digest) = digest {
             for g in &initial {
                 seen.insert(digest(g));
             }
         }
         let results = evaluator.evaluate_batch(&initial);
-        let (fitnesses, _) = state.commit(&initial, &results, false, term);
+        let (fitnesses, _) = state.commit(&initial, &results, &seeded_mask, false, term);
         let mut population: Vec<(Vec<bool>, f64)> = initial.into_iter().zip(fitnesses).collect();
 
         loop {
@@ -480,7 +583,7 @@ impl Ga {
                 })
                 .collect();
             let results = evaluator.evaluate_batch(&offspring);
-            let (fitnesses, cut) = state.commit(&offspring, &results, true, term);
+            let (fitnesses, cut) = state.commit(&offspring, &results, &[], true, term);
             population = elites;
             population.extend(offspring.into_iter().zip(fitnesses));
             if cut {
@@ -500,6 +603,7 @@ impl Ga {
             cache_hits: state.cache_hits,
             persistent_hits: state.persistent_hits,
             skipped_duplicates,
+            seeded_evaluations: state.seeded_evals,
             wall_seconds: state.wall,
         }
     }
@@ -514,31 +618,36 @@ struct RunState {
     evals: usize,
     cache_hits: usize,
     persistent_hits: usize,
+    seeded_evals: usize,
 }
 
 impl RunState {
     /// Commit a batch's results in order. When `bounded`, stop at the
     /// first evaluation after which a budget criterion fires; the
     /// remaining results are discarded uncounted (the sequential loop
-    /// would never have started them). Returns every genome's fitness
-    /// (committed or not, so the caller can build a full population) and
-    /// whether the budget cut the batch short.
+    /// would never have started them). `seeded` marks prior-injected
+    /// individuals positionally (pass `&[]` for bred batches). Returns
+    /// every genome's fitness (committed or not, so the caller can build
+    /// a full population) and whether the budget cut the batch short.
     fn commit(
         &mut self,
         genomes: &[Vec<bool>],
         results: &[Eval],
+        seeded: &[bool],
         bounded: bool,
         term: &Termination,
     ) -> (Vec<f64>, bool) {
         debug_assert_eq!(genomes.len(), results.len());
         let fitnesses: Vec<f64> = results.iter().map(|e| e.fitness).collect();
         let mut cut = false;
-        for (genes, eval) in genomes.iter().zip(results) {
+        for (i, (genes, eval)) in genomes.iter().zip(results).enumerate() {
+            let was_seeded = seeded.get(i).copied().unwrap_or(false);
             self.evals += 1;
             self.elapsed += eval.cost_seconds;
             self.wall += eval.wall_seconds;
             self.cache_hits += eval.cache_hit as usize;
             self.persistent_hits += eval.persistent_hit as usize;
+            self.seeded_evals += was_seeded as usize;
             if eval.fitness > self.best.1 {
                 self.best = (genes.clone(), eval.fitness);
             }
@@ -550,6 +659,7 @@ impl RunState {
                 elapsed_seconds: self.elapsed,
                 cache_hit: eval.cache_hit,
                 persistent_hit: eval.persistent_hit,
+                seeded: was_seeded,
                 wall_seconds: eval.wall_seconds,
             });
             if bounded
@@ -829,6 +939,179 @@ mod tests {
         assert_eq!(a.best_genes, b.best_genes);
         assert_eq!(a.evaluations, b.evaluations);
         assert_eq!(a.skipped_duplicates, b.skipped_duplicates);
+    }
+
+    /// Record-for-record equality of two runs (the strongest form of
+    /// "did not change the search").
+    fn assert_identical_runs(a: &GaRun, b: &GaRun) {
+        assert_eq!(a.best_genes, b.best_genes);
+        assert_eq!(a.best_fitness.to_bits(), b.best_fitness.to_bits());
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.stopped_by, b.stopped_by);
+        assert_eq!(a.history.len(), b.history.len());
+        for (x, y) in a.history.iter().zip(&b.history) {
+            assert_eq!(x.genes, y.genes, "iteration {}", x.iteration);
+            assert_eq!(x.fitness.to_bits(), y.fitness.to_bits());
+            assert_eq!(x.best_so_far.to_bits(), y.best_so_far.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_seeds_and_neutral_weights_are_bit_identical() {
+        // The two prior hooks in their "off" positions must not move a
+        // single record: explicit all-1.0 weights and an explicit empty
+        // seed list both reproduce the default run exactly.
+        let term = Termination {
+            max_evaluations: 400,
+            plateau_growth: 0.0,
+            ..Default::default()
+        };
+        let baseline = Ga::new(16, GaParams::default(), 21).run_batched(
+            &BatchOnemax::new(),
+            |g, _| g.to_vec(),
+            &term,
+        );
+        let hooks_off = GaParams {
+            seeded_initial: Vec::new(),
+            mutation_bias: MutationBias::from_weights(vec![1.0; 16]),
+            ..Default::default()
+        };
+        let run =
+            Ga::new(16, hooks_off, 21).run_batched(&BatchOnemax::new(), |g, _| g.to_vec(), &term);
+        assert_identical_runs(&baseline, &run);
+        assert_eq!(run.seeded_evaluations, 0);
+        assert!(run.history.iter().all(|r| !r.seeded));
+    }
+
+    #[test]
+    fn seeds_enter_initial_population_and_are_marked() {
+        let good = vec![true; 12];
+        let params = GaParams {
+            seeded_initial: vec![good.clone(), vec![false; 12]],
+            ..Default::default()
+        };
+        let run = Ga::new(12, params, 4).run_batched(
+            &BatchOnemax::new(),
+            |g, _| g.to_vec(),
+            &Termination {
+                max_evaluations: 100,
+                ..Default::default()
+            },
+        );
+        // Slots 0 and 1 are the fixed baselines; slots 2 and 3 carry the
+        // seeds verbatim (repair here is identity) and are flagged.
+        assert_eq!(run.history[2].genes, good);
+        assert!(run.history[2].seeded && run.history[3].seeded);
+        assert!(!run.history[0].seeded && !run.history[1].seeded);
+        assert!(!run.history[4].seeded);
+        assert_eq!(run.seeded_evaluations, 2);
+        assert_eq!(
+            run.seeded_evaluations,
+            run.history.iter().filter(|r| r.seeded).count()
+        );
+    }
+
+    #[test]
+    fn mismatched_seeds_are_ignored() {
+        // Wrong-width seeds must not enter the population (or consume the
+        // slots that random individuals would fill).
+        let params = GaParams {
+            seeded_initial: vec![vec![true; 7], vec![true; 99]],
+            ..Default::default()
+        };
+        let seeded = Ga::new(12, params, 8).run_batched(
+            &BatchOnemax::new(),
+            |g, _| g.to_vec(),
+            &Termination {
+                max_evaluations: 60,
+                ..Default::default()
+            },
+        );
+        let plain = Ga::new(12, GaParams::default(), 8).run_batched(
+            &BatchOnemax::new(),
+            |g, _| g.to_vec(),
+            &Termination {
+                max_evaluations: 60,
+                ..Default::default()
+            },
+        );
+        assert_identical_runs(&plain, &seeded);
+        assert_eq!(seeded.seeded_evaluations, 0);
+    }
+
+    #[test]
+    fn mutation_bias_steers_gene_flip_frequency() {
+        // Freeze gene 5 (weight 0) and super-heat gene 2 (weight far
+        // above the base rate): across a run, gene 5 must never flip away
+        // from its repaired state and gene 2 must churn.
+        let mut weights = vec![1.0; 12];
+        weights[5] = 0.0;
+        weights[2] = 20.0;
+        let params = GaParams {
+            mutation_bias: MutationBias::from_weights(weights),
+            must_mutate_count: 0,
+            ..Default::default()
+        };
+        let run = Ga::new(12, params, 6).run_batched(
+            &BatchOnemax::new(),
+            |g, _| g.to_vec(),
+            &Termination {
+                max_evaluations: 400,
+                plateau_growth: 0.0,
+                ..Default::default()
+            },
+        );
+        let flips = |i: usize| {
+            run.history
+                .windows(2)
+                .filter(|w| w[0].genes[i] != w[1].genes[i])
+                .count()
+        };
+        assert!(
+            flips(2) > flips(5),
+            "hot {} vs frozen {}",
+            flips(2),
+            flips(5)
+        );
+    }
+
+    #[test]
+    fn mutation_bias_sanitizes_degenerate_weights() {
+        let b = MutationBias::from_weights(vec![f64::NAN, -3.0, f64::INFINITY, 0.5]);
+        assert_eq!(b.weights().unwrap(), &[1.0, 0.0, 1.0, 0.5]);
+        assert!(MutationBias::uniform().is_uniform());
+        assert!(!b.is_uniform());
+    }
+
+    #[test]
+    fn dedup_with_never_duplicate_digest_matches_run_batched() {
+        // PR 2's default-off invariant, locked in differentially: when the
+        // digest never reports a duplicate (every call yields a fresh
+        // class), `run_batched_dedup` must equal `run_batched` record for
+        // record — re-breeding is the *only* divergence dedup introduces.
+        let term = Termination {
+            max_evaluations: 500,
+            plateau_growth: 0.0,
+            ..Default::default()
+        };
+        let plain = Ga::new(20, GaParams::default(), 13).run_batched(
+            &BatchOnemax::new(),
+            |g, _| g.to_vec(),
+            &term,
+        );
+        let counter = std::cell::Cell::new(0u64);
+        let unique_digest = |_: &[bool]| {
+            counter.set(counter.get() + 1);
+            counter.get()
+        };
+        let dedup_off = Ga::new(20, GaParams::default(), 13).run_batched_dedup(
+            &BatchOnemax::new(),
+            |g, _| g.to_vec(),
+            unique_digest,
+            &term,
+        );
+        assert_identical_runs(&plain, &dedup_off);
+        assert_eq!(dedup_off.skipped_duplicates, 0);
     }
 
     #[test]

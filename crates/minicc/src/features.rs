@@ -1,0 +1,219 @@
+//! Structural shape features of a module — the "content-hash-adjacent"
+//! identity used for cross-module transfer.
+//!
+//! [`Module::content_hash`] is an exact identity: one changed constant
+//! re-keys the whole module. Transfer learning over the persistent
+//! fitness store (the paper's "future exploration": reuse what tuning one
+//! program taught about another) needs the opposite — a coarse,
+//! perturbation-tolerant signature under which *similar* programs land
+//! close together. [`ModuleFeatures`] is that signature: a small vector
+//! of structural counts (functions, loops, branches, calls, …) that two
+//! variants of the same program share almost exactly, while programs with
+//! different code-structure mixes (loop-heavy vs. switch-heavy, small vs.
+//! large) land far apart.
+//!
+//! The feature vector is part of the persistent store's on-disk format
+//! (`bintuner::store` records it per module so priors can be mined
+//! without the original sources): changing [`ModuleFeatures::N`] or the
+//! meaning of a component is a store-format change — bump the store's
+//! format version alongside.
+
+use crate::ast::{Expr, Module, Stmt};
+
+/// A fixed-length vector of structural counts describing a module's shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ModuleFeatures {
+    /// The counts, in the order documented on [`ModuleFeatures::feature_names`].
+    pub counts: [u32; ModuleFeatures::N],
+}
+
+impl ModuleFeatures {
+    /// Number of feature components.
+    pub const N: usize = 8;
+
+    /// Human-readable component names, index-aligned with
+    /// [`ModuleFeatures::counts`].
+    pub fn feature_names() -> [&'static str; ModuleFeatures::N] {
+        [
+            "functions",
+            "library_functions",
+            "global_words",
+            "ast_nodes",
+            "loops",
+            "branches",
+            "calls",
+            "max_function_nodes",
+        ]
+    }
+
+    /// Normalized L1 distance in `[0, 1)`: each component contributes
+    /// `|a − b| / (a + b + 1)`, averaged. Scale-free (a 10-vs-20-loop gap
+    /// counts like a 100-vs-200 gap), symmetric, zero iff equal, and
+    /// deterministic — the properties the nearest-module lookup needs.
+    pub fn distance(&self, other: &ModuleFeatures) -> f64 {
+        let mut total = 0.0;
+        for (&a, &b) in self.counts.iter().zip(&other.counts) {
+            let (a, b) = (f64::from(a), f64::from(b));
+            total += (a - b).abs() / (a + b + 1.0);
+        }
+        total / ModuleFeatures::N as f64
+    }
+}
+
+/// Saturating counter update (feature counts are `u32` on disk).
+fn bump(c: &mut u32, by: usize) {
+    *c = c.saturating_add(u32::try_from(by).unwrap_or(u32::MAX));
+}
+
+fn walk_expr(e: &Expr, calls: &mut u32) {
+    match e {
+        Expr::Const(_) | Expr::Var(_) | Expr::Global(_) | Expr::Str(_) | Expr::AddrOf(_) => {}
+        Expr::Index(_, i) => walk_expr(i, calls),
+        Expr::Bin(_, a, b) => {
+            walk_expr(a, calls);
+            walk_expr(b, calls);
+        }
+        Expr::Not(a) | Expr::Neg(a) => walk_expr(a, calls),
+        Expr::Call(_, args) | Expr::CallImport(_, args) => {
+            bump(calls, 1);
+            args.iter().for_each(|a| walk_expr(a, calls));
+        }
+    }
+}
+
+fn walk_body(body: &[Stmt], loops: &mut u32, branches: &mut u32, calls: &mut u32) {
+    for s in body {
+        match s {
+            Stmt::Assign(_, e) | Stmt::Return(e) | Stmt::ExprStmt(e) => walk_expr(e, calls),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                bump(branches, 1);
+                walk_expr(cond, calls);
+                walk_body(then_body, loops, branches, calls);
+                walk_body(else_body, loops, branches, calls);
+            }
+            Stmt::While { cond, body } => {
+                bump(loops, 1);
+                walk_expr(cond, calls);
+                walk_body(body, loops, branches, calls);
+            }
+            Stmt::For {
+                start, end, body, ..
+            } => {
+                bump(loops, 1);
+                walk_expr(start, calls);
+                walk_expr(end, calls);
+                walk_body(body, loops, branches, calls);
+            }
+            Stmt::Switch {
+                scrutinee,
+                cases,
+                default,
+            } => {
+                bump(branches, cases.len().max(1));
+                walk_expr(scrutinee, calls);
+                for (_, b) in cases {
+                    walk_body(b, loops, branches, calls);
+                }
+                walk_body(default, loops, branches, calls);
+            }
+        }
+    }
+}
+
+impl Module {
+    /// The module's structural shape features (see module docs).
+    ///
+    /// Deterministic in the AST, invariant under renaming nothing — this
+    /// is a *count* vector, so it is stable under the perturbations that
+    /// change [`Module::content_hash`] without changing program shape
+    /// (edited constants, renamed variables, reordered functions).
+    pub fn features(&self) -> ModuleFeatures {
+        let mut f = ModuleFeatures::default();
+        bump(&mut f.counts[0], self.funcs.len());
+        bump(
+            &mut f.counts[1],
+            self.funcs.iter().filter(|fd| fd.is_library).count(),
+        );
+        bump(
+            &mut f.counts[2],
+            self.globals.iter().map(|g| g.words.len()).sum(),
+        );
+        bump(&mut f.counts[3], self.size());
+        let (mut loops, mut branches, mut calls) = (0u32, 0u32, 0u32);
+        let mut max_fn = 0usize;
+        for func in &self.funcs {
+            walk_body(&func.body, &mut loops, &mut branches, &mut calls);
+            max_fn = max_fn.max(func.size());
+        }
+        f.counts[4] = loops;
+        f.counts[5] = branches;
+        f.counts[6] = calls;
+        bump(&mut f.counts[7], max_fn);
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, FuncDef};
+
+    fn loopy_module(name: &str, loops: usize) -> Module {
+        let mut m = Module::new(name);
+        let body: Vec<Stmt> = (0..loops)
+            .map(|i| Stmt::For {
+                var: "i".into(),
+                start: Expr::Const(0),
+                end: Expr::Const(10 + i as u32),
+                step: 1,
+                body: vec![Stmt::Assign(
+                    crate::ast::LValue::Var("x".into()),
+                    Expr::vc(BinOp::Add, "x", 1),
+                )],
+            })
+            .chain(std::iter::once(Stmt::Return(Expr::Var("x".into()))))
+            .collect();
+        let mut f = FuncDef::new("main", vec!["a".into()], body);
+        f.local("x");
+        f.local("i");
+        m.funcs.push(f);
+        m
+    }
+
+    #[test]
+    fn features_count_structure() {
+        let m = loopy_module("feat", 3);
+        let f = m.features();
+        assert_eq!(f.counts[0], 1, "functions");
+        assert_eq!(f.counts[4], 3, "loops");
+        assert_eq!(f.counts[5], 0, "branches");
+        assert!(f.counts[3] > 0, "ast nodes");
+    }
+
+    #[test]
+    fn distance_is_a_premetric_on_shapes() {
+        let a = loopy_module("a", 3).features();
+        let near = loopy_module("b", 4).features();
+        let far = loopy_module("c", 40).features();
+        assert_eq!(a.distance(&a), 0.0);
+        assert!((a.distance(&near) - near.distance(&a)).abs() < 1e-15);
+        assert!(a.distance(&near) < a.distance(&far));
+        assert!(a.distance(&far) < 1.0);
+    }
+
+    #[test]
+    fn features_tolerate_content_hash_perturbations() {
+        // An edited constant re-keys content_hash but not the shape.
+        let base = loopy_module("same", 5);
+        let mut edited = loopy_module("same", 5);
+        if let Stmt::For { end, .. } = &mut edited.funcs[0].body[0] {
+            *end = Expr::Const(999);
+        }
+        assert_ne!(base.content_hash(), edited.content_hash());
+        assert_eq!(base.features(), edited.features());
+    }
+}

@@ -33,11 +33,13 @@
 pub mod ast;
 pub mod astopt;
 pub mod codegen;
+pub mod features;
 pub mod flags;
 pub mod hash;
 pub mod magic;
 pub mod mir_opt;
 
+pub use features::ModuleFeatures;
 pub use flags::{CompilerKind, CompilerProfile, Effect, EffectConfig, FlagDef, OptLevel};
 pub use hash::StableHasher;
 

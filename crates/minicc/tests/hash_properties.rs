@@ -1,0 +1,237 @@
+//! Property-based tests for the stable canonical hashes behind the
+//! persistent fitness store's key space (`minicc::hash`).
+//!
+//! The store's correctness rests on two injectivity-flavored properties
+//! that unit tests only spot-check:
+//!
+//! * **EffectConfig sensitivity** — perturbing *any single field* of an
+//!   [`EffectConfig`] changes [`EffectConfig::stable_digest`]. A field
+//!   the digest ignored would silently alias distinct optimization
+//!   configurations to one cache entry.
+//! * **Module hash semantics** — [`Module::content_hash`] is invariant
+//!   under rebuilding a structurally identical AST from scratch (warm
+//!   starts depend on regenerated corpora re-keying identically), and
+//!   changes under any real AST edit.
+//!
+//! The perturbation builder destructures [`EffectConfig`] exhaustively,
+//! so adding a field without covering it here is a compile error — the
+//! same guard `stable_digest` itself uses.
+
+use minicc::ast::{BinOp, Expr, FuncDef, LValue, Module, Stmt};
+use minicc::EffectConfig;
+use proptest::prelude::*;
+
+/// Build an [`EffectConfig`] from generated raw material (no validity
+/// constraints: the digest must separate *any* distinct configs, not
+/// just reachable ones).
+fn config_from(bits: &[bool], nums: [usize; 2], aligns: [u8; 2], style: u64) -> EffectConfig {
+    let b = |i: usize| bits[i % bits.len()];
+    EffectConfig {
+        regalloc: b(0),
+        const_fold: b(1),
+        cse: b(2),
+        inline_threshold: nums[0],
+        partial_inline: b(3),
+        tail_calls: b(4),
+        unroll_factor: nums[1],
+        peel: b(5),
+        unswitch: b(6),
+        unroll_and_jam: b(7),
+        vectorize_loops: b(8),
+        vectorize_slp: b(9),
+        jump_tables: b(10),
+        if_convert: b(11),
+        if_convert2: b(12),
+        branch_count_reg: b(13),
+        peephole: b(14),
+        strength_reduce: b(15),
+        reorder_blocks: b(16),
+        reorder_partition: b(17),
+        reorder_functions: b(18),
+        align_loops: aligns[0],
+        align_functions: aligns[1],
+        merge_constants: b(19),
+        merge_all_constants: b(20),
+        merge_blocks: b(21),
+        builtin_expand: b(22),
+        licm: b(23),
+        loop_distribute: b(24),
+        style_bits: style,
+    }
+}
+
+/// Every single-field perturbation of `base`, labelled. Exhaustive by
+/// construction: the trailing destructuring makes a new `EffectConfig`
+/// field a compile error until it is perturbed here too.
+fn single_field_perturbations(base: &EffectConfig) -> Vec<(&'static str, EffectConfig)> {
+    let mut out: Vec<(&'static str, EffectConfig)> = Vec::new();
+    macro_rules! flip {
+        ($field:ident) => {{
+            let mut c = base.clone();
+            c.$field = !c.$field;
+            out.push((stringify!($field), c));
+        }};
+    }
+    macro_rules! bump {
+        ($field:ident) => {{
+            let mut c = base.clone();
+            c.$field = c.$field.wrapping_add(1);
+            out.push((stringify!($field), c));
+        }};
+    }
+    flip!(regalloc);
+    flip!(const_fold);
+    flip!(cse);
+    bump!(inline_threshold);
+    flip!(partial_inline);
+    flip!(tail_calls);
+    bump!(unroll_factor);
+    flip!(peel);
+    flip!(unswitch);
+    flip!(unroll_and_jam);
+    flip!(vectorize_loops);
+    flip!(vectorize_slp);
+    flip!(jump_tables);
+    flip!(if_convert);
+    flip!(if_convert2);
+    flip!(branch_count_reg);
+    flip!(peephole);
+    flip!(strength_reduce);
+    flip!(reorder_blocks);
+    flip!(reorder_partition);
+    flip!(reorder_functions);
+    bump!(align_loops);
+    bump!(align_functions);
+    flip!(merge_constants);
+    flip!(merge_all_constants);
+    flip!(merge_blocks);
+    flip!(builtin_expand);
+    flip!(licm);
+    flip!(loop_distribute);
+    bump!(style_bits);
+    // Exhaustiveness guard: add a field to EffectConfig and this stops
+    // compiling until the field gains a perturbation above.
+    let EffectConfig {
+        regalloc: _,
+        const_fold: _,
+        cse: _,
+        inline_threshold: _,
+        partial_inline: _,
+        tail_calls: _,
+        unroll_factor: _,
+        peel: _,
+        unswitch: _,
+        unroll_and_jam: _,
+        vectorize_loops: _,
+        vectorize_slp: _,
+        jump_tables: _,
+        if_convert: _,
+        if_convert2: _,
+        branch_count_reg: _,
+        peephole: _,
+        strength_reduce: _,
+        reorder_blocks: _,
+        reorder_partition: _,
+        reorder_functions: _,
+        align_loops: _,
+        align_functions: _,
+        merge_constants: _,
+        merge_all_constants: _,
+        merge_blocks: _,
+        builtin_expand: _,
+        licm: _,
+        loop_distribute: _,
+        style_bits: _,
+    } = base;
+    out
+}
+
+/// A deterministic little module built from generated constants: `k`
+/// functions of the form `f_i(a) { x = a + c_i; return x * 3; }`.
+fn build_module(name: &str, consts: &[u32]) -> Module {
+    let mut m = Module::new(name);
+    for (i, &c) in consts.iter().enumerate() {
+        let mut f = FuncDef::new(
+            format!("f_{i}"),
+            vec!["a".into()],
+            vec![
+                Stmt::Assign(LValue::Var("x".into()), Expr::vc(BinOp::Add, "a", c)),
+                Stmt::Return(Expr::vc(BinOp::Mul, "x", 3)),
+            ],
+        );
+        f.local("x");
+        m.funcs.push(f);
+    }
+    m.globals.push(minicc::ast::Global {
+        name: "g".into(),
+        words: consts.to_vec(),
+    });
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any single-field perturbation of any EffectConfig re-keys the
+    /// digest — no optimization dimension can be silently unhashed.
+    #[test]
+    fn prop_every_effect_config_field_moves_the_digest(
+        bits in proptest::collection::vec(any::<bool>(), 25),
+        inline in 0usize..100,
+        unroll in 1usize..9,
+        align_a in 0u8..65,
+        align_b in 0u8..65,
+        style in any::<u64>(),
+    ) {
+        let base = config_from(&bits, [inline, unroll], [align_a, align_b], style);
+        let base_digest = base.stable_digest();
+        for (field, perturbed) in single_field_perturbations(&base) {
+            prop_assert!(
+                perturbed.stable_digest() != base_digest,
+                "perturbing {} left the digest unchanged",
+                field
+            );
+        }
+    }
+
+    /// Rebuilding a structurally identical module from scratch re-keys
+    /// identically; any AST edit re-keys differently.
+    #[test]
+    fn prop_module_hash_tracks_structure_not_identity(
+        consts in proptest::collection::vec(1u32..1_000_000, 1..6),
+        edit_value in 1u32..1_000_000,
+    ) {
+        let m = build_module("prop_mod", &consts);
+        // Identity re-construction (fresh allocations, same structure).
+        prop_assert_eq!(m.content_hash(), build_module("prop_mod", &consts).content_hash());
+        // Clone is trivially identical too.
+        prop_assert_eq!(m.content_hash(), m.clone().content_hash());
+
+        // Renaming the module is an edit (the name reaches the binary).
+        prop_assert!(m.content_hash() != build_module("other_mod", &consts).content_hash());
+
+        // Editing one constant is an edit.
+        let mut edited = consts.clone();
+        edited[0] = edited[0].wrapping_add(edit_value).max(1);
+        if edited != consts {
+            prop_assert!(
+                m.content_hash() != build_module("prop_mod", &edited).content_hash()
+            );
+        }
+
+        // Appending a statement is an edit.
+        let mut grown = m.clone();
+        grown.funcs[0]
+            .body
+            .insert(0, Stmt::Assign(LValue::Var("x".into()), Expr::Const(7)));
+        prop_assert!(m.content_hash() != grown.content_hash());
+
+        // Reordering functions changes layout, hence the hash — but only
+        // when there are at least two distinct functions to swap.
+        if consts.len() >= 2 {
+            let mut swapped = m.clone();
+            swapped.funcs.swap(0, 1);
+            prop_assert!(m.content_hash() != swapped.content_hash());
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! # testutil — shared test scaffolding
+//!
+//! The integration suites (root `tests/*.rs`, `crates/bintuner/tests/*`)
+//! all need the same few fixtures: a unique scratch path for a persistent
+//! store, a deterministically small [`TunerConfig`], a tiny hand-built
+//! module, and an "run it on the emulator and collect output" helper.
+//! Before this crate each suite carried its own copy; they drifted (and
+//! will drift again) unless the scaffolding lives in one place.
+//!
+//! Everything here is deterministic: presets pin every seed, and the
+//! module builders are pure functions of their arguments. Nothing reads
+//! clocks or unseeded RNG — the suites assert reproducibility, so the
+//! scaffolding must never be the source of noise.
+
+#![warn(missing_docs)]
+
+use bintuner::TunerConfig;
+use genetic::{GaParams, Termination};
+use minicc::ast::{BinOp, Expr, FuncDef, LValue, Module, Stmt};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A unique scratch file path for a persistent-store test, removed on
+/// drop (and pre-removed at creation, so a crashed previous run cannot
+/// leak state into this one). No `tempfile` crate exists in the
+/// container; this is the shared stand-in.
+#[derive(Debug)]
+pub struct ScratchStore {
+    path: PathBuf,
+}
+
+impl ScratchStore {
+    /// A scratch path unique to this process and `name`.
+    pub fn new(name: &str) -> ScratchStore {
+        let path = std::env::temp_dir().join(format!(
+            "bintuner_test_{}_{}.btfs",
+            std::process::id(),
+            name
+        ));
+        let _ = fs::remove_file(&path);
+        ScratchStore { path }
+    }
+
+    /// The scratch path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The scratch path, owned (for `TunerConfig::cache_path`).
+    pub fn path_buf(&self) -> PathBuf {
+        self.path.clone()
+    }
+}
+
+impl Drop for ScratchStore {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// The small deterministic tuner preset used across the bintuner suites:
+/// population 10, `max_evals` evaluations with a half-budget minimum and
+/// a third-budget plateau window, 2 workers. Fully seeded — two runs of
+/// the same preset are bit-identical.
+pub fn small_tuner(max_evals: usize) -> TunerConfig {
+    TunerConfig {
+        termination: Termination {
+            max_evaluations: max_evals,
+            min_evaluations: max_evals / 2,
+            plateau_window: max_evals / 3,
+            ..Default::default()
+        },
+        ga: GaParams {
+            population: 10,
+            ..Default::default()
+        },
+        workers: 2,
+        ..Default::default()
+    }
+}
+
+/// The root integration-suite preset: default population, two-thirds
+/// minimum budget (the shape the paper-claim tests were written against).
+pub fn pipeline_tuner(max_evals: usize) -> TunerConfig {
+    TunerConfig {
+        termination: Termination {
+            max_evaluations: max_evals,
+            min_evaluations: max_evals * 2 / 3,
+            plateau_window: max_evals / 3,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Run a binary on the emulator and collect its output (panicking with
+/// the binary's name on failure — the shape every differential suite
+/// wants).
+pub fn observe(bin: &binrep::Binary, inputs: &[u32]) -> Vec<u32> {
+    emu::Machine::new(bin)
+        .run(&[], inputs, 20_000_000)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", bin.name))
+        .output
+}
+
+/// A tiny loop-heavy module: `main(a)` runs `loops` counted loops over an
+/// accumulator and returns it. Deterministic in its arguments; distinct
+/// `name`s give distinct [`Module::content_hash`]es with identical shape
+/// features — handy for store-key and transfer tests.
+pub fn tiny_loop_module(name: &str, loops: usize) -> Module {
+    let mut m = Module::new(name);
+    let body: Vec<Stmt> =
+        std::iter::once(Stmt::Assign(LValue::Var("x".into()), Expr::Var("a".into())))
+            .chain((0..loops).map(|i| Stmt::For {
+                var: "i".into(),
+                start: Expr::Const(0),
+                end: Expr::Const(8 + i as u32),
+                step: 1,
+                body: vec![Stmt::Assign(
+                    LValue::Var("x".into()),
+                    Expr::bin(
+                        BinOp::Add,
+                        Expr::Var("x".into()),
+                        Expr::bin(BinOp::Mul, Expr::Var("i".into()), Expr::Const(3)),
+                    ),
+                )],
+            }))
+            .chain(std::iter::once(Stmt::Return(Expr::Var("x".into()))))
+            .collect();
+    let mut f = FuncDef::new("main", vec!["a".into()], body);
+    f.local("x");
+    f.local("i");
+    m.funcs.push(f);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_store_cleans_up_after_itself() {
+        let path = {
+            let s = ScratchStore::new("selftest");
+            fs::write(s.path(), b"x").unwrap();
+            assert!(s.path().exists());
+            s.path_buf()
+        };
+        assert!(!path.exists(), "drop removed the scratch file");
+    }
+
+    #[test]
+    fn presets_are_deterministic_and_small() {
+        let a = small_tuner(60);
+        let b = small_tuner(60);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.ga.population, 10);
+        assert_eq!(a.termination.max_evaluations, 60);
+        assert_eq!(pipeline_tuner(90).termination.min_evaluations, 60);
+    }
+
+    #[test]
+    fn tiny_module_compiles_validates_and_hashes_by_name() {
+        let m = tiny_loop_module("t1", 3);
+        m.validate().unwrap();
+        let other = tiny_loop_module("t2", 3);
+        assert_ne!(m.content_hash(), other.content_hash());
+        assert_eq!(m.features(), other.features());
+        let cc = minicc::Compiler::new(minicc::CompilerKind::Gcc);
+        let bin = cc
+            .compile_preset(&m, minicc::OptLevel::O2, binrep::Arch::X86)
+            .unwrap();
+        let _ = observe(&bin, &[5, 0]); // must execute cleanly
+        assert!(bin.insn_count() > 0);
+    }
+}

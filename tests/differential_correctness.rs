@@ -8,13 +8,7 @@
 use minicc::{Compiler, CompilerKind, OptLevel};
 use rand::prelude::*;
 use rand::rngs::StdRng;
-
-fn observe(bin: &binrep::Binary, inputs: &[u32]) -> Vec<u32> {
-    emu::Machine::new(bin)
-        .run(&[], inputs, 20_000_000)
-        .unwrap_or_else(|e| panic!("{} failed: {e}", bin.name))
-        .output
-}
+use testutil::observe;
 
 #[test]
 fn presets_preserve_semantics_across_corpus() {

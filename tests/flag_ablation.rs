@@ -4,6 +4,7 @@
 //! signatures §3 of the paper says break diffing assumptions.
 
 use minicc::{Compiler, CompilerKind, OptLevel};
+use testutil::observe;
 
 fn base_flags(cc: &Compiler) -> Vec<bool> {
     cc.profile().preset(OptLevel::O1)
@@ -17,13 +18,6 @@ fn with_flag(cc: &Compiler, base: &[bool], name: &str) -> Vec<bool> {
         .unwrap_or_else(|| panic!("flag {name} exists"));
     f[i] = true;
     cc.profile().constraints().repair(&f, 1)
-}
-
-fn observe(bin: &binrep::Binary, inputs: &[u32]) -> Vec<u32> {
-    emu::Machine::new(bin)
-        .run(&[], inputs, 20_000_000)
-        .unwrap_or_else(|e| panic!("{}: {e}", bin.name))
-        .output
 }
 
 struct Ablation {

@@ -3,19 +3,11 @@
 //! scale.
 
 use bintuner::{Tuner, TunerConfig};
-use genetic::Termination;
 use minicc::{Compiler, CompilerKind, OptLevel};
 
+/// Shared deterministic preset (see `testutil`).
 fn small(max: usize) -> TunerConfig {
-    TunerConfig {
-        termination: Termination {
-            max_evaluations: max,
-            min_evaluations: max * 2 / 3,
-            plateau_window: max / 3,
-            ..Default::default()
-        },
-        ..Default::default()
-    }
+    testutil::pipeline_tuner(max)
 }
 
 #[test]

@@ -5,13 +5,7 @@
 
 use minicc::{Compiler, CompilerKind, OptLevel};
 use proptest::prelude::*;
-
-fn observe(bin: &binrep::Binary, inputs: &[u32]) -> Vec<u32> {
-    emu::Machine::new(bin)
-        .run(&[], inputs, 20_000_000)
-        .unwrap_or_else(|e| panic!("{} failed: {e}", bin.name))
-        .output
-}
+use testutil::observe;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
