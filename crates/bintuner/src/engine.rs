@@ -32,6 +32,14 @@
 //! Failed compiles (flag vectors that defeat repair) are not fatal: they
 //! score a fixed penalty fitness and are counted as constraint violations
 //! in [`EngineStats`], so one bad genome can't abort a long tuning run.
+//!
+//! The *other* deployment shape — the paper's actual client–server farm
+//! — plugs in underneath via [`MissExecutor`]: the engine still owns
+//! partition, caches, store and stats, but ships the deduplicated miss
+//! list to the `evald` service instead of its local pool (see
+//! `bintuner::service`). Because everything except the raw
+//! compile+score moves with the engine, the two shapes are bit-identical
+//! by construction.
 
 use crate::store::{FitnessStore, FlagBits, StoreKey, StoredFitness};
 use binrep::{Arch, Binary};
@@ -52,7 +60,36 @@ pub const FAILED_COMPILE_PENALTY: f64 = -1.0;
 pub struct EngineConfig {
     /// Worker threads per batch. `0` means auto (available parallelism,
     /// capped at 8). `1` evaluates sequentially on the calling thread.
+    /// Ignored when a [`MissExecutor`] is installed — the executor's farm
+    /// is the parallelism then.
     pub workers: usize,
+}
+
+/// The computed outcome of one dispatched miss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MissResult {
+    /// Fitness, bit-exact as the worker computed it.
+    pub fitness: f64,
+    /// Whether the compile failed constraint checking (scored
+    /// [`FAILED_COMPILE_PENALTY`]).
+    pub failed: bool,
+    /// Measured wall-clock seconds on the worker (telemetry).
+    pub wall_seconds: f64,
+}
+
+/// A pluggable backend for a batch's deduplicated miss list — the seam
+/// the evaluation service plugs into.
+///
+/// The engine keeps everything that makes runs reproducible and cheap —
+/// constraint pre-screening, all three cache tiers, store recording,
+/// stats — and hands an executor only the genomes that genuinely need a
+/// compile. An executor must return exactly one [`MissResult`] per miss,
+/// in order, and must be a pure function of each genome (bit-identical
+/// fitness wherever it runs): that is what makes a service-backed run
+/// replay the in-process trajectory exactly.
+pub trait MissExecutor: Sync {
+    /// Compile + score every miss, preserving order.
+    fn execute(&self, misses: &[Vec<bool>]) -> Vec<MissResult>;
 }
 
 impl EngineConfig {
@@ -91,6 +128,12 @@ pub struct EngineStats {
     /// persistent store, so a warm run reports the same count as the
     /// cold run it replays.
     pub failed_compiles: usize,
+    /// Results discarded by the evaluation service's straggler
+    /// re-dispatch (a shard answered by more than one client; first
+    /// result wins and duplicates are bit-identical). Always 0 for the
+    /// in-process pool; filled in from the service telemetry by the
+    /// tuner when `TunerConfig::backend` is a service.
+    pub duplicate_results: usize,
     /// Measured wall-clock seconds spent inside `evaluate_batch` — the
     /// quantity parallelism reduces (per-item CPU time is on each
     /// [`genetic::EvalRecord::wall_seconds`]).
@@ -161,6 +204,9 @@ pub struct FitnessEngine<'a> {
     /// fed every fresh result; recovered with
     /// [`FitnessEngine::into_store`] for the end-of-run save.
     store: Option<Mutex<FitnessStore>>,
+    /// When set, the deduplicated miss list is dispatched here (the
+    /// evaluation service) instead of the local worker pool.
+    executor: Option<&'a dyn MissExecutor>,
 }
 
 // The engine is shared by reference across scoped worker threads; keep
@@ -238,7 +284,27 @@ impl<'a> FitnessEngine<'a> {
             cache: Mutex::new(CacheState::default()),
             stats: Mutex::new(EngineStats::default()),
             store: store.map(Mutex::new),
+            executor: None,
         })
+    }
+
+    /// Route the miss list through `executor` (the evaluation service)
+    /// instead of the local worker pool. Partition, caching, store
+    /// recording and stats are unchanged — which is exactly why a
+    /// service-backed run is bit-identical to an in-process one.
+    pub fn set_executor(&mut self, executor: &'a dyn MissExecutor) {
+        self.executor = Some(executor);
+    }
+
+    /// Drain the fitness results recorded into the engine's store since
+    /// the last drain (the client side of the evaluation service ships
+    /// these back for the server-side store; see
+    /// [`FitnessStore::drain_pending_fitness`]). Empty for store-less
+    /// engines.
+    pub fn drain_pending_store(&self) -> Vec<(StoreKey, StoredFitness)> {
+        self.store
+            .as_ref()
+            .map_or_else(Vec::new, |s| s.lock().unwrap().drain_pending_fitness())
     }
 
     /// The persistent-store key for an effect configuration of this
@@ -408,12 +474,31 @@ impl Evaluator for FitnessEngine<'_> {
                 .collect()
         };
 
-        // Compile + score the misses on the worker pool (strided split:
-        // batch items have near-uniform cost, so static scheduling is fine
-        // and keeps the hot path allocation-free and lock-free).
+        // Compile + score the misses: on the installed executor (the
+        // evaluation service's client farm) when present, else on the
+        // local worker pool (strided split: batch items have near-uniform
+        // cost, so static scheduling is fine and keeps the hot path
+        // allocation-free and lock-free).
         let workers = self.config.resolved_workers().min(misses.len().max(1));
         let mut computed: Vec<Option<(CacheEntry, f64)>> = vec![None; misses.len()];
-        if workers <= 1 {
+        if let Some(executor) = self.executor {
+            let flags: Vec<Vec<bool>> = misses.iter().map(|(f, _)| (*f).clone()).collect();
+            let results = executor.execute(&flags);
+            assert_eq!(
+                results.len(),
+                misses.len(),
+                "executor must return one result per miss"
+            );
+            for (slot, r) in results.into_iter().enumerate() {
+                computed[slot] = Some((
+                    CacheEntry {
+                        fitness: r.fitness,
+                        failed: r.failed,
+                    },
+                    r.wall_seconds,
+                ));
+            }
+        } else if workers <= 1 {
             for (slot, (flags, _)) in misses.iter().enumerate() {
                 let t = Instant::now();
                 let entry = self.evaluate_cold(flags);
@@ -461,6 +546,8 @@ impl Evaluator for FitnessEngine<'_> {
                             // The representative vector makes the record
                             // minable (per-flag priors, config transfer).
                             flags: FlagBits::from_bools(flags),
+                            // Stamped by the store at insertion.
+                            generation: 0,
                         },
                     );
                 }

@@ -46,13 +46,21 @@ pub mod engine;
 pub mod obfuscator;
 pub mod potency;
 pub mod priors;
+pub mod service;
 pub mod store;
 pub mod tuner;
 
 pub use db::{Database, IterationRow};
-pub use engine::{EngineConfig, EngineStats, FitnessEngine, FAILED_COMPILE_PENALTY};
+pub use engine::{
+    EngineConfig, EngineStats, FitnessEngine, MissExecutor, MissResult, FAILED_COMPILE_PENALTY,
+};
 pub use obfuscator::{obfuscate, ObfuscatorConfig};
-pub use potency::{flag_potency, marginal_potency, pearson, FlagMarginal, FlagPotency};
+pub use potency::{
+    flag_potency, marginal_potency, marginal_potency_weighted, pearson, FlagMarginal, FlagPotency,
+};
 pub use priors::{mine_prior, PotencyPrior, PriorConfig, PriorMode};
-pub use store::{FitnessStore, FlagBits, LoadReport, StoreKey, StoredFitness};
-pub use tuner::{PersistSummary, PriorSummary, TuneError, TuneResult, Tuner, TunerConfig};
+pub use service::{FaultPlan, ServiceConfig, ServiceSummary, TransportKind};
+pub use store::{
+    FitnessStore, FlagBits, LoadReport, SaveOutcome, StoreKey, StoreLock, StoredFitness,
+};
+pub use tuner::{Backend, PersistSummary, PriorSummary, TuneError, TuneResult, Tuner, TunerConfig};

@@ -78,94 +78,130 @@ pub fn flag_potency(
 }
 
 /// Running marginal-potency statistics for one flag, accumulated over
-/// scored flag vectors.
+/// scored (and optionally *weighted*) flag vectors.
 ///
-/// The marginal potency of a flag is the mean fitness of the samples
-/// that had it enabled minus the mean fitness of those that did not — a
+/// The marginal potency of a flag is the weighted mean fitness of the
+/// samples that had it enabled minus that of those that did not — a
 /// cheap observational estimate of Figure 7's ablation signal, computable
 /// from stored records alone. It is confounded by co-occurring flags
 /// (presets enable groups together), which is why consumers weight it by
 /// [`FlagMarginal::confidence`] instead of trusting it outright.
+///
+/// Weights are how age decay enters: the prior miner down-weights stale
+/// store records ([`crate::PriorConfig::decay_half_life`]), shrinking
+/// both their pull on the mean *and* their contribution to support. Unit
+/// weights reproduce the unweighted statistics **bit-for-bit** (summing
+/// `1.0` per sample is exact integer arithmetic in an f64 at any
+/// realistic store size) — the differential guarantee the default
+/// configuration rests on.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct FlagMarginal {
-    /// Samples with the flag enabled.
+    /// Samples with the flag enabled (raw count, undecayed).
     pub n_on: usize,
-    /// Samples with the flag disabled.
+    /// Samples with the flag disabled (raw count, undecayed).
     pub n_off: usize,
-    /// Fitness sum over enabled samples.
+    /// Weighted fitness sum over enabled samples.
     pub sum_on: f64,
-    /// Fitness sum over disabled samples.
+    /// Weighted fitness sum over disabled samples.
     pub sum_off: f64,
+    /// Weight sum over enabled samples (equals `n_on` at unit weight).
+    pub w_on: f64,
+    /// Weight sum over disabled samples (equals `n_off` at unit weight).
+    pub w_off: f64,
 }
 
 impl FlagMarginal {
-    /// Fold in one sample.
+    /// Fold in one sample at unit weight.
     pub fn add(&mut self, enabled: bool, fitness: f64) {
+        self.add_weighted(enabled, fitness, 1.0);
+    }
+
+    /// Fold in one sample with an explicit weight (age decay). Weights
+    /// must be in `(0, 1]`; non-finite or non-positive weights are
+    /// dropped (a fully decayed sample teaches nothing).
+    pub fn add_weighted(&mut self, enabled: bool, fitness: f64, weight: f64) {
+        if !(weight.is_finite() && weight > 0.0) {
+            return;
+        }
         if enabled {
             self.n_on += 1;
-            self.sum_on += fitness;
+            self.sum_on += weight * fitness;
+            self.w_on += weight;
         } else {
             self.n_off += 1;
-            self.sum_off += fitness;
+            self.sum_off += weight * fitness;
+            self.w_off += weight;
         }
     }
 
-    /// Mean fitness with the flag on (0 without on-samples).
+    /// Weighted mean fitness with the flag on (0 without on-support).
     pub fn mean_on(&self) -> f64 {
-        if self.n_on == 0 {
+        if self.w_on <= 0.0 {
             0.0
         } else {
-            self.sum_on / self.n_on as f64
+            self.sum_on / self.w_on
         }
     }
 
-    /// Mean fitness with the flag off (0 without off-samples).
+    /// Weighted mean fitness with the flag off (0 without off-support).
     pub fn mean_off(&self) -> f64 {
-        if self.n_off == 0 {
+        if self.w_off <= 0.0 {
             0.0
         } else {
-            self.sum_off / self.n_off as f64
+            self.sum_off / self.w_off
         }
     }
 
     /// Marginal potency: `mean_on − mean_off`. Zero unless both sides
     /// have support (a one-sided flag carries no contrast).
     pub fn potency(&self) -> f64 {
-        if self.n_on == 0 || self.n_off == 0 {
+        if self.w_on <= 0.0 || self.w_off <= 0.0 {
             0.0
         } else {
             self.mean_on() - self.mean_off()
         }
     }
 
-    /// Confidence weight in `[0, 1]`: the balanced support ramp
-    /// `min(n_on, n_off) / min_support`, saturating at 1. A flag seen
-    /// only ever on (or only ever off) has zero confidence — its potency
-    /// is not identified by the data.
+    /// Confidence weight in `[0, 1]`: the balanced *weighted* support
+    /// ramp `min(w_on, w_off) / min_support`, saturating at 1. A flag
+    /// seen only ever on (or only ever off) has zero confidence — its
+    /// potency is not identified by the data — and decayed old records
+    /// count proportionally less toward support.
     pub fn confidence(&self, min_support: usize) -> f64 {
-        let balanced = self.n_on.min(self.n_off);
-        if balanced == 0 {
+        let balanced = self.w_on.min(self.w_off);
+        if balanced <= 0.0 {
             0.0
         } else {
-            (balanced as f64 / min_support.max(1) as f64).min(1.0)
+            (balanced / min_support.max(1) as f64).min(1.0)
         }
     }
 }
 
 /// Aggregate per-flag [`FlagMarginal`]s over `(flag vector, fitness)`
-/// samples. Vectors whose width differs from `n_flags` are skipped (they
-/// were recorded against a different profile).
+/// samples at unit weight. Vectors whose width differs from `n_flags`
+/// are skipped (they were recorded against a different profile).
 pub fn marginal_potency<'a>(
     n_flags: usize,
     samples: impl IntoIterator<Item = (&'a [bool], f64)>,
 ) -> Vec<FlagMarginal> {
+    marginal_potency_weighted(n_flags, samples.into_iter().map(|(f, v)| (f, v, 1.0)))
+}
+
+/// Aggregate per-flag [`FlagMarginal`]s over weighted
+/// `(flag vector, fitness, weight)` samples — the age-decayed mining
+/// path. Unit weights make this identical (bit-for-bit) to
+/// [`marginal_potency`].
+pub fn marginal_potency_weighted<'a>(
+    n_flags: usize,
+    samples: impl IntoIterator<Item = (&'a [bool], f64, f64)>,
+) -> Vec<FlagMarginal> {
     let mut stats = vec![FlagMarginal::default(); n_flags];
-    for (flags, fitness) in samples {
+    for (flags, fitness, weight) in samples {
         if flags.len() != n_flags {
             continue;
         }
         for (stat, &on) in stats.iter_mut().zip(flags) {
-            stat.add(on, fitness);
+            stat.add_weighted(on, fitness, weight);
         }
     }
     stats
@@ -263,6 +299,52 @@ mod tests {
         let stats = marginal_potency(2, samples.iter().map(|(f, v)| (f.as_slice(), *v)));
         assert_eq!(stats[0].n_on, 1);
         assert_eq!(stats[0].sum_on, 1.0);
+    }
+
+    #[test]
+    fn unit_weights_reproduce_unweighted_stats_bit_for_bit() {
+        let samples: Vec<(Vec<bool>, f64)> = (0..37)
+            .map(|i| (vec![i % 2 == 0, i % 3 == 0, i % 5 == 0], 0.1 * i as f64))
+            .collect();
+        let plain = marginal_potency(3, samples.iter().map(|(f, v)| (f.as_slice(), *v)));
+        let weighted =
+            marginal_potency_weighted(3, samples.iter().map(|(f, v)| (f.as_slice(), *v, 1.0)));
+        for (a, b) in plain.iter().zip(&weighted) {
+            assert_eq!(a, b);
+            assert_eq!(a.potency().to_bits(), b.potency().to_bits());
+            assert_eq!(a.confidence(8).to_bits(), b.confidence(8).to_bits());
+            assert_eq!(a.w_on, a.n_on as f64);
+        }
+    }
+
+    #[test]
+    fn decayed_samples_lose_pull_and_support() {
+        // Two eras disagree about flag 0: old records say it is great,
+        // recent ones say it is useless. Down-weighting the old era must
+        // flip the sign toward the recent evidence and shrink confidence.
+        let mut fresh_only = FlagMarginal::default();
+        let mut mixed = FlagMarginal::default();
+        for _ in 0..4 {
+            // Old era, weight 0.1: flag on => high fitness.
+            mixed.add_weighted(true, 0.9, 0.1);
+            mixed.add_weighted(false, 0.1, 0.1);
+            // Recent era, weight 1.0: flag on => slightly *worse*.
+            for m in [&mut fresh_only, &mut mixed] {
+                m.add_weighted(true, 0.4, 1.0);
+                m.add_weighted(false, 0.5, 1.0);
+            }
+        }
+        assert!(mixed.potency() < 0.0, "recent evidence dominates");
+        assert!(mixed.potency() > fresh_only.potency(), "old era still tugs");
+        // Weighted support: 4*0.1 + 4*1.0 per side.
+        assert!((mixed.w_on - 4.4).abs() < 1e-12);
+        assert!(mixed.confidence(8) < 1.0);
+        // Degenerate weights are dropped, not poison.
+        let mut m = FlagMarginal::default();
+        m.add_weighted(true, 1.0, 0.0);
+        m.add_weighted(true, 1.0, f64::NAN);
+        m.add_weighted(true, 1.0, -2.0);
+        assert_eq!(m, FlagMarginal::default());
     }
 
     #[test]

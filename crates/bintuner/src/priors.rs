@@ -29,7 +29,7 @@
 //! harness in `tests/priors.rs` pins this, alongside
 //! [`PriorMode::Off`]'s bit-identity to the historical tuner).
 
-use crate::potency::{marginal_potency, FlagMarginal};
+use crate::potency::{marginal_potency_weighted, FlagMarginal};
 use crate::store::{arch_tag, FitnessStore};
 use binrep::Arch;
 use genetic::MutationBias;
@@ -72,6 +72,16 @@ pub struct PriorConfig {
     /// Half-width of the mutation-weight band: weights span
     /// `[1 − bias_span, 1 + bias_span]`, scaled by per-flag confidence.
     pub bias_span: f64,
+    /// Age decay of mined records, in store *generations* (one
+    /// generation = one load→save cycle of the store; see
+    /// [`FitnessStore::generation`]): a record `age` generations old
+    /// contributes weight `0.5^(age / decay_half_life)` to the per-flag
+    /// marginals — both its pull on the mean *and* its support — so a
+    /// store polluted by a long-gone compiler era stops steering
+    /// mutation. `0.0` (the default) disables decay and is **bit-for-bit
+    /// identical** to pre-decay mining; seeds are never decayed (a
+    /// stored best config is a fact, not a trend).
+    pub decay_half_life: f64,
 }
 
 impl Default for PriorConfig {
@@ -80,6 +90,7 @@ impl Default for PriorConfig {
             top_k_seeds: 6,
             min_support: 8,
             bias_span: 0.5,
+            decay_half_life: 0.0,
         }
     }
 }
@@ -173,14 +184,32 @@ pub fn mine_prior(
     let compiler = profile.kind().stable_id();
     let arch = arch_tag(arch);
 
-    // Usable samples: (module hash, flag vector, fitness), deterministic
-    // order (the store's map iteration order is not).
-    let mut samples: Vec<(u64, Vec<bool>, f64)> = store
+    // Usable samples: (module hash, flag vector, fitness, age weight),
+    // deterministic order (the store's map iteration order is not).
+    let current_gen = store.generation();
+    let age_weight = |record_gen: u32| -> f64 {
+        if cfg.decay_half_life > 0.0 {
+            let age = f64::from(current_gen.saturating_sub(record_gen));
+            0.5f64.powf(age / cfg.decay_half_life)
+        } else {
+            // Exactly 1.0: the unit-weight path is bit-identical to
+            // unweighted mining (the default's differential guarantee).
+            1.0
+        }
+    };
+    let mut samples: Vec<(u64, Vec<bool>, f64, f64)> = store
         .entries()
         .filter(|(k, v)| {
             k.compiler == compiler && k.arch == arch && !v.failed && v.flags.len() == n_flags
         })
-        .map(|(k, v)| (k.module_hash, v.flags.to_bools(), v.fitness))
+        .map(|(k, v)| {
+            (
+                k.module_hash,
+                v.flags.to_bools(),
+                v.fitness,
+                age_weight(v.generation),
+            )
+        })
         .collect();
     samples.sort_by(|a, b| {
         a.0.cmp(&b.0)
@@ -188,14 +217,17 @@ pub fn mine_prior(
             .then_with(|| a.1.cmp(&b.1))
     });
 
-    let marginals = marginal_potency(n_flags, samples.iter().map(|(_, f, v)| (f.as_slice(), *v)));
+    let marginals = marginal_potency_weighted(
+        n_flags,
+        samples.iter().map(|(_, f, v, w)| (f.as_slice(), *v, *w)),
+    );
 
     // Nearest module by shape features, among modules that actually have
     // usable samples. Ties break toward the lower hash.
     let target = module.features();
     let mut candidates: Vec<(f64, u64, ModuleFeatures)> = store
         .modules_with_features()
-        .filter(|(h, _)| samples.iter().any(|(sh, _, _)| sh == h))
+        .filter(|(h, _)| samples.iter().any(|(sh, ..)| sh == h))
         .map(|(h, f)| (target.distance(&f), h, f))
         .collect();
     candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
@@ -205,12 +237,10 @@ pub fn mine_prior(
     let mut seeds: Vec<Vec<bool>> = Vec::new();
     let mut seed_best_fitness = None;
     if let Some(&(_, source_hash, _)) = source {
-        let mut of_source: Vec<&(u64, Vec<bool>, f64)> = samples
-            .iter()
-            .filter(|(h, _, _)| *h == source_hash)
-            .collect();
+        let mut of_source: Vec<&(u64, Vec<bool>, f64, f64)> =
+            samples.iter().filter(|(h, ..)| *h == source_hash).collect();
         of_source.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.1.cmp(&b.1)));
-        for (_, flags, fitness) in of_source {
+        for (_, flags, fitness, _) in of_source {
             if seeds.len() >= cfg.top_k_seeds {
                 break;
             }
@@ -253,6 +283,7 @@ mod tests {
             fitness,
             failed: false,
             flags: FlagBits::from_bools(flags),
+            generation: 0,
         }
     }
 
@@ -310,6 +341,7 @@ mod tests {
                 fitness: 9.0,
                 failed: true,
                 flags: FlagBits::from_bools(&flags_a),
+                generation: 0,
             },
         );
         store.insert(
@@ -318,6 +350,7 @@ mod tests {
                 fitness: 9.0,
                 failed: false,
                 flags: FlagBits::from_bools(&[true, false]),
+                generation: 0,
             },
         );
 
@@ -371,6 +404,73 @@ mod tests {
         // The far module's higher score must not override shape proximity
         // (its configs are tuned to a different program).
         assert_eq!(prior.seed_best_fitness, Some(0.5));
+    }
+
+    #[test]
+    fn age_decay_shifts_mining_toward_recent_generations() {
+        // Two store generations disagree about flag 0: the old era says
+        // it helps, the recent era says it hurts. Undecayed mining
+        // averages them; decayed mining must side with the recent era.
+        // Generations are planted the only way real stores get them:
+        // load→insert→save cycles against a file.
+        let path =
+            std::env::temp_dir().join(format!("bintuner_priors_decay_{}.btfs", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let p = profile();
+        let m = module("429.mcf");
+        let mut on = vec![false; p.n_flags()];
+        on[0] = true;
+        let off = vec![false; p.n_flags()];
+
+        // Generation 0: flag 0 on => great (two samples per side).
+        let mut era0 = FitnessStore::load(&path);
+        era0.record_module_features(m.content_hash(), m.features());
+        era0.insert(key_for(&p, &m, &on, 1), stored(&p, &on, 0.9));
+        era0.insert(key_for(&p, &m, &on, 2), stored(&p, &on, 0.8));
+        era0.insert(key_for(&p, &m, &off, 3), stored(&p, &off, 0.1));
+        era0.insert(key_for(&p, &m, &off, 4), stored(&p, &off, 0.2));
+        era0.save().unwrap();
+        // Generation 1: flag 0 on => worse.
+        let mut era1 = FitnessStore::load(&path);
+        assert_eq!(era1.generation(), 1);
+        era1.insert(key_for(&p, &m, &on, 5), stored(&p, &on, 0.3));
+        era1.insert(key_for(&p, &m, &on, 6), stored(&p, &on, 0.25));
+        era1.insert(key_for(&p, &m, &off, 7), stored(&p, &off, 0.5));
+        era1.insert(key_for(&p, &m, &off, 8), stored(&p, &off, 0.55));
+        era1.save().unwrap();
+
+        let store = FitnessStore::load(&path);
+        assert_eq!(store.generation(), 2);
+        let no_decay = PriorConfig::default();
+        let prior_plain = mine_prior(&store, &p, Arch::X86, &m, &no_decay);
+        // Default: no decay — weighted support equals raw counts exactly
+        // (the bit-for-bit guarantee at the statistics level; run-level
+        // equality is pinned by the differential harness).
+        assert_eq!(
+            prior_plain.marginals[0].w_on,
+            prior_plain.marginals[0].n_on as f64
+        );
+        // Old era dominates the undecayed average (bigger contrast).
+        assert!(prior_plain.marginals[0].potency() > 0.0);
+
+        let decay = PriorConfig {
+            decay_half_life: 0.25, // era 0 is 8 half-lives old
+            ..PriorConfig::default()
+        };
+        let prior_decayed = mine_prior(&store, &p, Arch::X86, &m, &decay);
+        assert!(
+            prior_decayed.marginals[0].potency() < 0.0,
+            "recent era must win under decay: {}",
+            prior_decayed.marginals[0].potency()
+        );
+        assert!(prior_decayed.marginals[0].w_on < prior_plain.marginals[0].w_on);
+        // Seeds are never decayed: the stored best config (an old-era
+        // 0.9) still transfers.
+        assert_eq!(prior_decayed.seeds, prior_plain.seeds);
+        assert_eq!(prior_decayed.seed_best_fitness, Some(0.9));
+        // Same records mined either way.
+        assert_eq!(prior_decayed.mined_records, prior_plain.mined_records);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

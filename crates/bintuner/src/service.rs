@@ -1,0 +1,352 @@
+//! The evaluation-service backend: `evald` wired beneath the tuner.
+//!
+//! This is the glue between the generic client–server machinery in the
+//! `evald` crate and BinTuner's fitness evaluation — the paper's actual
+//! deployment shape (§5 "Implementation": the GA on a server, compile +
+//! diff on a farm of clients), runnable entirely offline:
+//!
+//! * [`ServiceHandle::launch`] spawns N client threads. **Each client is
+//!   a full [`FitnessEngine`]** with its own [`Compiler`] instance, its
+//!   own `-O0` baseline, its own in-run caches, and an *in-memory*
+//!   [`FitnessStore`] that accumulates the shard results it computes.
+//! * The server side is the tuner's own engine: partition, the three
+//!   cache tiers, the single writable store and the stats all stay where
+//!   they were, and only the deduplicated miss list travels — the handle
+//!   implements [`MissExecutor`] by pushing each miss batch through
+//!   [`evald::EvalServer::evaluate`] (work-stealing shards, straggler
+//!   re-dispatch, first result wins).
+//! * At batch end every client drains its local store into
+//!   [`evald::MergeRecord`]s; the server accumulates them and the tuner
+//!   folds them into the persistent store before saving — appends are
+//!   serialized through that single writer, which is what resolves the
+//!   concurrent-store-writers problem for the service case (the advisory
+//!   file lock covers the separate-processes case). Note that in *this*
+//!   integration the fold is belt-and-braces, not the consistency
+//!   mechanism: the server engine already records every dispatched miss
+//!   result itself, so each folded record hits
+//!   [`FitnessStore::insert`]'s identical-value dedup (that redundancy
+//!   is what keeps the store complete even when a client dies before
+//!   its merge). The merge path is load-bearing for embedders whose
+//!   clients evaluate work the server did not dispatch;
+//!   `merged_records` telemetry proves it ran.
+//!
+//! Every fitness an engine computes is a pure function of the genome, so
+//! client count, transport, scheduling and even mid-run client death
+//! change *nothing* about the run's trajectory — `tests/service_vs_local.rs`
+//! pins bit-identity against the in-process engine.
+
+use crate::engine::{EngineConfig, EngineStats, MissExecutor, MissResult, FAILED_COMPILE_PENALTY};
+use crate::store::FitnessStore;
+use crate::FitnessEngine;
+use binrep::Arch;
+use evald::wire::ShardStats;
+use evald::{
+    channel_duplex, run_client, unix_connect, unix_listener, ClientOptions, CostModel, Duplex,
+    EvalServer, EvaldError, MergeRecord, ShardWorker, WireEval,
+};
+use minicc::ast::Module;
+use minicc::{Compiler, CompilerKind, CompilerProfile};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+pub use evald::{FaultPlan, ServiceConfig, ServiceStats, TransportKind};
+
+/// What the evaluation service did over one run (on
+/// [`crate::TuneResult::service`] when `TunerConfig::backend` is a
+/// service).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceSummary {
+    /// Transport the run used.
+    pub transport: TransportKind,
+    /// Clients launched.
+    pub clients: usize,
+    /// Clients lost mid-run (all work re-dispatched; the result is
+    /// unaffected as long as one client survived).
+    pub clients_lost: usize,
+    /// Shards dispatched across all batches.
+    pub shards: usize,
+    /// Shard copies re-issued to idle clients (straggler re-dispatch).
+    pub redispatched_shards: usize,
+    /// Evaluations discarded because another client answered first
+    /// (bit-identical duplicates; also mirrored into
+    /// [`EngineStats::duplicate_results`]).
+    pub duplicate_results: usize,
+    /// Client-cache records merged back into the server-side store.
+    pub merged_records: usize,
+    /// Real compiles performed across the farm (includes duplicated
+    /// straggler work, unlike the engine's logical compile count).
+    pub farm_compiles: u64,
+}
+
+/// Monotonic suffix for unix socket paths, so parallel tests (or
+/// parallel tuners in one process) never collide.
+static SOCKET_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A launched evaluation service: the dispatch server plus its client
+/// threads. Implements [`MissExecutor`], so the tuner installs it
+/// beneath its fitness engine with [`FitnessEngine::set_executor`].
+///
+/// Tear it down with [`ServiceHandle::finish`]; a handle dropped on an
+/// error path (e.g. the engine's baseline compile failing after launch)
+/// still severs every connection and joins every thread via `Drop`, so
+/// no client or reader outlives the run.
+pub struct ServiceHandle {
+    /// `None` once [`ServiceHandle::finish`] has torn the server down.
+    server: Mutex<Option<EvalServer>>,
+    clients: Vec<JoinHandle<()>>,
+    transport: TransportKind,
+    launched: usize,
+    socket_path: Option<std::path::PathBuf>,
+}
+
+impl std::fmt::Debug for ServiceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceHandle")
+            .field("transport", &self.transport)
+            .field("clients", &self.launched)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One client thread: build a compiler + engine of our own and serve
+/// shards until the server shuts us down. An engine that cannot even
+/// compile the baseline exits immediately — the server sees the
+/// disconnect and carries on with the remaining clients.
+fn client_thread(
+    kind: CompilerKind,
+    module: Module,
+    arch: Arch,
+    duplex: Duplex,
+    opts: ClientOptions,
+) {
+    let compiler = Compiler::new(kind);
+    let Ok(engine) = FitnessEngine::with_store(
+        &compiler,
+        &module,
+        arch,
+        EngineConfig { workers: 1 },
+        FitnessStore::in_memory(),
+    ) else {
+        return;
+    };
+    let mut worker = EngineWorker {
+        engine: &engine,
+        last: EngineStats::default(),
+    };
+    // A disconnect here is the server going away — normal end of service.
+    let _ = run_client(&mut worker, duplex, &opts);
+}
+
+/// [`ShardWorker`] over a client-local [`FitnessEngine`].
+struct EngineWorker<'e, 'a> {
+    engine: &'e FitnessEngine<'a>,
+    /// Stats snapshot at the last shard (per-shard deltas go on the
+    /// wire).
+    last: EngineStats,
+}
+
+impl ShardWorker for EngineWorker<'_, '_> {
+    fn evaluate(&mut self, genomes: &[Vec<bool>]) -> (Vec<WireEval>, ShardStats) {
+        use genetic::Evaluator;
+        let evals = self.engine.evaluate_batch(genomes);
+        let now = self.engine.stats();
+        let stats = ShardStats {
+            compiles: (now.compiles - self.last.compiles) as u32,
+            cache_hits: (now.cache_hits + now.persistent_hits
+                - self.last.cache_hits
+                - self.last.persistent_hits) as u32,
+            wall_seconds: now.wall_seconds - self.last.wall_seconds,
+        };
+        self.last = now;
+        let wire = evals
+            .into_iter()
+            .map(|e| WireEval {
+                fitness_bits: e.fitness.to_bits(),
+                // NCD is non-negative, so the penalty value is unambiguous.
+                failed: e.fitness.to_bits() == FAILED_COMPILE_PENALTY.to_bits(),
+                wall_seconds_bits: e.wall_seconds.to_bits(),
+            })
+            .collect();
+        (wire, stats)
+    }
+
+    fn drain_merge(&mut self) -> Vec<MergeRecord> {
+        self.engine
+            .drain_pending_store()
+            .into_iter()
+            .map(|(key, value)| MergeRecord {
+                module_hash: key.module_hash,
+                compiler: key.compiler,
+                arch: key.arch,
+                effect_digest: key.effect_digest,
+                fitness_bits: value.fitness.to_bits(),
+                failed: value.failed,
+                flags: value.flags.to_bools(),
+            })
+            .collect()
+    }
+}
+
+impl ServiceHandle {
+    /// Launch the service for one tuning run: spawn the client farm,
+    /// connect it over the configured transport, and complete the
+    /// handshake.
+    ///
+    /// # Errors
+    ///
+    /// Transport setup failures, or [`EvaldError::NoClients`] when no
+    /// client survives the handshake.
+    pub fn launch(
+        cfg: &ServiceConfig,
+        kind: CompilerKind,
+        module: &Module,
+        arch: Arch,
+    ) -> Result<ServiceHandle, EvaldError> {
+        let n_clients = cfg.clients.max(1);
+        let n_flags = CompilerProfile::new(kind).n_flags() as u16;
+        let cost = CostModel::from_features(&module.features());
+        let mut server_side: Vec<Duplex> = Vec::with_capacity(n_clients);
+        let mut handles = Vec::with_capacity(n_clients);
+        let mut socket_path = None;
+
+        let fault_for = |i: usize| {
+            cfg.fault
+                .and_then(|f| (f.client == i).then_some(f.after_shards))
+        };
+        match cfg.transport {
+            TransportKind::Channel => {
+                for i in 0..n_clients {
+                    let (server_end, client_end) = channel_duplex();
+                    server_side.push(server_end);
+                    let module = module.clone();
+                    let opts = ClientOptions {
+                        client_id: i as u32,
+                        n_flags,
+                        fail_after_shards: fault_for(i),
+                    };
+                    handles.push(std::thread::spawn(move || {
+                        client_thread(kind, module, arch, client_end, opts);
+                    }));
+                }
+            }
+            TransportKind::Unix => {
+                let path = std::env::temp_dir().join(format!(
+                    "evald_{}_{}.sock",
+                    std::process::id(),
+                    SOCKET_SEQ.fetch_add(1, Ordering::Relaxed)
+                ));
+                let listener = unix_listener(&path)?;
+                for i in 0..n_clients {
+                    let module = module.clone();
+                    let opts = ClientOptions {
+                        client_id: i as u32,
+                        n_flags,
+                        fail_after_shards: fault_for(i),
+                    };
+                    // Connect on *this* thread, then accept the pending
+                    // connection: both steps fail fast through `?`. A
+                    // client thread that connected for itself could die
+                    // before connecting and leave the matching accept
+                    // blocked forever. Connection order is irrelevant
+                    // (any client may serve any shard).
+                    let client_end = unix_connect(&path)?;
+                    server_side.push(evald::transport::unix_accept(&listener)?);
+                    handles.push(std::thread::spawn(move || {
+                        client_thread(kind, module, arch, client_end, opts);
+                    }));
+                }
+                socket_path = Some(path);
+            }
+        }
+
+        let server = EvalServer::new(server_side, cost, n_flags)?;
+        Ok(ServiceHandle {
+            server: Mutex::new(Some(server)),
+            clients: handles,
+            transport: cfg.transport,
+            launched: n_clients,
+            socket_path,
+        })
+    }
+
+    /// Sever connections, join every thread, remove the socket file.
+    /// Idempotent; shared by [`ServiceHandle::finish`] and `Drop`.
+    fn teardown(&mut self) -> Option<ServiceStats> {
+        let stats = self.server.lock().unwrap().take().map(EvalServer::shutdown);
+        for h in self.clients.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(path) = self.socket_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+        stats
+    }
+
+    /// Shut the service down: stop the clients, join their threads, and
+    /// return the final telemetry plus the accumulated merge records for
+    /// the tuner's single-writer store fold.
+    pub fn finish(mut self) -> (ServiceSummary, Vec<MergeRecord>) {
+        let merged = self
+            .server
+            .lock()
+            .unwrap()
+            .as_mut()
+            .map(EvalServer::take_merged)
+            .unwrap_or_default();
+        let stats = self.teardown().expect("finish tears down once");
+        (
+            ServiceSummary {
+                transport: self.transport,
+                clients: self.launched,
+                clients_lost: stats.clients_lost,
+                shards: stats.shards,
+                redispatched_shards: stats.redispatched_shards,
+                duplicate_results: stats.duplicate_results,
+                merged_records: stats.merged_records,
+                farm_compiles: stats.client_compiles,
+            },
+            merged,
+        )
+    }
+}
+
+impl Drop for ServiceHandle {
+    /// Error paths between launch and [`ServiceHandle::finish`] (e.g.
+    /// [`crate::TuneError::Baseline`] from the engine build) must not
+    /// leak blocked client/reader threads or the socket file.
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}
+
+impl MissExecutor for ServiceHandle {
+    fn execute(&self, misses: &[Vec<bool>]) -> Vec<MissResult> {
+        let mut guard = self.server.lock().unwrap();
+        let server = guard.as_mut().expect("service already finished");
+        let evals = match server.evaluate(misses) {
+            Ok(evals) => evals,
+            // Losing *every* client mid-run leaves nothing to evaluate
+            // on; there is no degraded answer that keeps the GA honest,
+            // and the batch Evaluator protocol has no error channel, so
+            // this is the one unrecoverable stop. (Losing any proper
+            // subset of clients is handled by re-dispatch and never gets
+            // here.)
+            Err(e) => panic!(
+                "evaluation service failed with work outstanding: {e}{}",
+                server
+                    .last_loss()
+                    .map(|l| format!(" (last client loss: {l})"))
+                    .unwrap_or_default()
+            ),
+        };
+        evals
+            .into_iter()
+            .map(|e| MissResult {
+                fitness: e.fitness(),
+                failed: e.failed,
+                wall_seconds: e.wall_seconds(),
+            })
+            .collect()
+    }
+}

@@ -35,17 +35,29 @@
 //! [`FORMAT_VERSION`] whenever the record layout *or* any canonical hash
 //! encoding changes, so stale files degrade to a cold start instead of
 //! being misread. Version 2 added the flag bitmap and module-features
-//! records; version-1 files load as a clean cold start.
+//! records; version 3 added the per-record generation counter (see
+//! below); older files load as a clean cold start.
+//!
+//! * **Generations** — every fitness record carries the store's
+//!   monotonic generation at insertion time, and the store's own
+//!   generation is `max(stored) + 1` at load. One load→save cycle is one
+//!   generation, so `store.generation() − record.generation` is the
+//!   record's age in runs — the input to the prior miner's age decay
+//!   (`PriorConfig::decay_half_life`).
 //!
 //! Concurrency: one store value is owned by one tuning run at a time
-//! (the engine wraps it in a `Mutex`). Two *processes* appending to the
-//! same file concurrently are not coordinated — the corruption-tolerant
-//! loader bounds the damage, but a shared server-side database (the
-//! paper's real deployment) needs the remote-evaluation backend on the
-//! roadmap.
+//! (the engine wraps it in a `Mutex`), and *within* a service run the
+//! evaluation server is the single writer — clients only ship results
+//! back. Two *processes* sharing one `cache_path` are coordinated by an
+//! advisory lock file (`<path>.lock`) held across
+//! [`FitnessStore::save`]'s append/compaction: the loser of the race
+//! degrades to skipping its save ([`SaveOutcome::SkippedLocked`],
+//! surfaced through `PersistSummary`), never to interleaved writes. A
+//! lock left by a crashed process is reclaimed when its pid is dead.
 
 use binrep::Arch;
 use bytes::BufMut;
+use minicc::fnv1a32 as checksum;
 use minicc::{CompilerKind, ModuleFeatures};
 use std::collections::HashMap;
 use std::fs;
@@ -60,7 +72,7 @@ pub const MAGIC: [u8; 4] = *b"BTFS";
 /// [`minicc::EffectConfig::stable_digest`], and the
 /// [`minicc::ModuleFeatures`] component meanings — a mismatch is a clean
 /// cold start, never a misread.
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Widest flag vector a stored bitmap can represent. Both modelled
 /// profiles are well under this; a hypothetical wider profile stores an
@@ -71,12 +83,12 @@ pub const MAX_STORED_FLAGS: usize = 192;
 const FLAG_BYTES: usize = MAX_STORED_FLAGS / 8;
 
 const HEADER_LEN: usize = 8;
-/// Tagged record payload: 1 tag byte + 61 body bytes (the fitness body:
+/// Tagged record payload: 1 tag byte + 65 body bytes (the fitness body:
 /// module_hash(8) + compiler(1) + arch(1) + digest(16) + fitness(8) +
-/// failed(1) + n_flags(2) + flag bitmap(24); the features body is
-/// shorter and zero-padded to the same width), plus a 4-byte FNV-1a
-/// checksum.
-const RECORD_BODY_LEN: usize = 61;
+/// failed(1) + n_flags(2) + flag bitmap(24) + generation(4); the
+/// features body is shorter and zero-padded to the same width), plus a
+/// 4-byte FNV-1a checksum.
+const RECORD_BODY_LEN: usize = 65;
 const RECORD_PAYLOAD_LEN: usize = 1 + RECORD_BODY_LEN;
 const RECORD_LEN: usize = RECORD_PAYLOAD_LEN + 4;
 /// Compaction floor: below this many disk records, dead entries are not
@@ -214,15 +226,22 @@ pub struct StoredFitness {
     /// Representative flag vector that produced this result (empty when
     /// unknown, e.g. records written before the vector was captured).
     pub flags: FlagBits,
+    /// Store generation at insertion time (stamped by
+    /// [`FitnessStore::insert`]; the value supplied by the caller is
+    /// overwritten). Age in runs is `store.generation() − generation` —
+    /// the prior miner's decay input.
+    pub generation: u32,
 }
 
 impl StoredFitness {
-    /// A result with no recorded flag vector.
+    /// A result with no recorded flag vector (generation stamped at
+    /// insertion).
     pub fn new(fitness: f64, failed: bool) -> StoredFitness {
         StoredFitness {
             fitness,
             failed,
             flags: FlagBits::empty(),
+            generation: 0,
         }
     }
 }
@@ -269,6 +288,9 @@ pub struct FitnessStore {
     /// The file must be rewritten wholesale (corrupt/foreign/missing
     /// content that cannot be appended to).
     needs_rewrite: bool,
+    /// Monotonic generation stamped on inserts: `max(loaded) + 1`, so
+    /// each load→save cycle is one generation.
+    generation: u32,
     report: LoadReport,
 }
 
@@ -294,6 +316,12 @@ impl FitnessStore {
             Ok(bytes) => store.parse(&bytes),
             Err(_) => store.report.missing = true,
         }
+        store.generation = store
+            .entries
+            .values()
+            .map(|v| v.generation)
+            .max()
+            .map_or(0, |g| g.saturating_add(1));
         store
     }
 
@@ -396,18 +424,48 @@ impl FitnessStore {
         self.entries.iter()
     }
 
-    /// Insert (or overwrite) a result; queued for the next save. An
-    /// insert whose fitness and failure bit match the stored value
-    /// bit-for-bit is a no-op (the flag bitmap is advisory metadata), so
-    /// re-tuning a warm target never grows the log.
+    /// The generation stamped on new inserts (0 for a fresh or empty
+    /// store; advances by one per load→save cycle).
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// Insert (or overwrite) a result; queued for the next save and
+    /// stamped with the current [`FitnessStore::generation`]. An insert
+    /// whose fitness and failure bit match the stored value bit-for-bit
+    /// is a no-op (the flag bitmap and generation are advisory
+    /// metadata), so re-tuning a warm target never grows the log — and
+    /// never refreshes record ages, keeping decay honest.
     pub fn insert(&mut self, key: StoreKey, value: StoredFitness) {
         if self.entries.get(&key).is_some_and(|v| {
             v.fitness.to_bits() == value.fitness.to_bits() && v.failed == value.failed
         }) {
             return;
         }
+        let value = StoredFitness {
+            generation: self.generation,
+            ..value
+        };
         self.entries.insert(key, value);
         self.pending.push(PendingRecord::Fitness(key, value));
+    }
+
+    /// Drain the fitness results queued since the last save (or drain),
+    /// *removing* them from the save queue — the client-side path of the
+    /// evaluation service, where an in-memory store accumulates a
+    /// shard's results to ship back for the server's single writable
+    /// store instead of saving anything itself. Queued module-features
+    /// records stay queued (they are identity metadata, not results).
+    pub fn drain_pending_fitness(&mut self) -> Vec<(StoreKey, StoredFitness)> {
+        let mut out = Vec::new();
+        self.pending.retain(|rec| match rec {
+            PendingRecord::Fitness(key, value) => {
+                out.push((*key, *value));
+                false
+            }
+            PendingRecord::Features(..) => true,
+        });
+        out
     }
 
     /// Record a module's shape features (queued for the next save;
@@ -433,7 +491,7 @@ impl FitnessStore {
         self.features.iter().map(|(&h, &f)| (h, f))
     }
 
-    /// Flush pending entries to disk.
+    /// Flush pending entries to disk, under the advisory file lock.
     ///
     /// Fast path: one appended `write_all` of the new records. The file
     /// is rewritten wholesale — to a temp file, then atomically
@@ -441,28 +499,39 @@ impl FitnessStore {
     /// when dead records make compaction worthwhile (the live set is at
     /// most half the log and the log is non-trivial).
     ///
+    /// Both paths run with `<path>.lock` held ([`StoreLock`]), so two
+    /// local tuner processes sharing one `cache_path` cannot interleave
+    /// appends or race the compaction's tmp+rename. When another live
+    /// process holds the lock, the save *degrades to a skip* —
+    /// [`SaveOutcome::SkippedLocked`], with the pending entries kept in
+    /// memory for a retry — rather than blocking or corrupting.
+    ///
     /// # Errors
     ///
     /// Propagates I/O errors; the in-memory state is unchanged by a
-    /// failed save, so it can be retried.
-    pub fn save(&mut self) -> io::Result<()> {
+    /// failed (or skipped) save, so it can be retried.
+    pub fn save(&mut self) -> io::Result<SaveOutcome> {
         let Some(path) = self.path.clone() else {
             self.pending.clear();
-            return Ok(());
+            return Ok(SaveOutcome::Written);
         };
         if self.pending.is_empty() && !self.needs_rewrite {
-            return Ok(());
+            return Ok(SaveOutcome::Written);
         }
+        let Some(_lock) = StoreLock::acquire(&path)? else {
+            return Ok(SaveOutcome::SkippedLocked);
+        };
         let future_records = self.disk_records + self.pending.len();
         let live = self.entries.len() + self.features.len();
         let compact = self.needs_rewrite
             || !path.exists()
             || (future_records >= COMPACT_MIN_RECORDS && live * 2 <= future_records);
         if compact {
-            self.rewrite(&path)
+            self.rewrite(&path)?;
         } else {
-            self.append(&path)
+            self.append(&path)?;
         }
+        Ok(SaveOutcome::Written)
     }
 
     fn rewrite(&mut self, path: &Path) -> io::Result<()> {
@@ -505,14 +574,142 @@ impl FitnessStore {
     }
 }
 
-/// FNV-1a 32-bit over a record payload.
-fn checksum(payload: &[u8]) -> u32 {
-    let mut state: u32 = 0x811c_9dc5;
-    for &b in payload {
-        state ^= u32::from(b);
-        state = state.wrapping_mul(0x0100_0193);
+/// What [`FitnessStore::save`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaveOutcome {
+    /// The store on disk is current (records written, or nothing was
+    /// pending, or the store has no backing file).
+    Written,
+    /// Another live process holds the advisory lock: this save was
+    /// skipped and the pending entries remain queued for a retry. Only
+    /// the warm start for future runs is deferred — never an error, per
+    /// the degrade-don't-panic contract.
+    SkippedLocked,
+}
+
+/// Advisory cross-process lock on a store file: a `<path>.lock` sibling
+/// created with `O_EXCL` and holding the owner's pid. Released on drop;
+/// a lock whose owner pid is no longer alive (crashed run) is reclaimed.
+///
+/// Advisory means cooperative: only [`FitnessStore::save`] honors it,
+/// which is enough because saving is the store's only file mutation.
+#[derive(Debug)]
+pub struct StoreLock {
+    path: PathBuf,
+}
+
+impl StoreLock {
+    /// Path of the lock file guarding `store_path`.
+    pub fn lock_path(store_path: &Path) -> PathBuf {
+        let mut p = store_path.as_os_str().to_owned();
+        p.push(".lock");
+        PathBuf::from(p)
     }
-    state
+
+    /// Try to take the lock. `Ok(None)` means another live process holds
+    /// it (the caller should degrade, not block). A stale lock — owner
+    /// pid dead — is reclaimed once.
+    ///
+    /// Reclamation is check-then-unlink and therefore racy in principle
+    /// (`O_EXCL` is the only atomic primitive std offers here), so two
+    /// guards shrink the window to a pair of adjacent syscalls: the
+    /// holder pid is re-read immediately before the unlink (a racing
+    /// reclaimer's *fresh* lock is seen and respected), and after
+    /// creating our own lock we re-read it to confirm we still own it
+    /// (losing that verification degrades to `Ok(None)` — a skipped
+    /// save, the same safe fallback as plain contention). A lost race
+    /// that slips both guards costs what the pre-lock code always
+    /// risked: a torn append the corruption-tolerant loader truncates.
+    ///
+    /// # Errors
+    ///
+    /// Unexpected I/O failures creating the lock file (permissions, a
+    /// vanished parent directory).
+    pub fn acquire(store_path: &Path) -> io::Result<Option<StoreLock>> {
+        let path = StoreLock::lock_path(store_path);
+        let my_pid = std::process::id().to_string();
+        let read_holder = |path: &Path| fs::read_to_string(path).ok();
+        for attempt in 0..2 {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    if let Err(e) = f.write_all(my_pid.as_bytes()) {
+                        // A lock file we created but could not stamp
+                        // (disk full) must not wedge every future save:
+                        // remove it and surface the failure.
+                        drop(f);
+                        let _ = fs::remove_file(&path);
+                        return Err(e);
+                    }
+                    drop(f);
+                    // Ownership verification: a racing stale-reclaimer
+                    // may have unlinked and replaced our fresh lock.
+                    if read_holder(&path).as_deref().map(str::trim) == Some(my_pid.as_str()) {
+                        return Ok(Some(StoreLock { path }));
+                    }
+                    return Ok(None);
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let first = read_holder(&path);
+                    let stale = match first.as_deref().map(str::trim).map(str::parse::<u32>) {
+                        Some(Ok(pid)) => pid != std::process::id() && !pid_alive(pid),
+                        // Empty content: a torn acquire (killed between
+                        // create and pid write) — no live owner can be
+                        // identified, reclaim it. A racing acquirer whose
+                        // file is momentarily empty is protected by its
+                        // own ownership verification above.
+                        Some(Err(_)) if first.as_deref().is_some_and(|s| s.trim().is_empty()) => {
+                            true
+                        }
+                        // Garbled non-empty owner: written by something
+                        // else entirely — leave it alone.
+                        _ => false,
+                    };
+                    if !stale || attempt == 1 {
+                        return Ok(None);
+                    }
+                    // Re-read right before unlinking: if the content
+                    // changed, another process already reclaimed and
+                    // re-locked — back off instead of deleting its lock.
+                    if read_holder(&path) != first {
+                        return Ok(None);
+                    }
+                    let _ = fs::remove_file(&path);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl Drop for StoreLock {
+    fn drop(&mut self) {
+        // Release only a lock file we still own — never a fresh lock a
+        // racing reclaimer put in its place.
+        let owned = fs::read_to_string(&self.path)
+            .ok()
+            .is_some_and(|s| s.trim() == std::process::id().to_string());
+        if owned {
+            let _ = fs::remove_file(&self.path);
+        }
+    }
+}
+
+/// Whether a process with this pid exists (Linux: `/proc/<pid>`).
+#[cfg(target_os = "linux")]
+fn pid_alive(pid: u32) -> bool {
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
+/// Without a portable liveness probe, treat every lock holder as alive
+/// (locks are then only released by their owner's drop — conservative).
+#[cfg(not(target_os = "linux"))]
+fn pid_alive(_pid: u32) -> bool {
+    true
 }
 
 /// Append the checksum over the record payload written since `start`,
@@ -538,6 +735,7 @@ fn encode_fitness_record(key: &StoreKey, value: &StoredFitness, out: &mut Vec<u8
     out.put_u8(value.failed as u8);
     out.put_u16_le(value.flags.n);
     out.put_slice(&value.flags.bits);
+    out.put_u32_le(value.generation);
     finish_record(start, out);
 }
 
@@ -569,6 +767,7 @@ fn decode_fitness(body: &[u8]) -> (StoreKey, StoredFitness) {
         fitness: f64::from_bits(u64_at(26)),
         failed: body[34] != 0,
         flags,
+        generation: u32::from_le_bytes(body[37 + FLAG_BYTES..41 + FLAG_BYTES].try_into().unwrap()),
     };
     (key, value)
 }
@@ -616,6 +815,7 @@ mod tests {
                     .map(|b| (b as u64 + i).is_multiple_of(3))
                     .collect::<Vec<_>>(),
             ),
+            generation: 0,
         }
     }
 
@@ -846,9 +1046,120 @@ mod tests {
     fn in_memory_store_save_is_a_noop() {
         let mut store = FitnessStore::in_memory();
         store.insert(key(1), value(1));
-        store.save().unwrap();
+        assert_eq!(store.save().unwrap(), SaveOutcome::Written);
         assert_eq!(store.pending_len(), 0);
         assert_eq!(store.len(), 1);
         assert!(store.path().is_none());
+    }
+
+    #[test]
+    fn generation_advances_one_per_load_save_cycle() {
+        let path = scratch("generation");
+        // Run 0: fresh store stamps generation 0.
+        let mut run0 = FitnessStore::load(&path);
+        assert_eq!(run0.generation(), 0);
+        run0.insert(key(0), value(0));
+        run0.save().unwrap();
+        // Run 1: generation is max(stored)+1; old records keep their age.
+        let mut run1 = FitnessStore::load(&path);
+        assert_eq!(run1.generation(), 1);
+        run1.insert(key(1), value(1));
+        // Re-inserting an identical value must NOT refresh its age.
+        run1.insert(key(0), value(0));
+        run1.save().unwrap();
+
+        let run2 = FitnessStore::load(&path);
+        assert_eq!(run2.generation(), 2);
+        assert_eq!(run2.get(&key(0)).unwrap().generation, 0);
+        assert_eq!(run2.get(&key(1)).unwrap().generation, 1);
+        // A caller-supplied generation is overwritten by the stamp.
+        let mut run2 = run2;
+        run2.insert(
+            key(7),
+            StoredFitness {
+                generation: 999,
+                ..value(7)
+            },
+        );
+        assert_eq!(run2.get(&key(7)).unwrap().generation, 2);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn contended_lock_degrades_save_to_a_skip() {
+        let path = scratch("locked");
+        let mut store = FitnessStore::load(&path);
+        store.insert(key(1), value(1));
+
+        let held = StoreLock::acquire(&path).unwrap().expect("lock free");
+        // A second acquire (same path, lock held by a live pid — ours)
+        // reports busy instead of stealing.
+        assert!(StoreLock::acquire(&path).unwrap().is_none());
+        assert_eq!(store.save().unwrap(), SaveOutcome::SkippedLocked);
+        // Nothing reached disk; the pending queue survived for a retry.
+        assert!(!path.exists());
+        assert_eq!(store.pending_len(), 1);
+
+        drop(held);
+        assert_eq!(store.save().unwrap(), SaveOutcome::Written);
+        assert_eq!(store.pending_len(), 0);
+        assert_eq!(FitnessStore::load(&path).len(), 1);
+        // The lock file does not outlive the save.
+        assert!(!StoreLock::lock_path(&path).exists());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stale_lock_of_a_dead_process_is_reclaimed() {
+        let path = scratch("stale_lock");
+        // No live process has this pid (pid_max is far below u32::MAX).
+        fs::write(StoreLock::lock_path(&path), b"4294967294").unwrap();
+        let mut store = FitnessStore::load(&path);
+        store.insert(key(2), value(2));
+        assert_eq!(store.save().unwrap(), SaveOutcome::Written);
+        assert_eq!(FitnessStore::load(&path).len(), 1);
+        assert!(!StoreLock::lock_path(&path).exists());
+
+        // An *empty* lock file — an acquire killed between create and
+        // pid write — is a torn lock with no identifiable owner:
+        // reclaimed, not a permanent wedge.
+        fs::write(StoreLock::lock_path(&path), b"").unwrap();
+        store.insert(key(3), value(3));
+        assert_eq!(store.save().unwrap(), SaveOutcome::Written);
+        assert!(!StoreLock::lock_path(&path).exists());
+
+        // A lock file with garbled non-empty content is foreign: left
+        // alone.
+        fs::write(StoreLock::lock_path(&path), b"not a pid").unwrap();
+        store.insert(key(4), value(4));
+        assert_eq!(store.save().unwrap(), SaveOutcome::SkippedLocked);
+        fs::remove_file(StoreLock::lock_path(&path)).unwrap();
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn drain_pending_fitness_reroutes_results_away_from_save() {
+        let path = scratch("drain");
+        let mut client_side = FitnessStore::in_memory();
+        client_side.insert(key(1), value(1));
+        client_side.insert(key(2), value(2));
+        client_side.record_module_features(0xF, feats(1));
+        let drained = client_side.drain_pending_fitness();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].0, key(1));
+        assert_eq!(client_side.pending_len(), 0);
+        assert_eq!(client_side.drain_pending_fitness(), vec![]);
+        // The in-memory map still serves lookups (client-side cache).
+        assert!(client_side.get(&key(1)).is_some());
+
+        // Server side: draining into a real store persists exactly the
+        // shipped records (single-writer merge path).
+        let mut server_side = FitnessStore::load(&path);
+        for (k, v) in drained {
+            server_side.insert(k, v);
+        }
+        server_side.save().unwrap();
+        assert_eq!(FitnessStore::load(&path).len(), 2);
+        fs::remove_file(&path).unwrap();
     }
 }

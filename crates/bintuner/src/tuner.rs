@@ -6,13 +6,30 @@
 use crate::db::{Database, IterationRow};
 use crate::engine::{EngineConfig, EngineStats, FitnessEngine, FAILED_COMPILE_PENALTY};
 use crate::priors::{mine_prior, PriorConfig, PriorMode};
-use crate::store::FitnessStore;
+use crate::service::{ServiceConfig, ServiceHandle, ServiceSummary};
+use crate::store::{FitnessStore, FlagBits, SaveOutcome, StoreKey, StoredFitness};
 use binrep::{Arch, Binary};
 use genetic::{Ga, GaParams, GaRun, StopReason, Termination};
 use lzc::NcdBaseline;
 use minicc::ast::Module;
 use minicc::{CompileError, Compiler, CompilerKind, EffectConfig, OptLevel};
 use std::path::PathBuf;
+
+/// Where fitness evaluation runs.
+#[derive(Debug, Clone, Default)]
+pub enum Backend {
+    /// The in-process worker pool ([`FitnessEngine`]'s own threads) —
+    /// the default, and the reference semantics.
+    #[default]
+    InProcess,
+    /// The sharded client–server evaluation service (`evald`): the
+    /// engine's deduplicated miss lists are dispatched to a farm of
+    /// worker clients with work stealing and straggler re-dispatch,
+    /// while this process keeps the GA, every cache tier, and the single
+    /// writable store. Bit-identical results to [`Backend::InProcess`]
+    /// on the same seed — only the deployment shape changes.
+    Service(ServiceConfig),
+}
 
 /// Tuner configuration.
 #[derive(Debug, Clone)]
@@ -56,10 +73,15 @@ pub struct TunerConfig {
     /// store mines an empty prior, so the run degrades exactly to the
     /// unseeded cold run — differentially tested.
     pub priors: PriorMode,
-    /// Mining knobs (seed count, confidence support, bias band) applied
-    /// whenever [`TunerConfig::priors`] is on. The default preserves the
-    /// differential guarantees above.
+    /// Mining knobs (seed count, confidence support, bias band, age
+    /// decay) applied whenever [`TunerConfig::priors`] is on. The
+    /// default preserves the differential guarantees above.
     pub prior_config: PriorConfig,
+    /// Evaluation backend: the in-process pool (default) or the sharded
+    /// client–server service (see [`Backend`]). The tuned result is
+    /// identical either way; only wall-clock and deployment shape
+    /// change.
+    pub backend: Backend,
 }
 
 impl Default for TunerConfig {
@@ -81,6 +103,7 @@ impl Default for TunerConfig {
             dedup: false,
             priors: PriorMode::Off,
             prior_config: PriorConfig::default(),
+            backend: Backend::InProcess,
         }
     }
 }
@@ -89,9 +112,14 @@ impl Default for TunerConfig {
 ///
 /// Candidate flag vectors that fail to compile are *not* errors: the
 /// engine scores them with [`FAILED_COMPILE_PENALTY`] and the GA selects
-/// against them (BinTuner's constraint-violation handling). Only the two
-/// compiles the run cannot proceed without surface here.
-#[derive(Debug, Clone, PartialEq)]
+/// against them (BinTuner's constraint-violation handling). Only the
+/// compiles the run cannot proceed without — and a service backend that
+/// cannot even start — surface here.
+///
+/// Implements [`std::error::Error`] with full source chaining (e.g.
+/// `Service → evald::EvaldError → std::io::Error`), so callers can `?`
+/// it into `Box<dyn Error>` and walk the chain uniformly.
+#[derive(Debug, Clone)]
 pub enum TuneError {
     /// The `-O0` baseline failed to compile — the module itself is
     /// invalid, so there is nothing to diff against.
@@ -99,6 +127,27 @@ pub enum TuneError {
     /// The winning flag vector failed to recompile at the end of the run
     /// (would indicate a constraint-repair bug; recorded, not panicked).
     BestRecompile(CompileError),
+    /// The evaluation service could not be launched (transport setup, or
+    /// no client survived the handshake). `Arc`-wrapped so `TuneError`
+    /// stays cheaply cloneable; the underlying [`evald::EvaldError`] —
+    /// and through it any I/O error — is reachable via
+    /// [`std::error::Error::source`].
+    Service(std::sync::Arc<evald::EvaldError>),
+}
+
+impl PartialEq for TuneError {
+    fn eq(&self, other: &TuneError) -> bool {
+        match (self, other) {
+            (TuneError::Baseline(a), TuneError::Baseline(b)) => a == b,
+            (TuneError::BestRecompile(a), TuneError::BestRecompile(b)) => a == b,
+            // EvaldError carries io::Error (not comparable); same
+            // rendering is the honest equivalence for tests/logging.
+            (TuneError::Service(a), TuneError::Service(b)) => {
+                std::sync::Arc::ptr_eq(a, b) || a.to_string() == b.to_string()
+            }
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for TuneError {
@@ -108,6 +157,7 @@ impl std::fmt::Display for TuneError {
             TuneError::BestRecompile(e) => {
                 write!(f, "best flag vector failed to recompile: {e}")
             }
+            TuneError::Service(e) => write!(f, "evaluation service failed to launch: {e}"),
         }
     }
 }
@@ -116,6 +166,7 @@ impl std::error::Error for TuneError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TuneError::Baseline(e) | TuneError::BestRecompile(e) => Some(e),
+            TuneError::Service(e) => Some(&**e),
         }
     }
 }
@@ -136,6 +187,11 @@ pub struct PersistSummary {
     pub new_entries: usize,
     /// The error message if saving the store failed.
     pub save_error: Option<String>,
+    /// The save was skipped because another live process holds the
+    /// store's advisory lock (two tuners sharing one `cache_path`): the
+    /// run's results are intact, only the warm start for future runs was
+    /// deferred. See [`crate::store::SaveOutcome::SkippedLocked`].
+    pub lock_skipped: bool,
 }
 
 /// What a mined prior contributed to one run (present iff
@@ -198,6 +254,9 @@ pub struct TuneResult {
     /// What the mined prior contributed ([`TunerConfig::priors`];
     /// `None` when priors are off or no store is configured).
     pub prior: Option<PriorSummary>,
+    /// Evaluation-service telemetry ([`TunerConfig::backend`]; `None`
+    /// for the in-process backend).
+    pub service: Option<ServiceSummary>,
 }
 
 /// BinTuner: tunes a module's optimization flags to maximize binary code
@@ -266,7 +325,16 @@ impl Tuner {
             )),
             _ => None,
         };
-        let engine = match store {
+        // Service backend: launch the client farm before the engine so
+        // the executor reference outlives the engine borrowing it.
+        let service = match &self.config.backend {
+            Backend::InProcess => None,
+            Backend::Service(cfg) => Some(
+                ServiceHandle::launch(cfg, self.config.compiler, module, self.config.arch)
+                    .map_err(|e| TuneError::Service(std::sync::Arc::new(e)))?,
+            ),
+        };
+        let mut engine = match store {
             Some(store) => FitnessEngine::with_store(
                 &self.compiler,
                 module,
@@ -276,6 +344,9 @@ impl Tuner {
             )?,
             None => FitnessEngine::new(&self.compiler, module, self.config.arch, engine_config)?,
         };
+        if let Some(service) = &service {
+            engine.set_executor(service);
+        }
         let mut ga_params = self.config.ga.clone();
         if let Some(prior) = &prior {
             ga_params.seeded_initial = prior.seeds.clone();
@@ -311,17 +382,53 @@ impl Tuner {
             ga.run_batched(&engine, repair, &self.config.termination)
         };
         let baseline = engine.baseline_binary().clone();
-        let stats = engine.stats();
-        let persistence = engine.into_store().map(|mut store| {
+        let mut stats = engine.stats();
+        let store_after = engine.into_store();
+        // Tear the service down before saving: its merge records fold
+        // into the store through this single writer (appends serialized
+        // server-side — the clients never touch the file). The engine
+        // already recorded every dispatched miss itself, so these
+        // inserts dedup to no-ops; the fold is the defense-in-depth end
+        // of the merge protocol, not the store-fill path (see
+        // `service` module docs).
+        let service_outcome = service.map(ServiceHandle::finish);
+        let persistence = store_after.map(|mut store| {
+            if let Some((_, merged)) = &service_outcome {
+                for rec in merged {
+                    store.insert(
+                        StoreKey {
+                            module_hash: rec.module_hash,
+                            compiler: rec.compiler,
+                            arch: rec.arch,
+                            effect_digest: rec.effect_digest,
+                        },
+                        StoredFitness {
+                            fitness: f64::from_bits(rec.fitness_bits),
+                            failed: rec.failed,
+                            flags: FlagBits::from_bools(&rec.flags),
+                            generation: 0, // stamped by the store
+                        },
+                    );
+                }
+            }
             let new_entries = store.pending_len();
-            let save_error = store.save().err().map(|e| e.to_string());
+            let (save_error, lock_skipped) = match store.save() {
+                Ok(SaveOutcome::Written) => (None, false),
+                Ok(SaveOutcome::SkippedLocked) => (None, true),
+                Err(e) => (Some(e.to_string()), false),
+            };
             PersistSummary {
                 path: store.path().expect("store built from a path").to_path_buf(),
                 loaded_entries,
                 new_entries,
                 save_error,
+                lock_skipped,
             }
         });
+        let service_summary = service_outcome.map(|(summary, _)| summary);
+        if let Some(summary) = &service_summary {
+            stats.duplicate_results = summary.duplicate_results;
+        }
         let prior_summary = prior.map(|p| {
             let seed_best_ncd = run
                 .history
@@ -347,7 +454,15 @@ impl Tuner {
                 },
             }
         });
-        self.finish(module, run, baseline, stats, persistence, prior_summary)
+        self.finish(
+            module,
+            run,
+            baseline,
+            stats,
+            persistence,
+            prior_summary,
+            service_summary,
+        )
     }
 
     /// Reference path: evaluate one individual at a time through the
@@ -378,11 +493,20 @@ impl Tuner {
             |flags, seed| profile.constraints().repair(flags, seed),
             &self.config.termination,
         );
-        self.finish(module, run, baseline, EngineStats::default(), None, None)
+        self.finish(
+            module,
+            run,
+            baseline,
+            EngineStats::default(),
+            None,
+            None,
+            None,
+        )
     }
 
     /// Shared post-processing: fill the iteration database, recompile the
     /// winner, assemble the result.
+    #[allow(clippy::too_many_arguments)] // internal assembly seam
     fn finish(
         &self,
         module: &Module,
@@ -391,6 +515,7 @@ impl Tuner {
         engine_stats: EngineStats,
         persistence: Option<PersistSummary>,
         prior: Option<PriorSummary>,
+        service: Option<ServiceSummary>,
     ) -> Result<TuneResult, TuneError> {
         let mut db = Database::new();
         for rec in &run.history {
@@ -423,6 +548,7 @@ impl Tuner {
             skipped_duplicates: run.skipped_duplicates,
             persistence,
             prior,
+            service,
         })
     }
 }

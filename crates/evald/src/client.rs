@@ -1,0 +1,214 @@
+//! The worker-client loop.
+//!
+//! A client is a [`ShardWorker`] (supplied by the embedder — in the
+//! BinTuner reproduction, a full fitness engine with its own compiler,
+//! `-O0` baseline and local caches) driven by [`run_client`]: announce
+//! yourself ([`crate::wire::Frame::Hello`]), then serve `Work` frames
+//! until the server says `Shutdown`. At every `EndBatch` the worker's
+//! fresh local-cache records are flushed back as a `Merge` frame — the
+//! client never writes any store itself; the server is the single
+//! writer.
+
+use crate::transport::Duplex;
+use crate::wire::{decode_frame, encode_frame, Frame, MergeRecord, ShardStats, WireEval};
+use crate::EvaldError;
+
+/// The embedder's evaluation engine, as seen by the client loop.
+pub trait ShardWorker {
+    /// Evaluate one shard of genomes, returning one [`WireEval`] per
+    /// genome in shard order, plus per-shard telemetry. Must be a pure
+    /// function of the genomes (caching aside): the server's straggler
+    /// re-dispatch relies on duplicate evaluations being bit-identical.
+    fn evaluate(&mut self, genomes: &[Vec<bool>]) -> (Vec<WireEval>, ShardStats);
+
+    /// Drain the records the local cache accumulated since the last
+    /// drain (merged into the server-side store at batch end). Workers
+    /// without a cache return nothing.
+    fn drain_merge(&mut self) -> Vec<MergeRecord> {
+        Vec::new()
+    }
+}
+
+/// Per-client launch options.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientOptions {
+    /// Zero-based client id (reported on every result frame).
+    pub client_id: u32,
+    /// Chromosome width this worker evaluates (handshake-checked).
+    pub n_flags: u16,
+    /// Chaos hook: drop the connection after completing this many shards
+    /// (see [`crate::FaultPlan`]). `None` in production.
+    pub fail_after_shards: Option<usize>,
+}
+
+/// Drive `worker` over `duplex` until the server shuts the client down
+/// (clean exit) or the connection drops.
+///
+/// # Errors
+///
+/// Transport and decode errors propagate; a server that simply goes away
+/// surfaces as [`EvaldError::Disconnected`], which launchers usually
+/// treat as a normal end of service.
+pub fn run_client(
+    worker: &mut dyn ShardWorker,
+    mut duplex: Duplex,
+    opts: &ClientOptions,
+) -> Result<(), EvaldError> {
+    duplex.tx.send_frame(&encode_frame(&Frame::Hello {
+        client: opts.client_id,
+        n_flags: opts.n_flags,
+    }))?;
+    let mut shards_done = 0usize;
+    loop {
+        let bytes = duplex.rx.recv_frame()?;
+        let (frame, _) = decode_frame(&bytes)?;
+        match frame {
+            Frame::Work { shard, genomes } => {
+                let (evals, stats) = worker.evaluate(&genomes);
+                duplex.tx.send_frame(&encode_frame(&Frame::Result {
+                    shard,
+                    client: opts.client_id,
+                    evals,
+                    stats,
+                }))?;
+                shards_done += 1;
+                if opts.fail_after_shards == Some(shards_done) {
+                    // Simulated crash: drop the connection without a word
+                    // (the server must recover via re-dispatch).
+                    return Ok(());
+                }
+            }
+            Frame::EndBatch { .. } => {
+                duplex.tx.send_frame(&encode_frame(&Frame::Merge {
+                    client: opts.client_id,
+                    records: worker.drain_merge(),
+                }))?;
+            }
+            Frame::Shutdown => return Ok(()),
+            // Server-bound frames are never addressed to a client;
+            // ignore rather than die (forward compatibility).
+            Frame::Hello { .. } | Frame::Result { .. } | Frame::Merge { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::channel_duplex;
+
+    struct Constant;
+
+    impl ShardWorker for Constant {
+        fn evaluate(&mut self, genomes: &[Vec<bool>]) -> (Vec<WireEval>, ShardStats) {
+            (
+                genomes
+                    .iter()
+                    .map(|_| WireEval {
+                        fitness_bits: 1.0f64.to_bits(),
+                        failed: false,
+                        wall_seconds_bits: 0,
+                    })
+                    .collect(),
+                ShardStats::default(),
+            )
+        }
+    }
+
+    #[test]
+    fn client_answers_work_and_exits_on_shutdown() {
+        let (mut server, client) = channel_duplex();
+        let handle = std::thread::spawn(move || {
+            let mut w = Constant;
+            run_client(
+                &mut w,
+                client,
+                &ClientOptions {
+                    client_id: 5,
+                    n_flags: 3,
+                    fail_after_shards: None,
+                },
+            )
+        });
+        // Hello arrives first.
+        let (hello, _) = decode_frame(&server.rx.recv_frame().unwrap()).unwrap();
+        assert_eq!(
+            hello,
+            Frame::Hello {
+                client: 5,
+                n_flags: 3
+            }
+        );
+        server
+            .tx
+            .send_frame(&encode_frame(&Frame::Work {
+                shard: 11,
+                genomes: vec![vec![true, false, true]],
+            }))
+            .unwrap();
+        let (result, _) = decode_frame(&server.rx.recv_frame().unwrap()).unwrap();
+        match result {
+            Frame::Result {
+                shard,
+                client,
+                evals,
+                ..
+            } => {
+                assert_eq!(shard, 11);
+                assert_eq!(client, 5);
+                assert_eq!(evals.len(), 1);
+            }
+            other => panic!("expected Result, got {other:?}"),
+        }
+        // EndBatch yields a (possibly empty) merge.
+        server
+            .tx
+            .send_frame(&encode_frame(&Frame::EndBatch { batch: 0 }))
+            .unwrap();
+        let (merge, _) = decode_frame(&server.rx.recv_frame().unwrap()).unwrap();
+        assert_eq!(
+            merge,
+            Frame::Merge {
+                client: 5,
+                records: vec![]
+            }
+        );
+        server
+            .tx
+            .send_frame(&encode_frame(&Frame::Shutdown))
+            .unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn fault_plan_drops_the_connection_after_n_shards() {
+        let (mut server, client) = channel_duplex();
+        let handle = std::thread::spawn(move || {
+            let mut w = Constant;
+            run_client(
+                &mut w,
+                client,
+                &ClientOptions {
+                    client_id: 0,
+                    n_flags: 1,
+                    fail_after_shards: Some(1),
+                },
+            )
+        });
+        let _hello = server.rx.recv_frame().unwrap();
+        server
+            .tx
+            .send_frame(&encode_frame(&Frame::Work {
+                shard: 0,
+                genomes: vec![vec![true]],
+            }))
+            .unwrap();
+        let _result = server.rx.recv_frame().unwrap();
+        // The client is gone now: the next receive reports a disconnect.
+        assert!(matches!(
+            server.rx.recv_frame(),
+            Err(EvaldError::Disconnected)
+        ));
+        handle.join().unwrap().unwrap();
+    }
+}

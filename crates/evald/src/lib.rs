@@ -1,0 +1,227 @@
+//! # evald — the sharded client–server evaluation service
+//!
+//! BinTuner's real deployment (paper §5 "Implementation") is
+//! client–server: the server runs the genetic algorithm while a farm of
+//! clients compiles candidate configurations and scores binary
+//! difference. This crate is that deployment's machinery, kept fully
+//! runnable offline: every "remote" client is a thread in the same
+//! process, but all traffic flows through the same versioned wire format
+//! and transport abstraction a real farm would use, so swapping the
+//! in-process duplex channel for a Unix-domain socket (or, one day, TCP)
+//! changes nothing above the transport layer.
+//!
+//! The crate is deliberately *generic*: it moves genome batches out and
+//! evaluation results back, but knows nothing about compilers or NCD.
+//! The embedder (the `bintuner` crate) supplies a [`ShardWorker`] per
+//! client — there, a full fitness engine — and receives ordered results
+//! plus the clients' [`MergeRecord`]s to fold into the single writable
+//! fitness store it owns. That single-writer rule is the point: clients
+//! only ever *send* results; the server serializes every store append.
+//!
+//! Layers, bottom up:
+//!
+//! * [`wire`] — versioned, length-prefixed, checksummed frames with
+//!   canonical little-endian encodings (round-trip property-tested;
+//!   truncated or version-mismatched frames are rejected, never
+//!   misread).
+//! * [`transport`] — [`FrameSender`]/[`FrameReceiver`] halves with two
+//!   implementations: an in-process duplex channel and a Unix-domain
+//!   socket.
+//! * [`scheduler`] — the work-stealing shard queue: a batch's genomes
+//!   are chunked by a [`CostModel`] seeded from the module's shape
+//!   features, idle clients steal outstanding shards from stragglers,
+//!   and the first result for a shard wins (duplicates are counted, not
+//!   errors).
+//! * [`server`] / [`client`] — the dispatch loop ([`EvalServer`]) and
+//!   the worker loop ([`run_client`]).
+//!
+//! Determinism: results are assembled by shard offset, and duplicate
+//! results of a re-dispatched shard are bit-identical (evaluation is a
+//! pure function of the genome), so the *batch result* is independent of
+//! scheduling, client count, transport, and even mid-batch client death
+//! — the property the embedder's differential tests pin.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod scheduler;
+pub mod server;
+pub mod transport;
+pub mod wire;
+
+pub use client::{run_client, ClientOptions, ShardWorker};
+pub use scheduler::{CostModel, Scheduler};
+pub use server::{EvalServer, ServiceStats};
+pub use transport::{
+    channel_duplex, unix_connect, unix_listener, Duplex, FrameReceiver, FrameSender,
+};
+pub use wire::{Frame, MergeRecord, ShardStats, WireEval, WIRE_VERSION};
+
+use std::fmt;
+
+/// Which transport carries frames between server and clients.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TransportKind {
+    /// In-process duplex channel (no filesystem footprint; the fastest
+    /// option when clients are threads of the tuning process).
+    #[default]
+    Channel,
+    /// Unix-domain socket: clients connect to a socket file, exercising
+    /// real stream framing. The closest offline stand-in for the paper's
+    /// networked deployment.
+    Unix,
+}
+
+impl fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TransportKind::Channel => "channel",
+            TransportKind::Unix => "unix-socket",
+        })
+    }
+}
+
+/// A deliberate mid-run client failure, for resilience tests (chaos
+/// engineering): the chosen client drops its connection after completing
+/// a number of shards, and the service must finish the batch via
+/// re-dispatch with an identical result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Zero-based index of the client that dies.
+    pub client: usize,
+    /// Shards the client completes before dropping its connection.
+    pub after_shards: usize,
+}
+
+/// Configuration of one evaluation service.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker clients to launch (`0` is treated as `1`).
+    pub clients: usize,
+    /// Transport between server and clients.
+    pub transport: TransportKind,
+    /// Chaos hook: kill one client mid-run (see [`FaultPlan`]). `None`
+    /// in production.
+    pub fault: Option<FaultPlan>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            clients: 2,
+            transport: TransportKind::Channel,
+            fault: None,
+        }
+    }
+}
+
+/// Errors of the evaluation service.
+///
+/// Implements [`std::error::Error`] with source chaining (an I/O failure
+/// underneath a transport error stays inspectable through
+/// [`std::error::Error::source`]), so embedders can wrap it in their own
+/// error types and `?` uniformly.
+#[derive(Debug)]
+pub enum EvaldError {
+    /// An underlying I/O failure (socket create/read/write).
+    Io(std::io::Error),
+    /// A frame was shorter than its declared (or minimum) length.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The frame carried a different wire-format version.
+    VersionMismatch {
+        /// Version found in the frame header.
+        got: u32,
+        /// The version this build speaks ([`WIRE_VERSION`]).
+        want: u32,
+    },
+    /// The frame did not start with the `EVLD` magic.
+    BadMagic,
+    /// A structurally invalid frame (bad checksum, unknown tag,
+    /// malformed payload).
+    Corrupt(&'static str),
+    /// The peer closed the connection.
+    Disconnected,
+    /// No clients survived the handshake (or all died mid-batch with
+    /// work outstanding).
+    NoClients,
+    /// A client sent a frame the protocol does not allow in its current
+    /// state.
+    Protocol(&'static str),
+}
+
+impl fmt::Display for EvaldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvaldError::Io(e) => write!(f, "evaluation-service I/O error: {e}"),
+            EvaldError::Truncated { needed, got } => {
+                write!(f, "truncated frame: needed {needed} bytes, got {got}")
+            }
+            EvaldError::VersionMismatch { got, want } => {
+                write!(
+                    f,
+                    "wire version mismatch: frame is v{got}, this build speaks v{want}"
+                )
+            }
+            EvaldError::BadMagic => write!(f, "frame does not start with the EVLD magic"),
+            EvaldError::Corrupt(what) => write!(f, "corrupt frame: {what}"),
+            EvaldError::Disconnected => write!(f, "peer closed the connection"),
+            EvaldError::NoClients => write!(f, "no live worker clients"),
+            EvaldError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EvaldError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvaldError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for EvaldError {
+    fn from(e: std::io::Error) -> EvaldError {
+        EvaldError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source_chain() {
+        let io = EvaldError::Io(std::io::Error::new(
+            std::io::ErrorKind::AddrInUse,
+            "socket busy",
+        ));
+        assert!(io.to_string().contains("socket busy"));
+        // Source chaining: the io::Error stays reachable.
+        let src = std::error::Error::source(&io).expect("chained source");
+        assert!(src.to_string().contains("socket busy"));
+        assert!(std::error::Error::source(&EvaldError::Disconnected).is_none());
+
+        let vm = EvaldError::VersionMismatch { got: 9, want: 1 };
+        assert!(vm.to_string().contains("v9"));
+        // `?` compatibility with Box<dyn Error>.
+        fn takes_boxed() -> Result<(), Box<dyn std::error::Error>> {
+            Err(EvaldError::NoClients)?
+        }
+        assert!(takes_boxed().is_err());
+    }
+
+    #[test]
+    fn config_defaults() {
+        let cfg = ServiceConfig::default();
+        assert_eq!(cfg.clients, 2);
+        assert_eq!(cfg.transport, TransportKind::Channel);
+        assert!(cfg.fault.is_none());
+        assert_eq!(TransportKind::Unix.to_string(), "unix-socket");
+    }
+}

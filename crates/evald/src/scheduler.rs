@@ -1,0 +1,333 @@
+//! Work-stealing shard dispatch with cost-model-guided chunking.
+//!
+//! A batch of genomes is split into *shards* — contiguous chunks sized by
+//! a [`CostModel`] seeded from the tuned module's shape features — and
+//! fed to clients from one queue. The replacement for static striding
+//! (the ROADMAP's "adaptive batch scheduling" item) is twofold:
+//!
+//! * **Work stealing** — clients pull the next pending shard whenever
+//!   they finish one, so a slow client simply contributes fewer shards
+//!   instead of stalling the batch behind its fixed stripe.
+//! * **Straggler re-dispatch** — once the pending queue is drained, an
+//!   idle client is handed a *copy* of an outstanding shard (the one
+//!   with the fewest active assignees). The first result wins;
+//!   late duplicates are counted in telemetry, not errors. Because
+//!   evaluation is a pure function of the genome, duplicate results are
+//!   bit-identical and the batch outcome is scheduling-independent.
+//!
+//! The scheduler is plain data behind the server's event loop — no locks
+//! of its own, no threads, fully unit-testable.
+
+use minicc::ModuleFeatures;
+use std::collections::VecDeque;
+
+/// Target modelled cost of one shard, in arbitrary cost-model units.
+/// Shards far cheaper than this get coarser (framing amortization);
+/// costlier modules get finer shards (stealing granularity).
+const TARGET_SHARD_COST: f64 = 64.0;
+
+/// Desired shards per client when cost does not constrain the split —
+/// enough granularity that stealing can rebalance a 2–3x speed skew.
+const SHARDS_PER_CLIENT: usize = 4;
+
+/// Maximum concurrent copies of one shard (the original assignment plus
+/// one straggler re-dispatch). Without hardware clocks in the dispatch
+/// loop there is no straggle *detector*, so the bound is what keeps an
+/// idle farm from re-evaluating the whole batch tail: redundant work is
+/// capped at one extra copy per shard, while a genuinely dead or stuck
+/// client still cannot stall a shard (its slot is freed on
+/// [`Scheduler::client_dead`], and a sole-assignee death re-queues the
+/// shard outright).
+const MAX_SHARD_COPIES: usize = 2;
+
+/// A crude per-compile cost estimate derived from module shape — enough
+/// to *rank* modules (a 10x bigger module gets ~10x smaller shards), not
+/// to predict wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Modelled cost of compiling + scoring one genome, in arbitrary
+    /// units (1.0 ≈ a small benchmark module).
+    pub cost_per_genome: f64,
+}
+
+impl CostModel {
+    /// A neutral model (every compile costs one unit).
+    pub fn uniform() -> CostModel {
+        CostModel {
+            cost_per_genome: 1.0,
+        }
+    }
+
+    /// Seed the model from a module's shape features: compile cost is
+    /// dominated by AST size, with loops and calls weighted extra (they
+    /// drive the optimizer's iterative passes).
+    pub fn from_features(f: &ModuleFeatures) -> CostModel {
+        let [_, _, _, ast_nodes, loops, _, calls, _] = f.counts;
+        let cost = (f64::from(ast_nodes) + 8.0 * f64::from(loops) + 2.0 * f64::from(calls)) / 100.0;
+        CostModel {
+            cost_per_genome: cost.max(0.01),
+        }
+    }
+
+    /// Shard size for a batch of `genomes` across `clients`: the finer
+    /// of "≈4 shards per client" (stealing granularity) and "≤64
+    /// modelled units per shard" (cost bound), floored at one genome.
+    pub fn shard_size(&self, genomes: usize, clients: usize) -> usize {
+        if genomes == 0 {
+            return 1;
+        }
+        let by_granularity = (genomes as f64 / (clients.max(1) * SHARDS_PER_CLIENT) as f64).ceil();
+        let by_cost = (TARGET_SHARD_COST / self.cost_per_genome).floor().max(1.0);
+        by_granularity.min(by_cost).max(1.0) as usize
+    }
+}
+
+struct ShardState {
+    /// Offset of the shard's first genome in the batch.
+    start: usize,
+    genomes: Vec<Vec<bool>>,
+    /// Clients currently holding a copy of this shard.
+    assigned: Vec<u32>,
+    done: bool,
+}
+
+/// One batch's dispatch state (see module docs).
+pub struct Scheduler {
+    base_id: u64,
+    shards: Vec<ShardState>,
+    pending: VecDeque<usize>,
+    completed: usize,
+    /// Shard copies handed out beyond the first assignment (straggler
+    /// re-dispatch).
+    pub redispatched: usize,
+}
+
+impl Scheduler {
+    /// Split `genomes` into shards of `shard_size`, ids starting at
+    /// `base_id` (ids must never be reused across batches, so stale
+    /// results from a previous batch cannot alias a live shard).
+    pub fn new(base_id: u64, genomes: &[Vec<bool>], shard_size: usize) -> Scheduler {
+        let size = shard_size.max(1);
+        let shards: Vec<ShardState> = genomes
+            .chunks(size)
+            .enumerate()
+            .map(|(i, chunk)| ShardState {
+                start: i * size,
+                genomes: chunk.to_vec(),
+                assigned: Vec::new(),
+                done: false,
+            })
+            .collect();
+        let pending = (0..shards.len()).collect();
+        Scheduler {
+            base_id,
+            shards,
+            pending,
+            completed: 0,
+            redispatched: 0,
+        }
+    }
+
+    /// Number of shards in the batch.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether every shard has a result.
+    pub fn all_done(&self) -> bool {
+        self.completed == self.shards.len()
+    }
+
+    /// Hand `client` its next shard: a fresh pending one if any, else a
+    /// copy of the outstanding shard with the fewest active assignees
+    /// that this client is not already working on and that is below the
+    /// copy cap (straggler re-dispatch, bounded by
+    /// `MAX_SHARD_COPIES = 2` concurrent copies so an idle farm does not
+    /// re-evaluate the entire batch tail). `None` when there is nothing
+    /// useful left for this client.
+    pub fn next_for(&mut self, client: u32) -> Option<(u64, Vec<Vec<bool>>)> {
+        while let Some(i) = self.pending.pop_front() {
+            let s = &mut self.shards[i];
+            if s.done {
+                continue; // completed while re-queued (racing client finished it)
+            }
+            s.assigned.push(client);
+            return Some((self.base_id + i as u64, s.genomes.clone()));
+        }
+        let steal = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                !s.done && s.assigned.len() < MAX_SHARD_COPIES && !s.assigned.contains(&client)
+            })
+            .min_by_key(|(i, s)| (s.assigned.len(), *i))
+            .map(|(i, _)| i)?;
+        self.redispatched += 1;
+        let s = &mut self.shards[steal];
+        s.assigned.push(client);
+        Some((self.base_id + steal as u64, s.genomes.clone()))
+    }
+
+    /// Record a shard result. Returns `Some(start_offset)` for the
+    /// *first* result of a live shard (the caller commits the
+    /// evaluations at that batch offset); `None` for duplicates and for
+    /// ids outside this batch (stale results of an earlier batch's
+    /// straggler copies).
+    pub fn complete(&mut self, shard: u64) -> Option<usize> {
+        let i = usize::try_from(shard.checked_sub(self.base_id)?).ok()?;
+        let s = self.shards.get_mut(i)?;
+        if s.done {
+            return None;
+        }
+        s.done = true;
+        self.completed += 1;
+        Some(s.start)
+    }
+
+    /// Expected number of evaluations in `shard`'s result (`None` for a
+    /// foreign id).
+    pub fn shard_len(&self, shard: u64) -> Option<usize> {
+        let i = usize::try_from(shard.checked_sub(self.base_id)?).ok()?;
+        self.shards.get(i).map(|s| s.genomes.len())
+    }
+
+    /// Forget a dead client: shards it was the only active assignee of
+    /// go back to the pending queue for someone else to pick up.
+    pub fn client_dead(&mut self, client: u32) {
+        for (i, s) in self.shards.iter_mut().enumerate() {
+            if s.done {
+                continue;
+            }
+            let held = s.assigned.contains(&client);
+            s.assigned.retain(|&c| c != client);
+            if held && s.assigned.is_empty() && !self.pending.contains(&i) {
+                self.pending.push_back(i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn genomes(n: usize) -> Vec<Vec<bool>> {
+        (0..n).map(|i| vec![i % 2 == 0; 4]).collect()
+    }
+
+    #[test]
+    fn cost_model_scales_shard_size_inversely_with_module_cost() {
+        let small = CostModel {
+            cost_per_genome: 0.1,
+        };
+        let big = CostModel {
+            cost_per_genome: 40.0,
+        };
+        // A cheap module gets coarse shards (bounded by granularity); an
+        // expensive one gets fine shards (bounded by cost).
+        assert!(small.shard_size(64, 2) >= big.shard_size(64, 2));
+        assert_eq!(big.shard_size(64, 2), 1);
+        assert!(small.shard_size(64, 2) <= 64usize.div_ceil(2 * SHARDS_PER_CLIENT));
+        // Degenerate inputs stay sane.
+        assert_eq!(CostModel::uniform().shard_size(0, 4), 1);
+        assert!(CostModel::uniform().shard_size(3, 0) >= 1);
+    }
+
+    #[test]
+    fn features_seed_a_positive_cost() {
+        let mut f = ModuleFeatures::default();
+        let zero_cost = CostModel::from_features(&f).cost_per_genome;
+        assert!(zero_cost > 0.0);
+        f.counts[3] = 500; // ast_nodes
+        f.counts[4] = 10; // loops
+        let c = CostModel::from_features(&f);
+        assert!(c.cost_per_genome > zero_cost);
+    }
+
+    #[test]
+    fn shards_cover_the_batch_exactly_once() {
+        let g = genomes(10);
+        let mut sched = Scheduler::new(100, &g, 3);
+        assert_eq!(sched.shard_count(), 4); // 3+3+3+1
+        let mut seen = vec![false; g.len()];
+        while let Some((id, shard)) = sched.next_for(0) {
+            let start = sched.complete(id).expect("first result");
+            assert_eq!(sched.shard_len(id), Some(shard.len()));
+            for (k, genome) in shard.iter().enumerate() {
+                assert!(!seen[start + k], "offset {} covered twice", start + k);
+                seen[start + k] = true;
+                assert_eq!(genome, &g[start + k]);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert!(sched.all_done());
+        assert_eq!(sched.redispatched, 0);
+    }
+
+    #[test]
+    fn idle_clients_steal_outstanding_shards_first_result_wins() {
+        let g = genomes(4);
+        let mut sched = Scheduler::new(0, &g, 2); // 2 shards
+        let (a, _) = sched.next_for(0).unwrap();
+        let (b, _) = sched.next_for(1).unwrap();
+        assert_ne!(a, b);
+        // Client 2 has nothing fresh: it steals (lowest-assignee shard).
+        let (stolen, shard) = sched.next_for(2).expect("steals a copy");
+        assert!(stolen == a || stolen == b);
+        assert_eq!(shard.len(), 2);
+        assert_eq!(sched.redispatched, 1);
+        // A client never steals a shard it already holds; with both
+        // shards held, client 0 can only steal the one client 1 has.
+        let (other, _) = sched.next_for(0).expect("steals the other shard");
+        assert_eq!(other, b);
+        // Both shards now hold two copies — the cap: a fourth client gets
+        // nothing rather than a third redundant copy.
+        assert!(sched.next_for(3).is_none());
+        assert_eq!(sched.redispatched, 2);
+        // First result wins; the duplicate is reported as such.
+        assert!(sched.complete(stolen).is_some());
+        assert!(sched.complete(stolen).is_none());
+        // Foreign ids (earlier batches) are duplicates too, not panics.
+        assert!(sched.complete(u64::MAX).is_none());
+        assert!(sched.shard_len(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn dead_client_work_is_requeued() {
+        let g = genomes(6);
+        let mut sched = Scheduler::new(10, &g, 2); // 3 shards
+        let (a, _) = sched.next_for(0).unwrap();
+        let (_b, _) = sched.next_for(1).unwrap();
+        let (_c, _) = sched.next_for(2).unwrap();
+        // Client 0 dies holding shard `a`: it must come back as pending
+        // and be handed to the next asking client as a *fresh* dispatch.
+        sched.client_dead(0);
+        let before = sched.redispatched;
+        let (re, _) = sched.next_for(1).expect("requeued shard");
+        assert_eq!(re, a);
+        assert_eq!(sched.redispatched, before, "requeue is not a steal");
+        // Death of a client holding nothing is a no-op.
+        sched.client_dead(7);
+    }
+
+    #[test]
+    fn steal_prefers_the_least_covered_shard() {
+        let g = genomes(6);
+        let mut sched = Scheduler::new(0, &g, 2); // shards 0,1,2
+        let (s0, _) = sched.next_for(0).unwrap();
+        let (s1, _) = sched.next_for(1).unwrap();
+        let (s2, _) = sched.next_for(2).unwrap();
+        assert_eq!((s0, s1, s2), (0, 1, 2));
+        // Client 3 steals shard 0 (lowest index among 1-assignee shards);
+        // client 4 then steals shard 1, not shard 0 again.
+        assert_eq!(sched.next_for(3).unwrap().0, 0);
+        assert_eq!(sched.next_for(4).unwrap().0, 1);
+        // Complete 0 and 1: the only steal target left for client 0 is 2.
+        sched.complete(0);
+        sched.complete(1);
+        assert_eq!(sched.next_for(0).unwrap().0, 2);
+        // Client 2 already holds shard 2 — nothing useful remains for it.
+        assert!(sched.next_for(2).is_none());
+    }
+}

@@ -1,0 +1,679 @@
+//! The server side: dispatch loop, result assembly, merge sink.
+//!
+//! [`EvalServer`] owns one sender per client connection plus a single
+//! event queue fed by per-connection reader threads. One call to
+//! [`EvalServer::evaluate`] is one batch:
+//!
+//! 1. the batch is chunked into shards ([`crate::Scheduler`]),
+//! 2. every live client is primed with a shard and re-fed as results
+//!    arrive (work stealing + straggler re-dispatch),
+//! 3. results are committed at their shard's batch offset — first result
+//!    wins, duplicates are counted,
+//! 4. after the last shard, every live client is asked to flush its
+//!    local cache ([`crate::wire::Frame::EndBatch`]); the returned
+//!    [`MergeRecord`]s accumulate in the server (the *single writer* of
+//!    the embedder's persistent store — the answer to the "concurrent
+//!    store writers" roadmap item is that nobody else ever writes).
+//!
+//! A dead client (closed connection, failed send, undecodable frame) is
+//! dropped from the rotation and its outstanding shards are re-queued;
+//! the batch completes as long as one client survives.
+
+use crate::scheduler::{CostModel, Scheduler};
+use crate::transport::Duplex;
+use crate::wire::{decode_frame, encode_frame, Frame, MergeRecord, WireEval};
+use crate::EvaldError;
+use std::collections::HashSet;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+/// Cumulative service telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Batches evaluated.
+    pub batches: usize,
+    /// Shards dispatched (first assignments).
+    pub shards: usize,
+    /// Shard copies handed to idle clients beyond the first assignment
+    /// (straggler re-dispatch).
+    pub redispatched_shards: usize,
+    /// Individual evaluations discarded because another client answered
+    /// the shard first (first result wins; duplicates are bit-identical).
+    pub duplicate_results: usize,
+    /// Client-cache records received in merge frames.
+    pub merged_records: usize,
+    /// Real compiles reported by clients (includes duplicated straggler
+    /// work — the farm's actual effort, unlike the embedder's logical
+    /// compile count).
+    pub client_compiles: u64,
+    /// Client-side cache hits reported by clients.
+    pub client_cache_hits: u64,
+    /// Clients lost over the service's lifetime.
+    pub clients_lost: usize,
+}
+
+enum Event {
+    Frame(u32, Frame),
+    Gone(u32, EvaldError),
+}
+
+/// The dispatch server (see module docs).
+pub struct EvalServer {
+    senders: Vec<Option<Box<dyn crate::transport::FrameSender>>>,
+    events: mpsc::Receiver<Event>,
+    readers: Vec<JoinHandle<()>>,
+    cost: CostModel,
+    next_shard_id: u64,
+    next_batch: u64,
+    stats: ServiceStats,
+    merged: Vec<MergeRecord>,
+    /// Why the most recently lost client went away (diagnostics).
+    last_loss: Option<String>,
+    /// Clients with no useful work at last dispatch — re-poked when a
+    /// client death re-queues shards.
+    idle: HashSet<u32>,
+}
+
+impl EvalServer {
+    /// Build a server over established connections and complete the
+    /// handshake: every client must send [`Frame::Hello`] with a
+    /// matching chromosome width. Clients that fail the handshake are
+    /// dropped (counted in [`ServiceStats::clients_lost`]).
+    ///
+    /// # Errors
+    ///
+    /// [`EvaldError::NoClients`] when no client survives the handshake.
+    pub fn new(
+        connections: Vec<Duplex>,
+        cost: CostModel,
+        expect_n_flags: u16,
+    ) -> Result<EvalServer, EvaldError> {
+        let (tx, rx) = mpsc::channel();
+        let mut senders = Vec::new();
+        let mut readers = Vec::new();
+        for (id, duplex) in connections.into_iter().enumerate() {
+            let id = id as u32;
+            let mut frame_rx = duplex.rx;
+            let tx = tx.clone();
+            senders.push(Some(duplex.tx));
+            readers.push(std::thread::spawn(move || loop {
+                match frame_rx.recv_frame() {
+                    Ok(bytes) => match decode_frame(&bytes) {
+                        Ok((frame, _)) => {
+                            if tx.send(Event::Frame(id, frame)).is_err() {
+                                return; // server gone
+                            }
+                        }
+                        Err(e) => {
+                            let _ = tx.send(Event::Gone(id, e));
+                            return;
+                        }
+                    },
+                    Err(e) => {
+                        let _ = tx.send(Event::Gone(id, e));
+                        return;
+                    }
+                }
+            }));
+        }
+        let mut server = EvalServer {
+            senders,
+            events: rx,
+            readers,
+            cost,
+            next_shard_id: 0,
+            next_batch: 0,
+            stats: ServiceStats::default(),
+            merged: Vec::new(),
+            last_loss: None,
+            idle: HashSet::new(),
+        };
+        server.handshake(expect_n_flags)?;
+        Ok(server)
+    }
+
+    fn alive(&self) -> usize {
+        self.senders.iter().filter(|s| s.is_some()).count()
+    }
+
+    fn alive_ids(&self) -> Vec<u32> {
+        self.senders
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| i as u32))
+            .collect()
+    }
+
+    fn drop_client(&mut self, client: u32) {
+        if let Some(mut sender) = self.senders[client as usize].take() {
+            // Sever the connection: a still-alive client (protocol
+            // violation, handshake mismatch) and our own reader thread
+            // must both observe EOF instead of blocking forever.
+            sender.close();
+            self.stats.clients_lost += 1;
+        }
+        self.idle.remove(&client);
+    }
+
+    /// Send a frame to `client`; on failure the client is dropped and
+    /// `false` returned.
+    fn send_to(&mut self, client: u32, frame: &Frame) -> bool {
+        let Some(sender) = self.senders[client as usize].as_mut() else {
+            return false;
+        };
+        if sender.send_frame(&encode_frame(frame)).is_err() {
+            self.drop_client(client);
+            return false;
+        }
+        true
+    }
+
+    fn handshake(&mut self, expect_n_flags: u16) -> Result<(), EvaldError> {
+        let mut pending: HashSet<u32> = self.alive_ids().into_iter().collect();
+        while !pending.is_empty() {
+            match self.events.recv() {
+                Ok(Event::Frame(c, Frame::Hello { n_flags, .. })) => {
+                    if n_flags != expect_n_flags {
+                        self.drop_client(c);
+                    }
+                    pending.remove(&c);
+                }
+                Ok(Event::Frame(c, _)) => {
+                    // Anything before Hello is a protocol violation.
+                    self.drop_client(c);
+                    pending.remove(&c);
+                }
+                Ok(Event::Gone(c, e)) => {
+                    self.last_loss = Some(e.to_string());
+                    self.drop_client(c);
+                    pending.remove(&c);
+                }
+                Err(_) => break, // all readers gone
+            }
+        }
+        if self.alive() == 0 {
+            return Err(EvaldError::NoClients);
+        }
+        Ok(())
+    }
+
+    /// Give `client` its next shard if the scheduler has one; otherwise
+    /// mark it idle.
+    fn dispatch_next(&mut self, sched: &mut Scheduler, client: u32) {
+        if self.senders[client as usize].is_none() {
+            return;
+        }
+        let Some((shard, genomes)) = sched.next_for(client) else {
+            self.idle.insert(client);
+            return;
+        };
+        if self.send_to(client, &Frame::Work { shard, genomes }) {
+            self.idle.remove(&client);
+        } else {
+            // Send failed: the client was dropped mid-dispatch. Release
+            // its shards; the reader's Gone event (a closed connection
+            // always produces one) re-pokes idle clients.
+            sched.client_dead(client);
+        }
+    }
+
+    /// Re-poke idle clients (after a death re-queued shards).
+    fn wake_idle(&mut self, sched: &mut Scheduler) {
+        let idle: Vec<u32> = self.idle.iter().copied().collect();
+        for c in idle {
+            self.dispatch_next(sched, c);
+        }
+    }
+
+    /// Evaluate one batch of genomes across the client farm, returning
+    /// one [`WireEval`] per genome in input order.
+    ///
+    /// # Errors
+    ///
+    /// [`EvaldError::NoClients`] when every client is dead with shards
+    /// still outstanding; [`EvaldError::Protocol`] when a client returns
+    /// a result of the wrong length (a broken worker build).
+    pub fn evaluate(&mut self, genomes: &[Vec<bool>]) -> Result<Vec<WireEval>, EvaldError> {
+        if genomes.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.alive() == 0 {
+            return Err(EvaldError::NoClients);
+        }
+        let shard_size = self.cost.shard_size(genomes.len(), self.alive());
+        let mut sched = Scheduler::new(self.next_shard_id, genomes, shard_size);
+        self.next_shard_id += sched.shard_count() as u64;
+        self.stats.batches += 1;
+        self.stats.shards += sched.shard_count();
+        let mut out: Vec<Option<WireEval>> = vec![None; genomes.len()];
+
+        self.idle.clear();
+        for c in self.alive_ids() {
+            self.dispatch_next(&mut sched, c);
+        }
+        while !sched.all_done() {
+            if self.alive() == 0 {
+                return Err(EvaldError::NoClients);
+            }
+            let event = self.events.recv().map_err(|_| EvaldError::NoClients)?;
+            match event {
+                Event::Frame(
+                    c,
+                    Frame::Result {
+                        shard,
+                        evals,
+                        stats,
+                        ..
+                    },
+                ) => {
+                    self.stats.client_compiles += u64::from(stats.compiles);
+                    self.stats.client_cache_hits += u64::from(stats.cache_hits);
+                    match sched.complete(shard) {
+                        Some(start) if sched.shard_len(shard) == Some(evals.len()) => {
+                            for (k, e) in evals.into_iter().enumerate() {
+                                out[start + k] = Some(e);
+                            }
+                        }
+                        Some(_) => {
+                            // Malformed result length: treat the client as
+                            // broken, re-queue the shard for someone else.
+                            // (complete() already marked it done — undo by
+                            // treating this as fatal for the client and
+                            // failing loudly instead of silently zeroing.)
+                            return Err(EvaldError::Protocol(
+                                "result length does not match its shard",
+                            ));
+                        }
+                        None => self.stats.duplicate_results += evals.len(),
+                    }
+                    self.dispatch_next(&mut sched, c);
+                }
+                Event::Frame(_, Frame::Merge { records, .. }) => self.apply_merge(records),
+                Event::Frame(c, _) => {
+                    // Work/EndBatch/Shutdown from a client, or a repeated
+                    // Hello: protocol violation — drop it.
+                    self.drop_client(c);
+                    sched.client_dead(c);
+                    self.wake_idle(&mut sched);
+                }
+                Event::Gone(c, e) => {
+                    self.last_loss = Some(e.to_string());
+                    self.drop_client(c);
+                    sched.client_dead(c);
+                    self.wake_idle(&mut sched);
+                }
+            }
+        }
+
+        self.flush_merges()?;
+        Ok(out
+            .into_iter()
+            .map(|e| e.expect("every shard completed"))
+            .collect())
+    }
+
+    /// End-of-batch barrier: ask every live client to flush its local
+    /// cache and wait for the merge frames (results of still-running
+    /// straggler copies arriving meanwhile are counted as duplicates).
+    fn flush_merges(&mut self) -> Result<(), EvaldError> {
+        let batch = self.next_batch;
+        self.next_batch += 1;
+        let mut waiting: HashSet<u32> = HashSet::new();
+        for c in self.alive_ids() {
+            if self.send_to(c, &Frame::EndBatch { batch }) {
+                waiting.insert(c);
+            }
+        }
+        while !waiting.is_empty() {
+            match self.events.recv() {
+                Ok(Event::Frame(c, Frame::Merge { records, .. })) => {
+                    self.apply_merge(records);
+                    waiting.remove(&c);
+                }
+                Ok(Event::Frame(_, Frame::Result { evals, stats, .. })) => {
+                    // A straggler finishing a re-dispatched copy after the
+                    // batch completed: pure duplicate.
+                    self.stats.client_compiles += u64::from(stats.compiles);
+                    self.stats.client_cache_hits += u64::from(stats.cache_hits);
+                    self.stats.duplicate_results += evals.len();
+                }
+                Ok(Event::Frame(c, _)) => {
+                    self.drop_client(c);
+                    waiting.remove(&c);
+                }
+                Ok(Event::Gone(c, e)) => {
+                    self.last_loss = Some(e.to_string());
+                    self.drop_client(c);
+                    waiting.remove(&c);
+                }
+                Err(_) => break,
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_merge(&mut self, records: Vec<MergeRecord>) {
+        self.stats.merged_records += records.len();
+        self.merged.extend(records);
+    }
+
+    /// Drain the accumulated client-cache records (the embedder folds
+    /// them into its store — the single write path).
+    pub fn take_merged(&mut self) -> Vec<MergeRecord> {
+        std::mem::take(&mut self.merged)
+    }
+
+    /// A snapshot of the service telemetry.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// Why the most recently lost client disconnected, if any did
+    /// (clean shard-drop deaths read as "peer closed the connection").
+    pub fn last_loss(&self) -> Option<&str> {
+        self.last_loss.as_deref()
+    }
+
+    /// Shut the service down: tell every live client to exit, then join
+    /// the reader threads. Returns the final telemetry.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.teardown();
+        self.stats
+    }
+
+    /// Idempotent teardown shared by [`EvalServer::shutdown`] and `Drop`.
+    fn teardown(&mut self) {
+        for c in self.alive_ids() {
+            self.send_to(c, &Frame::Shutdown);
+        }
+        // Sever every connection (queued frames drain first): channel
+        // transports close when the sender drops, stream transports need
+        // the explicit shutdown so clients and readers see EOF even if a
+        // client never processes the Shutdown frame.
+        for sender in self.senders.iter_mut().flatten() {
+            sender.close();
+        }
+        self.senders.clear();
+        for h in self.readers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for EvalServer {
+    /// A server dropped without [`EvalServer::shutdown`] — an embedder
+    /// error path between launch and teardown — must still sever every
+    /// connection and join its readers: on stream transports, merely
+    /// dropping the write halves would leave clients *and* readers
+    /// blocked forever (each holds its own clone of the stream).
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{run_client, ClientOptions, ShardWorker};
+    use crate::transport::channel_duplex;
+    use crate::wire::ShardStats;
+
+    /// Toy worker: fitness = popcount; remembers seen genomes to report
+    /// cache hits; merges one record per shard for sink coverage.
+    struct Popcount {
+        seen: std::collections::BTreeSet<Vec<bool>>,
+        pending: Vec<MergeRecord>,
+    }
+
+    impl Popcount {
+        fn new() -> Popcount {
+            Popcount {
+                seen: Default::default(),
+                pending: Vec::new(),
+            }
+        }
+    }
+
+    impl ShardWorker for Popcount {
+        fn evaluate(&mut self, genomes: &[Vec<bool>]) -> (Vec<WireEval>, ShardStats) {
+            let mut stats = ShardStats::default();
+            let evals = genomes
+                .iter()
+                .map(|g| {
+                    if self.seen.insert(g.clone()) {
+                        stats.compiles += 1;
+                    } else {
+                        stats.cache_hits += 1;
+                    }
+                    WireEval {
+                        fitness_bits: (g.iter().filter(|&&b| b).count() as f64).to_bits(),
+                        failed: false,
+                        wall_seconds_bits: 0,
+                    }
+                })
+                .collect();
+            self.pending.push(MergeRecord {
+                module_hash: 1,
+                compiler: 0,
+                arch: 0,
+                effect_digest: self.seen.len() as u128,
+                fitness_bits: 0,
+                failed: false,
+                flags: vec![],
+            });
+            (evals, stats)
+        }
+
+        fn drain_merge(&mut self) -> Vec<MergeRecord> {
+            std::mem::take(&mut self.pending)
+        }
+    }
+
+    fn launch(n_clients: usize, fail: Option<(usize, usize)>) -> (EvalServer, Vec<JoinHandle<()>>) {
+        let mut server_side = Vec::new();
+        let mut handles = Vec::new();
+        for i in 0..n_clients {
+            let (s, c) = channel_duplex();
+            server_side.push(s);
+            let opts = ClientOptions {
+                client_id: i as u32,
+                n_flags: 4,
+                fail_after_shards: fail.and_then(|(who, after)| (who == i).then_some(after)),
+            };
+            handles.push(std::thread::spawn(move || {
+                let mut w = Popcount::new();
+                let _ = run_client(&mut w, c, &opts);
+            }));
+        }
+        let server = EvalServer::new(server_side, CostModel::uniform(), 4).unwrap();
+        (server, handles)
+    }
+
+    fn batch(n: usize) -> Vec<Vec<bool>> {
+        (0..n)
+            .map(|i| (0..4).map(|b| (i >> b) & 1 == 1).collect())
+            .collect()
+    }
+
+    #[test]
+    fn batch_results_are_ordered_and_correct() {
+        let (mut server, handles) = launch(3, None);
+        let genomes = batch(16);
+        let evals = server.evaluate(&genomes).unwrap();
+        assert_eq!(evals.len(), 16);
+        for (g, e) in genomes.iter().zip(&evals) {
+            assert_eq!(e.fitness(), g.iter().filter(|&&b| b).count() as f64);
+        }
+        let stats = server.stats();
+        assert_eq!(stats.batches, 1);
+        assert!(stats.shards >= 3);
+        assert!(stats.merged_records > 0, "clients flushed their caches");
+        assert!(!server.take_merged().is_empty());
+        let final_stats = server.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(final_stats.clients_lost, 0);
+    }
+
+    #[test]
+    fn empty_batch_is_trivial() {
+        let (mut server, handles) = launch(1, None);
+        assert!(server.evaluate(&[]).unwrap().is_empty());
+        server.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn repeated_batches_reuse_the_farm() {
+        let (mut server, handles) = launch(2, None);
+        for round in 0..3 {
+            let evals = server.evaluate(&batch(12)).unwrap();
+            assert_eq!(evals.len(), 12, "round {round}");
+        }
+        let stats = server.stats();
+        assert_eq!(stats.batches, 3);
+        // Rounds 2 and 3 are pure client-cache hits.
+        assert!(stats.client_cache_hits > 0);
+        server.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn client_death_mid_run_is_survived_with_identical_results() {
+        // The victim dies after two shards; the batch must still complete
+        // with results identical to a healthy farm's.
+        let (mut healthy_server, healthy_handles) = launch(3, None);
+        let reference = healthy_server.evaluate(&batch(16)).unwrap();
+        healthy_server.shutdown();
+        for h in healthy_handles {
+            h.join().unwrap();
+        }
+
+        let (mut server, handles) = launch(3, Some((1, 2)));
+        let genomes = batch(16);
+        let evals = server.evaluate(&genomes).unwrap();
+        assert_eq!(evals, reference, "results are scheduling-independent");
+        // A second batch still works on the surviving clients.
+        let again = server.evaluate(&genomes).unwrap();
+        assert_eq!(again, reference);
+        let stats = server.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(stats.clients_lost, 1);
+    }
+
+    #[test]
+    fn losing_every_client_is_an_error_not_a_hang() {
+        let (mut server, handles) = launch(2, Some((0, 1)));
+        // Kill the second client too (fail plans only cover one, so use a
+        // batch large enough that the survivor carries it, then drop the
+        // server to tear everything down — here we only assert the
+        // one-client-dead path still completes, and that a server with
+        // zero clients errors).
+        let evals = server.evaluate(&batch(16)).unwrap();
+        assert_eq!(evals.len(), 16);
+        server.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        // All clients dead from the start: handshake fails.
+        let (s, c) = channel_duplex();
+        drop(c);
+        assert!(matches!(
+            EvalServer::new(vec![s], CostModel::uniform(), 4),
+            Err(EvaldError::NoClients)
+        ));
+    }
+
+    #[test]
+    fn dropping_a_live_unix_client_severs_the_socket() {
+        // A client that fails the handshake over a *stream* transport
+        // must be actively disconnected (socket shutdown), or it would
+        // block in recv forever and joining its thread would deadlock —
+        // dropping the server's write-half clone alone is not enough.
+        let path = std::env::temp_dir().join(format!("evald_{}_width.sock", std::process::id()));
+        let listener = crate::transport::unix_listener(&path).unwrap();
+        let client_path = path.clone();
+        let handle = std::thread::spawn(move || {
+            let duplex = crate::transport::unix_connect(&client_path).unwrap();
+            let mut w = Popcount::new();
+            // Wrong width: the server drops us; run_client must return
+            // (Disconnected) instead of blocking.
+            let _ = run_client(
+                &mut w,
+                duplex,
+                &ClientOptions {
+                    client_id: 0,
+                    n_flags: 9,
+                    fail_after_shards: None,
+                },
+            );
+        });
+        let server_end = crate::transport::unix_accept(&listener).unwrap();
+        assert!(matches!(
+            EvalServer::new(vec![server_end], CostModel::uniform(), 4),
+            Err(EvaldError::NoClients)
+        ));
+        // The join completing IS the assertion.
+        handle.join().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn dropping_the_server_without_shutdown_releases_unix_clients() {
+        // An embedder error path may drop the server between launch and
+        // shutdown(); Drop must still sever connections so clients and
+        // readers unblock (join completing is the assertion).
+        let path = std::env::temp_dir().join(format!("evald_{}_drop.sock", std::process::id()));
+        let listener = crate::transport::unix_listener(&path).unwrap();
+        let client_path = path.clone();
+        let handle = std::thread::spawn(move || {
+            let duplex = crate::transport::unix_connect(&client_path).unwrap();
+            let mut w = Popcount::new();
+            let _ = run_client(
+                &mut w,
+                duplex,
+                &ClientOptions {
+                    client_id: 0,
+                    n_flags: 4,
+                    fail_after_shards: None,
+                },
+            );
+        });
+        let server_end = crate::transport::unix_accept(&listener).unwrap();
+        let server = EvalServer::new(vec![server_end], CostModel::uniform(), 4).unwrap();
+        drop(server);
+        handle.join().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn width_mismatch_fails_the_handshake() {
+        let (s, c) = channel_duplex();
+        let handle = std::thread::spawn(move || {
+            let mut w = Popcount::new();
+            let _ = run_client(
+                &mut w,
+                c,
+                &ClientOptions {
+                    client_id: 0,
+                    n_flags: 9, // server expects 4
+                    fail_after_shards: None,
+                },
+            );
+        });
+        assert!(matches!(
+            EvalServer::new(vec![s], CostModel::uniform(), 4),
+            Err(EvaldError::NoClients)
+        ));
+        // The dropped client unblocks once its channel closes.
+        handle.join().unwrap();
+    }
+}

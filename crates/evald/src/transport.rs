@@ -1,0 +1,280 @@
+//! Transports: how encoded frames move between server and clients.
+//!
+//! A transport is a pair of directional halves — [`FrameSender`] /
+//! [`FrameReceiver`] — delivering whole encoded frames (as produced by
+//! [`crate::wire::encode_frame`], length prefix included). Keeping the
+//! halves separate lets the server hold every client's sender in its
+//! dispatch loop while a per-connection reader thread owns the receiver.
+//!
+//! Two implementations:
+//!
+//! * **Duplex channel** ([`channel_duplex`]) — a pair of in-process
+//!   `mpsc` channels. Zero filesystem footprint; frames still travel as
+//!   encoded bytes, so the wire format is exercised end to end.
+//! * **Unix-domain socket** ([`unix_listener`] / [`unix_connect`]) — a
+//!   real `SOCK_STREAM` socket: the sender writes the encoded frame, the
+//!   receiver reads the length prefix then the body. The closest offline
+//!   stand-in for the paper's networked client–server deployment.
+//!
+//! Both report a closed peer as [`EvaldError::Disconnected`] — the signal
+//! the server's straggler re-dispatch turns into "re-queue this client's
+//! work".
+
+use crate::wire::MAX_FRAME_LEN;
+use crate::EvaldError;
+use std::io::{ErrorKind, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::mpsc;
+
+/// The sending half of a connection.
+pub trait FrameSender: Send {
+    /// Deliver one encoded frame (as produced by
+    /// [`crate::wire::encode_frame`]).
+    ///
+    /// # Errors
+    ///
+    /// [`EvaldError::Disconnected`] when the peer is gone;
+    /// [`EvaldError::Io`] for underlying socket failures.
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), EvaldError>;
+
+    /// Sever the connection so a peer blocked in a receive observes it.
+    ///
+    /// Channel transports get this for free (dropping the sender closes
+    /// the channel), so the default is a no-op; stream transports must
+    /// shut the socket down — the receiving half is a *clone* of the
+    /// same stream held by a reader thread, and merely dropping the
+    /// sender would leave both the peer and that reader blocked
+    /// forever.
+    fn close(&mut self) {}
+}
+
+/// The receiving half of a connection.
+pub trait FrameReceiver: Send {
+    /// Block until one whole encoded frame arrives and return its bytes
+    /// (length prefix included, ready for
+    /// [`crate::wire::decode_frame`]).
+    ///
+    /// # Errors
+    ///
+    /// [`EvaldError::Disconnected`] when the peer closed the connection;
+    /// [`EvaldError::Corrupt`] when the stream desynchronized.
+    fn recv_frame(&mut self) -> Result<Vec<u8>, EvaldError>;
+}
+
+/// One end of a connection: a sender plus a receiver.
+pub struct Duplex {
+    /// The sending half.
+    pub tx: Box<dyn FrameSender>,
+    /// The receiving half.
+    pub rx: Box<dyn FrameReceiver>,
+}
+
+// ---------------------------------------------------------------- channel
+
+struct ChannelSender(mpsc::Sender<Vec<u8>>);
+
+impl FrameSender for ChannelSender {
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), EvaldError> {
+        self.0
+            .send(frame.to_vec())
+            .map_err(|_| EvaldError::Disconnected)
+    }
+}
+
+struct ChannelReceiver(mpsc::Receiver<Vec<u8>>);
+
+impl FrameReceiver for ChannelReceiver {
+    fn recv_frame(&mut self) -> Result<Vec<u8>, EvaldError> {
+        self.0.recv().map_err(|_| EvaldError::Disconnected)
+    }
+}
+
+/// An in-process duplex connection; returns the two ends (conventionally
+/// `(server_end, client_end)` — they are symmetric).
+pub fn channel_duplex() -> (Duplex, Duplex) {
+    let (a_tx, b_rx) = mpsc::channel();
+    let (b_tx, a_rx) = mpsc::channel();
+    (
+        Duplex {
+            tx: Box::new(ChannelSender(a_tx)),
+            rx: Box::new(ChannelReceiver(a_rx)),
+        },
+        Duplex {
+            tx: Box::new(ChannelSender(b_tx)),
+            rx: Box::new(ChannelReceiver(b_rx)),
+        },
+    )
+}
+
+// ------------------------------------------------------------ unix socket
+
+struct UnixSender(UnixStream);
+
+impl FrameSender for UnixSender {
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), EvaldError> {
+        self.0.write_all(frame).map_err(|e| match e.kind() {
+            ErrorKind::BrokenPipe | ErrorKind::ConnectionReset | ErrorKind::UnexpectedEof => {
+                EvaldError::Disconnected
+            }
+            _ => EvaldError::Io(e),
+        })
+    }
+
+    fn close(&mut self) {
+        // Shut down the whole socket (already-written frames still
+        // drain to the peer first): the peer's blocked receive and our
+        // reader thread's clone both observe EOF.
+        let _ = self.0.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+struct UnixReceiver(UnixStream);
+
+impl FrameReceiver for UnixReceiver {
+    fn recv_frame(&mut self) -> Result<Vec<u8>, EvaldError> {
+        let mut prefix = [0u8; 4];
+        if let Err(e) = self.0.read_exact(&mut prefix) {
+            // EOF at a frame boundary is a clean close; mid-prefix or
+            // mid-body EOF is equally "peer gone" for our purposes.
+            return Err(match e.kind() {
+                ErrorKind::UnexpectedEof | ErrorKind::ConnectionReset | ErrorKind::BrokenPipe => {
+                    EvaldError::Disconnected
+                }
+                _ => EvaldError::Io(e),
+            });
+        }
+        let len = u32::from_le_bytes(prefix) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(EvaldError::Corrupt("stream frame length exceeds the cap"));
+        }
+        let mut frame = vec![0u8; 4 + len];
+        frame[..4].copy_from_slice(&prefix);
+        self.0
+            .read_exact(&mut frame[4..])
+            .map_err(|e| match e.kind() {
+                ErrorKind::UnexpectedEof | ErrorKind::ConnectionReset | ErrorKind::BrokenPipe => {
+                    EvaldError::Disconnected
+                }
+                _ => EvaldError::Io(e),
+            })?;
+        Ok(frame)
+    }
+}
+
+fn unix_duplex(stream: UnixStream) -> Result<Duplex, EvaldError> {
+    let write = stream.try_clone()?;
+    Ok(Duplex {
+        tx: Box::new(UnixSender(write)),
+        rx: Box::new(UnixReceiver(stream)),
+    })
+}
+
+/// Bind a Unix-domain listener at `path` (removing a stale socket file
+/// left by a crashed previous run).
+///
+/// # Errors
+///
+/// [`EvaldError::Io`] when binding fails.
+pub fn unix_listener(path: &Path) -> Result<UnixListener, EvaldError> {
+    if path.exists() {
+        let _ = std::fs::remove_file(path);
+    }
+    Ok(UnixListener::bind(path)?)
+}
+
+/// Accept one client connection from `listener`.
+///
+/// # Errors
+///
+/// [`EvaldError::Io`] when accepting or cloning the stream fails.
+pub fn unix_accept(listener: &UnixListener) -> Result<Duplex, EvaldError> {
+    let (stream, _) = listener.accept().map_err(EvaldError::Io)?;
+    unix_duplex(stream)
+}
+
+/// Connect to the server's socket at `path`.
+///
+/// # Errors
+///
+/// [`EvaldError::Io`] when the socket cannot be reached.
+pub fn unix_connect(path: &Path) -> Result<Duplex, EvaldError> {
+    unix_duplex(UnixStream::connect(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{decode_frame, encode_frame, Frame};
+
+    fn scratch_socket(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("evald_{}_{}.sock", std::process::id(), name))
+    }
+
+    #[test]
+    fn channel_round_trips_frames() {
+        let (mut server, mut client) = channel_duplex();
+        let frame = Frame::EndBatch { batch: 3 };
+        server.tx.send_frame(&encode_frame(&frame)).unwrap();
+        let bytes = client.rx.recv_frame().unwrap();
+        assert_eq!(decode_frame(&bytes).unwrap().0, frame);
+
+        client
+            .tx
+            .send_frame(&encode_frame(&Frame::Shutdown))
+            .unwrap();
+        let bytes = server.rx.recv_frame().unwrap();
+        assert_eq!(decode_frame(&bytes).unwrap().0, Frame::Shutdown);
+    }
+
+    #[test]
+    fn channel_reports_disconnect() {
+        let (server, mut client) = channel_duplex();
+        drop(server);
+        assert!(matches!(
+            client.rx.recv_frame(),
+            Err(EvaldError::Disconnected)
+        ));
+        assert!(matches!(
+            client.tx.send_frame(b"x"),
+            Err(EvaldError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn unix_socket_round_trips_frames_and_reports_eof() {
+        let path = scratch_socket("round_trip");
+        let listener = unix_listener(&path).unwrap();
+        let path_for_client = path.clone();
+        let client_thread = std::thread::spawn(move || {
+            let mut d = unix_connect(&path_for_client).unwrap();
+            let bytes = d.rx.recv_frame().unwrap();
+            let (frame, _) = decode_frame(&bytes).unwrap();
+            d.tx.send_frame(&encode_frame(&frame)).unwrap(); // echo
+                                                             // Dropping both halves closes the stream.
+        });
+        let mut server = unix_accept(&listener).unwrap();
+        let frame = Frame::Work {
+            shard: 9,
+            genomes: vec![vec![true; 21], vec![false; 4]],
+        };
+        server.tx.send_frame(&encode_frame(&frame)).unwrap();
+        let echoed = server.rx.recv_frame().unwrap();
+        assert_eq!(decode_frame(&echoed).unwrap().0, frame);
+        client_thread.join().unwrap();
+        // The peer is gone: the next read reports a disconnect.
+        assert!(matches!(
+            server.rx.recv_frame(),
+            Err(EvaldError::Disconnected)
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unix_listener_reclaims_stale_socket_file() {
+        let path = scratch_socket("stale");
+        std::fs::write(&path, b"stale").unwrap();
+        let _listener = unix_listener(&path).expect("rebinds over stale file");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,553 @@
+//! The wire format: versioned, length-prefixed, checksummed frames.
+//!
+//! Every message between server and clients is one *frame*:
+//!
+//! ```text
+//! [len: u32]                        length of everything after this field
+//! [magic: "EVLD"][version: u32]     format identification, checked per frame
+//! [tag: u8][payload ...]            the frame body, canonical little-endian
+//! [checksum: u32]                   FNV-1a over magic..payload
+//! ```
+//!
+//! The encodings follow the same canonical-bytes discipline as
+//! `minicc::hash` and the fitness store's on-disk records: explicit
+//! little-endian integers, length-prefixed sequences, packed bitmaps for
+//! genomes, and `f64::to_bits` for floats (fitness values must cross the
+//! wire *bit-exactly* — the embedder's differential guarantee rests on
+//! it). Decoding never panics: a frame that is truncated, carries a
+//! foreign version, fails its checksum, or has a malformed payload is
+//! rejected with a typed [`EvaldError`].
+
+use crate::EvaldError;
+use bytes::BufMut;
+use minicc::fnv1a32 as checksum;
+
+/// Frame magic: `EVLD`.
+pub const WIRE_MAGIC: [u8; 4] = *b"EVLD";
+
+/// Wire-format version. Bump whenever any frame layout or encoding
+/// changes; both ends reject mismatched frames instead of misreading
+/// them.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Hard cap on one frame's declared length (a corrupted length prefix
+/// must not trigger a multi-gigabyte allocation).
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+const TAG_HELLO: u8 = 0;
+const TAG_WORK: u8 = 1;
+const TAG_RESULT: u8 = 2;
+const TAG_END_BATCH: u8 = 3;
+const TAG_MERGE: u8 = 4;
+const TAG_SHUTDOWN: u8 = 5;
+
+/// One genome's evaluation as reported by a client.
+///
+/// Fitness travels as raw bits so the server reassembles *exactly* the
+/// f64 the client computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireEval {
+    /// `f64::to_bits` of the fitness.
+    pub fitness_bits: u64,
+    /// Whether the genome failed to compile (scored the penalty).
+    pub failed: bool,
+    /// Measured client-side wall-clock seconds, as bits (telemetry).
+    pub wall_seconds_bits: u64,
+}
+
+impl WireEval {
+    /// The fitness as an `f64`.
+    pub fn fitness(&self) -> f64 {
+        f64::from_bits(self.fitness_bits)
+    }
+
+    /// The measured wall-clock seconds as an `f64`.
+    pub fn wall_seconds(&self) -> f64 {
+        f64::from_bits(self.wall_seconds_bits)
+    }
+}
+
+/// One client-cached fitness result shipped back for the server-side
+/// store at batch end.
+///
+/// The key fields mirror the embedder's store key tuple — module content
+/// hash, compiler tag, arch tag, effect digest — without this crate
+/// depending on the store itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeRecord {
+    /// Stable content hash of the module.
+    pub module_hash: u64,
+    /// Stable one-byte compiler-profile tag.
+    pub compiler: u8,
+    /// Stable one-byte architecture tag.
+    pub arch: u8,
+    /// Stable 128-bit effect-config digest.
+    pub effect_digest: u128,
+    /// `f64::to_bits` of the fitness.
+    pub fitness_bits: u64,
+    /// Whether the compile failed.
+    pub failed: bool,
+    /// The representative flag vector (minable metadata).
+    pub flags: Vec<bool>,
+}
+
+/// Per-shard client telemetry, carried on every [`Frame::Result`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShardStats {
+    /// Real compiles the client performed for this shard.
+    pub compiles: u32,
+    /// Evaluations the client served from its local cache.
+    pub cache_hits: u32,
+    /// Client-side wall-clock seconds spent on the shard.
+    pub wall_seconds: f64,
+}
+
+/// The protocol's frames.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server, once per connection: identity and chromosome
+    /// width (the server rejects clients built against a different
+    /// profile width). The wire version itself is in every frame header.
+    Hello {
+        /// Zero-based client id (assigned at launch).
+        client: u32,
+        /// Chromosome width the client evaluates.
+        n_flags: u16,
+    },
+    /// Server → client: evaluate one shard of genomes.
+    Work {
+        /// Globally unique shard id (never reused across batches).
+        shard: u64,
+        /// The genomes, in shard order.
+        genomes: Vec<Vec<bool>>,
+    },
+    /// Client → server: one shard's evaluations, in shard order, plus
+    /// per-shard stats.
+    Result {
+        /// The shard this answers.
+        shard: u64,
+        /// The reporting client.
+        client: u32,
+        /// One evaluation per genome, in shard order.
+        evals: Vec<WireEval>,
+        /// Per-shard telemetry.
+        stats: ShardStats,
+    },
+    /// Server → client: the batch is complete; flush the local cache.
+    EndBatch {
+        /// Batch sequence number (telemetry).
+        batch: u64,
+    },
+    /// Client → server: the local cache's fresh records, answering
+    /// [`Frame::EndBatch`].
+    Merge {
+        /// The reporting client.
+        client: u32,
+        /// Fresh records since the last merge.
+        records: Vec<MergeRecord>,
+    },
+    /// Server → client: exit cleanly.
+    Shutdown,
+}
+
+fn put_genome(out: &mut Vec<u8>, genome: &[bool]) {
+    debug_assert!(genome.len() <= usize::from(u16::MAX));
+    out.put_u16_le(genome.len() as u16);
+    let mut byte = 0u8;
+    for (i, &on) in genome.iter().enumerate() {
+        if on {
+            byte |= 1 << (i % 8);
+        }
+        if i % 8 == 7 {
+            out.put_u8(byte);
+            byte = 0;
+        }
+    }
+    if !genome.len().is_multiple_of(8) {
+        out.put_u8(byte);
+    }
+}
+
+/// Encode one frame, length prefix included.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut body: Vec<u8> = Vec::with_capacity(64);
+    body.put_slice(&WIRE_MAGIC);
+    body.put_u32_le(WIRE_VERSION);
+    match frame {
+        Frame::Hello { client, n_flags } => {
+            body.put_u8(TAG_HELLO);
+            body.put_u32_le(*client);
+            body.put_u16_le(*n_flags);
+        }
+        Frame::Work { shard, genomes } => {
+            body.put_u8(TAG_WORK);
+            body.put_u64_le(*shard);
+            body.put_u32_le(genomes.len() as u32);
+            for g in genomes {
+                put_genome(&mut body, g);
+            }
+        }
+        Frame::Result {
+            shard,
+            client,
+            evals,
+            stats,
+        } => {
+            body.put_u8(TAG_RESULT);
+            body.put_u64_le(*shard);
+            body.put_u32_le(*client);
+            body.put_u32_le(stats.compiles);
+            body.put_u32_le(stats.cache_hits);
+            body.put_u64_le(stats.wall_seconds.to_bits());
+            body.put_u32_le(evals.len() as u32);
+            for e in evals {
+                body.put_u64_le(e.fitness_bits);
+                body.put_u8(e.failed as u8);
+                body.put_u64_le(e.wall_seconds_bits);
+            }
+        }
+        Frame::EndBatch { batch } => {
+            body.put_u8(TAG_END_BATCH);
+            body.put_u64_le(*batch);
+        }
+        Frame::Merge { client, records } => {
+            body.put_u8(TAG_MERGE);
+            body.put_u32_le(*client);
+            body.put_u32_le(records.len() as u32);
+            for r in records {
+                body.put_u64_le(r.module_hash);
+                body.put_u8(r.compiler);
+                body.put_u8(r.arch);
+                body.put_u64_le((r.effect_digest >> 64) as u64);
+                body.put_u64_le(r.effect_digest as u64);
+                body.put_u64_le(r.fitness_bits);
+                body.put_u8(r.failed as u8);
+                put_genome(&mut body, &r.flags);
+            }
+        }
+        Frame::Shutdown => body.put_u8(TAG_SHUTDOWN),
+    }
+    let ck = checksum(&body);
+    body.put_u32_le(ck);
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.put_u32_le(body.len() as u32);
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Bounds-checked cursor over a frame payload (decoding must reject
+/// malformed bytes, never panic).
+struct Reader<'a> {
+    buf: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, off: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], EvaldError> {
+        if self.off + n > self.buf.len() {
+            return Err(EvaldError::Corrupt("payload shorter than its fields"));
+        }
+        let s = &self.buf[self.off..self.off + n];
+        self.off += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, EvaldError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, EvaldError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, EvaldError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, EvaldError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn genome(&mut self) -> Result<Vec<bool>, EvaldError> {
+        let n = usize::from(self.u16()?);
+        let bytes = self.take(n.div_ceil(8))?;
+        Ok((0..n).map(|i| bytes[i / 8] & (1 << (i % 8)) != 0).collect())
+    }
+
+    fn done(&self) -> Result<(), EvaldError> {
+        if self.off == self.buf.len() {
+            Ok(())
+        } else {
+            Err(EvaldError::Corrupt("trailing bytes after payload"))
+        }
+    }
+}
+
+/// Decode one frame from the head of `buf`, returning it together with
+/// the number of bytes consumed (so stream transports can decode from an
+/// accumulation buffer).
+///
+/// # Errors
+///
+/// [`EvaldError::Truncated`] when `buf` holds less than one whole frame;
+/// [`EvaldError::BadMagic`] / [`EvaldError::VersionMismatch`] /
+/// [`EvaldError::Corrupt`] when the frame cannot be trusted.
+pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), EvaldError> {
+    if buf.len() < 4 {
+        return Err(EvaldError::Truncated {
+            needed: 4,
+            got: buf.len(),
+        });
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(EvaldError::Corrupt("frame length exceeds the cap"));
+    }
+    // Smallest body: magic + version + tag + checksum.
+    if len < 4 + 4 + 1 + 4 {
+        return Err(EvaldError::Corrupt("frame shorter than its fixed header"));
+    }
+    let total = 4 + len;
+    if buf.len() < total {
+        return Err(EvaldError::Truncated {
+            needed: total,
+            got: buf.len(),
+        });
+    }
+    let body = &buf[4..total];
+    if body[..4] != WIRE_MAGIC {
+        return Err(EvaldError::BadMagic);
+    }
+    let version = u32::from_le_bytes(body[4..8].try_into().unwrap());
+    if version != WIRE_VERSION {
+        return Err(EvaldError::VersionMismatch {
+            got: version,
+            want: WIRE_VERSION,
+        });
+    }
+    let (payload, ck_bytes) = body.split_at(body.len() - 4);
+    let stored = u32::from_le_bytes(ck_bytes.try_into().unwrap());
+    if checksum(payload) != stored {
+        return Err(EvaldError::Corrupt("checksum mismatch"));
+    }
+    let mut r = Reader::new(&payload[9..]); // past magic+version+tag
+    let frame = match payload[8] {
+        TAG_HELLO => Frame::Hello {
+            client: r.u32()?,
+            n_flags: r.u16()?,
+        },
+        TAG_WORK => {
+            let shard = r.u64()?;
+            let n = r.u32()? as usize;
+            let mut genomes = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                genomes.push(r.genome()?);
+            }
+            Frame::Work { shard, genomes }
+        }
+        TAG_RESULT => {
+            let shard = r.u64()?;
+            let client = r.u32()?;
+            let stats = ShardStats {
+                compiles: r.u32()?,
+                cache_hits: r.u32()?,
+                wall_seconds: f64::from_bits(r.u64()?),
+            };
+            let n = r.u32()? as usize;
+            let mut evals = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                evals.push(WireEval {
+                    fitness_bits: r.u64()?,
+                    failed: r.u8()? != 0,
+                    wall_seconds_bits: r.u64()?,
+                });
+            }
+            Frame::Result {
+                shard,
+                client,
+                evals,
+                stats,
+            }
+        }
+        TAG_END_BATCH => Frame::EndBatch { batch: r.u64()? },
+        TAG_MERGE => {
+            let client = r.u32()?;
+            let n = r.u32()? as usize;
+            let mut records = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                records.push(MergeRecord {
+                    module_hash: r.u64()?,
+                    compiler: r.u8()?,
+                    arch: r.u8()?,
+                    effect_digest: {
+                        let hi = r.u64()?;
+                        let lo = r.u64()?;
+                        (u128::from(hi) << 64) | u128::from(lo)
+                    },
+                    fitness_bits: r.u64()?,
+                    failed: r.u8()? != 0,
+                    flags: r.genome()?,
+                });
+            }
+            Frame::Merge { client, records }
+        }
+        TAG_SHUTDOWN => Frame::Shutdown,
+        _ => return Err(EvaldError::Corrupt("unknown frame tag")),
+    };
+    r.done()?;
+    Ok((frame, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                client: 3,
+                n_flags: 137,
+            },
+            Frame::Work {
+                shard: 42,
+                genomes: vec![
+                    vec![true, false, true],
+                    vec![],
+                    (0..137).map(|i| i % 3 == 0).collect(),
+                ],
+            },
+            Frame::Result {
+                shard: 42,
+                client: 3,
+                evals: vec![
+                    WireEval {
+                        fitness_bits: 0.731f64.to_bits(),
+                        failed: false,
+                        wall_seconds_bits: 0.001f64.to_bits(),
+                    },
+                    WireEval {
+                        fitness_bits: (-1.0f64).to_bits(),
+                        failed: true,
+                        wall_seconds_bits: 0u64,
+                    },
+                ],
+                stats: ShardStats {
+                    compiles: 2,
+                    cache_hits: 0,
+                    wall_seconds: 0.002,
+                },
+            },
+            Frame::EndBatch { batch: 7 },
+            Frame::Merge {
+                client: 1,
+                records: vec![MergeRecord {
+                    module_hash: 0xDEAD_BEEF,
+                    compiler: 0,
+                    arch: 1,
+                    effect_digest: (u128::from(u64::MAX) << 64) | 0x1234,
+                    fitness_bits: 0.5f64.to_bits(),
+                    failed: false,
+                    flags: vec![true; 9],
+                }],
+            },
+            Frame::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        for frame in sample_frames() {
+            let bytes = encode_frame(&frame);
+            let (decoded, consumed) = decode_frame(&bytes).expect("decodes");
+            assert_eq!(decoded, frame);
+            assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    #[test]
+    fn concatenated_frames_decode_in_sequence() {
+        let frames = sample_frames();
+        let mut stream: Vec<u8> = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&encode_frame(f));
+        }
+        let mut off = 0;
+        for expected in &frames {
+            let (got, used) = decode_frame(&stream[off..]).expect("frame in stream");
+            assert_eq!(&got, expected);
+            off += used;
+        }
+        assert_eq!(off, stream.len());
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_is_rejected_not_misread() {
+        let bytes = encode_frame(&sample_frames()[1]);
+        for cut in 0..bytes.len() {
+            match decode_frame(&bytes[..cut]) {
+                Err(EvaldError::Truncated { needed, got }) => {
+                    assert!(needed > got, "needed {needed} got {got}");
+                }
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut bytes = encode_frame(&Frame::Shutdown);
+        // The version field sits right after the length prefix + magic.
+        bytes[8] = WIRE_VERSION as u8 + 1;
+        match decode_frame(&bytes) {
+            Err(EvaldError::VersionMismatch { got, want }) => {
+                assert_eq!(got, WIRE_VERSION + 1);
+                assert_eq!(want, WIRE_VERSION);
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let good = encode_frame(&sample_frames()[2]);
+        // Flip a payload byte: checksum must catch it.
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0xFF;
+        assert!(matches!(
+            decode_frame(&flipped),
+            Err(EvaldError::Corrupt(_) | EvaldError::BadMagic | EvaldError::VersionMismatch { .. })
+        ));
+        // Bad magic.
+        let mut bad_magic = good.clone();
+        bad_magic[4] = b'X';
+        assert!(matches!(
+            decode_frame(&bad_magic),
+            Err(EvaldError::BadMagic)
+        ));
+        // Oversized declared length.
+        let mut huge = good;
+        huge[..4].copy_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        assert!(matches!(decode_frame(&huge), Err(EvaldError::Corrupt(_))));
+    }
+
+    #[test]
+    fn genome_bitmap_edges() {
+        for width in [0usize, 1, 7, 8, 9, 16, 137] {
+            let genome: Vec<bool> = (0..width).map(|i| i % 2 == 0).collect();
+            let frame = Frame::Work {
+                shard: 1,
+                genomes: vec![genome.clone()],
+            };
+            let (decoded, _) = decode_frame(&encode_frame(&frame)).unwrap();
+            match decoded {
+                Frame::Work { genomes, .. } => assert_eq!(genomes[0], genome),
+                _ => unreachable!(),
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the wire format: arbitrary genome batches, eval
+//! results and merge records must round-trip bit-exactly, and any
+//! truncation of a valid frame must be rejected as truncated — never
+//! misread as a different frame. These mirror the fitness store's
+//! corruption-tolerance guarantees at the transport boundary.
+
+use evald::wire::{decode_frame, encode_frame, Frame, MergeRecord, ShardStats, WireEval};
+use evald::EvaldError;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn genome_strategy() -> impl Strategy<Value = Vec<bool>> {
+    vec(any::<bool>(), 0..140)
+}
+
+fn eval_strategy() -> impl Strategy<Value = WireEval> {
+    (any::<u64>(), any::<bool>(), any::<u64>()).prop_map(|(f, failed, w)| WireEval {
+        fitness_bits: f,
+        failed,
+        wall_seconds_bits: w,
+    })
+}
+
+fn record_strategy() -> impl Strategy<Value = MergeRecord> {
+    (
+        (any::<u64>(), any::<u8>(), any::<u8>()),
+        (any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<bool>(), genome_strategy()),
+    )
+        .prop_map(|((m, c, a), (hi, lo), (f, failed, flags))| MergeRecord {
+            module_hash: m,
+            compiler: c,
+            arch: a,
+            effect_digest: (u128::from(hi) << 64) | u128::from(lo),
+            fitness_bits: f,
+            failed,
+            flags,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn work_frames_round_trip(shard in any::<u64>(),
+                              genomes in vec(genome_strategy(), 0..24)) {
+        let frame = Frame::Work { shard, genomes };
+        let bytes = encode_frame(&frame);
+        let (decoded, used) = decode_frame(&bytes).expect("valid frame decodes");
+        prop_assert_eq!(decoded, frame);
+        prop_assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn result_frames_round_trip_bit_exactly(shard in any::<u64>(),
+                                            client in any::<u32>(),
+                                            evals in vec(eval_strategy(), 0..24),
+                                            compiles in any::<u32>(),
+                                            hits in any::<u32>(),
+                                            wall in any::<u64>()) {
+        // Fitness crosses the wire as raw bits: NaNs, infinities and
+        // negative zero must all survive — the differential guarantee
+        // needs *bit* equality, not f64 equality.
+        let frame = Frame::Result {
+            shard,
+            client,
+            evals,
+            stats: ShardStats {
+                compiles,
+                cache_hits: hits,
+                wall_seconds: f64::from_bits(wall),
+            },
+        };
+        let bytes = encode_frame(&frame);
+        let (decoded, _) = decode_frame(&bytes).expect("valid frame decodes");
+        match (decoded, frame) {
+            (Frame::Result { evals: d, stats: ds, .. }, Frame::Result { evals: o, stats: os, .. }) => {
+                prop_assert_eq!(&d, &o);
+                prop_assert_eq!(ds.wall_seconds.to_bits(), os.wall_seconds.to_bits());
+                prop_assert_eq!(ds.compiles, os.compiles);
+            }
+            _ => prop_assert!(false, "frame kind changed in transit"),
+        }
+    }
+
+    #[test]
+    fn merge_frames_round_trip(client in any::<u32>(),
+                               records in vec(record_strategy(), 0..12)) {
+        let frame = Frame::Merge { client, records };
+        let (decoded, _) = decode_frame(&encode_frame(&frame)).expect("valid frame decodes");
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected(genomes in vec(genome_strategy(), 1..8),
+                                     cut_fraction in 0usize..100) {
+        let bytes = encode_frame(&Frame::Work { shard: 7, genomes });
+        let cut = cut_fraction * bytes.len() / 100; // strictly < len
+        match decode_frame(&bytes[..cut]) {
+            Err(EvaldError::Truncated { needed, got }) => {
+                prop_assert!(needed > got);
+            }
+            other => prop_assert!(false, "cut at {}: {:?}", cut, other),
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_always_rejected(genomes in vec(genome_strategy(), 0..6),
+                                           version in 2u32..u32::MAX) {
+        let mut bytes = encode_frame(&Frame::Work { shard: 1, genomes });
+        bytes[8..12].copy_from_slice(&version.to_le_bytes());
+        prop_assert!(matches!(
+            decode_frame(&bytes),
+            Err(EvaldError::VersionMismatch { .. })
+        ));
+    }
+}

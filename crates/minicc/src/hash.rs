@@ -44,6 +44,21 @@ fn binop_tag(op: BinOp) -> u8 {
     }
 }
 
+/// FNV-1a 32-bit over a byte slice — the checksum primitive shared by
+/// the fitness store's on-disk records (`bintuner::store`) and the
+/// evaluation service's wire frames (`evald::wire`). One
+/// implementation, so the two formats cannot silently diverge; like
+/// [`StableHasher`], the output is a pure function of the bytes and
+/// stable across processes and platforms.
+pub fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut state: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        state ^= u32::from(b);
+        state = state.wrapping_mul(0x0100_0193);
+    }
+    state
+}
+
 /// FNV-1a 64-bit hasher with explicit write methods.
 ///
 /// Unlike [`std::hash::Hasher`] implementations, the output is a pure
@@ -418,6 +433,10 @@ mod tests {
         let mut h = StableHasher::new();
         h.write(b"a");
         assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        // Same for the 32-bit checksum primitive (store records + wire
+        // frames both depend on it).
+        assert_eq!(fnv1a32(b"a"), 0xe40c_292c);
+        assert_eq!(fnv1a32(b""), 0x811c_9dc5);
     }
 
     #[test]

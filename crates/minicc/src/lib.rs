@@ -41,7 +41,7 @@ pub mod mir_opt;
 
 pub use features::ModuleFeatures;
 pub use flags::{CompilerKind, CompilerProfile, Effect, EffectConfig, FlagDef, OptLevel};
-pub use hash::StableHasher;
+pub use hash::{fnv1a32, StableHasher};
 
 use ast::Module;
 use binrep::{Arch, Binary};
