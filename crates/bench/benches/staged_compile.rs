@@ -1,0 +1,108 @@
+//! Staged compile pipeline: per-stage artifact reuse on representative
+//! GA tunes — the perf trajectory behind the tier-0 artifact cache.
+//!
+//! A pre-artifact-cache engine runs the full three-stage pipeline for
+//! every miss (`full_compiles == compiles`); the staged engine shares
+//! the expensive early stages across candidates whose stage-key
+//! projections agree. Wall-clock on this host is unreliable (1 CPU,
+//! shared container), so the asserted quantity is the *count*:
+//! `full_compiles` with the cache on must be strictly below the compile
+//! count — which IS the pre-PR full-pipeline count, as the cache-off
+//! control run demonstrates — with reuse counters > 0. Bit-identical
+//! tuning results between the two runs are asserted as well.
+
+use bench::print_table;
+use bintuner::{TuneResult, Tuner, TunerConfig};
+use genetic::GaParams;
+use std::time::Instant;
+
+fn config(artifact_cache: bool) -> TunerConfig {
+    let evals = if bench::full_run() { 700 } else { 240 };
+    TunerConfig {
+        termination: bench::budget(evals),
+        ga: GaParams {
+            population: 24,
+            ..Default::default()
+        },
+        workers: 1,
+        artifact_cache,
+        ..Default::default()
+    }
+}
+
+fn run(bench_case: &corpus::Benchmark, artifact_cache: bool) -> (TuneResult, f64) {
+    let tuner = Tuner::new(config(artifact_cache));
+    let t = Instant::now();
+    let result = tuner.tune(&bench_case.module).expect("tuning run");
+    (result, t.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let cases = bench::quick_benchmarks();
+    println!("staged compile pipeline: artifact reuse across GA candidates");
+    let mut rows = Vec::new();
+    for case in &cases {
+        let (off, wall_off) = run(case, false);
+        let (on, wall_on) = run(case, true);
+
+        // The two runs are the same search — the cache may only change
+        // how much of the pipeline each miss reran.
+        assert_eq!(
+            on.best_flags, off.best_flags,
+            "{}: artifact cache changed the tuned result",
+            case.name
+        );
+        assert_eq!(on.best_ncd.to_bits(), off.best_ncd.to_bits());
+        assert_eq!(on.engine_stats.compiles, off.engine_stats.compiles);
+
+        // The control run is the pre-PR engine: all misses full.
+        let pre_pr_full = off.engine_stats.full_compiles;
+        assert_eq!(pre_pr_full, off.engine_stats.compiles, "{}", case.name);
+
+        // The asserted win: strictly fewer full pipelines, reuse > 0.
+        let s = on.engine_stats;
+        assert_eq!(s.compiles, s.full_compiles + s.ast_reuse + s.lower_reuse);
+        assert!(
+            s.full_compiles < pre_pr_full,
+            "{}: full_compiles {} did not drop below pre-PR count {}",
+            case.name,
+            s.full_compiles,
+            pre_pr_full
+        );
+        assert!(
+            s.ast_reuse + s.lower_reuse > 0,
+            "{}: no stage artifact was ever reused",
+            case.name
+        );
+
+        rows.push(vec![
+            case.name.to_string(),
+            s.compiles.to_string(),
+            pre_pr_full.to_string(),
+            s.full_compiles.to_string(),
+            s.ast_reuse.to_string(),
+            s.lower_reuse.to_string(),
+            format!("{:.1}%", 100.0 * s.stage_reuse_rate()),
+            format!("{:.2}", wall_off),
+            format!("{:.2}", wall_on),
+        ]);
+    }
+    print_table(
+        "Staged compile (fixed seed; identical tuned results asserted)",
+        &[
+            "benchmark",
+            "compiles",
+            "full(pre-PR)",
+            "full(staged)",
+            "ast_reuse",
+            "lower_reuse",
+            "reuse",
+            "wall_off_s",
+            "wall_on_s",
+        ],
+        &rows,
+    );
+    println!(
+        "full_compiles strictly below the pre-PR full-pipeline count on every benchmark (asserted)"
+    );
+}

@@ -22,6 +22,13 @@ pub struct IterationRow {
     /// Whether the fitness came from the persistent cross-run store (a
     /// warm-start hit; disjoint from `cache_hit`).
     pub persistent_hit: bool,
+    /// Fresh compile that reused a cached stage-1 artifact (optimized
+    /// AST) and ran only the lowering + machine-level stages. Always
+    /// `false` on cache hits. Disjoint from `lower_reused`.
+    pub ast_reused: bool,
+    /// Fresh compile that reused a cached stage-2 artifact (lowered
+    /// binary) and ran only the cheap machine-level tail.
+    pub lower_reused: bool,
     /// Whether this iteration's flag vector was injected into the
     /// initial population by a mined prior (config transfer) rather than
     /// bred or randomly generated.
@@ -104,15 +111,29 @@ impl Database {
         self.rows.iter().filter(|r| r.seeded_from_prior).count()
     }
 
+    /// Fraction of recorded iterations whose fresh compile reused a
+    /// stage artifact (either tier-0 level) instead of running the full
+    /// pipeline.
+    pub fn stage_reuse_rate(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows
+            .iter()
+            .filter(|r| r.ast_reused || r.lower_reused)
+            .count() as f64
+            / self.rows.len() as f64
+    }
+
     /// Export as CSV
-    /// (`iteration,ncd,best_ncd,elapsed_seconds,flags_enabled,cache_hit,persistent_hit,seeded_from_prior,wall_seconds`).
+    /// (`iteration,ncd,best_ncd,elapsed_seconds,flags_enabled,cache_hit,persistent_hit,ast_reused,lower_reused,seeded_from_prior,wall_seconds`).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "iteration,ncd,best_ncd,elapsed_seconds,flags_enabled,cache_hit,persistent_hit,seeded_from_prior,wall_seconds\n",
+            "iteration,ncd,best_ncd,elapsed_seconds,flags_enabled,cache_hit,persistent_hit,ast_reused,lower_reused,seeded_from_prior,wall_seconds\n",
         );
         for r in &self.rows {
             out.push_str(&format!(
-                "{},{:.6},{:.6},{:.3},{},{},{},{},{:.6}\n",
+                "{},{:.6},{:.6},{:.3},{},{},{},{},{},{},{:.6}\n",
                 r.iteration,
                 r.ncd,
                 r.best_ncd,
@@ -120,6 +141,8 @@ impl Database {
                 r.flags.iter().filter(|&&b| b).count(),
                 r.cache_hit as u8,
                 r.persistent_hit as u8,
+                r.ast_reused as u8,
+                r.lower_reused as u8,
                 r.seeded_from_prior as u8,
                 r.wall_seconds
             ));
@@ -143,6 +166,8 @@ mod tests {
                 flags: vec![i % 2 == 0; 4],
                 cache_hit: i == 2,
                 persistent_hit: i == 3,
+                ast_reused: i == 0,
+                lower_reused: i == 1,
                 seeded_from_prior: i == 1,
                 wall_seconds: 0.001 * i as f64,
             });
@@ -162,11 +187,9 @@ mod tests {
         let csv = sample().to_csv();
         assert_eq!(csv.lines().count(), 5);
         assert!(csv.starts_with("iteration,"));
-        assert!(csv
-            .lines()
-            .next()
-            .unwrap()
-            .ends_with("cache_hit,persistent_hit,seeded_from_prior,wall_seconds"));
+        assert!(csv.lines().next().unwrap().ends_with(
+            "cache_hit,persistent_hit,ast_reused,lower_reused,seeded_from_prior,wall_seconds"
+        ));
     }
 
     #[test]
@@ -176,6 +199,8 @@ mod tests {
         assert!((db.persistent_hit_rate() - 0.25).abs() < 1e-12);
         assert!((db.wall_seconds() - 0.006).abs() < 1e-12);
         assert_eq!(db.seeded_count(), 1);
+        assert!((db.stage_reuse_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(Database::new().stage_reuse_rate(), 0.0);
         assert_eq!(Database::new().cache_hit_rate(), 0.0);
         assert_eq!(Database::new().persistent_hit_rate(), 0.0);
         assert_eq!(Database::new().seeded_count(), 0);

@@ -26,8 +26,29 @@
 //!   time-budget accounting identical to a cache-free run — only measured
 //!   wall-clock shrinks, which is what makes a warm run converge to the
 //!   same best genome as a cold one.
+//! * **Artifact reuse (tier 0)** — even a genuine miss rarely needs the
+//!   *whole* pipeline. The compile is staged
+//!   ([`Compiler::stage_ast`] → [`Compiler::stage_lower`] →
+//!   [`Compiler::stage_mir`]) and the expensive early artifacts are
+//!   cached under their [`minicc::StageKeys`] projections: optimized
+//!   ASTs by `AstStageKey` digest, lowered-but-unoptimized binaries by
+//!   the `(AstStageKey, LowerStageKey)` digest pair. A generation whose
+//!   genomes differ only in late-stage flags (most mutations — paper
+//!   Figure 7's long tail) shares the early stages and reruns only the
+//!   cheap tail; [`EngineStats::full_compiles`] counts the misses that
+//!   truly ran everything. Artifact cache contents and telemetry are
+//!   governed by a *deterministic membership model* updated only in the
+//!   single-threaded partition/commit phases, so reuse classification is
+//!   identical at any worker count and on either evaluation backend
+//!   (in-process or service) — worker threads only fill in artifact
+//!   *values*, which are pure functions of their keys.
 //! * **Shared baseline** — the `-O0` baseline is compiled exactly once and
 //!   its compressed length is reused for every NCD score.
+//! * **Hoisted validation** — `Module::validate` runs once per engine
+//!   (the baseline compile) and constraint checking once per genome
+//!   during partition; the miss execution path drives the pipeline
+//!   stages directly instead of re-validating module and flags inside
+//!   every compile.
 //!
 //! Failed compiles (flag vectors that defeat repair) are not fatal: they
 //! score a fixed penalty fitness and are counted as constraint violations
@@ -39,30 +60,56 @@
 //! list to the `evald` service instead of its local pool (see
 //! `bintuner::service`). Because everything except the raw
 //! compile+score moves with the engine, the two shapes are bit-identical
-//! by construction.
+//! by construction — including the stage-reuse telemetry, which is
+//! classified at partition time from the membership model and never
+//! depends on where the compiles physically ran.
 
 use crate::store::{FitnessStore, FlagBits, StoreKey, StoredFitness};
 use binrep::{Arch, Binary};
 use genetic::{Eval, Evaluator};
 use lzc::NcdBaseline;
 use minicc::ast::Module;
-use minicc::{Compiler, EffectConfig};
-use std::collections::HashMap;
-use std::sync::Mutex;
+use minicc::{Compiler, EffectConfig, StageKeys};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Fitness assigned to a genome whose compile fails constraint checking.
 /// NCD is non-negative, so any successfully compiled genome outranks it.
 pub const FAILED_COMPILE_PENALTY: f64 = -1.0;
 
-/// Worker-pool configuration for [`FitnessEngine`].
-#[derive(Debug, Clone, Default)]
+/// Worker-pool and artifact-cache configuration for [`FitnessEngine`].
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Worker threads per batch. `0` means auto (available parallelism,
     /// capped at 8). `1` evaluates sequentially on the calling thread.
     /// Ignored when a [`MissExecutor`] is installed — the executor's farm
     /// is the parallelism then.
     pub workers: usize,
+    /// Tier-0 stage-artifact cache (see module docs). `true` (the
+    /// default) shares optimized-AST and lowered-binary artifacts across
+    /// misses whose early-stage projections agree; `false` runs every
+    /// miss through the full pipeline. Fitness results are bit-identical
+    /// either way — only wall-clock and the stage-reuse telemetry
+    /// change.
+    pub artifact_cache: bool,
+    /// Eviction bound on cached optimized-AST artifacts (stage 1).
+    /// Oldest-reserved entries are evicted first, deterministically, at
+    /// batch commit.
+    pub max_ast_artifacts: usize,
+    /// Eviction bound on cached lowered-binary artifacts (stage 2).
+    pub max_lower_artifacts: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            workers: 0,
+            artifact_cache: true,
+            max_ast_artifacts: 512,
+            max_lower_artifacts: 2048,
+        }
+    }
 }
 
 /// The computed outcome of one dispatched miss.
@@ -81,7 +128,7 @@ pub struct MissResult {
 /// the evaluation service plugs into.
 ///
 /// The engine keeps everything that makes runs reproducible and cheap —
-/// constraint pre-screening, all three cache tiers, store recording,
+/// constraint pre-screening, all cache tiers, store recording,
 /// stats — and hands an executor only the genomes that genuinely need a
 /// compile. An executor must return exactly one [`MissResult`] per miss,
 /// in order, and must be a pure function of each genome (bit-identical
@@ -105,8 +152,9 @@ impl EngineConfig {
     }
 }
 
-/// Cumulative engine telemetry (drives the engine-scaling bench and the
-/// cache-hit column of the iteration database).
+/// Cumulative engine telemetry (drives the engine-scaling and
+/// staged-compile benches and the cache-hit columns of the iteration
+/// database).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EngineStats {
     /// Total genome evaluations requested (including cache hits).
@@ -121,7 +169,21 @@ pub struct EngineStats {
     /// warm-starting saved.
     pub persistent_hits: usize,
     /// Real compiles this engine performed (misses of every cache tier).
+    /// Always `full_compiles + ast_reuse + lower_reuse`. Logical: on a
+    /// service backend these compiles physically ran on the client farm.
     pub compiles: usize,
+    /// Misses that ran the entire pipeline — no stage artifact could be
+    /// reused. This is the number the tier-0 cache exists to shrink: a
+    /// pre-artifact-cache engine would report `full_compiles ==
+    /// compiles`.
+    pub full_compiles: usize,
+    /// Misses that reused a cached optimized-AST artifact (stage 1
+    /// skipped; lowering and machine-level optimization ran).
+    pub ast_reuse: usize,
+    /// Misses that reused a cached lowered-binary artifact (stages 1–2
+    /// skipped; only the cheap machine-level tail ran). Disjoint from
+    /// `ast_reuse`.
+    pub lower_reuse: usize,
     /// Evaluations whose compile failed constraint checking and scored
     /// [`FAILED_COMPILE_PENALTY`], counted once per distinct
     /// configuration per run — including failures first served from the
@@ -158,6 +220,16 @@ impl EngineStats {
             self.persistent_hits as f64 / self.evaluations as f64
         }
     }
+
+    /// Fraction of real compiles that reused at least one stage
+    /// artifact (ran less than the full pipeline).
+    pub fn stage_reuse_rate(&self) -> f64 {
+        if self.compiles == 0 {
+            0.0
+        } else {
+            (self.ast_reuse + self.lower_reuse) as f64 / self.compiles as f64
+        }
+    }
 }
 
 /// One memoized evaluation. The modelled compile cost is *not* cached:
@@ -169,7 +241,64 @@ struct CacheEntry {
     failed: bool,
 }
 
-/// Interior cache state (one lock: the partition phase touches both
+/// How much of the pipeline a miss actually ran, decided at partition
+/// time from the artifact membership model (deterministic — see module
+/// docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum StageReuse {
+    /// No artifact available: all three stages ran.
+    Full,
+    /// Optimized AST reused: lowering + machine-level stages ran.
+    Ast,
+    /// Lowered binary reused: only the machine-level stage ran.
+    Lower,
+}
+
+/// The execution plan for one miss: its stage digests, the reuse
+/// classification, and whether its lowered artifact is worth keeping.
+#[derive(Debug, Clone, Copy)]
+struct MissPlan {
+    ast_digest: u128,
+    lower_digest: u128,
+    reuse: StageReuse,
+    /// Retain the stage-2 artifact in the cache. Retention costs a deep
+    /// clone of the lowered binary (the machine-level stage consumes
+    /// its input), so it is only paid where it can pay off: keys
+    /// already in the cache, or keys at least two misses of this batch
+    /// share. A single-use lowered binary is consumed by the mir stage
+    /// directly, clone-free — on large modules that clone would cost
+    /// more than the rare cross-batch stage-2 hit saves.
+    retain_lower: bool,
+}
+
+/// Deterministic membership + FIFO-age model of the tier-0 artifact
+/// cache. Updated *only* during partition (reservations) and batch
+/// commit (evictions), both single-threaded under the cache lock, so
+/// cache membership — and with it the reuse telemetry and eviction
+/// sequence — is a pure function of the miss sequence, independent of
+/// worker scheduling and of whether compiles run locally or on the
+/// service farm.
+#[derive(Default)]
+struct ArtifactIndex {
+    ast: HashSet<u128>,
+    ast_order: VecDeque<u128>,
+    lower: HashSet<(u128, u128)>,
+    lower_order: VecDeque<(u128, u128)>,
+}
+
+/// The artifact *values*: filled in lazily by whichever worker first
+/// compiles a member key (values are pure functions of their keys, so
+/// a racy double-compute yields identical bytes and the first insert
+/// wins). Keys are always a subset of the membership model; with a
+/// [`MissExecutor`] installed this map stays empty — the artifacts live
+/// in the clients' own engines.
+#[derive(Default)]
+struct ArtifactValues {
+    ast: HashMap<u128, Arc<Module>>,
+    lower: HashMap<(u128, u128), Arc<Binary>>,
+}
+
+/// Interior cache state (one lock: the partition phase touches all
 /// levels together).
 #[derive(Default)]
 struct CacheState {
@@ -178,6 +307,8 @@ struct CacheState {
     /// Effect-config memo (back level): distinct flag vectors resolving
     /// to the same effects share one compile.
     by_effect: HashMap<EffectConfig, CacheEntry>,
+    /// Tier-0 artifact membership model (see [`ArtifactIndex`]).
+    artifacts: ArtifactIndex,
 }
 
 /// The batch fitness engine: compiles genomes, scores them against the
@@ -186,7 +317,8 @@ struct CacheState {
 /// Construction compiles the baseline once ([`FitnessEngine::new`]); the
 /// engine is then shared immutably across the GA run — all interior
 /// state (cache, stats) is behind mutexes, and the hot compile/score path
-/// runs lock-free on worker threads.
+/// runs lock-free on worker threads apart from brief artifact-cache
+/// lookups.
 pub struct FitnessEngine<'a> {
     compiler: &'a Compiler,
     module: &'a Module,
@@ -198,10 +330,14 @@ pub struct FitnessEngine<'a> {
     baseline_bin: Binary,
     baseline: NcdBaseline,
     cache: Mutex<CacheState>,
+    /// Tier-0 artifact values (separate lock from the bookkeeping: the
+    /// partition phase never touches values, workers never touch the
+    /// model).
+    artifact_values: Mutex<ArtifactValues>,
     stats: Mutex<EngineStats>,
-    /// Third cache tier: the cross-run store. Consulted during batch
-    /// partition (under the partition's store lock, not per-worker) and
-    /// fed every fresh result; recovered with
+    /// Third fitness cache tier: the cross-run store. Consulted during
+    /// batch partition (under the partition's store lock, not
+    /// per-worker) and fed every fresh result; recovered with
     /// [`FitnessEngine::into_store`] for the end-of-run save.
     store: Option<Mutex<FitnessStore>>,
     /// When set, the deduplicated miss list is dispatched here (the
@@ -239,9 +375,9 @@ impl<'a> FitnessEngine<'a> {
 
     /// Build an engine backed by a persistent cross-run store
     /// (warm-start): entries for this `(module, profile, arch)` serve as
-    /// a third cache tier, and every fresh compile is recorded into the
-    /// store. Recover it with [`FitnessEngine::into_store`] and call
-    /// [`FitnessStore::save`] to persist the run's new results.
+    /// a third fitness cache tier, and every fresh compile is recorded
+    /// into the store. Recover it with [`FitnessEngine::into_store`] and
+    /// call [`FitnessStore::save`] to persist the run's new results.
     ///
     /// # Errors
     ///
@@ -263,6 +399,10 @@ impl<'a> FitnessEngine<'a> {
         config: EngineConfig,
         mut store: Option<FitnessStore>,
     ) -> Result<FitnessEngine<'a>, crate::TuneError> {
+        // The one place the module is validated: the baseline preset
+        // compile goes through the full checked `compile` path. Every
+        // later miss drives the stages directly on the already-validated
+        // module.
         let baseline_bin = compiler
             .compile_preset(module, minicc::OptLevel::O0, arch)
             .map_err(crate::TuneError::Baseline)?;
@@ -282,6 +422,7 @@ impl<'a> FitnessEngine<'a> {
             baseline_bin,
             baseline,
             cache: Mutex::new(CacheState::default()),
+            artifact_values: Mutex::new(ArtifactValues::default()),
             stats: Mutex::new(EngineStats::default()),
             store: store.map(Mutex::new),
             executor: None,
@@ -346,19 +487,96 @@ impl<'a> FitnessEngine<'a> {
         self.cache.lock().unwrap().by_effect.len()
     }
 
-    /// Compile + score one genome (the cold path, run on workers).
-    fn evaluate_cold(&self, flags: &[bool]) -> CacheEntry {
-        match self.compiler.compile(self.module, flags, self.arch) {
-            Ok(bin) => CacheEntry {
-                fitness: self.baseline.score(&binrep::encode_binary(&bin)),
-                failed: false,
-            },
-            // A constraint violation that survived repair (or an invalid
-            // module): penalize, don't abort — the GA selects against it.
-            Err(_) => CacheEntry {
-                fitness: FAILED_COMPILE_PENALTY,
-                failed: true,
-            },
+    /// Number of optimized-AST artifacts currently cached (tier 0,
+    /// stage 1) — bounded by [`EngineConfig::max_ast_artifacts`].
+    pub fn ast_artifact_len(&self) -> usize {
+        self.cache.lock().unwrap().artifacts.ast.len()
+    }
+
+    /// Number of lowered-binary artifacts currently cached (tier 0,
+    /// stage 2) — bounded by [`EngineConfig::max_lower_artifacts`].
+    pub fn lower_artifact_len(&self) -> usize {
+        self.cache.lock().unwrap().artifacts.lower.len()
+    }
+
+    /// Fetch-or-compute the stage-1 artifact for `plan`'s AST digest.
+    fn artifact_ast(&self, digest: u128, eff: &EffectConfig) -> Arc<Module> {
+        if let Some(m) = self.artifact_values.lock().unwrap().ast.get(&digest) {
+            return m.clone();
+        }
+        // Computed outside the lock: stage_ast is the expensive part and
+        // a pure function of the digest's projection, so a concurrent
+        // duplicate compute is wasted work at worst, never a wrong
+        // value (first insert wins).
+        let m = Arc::new(self.compiler.stage_ast(self.module, eff));
+        self.artifact_values
+            .lock()
+            .unwrap()
+            .ast
+            .entry(digest)
+            .or_insert(m)
+            .clone()
+    }
+
+    /// Compile + score one miss according to its plan (run on workers).
+    /// Misses are constraint-valid by partition and the module was
+    /// validated at construction, so the staged pipeline cannot fail.
+    fn evaluate_miss(&self, eff: &EffectConfig, plan: &MissPlan) -> CacheEntry {
+        let lower_key = (plan.ast_digest, plan.lower_digest);
+        // Only retained keys can have (or deserve) a cached stage-2
+        // artifact.
+        let cached = if plan.retain_lower {
+            self.artifact_values
+                .lock()
+                .unwrap()
+                .lower
+                .get(&lower_key)
+                .cloned()
+        } else {
+            None
+        };
+        let bin = match cached {
+            // The artifact must outlive this miss: mir runs on a clone.
+            Some(b) => self.compiler.stage_mir((*b).clone(), eff),
+            None => {
+                // The production phase ran every fresh AST for this
+                // batch, so this is a cache fetch; the compute fallback
+                // inside artifact_ast is only reachable as a
+                // recompute-over-block safety valve.
+                let ast = self.artifact_ast(plan.ast_digest, eff);
+                let lowered = self.compiler.stage_lower(&ast, eff, self.arch);
+                if plan.retain_lower {
+                    let b = self
+                        .artifact_values
+                        .lock()
+                        .unwrap()
+                        .lower
+                        .entry(lower_key)
+                        .or_insert(Arc::new(lowered))
+                        .clone();
+                    self.compiler.stage_mir((*b).clone(), eff)
+                } else {
+                    // Single-use lowered binary: the mir stage consumes
+                    // it in place, no clone, nothing retained.
+                    self.compiler.stage_mir(lowered, eff)
+                }
+            }
+        };
+        CacheEntry {
+            fitness: self.baseline.score(&binrep::encode_binary(&bin)),
+            failed: false,
+        }
+    }
+
+    /// Compile + score one miss with the artifact cache disabled: the
+    /// full staged pipeline, nothing shared, nothing retained.
+    fn evaluate_full(&self, eff: &EffectConfig) -> CacheEntry {
+        let optimized = self.compiler.stage_ast(self.module, eff);
+        let lowered = self.compiler.stage_lower(&optimized, eff, self.arch);
+        let bin = self.compiler.stage_mir(lowered, eff);
+        CacheEntry {
+            fitness: self.baseline.score(&binrep::encode_binary(&bin)),
+            failed: false,
         }
     }
 }
@@ -391,7 +609,9 @@ impl Evaluator for FitnessEngine<'_> {
 
         // Resolve each genome's effect config up front (cheap, lock-free).
         // Invalid vectors get `None`: they must not share the effect cache
-        // with a valid vector resolving to the same effects.
+        // with a valid vector resolving to the same effects. This is the
+        // one constraint check a genome pays — the staged miss path never
+        // re-checks.
         let effects: Vec<Option<EffectConfig>> = genomes
             .iter()
             .map(|g| {
@@ -406,13 +626,19 @@ impl Evaluator for FitnessEngine<'_> {
         // Partition against the cache tiers: exact flag vector first,
         // then effect config, then the persistent cross-run store. The
         // first effect config unseen by every tier becomes a "miss" to
-        // compile; everything else is a hit.
+        // compile; everything else is a hit. Each new miss is then
+        // planned against the tier-0 artifact model: its stage digests
+        // are classified (full / ast-reuse / lower-reuse) and reserved,
+        // all under the single cache lock so the classification is
+        // deterministic.
         let mut misses: Vec<(&Vec<bool>, &EffectConfig)> = Vec::new();
+        let mut digests: Vec<(u128, u128)> = Vec::new();
+        let mut plans: Vec<MissPlan> = Vec::new();
         let mut miss_by_eff: HashMap<&EffectConfig, usize> = HashMap::new();
         let mut fresh_failures = 0usize;
         let sources: Vec<Source> = {
             let mut cache = self.cache.lock().unwrap();
-            genomes
+            let sources: Vec<Source> = genomes
                 .iter()
                 .zip(&effects)
                 .map(|(g, eff)| {
@@ -468,18 +694,87 @@ impl Evaluator for FitnessEngine<'_> {
                     }
                     let slot = misses.len();
                     miss_by_eff.insert(eff, slot);
+                    if self.config.artifact_cache {
+                        let keys = StageKeys::project(eff);
+                        digests.push((keys.ast.stable_digest(), keys.lower.stable_digest()));
+                    }
                     misses.push((g, eff));
                     Source::Slot(slot)
                 })
-                .collect()
+                .collect();
+
+            // Plan the misses against the artifact model — a second,
+            // whole-batch pass (still under the same lock, still
+            // single-threaded) because the retention decision needs
+            // batch-level knowledge: each miss's classification sees
+            // earlier misses' artifacts as available — AST artifacts
+            // are guaranteed by the phase-1 production barrier below;
+            // a same-batch lowered artifact may still be in flight on
+            // another worker, in which case the consumer recomputes
+            // the lowering (identical bytes, classification
+            // unaffected) — and a lowered artifact is reserved only
+            // when a second miss will actually want it.
+            if self.config.artifact_cache {
+                let mut lower_mult: HashMap<(u128, u128), usize> = HashMap::new();
+                for k in &digests {
+                    *lower_mult.entry(*k).or_default() += 1;
+                }
+                let art = &mut cache.artifacts;
+                let mut new_ast: HashSet<u128> = HashSet::new();
+                let mut new_lower: HashSet<(u128, u128)> = HashSet::new();
+                for &(ad, ld) in &digests {
+                    let k = (ad, ld);
+                    let reuse = if art.lower.contains(&k) || new_lower.contains(&k) {
+                        StageReuse::Lower
+                    } else if art.ast.contains(&ad) || new_ast.contains(&ad) {
+                        StageReuse::Ast
+                    } else {
+                        StageReuse::Full
+                    };
+                    // Reserve the AST key only for misses that will
+                    // actually run stage 1: a Lower-classified miss
+                    // never computes (or needs) the AST artifact, and a
+                    // membership entry without a value would let later
+                    // misses be counted as ast_reuse while physically
+                    // rerunning the stage.
+                    if reuse != StageReuse::Lower && !art.ast.contains(&ad) && new_ast.insert(ad) {
+                        art.ast_order.push_back(ad);
+                    }
+                    let retain_lower = art.lower.contains(&k) || lower_mult[&k] >= 2;
+                    if retain_lower && !art.lower.contains(&k) && new_lower.insert(k) {
+                        art.lower_order.push_back(k);
+                    }
+                    plans.push(MissPlan {
+                        ast_digest: ad,
+                        lower_digest: ld,
+                        reuse,
+                        retain_lower,
+                    });
+                }
+                art.ast.extend(new_ast);
+                art.lower.extend(new_lower);
+            } else {
+                plans.extend((0..misses.len()).map(|_| MissPlan {
+                    ast_digest: 0,
+                    lower_digest: 0,
+                    reuse: StageReuse::Full,
+                    retain_lower: false,
+                }));
+            }
+            sources
         };
 
         // Compile + score the misses: on the installed executor (the
         // evaluation service's client farm) when present, else on the
-        // local worker pool (strided split: batch items have near-uniform
-        // cost, so static scheduling is fine and keeps the hot path
-        // allocation-free and lock-free).
-        let workers = self.config.resolved_workers().min(misses.len().max(1));
+        // local worker pool in two phases. Phase 1 produces each fresh
+        // stage-1 artifact exactly once, in parallel across distinct
+        // AST digests; phase 2 then strides *all* misses across the
+        // workers (the pre-staging scheduling), each fetching its
+        // artifacts from the cache. Without the production phase, the
+        // common all-late-stage generation — one AST digest shared by
+        // every miss — would collapse onto a single worker; with it,
+        // the serial section is only the one stage-1 pass, and the
+        // dominant lower+mir work stays fully parallel.
         let mut computed: Vec<Option<(CacheEntry, f64)>> = vec![None; misses.len()];
         if let Some(executor) = self.executor {
             let flags: Vec<Vec<bool>> = misses.iter().map(|(f, _)| (*f).clone()).collect();
@@ -498,41 +793,119 @@ impl Evaluator for FitnessEngine<'_> {
                     r.wall_seconds,
                 ));
             }
-        } else if workers <= 1 {
-            for (slot, (flags, _)) in misses.iter().enumerate() {
-                let t = Instant::now();
-                let entry = self.evaluate_cold(flags);
-                computed[slot] = Some((entry, t.elapsed().as_secs_f64()));
-            }
         } else {
-            let misses_ref = &misses;
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|w| {
-                        scope.spawn(move || {
-                            let mut part = Vec::new();
-                            let mut i = w;
-                            while i < misses_ref.len() {
-                                let t = Instant::now();
-                                let entry = self.evaluate_cold(misses_ref[i].0);
-                                part.push((i, entry, t.elapsed().as_secs_f64()));
-                                i += workers;
-                            }
-                            part
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    for (i, entry, wall) in h.join().expect("engine worker panicked") {
-                        computed[i] = Some((entry, wall));
+            // Phase 1: one producer task per AST digest this batch
+            // introduces (the representative is its first Full-classified
+            // miss, which is charged the artifact's wall time).
+            let mut ast_wall = vec![0.0f64; misses.len()];
+            if self.config.artifact_cache {
+                let mut fresh_ast: Vec<(u128, usize)> = Vec::new();
+                let mut seen: HashSet<u128> = HashSet::new();
+                for (slot, plan) in plans.iter().enumerate() {
+                    if plan.reuse == StageReuse::Full && seen.insert(plan.ast_digest) {
+                        fresh_ast.push((plan.ast_digest, slot));
                     }
                 }
-            });
+                let producers = self.config.resolved_workers().min(fresh_ast.len().max(1));
+                if producers <= 1 {
+                    for &(digest, slot) in &fresh_ast {
+                        let t = Instant::now();
+                        let _ = self.artifact_ast(digest, misses[slot].1);
+                        ast_wall[slot] = t.elapsed().as_secs_f64();
+                    }
+                } else {
+                    let fresh_ref = &fresh_ast;
+                    let misses_ref = &misses;
+                    let walls: Vec<(usize, f64)> = std::thread::scope(|scope| {
+                        let handles: Vec<_> = (0..producers)
+                            .map(|w| {
+                                scope.spawn(move || {
+                                    let mut part = Vec::new();
+                                    let mut i = w;
+                                    while i < fresh_ref.len() {
+                                        let (digest, slot) = fresh_ref[i];
+                                        let t = Instant::now();
+                                        let _ = self.artifact_ast(digest, misses_ref[slot].1);
+                                        part.push((slot, t.elapsed().as_secs_f64()));
+                                        i += producers;
+                                    }
+                                    part
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .flat_map(|h| h.join().expect("ast producer panicked"))
+                            .collect()
+                    });
+                    for (slot, wall) in walls {
+                        ast_wall[slot] = wall;
+                    }
+                }
+            }
+            // Phase 2: every miss, strided. A miss that reaches a
+            // retained-but-not-yet-filled lower artifact (its producer
+            // running concurrently on another worker) recomputes the
+            // lowering — wasted work at worst, never a different value,
+            // and the partition-time telemetry is unaffected.
+            let workers = self.config.resolved_workers().min(misses.len().max(1));
+            let run_miss = |i: usize| -> (CacheEntry, f64) {
+                let t = Instant::now();
+                let eff = misses[i].1;
+                let entry = if self.config.artifact_cache {
+                    self.evaluate_miss(eff, &plans[i])
+                } else {
+                    self.evaluate_full(eff)
+                };
+                (entry, t.elapsed().as_secs_f64())
+            };
+            if workers <= 1 {
+                for (i, out) in computed.iter_mut().enumerate() {
+                    *out = Some(run_miss(i));
+                }
+            } else {
+                let run_miss_ref = &run_miss;
+                let n_misses = misses.len();
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|w| {
+                            scope.spawn(move || {
+                                let mut part = Vec::new();
+                                let mut i = w;
+                                while i < n_misses {
+                                    let (entry, wall) = run_miss_ref(i);
+                                    part.push((i, entry, wall));
+                                    i += workers;
+                                }
+                                part
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        for (i, entry, wall) in h.join().expect("engine worker panicked") {
+                            computed[i] = Some((entry, wall));
+                        }
+                    }
+                });
+            }
+            // Fold the phase-1 artifact time into its representative
+            // miss so per-iteration wall attribution matches the
+            // single-unit behavior.
+            for (i, wall) in ast_wall.into_iter().enumerate() {
+                if wall > 0.0 {
+                    if let Some((_, w)) = &mut computed[i] {
+                        *w += wall;
+                    }
+                }
+            }
         }
 
         // Memoize the fresh results at both in-run levels (including the
         // within-batch duplicate vectors that mapped to the same slot),
-        // and record them into the persistent store for future runs.
+        // record them into the persistent store for future runs, and
+        // commit the artifact model: evict oldest-reserved artifacts
+        // beyond the configured bounds (deterministically — membership
+        // and order were fixed at partition time).
         {
             if let Some(store) = &self.store {
                 let mut store = store.lock().unwrap();
@@ -568,13 +941,31 @@ impl Evaluator for FitnessEngine<'_> {
                     }
                 }
             }
+            if self.config.artifact_cache {
+                let art = &mut cache.artifacts;
+                let mut values = self.artifact_values.lock().unwrap();
+                while art.ast_order.len() > self.config.max_ast_artifacts {
+                    let d = art.ast_order.pop_front().expect("order tracks membership");
+                    art.ast.remove(&d);
+                    values.ast.remove(&d);
+                }
+                while art.lower_order.len() > self.config.max_lower_artifacts {
+                    let k = art
+                        .lower_order
+                        .pop_front()
+                        .expect("order tracks membership");
+                    art.lower.remove(&k);
+                    values.lower.remove(&k);
+                }
+            }
         }
 
         // Assemble in input order. Cache hits (in-run or persistent)
         // charge the same modelled cost as a recompile (so the GA's
         // budget accounting is cache-agnostic) but report zero measured
         // wall time; within-batch duplicates pay the compile wall time
-        // once, on first occurrence.
+        // once, on first occurrence — which also carries the miss's
+        // stage-reuse classification.
         let mut first_use = vec![true; misses.len()];
         let mut hits = 0usize;
         let mut persistent = 0usize;
@@ -583,7 +974,7 @@ impl Evaluator for FitnessEngine<'_> {
             .iter()
             .zip(sources)
             .map(|(g, src)| {
-                let (entry, wall, hit) = match src {
+                let (entry, wall, hit, reuse) = match src {
                     Source::Ready { entry, hit } => {
                         if hit == Hit::Persistent {
                             // A failure first served from the store is the
@@ -591,16 +982,16 @@ impl Evaluator for FitnessEngine<'_> {
                             // it once so cold and warm telemetry agree.
                             cold_failures += entry.failed as usize;
                         }
-                        (entry, 0.0, hit)
+                        (entry, 0.0, hit, None)
                     }
                     Source::Slot(slot) => {
                         let (entry, wall) = computed[slot].expect("miss computed");
                         if first_use[slot] {
                             first_use[slot] = false;
                             cold_failures += entry.failed as usize;
-                            (entry, wall, Hit::Fresh)
+                            (entry, wall, Hit::Fresh, Some(plans[slot].reuse))
                         } else {
-                            (entry, 0.0, Hit::InRun)
+                            (entry, 0.0, Hit::InRun, None)
                         }
                     }
                 };
@@ -612,6 +1003,8 @@ impl Evaluator for FitnessEngine<'_> {
                     wall_seconds: wall,
                     cache_hit: hit == Hit::InRun,
                     persistent_hit: hit == Hit::Persistent,
+                    ast_reused: reuse == Some(StageReuse::Ast),
+                    lower_reused: reuse == Some(StageReuse::Lower),
                 }
             })
             .collect();
@@ -621,6 +1014,13 @@ impl Evaluator for FitnessEngine<'_> {
         stats.cache_hits += hits;
         stats.persistent_hits += persistent;
         stats.compiles += misses.len();
+        for plan in &plans {
+            match plan.reuse {
+                StageReuse::Full => stats.full_compiles += 1,
+                StageReuse::Ast => stats.ast_reuse += 1,
+                StageReuse::Lower => stats.lower_reuse += 1,
+            }
+        }
         stats.failed_compiles += fresh_failures + cold_failures;
         stats.wall_seconds += batch_start.elapsed().as_secs_f64();
         results

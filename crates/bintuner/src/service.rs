@@ -77,6 +77,19 @@ pub struct ServiceSummary {
     /// Real compiles performed across the farm (includes duplicated
     /// straggler work, unlike the engine's logical compile count).
     pub farm_compiles: u64,
+    /// Farm compiles that ran the full pipeline (no stage artifact
+    /// reused in the client's tier-0 cache). The farm-side counterpart
+    /// of [`EngineStats::full_compiles`] — the engine's counter is the
+    /// *logical* classification (identical to an in-process run), this
+    /// is the physical work the clients measured, straggler duplicates
+    /// included.
+    pub farm_full_compiles: u64,
+    /// Farm compiles that reused a client-cached stage-1 artifact
+    /// (optimized AST).
+    pub farm_ast_reuse: u64,
+    /// Farm compiles that reused a client-cached stage-2 artifact
+    /// (lowered binary).
+    pub farm_lower_reuse: u64,
 }
 
 /// Monotonic suffix for unix socket paths, so parallel tests (or
@@ -117,6 +130,7 @@ fn client_thread(
     kind: CompilerKind,
     module: Module,
     arch: Arch,
+    artifact_cache: bool,
     duplex: Duplex,
     opts: ClientOptions,
 ) {
@@ -125,7 +139,11 @@ fn client_thread(
         &compiler,
         &module,
         arch,
-        EngineConfig { workers: 1 },
+        EngineConfig {
+            workers: 1,
+            artifact_cache,
+            ..EngineConfig::default()
+        },
         FitnessStore::in_memory(),
     ) else {
         return;
@@ -156,6 +174,9 @@ impl ShardWorker for EngineWorker<'_, '_> {
             cache_hits: (now.cache_hits + now.persistent_hits
                 - self.last.cache_hits
                 - self.last.persistent_hits) as u32,
+            full_compiles: (now.full_compiles - self.last.full_compiles) as u32,
+            ast_reuse: (now.ast_reuse - self.last.ast_reuse) as u32,
+            lower_reuse: (now.lower_reuse - self.last.lower_reuse) as u32,
             wall_seconds: now.wall_seconds - self.last.wall_seconds,
         };
         self.last = now;
@@ -202,6 +223,7 @@ impl ServiceHandle {
         kind: CompilerKind,
         module: &Module,
         arch: Arch,
+        artifact_cache: bool,
     ) -> Result<ServiceHandle, EvaldError> {
         let n_clients = cfg.clients.max(1);
         let n_flags = CompilerProfile::new(kind).n_flags() as u16;
@@ -226,7 +248,7 @@ impl ServiceHandle {
                         fail_after_shards: fault_for(i),
                     };
                     handles.push(std::thread::spawn(move || {
-                        client_thread(kind, module, arch, client_end, opts);
+                        client_thread(kind, module, arch, artifact_cache, client_end, opts);
                     }));
                 }
             }
@@ -253,7 +275,7 @@ impl ServiceHandle {
                     let client_end = unix_connect(&path)?;
                     server_side.push(evald::transport::unix_accept(&listener)?);
                     handles.push(std::thread::spawn(move || {
-                        client_thread(kind, module, arch, client_end, opts);
+                        client_thread(kind, module, arch, artifact_cache, client_end, opts);
                     }));
                 }
                 socket_path = Some(path);
@@ -305,6 +327,9 @@ impl ServiceHandle {
                 duplicate_results: stats.duplicate_results,
                 merged_records: stats.merged_records,
                 farm_compiles: stats.client_compiles,
+                farm_full_compiles: stats.client_full_compiles,
+                farm_ast_reuse: stats.client_ast_reuse,
+                farm_lower_reuse: stats.client_lower_reuse,
             },
             merged,
         )

@@ -82,6 +82,14 @@ pub struct TunerConfig {
     /// identical either way; only wall-clock and deployment shape
     /// change.
     pub backend: Backend,
+    /// Tier-0 stage-artifact cache in the fitness engine (and, on a
+    /// service backend, in every client engine): misses that differ
+    /// from an earlier compile only in late-pipeline flags reuse the
+    /// cached optimized-AST / lowered-binary artifacts and rerun only
+    /// the cheap tail. `true` (the default) is bit-identical to `false`
+    /// in everything but wall-clock and the stage-reuse telemetry
+    /// (differentially tested on both backends).
+    pub artifact_cache: bool,
 }
 
 impl Default for TunerConfig {
@@ -104,6 +112,7 @@ impl Default for TunerConfig {
             priors: PriorMode::Off,
             prior_config: PriorConfig::default(),
             backend: Backend::InProcess,
+            artifact_cache: true,
         }
     }
 }
@@ -305,6 +314,8 @@ impl Tuner {
     pub fn tune(&self, module: &Module) -> Result<TuneResult, TuneError> {
         let engine_config = EngineConfig {
             workers: self.config.workers,
+            artifact_cache: self.config.artifact_cache,
+            ..EngineConfig::default()
         };
         let store = self.config.cache_path.as_ref().map(FitnessStore::load);
         let loaded_entries = store.as_ref().map_or(0, FitnessStore::len);
@@ -330,8 +341,14 @@ impl Tuner {
         let service = match &self.config.backend {
             Backend::InProcess => None,
             Backend::Service(cfg) => Some(
-                ServiceHandle::launch(cfg, self.config.compiler, module, self.config.arch)
-                    .map_err(|e| TuneError::Service(std::sync::Arc::new(e)))?,
+                ServiceHandle::launch(
+                    cfg,
+                    self.config.compiler,
+                    module,
+                    self.config.arch,
+                    self.config.artifact_cache,
+                )
+                .map_err(|e| TuneError::Service(std::sync::Arc::new(e)))?,
             ),
         };
         let mut engine = match store {
@@ -527,6 +544,8 @@ impl Tuner {
                 flags: rec.genes.clone(),
                 cache_hit: rec.cache_hit,
                 persistent_hit: rec.persistent_hit,
+                ast_reused: rec.ast_reused,
+                lower_reused: rec.lower_reused,
                 seeded_from_prior: rec.seeded,
                 wall_seconds: rec.wall_seconds,
             });
@@ -690,7 +709,10 @@ mod tests {
             &compiler,
             &bench.module,
             Arch::X86,
-            EngineConfig { workers: 2 },
+            EngineConfig {
+                workers: 2,
+                ..EngineConfig::default()
+            },
         )
         .unwrap();
         let genome = compiler.profile().preset(OptLevel::O2);
@@ -717,7 +739,10 @@ mod tests {
             &compiler,
             &bench.module,
             Arch::X86,
-            EngineConfig { workers: 4 },
+            EngineConfig {
+                workers: 4,
+                ..EngineConfig::default()
+            },
         )
         .unwrap();
         let a = compiler.profile().preset(OptLevel::O1);
@@ -742,7 +767,10 @@ mod tests {
             &compiler,
             &bench.module,
             Arch::X86,
-            EngineConfig { workers: 1 },
+            EngineConfig {
+                workers: 1,
+                ..EngineConfig::default()
+            },
         )
         .unwrap();
         // -fpartial-inlining without -finline-functions violates the

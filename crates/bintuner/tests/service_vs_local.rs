@@ -60,6 +60,19 @@ fn assert_identical_runs(a: &TuneResult, b: &TuneResult, what: &str) {
             x.iteration
         );
         assert_eq!(x.seeded_from_prior, y.seeded_from_prior);
+        // Stage-reuse classification happens at partition time from the
+        // deterministic artifact membership model, never from where the
+        // compiles physically ran — so it is backend-independent too.
+        assert_eq!(
+            x.ast_reused, y.ast_reused,
+            "{what}: iteration {}",
+            x.iteration
+        );
+        assert_eq!(
+            x.lower_reused, y.lower_reused,
+            "{what}: iteration {}",
+            x.iteration
+        );
     }
     // The logical engine telemetry is backend-independent too.
     assert_eq!(a.engine_stats.evaluations, b.engine_stats.evaluations);
@@ -69,6 +82,9 @@ fn assert_identical_runs(a: &TuneResult, b: &TuneResult, what: &str) {
         b.engine_stats.persistent_hits
     );
     assert_eq!(a.engine_stats.compiles, b.engine_stats.compiles);
+    assert_eq!(a.engine_stats.full_compiles, b.engine_stats.full_compiles);
+    assert_eq!(a.engine_stats.ast_reuse, b.engine_stats.ast_reuse);
+    assert_eq!(a.engine_stats.lower_reuse, b.engine_stats.lower_reuse);
     assert_eq!(
         a.engine_stats.failed_compiles,
         b.engine_stats.failed_compiles

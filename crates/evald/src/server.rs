@@ -48,6 +48,13 @@ pub struct ServiceStats {
     pub client_compiles: u64,
     /// Client-side cache hits reported by clients.
     pub client_cache_hits: u64,
+    /// Client compiles that ran the full pipeline (no stage artifact
+    /// reused; same farm-effort caveat as `client_compiles`).
+    pub client_full_compiles: u64,
+    /// Client compiles that reused a cached stage-1 artifact.
+    pub client_ast_reuse: u64,
+    /// Client compiles that reused a cached stage-2 artifact.
+    pub client_lower_reuse: u64,
     /// Clients lost over the service's lifetime.
     pub clients_lost: usize,
 }
@@ -268,6 +275,9 @@ impl EvalServer {
                 ) => {
                     self.stats.client_compiles += u64::from(stats.compiles);
                     self.stats.client_cache_hits += u64::from(stats.cache_hits);
+                    self.stats.client_full_compiles += u64::from(stats.full_compiles);
+                    self.stats.client_ast_reuse += u64::from(stats.ast_reuse);
+                    self.stats.client_lower_reuse += u64::from(stats.lower_reuse);
                     match sched.complete(shard) {
                         Some(start) if sched.shard_len(shard) == Some(evals.len()) => {
                             for (k, e) in evals.into_iter().enumerate() {
@@ -335,6 +345,9 @@ impl EvalServer {
                     // batch completed: pure duplicate.
                     self.stats.client_compiles += u64::from(stats.compiles);
                     self.stats.client_cache_hits += u64::from(stats.cache_hits);
+                    self.stats.client_full_compiles += u64::from(stats.full_compiles);
+                    self.stats.client_ast_reuse += u64::from(stats.ast_reuse);
+                    self.stats.client_lower_reuse += u64::from(stats.lower_reuse);
                     self.stats.duplicate_results += evals.len();
                 }
                 Ok(Event::Frame(c, _)) => {

@@ -27,8 +27,9 @@ pub const WIRE_MAGIC: [u8; 4] = *b"EVLD";
 
 /// Wire-format version. Bump whenever any frame layout or encoding
 /// changes; both ends reject mismatched frames instead of misreading
-/// them.
-pub const WIRE_VERSION: u32 = 1;
+/// them. (v2: [`ShardStats`] grew the three per-stage pipeline-reuse
+/// counters.)
+pub const WIRE_VERSION: u32 = 2;
 
 /// Hard cap on one frame's declared length (a corrupted length prefix
 /// must not trigger a multi-gigabyte allocation).
@@ -98,6 +99,13 @@ pub struct ShardStats {
     pub compiles: u32,
     /// Evaluations the client served from its local cache.
     pub cache_hits: u32,
+    /// Compiles that ran the client's full pipeline (no stage artifact
+    /// reused).
+    pub full_compiles: u32,
+    /// Compiles that reused a cached stage-1 artifact (optimized AST).
+    pub ast_reuse: u32,
+    /// Compiles that reused a cached stage-2 artifact (lowered binary).
+    pub lower_reuse: u32,
     /// Client-side wall-clock seconds spent on the shard.
     pub wall_seconds: f64,
 }
@@ -198,6 +206,9 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             body.put_u32_le(*client);
             body.put_u32_le(stats.compiles);
             body.put_u32_le(stats.cache_hits);
+            body.put_u32_le(stats.full_compiles);
+            body.put_u32_le(stats.ast_reuse);
+            body.put_u32_le(stats.lower_reuse);
             body.put_u64_le(stats.wall_seconds.to_bits());
             body.put_u32_le(evals.len() as u32);
             for e in evals {
@@ -355,6 +366,9 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), EvaldError> {
             let stats = ShardStats {
                 compiles: r.u32()?,
                 cache_hits: r.u32()?,
+                full_compiles: r.u32()?,
+                ast_reuse: r.u32()?,
+                lower_reuse: r.u32()?,
                 wall_seconds: f64::from_bits(r.u64()?),
             };
             let n = r.u32()? as usize;
@@ -438,6 +452,9 @@ mod tests {
                 stats: ShardStats {
                     compiles: 2,
                     cache_hits: 0,
+                    full_compiles: 1,
+                    ast_reuse: 1,
+                    lower_reuse: 0,
                     wall_seconds: 0.002,
                 },
             },

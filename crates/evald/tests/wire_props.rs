@@ -57,6 +57,9 @@ proptest! {
                                             evals in vec(eval_strategy(), 0..24),
                                             compiles in any::<u32>(),
                                             hits in any::<u32>(),
+                                            full in any::<u32>(),
+                                            ast in any::<u32>(),
+                                            lower in any::<u32>(),
                                             wall in any::<u64>()) {
         // Fitness crosses the wire as raw bits: NaNs, infinities and
         // negative zero must all survive — the differential guarantee
@@ -68,6 +71,9 @@ proptest! {
             stats: ShardStats {
                 compiles,
                 cache_hits: hits,
+                full_compiles: full,
+                ast_reuse: ast,
+                lower_reuse: lower,
                 wall_seconds: f64::from_bits(wall),
             },
         };

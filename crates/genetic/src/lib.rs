@@ -54,6 +54,14 @@ pub struct Eval {
     /// store — a warm-start hit that saved a real evaluation this
     /// process never performed. Disjoint from `cache_hit`.
     pub persistent_hit: bool,
+    /// Fresh evaluation whose compile reused a cached stage-1 artifact
+    /// (optimized AST) and ran only the later pipeline stages. Always
+    /// `false` for cache hits and for evaluators without an artifact
+    /// cache. Disjoint from `lower_reused`.
+    pub ast_reused: bool,
+    /// Fresh evaluation whose compile reused a cached stage-2 artifact
+    /// (lowered machine code) and ran only the final, cheap stage.
+    pub lower_reused: bool,
 }
 
 impl Eval {
@@ -65,6 +73,8 @@ impl Eval {
             wall_seconds: 0.0,
             cache_hit: false,
             persistent_hit: false,
+            ast_reused: false,
+            lower_reused: false,
         }
     }
 }
@@ -251,6 +261,12 @@ pub struct EvalRecord {
     /// Whether the evaluation was served from a persistent (cross-run)
     /// store.
     pub persistent_hit: bool,
+    /// Whether the evaluation's fresh compile reused a cached stage-1
+    /// artifact (see [`Eval::ast_reused`]).
+    pub ast_reused: bool,
+    /// Whether the evaluation's fresh compile reused a cached stage-2
+    /// artifact (see [`Eval::lower_reused`]).
+    pub lower_reused: bool,
     /// Whether this individual was injected into the initial population
     /// from [`GaParams::seeded_initial`] (a prior-transferred seed)
     /// rather than bred or randomly generated.
@@ -659,6 +675,8 @@ impl RunState {
                 elapsed_seconds: self.elapsed,
                 cache_hit: eval.cache_hit,
                 persistent_hit: eval.persistent_hit,
+                ast_reused: eval.ast_reused,
+                lower_reused: eval.lower_reused,
                 seeded: was_seeded,
                 wall_seconds: eval.wall_seconds,
             });
@@ -791,7 +809,7 @@ mod tests {
                         cost_seconds: 0.01,
                         wall_seconds: 0.001,
                         cache_hit: hit,
-                        persistent_hit: false,
+                        ..Eval::new(0.0, 0.0)
                     }
                 })
                 .collect()

@@ -157,24 +157,43 @@ fn tokenize(data: &[u8]) -> Vec<Token> {
     tokens
 }
 
+/// Symbol frequencies of a token stream (EOB terminator included) plus
+/// the total raw extra bits its matches will emit. Shared by
+/// [`compress`] and [`compressed_len`] so the two can never drift:
+/// identical frequencies mean identical canonical code lengths, which
+/// is what makes the bit count exact.
+fn tally_tokens(
+    tokens: &[Token],
+    lcodes: &[(usize, u32)],
+    dcodes: &[(usize, u32)],
+) -> (Vec<u64>, Vec<u64>, u64) {
+    let mut lit_freq = vec![0u64; 257 + lcodes.len()];
+    let mut dist_freq = vec![0u64; dcodes.len()];
+    lit_freq[EOB] = 1;
+    let mut extra_bits = 0u64;
+    for t in tokens {
+        match t {
+            Token::Literal(b) => lit_freq[*b as usize] += 1,
+            Token::Match { len, dist } => {
+                let lc = code_for(lcodes, *len);
+                lit_freq[257 + lc] += 1;
+                extra_bits += u64::from(lcodes[lc].1);
+                let dc = code_for(dcodes, *dist);
+                dist_freq[dc] += 1;
+                extra_bits += u64::from(dcodes[dc].1);
+            }
+        }
+    }
+    (lit_freq, dist_freq, extra_bits)
+}
+
 /// Compress `data` into an `lzc` stream.
 pub fn compress(data: &[u8]) -> Vec<u8> {
     let lcodes = length_codes();
     let dcodes = dist_codes();
     let tokens = tokenize(data);
 
-    let mut lit_freq = vec![0u64; 257 + lcodes.len()];
-    let mut dist_freq = vec![0u64; dcodes.len()];
-    lit_freq[EOB] = 1;
-    for t in &tokens {
-        match t {
-            Token::Literal(b) => lit_freq[*b as usize] += 1,
-            Token::Match { len, dist } => {
-                lit_freq[257 + code_for(&lcodes, *len)] += 1;
-                dist_freq[code_for(&dcodes, *dist)] += 1;
-            }
-        }
-    }
+    let (lit_freq, dist_freq, _) = tally_tokens(&tokens, &lcodes, &dcodes);
     let lit_lens = code_lengths(&lit_freq);
     let dist_lens = code_lengths(&dist_freq);
     let lit_enc = Encoder::from_lengths(&lit_lens);
@@ -277,9 +296,38 @@ pub fn decompress(stream: &[u8]) -> Result<Vec<u8>, LzError> {
 
 /// Length in bytes of the compressed form of `data`.
 ///
-/// This is `C(x)` in the paper's NCD formula (Equation 1).
+/// This is `C(x)` in the paper's NCD formula (Equation 1) — and the only
+/// thing NCD needs, so it is computed by *counting* output bits instead
+/// of materializing the compressed byte buffer: no bit-writer, no
+/// output `Vec` growth, no canonical-code assignment. The count walks the
+/// same token stream and code-length tables [`compress`] uses, so it is
+/// exact (`compressed_len(x) == compress(x).len()`, pinned by a
+/// property test), but the NCD hot path — three compressed lengths per
+/// fitness evaluation — skips the allocation and byte-packing work
+/// entirely.
 pub fn compressed_len(data: &[u8]) -> usize {
-    compress(data).len()
+    let lcodes = length_codes();
+    let dcodes = dist_codes();
+    let tokens = tokenize(data);
+
+    // Extra (raw) bits are fixed per code, independent of the Huffman
+    // lengths, so one shared pass tallies them with the frequencies.
+    let (lit_freq, dist_freq, extra_bits) = tally_tokens(&tokens, &lcodes, &dcodes);
+    let lit_lens = code_lengths(&lit_freq);
+    let dist_lens = code_lengths(&dist_freq);
+
+    // Header table: 4 bits per code length; then every symbol occurrence
+    // costs its canonical code length (the EOB terminator is already in
+    // `lit_freq`).
+    let mut bits = 4 * (lit_lens.len() + dist_lens.len()) as u64 + extra_bits;
+    for (freq, len) in lit_freq.iter().zip(&lit_lens) {
+        bits += freq * u64::from(*len);
+    }
+    for (freq, len) in dist_freq.iter().zip(&dist_lens) {
+        bits += freq * u64::from(*len);
+    }
+    // 4-byte magic + 8-byte raw length + zero-padded final partial byte.
+    12 + bits.div_ceil(8) as usize
 }
 
 #[cfg(test)]
@@ -358,6 +406,40 @@ mod tests {
     fn max_length_matches() {
         let data = vec![0xAAu8; 10_000];
         round_trip(&data);
+    }
+
+    #[test]
+    fn compressed_len_counts_exactly() {
+        // The counting fast path and the materializing compressor must
+        // agree on every shape: empty, sub-MIN_MATCH, literal-only,
+        // match-heavy, and mixed streams.
+        let mut x = 0xc0ffee11u32;
+        let noisy: Vec<u8> = (0..30_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x >> 8) as u8
+            })
+            .collect();
+        let mut mixed = noisy.clone();
+        mixed.extend_from_slice(&noisy[..10_000]);
+        for data in [
+            &b""[..],
+            b"ab",
+            b"abc",
+            b"abcd",
+            &vec![7u8; 5_000],
+            &noisy,
+            &mixed,
+        ] {
+            assert_eq!(
+                compressed_len(data),
+                compress(data).len(),
+                "len {}",
+                data.len()
+            );
+        }
     }
 
     #[test]

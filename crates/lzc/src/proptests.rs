@@ -2,7 +2,7 @@
 
 #![cfg(test)]
 
-use crate::{compress, decompress, ncd};
+use crate::{compress, compressed_len, decompress, ncd};
 use proptest::prelude::*;
 
 proptest! {
@@ -21,6 +21,22 @@ proptest! {
         let data: Vec<u8> = (0..n).map(|i| byte.wrapping_add((i % stride) as u8)).collect();
         let c = compress(&data);
         prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    /// The counting fast path is exact: the bit-tally of
+    /// [`compressed_len`] must equal the length of the byte buffer
+    /// [`compress`] actually materializes, on arbitrary byte strings.
+    #[test]
+    fn prop_compressed_len_matches_compress(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+        prop_assert_eq!(compressed_len(&data), compress(&data).len());
+    }
+
+    /// Same pin on repetitive inputs (match-heavy token streams exercise
+    /// the length/distance extra-bit accounting).
+    #[test]
+    fn prop_compressed_len_matches_on_repetitive(byte in any::<u8>(), n in 0usize..8192, stride in 1usize..17) {
+        let data: Vec<u8> = (0..n).map(|i| byte.wrapping_add((i % stride) as u8)).collect();
+        prop_assert_eq!(compressed_len(&data), compress(&data).len());
     }
 
     /// NCD stays within its theoretical-ish bounds and is ~0 on identity.

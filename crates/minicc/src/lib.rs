@@ -38,10 +38,12 @@ pub mod flags;
 pub mod hash;
 pub mod magic;
 pub mod mir_opt;
+pub mod stage;
 
 pub use features::ModuleFeatures;
 pub use flags::{CompilerKind, CompilerProfile, Effect, EffectConfig, FlagDef, OptLevel};
 pub use hash::{fnv1a32, StableHasher};
+pub use stage::{AstStageKey, LowerStageKey, MirStageKey, StageKeys};
 
 use ast::Module;
 use binrep::{Arch, Binary};
@@ -91,23 +93,74 @@ impl Compiler {
 
     /// Compile a module under an explicit flag vector.
     ///
+    /// Equivalent to [`Compiler::check`] followed by the three pipeline
+    /// stages ([`Compiler::stage_ast`] → [`Compiler::stage_lower`] →
+    /// [`Compiler::stage_mir`]) — it *is* that sequence, so a staged
+    /// caller that caches intermediate artifacts produces byte-identical
+    /// binaries by construction (pinned corpus-wide by
+    /// `tests/staged_vs_monolithic.rs`).
+    ///
     /// # Errors
     ///
     /// [`CompileError::InvalidFlags`] when the flag vector violates the
     /// profile's constraints; [`CompileError::BadModule`] when the module
     /// is structurally invalid.
     pub fn compile(&self, m: &Module, flags: &[bool], arch: Arch) -> Result<Binary, CompileError> {
+        let eff = self.check(m, flags)?;
+        let optimized = self.stage_ast(m, &eff);
+        let lowered = self.stage_lower(&optimized, &eff, arch);
+        Ok(self.stage_mir(lowered, &eff))
+    }
+
+    /// The shared front half of a compile: constraint-check the flag
+    /// vector, validate the module, and resolve the [`EffectConfig`].
+    ///
+    /// Callers that drive the stages themselves (the fitness engine's
+    /// artifact cache) run this once per candidate — or skip it entirely
+    /// for a module they already validated and a vector they already
+    /// checked — instead of paying the full re-validation inside every
+    /// [`Compiler::compile`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Compiler::compile`].
+    pub fn check(&self, m: &Module, flags: &[bool]) -> Result<EffectConfig, CompileError> {
         let violations = self.profile.constraints().check(flags);
         if !violations.is_empty() {
             return Err(CompileError::InvalidFlags(violations));
         }
         m.validate().map_err(CompileError::BadModule)?;
-        let eff = EffectConfig::from_flags(&self.profile, flags);
-        let optimized = astopt::optimize(m, &eff);
-        let mut bin = codegen::lower_module(&optimized, &eff, arch);
-        mir_opt::optimize(&mut bin, &eff);
-        debug_assert_eq!(bin.validate(), Ok(()));
-        Ok(bin)
+        Ok(EffectConfig::from_flags(&self.profile, flags))
+    }
+
+    /// Pipeline stage 1: AST optimization.
+    ///
+    /// The output is a pure function of `(module, AstStageKey)` — only
+    /// the fields in [`stage::AstStageKey`] are read (the projection
+    /// invariant the staged-vs-monolithic differential suite pins), so
+    /// two configs with equal AST stage keys may share one result.
+    /// Expects a validated module ([`Compiler::check`]).
+    pub fn stage_ast(&self, m: &Module, eff: &EffectConfig) -> Module {
+        astopt::optimize(m, eff)
+    }
+
+    /// Pipeline stage 2: lower the optimized AST to machine code,
+    /// *without* machine-level optimization.
+    ///
+    /// The output is a pure function of
+    /// `(stage-1 artifact, LowerStageKey, arch)`; cache it under the
+    /// `(AstStageKey, LowerStageKey)` digest pair.
+    pub fn stage_lower(&self, optimized: &Module, eff: &EffectConfig, arch: Arch) -> Binary {
+        codegen::lower_module(optimized, eff, arch)
+    }
+
+    /// Pipeline stage 3: machine-level optimization — the cheap tail of
+    /// the pipeline, a pure function of `(stage-2 artifact, MirStageKey)`.
+    /// Consumes the lowered binary (cached callers clone their artifact).
+    pub fn stage_mir(&self, mut lowered: Binary, eff: &EffectConfig) -> Binary {
+        mir_opt::optimize(&mut lowered, eff);
+        debug_assert_eq!(lowered.validate(), Ok(()));
+        lowered
     }
 
     /// Compile with a default `-Ox` preset.

@@ -1,0 +1,519 @@
+//! Stage-projected views of an [`EffectConfig`] — the keys that make
+//! compilation artifacts shareable across candidates.
+//!
+//! The compile pipeline has three stages (see [`crate::Compiler`]):
+//!
+//! 1. **AST optimization** ([`crate::astopt`]) — reads only the
+//!    source-level pass knobs (folding, inlining, loop transforms).
+//! 2. **Lowering** ([`crate::codegen`]) — reads only the codegen knobs
+//!    (register allocation, if-conversion, switch/vector lowering,
+//!    style bits).
+//! 3. **Machine-level optimization** ([`crate::mir_opt`]) — reads only
+//!    the post-codegen knobs (peephole, layout, tail calls).
+//!
+//! Each stage's output is therefore a pure function of its *projection*
+//! of the effect config (plus its input artifact and, for lowering, the
+//! target arch). Two flag vectors that differ only in late-stage fields
+//! share every earlier artifact — which is most mutations: the paper's
+//! Figure 7 ablation shows the bulk of flags barely move the binary, so
+//! a GA generation is dominated by near-duplicate configurations whose
+//! early stages are identical.
+//!
+//! [`StageKeys::project`] builds all three projections in a single
+//! **exhaustive destructuring** of `EffectConfig` (the
+//! [`EffectConfig::stable_digest`] pattern from [`crate::hash`]): adding
+//! a field to `EffectConfig` without routing it to at least one stage
+//! key is a compile error, so a new optimization dimension can never
+//! silently escape the artifact-cache keys and serve a stale artifact.
+//! A field read by more than one stage (today: `cse`, consumed by both
+//! the AST CSE pass and codegen's slot-reuse heuristic) appears in every
+//! key that reads it.
+//!
+//! The digests follow the same two-seed FNV-1a construction as
+//! [`EffectConfig::stable_digest`], with per-stage seeds so the three
+//! key spaces are independent. They are in-memory cache keys only —
+//! nothing here is persisted, so reshaping a projection is not a disk
+//! format change (the staged-vs-monolithic differential suite is the
+//! guard instead).
+
+use crate::flags::EffectConfig;
+use crate::hash::StableHasher;
+
+/// Projection of an [`EffectConfig`] onto the fields the AST
+/// optimization stage ([`crate::astopt::optimize`]) reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AstStageKey {
+    /// See [`EffectConfig::const_fold`].
+    pub const_fold: bool,
+    /// See [`EffectConfig::cse`] (drives dead-assign elimination after
+    /// constant propagation).
+    pub cse: bool,
+    /// See [`EffectConfig::inline_threshold`].
+    pub inline_threshold: usize,
+    /// See [`EffectConfig::partial_inline`].
+    pub partial_inline: bool,
+    /// See [`EffectConfig::unroll_factor`].
+    pub unroll_factor: usize,
+    /// See [`EffectConfig::peel`].
+    pub peel: bool,
+    /// See [`EffectConfig::unswitch`].
+    pub unswitch: bool,
+    /// See [`EffectConfig::unroll_and_jam`].
+    pub unroll_and_jam: bool,
+    /// See [`EffectConfig::licm`].
+    pub licm: bool,
+    /// See [`EffectConfig::loop_distribute`].
+    pub loop_distribute: bool,
+}
+
+/// Projection of an [`EffectConfig`] onto the fields the lowering stage
+/// ([`crate::codegen::lower_module`]) reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LowerStageKey {
+    /// See [`EffectConfig::regalloc`].
+    pub regalloc: bool,
+    /// See [`EffectConfig::cse`] (slot/global reuse during lowering).
+    pub cse: bool,
+    /// See [`EffectConfig::vectorize_loops`].
+    pub vectorize_loops: bool,
+    /// See [`EffectConfig::vectorize_slp`].
+    pub vectorize_slp: bool,
+    /// See [`EffectConfig::jump_tables`].
+    pub jump_tables: bool,
+    /// See [`EffectConfig::if_convert`].
+    pub if_convert: bool,
+    /// See [`EffectConfig::if_convert2`].
+    pub if_convert2: bool,
+    /// See [`EffectConfig::branch_count_reg`].
+    pub branch_count_reg: bool,
+    /// See [`EffectConfig::align_loops`].
+    pub align_loops: u8,
+    /// See [`EffectConfig::merge_constants`].
+    pub merge_constants: bool,
+    /// See [`EffectConfig::merge_all_constants`].
+    pub merge_all_constants: bool,
+    /// See [`EffectConfig::builtin_expand`].
+    pub builtin_expand: bool,
+    /// See [`EffectConfig::style_bits`].
+    pub style_bits: u64,
+}
+
+/// Projection of an [`EffectConfig`] onto the fields the machine-level
+/// optimization stage ([`crate::mir_opt::optimize`]) reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MirStageKey {
+    /// See [`EffectConfig::tail_calls`].
+    pub tail_calls: bool,
+    /// See [`EffectConfig::peephole`].
+    pub peephole: bool,
+    /// See [`EffectConfig::strength_reduce`].
+    pub strength_reduce: bool,
+    /// See [`EffectConfig::reorder_blocks`].
+    pub reorder_blocks: bool,
+    /// See [`EffectConfig::reorder_partition`].
+    pub reorder_partition: bool,
+    /// See [`EffectConfig::reorder_functions`].
+    pub reorder_functions: bool,
+    /// See [`EffectConfig::align_functions`].
+    pub align_functions: u8,
+    /// See [`EffectConfig::merge_blocks`].
+    pub merge_blocks: bool,
+}
+
+/// All three stage projections of one [`EffectConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StageKeys {
+    /// Stage 1 key (AST optimization).
+    pub ast: AstStageKey,
+    /// Stage 2 key (lowering).
+    pub lower: LowerStageKey,
+    /// Stage 3 key (machine-level optimization).
+    pub mir: MirStageKey,
+}
+
+impl StageKeys {
+    /// Project an effect config onto the three stage keys.
+    ///
+    /// The single exhaustive destructuring below is the soundness
+    /// mechanism: every `EffectConfig` field must be named here, so a
+    /// newly added field that is not explicitly routed into a stage key
+    /// fails to compile instead of silently letting two configs that
+    /// differ in it share an artifact.
+    pub fn project(eff: &EffectConfig) -> StageKeys {
+        let EffectConfig {
+            regalloc,
+            const_fold,
+            cse,
+            inline_threshold,
+            partial_inline,
+            tail_calls,
+            unroll_factor,
+            peel,
+            unswitch,
+            unroll_and_jam,
+            vectorize_loops,
+            vectorize_slp,
+            jump_tables,
+            if_convert,
+            if_convert2,
+            branch_count_reg,
+            peephole,
+            strength_reduce,
+            reorder_blocks,
+            reorder_partition,
+            reorder_functions,
+            align_loops,
+            align_functions,
+            merge_constants,
+            merge_all_constants,
+            merge_blocks,
+            builtin_expand,
+            licm,
+            loop_distribute,
+            style_bits,
+        } = eff;
+        StageKeys {
+            ast: AstStageKey {
+                const_fold: *const_fold,
+                cse: *cse,
+                inline_threshold: *inline_threshold,
+                partial_inline: *partial_inline,
+                unroll_factor: *unroll_factor,
+                peel: *peel,
+                unswitch: *unswitch,
+                unroll_and_jam: *unroll_and_jam,
+                licm: *licm,
+                loop_distribute: *loop_distribute,
+            },
+            lower: LowerStageKey {
+                regalloc: *regalloc,
+                cse: *cse,
+                vectorize_loops: *vectorize_loops,
+                vectorize_slp: *vectorize_slp,
+                jump_tables: *jump_tables,
+                if_convert: *if_convert,
+                if_convert2: *if_convert2,
+                branch_count_reg: *branch_count_reg,
+                align_loops: *align_loops,
+                merge_constants: *merge_constants,
+                merge_all_constants: *merge_all_constants,
+                builtin_expand: *builtin_expand,
+                style_bits: *style_bits,
+            },
+            mir: MirStageKey {
+                tail_calls: *tail_calls,
+                peephole: *peephole,
+                strength_reduce: *strength_reduce,
+                reorder_blocks: *reorder_blocks,
+                reorder_partition: *reorder_partition,
+                reorder_functions: *reorder_functions,
+                align_functions: *align_functions,
+                merge_blocks: *merge_blocks,
+            },
+        }
+    }
+}
+
+impl AstStageKey {
+    /// Stable 128-bit digest of the stage-1 projection (the artifact
+    /// cache key for optimized ASTs).
+    pub fn stable_digest(&self) -> u128 {
+        let lo = self.digest_half(0x4153_5430); // "AST0"
+        let hi = self.digest_half(0x9e37_79b9_7f4a_7c15 ^ 0x4153_5430);
+        (u128::from(hi) << 64) | u128::from(lo)
+    }
+
+    fn digest_half(&self, seed: u64) -> u64 {
+        // Exhaustive, like EffectConfig::stable_digest: a field added to
+        // this key but not fed here is a compile error.
+        let AstStageKey {
+            const_fold,
+            cse,
+            inline_threshold,
+            partial_inline,
+            unroll_factor,
+            peel,
+            unswitch,
+            unroll_and_jam,
+            licm,
+            loop_distribute,
+        } = self;
+        let mut h = StableHasher::with_seed(seed);
+        h.write_bool(*const_fold);
+        h.write_bool(*cse);
+        h.write_usize(*inline_threshold);
+        h.write_bool(*partial_inline);
+        h.write_usize(*unroll_factor);
+        h.write_bool(*peel);
+        h.write_bool(*unswitch);
+        h.write_bool(*unroll_and_jam);
+        h.write_bool(*licm);
+        h.write_bool(*loop_distribute);
+        h.finish()
+    }
+}
+
+impl LowerStageKey {
+    /// Stable 128-bit digest of the stage-2 projection. Combined with
+    /// the stage-1 digest it keys lowered-but-unoptimized binaries
+    /// (lowering consumes the stage-1 artifact, so its cache key is the
+    /// pair).
+    pub fn stable_digest(&self) -> u128 {
+        let lo = self.digest_half(0x4c4f_5730); // "LOW0"
+        let hi = self.digest_half(0x9e37_79b9_7f4a_7c15 ^ 0x4c4f_5730);
+        (u128::from(hi) << 64) | u128::from(lo)
+    }
+
+    fn digest_half(&self, seed: u64) -> u64 {
+        let LowerStageKey {
+            regalloc,
+            cse,
+            vectorize_loops,
+            vectorize_slp,
+            jump_tables,
+            if_convert,
+            if_convert2,
+            branch_count_reg,
+            align_loops,
+            merge_constants,
+            merge_all_constants,
+            builtin_expand,
+            style_bits,
+        } = self;
+        let mut h = StableHasher::with_seed(seed);
+        h.write_bool(*regalloc);
+        h.write_bool(*cse);
+        h.write_bool(*vectorize_loops);
+        h.write_bool(*vectorize_slp);
+        h.write_bool(*jump_tables);
+        h.write_bool(*if_convert);
+        h.write_bool(*if_convert2);
+        h.write_bool(*branch_count_reg);
+        h.write_u8(*align_loops);
+        h.write_bool(*merge_constants);
+        h.write_bool(*merge_all_constants);
+        h.write_bool(*builtin_expand);
+        h.write_u64(*style_bits);
+        h.finish()
+    }
+}
+
+impl MirStageKey {
+    /// Stable 128-bit digest of the stage-3 projection (telemetry and
+    /// tests; the final stage is cheap and never cached).
+    pub fn stable_digest(&self) -> u128 {
+        let lo = self.digest_half(0x4d49_5230); // "MIR0"
+        let hi = self.digest_half(0x9e37_79b9_7f4a_7c15 ^ 0x4d49_5230);
+        (u128::from(hi) << 64) | u128::from(lo)
+    }
+
+    fn digest_half(&self, seed: u64) -> u64 {
+        let MirStageKey {
+            tail_calls,
+            peephole,
+            strength_reduce,
+            reorder_blocks,
+            reorder_partition,
+            reorder_functions,
+            align_functions,
+            merge_blocks,
+        } = self;
+        let mut h = StableHasher::with_seed(seed);
+        h.write_bool(*tail_calls);
+        h.write_bool(*peephole);
+        h.write_bool(*strength_reduce);
+        h.write_bool(*reorder_blocks);
+        h.write_bool(*reorder_partition);
+        h.write_bool(*reorder_functions);
+        h.write_u8(*align_functions);
+        h.write_bool(*merge_blocks);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digests(eff: &EffectConfig) -> (u128, u128, u128) {
+        let k = StageKeys::project(eff);
+        (
+            k.ast.stable_digest(),
+            k.lower.stable_digest(),
+            k.mir.stable_digest(),
+        )
+    }
+
+    /// Which stage digests a single-field perturbation must move: the
+    /// routing table in `project`, asserted field by field. `cse` is the
+    /// one deliberately multi-stage field.
+    #[test]
+    fn every_field_moves_exactly_its_stages() {
+        let base = EffectConfig {
+            unroll_factor: 1,
+            ..Default::default()
+        };
+        let (a0, l0, m0) = digests(&base);
+        // (mutator, moves_ast, moves_lower, moves_mir)
+        type Case = (&'static str, fn(&mut EffectConfig), bool, bool, bool);
+        let cases: &[Case] = &[
+            ("regalloc", |e| e.regalloc = true, false, true, false),
+            ("const_fold", |e| e.const_fold = true, true, false, false),
+            ("cse", |e| e.cse = true, true, true, false),
+            (
+                "inline_threshold",
+                |e| e.inline_threshold = 12,
+                true,
+                false,
+                false,
+            ),
+            (
+                "partial_inline",
+                |e| e.partial_inline = true,
+                true,
+                false,
+                false,
+            ),
+            ("tail_calls", |e| e.tail_calls = true, false, false, true),
+            ("unroll_factor", |e| e.unroll_factor = 4, true, false, false),
+            ("peel", |e| e.peel = true, true, false, false),
+            ("unswitch", |e| e.unswitch = true, true, false, false),
+            (
+                "unroll_and_jam",
+                |e| e.unroll_and_jam = true,
+                true,
+                false,
+                false,
+            ),
+            (
+                "vectorize_loops",
+                |e| e.vectorize_loops = true,
+                false,
+                true,
+                false,
+            ),
+            (
+                "vectorize_slp",
+                |e| e.vectorize_slp = true,
+                false,
+                true,
+                false,
+            ),
+            ("jump_tables", |e| e.jump_tables = true, false, true, false),
+            ("if_convert", |e| e.if_convert = true, false, true, false),
+            ("if_convert2", |e| e.if_convert2 = true, false, true, false),
+            (
+                "branch_count_reg",
+                |e| e.branch_count_reg = true,
+                false,
+                true,
+                false,
+            ),
+            ("peephole", |e| e.peephole = true, false, false, true),
+            (
+                "strength_reduce",
+                |e| e.strength_reduce = true,
+                false,
+                false,
+                true,
+            ),
+            (
+                "reorder_blocks",
+                |e| e.reorder_blocks = true,
+                false,
+                false,
+                true,
+            ),
+            (
+                "reorder_partition",
+                |e| e.reorder_partition = true,
+                false,
+                false,
+                true,
+            ),
+            (
+                "reorder_functions",
+                |e| e.reorder_functions = true,
+                false,
+                false,
+                true,
+            ),
+            ("align_loops", |e| e.align_loops = 8, false, true, false),
+            (
+                "align_functions",
+                |e| e.align_functions = 16,
+                false,
+                false,
+                true,
+            ),
+            (
+                "merge_constants",
+                |e| e.merge_constants = true,
+                false,
+                true,
+                false,
+            ),
+            (
+                "merge_all_constants",
+                |e| e.merge_all_constants = true,
+                false,
+                true,
+                false,
+            ),
+            (
+                "merge_blocks",
+                |e| e.merge_blocks = true,
+                false,
+                false,
+                true,
+            ),
+            (
+                "builtin_expand",
+                |e| e.builtin_expand = true,
+                false,
+                true,
+                false,
+            ),
+            ("licm", |e| e.licm = true, true, false, false),
+            (
+                "loop_distribute",
+                |e| e.loop_distribute = true,
+                true,
+                false,
+                false,
+            ),
+            ("style_bits", |e| e.style_bits = 0b1010, false, true, false),
+        ];
+        for (name, mutate, ast, lower, mir) in cases {
+            let mut e = base.clone();
+            mutate(&mut e);
+            let (a, l, m) = digests(&e);
+            assert_eq!(a != a0, *ast, "{name}: ast digest");
+            assert_eq!(l != l0, *lower, "{name}: lower digest");
+            assert_eq!(m != m0, *mir, "{name}: mir digest");
+            // Every field must land in at least one stage.
+            assert!(
+                a != a0 || l != l0 || m != m0,
+                "{name}: escaped every stage key"
+            );
+        }
+    }
+
+    #[test]
+    fn projection_is_deterministic_and_key_spaces_are_independent() {
+        let eff = EffectConfig {
+            unroll_factor: 4,
+            const_fold: true,
+            regalloc: true,
+            peephole: true,
+            ..Default::default()
+        };
+        assert_eq!(StageKeys::project(&eff), StageKeys::project(&eff.clone()));
+        let k = StageKeys::project(&eff);
+        // Distinct per-stage seeds: the three digests of one config never
+        // coincide (they hash different field sets under different
+        // seeds).
+        assert_ne!(k.ast.stable_digest(), k.lower.stable_digest());
+        assert_ne!(k.lower.stable_digest(), k.mir.stable_digest());
+    }
+}
