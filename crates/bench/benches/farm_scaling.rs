@@ -1,0 +1,174 @@
+//! Farm scaling: thread clients vs pre-forked worker *processes* on the
+//! stream transports, plus the adaptive cost model's convergence — the
+//! real multi-process deployment of the paper's Figure 4 client–server
+//! split.
+//!
+//! Asserted, not just printed:
+//!
+//! * **Bit-identity** — every farm row (threads or processes, Unix or
+//!   TCP) must reproduce the in-process run's best flags and best NCD
+//!   exactly. Process isolation and adaptive shard sizing are deployment
+//!   decisions, never semantics decisions.
+//! * **Convergence** — the adaptive cost model must have folded real
+//!   shard wall times into its estimate (`cost_observations > 0` and a
+//!   converged `observed_secs_per_genome`) on every farm row.
+//!
+//! Worker processes re-exec the `bintuner` binary. When that binary is
+//! not built (e.g. `cargo bench` without a prior
+//! `cargo build --release -p bintuner`), the process rows are skipped
+//! with a notice instead of failing — the thread rows still run.
+
+use bench::print_table;
+use bintuner::{
+    Backend, ProcessFarm, ServiceConfig, TransportKind, Tuner, TunerConfig, WorkerMode,
+};
+use genetic::{GaParams, Termination};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn base_config() -> TunerConfig {
+    let evals = if bench::full_run() { 600 } else { 200 };
+    TunerConfig {
+        termination: Termination {
+            max_evaluations: evals,
+            min_evaluations: evals * 2 / 3,
+            plateau_window: evals / 3,
+            ..Default::default()
+        },
+        ga: GaParams {
+            population: 24,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Locate the `bintuner` binary next to this bench executable
+/// (`target/<profile>/deps/farm_scaling-*` → `target/<profile>/bintuner`).
+/// Mirrors the launcher's own fallback, but checked here so the bench can
+/// skip gracefully instead of erroring per row.
+fn worker_binary() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let dir = exe.parent()?;
+    [dir.join("bintuner"), dir.parent()?.join("bintuner")]
+        .into_iter()
+        .find(|candidate| candidate.is_file())
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let bench_case = corpus::by_name("462.libquantum").expect("known benchmark");
+    println!(
+        "farm scaling on {} (host parallelism: {cores})",
+        bench_case.name
+    );
+    if cores == 1 {
+        println!("  (1 CPU host: farm rows measure transport + process overhead, not speedup)");
+    }
+    let worker = worker_binary();
+    if worker.is_none() {
+        println!(
+            "  (bintuner binary not found next to the bench executable — process rows skipped; \
+             run `cargo build --release -p bintuner` first)"
+        );
+    }
+
+    let t = Instant::now();
+    let local = Tuner::new(base_config())
+        .tune(&bench_case.module)
+        .expect("in-process run");
+    let local_wall = t.elapsed().as_secs_f64();
+
+    let mut rows = vec![vec![
+        "in-process".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        format!("{:.3}", local.best_ncd),
+        format!("{local_wall:.2}"),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+    ]];
+
+    let mut cases: Vec<(&str, TransportKind, usize, WorkerMode)> = vec![
+        ("threads", TransportKind::Unix, 2, WorkerMode::Threads),
+        ("threads", TransportKind::Tcp, 2, WorkerMode::Threads),
+    ];
+    if let Some(binary) = worker {
+        for (transport, clients) in [
+            (TransportKind::Unix, 2),
+            (TransportKind::Tcp, 2),
+            (TransportKind::Tcp, 4),
+        ] {
+            cases.push((
+                "processes",
+                transport,
+                clients,
+                WorkerMode::Processes(ProcessFarm {
+                    worker_binary: Some(binary.clone()),
+                    ..ProcessFarm::default()
+                }),
+            ));
+        }
+    }
+
+    for (mode, transport, clients, workers) in cases {
+        let config = TunerConfig {
+            backend: Backend::Service(ServiceConfig {
+                clients,
+                transport,
+                workers,
+                fault: None,
+            }),
+            ..base_config()
+        };
+        let t = Instant::now();
+        let result = Tuner::new(config)
+            .tune(&bench_case.module)
+            .expect("farm run");
+        let wall = t.elapsed().as_secs_f64();
+        assert_eq!(
+            result.best_flags, local.best_flags,
+            "{mode}/{transport}/{clients} clients diverged from the in-process result"
+        );
+        assert_eq!(result.best_ncd.to_bits(), local.best_ncd.to_bits());
+        let summary = result.service.as_ref().expect("service telemetry");
+        assert_eq!(summary.process_workers, mode == "processes");
+        assert!(
+            summary.cost_observations > 0,
+            "{mode}/{transport}: the cost model never saw a shard"
+        );
+        let converged = summary
+            .observed_secs_per_genome
+            .map(|s| format!("{:.2e}", s))
+            .unwrap_or_else(|| "-".to_string());
+        let (first, last) = match (summary.shard_sizes.first(), summary.shard_sizes.last()) {
+            (Some(f), Some(l)) => (f.to_string(), l.to_string()),
+            _ => ("-".to_string(), "-".to_string()),
+        };
+        rows.push(vec![
+            format!("{mode}/{transport}"),
+            clients.to_string(),
+            summary.cost_observations.to_string(),
+            format!("{:.3}", result.best_ncd),
+            format!("{wall:.2}"),
+            summary.shards.to_string(),
+            first,
+            last,
+            converged,
+        ]);
+    }
+
+    print_table(
+        "Farm scaling (fixed seed; identical results asserted; shard sizes adapt to measured cost)",
+        &[
+            "backend", "clients", "cost_obs", "ncd", "wall_s", "shards", "shard0", "shardN",
+            "s/genome",
+        ],
+        &rows,
+    );
+    println!("farm backend bit-identical to in-process on every row: OK");
+}

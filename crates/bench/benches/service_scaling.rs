@@ -74,7 +74,7 @@ fn main() {
                 backend: Backend::Service(ServiceConfig {
                     clients,
                     transport,
-                    fault: None,
+                    ..ServiceConfig::default()
                 }),
                 ..base_config()
             };

@@ -1,0 +1,20 @@
+//! The `bintuner` binary.
+//!
+//! Today its one job is to be the re-exec target of the process farm:
+//! `bintuner --evald-worker <args>` runs one evaluation-service worker
+//! process (see [`bintuner::farm`]). Invoked any other way it prints a
+//! short usage, because the tuning loop itself is a library embedded by
+//! the test and bench harnesses.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--evald-worker") {
+        std::process::exit(bintuner::farm::worker_main(&args[1..]));
+    }
+    eprintln!(
+        "bintuner: this binary currently only serves the evaluation-service \
+         process farm; run `bintuner --evald-worker --help-args` via \
+         ServiceHandle::launch instead of invoking it directly"
+    );
+    std::process::exit(2);
+}

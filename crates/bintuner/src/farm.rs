@@ -1,0 +1,403 @@
+//! The pre-forked worker-process farm (paper §5 "Implementation").
+//!
+//! [`crate::service::ServiceHandle`] can realize its clients as OS
+//! *processes* instead of threads ([`evald::WorkerMode::Processes`]):
+//! the launcher re-execs the current binary with a hidden
+//! `--evald-worker` entry point, and each worker process connects back
+//! over the configured stream transport (Unix socket or TCP loopback),
+//! sends its [`evald::wire::Frame::Hello`], receives the module under
+//! test as a [`evald::wire::Frame::Job`] (encoded with
+//! [`minicc::codec`]), builds its own [`FitnessEngine`], and serves
+//! shards exactly like a thread client would.
+//!
+//! This module holds both halves of that protocol: [`worker_main`] (the
+//! child side, invoked from the `bintuner` binary) and the crate-private
+//! `WorkerSpec` (the parent side: binary resolution and process
+//! spawning, used by the service launcher).
+
+use crate::engine::EngineConfig;
+use crate::service::EngineWorker;
+use crate::store::FitnessStore;
+use crate::FitnessEngine;
+use binrep::Arch;
+use evald::wire::{decode_frame, encode_frame, Frame};
+use evald::{tcp_connect, unix_connect, ClientOptions, EvaldError};
+use minicc::{Compiler, CompilerKind, CompilerProfile};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+/// Where a worker process connects back to its server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// TCP loopback address (`127.0.0.1:port`).
+    Tcp(SocketAddr),
+    /// Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+/// Parsed `--evald-worker` command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerArgs {
+    /// Client id to announce in the Hello handshake and result frames.
+    pub client_id: u32,
+    /// Which compiler profile to build.
+    pub kind: CompilerKind,
+    /// Target architecture.
+    pub arch: Arch,
+    /// Whether the worker's engine keeps its staged artifact cache.
+    pub artifact_cache: bool,
+    /// Server endpoint to connect back to.
+    pub endpoint: Endpoint,
+    /// Chaos hook: drop the connection after this many shards.
+    pub fail_after: Option<usize>,
+}
+
+/// Stable one-byte tag → [`CompilerKind`] (inverse of
+/// [`CompilerKind::stable_id`]).
+fn compiler_from_tag(tag: u8) -> Option<CompilerKind> {
+    match tag {
+        0 => Some(CompilerKind::Gcc),
+        1 => Some(CompilerKind::Llvm),
+        _ => None,
+    }
+}
+
+/// Stable one-byte tag → [`Arch`] (inverse of [`crate::store::arch_tag`]).
+fn arch_from_tag(tag: u8) -> Option<Arch> {
+    match tag {
+        0 => Some(Arch::X86),
+        1 => Some(Arch::X8664),
+        2 => Some(Arch::Arm),
+        3 => Some(Arch::Mips),
+        _ => None,
+    }
+}
+
+impl WorkerArgs {
+    /// Parse the arguments following `--evald-worker`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed or missing
+    /// argument (the worker prints it to stderr and exits non-zero —
+    /// the parent only ever sees a connection that never arrived).
+    pub fn parse(args: &[String]) -> Result<WorkerArgs, String> {
+        let mut client_id = None;
+        let mut kind = None;
+        let mut arch = None;
+        let mut artifact_cache = None;
+        let mut endpoint = None;
+        let mut fail_after = None;
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next()
+                    .ok_or_else(|| format!("{flag} expects a value"))
+                    .cloned()
+            };
+            match flag.as_str() {
+                "--client-id" => {
+                    client_id = Some(
+                        value()?
+                            .parse::<u32>()
+                            .map_err(|e| format!("--client-id: {e}"))?,
+                    );
+                }
+                "--compiler-tag" => {
+                    let tag = value()?
+                        .parse::<u8>()
+                        .map_err(|e| format!("--compiler-tag: {e}"))?;
+                    kind = Some(
+                        compiler_from_tag(tag)
+                            .ok_or_else(|| format!("unknown compiler tag {tag}"))?,
+                    );
+                }
+                "--arch-tag" => {
+                    let tag = value()?
+                        .parse::<u8>()
+                        .map_err(|e| format!("--arch-tag: {e}"))?;
+                    arch =
+                        Some(arch_from_tag(tag).ok_or_else(|| format!("unknown arch tag {tag}"))?);
+                }
+                "--artifact-cache" => {
+                    artifact_cache = Some(match value()?.as_str() {
+                        "0" => false,
+                        "1" => true,
+                        other => return Err(format!("--artifact-cache expects 0|1, got {other}")),
+                    });
+                }
+                "--tcp" => {
+                    endpoint = Some(Endpoint::Tcp(
+                        value()?
+                            .parse::<SocketAddr>()
+                            .map_err(|e| format!("--tcp: {e}"))?,
+                    ));
+                }
+                "--unix" => endpoint = Some(Endpoint::Unix(PathBuf::from(value()?))),
+                "--fail-after" => {
+                    fail_after = Some(
+                        value()?
+                            .parse::<usize>()
+                            .map_err(|e| format!("--fail-after: {e}"))?,
+                    );
+                }
+                other => return Err(format!("unknown worker argument {other}")),
+            }
+        }
+        Ok(WorkerArgs {
+            client_id: client_id.ok_or("--client-id is required")?,
+            kind: kind.ok_or("--compiler-tag is required")?,
+            arch: arch.ok_or("--arch-tag is required")?,
+            artifact_cache: artifact_cache.ok_or("--artifact-cache is required")?,
+            endpoint: endpoint.ok_or("--tcp or --unix is required")?,
+            fail_after,
+        })
+    }
+}
+
+/// The `--evald-worker` entry point: parse `args` (everything after the
+/// `--evald-worker` sentinel), run the worker, and return the process
+/// exit code. The `bintuner` binary calls this from `main`.
+pub fn worker_main(args: &[String]) -> i32 {
+    let parsed = match WorkerArgs::parse(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("evald worker: {e}");
+            return 2;
+        }
+    };
+    match run_worker(&parsed) {
+        // A server that simply goes away is a normal end of service.
+        Ok(()) | Err(EvaldError::Disconnected) => 0,
+        Err(e) => {
+            eprintln!("evald worker {}: {e}", parsed.client_id);
+            1
+        }
+    }
+}
+
+/// Connect, handshake, build the engine from the job description, and
+/// serve shards until shutdown.
+fn run_worker(args: &WorkerArgs) -> Result<(), EvaldError> {
+    let mut duplex = match &args.endpoint {
+        Endpoint::Tcp(addr) => tcp_connect(*addr)?,
+        Endpoint::Unix(path) => unix_connect(path)?,
+    };
+    let n_flags = CompilerProfile::new(args.kind).n_flags() as u16;
+    let opts = ClientOptions {
+        client_id: args.client_id,
+        n_flags,
+        fail_after_shards: args.fail_after,
+    };
+    duplex.tx.send_frame(&encode_frame(&Frame::Hello {
+        client: args.client_id,
+        n_flags,
+    }))?;
+    // The engine needs the module, which arrives as the job description.
+    // Nothing but a Job (or an early Shutdown / empty-batch EndBatch) is
+    // legal before the first Work frame.
+    let payload = loop {
+        let bytes = duplex.rx.recv_frame()?;
+        let (frame, _) = decode_frame(&bytes)?;
+        match frame {
+            Frame::Job { payload } => break payload,
+            Frame::Shutdown => return Ok(()),
+            Frame::EndBatch { .. } => {
+                duplex.tx.send_frame(&encode_frame(&Frame::Merge {
+                    client: args.client_id,
+                    records: Vec::new(),
+                }))?;
+            }
+            Frame::Work { .. } => {
+                // Work before the job description: we cannot evaluate.
+                // Exiting severs the connection; the server re-queues the
+                // shard on a healthy client.
+                return Err(EvaldError::Protocol("Work frame before Job"));
+            }
+            Frame::Hello { .. } | Frame::Result { .. } | Frame::Merge { .. } => {}
+        }
+    };
+    let module = minicc::codec::decode_module(&payload)
+        .map_err(|_| EvaldError::Corrupt("job payload is not an encoded module"))?;
+    let compiler = Compiler::new(args.kind);
+    let engine = FitnessEngine::with_store(
+        &compiler,
+        &module,
+        args.arch,
+        EngineConfig {
+            workers: 1,
+            artifact_cache: args.artifact_cache,
+            ..EngineConfig::default()
+        },
+        FitnessStore::in_memory(),
+    )
+    .map_err(|_| EvaldError::Protocol("worker engine failed its baseline compile"))?;
+    let mut worker = EngineWorker::new(&engine);
+    evald::serve(&mut worker, &mut duplex, &opts)
+}
+
+/// Everything the parent needs to (re)spawn one worker process.
+#[derive(Debug, Clone)]
+pub(crate) struct WorkerSpec {
+    pub binary: PathBuf,
+    pub kind: CompilerKind,
+    pub arch: Arch,
+    pub artifact_cache: bool,
+    pub endpoint: Endpoint,
+}
+
+impl WorkerSpec {
+    /// Spawn one worker process. Stdin is null; stderr is inherited so a
+    /// worker's own diagnostics surface in the parent's stream.
+    pub fn spawn(&self, client_id: u32, fail_after: Option<usize>) -> std::io::Result<Child> {
+        let mut cmd = Command::new(&self.binary);
+        cmd.arg("--evald-worker")
+            .arg("--client-id")
+            .arg(client_id.to_string())
+            .arg("--compiler-tag")
+            .arg(self.kind.stable_id().to_string())
+            .arg("--arch-tag")
+            .arg(crate::store::arch_tag(self.arch).to_string())
+            .arg("--artifact-cache")
+            .arg(if self.artifact_cache { "1" } else { "0" });
+        match &self.endpoint {
+            Endpoint::Tcp(addr) => cmd.arg("--tcp").arg(addr.to_string()),
+            Endpoint::Unix(path) => cmd.arg("--unix").arg(path),
+        };
+        if let Some(k) = fail_after {
+            cmd.arg("--fail-after").arg(k.to_string());
+        }
+        cmd.stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit());
+        cmd.spawn()
+    }
+}
+
+/// Resolve the worker binary to re-exec: the configured path, or — the
+/// common deployment — the current executable itself. When the current
+/// executable is *not* the `bintuner` binary (a test or bench harness),
+/// look for a sibling `bintuner` next to it and in the parent directory
+/// (cargo places test binaries in `target/<profile>/deps/`, one level
+/// below the real binary).
+pub(crate) fn resolve_worker_binary(configured: Option<&PathBuf>) -> std::io::Result<PathBuf> {
+    if let Some(path) = configured {
+        return Ok(path.clone());
+    }
+    let exe = std::env::current_exe()?;
+    if exe
+        .file_stem()
+        .is_some_and(|s| s.to_string_lossy() == "bintuner")
+    {
+        return Ok(exe);
+    }
+    let candidates = [
+        exe.parent().map(|d| d.join("bintuner")),
+        exe.parent()
+            .and_then(Path::parent)
+            .map(|d| d.join("bintuner")),
+    ];
+    for c in candidates.into_iter().flatten() {
+        if c.is_file() {
+            return Ok(c);
+        }
+    }
+    Err(std::io::Error::new(
+        std::io::ErrorKind::NotFound,
+        "no worker binary: current exe is not bintuner and no sibling bintuner binary was found \
+         (set ProcessFarm::worker_binary explicitly)",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_args() -> Vec<String> {
+        [
+            "--client-id",
+            "7",
+            "--compiler-tag",
+            "1",
+            "--arch-tag",
+            "2",
+            "--artifact-cache",
+            "1",
+            "--tcp",
+            "127.0.0.1:4455",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    }
+
+    #[test]
+    fn worker_args_parse_round_trips_the_spawn_command() {
+        let args = WorkerArgs::parse(&base_args()).unwrap();
+        assert_eq!(
+            args,
+            WorkerArgs {
+                client_id: 7,
+                kind: CompilerKind::Llvm,
+                arch: Arch::Arm,
+                artifact_cache: true,
+                endpoint: Endpoint::Tcp("127.0.0.1:4455".parse().unwrap()),
+                fail_after: None,
+            }
+        );
+        let mut with_fault = base_args();
+        with_fault.extend(["--fail-after".to_string(), "3".to_string()]);
+        assert_eq!(WorkerArgs::parse(&with_fault).unwrap().fail_after, Some(3));
+        let unix: Vec<String> = base_args()
+            .into_iter()
+            .map(|a| if a == "--tcp" { "--unix".into() } else { a })
+            .collect();
+        assert_eq!(
+            WorkerArgs::parse(&unix).unwrap().endpoint,
+            Endpoint::Unix(PathBuf::from("127.0.0.1:4455"))
+        );
+    }
+
+    #[test]
+    fn worker_args_reject_malformed_input() {
+        for (mangle, needle) in [
+            (vec!["--client-id".to_string()], "expects a value"),
+            (
+                vec!["--compiler-tag".to_string(), "9".into()],
+                "compiler tag",
+            ),
+            (vec!["--arch-tag".to_string(), "9".into()], "arch tag"),
+            (vec!["--artifact-cache".to_string(), "2".into()], "0|1"),
+            (vec!["--tcp".to_string(), "nonsense".into()], "--tcp"),
+            (vec!["--what".to_string()], "unknown worker argument"),
+        ] {
+            let err = WorkerArgs::parse(&mangle).unwrap_err();
+            assert!(err.contains(needle), "{err:?} should mention {needle:?}");
+        }
+        // Missing required pieces are named.
+        let err = WorkerArgs::parse(&[]).unwrap_err();
+        assert!(err.contains("--client-id"));
+    }
+
+    #[test]
+    fn tag_inverses_match_the_stable_ids() {
+        for kind in [CompilerKind::Gcc, CompilerKind::Llvm] {
+            assert_eq!(compiler_from_tag(kind.stable_id()), Some(kind));
+        }
+        for arch in [Arch::X86, Arch::X8664, Arch::Arm, Arch::Mips] {
+            assert_eq!(arch_from_tag(crate::store::arch_tag(arch)), Some(arch));
+        }
+        assert_eq!(compiler_from_tag(7), None);
+        assert_eq!(arch_from_tag(9), None);
+    }
+
+    #[test]
+    fn explicit_worker_binary_wins_resolution() {
+        let configured = PathBuf::from("/custom/worker");
+        assert_eq!(
+            resolve_worker_binary(Some(&configured)).unwrap(),
+            configured
+        );
+    }
+}

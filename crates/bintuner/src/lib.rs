@@ -43,6 +43,7 @@
 
 pub mod db;
 pub mod engine;
+pub mod farm;
 pub mod obfuscator;
 pub mod potency;
 pub mod priors;
@@ -59,7 +60,9 @@ pub use potency::{
     flag_potency, marginal_potency, marginal_potency_weighted, pearson, FlagMarginal, FlagPotency,
 };
 pub use priors::{mine_prior, PotencyPrior, PriorConfig, PriorMode};
-pub use service::{FaultPlan, ServiceConfig, ServiceSummary, TransportKind};
+pub use service::{
+    FaultPlan, ProcessFarm, ServiceConfig, ServiceSummary, TransportKind, WorkerMode,
+};
 pub use store::{
     FitnessStore, FlagBits, LoadReport, SaveOutcome, StoreKey, StoreLock, StoredFitness,
 };

@@ -36,29 +36,34 @@
 //! pins bit-identity against the in-process engine.
 
 use crate::engine::{EngineConfig, EngineStats, MissExecutor, MissResult, FAILED_COMPILE_PENALTY};
+use crate::farm::{resolve_worker_binary, Endpoint, WorkerSpec};
 use crate::store::FitnessStore;
 use crate::FitnessEngine;
 use binrep::Arch;
+use evald::transport::{tcp_accept, unix_accept};
 use evald::wire::ShardStats;
 use evald::{
-    channel_duplex, run_client, unix_connect, unix_listener, ClientOptions, CostModel, Duplex,
-    EvalServer, EvaldError, MergeRecord, ShardWorker, WireEval,
+    channel_duplex, run_client, tcp_listener, unix_connect, unix_listener, BoundUnixListener,
+    ClientOptions, CostModel, Duplex, EvalServer, EvaldError, MergeRecord, ShardWorker, WireEval,
 };
 use minicc::ast::Module;
 use minicc::{Compiler, CompilerKind, CompilerProfile};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-pub use evald::{FaultPlan, ServiceConfig, ServiceStats, TransportKind};
+pub use evald::{FaultPlan, ProcessFarm, ServiceConfig, ServiceStats, TransportKind, WorkerMode};
 
 /// What the evaluation service did over one run (on
 /// [`crate::TuneResult::service`] when `TunerConfig::backend` is a
 /// service).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServiceSummary {
     /// Transport the run used.
     pub transport: TransportKind,
+    /// Whether clients were pre-forked worker processes (vs threads).
+    pub process_workers: bool,
     /// Clients launched.
     pub clients: usize,
     /// Clients lost mid-run (all work re-dispatched; the result is
@@ -90,11 +95,35 @@ pub struct ServiceSummary {
     /// Farm compiles that reused a client-cached stage-2 artifact
     /// (lowered binary).
     pub farm_lower_reuse: u64,
+    /// Clients that joined *after* launch (reconnecting/respawned worker
+    /// processes absorbed mid-run).
+    pub clients_joined: usize,
+    /// Worker processes that had to be killed (drain timeout at
+    /// shutdown, or the [`ServiceHandle::kill_worker`] chaos hook).
+    pub workers_killed: usize,
+    /// Shard wall-time measurements folded into the adaptive cost model.
+    pub cost_observations: u64,
+    /// The adaptive cost model's converged farm-wide estimate
+    /// (seconds per genome), once it has seen enough shards; `None`
+    /// while the static [`minicc::ModuleFeatures`] prior still rules.
+    pub observed_secs_per_genome: Option<f64>,
+    /// Shard size chosen for each batch, in batch order — the trace
+    /// showing shard sizes converging to observed farm throughput.
+    pub shard_sizes: Vec<usize>,
 }
 
 /// Monotonic suffix for unix socket paths, so parallel tests (or
 /// parallel tuners in one process) never collide.
 static SOCKET_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh per-process, per-launch unix socket path in the temp dir.
+fn farm_socket_path() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "evald_{}_{}.sock",
+        std::process::id(),
+        SOCKET_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
 
 /// A launched evaluation service: the dispatch server plus its client
 /// threads. Implements [`MissExecutor`], so the tuner installs it
@@ -107,10 +136,62 @@ static SOCKET_SEQ: AtomicU64 = AtomicU64::new(0);
 pub struct ServiceHandle {
     /// `None` once [`ServiceHandle::finish`] has torn the server down.
     server: Mutex<Option<EvalServer>>,
+    /// Thread-mode clients.
     clients: Vec<JoinHandle<()>>,
+    /// Process-mode workers (`None` slots are workers already reaped,
+    /// e.g. by [`ServiceHandle::kill_worker`]).
+    children: Mutex<Vec<Option<std::process::Child>>>,
+    /// Everything needed to respawn a worker ([`ServiceHandle::spawn_worker`]).
+    spec: Option<WorkerSpec>,
+    /// Client ids continue past the initial farm (matches the server's
+    /// injector numbering).
+    next_worker_id: AtomicU32,
+    /// The reconnect path: keeps accepting on the farm's listener and
+    /// injects late connections into the running server.
+    acceptor: Option<Acceptor>,
+    drain_grace_ms: u64,
+    workers_killed: AtomicUsize,
     transport: TransportKind,
+    process_workers: bool,
     launched: usize,
-    socket_path: Option<std::path::PathBuf>,
+}
+
+/// The acceptor thread and its stop flag. The thread owns the farm's
+/// listener, so stopping it also closes the listening socket (and, for
+/// unix transports, unlinks the socket file via [`BoundUnixListener`]'s
+/// `Drop`).
+struct Acceptor {
+    stop: Arc<AtomicBool>,
+    thread: JoinHandle<()>,
+}
+
+/// The farm's listening socket, either flavor, in nonblocking mode (the
+/// launch deadline loop and the acceptor's stop flag both need accept to
+/// return instead of parking).
+enum FarmListener {
+    Unix(BoundUnixListener),
+    Tcp(std::net::TcpListener),
+}
+
+impl FarmListener {
+    fn set_nonblocking(&self) -> std::io::Result<()> {
+        match self {
+            FarmListener::Unix(l) => l.listener().set_nonblocking(true),
+            FarmListener::Tcp(l) => l.set_nonblocking(true),
+        }
+    }
+
+    fn accept(&self) -> Result<Duplex, EvaldError> {
+        match self {
+            FarmListener::Unix(l) => unix_accept(l),
+            FarmListener::Tcp(l) => tcp_accept(l),
+        }
+    }
+
+    /// Whether an accept error is just "nothing pending yet".
+    fn would_block(err: &EvaldError) -> bool {
+        matches!(err, EvaldError::Io(e) if e.kind() == std::io::ErrorKind::WouldBlock)
+    }
 }
 
 impl std::fmt::Debug for ServiceHandle {
@@ -148,20 +229,27 @@ fn client_thread(
     ) else {
         return;
     };
-    let mut worker = EngineWorker {
-        engine: &engine,
-        last: EngineStats::default(),
-    };
+    let mut worker = EngineWorker::new(&engine);
     // A disconnect here is the server going away — normal end of service.
     let _ = run_client(&mut worker, duplex, &opts);
 }
 
-/// [`ShardWorker`] over a client-local [`FitnessEngine`].
-struct EngineWorker<'e, 'a> {
+/// [`ShardWorker`] over a client-local [`FitnessEngine`] — shared by
+/// thread clients (here) and worker processes ([`crate::farm`]).
+pub(crate) struct EngineWorker<'e, 'a> {
     engine: &'e FitnessEngine<'a>,
     /// Stats snapshot at the last shard (per-shard deltas go on the
     /// wire).
     last: EngineStats,
+}
+
+impl<'e, 'a> EngineWorker<'e, 'a> {
+    pub(crate) fn new(engine: &'e FitnessEngine<'a>) -> EngineWorker<'e, 'a> {
+        EngineWorker {
+            engine,
+            last: EngineStats::default(),
+        }
+    }
 }
 
 impl ShardWorker for EngineWorker<'_, '_> {
@@ -228,14 +316,28 @@ impl ServiceHandle {
         let n_clients = cfg.clients.max(1);
         let n_flags = CompilerProfile::new(kind).n_flags() as u16;
         let cost = CostModel::from_features(&module.features());
-        let mut server_side: Vec<Duplex> = Vec::with_capacity(n_clients);
-        let mut handles = Vec::with_capacity(n_clients);
-        let mut socket_path = None;
-
         let fault_for = |i: usize| {
             cfg.fault
                 .and_then(|f| (f.client == i).then_some(f.after_shards))
         };
+
+        if let WorkerMode::Processes(farm) = &cfg.workers {
+            return ServiceHandle::launch_processes(
+                cfg,
+                farm,
+                kind,
+                module,
+                arch,
+                artifact_cache,
+                n_clients,
+                n_flags,
+                cost,
+                &fault_for,
+            );
+        }
+
+        let mut server_side: Vec<Duplex> = Vec::with_capacity(n_clients);
+        let mut handles = Vec::with_capacity(n_clients);
         match cfg.transport {
             TransportKind::Channel => {
                 for i in 0..n_clients {
@@ -253,12 +355,9 @@ impl ServiceHandle {
                 }
             }
             TransportKind::Unix => {
-                let path = std::env::temp_dir().join(format!(
-                    "evald_{}_{}.sock",
-                    std::process::id(),
-                    SOCKET_SEQ.fetch_add(1, Ordering::Relaxed)
-                ));
-                let listener = unix_listener(&path)?;
+                // The listener drops (and unlinks its socket file) when
+                // this arm ends — every client has connected by then.
+                let listener = unix_listener(&farm_socket_path())?;
                 for i in 0..n_clients {
                     let module = module.clone();
                     let opts = ClientOptions {
@@ -272,13 +371,29 @@ impl ServiceHandle {
                     // before connecting and leave the matching accept
                     // blocked forever. Connection order is irrelevant
                     // (any client may serve any shard).
-                    let client_end = unix_connect(&path)?;
-                    server_side.push(evald::transport::unix_accept(&listener)?);
+                    let client_end = unix_connect(listener.path())?;
+                    server_side.push(unix_accept(&listener)?);
                     handles.push(std::thread::spawn(move || {
                         client_thread(kind, module, arch, artifact_cache, client_end, opts);
                     }));
                 }
-                socket_path = Some(path);
+            }
+            TransportKind::Tcp => {
+                let (listener, addr) = tcp_listener()?;
+                for i in 0..n_clients {
+                    let module = module.clone();
+                    let opts = ClientOptions {
+                        client_id: i as u32,
+                        n_flags,
+                        fail_after_shards: fault_for(i),
+                    };
+                    // Same connect-then-accept discipline as Unix.
+                    let client_end = evald::tcp_connect(addr)?;
+                    server_side.push(tcp_accept(&listener)?);
+                    handles.push(std::thread::spawn(move || {
+                        client_thread(kind, module, arch, artifact_cache, client_end, opts);
+                    }));
+                }
             }
         }
 
@@ -286,40 +401,285 @@ impl ServiceHandle {
         Ok(ServiceHandle {
             server: Mutex::new(Some(server)),
             clients: handles,
+            children: Mutex::new(Vec::new()),
+            spec: None,
+            next_worker_id: AtomicU32::new(n_clients as u32),
+            acceptor: None,
+            drain_grace_ms: 0,
+            workers_killed: AtomicUsize::new(0),
             transport: cfg.transport,
+            process_workers: false,
             launched: n_clients,
-            socket_path,
         })
     }
 
-    /// Sever connections, join every thread, remove the socket file.
-    /// Idempotent; shared by [`ServiceHandle::finish`] and `Drop`.
+    /// Process-mode launch: bind the listener, pre-fork the worker
+    /// processes, accept their connections (with a deadline, so a worker
+    /// that dies before connecting cannot wedge the launch), handshake,
+    /// ship the job description, and start the reconnect acceptor.
+    #[allow(clippy::too_many_arguments)] // internal launch seam
+    fn launch_processes(
+        cfg: &ServiceConfig,
+        farm: &ProcessFarm,
+        kind: CompilerKind,
+        module: &Module,
+        arch: Arch,
+        artifact_cache: bool,
+        n_clients: usize,
+        n_flags: u16,
+        cost: CostModel,
+        fault_for: &dyn Fn(usize) -> Option<usize>,
+    ) -> Result<ServiceHandle, EvaldError> {
+        let binary = resolve_worker_binary(farm.worker_binary.as_ref())?;
+        let (listener, endpoint) = match cfg.transport {
+            TransportKind::Channel => {
+                return Err(EvaldError::Protocol(
+                    "process workers require a stream transport (unix or tcp) \
+                     — there is no channel across an exec",
+                ))
+            }
+            TransportKind::Unix => {
+                let l = unix_listener(&farm_socket_path())?;
+                let path = l.path().to_path_buf();
+                (FarmListener::Unix(l), Endpoint::Unix(path))
+            }
+            TransportKind::Tcp => {
+                let (l, addr) = tcp_listener()?;
+                (FarmListener::Tcp(l), Endpoint::Tcp(addr))
+            }
+        };
+        listener.set_nonblocking()?;
+        let spec = WorkerSpec {
+            binary,
+            kind,
+            arch,
+            artifact_cache,
+            endpoint,
+        };
+
+        let mut children: Vec<Option<std::process::Child>> = Vec::with_capacity(n_clients);
+        // Everything after the first spawn must reap the children on
+        // failure — a launch error must not leak worker processes.
+        let launch_result = (|| {
+            for i in 0..n_clients {
+                children.push(Some(spec.spawn(i as u32, fault_for(i))?));
+            }
+            let mut server_side: Vec<Duplex> = Vec::with_capacity(n_clients);
+            let deadline = Instant::now() + Duration::from_secs(30);
+            let mut all_dead_since: Option<Instant> = None;
+            while server_side.len() < n_clients {
+                match listener.accept() {
+                    Ok(duplex) => server_side.push(duplex),
+                    Err(e) if FarmListener::would_block(&e) => {
+                        // A worker that died before connecting is never
+                        // coming; give stragglers a short grace for
+                        // connections already in the backlog, then let
+                        // the handshake decide with what arrived.
+                        let mut alive = 0;
+                        for child in children.iter_mut().flatten() {
+                            if matches!(child.try_wait(), Ok(None)) {
+                                alive += 1;
+                            }
+                        }
+                        if alive == 0 {
+                            let t = *all_dead_since.get_or_insert_with(Instant::now);
+                            if t.elapsed() > Duration::from_millis(250) {
+                                break;
+                            }
+                        } else {
+                            all_dead_since = None;
+                        }
+                        if Instant::now() > deadline {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            let mut server = EvalServer::new(server_side, cost, n_flags)?;
+            // Workers build their engines from the job description; ship
+            // it before any Work frame can be dispatched.
+            server.set_job(minicc::codec::encode_module(module));
+            Ok(server)
+        })();
+        let server = match launch_result {
+            Ok(server) => server,
+            Err(e) => {
+                for child in children.iter_mut().flatten() {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                return Err(e);
+            }
+        };
+
+        // The reconnect path: a worker that dies is absorbed on return
+        // (or replacement via spawn_worker) by injecting the accepted
+        // connection into the running server.
+        let injector = server.injector();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            while !stop_flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok(duplex) => {
+                        injector.inject(duplex);
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(15)),
+                }
+            }
+            // `listener` drops here: socket closed, unix file unlinked.
+        });
+
+        Ok(ServiceHandle {
+            server: Mutex::new(Some(server)),
+            clients: Vec::new(),
+            children: Mutex::new(children),
+            spec: Some(spec),
+            next_worker_id: AtomicU32::new(n_clients as u32),
+            acceptor: Some(Acceptor { stop, thread }),
+            drain_grace_ms: farm.drain_grace_ms,
+            workers_killed: AtomicUsize::new(0),
+            transport: cfg.transport,
+            process_workers: true,
+            launched: n_clients,
+        })
+    }
+
+    /// Chaos hook: SIGKILL worker process `idx` (zero-based launch
+    /// order). Returns `false` when there is no live worker at that
+    /// index (thread mode, out of range, or already killed). The
+    /// running batch recovers via straggler re-dispatch.
+    pub fn kill_worker(&self, idx: usize) -> bool {
+        let mut children = self.children.lock().unwrap();
+        let Some(slot) = children.get_mut(idx) else {
+            return false;
+        };
+        let Some(mut child) = slot.take() else {
+            return false;
+        };
+        let _ = child.kill();
+        let _ = child.wait();
+        self.workers_killed.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Spawn one additional worker process connecting to the running
+    /// farm (the replacement half of the reconnect story). Returns the
+    /// client id the worker announces.
+    ///
+    /// # Errors
+    ///
+    /// Unsupported in thread mode; otherwise whatever the OS reports
+    /// for the spawn.
+    pub fn spawn_worker(&self) -> std::io::Result<u32> {
+        let spec = self.spec.as_ref().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "spawn_worker requires process-mode workers",
+            )
+        })?;
+        let id = self.next_worker_id.fetch_add(1, Ordering::Relaxed);
+        let child = spec.spawn(id, None)?;
+        self.children.lock().unwrap().push(Some(child));
+        Ok(id)
+    }
+
+    /// A live snapshot of the service telemetry (`None` once
+    /// [`ServiceHandle::finish`] has consumed the server). Lets chaos
+    /// tests watch a respawned worker get absorbed mid-run.
+    pub fn stats(&self) -> Option<ServiceStats> {
+        self.server.lock().unwrap().as_ref().map(EvalServer::stats)
+    }
+
+    /// Sever connections, join every thread, drain (or kill) every
+    /// worker process. Idempotent; shared by [`ServiceHandle::finish`]
+    /// and `Drop`.
+    ///
+    /// Order matters: the acceptor stops first (no new connections can
+    /// enter a dying server; dropping its listener unlinks the unix
+    /// socket file), then the server shuts down (Shutdown frames let
+    /// workers exit cleanly), then threads are joined and processes
+    /// drained within the configured grace before being killed.
     fn teardown(&mut self) -> Option<ServiceStats> {
+        if let Some(acceptor) = self.acceptor.take() {
+            acceptor.stop.store(true, Ordering::Relaxed);
+            let _ = acceptor.thread.join();
+        }
         let stats = self.server.lock().unwrap().take().map(EvalServer::shutdown);
         for h in self.clients.drain(..) {
             let _ = h.join();
         }
-        if let Some(path) = self.socket_path.take() {
-            let _ = std::fs::remove_file(path);
-        }
+        self.drain_children();
         stats
     }
 
-    /// Shut the service down: stop the clients, join their threads, and
-    /// return the final telemetry plus the accumulated merge records for
-    /// the tuner's single-writer store fold.
+    /// Wait up to the drain grace for worker processes to exit after
+    /// their Shutdown frame; kill whatever is still running.
+    fn drain_children(&self) {
+        let mut children = self.children.lock().unwrap();
+        if children.is_empty() {
+            return;
+        }
+        let deadline = Instant::now() + Duration::from_millis(self.drain_grace_ms);
+        loop {
+            let mut still_running = 0;
+            for child in children.iter_mut().flatten() {
+                if matches!(child.try_wait(), Ok(None)) {
+                    still_running += 1;
+                }
+            }
+            if still_running == 0 {
+                break;
+            }
+            if Instant::now() >= deadline {
+                for child in children.iter_mut().flatten() {
+                    if matches!(child.try_wait(), Ok(None)) {
+                        let _ = child.kill();
+                        self.workers_killed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Reap every child so no zombies outlive the service.
+        for child in children.iter_mut().flatten() {
+            let _ = child.wait();
+        }
+        children.clear();
+    }
+
+    /// Shut the service down: stop the clients, join their threads /
+    /// drain their processes, and return the final telemetry plus the
+    /// accumulated merge records for the tuner's single-writer store
+    /// fold.
     pub fn finish(mut self) -> (ServiceSummary, Vec<MergeRecord>) {
-        let merged = self
-            .server
-            .lock()
-            .unwrap()
-            .as_mut()
-            .map(EvalServer::take_merged)
-            .unwrap_or_default();
+        // Cost-model telemetry must be read before shutdown consumes the
+        // server.
+        let (merged, observed_secs_per_genome, shard_sizes) = {
+            let mut guard = self.server.lock().unwrap();
+            let merged = guard
+                .as_mut()
+                .map(EvalServer::take_merged)
+                .unwrap_or_default();
+            let (observed, sizes) = guard
+                .as_ref()
+                .map(|s| {
+                    (
+                        s.cost_model().observed_secs_per_genome(),
+                        s.shard_sizes().to_vec(),
+                    )
+                })
+                .unwrap_or((None, Vec::new()));
+            (merged, observed, sizes)
+        };
         let stats = self.teardown().expect("finish tears down once");
         (
             ServiceSummary {
                 transport: self.transport,
+                process_workers: self.process_workers,
                 clients: self.launched,
                 clients_lost: stats.clients_lost,
                 shards: stats.shards,
@@ -330,6 +690,11 @@ impl ServiceHandle {
                 farm_full_compiles: stats.client_full_compiles,
                 farm_ast_reuse: stats.client_ast_reuse,
                 farm_lower_reuse: stats.client_lower_reuse,
+                clients_joined: stats.clients_joined,
+                workers_killed: self.workers_killed.load(Ordering::Relaxed),
+                cost_observations: stats.cost_observations,
+                observed_secs_per_genome,
+                shard_sizes,
             },
             merged,
         )

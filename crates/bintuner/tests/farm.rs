@@ -1,0 +1,252 @@
+//! The process farm end to end: pre-forked worker *processes* (re-execed
+//! from the `bintuner` binary, connecting back over TCP or Unix sockets)
+//! must be bit-identical to the in-process engine — the same determinism
+//! contract the thread-client suite (`service_vs_local.rs`) pins, now
+//! across real address spaces, plus the farm-only behaviors: worker
+//! death mid-run (SIGKILL, not just a polite disconnect), respawned
+//! workers absorbed by the reconnect acceptor, and the adaptive cost
+//! model's telemetry flowing end to end.
+
+use bintuner::service::ServiceHandle;
+use bintuner::{
+    Backend, FaultPlan, MissExecutor, ProcessFarm, ServiceConfig, TransportKind, TuneResult, Tuner,
+    TunerConfig, WorkerMode,
+};
+use std::path::PathBuf;
+use testutil::small_tuner;
+
+/// The worker binary every farm in this suite re-execs.
+fn worker_binary() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_bintuner"))
+}
+
+fn process_farm() -> WorkerMode {
+    WorkerMode::Processes(ProcessFarm {
+        worker_binary: Some(worker_binary()),
+        ..ProcessFarm::default()
+    })
+}
+
+fn process_config(max_evals: usize, cfg: ServiceConfig) -> TunerConfig {
+    TunerConfig {
+        backend: Backend::Service(cfg),
+        ..small_tuner(max_evals)
+    }
+}
+
+/// The determinism contract, trajectory included (`wall_seconds` is the
+/// one field wall-clock may touch).
+fn assert_identical_runs(a: &TuneResult, b: &TuneResult, what: &str) {
+    assert_eq!(a.best_flags, b.best_flags, "{what}: best genome");
+    assert_eq!(
+        a.best_ncd.to_bits(),
+        b.best_ncd.to_bits(),
+        "{what}: best fitness"
+    );
+    assert_eq!(a.iterations, b.iterations, "{what}: iterations");
+    assert_eq!(a.stopped_by, b.stopped_by, "{what}: stop reason");
+    assert_eq!(a.db.rows().len(), b.db.rows().len(), "{what}: history");
+    for (x, y) in a.db.rows().iter().zip(b.db.rows()) {
+        assert_eq!(x.flags, y.flags, "{what}: iteration {}", x.iteration);
+        assert_eq!(
+            x.ncd.to_bits(),
+            y.ncd.to_bits(),
+            "{what}: iteration {}",
+            x.iteration
+        );
+        assert_eq!(x.cache_hit, y.cache_hit);
+        assert_eq!(x.persistent_hit, y.persistent_hit);
+    }
+    assert_eq!(a.engine_stats.evaluations, b.engine_stats.evaluations);
+    assert_eq!(a.engine_stats.compiles, b.engine_stats.compiles);
+    assert_eq!(a.engine_stats.cache_hits, b.engine_stats.cache_hits);
+}
+
+#[test]
+fn process_farm_is_bit_identical_on_both_stream_transports() {
+    let bench = corpus::by_name("462.libquantum").unwrap();
+    let local = Tuner::new(small_tuner(60)).tune(&bench.module).unwrap();
+
+    for (transport, clients) in [(TransportKind::Tcp, 2), (TransportKind::Unix, 2)] {
+        let run = Tuner::new(process_config(
+            60,
+            ServiceConfig {
+                clients,
+                transport,
+                workers: process_farm(),
+                fault: None,
+            },
+        ))
+        .tune(&bench.module)
+        .unwrap();
+        assert_identical_runs(&local, &run, &format!("process workers over {transport}"));
+        let summary = run.service.as_ref().expect("service telemetry");
+        assert!(summary.process_workers);
+        assert_eq!(summary.transport, transport);
+        assert_eq!(summary.clients, clients);
+        assert_eq!(summary.clients_lost, 0, "no worker died");
+        assert_eq!(summary.workers_killed, 0, "every worker drained cleanly");
+        assert!(summary.shards > 0);
+        // The adaptive cost model ran on real farm wall times.
+        assert!(summary.cost_observations > 0);
+        assert!(
+            !summary.shard_sizes.is_empty(),
+            "per-batch shard sizes recorded"
+        );
+    }
+}
+
+#[test]
+fn killing_a_worker_process_mid_run_changes_nothing() {
+    let bench = corpus::by_name("473.astar").unwrap();
+    let local = Tuner::new(small_tuner(50)).tune(&bench.module).unwrap();
+    let killed = Tuner::new(process_config(
+        50,
+        ServiceConfig {
+            clients: 2,
+            transport: TransportKind::Tcp,
+            workers: process_farm(),
+            fault: Some(FaultPlan {
+                client: 1,
+                after_shards: 1,
+            }),
+        },
+    ))
+    .tune(&bench.module)
+    .unwrap();
+    assert_identical_runs(&local, &killed, "kill-one-worker-process");
+    let summary = killed.service.as_ref().expect("service telemetry");
+    assert!(summary.process_workers);
+    assert_eq!(summary.clients_lost, 1, "exactly the planned death");
+}
+
+/// Deterministic pseudo-random genome batch (pure function of the
+/// arguments — the same batch always evaluates to the same fitnesses).
+fn batch(n_flags: usize, n: usize, salt: usize) -> Vec<Vec<bool>> {
+    (0..n)
+        .map(|i| {
+            (0..n_flags)
+                .map(|j| (i * 31 + j * 7 + salt * 13).is_multiple_of(5))
+                .collect()
+        })
+        .collect()
+}
+
+/// Drive the farm directly (no GA) so the chaos hooks are controllable:
+/// SIGKILL a worker mid-run, respawn one, and check both the results and
+/// the reconnect/cost telemetry.
+#[test]
+fn sigkill_and_respawn_are_absorbed_without_changing_results() {
+    let bench = corpus::by_name("429.mcf").unwrap();
+    let kind = minicc::CompilerKind::Gcc;
+    let arch = binrep::Arch::X86;
+    let n_flags = minicc::CompilerProfile::new(kind).n_flags();
+    let cfg = ServiceConfig {
+        clients: 2,
+        transport: TransportKind::Tcp,
+        workers: process_farm(),
+        fault: None,
+    };
+
+    // Reference results from a healthy farm.
+    let reference: Vec<Vec<u64>> = {
+        let handle = ServiceHandle::launch(&cfg, kind, &bench.module, arch, true).unwrap();
+        let out = (0..3)
+            .map(|salt| {
+                handle
+                    .execute(&batch(n_flags, 10, salt))
+                    .into_iter()
+                    .map(|r| r.fitness.to_bits())
+                    .collect()
+            })
+            .collect();
+        let (summary, _) = handle.finish();
+        assert_eq!(summary.clients_lost, 0);
+        out
+    };
+
+    // Chaos run: kill worker 0 after the first batch, respawn a
+    // replacement, and keep evaluating the same batches.
+    let handle = ServiceHandle::launch(&cfg, kind, &bench.module, arch, true).unwrap();
+    let first: Vec<u64> = handle
+        .execute(&batch(n_flags, 10, 0))
+        .into_iter()
+        .map(|r| r.fitness.to_bits())
+        .collect();
+    assert_eq!(first, reference[0]);
+
+    assert!(handle.kill_worker(0), "worker 0 was alive to kill");
+    assert!(!handle.kill_worker(0), "a worker dies once");
+    let second: Vec<u64> = handle
+        .execute(&batch(n_flags, 10, 1))
+        .into_iter()
+        .map(|r| r.fitness.to_bits())
+        .collect();
+    assert_eq!(second, reference[1], "SIGKILL mid-run moved a result");
+
+    let respawned_id = handle.spawn_worker().expect("respawn a worker");
+    assert!(respawned_id >= 2, "ids continue past the initial farm");
+    // Absorption is evented: the joiner is admitted while batches drain
+    // the event queue. Loop until the telemetry shows it landed.
+    let mut rounds = 0;
+    while handle.stats().expect("live server").clients_joined == 0 {
+        rounds += 1;
+        assert!(rounds < 200, "respawned worker never absorbed");
+        let again: Vec<u64> = handle
+            .execute(&batch(n_flags, 10, 2))
+            .into_iter()
+            .map(|r| r.fitness.to_bits())
+            .collect();
+        assert_eq!(again, reference[2], "reconnect mid-run moved a result");
+    }
+
+    let (summary, _) = handle.finish();
+    assert!(summary.process_workers);
+    assert_eq!(summary.clients_joined, 1, "the respawn was absorbed");
+    assert!(summary.clients_lost >= 1, "the SIGKILL was observed");
+    assert!(summary.workers_killed >= 1, "the kill hook counted");
+    assert!(summary.cost_observations > 0);
+}
+
+#[test]
+fn process_workers_refuse_the_channel_transport() {
+    let bench = corpus::by_name("429.mcf").unwrap();
+    let err = ServiceHandle::launch(
+        &ServiceConfig {
+            clients: 1,
+            transport: TransportKind::Channel,
+            workers: process_farm(),
+            fault: None,
+        },
+        minicc::CompilerKind::Gcc,
+        &bench.module,
+        binrep::Arch::X86,
+        true,
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, evald::EvaldError::Protocol(_)),
+        "channel across an exec must be a config error, got {err}"
+    );
+}
+
+#[test]
+fn every_corpus_module_round_trips_the_codec() {
+    // The job payload must be able to carry any module the reproduction
+    // tunes — the whole benign corpus, bit-exactly.
+    for bench in corpus::all_benign() {
+        let bytes = minicc::codec::encode_module(&bench.module);
+        let decoded =
+            minicc::codec::decode_module(&bytes).unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        assert_eq!(decoded, bench.module, "{}", bench.name);
+    }
+}
+
+#[test]
+fn the_binary_without_the_worker_flag_is_a_usage_error() {
+    let out = std::process::Command::new(worker_binary())
+        .output()
+        .expect("run the bintuner binary");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(!out.stderr.is_empty(), "usage goes to stderr");
+}

@@ -119,7 +119,7 @@ fn service_backend_is_bit_identical_on_both_transports() {
         ServiceConfig {
             clients: 3,
             transport: TransportKind::Channel,
-            fault: None,
+            ..ServiceConfig::default()
         },
     ))
     .tune(&bench.module)
@@ -131,17 +131,30 @@ fn service_backend_is_bit_identical_on_both_transports() {
         ServiceConfig {
             clients: 2,
             transport: TransportKind::Unix,
-            fault: None,
+            ..ServiceConfig::default()
         },
     ))
     .tune(&bench.module)
     .unwrap();
     assert_identical_runs(&local, &unix, "unix transport");
 
+    let tcp = Tuner::new(service_config(
+        70,
+        ServiceConfig {
+            clients: 2,
+            transport: TransportKind::Tcp,
+            ..ServiceConfig::default()
+        },
+    ))
+    .tune(&bench.module)
+    .unwrap();
+    assert_identical_runs(&local, &tcp, "tcp transport");
+
     // The service actually ran: shards were dispatched to a live farm
     // and the farm did the compiles the engine accounted for.
-    for (result, clients) in [(&channel, 3), (&unix, 2)] {
-        let summary = result.service.expect("service telemetry");
+    for (result, clients) in [(&channel, 3), (&unix, 2), (&tcp, 2)] {
+        let summary = result.service.as_ref().expect("service telemetry");
+        assert!(!summary.process_workers, "these farms are thread clients");
         assert_eq!(summary.clients, clients);
         assert_eq!(summary.clients_lost, 0);
         assert!(summary.shards > 0);
@@ -149,6 +162,9 @@ fn service_backend_is_bit_identical_on_both_transports() {
             summary.farm_compiles >= result.engine_stats.compiles as u64,
             "farm did at least the logical compiles"
         );
+        // The adaptive cost model saw every shard's wall time.
+        assert!(summary.cost_observations > 0);
+        assert!(!summary.shard_sizes.is_empty());
     }
 }
 
@@ -165,12 +181,13 @@ fn killing_one_client_mid_run_changes_nothing() {
                 client: 1,
                 after_shards: 2,
             }),
+            ..ServiceConfig::default()
         },
     ))
     .tune(&bench.module)
     .unwrap();
     assert_identical_runs(&local, &killed, "kill-one-client");
-    let summary = killed.service.expect("service telemetry");
+    let summary = killed.service.as_ref().expect("service telemetry");
     assert_eq!(summary.clients_lost, 1, "exactly the planned death");
     // Duplicate accounting flows into the engine stats (the in-process
     // engine can never have any).
@@ -196,7 +213,7 @@ fn service_and_local_build_equivalent_stores_and_warm_starts() {
             ServiceConfig {
                 clients: 2,
                 transport: TransportKind::Channel,
-                fault: None,
+                ..ServiceConfig::default()
             },
         )
     };
@@ -214,7 +231,7 @@ fn service_and_local_build_equivalent_stores_and_warm_starts() {
     assert!(!persist.lock_skipped);
     // The client farm shipped its local caches back, and the single
     // writable store ended up equivalent to the in-process run's.
-    assert!(cold_svc.service.unwrap().merged_records > 0);
+    assert!(cold_svc.service.as_ref().unwrap().merged_records > 0);
     assert_same_store(local_store.path(), service_store.path());
 
     // Warm runs: the service replays the identical trajectory from
@@ -264,7 +281,7 @@ fn invalid_module_fails_promptly_and_tears_the_service_down() {
             ServiceConfig {
                 clients: 2,
                 transport: TransportKind::Unix,
-                fault: None,
+                ..ServiceConfig::default()
             },
         ))
         .tune(&bad)

@@ -86,7 +86,7 @@ fn artifact_cache_on_off_is_bit_identical_on_service_backend() {
             backend: Backend::Service(ServiceConfig {
                 clients: 2,
                 transport: TransportKind::Channel,
-                fault: None,
+                ..ServiceConfig::default()
             }),
             ..small_tuner(90)
         };

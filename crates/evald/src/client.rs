@@ -27,6 +27,15 @@ pub trait ShardWorker {
     fn drain_merge(&mut self) -> Vec<MergeRecord> {
         Vec::new()
     }
+
+    /// React to the server's job description ([`Frame::Job`]) — opaque
+    /// embedder bytes. Thread workers, which receive the job at spawn
+    /// time, ignore it (the default); worker *processes* usually consume
+    /// it before entering [`serve`] instead, so this hook only fires for
+    /// a job re-sent mid-connection.
+    fn on_job(&mut self, payload: &[u8]) {
+        let _ = payload;
+    }
 }
 
 /// Per-client launch options.
@@ -58,6 +67,23 @@ pub fn run_client(
         client: opts.client_id,
         n_flags: opts.n_flags,
     }))?;
+    serve(worker, &mut duplex, opts)
+}
+
+/// The post-handshake serve loop: answer `Work` frames until the server
+/// says `Shutdown`. Split out of [`run_client`] for worker *processes*,
+/// which send their own [`Frame::Hello`] and consume the
+/// [`Frame::Job`] description (to build their engine) before entering
+/// the loop.
+///
+/// # Errors
+///
+/// Same contract as [`run_client`].
+pub fn serve(
+    worker: &mut dyn ShardWorker,
+    duplex: &mut Duplex,
+    opts: &ClientOptions,
+) -> Result<(), EvaldError> {
     let mut shards_done = 0usize;
     loop {
         let bytes = duplex.rx.recv_frame()?;
@@ -84,6 +110,7 @@ pub fn run_client(
                     records: worker.drain_merge(),
                 }))?;
             }
+            Frame::Job { payload } => worker.on_job(&payload),
             Frame::Shutdown => return Ok(()),
             // Server-bound frames are never addressed to a client;
             // ignore rather than die (forward compatibility).

@@ -4,11 +4,11 @@
 //! client–server: the server runs the genetic algorithm while a farm of
 //! clients compiles candidate configurations and scores binary
 //! difference. This crate is that deployment's machinery, kept fully
-//! runnable offline: every "remote" client is a thread in the same
-//! process, but all traffic flows through the same versioned wire format
-//! and transport abstraction a real farm would use, so swapping the
-//! in-process duplex channel for a Unix-domain socket (or, one day, TCP)
-//! changes nothing above the transport layer.
+//! runnable offline: a "remote" client is a thread in the same process
+//! or a pre-forked worker *process* connecting back over a Unix or TCP
+//! loopback socket, but all traffic flows through the same versioned
+//! wire format and transport abstraction either way, so changing the
+//! deployment topology changes nothing above the transport layer.
 //!
 //! The crate is deliberately *generic*: it moves genome batches out and
 //! evaluation results back, but knows nothing about compilers or NCD.
@@ -24,14 +24,15 @@
 //!   canonical little-endian encodings (round-trip property-tested;
 //!   truncated or version-mismatched frames are rejected, never
 //!   misread).
-//! * [`transport`] — [`FrameSender`]/[`FrameReceiver`] halves with two
-//!   implementations: an in-process duplex channel and a Unix-domain
-//!   socket.
+//! * [`transport`] — [`FrameSender`]/[`FrameReceiver`] halves with
+//!   three implementations: an in-process duplex channel, a Unix-domain
+//!   socket, and TCP loopback (`TCP_NODELAY` on both ends).
 //! * [`scheduler`] — the work-stealing shard queue: a batch's genomes
 //!   are chunked by a [`CostModel`] seeded from the module's shape
-//!   features, idle clients steal outstanding shards from stragglers,
-//!   and the first result for a shard wins (duplicates are counted, not
-//!   errors).
+//!   features and refined online from the wall times clients measure
+//!   (per-client EWMA), idle clients steal outstanding shards from
+//!   stragglers, and the first result for a shard wins (duplicates are
+//!   counted, not errors).
 //! * [`server`] / [`client`] — the dispatch loop ([`EvalServer`]) and
 //!   the worker loop ([`run_client`]).
 //!
@@ -49,15 +50,17 @@ pub mod server;
 pub mod transport;
 pub mod wire;
 
-pub use client::{run_client, ClientOptions, ShardWorker};
+pub use client::{run_client, serve, ClientOptions, ShardWorker};
 pub use scheduler::{CostModel, Scheduler};
-pub use server::{EvalServer, ServiceStats};
+pub use server::{ClientInjector, EvalServer, ServiceStats};
 pub use transport::{
-    channel_duplex, unix_connect, unix_listener, Duplex, FrameReceiver, FrameSender,
+    channel_duplex, tcp_connect, tcp_listener, unix_connect, unix_listener, BoundUnixListener,
+    Duplex, FrameReceiver, FrameSender,
 };
 pub use wire::{Frame, MergeRecord, ShardStats, WireEval, WIRE_VERSION};
 
 use std::fmt;
+use std::path::PathBuf;
 
 /// Which transport carries frames between server and clients.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -67,9 +70,12 @@ pub enum TransportKind {
     #[default]
     Channel,
     /// Unix-domain socket: clients connect to a socket file, exercising
-    /// real stream framing. The closest offline stand-in for the paper's
-    /// networked deployment.
+    /// real stream framing.
     Unix,
+    /// TCP over `127.0.0.1` loopback with `TCP_NODELAY`: the paper's
+    /// networked deployment transport, required for worker processes
+    /// that should one day live on other hosts.
+    Tcp,
 }
 
 impl fmt::Display for TransportKind {
@@ -77,7 +83,43 @@ impl fmt::Display for TransportKind {
         f.write_str(match self {
             TransportKind::Channel => "channel",
             TransportKind::Unix => "unix-socket",
+            TransportKind::Tcp => "tcp",
         })
+    }
+}
+
+/// How the farm's clients are realized.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum WorkerMode {
+    /// Clients are threads of the tuning process (the offline default:
+    /// no second binary needed, works on every transport).
+    #[default]
+    Threads,
+    /// Clients are pre-forked OS processes re-exec'd from a worker
+    /// binary, connecting back over a stream transport — real address
+    /// spaces, real allocators, real crash isolation (the paper's farm).
+    Processes(ProcessFarm),
+}
+
+/// Configuration of a pre-forked worker-process farm
+/// ([`WorkerMode::Processes`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessFarm {
+    /// The worker binary to re-exec (must understand the embedder's
+    /// hidden worker entry point). `None` means "the current
+    /// executable", which is the common re-exec-yourself deployment.
+    pub worker_binary: Option<PathBuf>,
+    /// Grace period in milliseconds to wait for a worker process to exit
+    /// after shutdown before it is killed outright.
+    pub drain_grace_ms: u64,
+}
+
+impl Default for ProcessFarm {
+    fn default() -> ProcessFarm {
+        ProcessFarm {
+            worker_binary: None,
+            drain_grace_ms: 5_000,
+        }
     }
 }
 
@@ -100,6 +142,10 @@ pub struct ServiceConfig {
     pub clients: usize,
     /// Transport between server and clients.
     pub transport: TransportKind,
+    /// Whether clients are threads or pre-forked worker processes.
+    /// Processes require a stream transport ([`TransportKind::Unix`] or
+    /// [`TransportKind::Tcp`]) — there is no channel across an exec.
+    pub workers: WorkerMode,
     /// Chaos hook: kill one client mid-run (see [`FaultPlan`]). `None`
     /// in production.
     pub fault: Option<FaultPlan>,
@@ -110,6 +156,7 @@ impl Default for ServiceConfig {
         ServiceConfig {
             clients: 2,
             transport: TransportKind::Channel,
+            workers: WorkerMode::Threads,
             fault: None,
         }
     }
@@ -221,7 +268,12 @@ mod tests {
         let cfg = ServiceConfig::default();
         assert_eq!(cfg.clients, 2);
         assert_eq!(cfg.transport, TransportKind::Channel);
+        assert_eq!(cfg.workers, WorkerMode::Threads);
         assert!(cfg.fault.is_none());
         assert_eq!(TransportKind::Unix.to_string(), "unix-socket");
+        assert_eq!(TransportKind::Tcp.to_string(), "tcp");
+        let farm = ProcessFarm::default();
+        assert!(farm.worker_binary.is_none());
+        assert!(farm.drain_grace_ms > 0);
     }
 }

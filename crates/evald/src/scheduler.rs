@@ -19,12 +19,27 @@
 //! of its own, no threads, fully unit-testable.
 
 use minicc::ModuleFeatures;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Target modelled cost of one shard, in arbitrary cost-model units.
 /// Shards far cheaper than this get coarser (framing amortization);
 /// costlier modules get finer shards (stealing granularity).
 const TARGET_SHARD_COST: f64 = 64.0;
+
+/// Target wall-clock seconds per shard once *measured* per-genome times
+/// are available: long enough to amortize framing, short enough that
+/// work stealing can rebalance and a straggler re-dispatch is cheap.
+pub const TARGET_SHARD_SECONDS: f64 = 0.25;
+
+/// EWMA smoothing for observed per-genome wall time. 0.3 ≈ the last
+/// ~5 shards dominate: fast enough to track a warming cache (early
+/// shards compile, later ones hit), slow enough that one noisy shard
+/// does not whipsaw the shard size.
+const COST_EWMA_ALPHA: f64 = 0.3;
+
+/// Observed shards required before the measured estimate overrides the
+/// static module-shape prior (one shard is noise; a handful is signal).
+pub const MIN_COST_OBSERVATIONS: u64 = 3;
 
 /// Desired shards per client when cost does not constrain the split —
 /// enough granularity that stealing can rebalance a 2–3x speed skew.
@@ -40,14 +55,28 @@ const SHARDS_PER_CLIENT: usize = 4;
 /// shard outright).
 const MAX_SHARD_COPIES: usize = 2;
 
-/// A crude per-compile cost estimate derived from module shape — enough
-/// to *rank* modules (a 10x bigger module gets ~10x smaller shards), not
-/// to predict wall-clock.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Per-compile cost estimation: a static module-shape *prior* refined
+/// online by the wall times clients actually measure.
+///
+/// The prior ([`CostModel::from_features`]) only ranks modules — a 10x
+/// bigger module gets ~10x smaller shards — and cannot predict
+/// wall-clock. Once shards start completing, [`CostModel::observe`]
+/// folds each shard's measured `wall_seconds / genomes` into a
+/// per-client EWMA (clients are real processes now and genuinely
+/// heterogeneous: a cold cache, a loaded core, a slower host). After
+/// [`MIN_COST_OBSERVATIONS`] shards, [`CostModel::shard_size`] switches
+/// from the prior's unit-cost bound to "about
+/// [`TARGET_SHARD_SECONDS`] of measured work per shard", so shard sizes
+/// converge to the farm's observed throughput.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     /// Modelled cost of compiling + scoring one genome, in arbitrary
-    /// units (1.0 ≈ a small benchmark module).
+    /// units (1.0 ≈ a small benchmark module). The static prior.
     pub cost_per_genome: f64,
+    /// EWMA of observed seconds-per-genome, per reporting client.
+    per_client: BTreeMap<u32, f64>,
+    /// Shard observations folded in so far.
+    observations: u64,
 }
 
 impl CostModel {
@@ -55,6 +84,8 @@ impl CostModel {
     pub fn uniform() -> CostModel {
         CostModel {
             cost_per_genome: 1.0,
+            per_client: BTreeMap::new(),
+            observations: 0,
         }
     }
 
@@ -66,18 +97,69 @@ impl CostModel {
         let cost = (f64::from(ast_nodes) + 8.0 * f64::from(loops) + 2.0 * f64::from(calls)) / 100.0;
         CostModel {
             cost_per_genome: cost.max(0.01),
+            per_client: BTreeMap::new(),
+            observations: 0,
         }
     }
 
+    /// Fold one completed shard's measurement into the model: `client`
+    /// evaluated `genomes` genomes in `wall_seconds`. Non-finite or
+    /// negative measurements (a client with a broken clock) and empty
+    /// shards are ignored — the model must never be poisoned into NaN
+    /// shard sizes.
+    pub fn observe(&mut self, client: u32, genomes: usize, wall_seconds: f64) {
+        if genomes == 0 || !wall_seconds.is_finite() || wall_seconds < 0.0 {
+            return;
+        }
+        let per = wall_seconds / genomes as f64;
+        let ewma = self
+            .per_client
+            .entry(client)
+            .and_modify(|e| *e = (1.0 - COST_EWMA_ALPHA) * *e + COST_EWMA_ALPHA * per)
+            .or_insert(per);
+        debug_assert!(ewma.is_finite());
+        self.observations += 1;
+    }
+
+    /// Shard observations folded in so far (telemetry).
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// The converged estimate: mean of the per-client EWMAs, or `None`
+    /// while the model is still riding the static prior (fewer than
+    /// [`MIN_COST_OBSERVATIONS`] shards observed).
+    pub fn observed_secs_per_genome(&self) -> Option<f64> {
+        if self.observations < MIN_COST_OBSERVATIONS || self.per_client.is_empty() {
+            return None;
+        }
+        Some(self.per_client.values().sum::<f64>() / self.per_client.len() as f64)
+    }
+
+    /// Per-client EWMA estimates of seconds-per-genome (telemetry:
+    /// heterogeneity across the farm).
+    pub fn client_secs_per_genome(&self) -> Vec<(u32, f64)> {
+        self.per_client.iter().map(|(&c, &s)| (c, s)).collect()
+    }
+
     /// Shard size for a batch of `genomes` across `clients`: the finer
-    /// of "≈4 shards per client" (stealing granularity) and "≤64
-    /// modelled units per shard" (cost bound), floored at one genome.
+    /// of "≈4 shards per client" (stealing granularity) and a cost
+    /// bound, floored at one genome. Until enough shards have been
+    /// measured the cost bound is the static prior's "≤64 modelled units
+    /// per shard"; after that it is "≈[`TARGET_SHARD_SECONDS`] of
+    /// *measured* work per shard".
     pub fn shard_size(&self, genomes: usize, clients: usize) -> usize {
         if genomes == 0 {
             return 1;
         }
         let by_granularity = (genomes as f64 / (clients.max(1) * SHARDS_PER_CLIENT) as f64).ceil();
-        let by_cost = (TARGET_SHARD_COST / self.cost_per_genome).floor().max(1.0);
+        let by_cost = match self.observed_secs_per_genome() {
+            // A farm of pure cache hits measures ~0 s/genome; the
+            // granularity bound takes over rather than dividing by zero.
+            Some(secs) if secs > 0.0 => (TARGET_SHARD_SECONDS / secs).floor().max(1.0),
+            Some(_) => f64::from(u32::MAX),
+            None => (TARGET_SHARD_COST / self.cost_per_genome).floor().max(1.0),
+        };
         by_granularity.min(by_cost).max(1.0) as usize
     }
 }
@@ -216,14 +298,16 @@ mod tests {
         (0..n).map(|i| vec![i % 2 == 0; 4]).collect()
     }
 
+    fn model_with_cost(cost_per_genome: f64) -> CostModel {
+        let mut m = CostModel::uniform();
+        m.cost_per_genome = cost_per_genome;
+        m
+    }
+
     #[test]
     fn cost_model_scales_shard_size_inversely_with_module_cost() {
-        let small = CostModel {
-            cost_per_genome: 0.1,
-        };
-        let big = CostModel {
-            cost_per_genome: 40.0,
-        };
+        let small = model_with_cost(0.1);
+        let big = model_with_cost(40.0);
         // A cheap module gets coarse shards (bounded by granularity); an
         // expensive one gets fine shards (bounded by cost).
         assert!(small.shard_size(64, 2) >= big.shard_size(64, 2));
@@ -243,6 +327,169 @@ mod tests {
         f.counts[4] = 10; // loops
         let c = CostModel::from_features(&f);
         assert!(c.cost_per_genome > zero_cost);
+    }
+
+    #[test]
+    fn observed_wall_times_converge_the_shard_size() {
+        // A "big" module whose prior pins shards at one genome each; the
+        // farm then measures 0.05 s/genome — five genomes fit the
+        // 0.25 s/shard target, so the size must converge to 5 and stay
+        // there.
+        let mut m = model_with_cost(80.0);
+        assert_eq!(m.shard_size(200, 2), 1, "prior says one genome per shard");
+        assert!(m.observed_secs_per_genome().is_none());
+        let mut sizes = Vec::new();
+        for round in 0..12 {
+            m.observe(0, 4, 0.2); // 0.05 s/genome
+            m.observe(1, 4, 0.2);
+            sizes.push(m.shard_size(200, 2));
+            let _ = round;
+        }
+        assert_eq!(m.observations(), 24);
+        let secs = m.observed_secs_per_genome().expect("converged estimate");
+        assert!((secs - 0.05).abs() < 1e-12, "EWMA of a constant is itself");
+        assert_eq!(
+            *sizes.last().unwrap(),
+            5,
+            "0.25 s target / 0.05 s per genome"
+        );
+        // Convergence: once measurements stabilize, the size stops moving.
+        assert!(
+            sizes.windows(2).skip(2).all(|w| w[0] == w[1]),
+            "sizes settle: {sizes:?}"
+        );
+        // Telemetry exposes the per-client estimates.
+        let per_client = m.client_secs_per_genome();
+        assert_eq!(per_client.len(), 2);
+        assert!(per_client.iter().all(|&(_, s)| (s - 0.05).abs() < 1e-12));
+    }
+
+    #[test]
+    fn cost_model_adapts_to_drifting_measurements() {
+        // Early shards compile everything; later shards mostly hit the
+        // client cache and run ~10x faster. The EWMA must follow the
+        // drift and coarsen shards accordingly.
+        let mut m = model_with_cost(80.0);
+        for _ in 0..6 {
+            m.observe(0, 4, 0.4); // 0.1 s/genome → 2 genomes/shard
+        }
+        let cold = m.shard_size(400, 1);
+        assert_eq!(cold, 2);
+        for _ in 0..24 {
+            m.observe(0, 4, 0.04); // 0.01 s/genome → 25 genomes/shard
+        }
+        let warm = m.shard_size(400, 1);
+        assert!(
+            warm > cold,
+            "faster farm ⇒ coarser shards ({cold} → {warm})"
+        );
+        // The EWMA keeps a vanishing tail of the old 0.1 s estimate
+        // ((1-α)^24 ≈ 2e-4), so the bound floors to 24 rather than the
+        // asymptotic 0.25/0.01 = 25.
+        assert_eq!(warm, 24);
+    }
+
+    #[test]
+    fn cost_model_ignores_degenerate_observations() {
+        let mut m = CostModel::uniform();
+        m.observe(0, 0, 1.0); // empty shard
+        m.observe(0, 4, f64::NAN);
+        m.observe(0, 4, f64::INFINITY);
+        m.observe(0, 4, -1.0);
+        assert_eq!(m.observations(), 0);
+        assert!(m.observed_secs_per_genome().is_none());
+        // All-cache-hit shards measuring ~0 seconds must not divide the
+        // target by zero: the granularity bound takes over.
+        for _ in 0..4 {
+            m.observe(0, 8, 0.0);
+        }
+        let size = m.shard_size(64, 2);
+        assert_eq!(size, 64usize.div_ceil(2 * SHARDS_PER_CLIENT));
+    }
+
+    /// Deterministic farm simulation: clients with fixed per-genome
+    /// costs pull shards from a scheduler, an event clock advances to
+    /// the earliest finish, and idle clients steal. Returns
+    /// (makespan, redispatched copies).
+    fn simulate_farm(mut sched: Scheduler, rates: &[f64]) -> (f64, usize) {
+        // (next free time, currently held shard) per client.
+        let mut busy_until = vec![0.0f64; rates.len()];
+        let mut holding: Vec<Option<(u64, usize)>> = vec![None; rates.len()];
+        for c in 0..rates.len() {
+            if let Some((id, g)) = sched.next_for(c as u32) {
+                busy_until[c] = g.len() as f64 * rates[c];
+                holding[c] = Some((id, g.len()));
+            }
+        }
+        let mut guard = 0;
+        while !sched.all_done() {
+            guard += 1;
+            assert!(guard < 100_000, "simulation wedged");
+            // Earliest busy client finishes its shard.
+            let (c, _) = busy_until
+                .iter()
+                .enumerate()
+                .filter(|(c, _)| holding[*c].is_some())
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .expect("someone is busy while shards remain");
+            let now = busy_until[c];
+            let (id, _) = holding[c].take().unwrap();
+            sched.complete(id);
+            if let Some((next, g)) = sched.next_for(c as u32) {
+                busy_until[c] = now + g.len() as f64 * rates[c];
+                holding[c] = Some((next, g.len()));
+            }
+            // Clients idle since earlier also get a chance (mirrors the
+            // server's wake_idle / re-dispatch loop).
+            for (i, slot) in holding.iter_mut().enumerate() {
+                if slot.is_none() {
+                    if let Some((next, g)) = sched.next_for(i as u32) {
+                        busy_until[i] = now.max(busy_until[i]) + g.len() as f64 * rates[i];
+                        *slot = Some((next, g.len()));
+                    }
+                }
+            }
+        }
+        let makespan = busy_until.iter().cloned().fold(0.0, f64::max);
+        (makespan, sched.redispatched)
+    }
+
+    #[test]
+    fn adaptive_shards_do_not_regress_redispatch_on_a_skewed_farm() {
+        // Two clients with a 4x speed skew, 64 genomes. The static prior
+        // for a cheap module yields coarse shards; the adaptive model —
+        // converged on the same measurements the simulation uses —
+        // yields finer ones. Straggler re-dispatch (redundant work) must
+        // not regress, and the batch must not get slower.
+        let rates = [0.05, 0.2]; // seconds per genome (4x skew)
+        let genomes: Vec<Vec<bool>> = (0..64).map(|i| vec![i % 2 == 0; 8]).collect();
+
+        let static_model = model_with_cost(0.5);
+        let static_size = static_model.shard_size(genomes.len(), rates.len());
+        let (static_span, static_redispatch) =
+            simulate_farm(Scheduler::new(0, &genomes, static_size), &rates);
+
+        let mut adaptive = model_with_cost(0.5);
+        for _ in 0..4 {
+            adaptive.observe(0, 8, 8.0 * rates[0]);
+            adaptive.observe(1, 8, 8.0 * rates[1]);
+        }
+        let adaptive_size = adaptive.shard_size(genomes.len(), rates.len());
+        assert_ne!(
+            adaptive_size, static_size,
+            "the measurement actually changed the split"
+        );
+        let (adaptive_span, adaptive_redispatch) =
+            simulate_farm(Scheduler::new(0, &genomes, adaptive_size), &rates);
+
+        assert!(
+            adaptive_redispatch <= static_redispatch,
+            "re-dispatch regressed: adaptive {adaptive_redispatch} > static {static_redispatch}"
+        );
+        assert!(
+            adaptive_span <= static_span + 1e-9,
+            "makespan regressed: adaptive {adaptive_span} > static {static_span}"
+        );
     }
 
     #[test]

@@ -20,11 +20,12 @@
 //! the batch completes as long as one client survives.
 
 use crate::scheduler::{CostModel, Scheduler};
-use crate::transport::Duplex;
+use crate::transport::{Duplex, FrameReceiver, FrameSender};
 use crate::wire::{decode_frame, encode_frame, Frame, MergeRecord, WireEval};
 use crate::EvaldError;
 use std::collections::HashSet;
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
 /// Cumulative service telemetry.
@@ -57,23 +58,110 @@ pub struct ServiceStats {
     pub client_lower_reuse: u64,
     /// Clients lost over the service's lifetime.
     pub clients_lost: usize,
+    /// Clients that joined *after* launch (reconnecting or respawned
+    /// worker processes absorbed mid-run via [`ClientInjector`]).
+    pub clients_joined: usize,
+    /// Shard wall-time measurements folded into the adaptive cost model.
+    pub cost_observations: u64,
 }
 
 enum Event {
     Frame(u32, Frame),
     Gone(u32, EvaldError),
+    /// A connection injected after launch (see [`ClientInjector`]): the
+    /// server must complete the Hello handshake before handing it work.
+    Joined(u32, Box<dyn FrameSender>),
+}
+
+/// Spawn the per-connection reader thread: decode frames off `rx` and
+/// forward them as events until the connection or the server goes away.
+fn spawn_reader(
+    id: u32,
+    mut frame_rx: Box<dyn FrameReceiver>,
+    tx: mpsc::Sender<Event>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || loop {
+        match frame_rx.recv_frame() {
+            Ok(bytes) => match decode_frame(&bytes) {
+                Ok((frame, _)) => {
+                    if tx.send(Event::Frame(id, frame)).is_err() {
+                        return; // server gone
+                    }
+                }
+                Err(e) => {
+                    let _ = tx.send(Event::Gone(id, e));
+                    return;
+                }
+            },
+            Err(e) => {
+                let _ = tx.send(Event::Gone(id, e));
+                return;
+            }
+        }
+    })
+}
+
+/// A handle for feeding new client connections into a running
+/// [`EvalServer`] — the reconnect path of the process farm: an acceptor
+/// thread keeps `accept()`ing on the farm's listener and injects every
+/// late connection here. The server handshakes the newcomer (Hello,
+/// width check), re-sends the current job description, and folds it into
+/// the dispatch rotation; a client that died earlier simply comes back
+/// under a fresh id.
+///
+/// Cloneable and `Send`: the acceptor owns a clone while the server
+/// keeps running.
+#[derive(Clone)]
+pub struct ClientInjector {
+    events: mpsc::Sender<Event>,
+    next_id: Arc<AtomicU32>,
+}
+
+impl ClientInjector {
+    /// Hand a freshly accepted connection to the server, returning the
+    /// client id it will serve under. The injection is ordered before
+    /// anything the connection's reader produces, so the newcomer's
+    /// `Hello` always finds the server expecting it.
+    pub fn inject(&self, duplex: Duplex) -> u32 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        // Joined must enter the queue before the reader's first frame;
+        // sending it *before* the reader thread exists guarantees that.
+        // (A send after server teardown is simply dropped — the
+        // connection is severed when `duplex` goes out of scope.)
+        let _ = self.events.send(Event::Joined(id, duplex.tx));
+        // The reader is not joined at teardown (the server never learns
+        // its handle); it exits on its own once the sender half is
+        // closed and the severed connection surfaces as Disconnected.
+        let _ = spawn_reader(id, duplex.rx, self.events.clone());
+        id
+    }
 }
 
 /// The dispatch server (see module docs).
 pub struct EvalServer {
     senders: Vec<Option<Box<dyn crate::transport::FrameSender>>>,
     events: mpsc::Receiver<Event>,
+    /// Kept for [`EvalServer::injector`] clones; the server itself never
+    /// sends on it.
+    events_tx: mpsc::Sender<Event>,
+    /// Next id for injected clients (initial clients take 0..n).
+    next_client_id: Arc<AtomicU32>,
     readers: Vec<JoinHandle<()>>,
     cost: CostModel,
+    /// Chromosome width every client must announce.
+    expect_n_flags: u16,
+    /// The embedder's job description, re-sent to every late joiner.
+    job: Option<Vec<u8>>,
+    /// Injected clients that have not completed their Hello yet — not
+    /// eligible for work until they do.
+    pending_hello: HashSet<u32>,
     next_shard_id: u64,
     next_batch: u64,
     stats: ServiceStats,
     merged: Vec<MergeRecord>,
+    /// Shard size chosen for each batch, in batch order (convergence
+    /// telemetry for the adaptive cost model).
+    shard_sizes: Vec<usize>,
     /// Why the most recently lost client went away (diagnostics).
     last_loss: Option<String>,
     /// Clients with no useful work at last dispatch — re-poked when a
@@ -99,44 +187,55 @@ impl EvalServer {
         let mut senders = Vec::new();
         let mut readers = Vec::new();
         for (id, duplex) in connections.into_iter().enumerate() {
-            let id = id as u32;
-            let mut frame_rx = duplex.rx;
-            let tx = tx.clone();
             senders.push(Some(duplex.tx));
-            readers.push(std::thread::spawn(move || loop {
-                match frame_rx.recv_frame() {
-                    Ok(bytes) => match decode_frame(&bytes) {
-                        Ok((frame, _)) => {
-                            if tx.send(Event::Frame(id, frame)).is_err() {
-                                return; // server gone
-                            }
-                        }
-                        Err(e) => {
-                            let _ = tx.send(Event::Gone(id, e));
-                            return;
-                        }
-                    },
-                    Err(e) => {
-                        let _ = tx.send(Event::Gone(id, e));
-                        return;
-                    }
-                }
-            }));
+            readers.push(spawn_reader(id as u32, duplex.rx, tx.clone()));
         }
+        let next_client_id = Arc::new(AtomicU32::new(senders.len() as u32));
         let mut server = EvalServer {
             senders,
             events: rx,
+            events_tx: tx,
+            next_client_id,
             readers,
             cost,
+            expect_n_flags,
+            job: None,
+            pending_hello: HashSet::new(),
             next_shard_id: 0,
             next_batch: 0,
             stats: ServiceStats::default(),
             merged: Vec::new(),
+            shard_sizes: Vec::new(),
             last_loss: None,
             idle: HashSet::new(),
         };
-        server.handshake(expect_n_flags)?;
+        server.handshake()?;
         Ok(server)
+    }
+
+    /// A handle for injecting client connections accepted *after*
+    /// launch (the farm's reconnect path).
+    pub fn injector(&self) -> ClientInjector {
+        ClientInjector {
+            events: self.events_tx.clone(),
+            next_id: Arc::clone(&self.next_client_id),
+        }
+    }
+
+    /// Install the embedder's job description and broadcast it to every
+    /// live client. Late joiners receive it again right after their
+    /// handshake, so a worker process can always build its engine before
+    /// its first `Work` frame.
+    pub fn set_job(&mut self, payload: Vec<u8>) {
+        for c in self.ready_ids() {
+            self.send_to(
+                c,
+                &Frame::Job {
+                    payload: payload.clone(),
+                },
+            );
+        }
+        self.job = Some(payload);
     }
 
     fn alive(&self) -> usize {
@@ -151,7 +250,54 @@ impl EvalServer {
             .collect()
     }
 
+    /// Clients eligible for work: connected *and* past their handshake.
+    fn ready_ids(&self) -> Vec<u32> {
+        self.alive_ids()
+            .into_iter()
+            .filter(|c| !self.pending_hello.contains(c))
+            .collect()
+    }
+
+    /// Grow the sender table to cover an injected client id.
+    fn ensure_slot(&mut self, client: u32) {
+        let need = client as usize + 1;
+        if self.senders.len() < need {
+            self.senders.resize_with(need, || None);
+        }
+    }
+
+    /// Register an injected connection: it owes us a Hello before it can
+    /// take work.
+    fn register_joined(&mut self, client: u32, sender: Box<dyn FrameSender>) {
+        self.ensure_slot(client);
+        self.senders[client as usize] = Some(sender);
+        self.pending_hello.insert(client);
+    }
+
+    /// Handle a Hello from an injected client: width-check it, replay
+    /// the job description, and admit it to the rotation. Returns
+    /// `false` when the Hello was *not* a valid admission (repeated
+    /// Hello from an established client, or width mismatch) — the
+    /// caller treats that as a protocol violation / lost client.
+    fn admit_joined(&mut self, client: u32, n_flags: u16) -> bool {
+        if !self.pending_hello.remove(&client) {
+            return false;
+        }
+        if n_flags != self.expect_n_flags {
+            self.drop_client(client);
+            return false;
+        }
+        self.stats.clients_joined += 1;
+        if let Some(job) = self.job.clone() {
+            if !self.send_to(client, &Frame::Job { payload: job }) {
+                return false;
+            }
+        }
+        true
+    }
+
     fn drop_client(&mut self, client: u32) {
+        self.ensure_slot(client);
         if let Some(mut sender) = self.senders[client as usize].take() {
             // Sever the connection: a still-alive client (protocol
             // violation, handshake mismatch) and our own reader thread
@@ -159,13 +305,18 @@ impl EvalServer {
             sender.close();
             self.stats.clients_lost += 1;
         }
+        self.pending_hello.remove(&client);
         self.idle.remove(&client);
     }
 
     /// Send a frame to `client`; on failure the client is dropped and
     /// `false` returned.
     fn send_to(&mut self, client: u32, frame: &Frame) -> bool {
-        let Some(sender) = self.senders[client as usize].as_mut() else {
+        let Some(sender) = self
+            .senders
+            .get_mut(client as usize)
+            .and_then(Option::as_mut)
+        else {
             return false;
         };
         if sender.send_frame(&encode_frame(frame)).is_err() {
@@ -175,15 +326,21 @@ impl EvalServer {
         true
     }
 
-    fn handshake(&mut self, expect_n_flags: u16) -> Result<(), EvaldError> {
+    fn handshake(&mut self) -> Result<(), EvaldError> {
         let mut pending: HashSet<u32> = self.alive_ids().into_iter().collect();
         while !pending.is_empty() {
             match self.events.recv() {
                 Ok(Event::Frame(c, Frame::Hello { n_flags, .. })) => {
-                    if n_flags != expect_n_flags {
-                        self.drop_client(c);
+                    if self.pending_hello.contains(&c) {
+                        // An injected client racing the launch
+                        // handshake; admit it on the side.
+                        self.admit_joined(c, n_flags);
+                    } else {
+                        if n_flags != self.expect_n_flags {
+                            self.drop_client(c);
+                        }
+                        pending.remove(&c);
                     }
-                    pending.remove(&c);
                 }
                 Ok(Event::Frame(c, _)) => {
                     // Anything before Hello is a protocol violation.
@@ -195,6 +352,7 @@ impl EvalServer {
                     self.drop_client(c);
                     pending.remove(&c);
                 }
+                Ok(Event::Joined(c, sender)) => self.register_joined(c, sender),
                 Err(_) => break, // all readers gone
             }
         }
@@ -204,10 +362,20 @@ impl EvalServer {
         Ok(())
     }
 
+    /// Fold one shard's measured wall time into the adaptive cost model.
+    fn observe_cost(&mut self, client: u32, genomes: usize, wall_seconds: f64) {
+        self.cost.observe(client, genomes, wall_seconds);
+        self.stats.cost_observations = self.cost.observations();
+    }
+
     /// Give `client` its next shard if the scheduler has one; otherwise
     /// mark it idle.
     fn dispatch_next(&mut self, sched: &mut Scheduler, client: u32) {
-        if self.senders[client as usize].is_none() {
+        let connected = self
+            .senders
+            .get(client as usize)
+            .is_some_and(Option::is_some);
+        if !connected || self.pending_hello.contains(&client) {
             return;
         }
         let Some((shard, genomes)) = sched.next_for(client) else {
@@ -248,6 +416,7 @@ impl EvalServer {
             return Err(EvaldError::NoClients);
         }
         let shard_size = self.cost.shard_size(genomes.len(), self.alive());
+        self.shard_sizes.push(shard_size);
         let mut sched = Scheduler::new(self.next_shard_id, genomes, shard_size);
         self.next_shard_id += sched.shard_count() as u64;
         self.stats.batches += 1;
@@ -255,7 +424,7 @@ impl EvalServer {
         let mut out: Vec<Option<WireEval>> = vec![None; genomes.len()];
 
         self.idle.clear();
-        for c in self.alive_ids() {
+        for c in self.ready_ids() {
             self.dispatch_next(&mut sched, c);
         }
         while !sched.all_done() {
@@ -278,6 +447,7 @@ impl EvalServer {
                     self.stats.client_full_compiles += u64::from(stats.full_compiles);
                     self.stats.client_ast_reuse += u64::from(stats.ast_reuse);
                     self.stats.client_lower_reuse += u64::from(stats.lower_reuse);
+                    self.observe_cost(c, evals.len(), stats.wall_seconds);
                     match sched.complete(shard) {
                         Some(start) if sched.shard_len(shard) == Some(evals.len()) => {
                             for (k, e) in evals.into_iter().enumerate() {
@@ -299,9 +469,22 @@ impl EvalServer {
                     self.dispatch_next(&mut sched, c);
                 }
                 Event::Frame(_, Frame::Merge { records, .. }) => self.apply_merge(records),
+                Event::Frame(c, Frame::Hello { n_flags, .. }) => {
+                    if self.admit_joined(c, n_flags) {
+                        // A reconnecting worker joins the running batch:
+                        // the straggler/steal machinery absorbs it.
+                        self.dispatch_next(&mut sched, c);
+                    } else {
+                        // Repeated Hello from an established client:
+                        // protocol violation.
+                        self.drop_client(c);
+                        sched.client_dead(c);
+                        self.wake_idle(&mut sched);
+                    }
+                }
                 Event::Frame(c, _) => {
-                    // Work/EndBatch/Shutdown from a client, or a repeated
-                    // Hello: protocol violation — drop it.
+                    // Work/EndBatch/Shutdown/Job from a client: protocol
+                    // violation — drop it.
                     self.drop_client(c);
                     sched.client_dead(c);
                     self.wake_idle(&mut sched);
@@ -312,6 +495,7 @@ impl EvalServer {
                     sched.client_dead(c);
                     self.wake_idle(&mut sched);
                 }
+                Event::Joined(c, sender) => self.register_joined(c, sender),
             }
         }
 
@@ -329,7 +513,7 @@ impl EvalServer {
         let batch = self.next_batch;
         self.next_batch += 1;
         let mut waiting: HashSet<u32> = HashSet::new();
-        for c in self.alive_ids() {
+        for c in self.ready_ids() {
             if self.send_to(c, &Frame::EndBatch { batch }) {
                 waiting.insert(c);
             }
@@ -340,15 +524,26 @@ impl EvalServer {
                     self.apply_merge(records);
                     waiting.remove(&c);
                 }
-                Ok(Event::Frame(_, Frame::Result { evals, stats, .. })) => {
+                Ok(Event::Frame(c, Frame::Result { evals, stats, .. })) => {
                     // A straggler finishing a re-dispatched copy after the
-                    // batch completed: pure duplicate.
+                    // batch completed: pure duplicate — but still a real
+                    // wall-time measurement for the cost model.
                     self.stats.client_compiles += u64::from(stats.compiles);
                     self.stats.client_cache_hits += u64::from(stats.cache_hits);
                     self.stats.client_full_compiles += u64::from(stats.full_compiles);
                     self.stats.client_ast_reuse += u64::from(stats.ast_reuse);
                     self.stats.client_lower_reuse += u64::from(stats.lower_reuse);
+                    self.observe_cost(c, evals.len(), stats.wall_seconds);
                     self.stats.duplicate_results += evals.len();
+                }
+                Ok(Event::Frame(c, Frame::Hello { n_flags, .. })) => {
+                    // A worker reconnecting between batches: admit it —
+                    // the next batch's dispatch will pick it up. A bad
+                    // Hello is a protocol violation as usual.
+                    if !self.admit_joined(c, n_flags) {
+                        self.drop_client(c);
+                        waiting.remove(&c);
+                    }
                 }
                 Ok(Event::Frame(c, _)) => {
                     self.drop_client(c);
@@ -359,6 +554,7 @@ impl EvalServer {
                     self.drop_client(c);
                     waiting.remove(&c);
                 }
+                Ok(Event::Joined(c, sender)) => self.register_joined(c, sender),
                 Err(_) => break,
             }
         }
@@ -379,6 +575,18 @@ impl EvalServer {
     /// A snapshot of the service telemetry.
     pub fn stats(&self) -> ServiceStats {
         self.stats
+    }
+
+    /// The (adaptive) cost model, including its observed per-client
+    /// rates — convergence telemetry.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Shard size chosen for each batch, in batch order: the trace that
+    /// shows the adaptive model converging away from the static prior.
+    pub fn shard_sizes(&self) -> &[usize] {
+        &self.shard_sizes
     }
 
     /// Why the most recently lost client disconnected, if any did
@@ -665,6 +873,77 @@ mod tests {
         drop(server);
         handle.join().unwrap();
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn injected_clients_join_the_rotation_mid_run() {
+        let (mut server, mut handles) = launch(1, None);
+        server.set_job(vec![1, 2, 3]);
+        let injector = server.injector();
+        let (s, c) = channel_duplex();
+        handles.push(std::thread::spawn(move || {
+            let mut w = Popcount::new();
+            let _ = run_client(
+                &mut w,
+                c,
+                &ClientOptions {
+                    client_id: 99,
+                    n_flags: 4,
+                    fail_after_shards: None,
+                },
+            );
+        }));
+        // Ids continue past the initial farm.
+        assert_eq!(injector.inject(s), 1);
+        // The joiner's Hello races the batch; keep evaluating until the
+        // admission lands (each batch drains the event queue).
+        let mut rounds = 0;
+        while server.stats().clients_joined == 0 {
+            rounds += 1;
+            assert!(rounds < 100, "joiner never admitted");
+            let evals = server.evaluate(&batch(16)).unwrap();
+            assert_eq!(evals.len(), 16);
+        }
+        let stats = server.stats();
+        assert_eq!(stats.clients_joined, 1);
+        assert_eq!(stats.clients_lost, 0);
+        assert!(stats.cost_observations > 0, "wall times fed the cost model");
+        assert!(!server.shard_sizes().is_empty());
+        server.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn injected_client_with_wrong_width_is_rejected() {
+        let (mut server, mut handles) = launch(1, None);
+        let injector = server.injector();
+        let (s, c) = channel_duplex();
+        handles.push(std::thread::spawn(move || {
+            let mut w = Popcount::new();
+            let _ = run_client(
+                &mut w,
+                c,
+                &ClientOptions {
+                    client_id: 0,
+                    n_flags: 9, // farm speaks 4
+                    fail_after_shards: None,
+                },
+            );
+        }));
+        injector.inject(s);
+        let mut rounds = 0;
+        while server.stats().clients_lost == 0 {
+            rounds += 1;
+            assert!(rounds < 100, "mismatched joiner never rejected");
+            server.evaluate(&batch(8)).unwrap();
+        }
+        assert_eq!(server.stats().clients_joined, 0);
+        server.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 
     #[test]

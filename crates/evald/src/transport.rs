@@ -6,25 +6,34 @@
 //! halves separate lets the server hold every client's sender in its
 //! dispatch loop while a per-connection reader thread owns the receiver.
 //!
-//! Two implementations:
+//! Three implementations:
 //!
 //! * **Duplex channel** ([`channel_duplex`]) — a pair of in-process
 //!   `mpsc` channels. Zero filesystem footprint; frames still travel as
 //!   encoded bytes, so the wire format is exercised end to end.
 //! * **Unix-domain socket** ([`unix_listener`] / [`unix_connect`]) — a
 //!   real `SOCK_STREAM` socket: the sender writes the encoded frame, the
-//!   receiver reads the length prefix then the body. The closest offline
-//!   stand-in for the paper's networked client–server deployment.
+//!   receiver reads the length prefix then the body.
+//! * **TCP loopback** ([`tcp_listener`] / [`tcp_connect`]) — the same
+//!   stream framing over `127.0.0.1`, with `TCP_NODELAY` set on both
+//!   ends (frames are small and latency-bound; Nagle batching would
+//!   serialize the dispatch ping-pong). This is the paper's actual
+//!   deployment transport — worker *processes*, and with a routable bind
+//!   address one day, worker *hosts*.
 //!
-//! Both report a closed peer as [`EvaldError::Disconnected`] — the signal
+//! The two socket transports share one generic framing implementation
+//! (the private `StreamSender` / `StreamReceiver`), so their `Disconnected`
+//! semantics are identical by construction: EOF, connection reset and
+//! broken pipe all surface as [`EvaldError::Disconnected`] — the signal
 //! the server's straggler re-dispatch turns into "re-queue this client's
 //! work".
 
 use crate::wire::MAX_FRAME_LEN;
 use crate::EvaldError;
 use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::mpsc;
 
 /// The sending half of a connection.
@@ -107,17 +116,58 @@ pub fn channel_duplex() -> (Duplex, Duplex) {
     )
 }
 
-// ------------------------------------------------------------ unix socket
+// --------------------------------------------------- stream sockets shared
 
-struct UnixSender(UnixStream);
+/// What the generic stream framing needs from a socket type: byte I/O, a
+/// second handle onto the same connection (sender and receiver halves
+/// live on different threads), and a way to sever the connection so
+/// every handle observes EOF.
+trait FrameStream: Read + Write + Send + Sized + 'static {
+    fn try_clone_stream(&self) -> std::io::Result<Self>;
+    fn shutdown_both(&self);
+}
 
-impl FrameSender for UnixSender {
+impl FrameStream for UnixStream {
+    fn try_clone_stream(&self) -> std::io::Result<UnixStream> {
+        self.try_clone()
+    }
+
+    fn shutdown_both(&self) {
+        let _ = self.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+impl FrameStream for TcpStream {
+    fn try_clone_stream(&self) -> std::io::Result<TcpStream> {
+        self.try_clone()
+    }
+
+    fn shutdown_both(&self) {
+        let _ = self.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+fn is_disconnect(kind: ErrorKind) -> bool {
+    matches!(
+        kind,
+        ErrorKind::UnexpectedEof
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::BrokenPipe
+    )
+}
+
+/// Sending half over any [`FrameStream`] (Unix or TCP).
+struct StreamSender<S: FrameStream>(S);
+
+impl<S: FrameStream> FrameSender for StreamSender<S> {
     fn send_frame(&mut self, frame: &[u8]) -> Result<(), EvaldError> {
-        self.0.write_all(frame).map_err(|e| match e.kind() {
-            ErrorKind::BrokenPipe | ErrorKind::ConnectionReset | ErrorKind::UnexpectedEof => {
+        self.0.write_all(frame).map_err(|e| {
+            if is_disconnect(e.kind()) {
                 EvaldError::Disconnected
+            } else {
+                EvaldError::Io(e)
             }
-            _ => EvaldError::Io(e),
         })
     }
 
@@ -125,23 +175,24 @@ impl FrameSender for UnixSender {
         // Shut down the whole socket (already-written frames still
         // drain to the peer first): the peer's blocked receive and our
         // reader thread's clone both observe EOF.
-        let _ = self.0.shutdown(std::net::Shutdown::Both);
+        self.0.shutdown_both();
     }
 }
 
-struct UnixReceiver(UnixStream);
+/// Receiving half over any [`FrameStream`]: read the length prefix, then
+/// exactly the body.
+struct StreamReceiver<S: FrameStream>(S);
 
-impl FrameReceiver for UnixReceiver {
+impl<S: FrameStream> FrameReceiver for StreamReceiver<S> {
     fn recv_frame(&mut self) -> Result<Vec<u8>, EvaldError> {
         let mut prefix = [0u8; 4];
         if let Err(e) = self.0.read_exact(&mut prefix) {
             // EOF at a frame boundary is a clean close; mid-prefix or
             // mid-body EOF is equally "peer gone" for our purposes.
-            return Err(match e.kind() {
-                ErrorKind::UnexpectedEof | ErrorKind::ConnectionReset | ErrorKind::BrokenPipe => {
-                    EvaldError::Disconnected
-                }
-                _ => EvaldError::Io(e),
+            return Err(if is_disconnect(e.kind()) {
+                EvaldError::Disconnected
+            } else {
+                EvaldError::Io(e)
             });
         }
         let len = u32::from_le_bytes(prefix) as usize;
@@ -150,37 +201,70 @@ impl FrameReceiver for UnixReceiver {
         }
         let mut frame = vec![0u8; 4 + len];
         frame[..4].copy_from_slice(&prefix);
-        self.0
-            .read_exact(&mut frame[4..])
-            .map_err(|e| match e.kind() {
-                ErrorKind::UnexpectedEof | ErrorKind::ConnectionReset | ErrorKind::BrokenPipe => {
-                    EvaldError::Disconnected
-                }
-                _ => EvaldError::Io(e),
-            })?;
+        self.0.read_exact(&mut frame[4..]).map_err(|e| {
+            if is_disconnect(e.kind()) {
+                EvaldError::Disconnected
+            } else {
+                EvaldError::Io(e)
+            }
+        })?;
         Ok(frame)
     }
 }
 
-fn unix_duplex(stream: UnixStream) -> Result<Duplex, EvaldError> {
-    let write = stream.try_clone()?;
+fn stream_duplex<S: FrameStream>(stream: S) -> Result<Duplex, EvaldError> {
+    let write = stream.try_clone_stream()?;
     Ok(Duplex {
-        tx: Box::new(UnixSender(write)),
-        rx: Box::new(UnixReceiver(stream)),
+        tx: Box::new(StreamSender(write)),
+        rx: Box::new(StreamReceiver(stream)),
     })
 }
 
+// ------------------------------------------------------------ unix socket
+
+/// A bound Unix-domain listener that owns its socket path: the file is
+/// removed when the listener is dropped, so a finished (or panicked) run
+/// does not leave a stale socket for the next one to trip over.
+/// Binding also unlinks any stale file a *killed* previous run left
+/// behind — `Drop` never runs after SIGKILL.
+pub struct BoundUnixListener {
+    listener: UnixListener,
+    path: PathBuf,
+}
+
+impl BoundUnixListener {
+    /// The underlying listener (e.g. for `set_nonblocking`).
+    pub fn listener(&self) -> &UnixListener {
+        &self.listener
+    }
+
+    /// The socket path this listener is bound to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for BoundUnixListener {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
 /// Bind a Unix-domain listener at `path` (removing a stale socket file
-/// left by a crashed previous run).
+/// left by a crashed previous run). The returned guard removes the
+/// socket file again when dropped.
 ///
 /// # Errors
 ///
 /// [`EvaldError::Io`] when binding fails.
-pub fn unix_listener(path: &Path) -> Result<UnixListener, EvaldError> {
+pub fn unix_listener(path: &Path) -> Result<BoundUnixListener, EvaldError> {
     if path.exists() {
         let _ = std::fs::remove_file(path);
     }
-    Ok(UnixListener::bind(path)?)
+    Ok(BoundUnixListener {
+        listener: UnixListener::bind(path)?,
+        path: path.to_path_buf(),
+    })
 }
 
 /// Accept one client connection from `listener`.
@@ -188,9 +272,9 @@ pub fn unix_listener(path: &Path) -> Result<UnixListener, EvaldError> {
 /// # Errors
 ///
 /// [`EvaldError::Io`] when accepting or cloning the stream fails.
-pub fn unix_accept(listener: &UnixListener) -> Result<Duplex, EvaldError> {
-    let (stream, _) = listener.accept().map_err(EvaldError::Io)?;
-    unix_duplex(stream)
+pub fn unix_accept(listener: &BoundUnixListener) -> Result<Duplex, EvaldError> {
+    let (stream, _) = listener.listener.accept().map_err(EvaldError::Io)?;
+    stream_duplex(stream)
 }
 
 /// Connect to the server's socket at `path`.
@@ -199,7 +283,49 @@ pub fn unix_accept(listener: &UnixListener) -> Result<Duplex, EvaldError> {
 ///
 /// [`EvaldError::Io`] when the socket cannot be reached.
 pub fn unix_connect(path: &Path) -> Result<Duplex, EvaldError> {
-    unix_duplex(UnixStream::connect(path)?)
+    stream_duplex(UnixStream::connect(path)?)
+}
+
+// -------------------------------------------------------------------- tcp
+
+/// Bind a TCP listener on `127.0.0.1` with an OS-assigned port,
+/// returning the listener and the address clients should connect to.
+///
+/// Loopback-only by construction: the farm is local worker processes,
+/// not an open network service.
+///
+/// # Errors
+///
+/// [`EvaldError::Io`] when binding fails.
+pub fn tcp_listener() -> Result<(TcpListener, SocketAddr), EvaldError> {
+    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    let addr = listener.local_addr()?;
+    Ok((listener, addr))
+}
+
+/// Accept one client connection from `listener`, setting `TCP_NODELAY`
+/// (dispatch is a latency-bound frame ping-pong; Nagle batching would
+/// stall it).
+///
+/// # Errors
+///
+/// [`EvaldError::Io`] when accepting, configuring or cloning the stream
+/// fails.
+pub fn tcp_accept(listener: &TcpListener) -> Result<Duplex, EvaldError> {
+    let (stream, _) = listener.accept().map_err(EvaldError::Io)?;
+    stream.set_nodelay(true)?;
+    stream_duplex(stream)
+}
+
+/// Connect to the server at `addr`, setting `TCP_NODELAY`.
+///
+/// # Errors
+///
+/// [`EvaldError::Io`] when the server cannot be reached.
+pub fn tcp_connect(addr: SocketAddr) -> Result<Duplex, EvaldError> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream_duplex(stream)
 }
 
 #[cfg(test)]
@@ -267,14 +393,83 @@ mod tests {
             server.rx.recv_frame(),
             Err(EvaldError::Disconnected)
         ));
-        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
     fn unix_listener_reclaims_stale_socket_file() {
         let path = scratch_socket("stale");
         std::fs::write(&path, b"stale").unwrap();
-        let _listener = unix_listener(&path).expect("rebinds over stale file");
-        let _ = std::fs::remove_file(&path);
+        let listener = unix_listener(&path).expect("rebinds over stale file");
+        assert!(path.exists(), "freshly bound socket exists");
+        // Dropping the listener removes the socket file, so the *next*
+        // run does not even need the stale-unlink path.
+        drop(listener);
+        assert!(!path.exists(), "drop removed the socket file");
+    }
+
+    #[test]
+    fn tcp_round_trips_frames_and_reports_eof() {
+        let (listener, addr) = tcp_listener().unwrap();
+        let client_thread = std::thread::spawn(move || {
+            let mut d = tcp_connect(addr).unwrap();
+            let bytes = d.rx.recv_frame().unwrap();
+            let (frame, _) = decode_frame(&bytes).unwrap();
+            d.tx.send_frame(&encode_frame(&frame)).unwrap(); // echo
+        });
+        let mut server = tcp_accept(&listener).unwrap();
+        let frame = Frame::Work {
+            shard: 5,
+            genomes: vec![vec![true, false, true], vec![false; 9]],
+        };
+        server.tx.send_frame(&encode_frame(&frame)).unwrap();
+        let echoed = server.rx.recv_frame().unwrap();
+        assert_eq!(decode_frame(&echoed).unwrap().0, frame);
+        client_thread.join().unwrap();
+        // The peer is gone: the next read reports a disconnect.
+        assert!(matches!(
+            server.rx.recv_frame(),
+            Err(EvaldError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn tcp_truncated_frame_is_a_disconnect_not_a_misread() {
+        // A peer that dies mid-frame (length prefix promised more bytes
+        // than ever arrive) must surface as Disconnected.
+        let (listener, addr) = tcp_listener().unwrap();
+        let client_thread = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let frame = encode_frame(&Frame::EndBatch { batch: 1 });
+            stream.write_all(&frame[..frame.len() - 3]).unwrap();
+            // Dropping the stream closes it mid-frame.
+        });
+        let mut server = tcp_accept(&listener).unwrap();
+        assert!(matches!(
+            server.rx.recv_frame(),
+            Err(EvaldError::Disconnected)
+        ));
+        client_thread.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_oversized_length_prefix_is_corrupt() {
+        // A desynchronized or malicious peer declaring a multi-gigabyte
+        // frame must be rejected before any allocation.
+        let (listener, addr) = tcp_listener().unwrap();
+        let client_thread = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .write_all(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes())
+                .unwrap();
+            // Hold the socket open so the server's error is about the
+            // prefix, not EOF.
+            stream
+        });
+        let mut server = tcp_accept(&listener).unwrap();
+        assert!(matches!(
+            server.rx.recv_frame(),
+            Err(EvaldError::Corrupt(_))
+        ));
+        drop(client_thread.join().unwrap());
     }
 }

@@ -28,8 +28,9 @@ pub const WIRE_MAGIC: [u8; 4] = *b"EVLD";
 /// Wire-format version. Bump whenever any frame layout or encoding
 /// changes; both ends reject mismatched frames instead of misreading
 /// them. (v2: [`ShardStats`] grew the three per-stage pipeline-reuse
-/// counters.)
-pub const WIRE_VERSION: u32 = 2;
+/// counters. v3: the [`Frame::Job`] frame, carrying the embedder's
+/// opaque job description to pre-forked worker processes.)
+pub const WIRE_VERSION: u32 = 3;
 
 /// Hard cap on one frame's declared length (a corrupted length prefix
 /// must not trigger a multi-gigabyte allocation).
@@ -41,6 +42,7 @@ const TAG_RESULT: u8 = 2;
 const TAG_END_BATCH: u8 = 3;
 const TAG_MERGE: u8 = 4;
 const TAG_SHUTDOWN: u8 = 5;
+const TAG_JOB: u8 = 6;
 
 /// One genome's evaluation as reported by a client.
 ///
@@ -93,7 +95,12 @@ pub struct MergeRecord {
 }
 
 /// Per-shard client telemetry, carried on every [`Frame::Result`].
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+///
+/// Equality compares `wall_seconds` by *bit pattern* (see the manual
+/// [`PartialEq`] impl): telemetry crosses the wire as raw bits, and a
+/// NaN or negative-zero measurement must not break round-trip equality
+/// assertions the way derived f64 equality would.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ShardStats {
     /// Real compiles the client performed for this shard.
     pub compiles: u32,
@@ -109,6 +116,21 @@ pub struct ShardStats {
     /// Client-side wall-clock seconds spent on the shard.
     pub wall_seconds: f64,
 }
+
+impl PartialEq for ShardStats {
+    fn eq(&self, other: &ShardStats) -> bool {
+        self.compiles == other.compiles
+            && self.cache_hits == other.cache_hits
+            && self.full_compiles == other.full_compiles
+            && self.ast_reuse == other.ast_reuse
+            && self.lower_reuse == other.lower_reuse
+            && self.wall_seconds.to_bits() == other.wall_seconds.to_bits()
+    }
+}
+
+// Bit-pattern comparison is a true equivalence relation (unlike f64's
+// `==`), so full `Eq` is sound.
+impl Eq for ShardStats {}
 
 /// The protocol's frames.
 #[derive(Debug, Clone, PartialEq)]
@@ -156,6 +178,16 @@ pub enum Frame {
     },
     /// Server → client: exit cleanly.
     Shutdown,
+    /// Server → client, once after a successful handshake: the
+    /// embedder's job description — opaque bytes this crate never
+    /// interprets (the BinTuner embedder ships the canonically encoded
+    /// module to tune). Pre-forked worker *processes* need it to build
+    /// their local evaluation engine; thread clients, which receive the
+    /// job at spawn time, never see this frame.
+    Job {
+        /// The embedder-defined job description.
+        payload: Vec<u8>,
+    },
 }
 
 fn put_genome(out: &mut Vec<u8>, genome: &[bool]) {
@@ -237,6 +269,11 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             }
         }
         Frame::Shutdown => body.put_u8(TAG_SHUTDOWN),
+        Frame::Job { payload } => {
+            body.put_u8(TAG_JOB);
+            body.put_u32_le(payload.len() as u32);
+            body.put_slice(payload);
+        }
     }
     let ck = checksum(&body);
     body.put_u32_le(ck);
@@ -410,6 +447,12 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), EvaldError> {
             Frame::Merge { client, records }
         }
         TAG_SHUTDOWN => Frame::Shutdown,
+        TAG_JOB => {
+            let n = r.u32()? as usize;
+            Frame::Job {
+                payload: r.take(n)?.to_vec(),
+            }
+        }
         _ => return Err(EvaldError::Corrupt("unknown frame tag")),
     };
     r.done()?;
@@ -472,6 +515,9 @@ mod tests {
                 }],
             },
             Frame::Shutdown,
+            Frame::Job {
+                payload: vec![0xAB; 33],
+            },
         ]
     }
 
@@ -550,6 +596,62 @@ mod tests {
         let mut huge = good;
         huge[..4].copy_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
         assert!(matches!(decode_frame(&huge), Err(EvaldError::Corrupt(_))));
+    }
+
+    #[test]
+    fn shard_stats_equality_is_bitwise_over_wall_time() {
+        // NaN != NaN under f64 equality; telemetry equality must not
+        // care (the wire carries raw bits, and round-trip assertions
+        // compare whole frames).
+        let nan = ShardStats {
+            wall_seconds: f64::NAN,
+            ..ShardStats::default()
+        };
+        assert_eq!(nan, nan);
+        let frame = Frame::Result {
+            shard: 1,
+            client: 0,
+            evals: vec![],
+            stats: nan,
+        };
+        let (decoded, _) = decode_frame(&encode_frame(&frame)).unwrap();
+        assert_eq!(decoded, frame);
+        // −0.0 == +0.0 as f64s, but they are different measurements on
+        // the wire: bitwise equality distinguishes them.
+        let pos = ShardStats {
+            wall_seconds: 0.0,
+            ..ShardStats::default()
+        };
+        let neg = ShardStats {
+            wall_seconds: -0.0,
+            ..ShardStats::default()
+        };
+        assert_ne!(pos, neg);
+        assert_eq!(pos, pos);
+    }
+
+    #[test]
+    fn job_payload_is_opaque_bytes() {
+        for payload in [vec![], vec![0u8], (0..=255u8).collect::<Vec<u8>>()] {
+            let frame = Frame::Job {
+                payload: payload.clone(),
+            };
+            let bytes = encode_frame(&frame);
+            let (decoded, used) = decode_frame(&bytes).unwrap();
+            assert_eq!(decoded, frame);
+            assert_eq!(used, bytes.len());
+        }
+        // A declared payload length past the frame end is corrupt, not a
+        // panic — even with a valid checksum over the lying bytes.
+        let mut bytes = encode_frame(&Frame::Job {
+            payload: vec![7; 4],
+        });
+        // Payload length field sits after len(4)+magic(4)+version(4)+tag(1).
+        bytes[13..17].copy_from_slice(&u32::MAX.to_le_bytes());
+        let ck_at = bytes.len() - 4;
+        let ck = checksum(&bytes[4..ck_at]);
+        bytes[ck_at..].copy_from_slice(&ck.to_le_bytes());
+        assert!(matches!(decode_frame(&bytes), Err(EvaldError::Corrupt(_))));
     }
 
     #[test]

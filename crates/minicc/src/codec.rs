@@ -1,0 +1,668 @@
+//! Canonical binary serialization of [`Module`] ASTs.
+//!
+//! The evaluation service's worker *processes* receive the module under
+//! test over the wire (an `evald` `Job` frame), so the AST needs a real
+//! byte encoding — the workspace's `serde` derives are offline no-op
+//! stubs and never serialize anything. This codec is hand-written and
+//! canonical: one byte sequence per module, little-endian integers,
+//! length-prefixed strings and sequences, one tag byte per enum variant
+//! in declaration order. Canonicality matters because the farm's
+//! determinism proofs hash what travels; a wobbling encoding would
+//! produce spurious cache splits.
+//!
+//! The decoder is defensive the same way the `evald` wire format is:
+//! every read is bounds-checked, unknown tags and trailing garbage are
+//! errors, and recursion (nested expressions/statements) is depth-capped
+//! so a hostile payload cannot blow the stack.
+
+use crate::ast::{BinOp, Expr, FuncDef, Global, LValue, Local, Module, Stmt};
+
+/// Magic prefix of an encoded module (`MCC ` + format version).
+const MAGIC: [u8; 4] = *b"MCC\x01";
+
+/// Nesting bound for the decoder (expressions inside statements inside
+/// statements…). Generated corpus programs nest a handful of levels;
+/// anything deeper than this is garbage, not a program.
+pub const MAX_DEPTH: usize = 64;
+
+/// Decode failures. The encoder is total — only decoding can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input does not start with the `MCC` magic/version prefix.
+    BadMagic,
+    /// Input ended before the structure it promised.
+    Truncated,
+    /// An enum tag byte outside the known range.
+    BadTag(&'static str, u8),
+    /// A string was not valid UTF-8.
+    BadString,
+    /// Structure nests deeper than [`MAX_DEPTH`].
+    TooDeep,
+    /// Valid module followed by trailing bytes.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not an encoded module (bad magic)"),
+            CodecError::Truncated => write!(f, "encoded module is truncated"),
+            CodecError::BadTag(what, tag) => write!(f, "unknown {what} tag {tag}"),
+            CodecError::BadString => write!(f, "string is not valid UTF-8"),
+            CodecError::TooDeep => write!(f, "module nests deeper than the decoder allows"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after module"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Encode a module to its canonical byte form.
+pub fn encode_module(m: &Module) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256);
+    out.extend_from_slice(&MAGIC);
+    put_str(&mut out, &m.name);
+    put_len(&mut out, m.funcs.len());
+    for f in &m.funcs {
+        put_func(&mut out, f);
+    }
+    put_len(&mut out, m.globals.len());
+    for g in &m.globals {
+        put_str(&mut out, &g.name);
+        put_len(&mut out, g.words.len());
+        for w in &g.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decode a module from bytes produced by [`encode_module`].
+///
+/// # Errors
+///
+/// Any structural defect — wrong magic, truncation, unknown tags,
+/// invalid UTF-8, excessive nesting, or trailing bytes — is a
+/// [`CodecError`]; the decoder never panics on hostile input.
+pub fn decode_module(bytes: &[u8]) -> Result<Module, CodecError> {
+    let mut r = Reader { buf: bytes, at: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let name = r.string()?;
+    let mut funcs = Vec::new();
+    for _ in 0..r.len()? {
+        funcs.push(r.func()?);
+    }
+    let mut globals = Vec::new();
+    for _ in 0..r.len()? {
+        let name = r.string()?;
+        let mut words = Vec::new();
+        for _ in 0..r.len()? {
+            words.push(r.u32()?);
+        }
+        globals.push(Global { name, words });
+    }
+    if r.at != bytes.len() {
+        return Err(CodecError::TrailingBytes(bytes.len() - r.at));
+    }
+    Ok(Module {
+        name,
+        funcs,
+        globals,
+    })
+}
+
+fn put_len(out: &mut Vec<u8>, n: usize) {
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_len(out, s.len());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_func(out: &mut Vec<u8>, f: &FuncDef) {
+    put_str(out, &f.name);
+    put_len(out, f.params.len());
+    for p in &f.params {
+        put_str(out, p);
+    }
+    put_len(out, f.locals.len());
+    for l in &f.locals {
+        put_str(out, &l.name);
+        match l.array {
+            None => out.push(0),
+            Some(n) => {
+                out.push(1);
+                put_len(out, n);
+            }
+        }
+    }
+    put_body(out, &f.body);
+    out.push(u8::from(f.is_library));
+}
+
+fn put_body(out: &mut Vec<u8>, body: &[Stmt]) {
+    put_len(out, body.len());
+    for s in body {
+        put_stmt(out, s);
+    }
+}
+
+fn put_stmt(out: &mut Vec<u8>, s: &Stmt) {
+    match s {
+        Stmt::Assign(lv, e) => {
+            out.push(0);
+            put_lvalue(out, lv);
+            put_expr(out, e);
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            out.push(1);
+            put_expr(out, cond);
+            put_body(out, then_body);
+            put_body(out, else_body);
+        }
+        Stmt::While { cond, body } => {
+            out.push(2);
+            put_expr(out, cond);
+            put_body(out, body);
+        }
+        Stmt::For {
+            var,
+            start,
+            end,
+            step,
+            body,
+        } => {
+            out.push(3);
+            put_str(out, var);
+            put_expr(out, start);
+            put_expr(out, end);
+            out.extend_from_slice(&step.to_le_bytes());
+            put_body(out, body);
+        }
+        Stmt::Switch {
+            scrutinee,
+            cases,
+            default,
+        } => {
+            out.push(4);
+            put_expr(out, scrutinee);
+            put_len(out, cases.len());
+            for (k, body) in cases {
+                out.extend_from_slice(&k.to_le_bytes());
+                put_body(out, body);
+            }
+            put_body(out, default);
+        }
+        Stmt::Return(e) => {
+            out.push(5);
+            put_expr(out, e);
+        }
+        Stmt::ExprStmt(e) => {
+            out.push(6);
+            put_expr(out, e);
+        }
+    }
+}
+
+fn put_lvalue(out: &mut Vec<u8>, lv: &LValue) {
+    match lv {
+        LValue::Var(v) => {
+            out.push(0);
+            put_str(out, v);
+        }
+        LValue::Global(g) => {
+            out.push(1);
+            put_str(out, g);
+        }
+        LValue::Index(a, i) => {
+            out.push(2);
+            put_str(out, a);
+            put_expr(out, i);
+        }
+    }
+}
+
+fn put_expr(out: &mut Vec<u8>, e: &Expr) {
+    match e {
+        Expr::Const(c) => {
+            out.push(0);
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        Expr::Var(v) => {
+            out.push(1);
+            put_str(out, v);
+        }
+        Expr::Global(g) => {
+            out.push(2);
+            put_str(out, g);
+        }
+        Expr::Index(a, i) => {
+            out.push(3);
+            put_str(out, a);
+            put_expr(out, i);
+        }
+        Expr::Bin(op, a, b) => {
+            out.push(4);
+            out.push(*op as u8);
+            put_expr(out, a);
+            put_expr(out, b);
+        }
+        Expr::Not(a) => {
+            out.push(5);
+            put_expr(out, a);
+        }
+        Expr::Neg(a) => {
+            out.push(6);
+            put_expr(out, a);
+        }
+        Expr::Call(f, args) => {
+            out.push(7);
+            put_str(out, f);
+            put_len(out, args.len());
+            for a in args {
+                put_expr(out, a);
+            }
+        }
+        Expr::CallImport(f, args) => {
+            out.push(8);
+            put_str(out, f);
+            put_len(out, args.len());
+            for a in args {
+                put_expr(out, a);
+            }
+        }
+        Expr::Str(s) => {
+            out.push(9);
+            put_str(out, s);
+        }
+        Expr::AddrOf(n) => {
+            out.push(10);
+            put_str(out, n);
+        }
+    }
+}
+
+/// Bounds-checked cursor over the input.
+struct Reader<'b> {
+    buf: &'b [u8],
+    at: usize,
+}
+
+impl<'b> Reader<'b> {
+    fn take(&mut self, n: usize) -> Result<&'b [u8], CodecError> {
+        let end = self.at.checked_add(n).ok_or(CodecError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// A sequence length. Sanity-capped by remaining input (every
+    /// element is ≥ 1 byte), so a forged huge length cannot drive a
+    /// pre-allocation.
+    fn len(&mut self) -> Result<usize, CodecError> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() - self.at {
+            return Err(CodecError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn string(&mut self) -> Result<String, CodecError> {
+        let n = self.len()?;
+        let s = std::str::from_utf8(self.take(n)?).map_err(|_| CodecError::BadString)?;
+        Ok(s.to_owned())
+    }
+
+    fn func(&mut self) -> Result<FuncDef, CodecError> {
+        let name = self.string()?;
+        let mut params = Vec::new();
+        for _ in 0..self.len()? {
+            params.push(self.string()?);
+        }
+        let mut locals = Vec::new();
+        for _ in 0..self.len()? {
+            let name = self.string()?;
+            let array = match self.u8()? {
+                0 => None,
+                1 => Some(self.len()?),
+                t => return Err(CodecError::BadTag("local-kind", t)),
+            };
+            locals.push(Local { name, array });
+        }
+        let body = self.body(0)?;
+        let is_library = match self.u8()? {
+            0 => false,
+            1 => true,
+            t => return Err(CodecError::BadTag("bool", t)),
+        };
+        Ok(FuncDef {
+            name,
+            params,
+            locals,
+            body,
+            is_library,
+        })
+    }
+
+    fn body(&mut self, depth: usize) -> Result<Vec<Stmt>, CodecError> {
+        if depth > MAX_DEPTH {
+            return Err(CodecError::TooDeep);
+        }
+        let mut body = Vec::new();
+        for _ in 0..self.len()? {
+            body.push(self.stmt(depth + 1)?);
+        }
+        Ok(body)
+    }
+
+    fn stmt(&mut self, depth: usize) -> Result<Stmt, CodecError> {
+        if depth > MAX_DEPTH {
+            return Err(CodecError::TooDeep);
+        }
+        Ok(match self.u8()? {
+            0 => Stmt::Assign(self.lvalue(depth)?, self.expr(depth)?),
+            1 => Stmt::If {
+                cond: self.expr(depth)?,
+                then_body: self.body(depth)?,
+                else_body: self.body(depth)?,
+            },
+            2 => Stmt::While {
+                cond: self.expr(depth)?,
+                body: self.body(depth)?,
+            },
+            3 => Stmt::For {
+                var: self.string()?,
+                start: self.expr(depth)?,
+                end: self.expr(depth)?,
+                step: self.u32()?,
+                body: self.body(depth)?,
+            },
+            4 => {
+                let scrutinee = self.expr(depth)?;
+                let mut cases = Vec::new();
+                for _ in 0..self.len()? {
+                    let k = self.u32()?;
+                    cases.push((k, self.body(depth)?));
+                }
+                Stmt::Switch {
+                    scrutinee,
+                    cases,
+                    default: self.body(depth)?,
+                }
+            }
+            5 => Stmt::Return(self.expr(depth)?),
+            6 => Stmt::ExprStmt(self.expr(depth)?),
+            t => return Err(CodecError::BadTag("stmt", t)),
+        })
+    }
+
+    fn lvalue(&mut self, depth: usize) -> Result<LValue, CodecError> {
+        Ok(match self.u8()? {
+            0 => LValue::Var(self.string()?),
+            1 => LValue::Global(self.string()?),
+            2 => LValue::Index(self.string()?, self.expr(depth)?),
+            t => return Err(CodecError::BadTag("lvalue", t)),
+        })
+    }
+
+    fn binop(&mut self) -> Result<BinOp, CodecError> {
+        const OPS: [BinOp; 16] = [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::Rem,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Shl,
+            BinOp::Shr,
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+        ];
+        let t = self.u8()?;
+        OPS.get(t as usize)
+            .copied()
+            .ok_or(CodecError::BadTag("binop", t))
+    }
+
+    fn expr(&mut self, depth: usize) -> Result<Expr, CodecError> {
+        if depth > MAX_DEPTH {
+            return Err(CodecError::TooDeep);
+        }
+        let depth = depth + 1;
+        Ok(match self.u8()? {
+            0 => Expr::Const(self.u32()?),
+            1 => Expr::Var(self.string()?),
+            2 => Expr::Global(self.string()?),
+            3 => Expr::Index(self.string()?, Box::new(self.expr(depth)?)),
+            4 => {
+                let op = self.binop()?;
+                let a = self.expr(depth)?;
+                let b = self.expr(depth)?;
+                Expr::Bin(op, Box::new(a), Box::new(b))
+            }
+            5 => Expr::Not(Box::new(self.expr(depth)?)),
+            6 => Expr::Neg(Box::new(self.expr(depth)?)),
+            7 => {
+                let f = self.string()?;
+                let mut args = Vec::new();
+                for _ in 0..self.len()? {
+                    args.push(self.expr(depth)?);
+                }
+                Expr::Call(f, args)
+            }
+            8 => {
+                let f = self.string()?;
+                let mut args = Vec::new();
+                for _ in 0..self.len()? {
+                    args.push(self.expr(depth)?);
+                }
+                Expr::CallImport(f, args)
+            }
+            9 => Expr::Str(self.string()?),
+            10 => Expr::AddrOf(self.string()?),
+            t => return Err(CodecError::BadTag("expr", t)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A module exercising every statement, lvalue and expression
+    /// variant plus a few binops from both halves of the table.
+    fn kitchen_sink() -> Module {
+        let mut m = Module::new("kitchen-sink");
+        let mut f = FuncDef::new(
+            "main",
+            vec!["a".into(), "b".into()],
+            vec![
+                Stmt::Assign(LValue::Var("x".into()), Expr::Const(7)),
+                Stmt::Assign(
+                    LValue::Global("g".into()),
+                    Expr::bin(BinOp::Xor, Expr::Var("a".into()), Expr::Global("g".into())),
+                ),
+                Stmt::Assign(
+                    LValue::Index("buf".into(), Expr::Var("a".into())),
+                    Expr::Index("buf".into(), Box::new(Expr::Const(0))),
+                ),
+                Stmt::If {
+                    cond: Expr::bin(BinOp::Lt, Expr::Var("a".into()), Expr::Var("b".into())),
+                    then_body: vec![Stmt::ExprStmt(Expr::Call(
+                        "helper".into(),
+                        vec![Expr::Neg(Box::new(Expr::Var("a".into())))],
+                    ))],
+                    else_body: vec![Stmt::ExprStmt(Expr::CallImport(
+                        "puts".into(),
+                        vec![Expr::Str("hi\u{2713}".into())],
+                    ))],
+                },
+                Stmt::While {
+                    cond: Expr::Not(Box::new(Expr::Var("x".into()))),
+                    body: vec![Stmt::Assign(
+                        LValue::Var("x".into()),
+                        Expr::vc(BinOp::Sub, "x", 1),
+                    )],
+                },
+                Stmt::For {
+                    var: "i".into(),
+                    start: Expr::Const(0),
+                    end: Expr::Const(16),
+                    step: 2,
+                    body: vec![Stmt::Assign(
+                        LValue::Index("buf".into(), Expr::Var("i".into())),
+                        Expr::AddrOf("g".into()),
+                    )],
+                },
+                Stmt::Switch {
+                    scrutinee: Expr::Var("a".into()),
+                    cases: vec![(0, vec![Stmt::Return(Expr::Const(0))]), (u32::MAX, vec![])],
+                    default: vec![],
+                },
+                Stmt::Return(Expr::bin(BinOp::Shr, Expr::Var("x".into()), Expr::Const(3))),
+            ],
+        );
+        f.local("x").local("i").local_array("buf", 16);
+        m.funcs.push(f);
+        let mut helper = FuncDef::new("helper", vec!["v".into()], vec![]);
+        helper.is_library = true;
+        m.funcs.push(helper);
+        m.globals.push(Global {
+            name: "g".into(),
+            words: vec![1, 2, 3],
+        });
+        m
+    }
+
+    #[test]
+    fn kitchen_sink_round_trips() {
+        let m = kitchen_sink();
+        let bytes = encode_module(&m);
+        assert_eq!(decode_module(&bytes).unwrap(), m);
+        // Canonical: encoding the decode reproduces the bytes.
+        assert_eq!(encode_module(&decode_module(&bytes).unwrap()), bytes);
+    }
+
+    #[test]
+    fn all_binops_round_trip() {
+        use BinOp::*;
+        for op in [
+            Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, Eq, Ne, Lt, Le, Gt, Ge,
+        ] {
+            let mut m = Module::new("ops");
+            m.funcs.push(FuncDef::new(
+                "main",
+                vec![],
+                vec![Stmt::Return(Expr::bin(op, Expr::Const(1), Expr::Const(2)))],
+            ));
+            assert_eq!(decode_module(&encode_module(&m)).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = encode_module(&kitchen_sink());
+        for cut in 0..bytes.len() {
+            let err = decode_module(&bytes[..cut]).expect_err("truncation must fail");
+            assert!(
+                matches!(err, CodecError::Truncated | CodecError::BadMagic),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_trailing_bytes_are_rejected() {
+        let mut bytes = encode_module(&kitchen_sink());
+        let mut wrong = bytes.clone();
+        wrong[0] = b'X';
+        assert_eq!(decode_module(&wrong), Err(CodecError::BadMagic));
+        bytes.push(0);
+        assert_eq!(decode_module(&bytes), Err(CodecError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected_not_misread() {
+        let mut m = Module::new("t");
+        m.funcs.push(FuncDef::new(
+            "main",
+            vec![],
+            vec![Stmt::Return(Expr::Const(1))],
+        ));
+        let bytes = encode_module(&m);
+        // The statement tag byte sits right after the (empty) locals
+        // list and body length; find it by searching for the Return tag
+        // followed by the Const tag.
+        let at = bytes
+            .windows(2)
+            .position(|w| w == [5, 0])
+            .expect("return+const tags present");
+        let mut bad = bytes.clone();
+        bad[at] = 0xEE;
+        assert!(matches!(
+            decode_module(&bad),
+            Err(CodecError::BadTag("stmt", 0xEE))
+        ));
+    }
+
+    #[test]
+    fn deep_nesting_is_capped_not_a_stack_overflow() {
+        // Hand-build a payload with one function whose body is Return of
+        // Not(Not(Not(...Const))) far past MAX_DEPTH.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        // name "d"
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(b'd');
+        // 1 function
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        // func name "m", 0 params, 0 locals
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(b'm');
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        // body: 1 stmt, Return(...)
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(5);
+        bytes.extend(std::iter::repeat_n(5u8, 10_000)); // Expr::Not, nested
+
+        bytes.push(0); // Expr::Const
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.push(0); // is_library = false
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // 0 globals
+        assert_eq!(decode_module(&bytes), Err(CodecError::TooDeep));
+    }
+
+    #[test]
+    fn forged_length_cannot_force_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // name "length"
+        assert_eq!(decode_module(&bytes), Err(CodecError::Truncated));
+    }
+}

@@ -32,6 +32,7 @@
 
 pub mod ast;
 pub mod astopt;
+pub mod codec;
 pub mod codegen;
 pub mod features;
 pub mod flags;
