@@ -142,6 +142,28 @@ impl Cfg {
         id
     }
 
+    /// The id-allocation watermark — every allocated `BlockId` is below
+    /// it. Serialization seam for [`crate::codec`]: `next_id` is part of
+    /// the CFG's identity (a decode that guessed it could hand out ids
+    /// that collide with removed-then-referenced blocks).
+    pub(crate) fn next_id(&self) -> u32 {
+        self.next_id
+    }
+
+    /// Reassemble a CFG from its serialized parts ([`crate::codec`]
+    /// decode path). `next_id` must bound every block id present.
+    pub(crate) fn from_raw_parts(blocks: Vec<Block>, entry: BlockId, next_id: u32) -> Cfg {
+        debug_assert!(
+            blocks.iter().all(|b| b.id.0 < next_id),
+            "block id at or above the allocation watermark"
+        );
+        Cfg {
+            blocks,
+            entry,
+            next_id,
+        }
+    }
+
     /// Append a block.
     pub fn push(&mut self, block: Block) {
         debug_assert!(block.id.0 < self.next_id, "block id not allocated");

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod cfg;
+pub mod codec;
 pub mod encode;
 pub mod insn;
 pub mod program;

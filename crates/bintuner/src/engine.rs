@@ -64,7 +64,10 @@
 //! classified at partition time from the membership model and never
 //! depends on where the compiles physically ran.
 
-use crate::store::{FitnessStore, FlagBits, StoreKey, StoredFitness};
+use crate::store::{
+    arch_tag, ArtifactStore, AstArtifactKey, FitnessStore, FlagBits, LowerArtifactKey, StoreKey,
+    StoredFitness,
+};
 use binrep::{Arch, Binary};
 use genetic::{Eval, Evaluator};
 use lzc::NcdBaseline;
@@ -184,6 +187,15 @@ pub struct EngineStats {
     /// skipped; only the cheap machine-level tail ran). Disjoint from
     /// `ast_reuse`.
     pub lower_reuse: usize,
+    /// Of `ast_reuse`, misses whose optimized-AST artifact came from the
+    /// *persistent* [`ArtifactStore`] rather than this run's in-memory
+    /// tier — each one a stage-1 pass some earlier run paid for, served
+    /// across runs even when every fitness key is cold (the store is
+    /// keyed by module *body* hash, so a renamed module still hits).
+    pub store_ast_hits: usize,
+    /// Of `lower_reuse`, misses served from the persistent
+    /// [`ArtifactStore`] (stage 1–2 both skipped across runs).
+    pub store_lower_hits: usize,
     /// Evaluations whose compile failed constraint checking and scored
     /// [`FAILED_COMPILE_PENALTY`], counted once per distinct
     /// configuration per run — including failures first served from the
@@ -269,6 +281,14 @@ struct MissPlan {
     /// directly, clone-free — on large modules that clone would cost
     /// more than the rare cross-batch stage-2 hit saves.
     retain_lower: bool,
+    /// The AST artifact is expected from the persistent store (the
+    /// reuse classification was upgraded to [`StageReuse::Ast`] on its
+    /// membership). A failed fetch recomputes — identical bytes, so the
+    /// classification stands either way.
+    store_ast: bool,
+    /// The lowered artifact is expected from the persistent store
+    /// ([`StageReuse::Lower`] across runs), same fallback contract.
+    store_lower: bool,
 }
 
 /// Deterministic membership + FIFO-age model of the tier-0 artifact
@@ -296,6 +316,10 @@ struct ArtifactIndex {
 struct ArtifactValues {
     ast: HashMap<u128, Arc<Module>>,
     lower: HashMap<(u128, u128), Arc<Binary>>,
+    /// Measured stage-2 seconds for lowered artifacts this run computed
+    /// fresh — the persistent store's retention currency; drained into
+    /// it at batch commit.
+    lower_cost: HashMap<(u128, u128), f64>,
 }
 
 /// Interior cache state (one lock: the partition phase touches all
@@ -309,6 +333,12 @@ struct CacheState {
     by_effect: HashMap<EffectConfig, CacheEntry>,
     /// Tier-0 artifact membership model (see [`ArtifactIndex`]).
     artifacts: ArtifactIndex,
+    /// AST digests already queued into (or known live in) the
+    /// persistent artifact store — prevents re-encoding a blob every
+    /// batch.
+    persisted_ast: HashSet<u128>,
+    /// Lowered-artifact keys already queued into the persistent store.
+    persisted_lower: HashSet<(u128, u128)>,
 }
 
 /// The batch fitness engine: compiles genomes, scores them against the
@@ -325,6 +355,10 @@ pub struct FitnessEngine<'a> {
     /// Stable content hash of `module` — the persistent store's key
     /// component, computed once at construction.
     module_hash: u64,
+    /// Name-independent body hash of `module` — the persistent
+    /// *artifact* store's key component (a renamed module keeps its
+    /// artifacts even though every fitness key changes).
+    body_hash: u64,
     arch: Arch,
     config: EngineConfig,
     baseline_bin: Binary,
@@ -340,6 +374,12 @@ pub struct FitnessEngine<'a> {
     /// per-worker) and fed every fresh result; recovered with
     /// [`FitnessEngine::into_store`] for the end-of-run save.
     store: Option<Mutex<FitnessStore>>,
+    /// Persistent sibling of the tier-0 artifact cache: optimized ASTs
+    /// and lowered binaries from *earlier runs*, keyed by stage digests
+    /// plus the module body hash. Consulted at partition time (miss
+    /// classification) and on the miss path (fetch before recompute);
+    /// fed fresh artifacts at batch commit when compiles run locally.
+    artifact_store: Option<Mutex<ArtifactStore>>,
     /// When set, the deduplicated miss list is dispatched here (the
     /// evaluation service) instead of the local worker pool.
     executor: Option<&'a dyn MissExecutor>,
@@ -417,6 +457,7 @@ impl<'a> FitnessEngine<'a> {
             compiler,
             module,
             module_hash: module.content_hash(),
+            body_hash: module.body_hash(),
             arch,
             config,
             baseline_bin,
@@ -425,6 +466,7 @@ impl<'a> FitnessEngine<'a> {
             artifact_values: Mutex::new(ArtifactValues::default()),
             stats: Mutex::new(EngineStats::default()),
             store: store.map(Mutex::new),
+            artifact_store: None,
             executor: None,
         })
     }
@@ -435,6 +477,16 @@ impl<'a> FitnessEngine<'a> {
     /// service-backed run is bit-identical to an in-process one.
     pub fn set_executor(&mut self, executor: &'a dyn MissExecutor) {
         self.executor = Some(executor);
+    }
+
+    /// Attach the persistent artifact store (see the `artifact_store`
+    /// field docs). Classification consults it identically on every
+    /// backend; fresh artifacts are recorded back only when compiles
+    /// run on the local pool (with an executor the artifact values live
+    /// in the clients' own engines). Recover it with
+    /// [`FitnessEngine::into_stores`] for the end-of-run save.
+    pub fn set_artifact_store(&mut self, store: ArtifactStore) {
+        self.artifact_store = Some(Mutex::new(store));
     }
 
     /// Drain the fitness results recorded into the engine's store since
@@ -462,7 +514,39 @@ impl<'a> FitnessEngine<'a> {
     /// Recover the persistent store (with this run's fresh results
     /// pending) for the end-of-run save.
     pub fn into_store(self) -> Option<FitnessStore> {
-        self.store.map(|s| s.into_inner().unwrap())
+        self.into_stores().0
+    }
+
+    /// Recover both persistent stores — fitness and artifacts — for the
+    /// end-of-run save. Save the fitness store *first*: a v3→v4
+    /// migration creates the directory the artifact log lives in.
+    pub fn into_stores(self) -> (Option<FitnessStore>, Option<ArtifactStore>) {
+        (
+            self.store.map(|s| s.into_inner().unwrap()),
+            self.artifact_store.map(|s| s.into_inner().unwrap()),
+        )
+    }
+
+    /// The persistent-artifact key of a stage-1 digest for this
+    /// engine's `(module body, compiler)`.
+    fn ast_key(&self, ast_digest: u128) -> AstArtifactKey {
+        AstArtifactKey {
+            body_hash: self.body_hash,
+            compiler: self.compiler.profile().kind().stable_id(),
+            ast_digest,
+        }
+    }
+
+    /// The persistent-artifact key of a stage-2 digest pair for this
+    /// engine's `(module body, compiler, arch)`.
+    fn lower_key(&self, ast_digest: u128, lower_digest: u128) -> LowerArtifactKey {
+        LowerArtifactKey {
+            body_hash: self.body_hash,
+            compiler: self.compiler.profile().kind().stable_id(),
+            arch: arch_tag(self.arch),
+            ast_digest,
+            lower_digest,
+        }
     }
 
     /// The `-O0` baseline binary the engine scores against.
@@ -499,10 +583,15 @@ impl<'a> FitnessEngine<'a> {
         self.cache.lock().unwrap().artifacts.lower.len()
     }
 
-    /// Fetch-or-compute the stage-1 artifact for `plan`'s AST digest.
+    /// Fetch-or-compute the stage-1 artifact for `plan`'s AST digest:
+    /// in-memory value first, then the persistent store, then a fresh
+    /// `stage_ast` pass.
     fn artifact_ast(&self, digest: u128, eff: &EffectConfig) -> Arc<Module> {
         if let Some(m) = self.artifact_values.lock().unwrap().ast.get(&digest) {
             return m.clone();
+        }
+        if let Some(m) = self.store_ast(digest) {
+            return m;
         }
         // Computed outside the lock: stage_ast is the expensive part and
         // a pure function of the digest's projection, so a concurrent
@@ -518,14 +607,60 @@ impl<'a> FitnessEngine<'a> {
             .clone()
     }
 
+    /// Decode a persisted optimized-AST artifact. The blob was produced
+    /// from a module with the same *body* but possibly another name, so
+    /// the name is rewritten to this engine's module — the one part of
+    /// the AST the stage pipeline carries through untouched. `None` on
+    /// any miss, verification failure or decode error: callers
+    /// recompute, bit-identically.
+    fn store_ast(&self, digest: u128) -> Option<Arc<Module>> {
+        let astore = self.artifact_store.as_ref()?;
+        let bytes = astore.lock().unwrap().fetch_ast(&self.ast_key(digest))?;
+        let mut m = minicc::codec::decode_module(&bytes).ok()?;
+        m.name = self.module.name.clone();
+        Some(
+            self.artifact_values
+                .lock()
+                .unwrap()
+                .ast
+                .entry(digest)
+                .or_insert(Arc::new(m))
+                .clone(),
+        )
+    }
+
+    /// Decode a persisted lowered-binary artifact ([`Self::store_ast`]
+    /// contract). Retained fetches land in the in-memory tier so later
+    /// misses of the same key stay off disk.
+    fn store_lower(&self, plan: &MissPlan) -> Option<Arc<Binary>> {
+        let astore = self.artifact_store.as_ref()?;
+        let key = self.lower_key(plan.ast_digest, plan.lower_digest);
+        let bytes = astore.lock().unwrap().fetch_lower(&key)?;
+        let mut b = binrep::codec::decode_binary(&bytes).ok()?;
+        b.name = self.module.name.clone();
+        let b = Arc::new(b);
+        if !plan.retain_lower {
+            return Some(b);
+        }
+        Some(
+            self.artifact_values
+                .lock()
+                .unwrap()
+                .lower
+                .entry((plan.ast_digest, plan.lower_digest))
+                .or_insert(b)
+                .clone(),
+        )
+    }
+
     /// Compile + score one miss according to its plan (run on workers).
     /// Misses are constraint-valid by partition and the module was
     /// validated at construction, so the staged pipeline cannot fail.
     fn evaluate_miss(&self, eff: &EffectConfig, plan: &MissPlan) -> CacheEntry {
         let lower_key = (plan.ast_digest, plan.lower_digest);
         // Only retained keys can have (or deserve) a cached stage-2
-        // artifact.
-        let cached = if plan.retain_lower {
+        // artifact; a store-classified miss fetches across runs.
+        let mut cached = if plan.retain_lower {
             self.artifact_values
                 .lock()
                 .unwrap()
@@ -535,6 +670,9 @@ impl<'a> FitnessEngine<'a> {
         } else {
             None
         };
+        if cached.is_none() && plan.store_lower {
+            cached = self.store_lower(plan);
+        }
         let bin = match cached {
             // The artifact must outlive this miss: mir runs on a clone.
             Some(b) => self.compiler.stage_mir((*b).clone(), eff),
@@ -544,16 +682,21 @@ impl<'a> FitnessEngine<'a> {
                 // inside artifact_ast is only reachable as a
                 // recompute-over-block safety valve.
                 let ast = self.artifact_ast(plan.ast_digest, eff);
+                let t = Instant::now();
                 let lowered = self.compiler.stage_lower(&ast, eff, self.arch);
+                let lower_secs = t.elapsed().as_secs_f64();
                 if plan.retain_lower {
-                    let b = self
-                        .artifact_values
-                        .lock()
-                        .unwrap()
+                    let mut values = self.artifact_values.lock().unwrap();
+                    let b = values
                         .lower
                         .entry(lower_key)
                         .or_insert(Arc::new(lowered))
                         .clone();
+                    // Record the measured stage cost — the persistent
+                    // store's retention currency — for the commit-time
+                    // drain.
+                    values.lower_cost.entry(lower_key).or_insert(lower_secs);
+                    drop(values);
                     self.compiler.stage_mir((*b).clone(), eff)
                 } else {
                     // Single-use lowered binary: the mir stage consumes
@@ -719,14 +862,34 @@ impl Evaluator for FitnessEngine<'_> {
                 for k in &digests {
                     *lower_mult.entry(*k).or_default() += 1;
                 }
+                // Persistent-artifact membership is part of the
+                // deterministic classification input: the store's index
+                // is fixed at load (pending inserts are not queryable),
+                // so a warm artifact log upgrades the same misses on
+                // every backend and at every worker count.
+                let astore = self.artifact_store.as_ref().map(|s| s.lock().unwrap());
                 let art = &mut cache.artifacts;
                 let mut new_ast: HashSet<u128> = HashSet::new();
                 let mut new_lower: HashSet<(u128, u128)> = HashSet::new();
                 for &(ad, ld) in &digests {
                     let k = (ad, ld);
+                    let mut store_ast = false;
+                    let mut store_lower = false;
                     let reuse = if art.lower.contains(&k) || new_lower.contains(&k) {
                         StageReuse::Lower
+                    } else if astore
+                        .as_ref()
+                        .is_some_and(|s| s.has_lower(&self.lower_key(ad, ld)))
+                    {
+                        store_lower = true;
+                        StageReuse::Lower
                     } else if art.ast.contains(&ad) || new_ast.contains(&ad) {
+                        StageReuse::Ast
+                    } else if astore
+                        .as_ref()
+                        .is_some_and(|s| s.has_ast(&self.ast_key(ad)))
+                    {
+                        store_ast = true;
                         StageReuse::Ast
                     } else {
                         StageReuse::Full
@@ -749,6 +912,8 @@ impl Evaluator for FitnessEngine<'_> {
                         lower_digest: ld,
                         reuse,
                         retain_lower,
+                        store_ast,
+                        store_lower,
                     });
                 }
                 art.ast.extend(new_ast);
@@ -759,6 +924,8 @@ impl Evaluator for FitnessEngine<'_> {
                     lower_digest: 0,
                     reuse: StageReuse::Full,
                     retain_lower: false,
+                    store_ast: false,
+                    store_lower: false,
                 }));
             }
             sources
@@ -776,6 +943,11 @@ impl Evaluator for FitnessEngine<'_> {
         // the serial section is only the one stage-1 pass, and the
         // dominant lower+mir work stays fully parallel.
         let mut computed: Vec<Option<(CacheEntry, f64)>> = vec![None; misses.len()];
+        // Fresh stage-1 artifacts this batch produced locally, with
+        // their measured wall time — the persistent store's retention
+        // currency, recorded at commit. Stays empty with an executor:
+        // the artifacts then live in the clients' own engines.
+        let mut persist_ast: Vec<(u128, f64)> = Vec::new();
         if let Some(executor) = self.executor {
             let flags: Vec<Vec<bool>> = misses.iter().map(|(f, _)| (*f).clone()).collect();
             let results = executor.execute(&flags);
@@ -842,6 +1014,7 @@ impl Evaluator for FitnessEngine<'_> {
                         ast_wall[slot] = wall;
                     }
                 }
+                persist_ast.extend(fresh_ast.iter().map(|&(d, slot)| (d, ast_wall[slot])));
             }
             // Phase 2: every miss, strided. A miss that reaches a
             // retained-but-not-yet-filled lower artifact (its producer
@@ -942,8 +1115,42 @@ impl Evaluator for FitnessEngine<'_> {
                 }
             }
             if self.config.artifact_cache {
-                let art = &mut cache.artifacts;
+                let state = &mut *cache;
+                let art = &mut state.artifacts;
                 let mut values = self.artifact_values.lock().unwrap();
+                // Queue this batch's freshly computed artifacts into the
+                // persistent store (local compiles only), before
+                // eviction can drop their values. `persisted_*` keeps
+                // the encode work once-per-key; the store itself applies
+                // the cost floor and budget at save time.
+                if let Some(astore) = &self.artifact_store {
+                    let mut astore = astore.lock().unwrap();
+                    for (digest, cost) in persist_ast {
+                        if state.persisted_ast.insert(digest) {
+                            if let Some(m) = values.ast.get(&digest) {
+                                astore.insert_ast(
+                                    self.ast_key(digest),
+                                    cost,
+                                    minicc::codec::encode_module(m),
+                                );
+                            }
+                        }
+                    }
+                    let costs: Vec<((u128, u128), f64)> = values.lower_cost.drain().collect();
+                    for ((ad, ld), cost) in costs {
+                        if state.persisted_lower.insert((ad, ld)) {
+                            if let Some(b) = values.lower.get(&(ad, ld)) {
+                                astore.insert_lower(
+                                    self.lower_key(ad, ld),
+                                    cost,
+                                    binrep::codec::encode_binary(b),
+                                );
+                            }
+                        }
+                    }
+                } else {
+                    values.lower_cost.clear();
+                }
                 while art.ast_order.len() > self.config.max_ast_artifacts {
                     let d = art.ast_order.pop_front().expect("order tracks membership");
                     art.ast.remove(&d);
@@ -1020,6 +1227,8 @@ impl Evaluator for FitnessEngine<'_> {
                 StageReuse::Ast => stats.ast_reuse += 1,
                 StageReuse::Lower => stats.lower_reuse += 1,
             }
+            stats.store_ast_hits += plan.store_ast as usize;
+            stats.store_lower_hits += plan.store_lower as usize;
         }
         stats.failed_compiles += fresh_failures + cold_failures;
         stats.wall_seconds += batch_start.elapsed().as_secs_f64();

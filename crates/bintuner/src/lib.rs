@@ -64,6 +64,8 @@ pub use service::{
     FaultPlan, ProcessFarm, ServiceConfig, ServiceSummary, TransportKind, WorkerMode,
 };
 pub use store::{
-    FitnessStore, FlagBits, LoadReport, SaveOutcome, StoreKey, StoreLock, StoredFitness,
+    arch_tag, shard_for, shard_for_module, write_v3_file, ArtifactRetention, ArtifactStore,
+    AstArtifactKey, FitnessStore, FlagBits, LoadReport, LowerArtifactKey, SaveOutcome, StoreKey,
+    StoreLock, StoredFitness, DEFAULT_SHARD_COUNT,
 };
 pub use tuner::{Backend, PersistSummary, PriorSummary, TuneError, TuneResult, Tuner, TunerConfig};

@@ -174,7 +174,7 @@ impl PotencyPrior {
 /// store always yields the same prior — the property the differential
 /// harness rests on.
 pub fn mine_prior(
-    store: &FitnessStore,
+    store: &mut FitnessStore,
     profile: &CompilerProfile,
     arch: Arch,
     module: &Module,
@@ -199,6 +199,7 @@ pub fn mine_prior(
     };
     let mut samples: Vec<(u64, Vec<bool>, f64, f64)> = store
         .entries()
+        .into_iter()
         .filter(|(k, v)| {
             k.compiler == compiler && k.arch == arch && !v.failed && v.flags.len() == n_flags
         })
@@ -227,6 +228,7 @@ pub fn mine_prior(
     let target = module.features();
     let mut candidates: Vec<(f64, u64, ModuleFeatures)> = store
         .modules_with_features()
+        .into_iter()
         .filter(|(h, _)| samples.iter().any(|(sh, ..)| sh == h))
         .map(|(h, f)| (target.distance(&f), h, f))
         .collect();
@@ -300,7 +302,7 @@ mod tests {
         let p = profile();
         let m = module("429.mcf");
         let prior = mine_prior(
-            &FitnessStore::in_memory(),
+            &mut FitnessStore::in_memory(),
             &p,
             Arch::X86,
             &m,
@@ -355,7 +357,7 @@ mod tests {
         );
 
         let cfg = PriorConfig::default();
-        let prior = mine_prior(&store, &p, Arch::X86, &m, &cfg);
+        let prior = mine_prior(&mut store, &p, Arch::X86, &m, &cfg);
         assert_eq!(prior.mined_records, 2);
         // Same module present in the store: it is its own nearest source.
         assert_eq!(prior.source_module, Some(m.content_hash()));
@@ -364,7 +366,7 @@ mod tests {
         assert_eq!(prior.seeds, vec![flags_a.clone(), flags_b.clone()]);
         assert_eq!(prior.seed_best_fitness, Some(0.8));
 
-        let again = mine_prior(&store, &p, Arch::X86, &m, &cfg);
+        let again = mine_prior(&mut store, &p, Arch::X86, &m, &cfg);
         assert_eq!(prior.seeds, again.seeds);
         assert_eq!(prior.source_module, again.source_module);
     }
@@ -398,7 +400,7 @@ mod tests {
             stored(&p, &far_flags, 0.9),
         );
 
-        let prior = mine_prior(&store, &p, Arch::X86, &target, &PriorConfig::default());
+        let prior = mine_prior(&mut store, &p, Arch::X86, &target, &PriorConfig::default());
         assert_eq!(prior.source_module, Some(near.content_hash()));
         assert_eq!(prior.seeds, vec![near_flags]);
         // The far module's higher score must not override shape proximity
@@ -415,7 +417,7 @@ mod tests {
         // load→insert→save cycles against a file.
         let path =
             std::env::temp_dir().join(format!("bintuner_priors_decay_{}.btfs", std::process::id()));
-        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(&path);
         let p = profile();
         let m = module("429.mcf");
         let mut on = vec![false; p.n_flags()];
@@ -439,10 +441,10 @@ mod tests {
         era1.insert(key_for(&p, &m, &off, 8), stored(&p, &off, 0.55));
         era1.save().unwrap();
 
-        let store = FitnessStore::load(&path);
+        let mut store = FitnessStore::load(&path);
         assert_eq!(store.generation(), 2);
         let no_decay = PriorConfig::default();
-        let prior_plain = mine_prior(&store, &p, Arch::X86, &m, &no_decay);
+        let prior_plain = mine_prior(&mut store, &p, Arch::X86, &m, &no_decay);
         // Default: no decay — weighted support equals raw counts exactly
         // (the bit-for-bit guarantee at the statistics level; run-level
         // equality is pinned by the differential harness).
@@ -457,7 +459,7 @@ mod tests {
             decay_half_life: 0.25, // era 0 is 8 half-lives old
             ..PriorConfig::default()
         };
-        let prior_decayed = mine_prior(&store, &p, Arch::X86, &m, &decay);
+        let prior_decayed = mine_prior(&mut store, &p, Arch::X86, &m, &decay);
         assert!(
             prior_decayed.marginals[0].potency() < 0.0,
             "recent era must win under decay: {}",
@@ -470,7 +472,7 @@ mod tests {
         assert_eq!(prior_decayed.seed_best_fitness, Some(0.9));
         // Same records mined either way.
         assert_eq!(prior_decayed.mined_records, prior_plain.mined_records);
-        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_dir_all(&path).unwrap();
     }
 
     #[test]
@@ -497,7 +499,7 @@ mod tests {
                 stored(&p, &flags, fit),
             );
         }
-        let prior = mine_prior(&store, &p, Arch::X86, &m, &cfg);
+        let prior = mine_prior(&mut store, &p, Arch::X86, &m, &cfg);
         let bias = prior.mutation_bias(&cfg);
         let w = bias.weights().expect("non-uniform");
         assert_eq!(w.len(), p.n_flags());

@@ -1,0 +1,400 @@
+//! Shard routing and the on-disk log format.
+//!
+//! One v4 store directory holds `shard-NN.log` files, each an
+//! append-only log of the same fixed-size checksummed records the v3
+//! single-file format used — only the 8-byte file header grew into a
+//! 12-byte shard header that also names the shard's index and the
+//! store's shard count, so a file moved between stores of different
+//! geometry is detected instead of misread.
+//!
+//! Routing is a pure function of the key over [`minicc::StableHasher`]
+//! (FNV-1a with an explicit canonical encoding) — **not** a std hasher,
+//! which is process-seeded: the same key must land in the same shard
+//! across runs, platforms, and the v3→v4 migration, or a warm store
+//! would silently cold-start.
+
+use super::index::ShardIndex;
+use super::{
+    FlagBits, PendingRecord, StoreKey, StoredFitness, FLAG_BYTES, FORMAT_VERSION, MAGIC,
+    MAX_STORED_FLAGS,
+};
+use bytes::BufMut;
+use minicc::fnv1a32 as checksum;
+use minicc::{ModuleFeatures, StableHasher};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// v3 single-file header: magic + format version.
+pub(super) const V3_HEADER_LEN: usize = 8;
+/// v4 shard file header: magic + format version + shard index (u16) +
+/// shard count (u16).
+pub(super) const SHARD_HEADER_LEN: usize = 12;
+/// Tagged record payload: 1 tag byte + 65 body bytes (the fitness body:
+/// module_hash(8) + compiler(1) + arch(1) + digest(16) + fitness(8) +
+/// failed(1) + n_flags(2) + flag bitmap(24) + generation(4); the
+/// features body is shorter and zero-padded to the same width), plus a
+/// 4-byte FNV-1a checksum. Unchanged from v3.
+pub(super) const RECORD_BODY_LEN: usize = 65;
+pub(super) const RECORD_PAYLOAD_LEN: usize = 1 + RECORD_BODY_LEN;
+pub(super) const RECORD_LEN: usize = RECORD_PAYLOAD_LEN + 4;
+/// Compaction floor per shard: below this many disk records, dead
+/// entries are not worth a rewrite.
+pub(super) const COMPACT_MIN_RECORDS: usize = 64;
+
+pub(super) const TAG_FITNESS: u8 = 0;
+pub(super) const TAG_MODULE_FEATURES: u8 = 1;
+
+// The features body (module_hash + N u32 counts) must fit the fixed
+// record body; growing ModuleFeatures::N past this is a format change.
+const _: () = assert!(8 + 4 * ModuleFeatures::N <= RECORD_BODY_LEN);
+
+/// Domain seed for shard routing (distinct from every digest seed so a
+/// routing hash can never alias a content hash).
+const SHARD_SEED: u64 = 0x0053_4841_5244; // "SHARD"
+
+/// The shard a fitness key routes to — a pure function of the key and
+/// the shard count, stable across runs, platforms, and migration.
+pub fn shard_for(key: &StoreKey, shard_count: usize) -> usize {
+    let mut h = StableHasher::with_seed(SHARD_SEED);
+    h.write_u64(key.module_hash);
+    h.write_u8(key.compiler);
+    h.write_u8(key.arch);
+    h.write_u64((key.effect_digest >> 64) as u64);
+    h.write_u64(key.effect_digest as u64);
+    (h.finish() % shard_count.max(1) as u64) as usize
+}
+
+/// The shard a module's features record routes to. Keyed by module hash
+/// alone (features have no effect digest), same seed and discipline as
+/// [`shard_for`].
+pub fn shard_for_module(module_hash: u64, shard_count: usize) -> usize {
+    let mut h = StableHasher::with_seed(SHARD_SEED);
+    h.write_u64(module_hash);
+    (h.finish() % shard_count.max(1) as u64) as usize
+}
+
+/// `shard-NN.log` inside the store directory.
+pub(super) fn shard_path(dir: &Path, idx: usize) -> PathBuf {
+    dir.join(format!("shard-{idx:02}.log"))
+}
+
+fn shard_header(idx: usize, shard_count: usize) -> [u8; SHARD_HEADER_LEN] {
+    let mut h = [0u8; SHARD_HEADER_LEN];
+    h[..4].copy_from_slice(&MAGIC);
+    h[4..8].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    h[8..10].copy_from_slice(&(idx as u16).to_le_bytes());
+    h[10..12].copy_from_slice(&(shard_count as u16).to_le_bytes());
+    h
+}
+
+/// Parse one shard file's bytes. Never fails: a foreign header is a
+/// cold shard (rewritten on save), a damaged tail is dropped while the
+/// valid prefix is kept.
+pub(super) fn parse_shard(bytes: &[u8], idx: usize, shard_count: usize) -> ShardIndex {
+    let mut shard = ShardIndex::default();
+    if bytes.len() < SHARD_HEADER_LEN || bytes[..SHARD_HEADER_LEN] != shard_header(idx, shard_count)
+    {
+        // Distinguish "wrong version" from "not ours at all" for the
+        // report, but both degrade identically.
+        if bytes.len() >= 8 && bytes[..4] == MAGIC {
+            shard.report.version_mismatch = true;
+        } else {
+            shard.report.malformed_header = true;
+        }
+        shard.report.dropped_bytes = bytes.len();
+        shard.needs_rewrite = true;
+        return shard;
+    }
+    let consumed = parse_records(&bytes[SHARD_HEADER_LEN..], &mut shard);
+    shard.report.valid_records = shard.disk_records;
+    if SHARD_HEADER_LEN + consumed != bytes.len() {
+        // Truncated or corrupt tail: appending after it would misalign
+        // every future record, so force a rewrite.
+        shard.report.dropped_bytes = bytes.len() - SHARD_HEADER_LEN - consumed;
+        shard.needs_rewrite = true;
+    }
+    shard
+}
+
+/// Decode checksummed records into `shard` until the bytes run out or a
+/// record fails its checksum/tag check. Returns the bytes consumed.
+fn parse_records(bytes: &[u8], shard: &mut ShardIndex) -> usize {
+    let mut off = 0;
+    while off + RECORD_LEN <= bytes.len() {
+        let payload = &bytes[off..off + RECORD_PAYLOAD_LEN];
+        let stored = u32::from_le_bytes(
+            bytes[off + RECORD_PAYLOAD_LEN..off + RECORD_LEN]
+                .try_into()
+                .unwrap(),
+        );
+        if checksum(payload) != stored || !decode_record(payload, shard) {
+            break;
+        }
+        shard.disk_records += 1;
+        off += RECORD_LEN;
+    }
+    off
+}
+
+/// Decode one checksum-verified payload. Returns false for an unknown
+/// tag (treated as a corrupt tail — same-version files only ever carry
+/// known tags).
+fn decode_record(payload: &[u8], shard: &mut ShardIndex) -> bool {
+    let body = &payload[1..];
+    match payload[0] {
+        TAG_FITNESS => {
+            let (key, value) = decode_fitness(body);
+            shard.entries.insert(key, value);
+            true
+        }
+        TAG_MODULE_FEATURES => {
+            let (hash, feats) = decode_features(body);
+            shard.features.insert(hash, feats);
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Load one shard from disk. A missing file is an empty shard (clean —
+/// shards materialize on first write).
+pub(super) fn load_shard(dir: &Path, idx: usize, shard_count: usize) -> ShardIndex {
+    match fs::read(shard_path(dir, idx)) {
+        Ok(bytes) => parse_shard(&bytes, idx, shard_count),
+        Err(_) => {
+            let mut shard = ShardIndex::default();
+            shard.report.missing = true;
+            shard
+        }
+    }
+}
+
+/// Flush one shard's pending records to its log file. The caller holds
+/// the shard's [`super::StoreLock`].
+///
+/// Fast path: one appended `write_all`. The file is rewritten wholesale
+/// — to a temp file, then atomically `rename`d into place — when it was
+/// corrupt/missing or when dead records make compaction worthwhile.
+/// `force_rewrite` is the public compaction hook and the migration
+/// path.
+///
+/// The rewrite **re-reads the file under the lock and merges** before
+/// writing: a record appended by another process since our load is
+/// preserved (disk wins for keys we did not re-insert ourselves), so
+/// per-shard compaction can run concurrently with writers of the same
+/// store without losing records.
+pub(super) fn save_shard(
+    dir: &Path,
+    idx: usize,
+    shard_count: usize,
+    shard: &mut ShardIndex,
+    force_rewrite: bool,
+) -> std::io::Result<()> {
+    let path = shard_path(dir, idx);
+    let future_records = shard.disk_records + shard.pending.len();
+    let compact = force_rewrite
+        || shard.needs_rewrite
+        || !path.exists()
+        || (future_records >= COMPACT_MIN_RECORDS && shard.live() * 2 <= future_records);
+    if compact {
+        rewrite_shard(&path, idx, shard_count, shard)
+    } else {
+        append_shard(&path, shard)
+    }
+}
+
+fn rewrite_shard(
+    path: &Path,
+    idx: usize,
+    shard_count: usize,
+    shard: &mut ShardIndex,
+) -> std::io::Result<()> {
+    // Merge under the lock: fresh disk state, overlaid with our own
+    // entries for keys the disk lacks, overlaid with our pending
+    // inserts (ours are the newest values for those keys).
+    let mut merged = match fs::read(path) {
+        Ok(bytes) => parse_shard(&bytes, idx, shard_count),
+        Err(_) => ShardIndex::default(),
+    };
+    for (key, value) in &shard.entries {
+        merged.entries.entry(*key).or_insert(*value);
+    }
+    for (hash, feats) in &shard.features {
+        merged.features.entry(*hash).or_insert(*feats);
+    }
+    for (_, rec) in &shard.pending {
+        match rec {
+            PendingRecord::Fitness(key, value) => {
+                merged.entries.insert(*key, *value);
+            }
+            PendingRecord::Features(hash, feats) => {
+                merged.features.insert(*hash, *feats);
+            }
+        }
+    }
+
+    let mut buf: Vec<u8> = Vec::with_capacity(SHARD_HEADER_LEN + merged.live() * RECORD_LEN);
+    buf.put_slice(&shard_header(idx, shard_count));
+    for (&hash, feats) in &merged.features {
+        encode_features_record(hash, feats, &mut buf);
+    }
+    for (key, value) in &merged.entries {
+        encode_fitness_record(key, value, &mut buf);
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    fs::write(&tmp, &buf)?;
+    fs::rename(&tmp, path)?;
+
+    shard.entries = merged.entries;
+    shard.features = merged.features;
+    shard.disk_records = shard.live();
+    shard.pending.clear();
+    shard.needs_rewrite = false;
+    Ok(())
+}
+
+fn append_shard(path: &Path, shard: &mut ShardIndex) -> std::io::Result<()> {
+    let mut buf: Vec<u8> = Vec::with_capacity(shard.pending.len() * RECORD_LEN);
+    for (_, rec) in &shard.pending {
+        match rec {
+            PendingRecord::Fitness(key, value) => encode_fitness_record(key, value, &mut buf),
+            PendingRecord::Features(hash, feats) => encode_features_record(*hash, feats, &mut buf),
+        }
+    }
+    let mut file = fs::OpenOptions::new().append(true).open(path)?;
+    file.write_all(&buf)?;
+    shard.disk_records += shard.pending.len();
+    shard.pending.clear();
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// v3 single-file compatibility: the migration parser, and a writer kept
+// for the differential fixtures that pin sharded ≡ single-file
+// semantics.
+// ---------------------------------------------------------------------
+
+/// Parse a v3 single-file store. Same never-fail contract as the shard
+/// parser; records land in one flat index for the caller to distribute
+/// by [`shard_for`].
+pub(super) fn parse_v3(bytes: &[u8]) -> ShardIndex {
+    let mut flat = ShardIndex {
+        needs_rewrite: true, // a v3 file is always restructured on save
+        ..ShardIndex::default()
+    };
+    if bytes.len() < V3_HEADER_LEN || bytes[..4] != MAGIC {
+        flat.report.malformed_header = true;
+        flat.report.dropped_bytes = bytes.len();
+        return flat;
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != 3 {
+        flat.report.version_mismatch = true;
+        flat.report.dropped_bytes = bytes.len();
+        return flat;
+    }
+    let consumed = parse_records(&bytes[V3_HEADER_LEN..], &mut flat);
+    flat.report.valid_records = flat.disk_records;
+    if V3_HEADER_LEN + consumed != bytes.len() {
+        flat.report.dropped_bytes = bytes.len() - V3_HEADER_LEN - consumed;
+    }
+    flat
+}
+
+/// Write a v3-format single-file store. A test/differential fixture
+/// seam (the live format is v4): it lets the suite construct legacy
+/// stores byte-for-byte like a v3 writer would and pin that migration
+/// is lossless and shard assignment is stable.
+pub fn write_v3_file(
+    path: &Path,
+    entries: &[(StoreKey, StoredFitness)],
+    features: &[(u64, ModuleFeatures)],
+) -> std::io::Result<()> {
+    let mut buf: Vec<u8> = Vec::new();
+    buf.put_slice(&MAGIC);
+    buf.put_u32_le(3);
+    for (hash, feats) in features {
+        encode_features_record(*hash, feats, &mut buf);
+    }
+    for (key, value) in entries {
+        encode_fitness_record(key, value, &mut buf);
+    }
+    fs::write(path, &buf)
+}
+
+// ---------------------------------------------------------------------
+// Record encoding (shared by v3 and v4 — byte-identical).
+// ---------------------------------------------------------------------
+
+/// Append the checksum over the record payload written since `start`,
+/// after zero-padding the body to its fixed width.
+fn finish_record(start: usize, out: &mut Vec<u8>) {
+    while out.len() - start < RECORD_PAYLOAD_LEN {
+        out.put_u8(0);
+    }
+    debug_assert_eq!(out.len() - start, RECORD_PAYLOAD_LEN);
+    let ck = checksum(&out[start..]);
+    out.put_u32_le(ck);
+}
+
+pub(super) fn encode_fitness_record(key: &StoreKey, value: &StoredFitness, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.put_u8(TAG_FITNESS);
+    out.put_u64_le(key.module_hash);
+    out.put_u8(key.compiler);
+    out.put_u8(key.arch);
+    out.put_u64_le((key.effect_digest >> 64) as u64);
+    out.put_u64_le(key.effect_digest as u64);
+    out.put_u64_le(value.fitness.to_bits());
+    out.put_u8(value.failed as u8);
+    out.put_u16_le(value.flags.n);
+    out.put_slice(&value.flags.bits);
+    out.put_u32_le(value.generation);
+    finish_record(start, out);
+}
+
+pub(super) fn encode_features_record(module_hash: u64, feats: &ModuleFeatures, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.put_u8(TAG_MODULE_FEATURES);
+    out.put_u64_le(module_hash);
+    for &c in &feats.counts {
+        out.put_u32_le(c);
+    }
+    finish_record(start, out);
+}
+
+fn decode_fitness(body: &[u8]) -> (StoreKey, StoredFitness) {
+    let u64_at = |off: usize| u64::from_le_bytes(body[off..off + 8].try_into().unwrap());
+    let key = StoreKey {
+        module_hash: u64_at(0),
+        compiler: body[8],
+        arch: body[9],
+        effect_digest: (u128::from(u64_at(10)) << 64) | u128::from(u64_at(18)),
+    };
+    let n = u16::from_le_bytes(body[35..37].try_into().unwrap());
+    let mut flags = FlagBits {
+        n: n.min(MAX_STORED_FLAGS as u16),
+        bits: [0; FLAG_BYTES],
+    };
+    flags.bits.copy_from_slice(&body[37..37 + FLAG_BYTES]);
+    let value = StoredFitness {
+        fitness: f64::from_bits(u64_at(26)),
+        failed: body[34] != 0,
+        flags,
+        generation: u32::from_le_bytes(body[37 + FLAG_BYTES..41 + FLAG_BYTES].try_into().unwrap()),
+    };
+    (key, value)
+}
+
+fn decode_features(body: &[u8]) -> (u64, ModuleFeatures) {
+    let hash = u64::from_le_bytes(body[0..8].try_into().unwrap());
+    let mut feats = ModuleFeatures::default();
+    for (i, c) in feats.counts.iter_mut().enumerate() {
+        let off = 8 + 4 * i;
+        *c = u32::from_le_bytes(body[off..off + 4].try_into().unwrap());
+    }
+    (hash, feats)
+}

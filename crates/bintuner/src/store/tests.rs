@@ -1,0 +1,609 @@
+//! Unit tests for the sharded fitness store. The cross-process torture
+//! cases (torn appends at every byte boundary, crash-during-compaction,
+//! reader/writer/compactor stress) live in `tests/store_torture.rs`;
+//! these cover the single-process contracts.
+
+use super::shard::{RECORD_LEN, SHARD_HEADER_LEN};
+use super::*;
+
+/// Unique scratch path per test (no tempfile crate in the container).
+fn scratch(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!(
+        "bintuner_store_{}_{}.btfs",
+        std::process::id(),
+        name
+    ));
+    let _ = fs::remove_file(&p);
+    let _ = fs::remove_dir_all(&p);
+    p
+}
+
+fn cleanup(path: &Path) {
+    let _ = fs::remove_file(path);
+    let _ = fs::remove_dir_all(path);
+    let _ = fs::remove_file(StoreLock::lock_path(path));
+}
+
+fn key(i: u64) -> StoreKey {
+    StoreKey::new(
+        0xAA00 + i,
+        CompilerKind::Gcc,
+        Arch::X86,
+        u128::from(i) << 64 | 0x5EED,
+    )
+}
+
+fn value(i: u64) -> StoredFitness {
+    StoredFitness {
+        fitness: i as f64 * 0.125 + 0.25,
+        failed: i.is_multiple_of(7),
+        flags: FlagBits::from_bools(
+            &(0..140)
+                .map(|b| (b as u64 + i).is_multiple_of(3))
+                .collect::<Vec<_>>(),
+        ),
+        generation: 0,
+    }
+}
+
+fn feats(i: u32) -> ModuleFeatures {
+    let mut f = ModuleFeatures::default();
+    for (j, c) in f.counts.iter_mut().enumerate() {
+        *c = i * 10 + j as u32;
+    }
+    f
+}
+
+/// Total record count across every shard log (header bytes excluded) —
+/// the sharded analogue of the old single-file size assertions.
+fn disk_records(dir: &Path) -> usize {
+    let mut records = 0;
+    for entry in fs::read_dir(dir).unwrap().flatten() {
+        let name = entry.file_name();
+        let name = name.to_str().unwrap();
+        if name.starts_with("shard-") && name.ends_with(".log") {
+            let len = entry.metadata().unwrap().len() as usize;
+            assert!(len >= SHARD_HEADER_LEN, "shard file shorter than header");
+            assert!(
+                (len - SHARD_HEADER_LEN).is_multiple_of(RECORD_LEN),
+                "shard file not record-aligned"
+            );
+            records += (len - SHARD_HEADER_LEN) / RECORD_LEN;
+        }
+    }
+    records
+}
+
+#[test]
+fn round_trip() {
+    let path = scratch("round_trip");
+    let mut store = FitnessStore::load(&path);
+    assert!(store.report().missing);
+    for i in 0..20 {
+        store.insert(key(i), value(i));
+    }
+    store.record_module_features(0xFEA7, feats(3));
+    store.save().unwrap();
+    assert!(path.is_dir(), "v4 store is a directory");
+
+    let mut reloaded = FitnessStore::load(&path);
+    assert_eq!(reloaded.len(), 20);
+    assert_eq!(reloaded.report().valid_records, 21);
+    assert_eq!(reloaded.report().dropped_bytes, 0);
+    for i in 0..20 {
+        let got = reloaded.get(&key(i)).unwrap();
+        assert_eq!(got.fitness.to_bits(), value(i).fitness.to_bits());
+        assert_eq!(got.failed, value(i).failed);
+        assert_eq!(got.flags, value(i).flags);
+        assert_eq!(got.flags.to_bools().len(), 140);
+    }
+    assert_eq!(reloaded.get(&key(99)), None);
+    assert_eq!(reloaded.module_features(0xFEA7), Some(feats(3)));
+    assert_eq!(reloaded.module_features(0xDEAD), None);
+    cleanup(&path);
+}
+
+#[test]
+fn shards_load_lazily_on_first_touch() {
+    let path = scratch("lazy");
+    let mut store = FitnessStore::load(&path);
+    for i in 0..40 {
+        store.insert(key(i), value(i));
+    }
+    store.save().unwrap();
+
+    let mut reloaded = FitnessStore::load(&path);
+    assert_eq!(reloaded.shards_loaded(), 0, "manifest load touched shards");
+    let probe = key(0);
+    assert!(reloaded.get(&probe).is_some());
+    assert_eq!(
+        reloaded.shards_loaded(),
+        1,
+        "a get materialized more than its own shard"
+    );
+    // Re-probing the same shard loads nothing new.
+    assert!(reloaded.get(&probe).is_some());
+    assert_eq!(reloaded.shards_loaded(), 1);
+    // A full scan materializes everything.
+    assert_eq!(reloaded.len(), 40);
+    assert_eq!(reloaded.shards_loaded(), DEFAULT_SHARD_COUNT);
+    cleanup(&path);
+}
+
+#[test]
+fn flag_bits_round_trip_and_bounds() {
+    let v: Vec<bool> = (0..137).map(|i| i % 5 == 0).collect();
+    let bits = FlagBits::from_bools(&v);
+    assert_eq!(bits.len(), 137);
+    assert_eq!(bits.to_bools(), v);
+    assert!(!bits.get(500), "out of range reads false");
+
+    assert!(FlagBits::from_bools(&[]).is_empty());
+    let too_wide = vec![true; MAX_STORED_FLAGS + 1];
+    assert!(FlagBits::from_bools(&too_wide).is_empty());
+    let exactly = vec![true; MAX_STORED_FLAGS];
+    assert_eq!(FlagBits::from_bools(&exactly).to_bools(), exactly);
+}
+
+#[test]
+fn appends_accumulate_across_runs() {
+    let path = scratch("append");
+    let mut first = FitnessStore::load(&path);
+    first.insert(key(1), value(1));
+    first.save().unwrap();
+    assert_eq!(disk_records(&path), 1);
+
+    let mut second = FitnessStore::load(&path);
+    assert_eq!(second.len(), 1);
+    second.insert(key(2), value(2));
+    // Re-inserting an identical entry must not grow the log.
+    second.insert(key(1), value(1));
+    assert_eq!(second.pending_len(), 1);
+    second.save().unwrap();
+    assert_eq!(disk_records(&path), 2);
+    assert_eq!(FitnessStore::load(&path).len(), 2);
+    cleanup(&path);
+}
+
+#[test]
+fn unchanged_module_features_do_not_grow_the_log() {
+    let path = scratch("feat_noop");
+    let mut first = FitnessStore::load(&path);
+    first.record_module_features(7, feats(1));
+    first.save().unwrap();
+    assert_eq!(disk_records(&path), 1);
+
+    let mut second = FitnessStore::load(&path);
+    second.record_module_features(7, feats(1));
+    assert_eq!(second.pending_len(), 0);
+    second.save().unwrap();
+    assert_eq!(disk_records(&path), 1);
+
+    // Changed features do append (and win on reload).
+    let mut third = FitnessStore::load(&path);
+    third.record_module_features(7, feats(9));
+    third.save().unwrap();
+    assert_eq!(FitnessStore::load(&path).module_features(7), Some(feats(9)));
+    cleanup(&path);
+}
+
+#[test]
+fn truncated_shard_keeps_valid_prefix() {
+    // A single shard makes the byte arithmetic exact, like the old
+    // single-file test (the every-boundary sweep lives in the torture
+    // harness).
+    let path = scratch("truncated");
+    let mut store = FitnessStore::load_with_shard_count(&path, 1);
+    for i in 0..5 {
+        store.insert(key(i), value(i));
+    }
+    store.save().unwrap();
+    // Tear the last record: a torn append loses only the tail.
+    let shard_file = path.join("shard-00.log");
+    let bytes = fs::read(&shard_file).unwrap();
+    fs::write(&shard_file, &bytes[..bytes.len() - 10]).unwrap();
+
+    let mut recovered = FitnessStore::load(&path);
+    assert_eq!(recovered.len(), 4);
+    assert_eq!(recovered.report().dropped_bytes, RECORD_LEN - 10);
+    // The next save rewrites a clean shard rather than appending after
+    // the torn tail.
+    recovered.insert(key(9), value(9));
+    recovered.save().unwrap();
+    let mut clean = FitnessStore::load(&path);
+    assert_eq!(clean.len(), 5);
+    assert_eq!(clean.report().dropped_bytes, 0);
+    cleanup(&path);
+}
+
+#[test]
+fn checksum_corruption_drops_damaged_suffix() {
+    let path = scratch("corrupt");
+    let mut store = FitnessStore::load_with_shard_count(&path, 1);
+    for i in 0..6 {
+        store.insert(key(i), value(i));
+    }
+    store.save().unwrap();
+    let shard_file = path.join("shard-00.log");
+    let mut bytes = fs::read(&shard_file).unwrap();
+    // Flip one payload byte in the third record.
+    bytes[SHARD_HEADER_LEN + 2 * RECORD_LEN + 5] ^= 0xFF;
+    fs::write(&shard_file, &bytes).unwrap();
+
+    let mut recovered = FitnessStore::load(&path);
+    assert_eq!(recovered.len(), 2);
+    assert!(recovered.report().dropped_bytes > 0);
+    cleanup(&path);
+}
+
+#[test]
+fn foreign_shard_header_is_a_cold_shard() {
+    let path = scratch("foreign_shard");
+    let mut store = FitnessStore::load_with_shard_count(&path, 2);
+    for i in 0..8 {
+        store.insert(key(i), value(i));
+    }
+    store.save().unwrap();
+    let n_in_00 = {
+        let mut s = FitnessStore::load(&path);
+        s.len();
+        s.shard_entry_counts()[0]
+    };
+    assert!(n_in_00 > 0, "test premise: shard 0 holds something");
+    // A shard file moved in from a different-geometry store fails its
+    // header check: that shard cold-starts, the rest are untouched.
+    fs::write(path.join("shard-00.log"), b"BTFS????not ours").unwrap();
+    let mut recovered = FitnessStore::load(&path);
+    assert_eq!(recovered.len(), 8 - n_in_00);
+    assert!(recovered.report().version_mismatch || recovered.report().malformed_header);
+    // The next save heals the cold shard wholesale.
+    recovered.insert(key(0), value(0));
+    recovered.save().unwrap();
+    let mut healed = FitnessStore::load(&path);
+    assert_eq!(healed.len(), 8 - n_in_00 + 1);
+    cleanup(&path);
+}
+
+#[test]
+fn v3_single_file_migrates_losslessly() {
+    let path = scratch("v3_migrate");
+    let entries: Vec<_> = (0..24).map(|i| (key(i), value(i))).collect();
+    let features = vec![(0xFEA7u64, feats(3)), (0xFEA8, feats(4))];
+    write_v3_file(&path, &entries, &features).unwrap();
+
+    // Load: every record is kept and counted; the path is still a file.
+    let mut store = FitnessStore::load(&path);
+    assert_eq!(store.report().valid_records, 26);
+    assert_eq!(store.report().dropped_bytes, 0);
+    assert!(!store.report().version_mismatch);
+    assert_eq!(store.len(), 24);
+    assert!(path.is_file());
+    for (k, v) in &entries {
+        assert_eq!(store.get(k).unwrap().fitness.to_bits(), v.fitness.to_bits());
+    }
+    assert_eq!(store.module_features(0xFEA7), Some(feats(3)));
+
+    // Save: the file becomes the sharded directory, transparently.
+    store.insert(key(100), value(100));
+    store.save().unwrap();
+    assert!(path.is_dir());
+    let mut migrated = FitnessStore::load(&path);
+    assert_eq!(migrated.len(), 25);
+    for (k, v) in &entries {
+        assert_eq!(
+            migrated.get(k).unwrap().fitness.to_bits(),
+            v.fitness.to_bits()
+        );
+    }
+    assert_eq!(migrated.module_features(0xFEA8), Some(feats(4)));
+    // No migration droppings.
+    let mut stage = path.as_os_str().to_owned();
+    stage.push(".migrate");
+    assert!(!PathBuf::from(stage).exists());
+    cleanup(&path);
+}
+
+#[test]
+fn v3_migration_preserves_record_ages() {
+    let path = scratch("v3_ages");
+    let mut old = value(1);
+    old.generation = 2;
+    write_v3_file(&path, &[(key(1), old)], &[]).unwrap();
+
+    let mut store = FitnessStore::load(&path);
+    assert_eq!(store.generation(), 3, "v3 rule: max(stored) + 1");
+    store.insert(key(2), value(2));
+    store.save().unwrap();
+
+    let mut migrated = FitnessStore::load(&path);
+    assert_eq!(migrated.get(&key(1)).unwrap().generation, 2);
+    assert_eq!(migrated.get(&key(2)).unwrap().generation, 3);
+    assert_eq!(migrated.generation(), 4);
+    cleanup(&path);
+}
+
+#[test]
+fn version_mismatch_is_a_cold_start() {
+    let path = scratch("version");
+    // A hypothetical v5 single file: not migratable, cold start.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    bytes.extend_from_slice(&[0xAB; 70]);
+    fs::write(&path, &bytes).unwrap();
+
+    let mut store = FitnessStore::load(&path);
+    assert!(store.is_empty());
+    assert!(store.report().version_mismatch);
+    // Saving replaces the stale file with a current-version directory.
+    store.insert(key(3), value(3));
+    store.save().unwrap();
+    assert!(path.is_dir());
+    let mut reloaded = FitnessStore::load(&path);
+    assert!(!reloaded.report().version_mismatch);
+    assert_eq!(reloaded.len(), 1);
+    cleanup(&path);
+}
+
+#[test]
+fn garbage_file_is_a_cold_start() {
+    let path = scratch("garbage");
+    fs::write(&path, b"definitely not a fitness store").unwrap();
+    let mut store = FitnessStore::load(&path);
+    assert!(store.is_empty());
+    assert!(store.report().malformed_header);
+    cleanup(&path);
+}
+
+#[test]
+fn damaged_manifest_recovers_from_shard_files() {
+    let path = scratch("manifest");
+    let mut store = FitnessStore::load_with_shard_count(&path, 4);
+    for i in 0..12 {
+        store.insert(key(i), value(i));
+    }
+    store.save().unwrap();
+    fs::write(path.join("manifest"), b"scribble").unwrap();
+
+    let mut recovered = FitnessStore::load(&path);
+    assert!(recovered.report().malformed_header);
+    assert_eq!(recovered.shard_count(), 4, "geometry not recovered");
+    assert_eq!(recovered.len(), 12, "records lost with the manifest");
+    // The next save heals the manifest.
+    recovered.save().unwrap();
+    let mut healed = FitnessStore::load(&path);
+    assert!(!healed.report().malformed_header);
+    assert_eq!(healed.len(), 12);
+    cleanup(&path);
+}
+
+#[test]
+fn per_shard_compaction_shrinks_a_log_dominated_by_dead_records() {
+    let path = scratch("compact");
+    // Overwrite the same key with changing values across many saves:
+    // its shard accumulates dead records until compaction rewrites it.
+    for round in 0..(shard::COMPACT_MIN_RECORDS as u64 + 8) {
+        let mut store = FitnessStore::load(&path);
+        store.insert(key(0), StoredFitness::new(round as f64, false));
+        store.record_module_features(0xC0, feats(0));
+        store.save().unwrap();
+    }
+    let mut final_store = FitnessStore::load(&path);
+    assert_eq!(final_store.len(), 1);
+    assert_eq!(final_store.module_features(0xC0), Some(feats(0)));
+    assert!(
+        disk_records(&path) < shard::COMPACT_MIN_RECORDS / 2,
+        "shard never compacted: {} records",
+        disk_records(&path)
+    );
+    // Atomic rewrite leaves no temp droppings.
+    for entry in fs::read_dir(&path).unwrap().flatten() {
+        assert!(
+            !entry.file_name().to_str().unwrap().ends_with(".tmp"),
+            "tmp dropping: {:?}",
+            entry.file_name()
+        );
+    }
+    cleanup(&path);
+}
+
+#[test]
+fn explicit_compaction_is_per_shard() {
+    let path = scratch("compact_one");
+    let mut store = FitnessStore::load_with_shard_count(&path, 4);
+    for i in 0..32 {
+        store.insert(key(i), value(i));
+    }
+    store.save().unwrap();
+
+    let mut store = FitnessStore::load(&path);
+    let before: Vec<u64> = (0..4)
+        .map(|i| fs::metadata(path.join(format!("shard-{i:02}.log"))).map_or(0, |m| m.len()))
+        .collect();
+    assert_eq!(store.compact_shard(1).unwrap(), SaveOutcome::Written);
+    let after: Vec<u64> = (0..4)
+        .map(|i| fs::metadata(path.join(format!("shard-{i:02}.log"))).map_or(0, |m| m.len()))
+        .collect();
+    // Only shard 1's file was touched (all-live shards keep their size).
+    assert_eq!(before[0], after[0]);
+    assert_eq!(before[2], after[2]);
+    assert_eq!(before[3], after[3]);
+    assert_eq!(before[1], after[1], "all-live compaction changed content");
+    assert_eq!(FitnessStore::load(&path).len(), 32);
+    cleanup(&path);
+}
+
+#[test]
+fn in_memory_store_save_is_a_noop() {
+    let mut store = FitnessStore::in_memory();
+    store.insert(key(1), value(1));
+    assert_eq!(store.save().unwrap(), SaveOutcome::Written);
+    assert_eq!(store.pending_len(), 0);
+    assert_eq!(store.len(), 1);
+    assert!(store.path().is_none());
+}
+
+#[test]
+fn generation_advances_one_per_load_save_cycle() {
+    let path = scratch("generation");
+    // Run 0: fresh store stamps generation 0.
+    let mut run0 = FitnessStore::load(&path);
+    assert_eq!(run0.generation(), 0);
+    run0.insert(key(0), value(0));
+    run0.save().unwrap();
+    // Run 1: the manifest carries the next generation; old records keep
+    // their age.
+    let mut run1 = FitnessStore::load(&path);
+    assert_eq!(run1.generation(), 1);
+    run1.insert(key(1), value(1));
+    // Re-inserting an identical value must NOT refresh its age.
+    run1.insert(key(0), value(0));
+    run1.save().unwrap();
+
+    let mut run2 = FitnessStore::load(&path);
+    assert_eq!(run2.generation(), 2);
+    assert_eq!(run2.get(&key(0)).unwrap().generation, 0);
+    assert_eq!(run2.get(&key(1)).unwrap().generation, 1);
+    // A caller-supplied generation is overwritten by the stamp.
+    run2.insert(
+        key(7),
+        StoredFitness {
+            generation: 999,
+            ..value(7)
+        },
+    );
+    assert_eq!(run2.get(&key(7)).unwrap().generation, 2);
+    run2.save().unwrap();
+    // A save with no fitness written does not burn a generation.
+    let mut idle = FitnessStore::load(&path);
+    assert_eq!(idle.generation(), 3);
+    idle.save().unwrap();
+    assert_eq!(FitnessStore::load(&path).generation(), 3);
+    cleanup(&path);
+}
+
+#[test]
+fn contended_whole_store_lock_degrades_migration_to_a_skip() {
+    let path = scratch("locked");
+    let mut store = FitnessStore::load(&path);
+    store.insert(key(1), value(1));
+
+    let held = StoreLock::acquire(&path).unwrap().expect("lock free");
+    // A second acquire (same path, lock held by a live pid — ours)
+    // reports busy instead of stealing.
+    assert!(StoreLock::acquire(&path).unwrap().is_none());
+    assert_eq!(store.save().unwrap(), SaveOutcome::SkippedLocked);
+    // Nothing reached disk; the pending queue survived for a retry.
+    assert!(!path.exists());
+    assert_eq!(store.pending_len(), 1);
+
+    drop(held);
+    assert_eq!(store.save().unwrap(), SaveOutcome::Written);
+    assert_eq!(store.pending_len(), 0);
+    assert_eq!(FitnessStore::load(&path).len(), 1);
+    // The lock file does not outlive the save.
+    assert!(!StoreLock::lock_path(&path).exists());
+    cleanup(&path);
+}
+
+#[test]
+fn contended_shard_lock_skips_only_that_shard() {
+    let path = scratch("shard_locked");
+    FitnessStore::load(&path).save().unwrap(); // nothing yet
+    let mut store = FitnessStore::load(&path);
+    store.insert(key(1), value(1));
+    store.save().unwrap(); // directory now exists
+
+    let mut writer = FitnessStore::load(&path);
+    // Two keys routed to two different shards.
+    let (a, b) = {
+        let mut ks = (0..64).map(key);
+        let a = ks.next().unwrap();
+        let b = ks
+            .find(|k| shard_for(k, writer.shard_count()) != shard_for(&a, writer.shard_count()))
+            .expect("two keys in one shard across 64 tries");
+        (a, b)
+    };
+    writer.insert(a, value(50));
+    writer.insert(b, value(51));
+
+    let a_file = path.join(format!(
+        "shard-{:02}.log",
+        shard_for(&a, DEFAULT_SHARD_COUNT)
+    ));
+    let held = StoreLock::acquire(&a_file).unwrap().expect("lock free");
+    assert_eq!(writer.save().unwrap(), SaveOutcome::SkippedLocked);
+    // b's shard was written despite a's being locked.
+    let mut readback = FitnessStore::load(&path);
+    assert!(readback.get(&b).is_some(), "unlocked shard was not written");
+    assert!(readback.get(&a).is_none(), "locked shard was written");
+    assert_eq!(writer.pending_len(), 1, "skipped shard lost its pending");
+
+    drop(held);
+    assert_eq!(writer.save().unwrap(), SaveOutcome::Written);
+    assert!(FitnessStore::load(&path).get(&a).is_some());
+    cleanup(&path);
+}
+
+#[test]
+fn stale_lock_of_a_dead_process_is_reclaimed() {
+    let path = scratch("stale_lock");
+    // No live process has this pid (pid_max is far below u32::MAX).
+    fs::write(StoreLock::lock_path(&path), b"4294967294").unwrap();
+    let mut store = FitnessStore::load(&path);
+    store.insert(key(2), value(2));
+    assert_eq!(store.save().unwrap(), SaveOutcome::Written);
+    assert_eq!(FitnessStore::load(&path).len(), 1);
+    assert!(!StoreLock::lock_path(&path).exists());
+
+    // An *empty* lock file on a shard — an acquire killed between create
+    // and pid write — is a torn lock with no identifiable owner:
+    // reclaimed, not a permanent wedge.
+    let shard_file = path.join(format!(
+        "shard-{:02}.log",
+        shard_for(&key(3), DEFAULT_SHARD_COUNT)
+    ));
+    fs::write(StoreLock::lock_path(&shard_file), b"").unwrap();
+    store.insert(key(3), value(3));
+    assert_eq!(store.save().unwrap(), SaveOutcome::Written);
+    assert!(!StoreLock::lock_path(&shard_file).exists());
+
+    // A lock file with garbled non-empty content is foreign: left alone.
+    let shard4 = path.join(format!(
+        "shard-{:02}.log",
+        shard_for(&key(4), DEFAULT_SHARD_COUNT)
+    ));
+    fs::write(StoreLock::lock_path(&shard4), b"not a pid").unwrap();
+    store.insert(key(4), value(4));
+    assert_eq!(store.save().unwrap(), SaveOutcome::SkippedLocked);
+    fs::remove_file(StoreLock::lock_path(&shard4)).unwrap();
+    cleanup(&path);
+}
+
+#[test]
+fn drain_pending_fitness_reroutes_results_away_from_save() {
+    let path = scratch("drain");
+    let mut client_side = FitnessStore::in_memory();
+    client_side.insert(key(1), value(1));
+    client_side.insert(key(2), value(2));
+    client_side.record_module_features(0xF, feats(1));
+    let drained = client_side.drain_pending_fitness();
+    assert_eq!(drained.len(), 2);
+    // Insertion order is restored across shards.
+    assert_eq!(drained[0].0, key(1));
+    assert_eq!(drained[1].0, key(2));
+    assert_eq!(client_side.pending_len(), 0);
+    assert_eq!(client_side.drain_pending_fitness(), vec![]);
+    // The in-memory map still serves lookups (client-side cache).
+    assert!(client_side.get(&key(1)).is_some());
+
+    // Server side: draining into a real store persists exactly the
+    // shipped records (single-writer merge path).
+    let mut server_side = FitnessStore::load(&path);
+    for (k, v) in drained {
+        server_side.insert(k, v);
+    }
+    server_side.save().unwrap();
+    assert_eq!(FitnessStore::load(&path).len(), 2);
+    cleanup(&path);
+}

@@ -7,7 +7,7 @@ use crate::db::{Database, IterationRow};
 use crate::engine::{EngineConfig, EngineStats, FitnessEngine, FAILED_COMPILE_PENALTY};
 use crate::priors::{mine_prior, PriorConfig, PriorMode};
 use crate::service::{ServiceConfig, ServiceHandle, ServiceSummary};
-use crate::store::{FitnessStore, FlagBits, SaveOutcome, StoreKey, StoredFitness};
+use crate::store::{ArtifactStore, FitnessStore, FlagBits, SaveOutcome, StoreKey, StoredFitness};
 use binrep::{Arch, Binary};
 use genetic::{Ga, GaParams, GaRun, StopReason, Termination};
 use lzc::NcdBaseline;
@@ -317,8 +317,8 @@ impl Tuner {
             artifact_cache: self.config.artifact_cache,
             ..EngineConfig::default()
         };
-        let store = self.config.cache_path.as_ref().map(FitnessStore::load);
-        let loaded_entries = store.as_ref().map_or(0, FitnessStore::len);
+        let mut store = self.config.cache_path.as_ref().map(FitnessStore::load);
+        let loaded_entries = store.as_mut().map_or(0, FitnessStore::len);
         let profile = self.compiler.profile();
         // Mine the loaded store into a prior before the engine takes
         // ownership of it. PriorMode::Off takes no prior path at all, and
@@ -326,7 +326,7 @@ impl Tuner {
         // both leave the GA inputs — and thus the run — bit-identical to
         // a prior-free tuner.
         let prior_cfg = &self.config.prior_config;
-        let prior = match (&store, self.config.priors) {
+        let prior = match (&mut store, self.config.priors) {
             (Some(store), PriorMode::SeedOnly | PriorMode::SeedAndBias) => Some(mine_prior(
                 store,
                 profile,
@@ -364,6 +364,17 @@ impl Tuner {
         if let Some(service) = &service {
             engine.set_executor(service);
         }
+        // The artifact store lives inside the (v4) store directory.
+        // Loading against a v3 file or a missing path is a clean cold
+        // start whose save degrades to a skip until the fitness store's
+        // own save creates the directory — so the very first run under
+        // a fresh path warms fitness only, and every later run warms
+        // both.
+        if self.config.artifact_cache {
+            if let Some(path) = &self.config.cache_path {
+                engine.set_artifact_store(ArtifactStore::load(path));
+            }
+        }
         let mut ga_params = self.config.ga.clone();
         if let Some(prior) = &prior {
             ga_params.seeded_initial = prior.seeds.clone();
@@ -400,7 +411,7 @@ impl Tuner {
         };
         let baseline = engine.baseline_binary().clone();
         let mut stats = engine.stats();
-        let store_after = engine.into_store();
+        let (store_after, artifacts_after) = engine.into_stores();
         // Tear the service down before saving: its merge records fold
         // into the store through this single writer (appends serialized
         // server-side — the clients never touch the file). The engine
@@ -442,6 +453,13 @@ impl Tuner {
                 lock_skipped,
             }
         });
+        // The artifact save runs after the fitness save on purpose: a
+        // v3→v4 migration above creates the directory the artifact log
+        // appends into. A skip (directory still missing, lock
+        // contended) only costs future warm-starts, never correctness.
+        if let Some(mut artifacts) = artifacts_after {
+            let _ = artifacts.save();
+        }
         let service_summary = service_outcome.map(|(summary, _)| summary);
         if let Some(summary) = &service_summary {
             stats.duplicate_results = summary.duplicate_results;

@@ -13,7 +13,9 @@ use bintuner::{
     TunerConfig, WorkerMode,
 };
 use std::path::PathBuf;
-use testutil::small_tuner;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+use testutil::{small_tuner, tiny_loop_module, ScratchStore};
 
 /// The worker binary every farm in this suite re-execs.
 fn worker_binary() -> PathBuf {
@@ -228,6 +230,85 @@ fn process_workers_refuse_the_channel_transport() {
         matches!(err, evald::EvaldError::Protocol(_)),
         "channel across an exec must be a config error, got {err}"
     );
+}
+
+/// Child half of `warm_start_survives_sigkill_during_save`: tune with a
+/// persistent store in a tight loop until killed. Rotating module names
+/// keeps every save writing fresh records, so a SIGKILL at an arbitrary
+/// instant regularly lands inside a store save or migration.
+#[test]
+#[ignore = "child process of warm_start_survives_sigkill_during_save"]
+fn churn_child_tunes_forever() {
+    let Ok(dir) = std::env::var("BINTUNER_CHURN_STORE") else {
+        return;
+    };
+    for i in 0usize.. {
+        let module = tiny_loop_module(&format!("churn_{}", i % 4), 3 + i % 4);
+        let cfg = TunerConfig {
+            cache_path: Some(PathBuf::from(&dir)),
+            ..small_tuner(30)
+        };
+        Tuner::new(cfg).tune(&module).expect("churn child tune");
+    }
+}
+
+/// Warm start under churn: a tune killed by SIGKILL at an arbitrary
+/// point — including mid-save and mid-migration — must leave a store
+/// the next run can use, cold-start-or-better, never an error.
+#[test]
+fn warm_start_survives_sigkill_during_save() {
+    let store = ScratchStore::new("farm_churn");
+    let module = tiny_loop_module("churn_0", 3);
+    let reference = Tuner::new(small_tuner(30)).tune(&module).unwrap();
+
+    for round in 0..4u64 {
+        let mut child = Command::new(std::env::current_exe().unwrap())
+            .args(["--exact", "churn_child_tunes_forever", "--ignored"])
+            .env("BINTUNER_CHURN_STORE", store.path())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn churn child");
+        // Let it get at least one save in flight, staggering the kill
+        // point round to round so it lands in different save phases.
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while !store.path().exists() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        std::thread::sleep(Duration::from_millis(40 + round * 230));
+        if let Some(status) = child.try_wait().unwrap() {
+            // It must die by our hand, not by a crash of its own.
+            let mut err = String::new();
+            use std::io::Read as _;
+            child.stderr.take().unwrap().read_to_string(&mut err).ok();
+            panic!("churn child exited on its own ({status}): {err}");
+        }
+        child.kill().unwrap(); // SIGKILL on unix
+        child.wait().unwrap();
+    }
+
+    // Rerun after the crashes: whatever state the kills left behind must
+    // load (or cold-start) and replay the reference trajectory exactly.
+    let warm_cfg = || TunerConfig {
+        cache_path: Some(store.path_buf()),
+        ..small_tuner(30)
+    };
+    let first = Tuner::new(warm_cfg()).tune(&module).unwrap();
+    assert_eq!(first.best_flags, reference.best_flags, "after-crash rerun");
+    assert_eq!(first.best_ncd.to_bits(), reference.best_ncd.to_bits());
+    assert!(
+        first.engine_stats.compiles <= reference.engine_stats.compiles,
+        "cold-start-or-better: {} > {}",
+        first.engine_stats.compiles,
+        reference.engine_stats.compiles
+    );
+    assert_eq!(first.persistence.as_ref().unwrap().save_error, None);
+
+    // That rerun saved cleanly, so a second one must be genuinely warm.
+    let second = Tuner::new(warm_cfg()).tune(&module).unwrap();
+    assert!(second.engine_stats.persistent_hits > 0);
+    assert_eq!(second.best_flags, reference.best_flags);
+    assert!(second.engine_stats.compiles < reference.engine_stats.compiles);
 }
 
 #[test]

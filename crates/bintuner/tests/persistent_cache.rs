@@ -5,23 +5,18 @@
 
 use bintuner::{Tuner, TunerConfig};
 use std::fs;
-use std::path::PathBuf;
-use testutil::{small_tuner, ScratchStore};
+use testutil::{cached_tuner, tiny_loop_module, ScratchStore};
 
-fn config(cache_path: Option<PathBuf>) -> TunerConfig {
-    TunerConfig {
-        cache_path,
-        ..small_tuner(90)
-    }
+fn config(store: Option<&ScratchStore>) -> TunerConfig {
+    cached_tuner(90, store)
 }
 
 #[test]
 fn warm_run_matches_cold_run_with_fewer_compiles() {
     let store = ScratchStore::new("warm_matches_cold");
-    let path = store.path_buf();
     let bench = corpus::by_name("429.mcf").unwrap();
 
-    let cold = Tuner::new(config(Some(path.clone())))
+    let cold = Tuner::new(config(Some(&store)))
         .tune(&bench.module)
         .unwrap();
     assert_eq!(cold.engine_stats.persistent_hits, 0);
@@ -31,7 +26,7 @@ fn warm_run_matches_cold_run_with_fewer_compiles() {
     assert!(cold_persist.new_entries > 0);
     assert_eq!(cold_persist.save_error, None);
 
-    let warm = Tuner::new(config(Some(path.clone())))
+    let warm = Tuner::new(config(Some(&store)))
         .tune(&bench.module)
         .unwrap();
 
@@ -72,11 +67,10 @@ fn warm_run_matches_cold_run_with_fewer_compiles() {
 #[test]
 fn corrupt_store_degrades_to_cold_run() {
     let store = ScratchStore::new("corrupt_degrades");
-    let path = store.path_buf();
-    fs::write(&path, b"\x00\x01garbage that is certainly not BTFS").unwrap();
+    fs::write(store.path(), b"\x00\x01garbage that is certainly not BTFS").unwrap();
     let bench = corpus::by_name("473.astar").unwrap();
 
-    let from_corrupt = Tuner::new(config(Some(path.clone())))
+    let from_corrupt = Tuner::new(config(Some(&store)))
         .tune(&bench.module)
         .unwrap();
     let reference = Tuner::new(config(None)).tune(&bench.module).unwrap();
@@ -93,7 +87,7 @@ fn corrupt_store_degrades_to_cold_run() {
 
     // The save replaced the garbage with a valid store: a second run now
     // warm-starts.
-    let warm = Tuner::new(config(Some(path.clone())))
+    let warm = Tuner::new(config(Some(&store)))
         .tune(&bench.module)
         .unwrap();
     assert!(warm.engine_stats.persistent_hits > 0);
@@ -103,17 +97,14 @@ fn corrupt_store_degrades_to_cold_run() {
 #[test]
 fn store_separates_modules_profiles_and_arches() {
     let store = ScratchStore::new("key_separation");
-    let path = store.path_buf();
     let mcf = corpus::by_name("429.mcf").unwrap();
     let astar = corpus::by_name("473.astar").unwrap();
 
-    let r1 = Tuner::new(config(Some(path.clone())))
-        .tune(&mcf.module)
-        .unwrap();
+    let r1 = Tuner::new(config(Some(&store))).tune(&mcf.module).unwrap();
     assert!(r1.persistence.as_ref().unwrap().new_entries > 0);
 
     // A different module must not hit the first module's entries.
-    let r2 = Tuner::new(config(Some(path.clone())))
+    let r2 = Tuner::new(config(Some(&store)))
         .tune(&astar.module)
         .unwrap();
     assert_eq!(r2.engine_stats.persistent_hits, 0);
@@ -123,18 +114,51 @@ fn store_separates_modules_profiles_and_arches() {
     );
 
     // A different arch on the first module is likewise a cold start.
-    let mut other_arch = config(Some(path.clone()));
+    let mut other_arch = config(Some(&store));
     other_arch.arch = binrep::Arch::Arm;
     let r3 = Tuner::new(other_arch).tune(&mcf.module).unwrap();
     assert_eq!(r3.engine_stats.persistent_hits, 0);
 
     // Re-tuning the original target still warm-starts through all the
     // unrelated entries.
-    let warm = Tuner::new(config(Some(path.clone())))
-        .tune(&mcf.module)
-        .unwrap();
+    let warm = Tuner::new(config(Some(&store))).tune(&mcf.module).unwrap();
     assert!(warm.engine_stats.persistent_hits > 0);
     assert_eq!(warm.best_flags, r1.best_flags);
+}
+
+#[test]
+fn renamed_module_warm_starts_its_compiles_from_the_artifact_store() {
+    // A renamed module invalidates every fitness key (they hash the
+    // module *content*, name included) — but the artifact store is
+    // keyed by the *body* hash, so the expensive early pipeline stages
+    // transfer. The warm run must replay the cold trajectory bit for
+    // bit while running strictly fewer full pipelines.
+    let store = ScratchStore::new("artifact_warm");
+    let first = tiny_loop_module("artifact_warm_a", 6);
+    let renamed = tiny_loop_module("artifact_warm_b", 6);
+
+    let cold_reference = Tuner::new(config(None)).tune(&renamed).unwrap();
+    Tuner::new(config(Some(&store))).tune(&first).unwrap();
+
+    let warm = Tuner::new(config(Some(&store))).tune(&renamed).unwrap();
+    // No fitness key overlaps — all the transfer is artifact-level.
+    assert_eq!(warm.engine_stats.persistent_hits, 0);
+    assert_eq!(warm.best_flags, cold_reference.best_flags);
+    assert_eq!(warm.best_ncd.to_bits(), cold_reference.best_ncd.to_bits());
+    assert_eq!(
+        warm.engine_stats.compiles,
+        cold_reference.engine_stats.compiles
+    );
+    assert!(
+        warm.engine_stats.store_ast_hits > 0,
+        "persistent artifacts must serve stage-1 hits"
+    );
+    assert!(
+        warm.engine_stats.full_compiles < cold_reference.engine_stats.full_compiles,
+        "warm {} full compiles !< cold {}",
+        warm.engine_stats.full_compiles,
+        cold_reference.engine_stats.full_compiles
+    );
 }
 
 #[test]

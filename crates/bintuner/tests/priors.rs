@@ -12,13 +12,12 @@
 //!    the stored best config, so the floor is structural, not lucky).
 
 use bintuner::{PriorMode, TuneResult, Tuner, TunerConfig};
-use testutil::{small_tuner, ScratchStore};
+use testutil::{cached_tuner, ScratchStore};
 
 fn config(max_evals: usize, store: Option<&ScratchStore>, priors: PriorMode) -> TunerConfig {
     TunerConfig {
-        cache_path: store.map(ScratchStore::path_buf),
         priors,
-        ..small_tuner(max_evals)
+        ..cached_tuner(max_evals, store)
     }
 }
 
@@ -172,10 +171,10 @@ fn seed_and_bias_is_deterministic_and_reports_bias() {
         .unwrap();
 
     // A biased run explores new configs and appends them, so two runs
-    // against the *same* file would mine different stores. Snapshot the
-    // store instead: identical store + config => identical trajectory.
-    let snapshot = ScratchStore::new("seed_and_bias_copy");
-    std::fs::copy(store.path(), snapshot.path()).unwrap();
+    // against the *same* store would mine different histories. Snapshot
+    // the store instead: identical store + config => identical
+    // trajectory.
+    let snapshot = ScratchStore::snapshot_of("seed_and_bias_copy", store.path());
     let a = Tuner::new(config(80, Some(&store), PriorMode::SeedAndBias))
         .tune(&bench.module)
         .unwrap();

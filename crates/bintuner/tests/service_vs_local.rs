@@ -95,12 +95,14 @@ fn assert_identical_runs(a: &TuneResult, b: &TuneResult, what: &str) {
 /// bitmaps, same generations. (Byte equality is not required — record
 /// order inside one compaction rewrite follows map iteration order.)
 fn assert_same_store(a: &std::path::Path, b: &std::path::Path) {
-    let sa = FitnessStore::load(a);
-    let sb = FitnessStore::load(b);
+    let mut sa = FitnessStore::load(a);
+    let mut sb = FitnessStore::load(b);
     assert_eq!(sa.len(), sb.len(), "store sizes differ");
     assert_eq!(sa.generation(), sb.generation());
     for (key, va) in sa.entries() {
-        let vb = sb.get(key).unwrap_or_else(|| panic!("missing key {key:?}"));
+        let vb = sb
+            .get(&key)
+            .unwrap_or_else(|| panic!("missing key {key:?}"));
         assert_eq!(va.fitness.to_bits(), vb.fitness.to_bits());
         assert_eq!(va.failed, vb.failed);
         assert_eq!(va.flags, vb.flags);

@@ -1,0 +1,447 @@
+//! Torture harness for the sharded (v4) fitness store.
+//!
+//! The store's contract under fire, pinned four ways:
+//!
+//! 1. **Torn appends** — a crash mid-`write_all` leaves a prefix of a
+//!    shard log. Loading any byte-boundary truncation of any shard must
+//!    keep exactly the clean prefix of that shard and every record of
+//!    every other shard. Never a panic, never an error.
+//! 2. **Compaction crashes** — a stale `shard-NN.log.tmp` (death before
+//!    the rename) and a lost or corrupt `manifest` must both load to
+//!    the full record set, and the next save/compact must heal the
+//!    directory.
+//! 3. **Concurrent stress** — readers, an appending writer, and a
+//!    compactor race over one directory. No reader may ever observe a
+//!    lost seed record or a phantom record.
+//! 4. **Differential vs v3** — the sharded layout is a physical
+//!    re-arrangement, not a semantics change: same gets, lossless
+//!    migration, and bit-identical tuning trajectories whether the warm
+//!    start comes from a v3 single file, a v4 directory, or a v4
+//!    directory behind the service backend.
+
+use bintuner::{
+    write_v3_file, ArtifactStore, Backend, FitnessStore, SaveOutcome, ServiceConfig, StoreKey,
+    StoredFitness, TuneResult, Tuner,
+};
+use std::path::Path;
+use std::thread;
+use testutil::{cached_tuner, tiny_loop_module, CrashFs, ScratchStore};
+
+/// v4 shard-file geometry (pinned by the store's own unit tests).
+const SHARD_HEADER_LEN: u64 = 12;
+const RECORD_LEN: u64 = 70;
+
+fn key(module_hash: u64, digest: u128) -> StoreKey {
+    StoreKey {
+        module_hash,
+        compiler: 0,
+        arch: 1,
+        effect_digest: digest,
+    }
+}
+
+/// Deterministic seed population spread over many shards: `n` fitness
+/// records plus two module-features records.
+fn seed_entries(n: u64) -> Vec<(StoreKey, StoredFitness)> {
+    (0..n)
+        .map(|i| {
+            let m = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5EED;
+            (
+                key(m, (u128::from(m) << 64) | u128::from(i)),
+                StoredFitness::new(i as f64 * 0.125, i % 5 == 0),
+            )
+        })
+        .collect()
+}
+
+/// Build a saved v4 directory at `scratch` holding `entries`.
+fn build_store(scratch: &ScratchStore, entries: &[(StoreKey, StoredFitness)]) {
+    let mut store = FitnessStore::load(scratch.path());
+    for (k, v) in entries {
+        store.insert(*k, *v);
+    }
+    let feats = tiny_loop_module("torture_seed", 2).features();
+    store.record_module_features(0x0DD5_EED1, feats);
+    store.record_module_features(0x0DD5_EED2, feats);
+    assert_eq!(store.save().unwrap(), SaveOutcome::Written);
+    assert!(scratch.path().is_dir(), "save must migrate to a directory");
+}
+
+/// Full (forced) load: total kept records and the report that goes with
+/// them.
+fn loaded_records(path: &Path) -> (usize, bintuner::LoadReport) {
+    let mut store = FitnessStore::load(path);
+    store.len(); // force every shard
+    store.modules_with_features();
+    (store.report().valid_records, store.report())
+}
+
+#[test]
+fn torn_shard_tails_keep_the_clean_prefix_at_every_byte_boundary() {
+    let scratch = ScratchStore::new("torture_torn");
+    let entries = seed_entries(40);
+    build_store(&scratch, &entries);
+    let fs_view = CrashFs::new(scratch.path());
+
+    let shard_files: Vec<String> = fs_view
+        .files()
+        .into_iter()
+        .filter(|f| f.starts_with("shard-") && f.ends_with(".log"))
+        .collect();
+    assert!(shard_files.len() > 8, "seed must spread: {shard_files:?}");
+
+    let (total, intact) = loaded_records(scratch.path());
+    assert_eq!(total, entries.len() + 2);
+    assert_eq!(intact.dropped_bytes, 0);
+
+    for file in &shard_files {
+        let len = fs_view.len_of(file);
+        assert_eq!(
+            (len - SHARD_HEADER_LEN) % RECORD_LEN,
+            0,
+            "{file}: unaligned"
+        );
+        let whole = ((len - SHARD_HEADER_LEN) / RECORD_LEN) as usize;
+        for cut in 0..len {
+            let torn = fs_view.torn_at("torture_torn_cut", file, cut);
+            let prefix = if cut < SHARD_HEADER_LEN {
+                0 // torn header: the whole shard is dropped, nothing else
+            } else {
+                ((cut - SHARD_HEADER_LEN) / RECORD_LEN) as usize
+            };
+            let (got, report) = loaded_records(torn.path());
+            assert_eq!(
+                got,
+                total - whole + prefix,
+                "{file} torn at {cut}: kept {got}"
+            );
+            // Damage is visible in the report, never fatal.
+            if cut >= SHARD_HEADER_LEN {
+                assert_eq!(
+                    report.dropped_bytes as u64,
+                    cut - SHARD_HEADER_LEN - (prefix as u64) * RECORD_LEN
+                );
+            } else {
+                // A torn header drops the whole file; whether it still
+                // starts with our magic decides which flag it raises.
+                assert!(
+                    report.malformed_header || report.version_mismatch,
+                    "{file} torn at {cut}"
+                );
+                assert_eq!(report.dropped_bytes as u64, cut);
+            }
+        }
+
+        // Spot-check at the harshest cut (empty file): every record
+        // routed to the *other* shards is still served by key.
+        let torn = fs_view.torn_at("torture_torn_zero", file, 0);
+        let mut store = FitnessStore::load(torn.path());
+        let mut lost = 0usize;
+        for (k, v) in &entries {
+            match store.get(k) {
+                Some(got) => assert_eq!(got.fitness.to_bits(), v.fitness.to_bits()),
+                None => lost += 1,
+            }
+        }
+        let fit_whole = entries
+            .iter()
+            .filter(|(k, _)| {
+                bintuner::shard_for(k, store.shard_count()) == file[6..8].parse::<usize>().unwrap()
+            })
+            .count();
+        assert_eq!(lost, fit_whole, "{file}: only its own records may go");
+    }
+}
+
+#[test]
+fn torn_artifact_log_loads_the_clean_prefix() {
+    // The artifact sibling follows the same degrade-don't-panic rule.
+    let scratch = ScratchStore::new("torture_torn_artifacts");
+    build_store(&scratch, &seed_entries(4));
+    let mut artifacts = ArtifactStore::load(scratch.path());
+    let blob = minicc::codec::encode_module(&tiny_loop_module("torture_art", 3));
+    for i in 0..6u128 {
+        artifacts.insert_ast(
+            bintuner::AstArtifactKey {
+                body_hash: 0xA11F + i as u64,
+                compiler: 0,
+                ast_digest: i,
+            },
+            10.0,
+            blob.clone(),
+        );
+    }
+    assert_eq!(artifacts.save().unwrap(), SaveOutcome::Written);
+
+    let fs_view = CrashFs::new(scratch.path());
+    let full_len = fs_view.len_of("artifacts.log");
+    let full = ArtifactStore::load(scratch.path()).len();
+    assert_eq!(full, 6);
+    let mut seen_partial = false;
+    for cut in (0..full_len).step_by(7) {
+        let torn = fs_view.torn_at("torture_art_cut", "artifacts.log", cut);
+        let store = ArtifactStore::load(torn.path());
+        assert!(store.len() <= full, "cut {cut}");
+        seen_partial |= !store.is_empty() && store.len() < full;
+    }
+    assert!(seen_partial, "cuts must exercise genuine partial loads");
+}
+
+#[test]
+fn compaction_crash_states_heal_on_the_next_save() {
+    let scratch = ScratchStore::new("torture_crash_states");
+    let entries = seed_entries(24);
+    build_store(&scratch, &entries);
+    let fs_view = CrashFs::new(scratch.path());
+    let (total, _) = loaded_records(scratch.path());
+
+    // Death between writing a compaction tmp and the rename: the stale
+    // tmp must be invisible to loads and swept by the next compaction.
+    let victim = fs_view
+        .files()
+        .into_iter()
+        .find(|f| f.starts_with("shard-") && f.ends_with(".log"))
+        .unwrap();
+    let tmp_name = format!("{victim}.tmp");
+    let stale = fs_view.with_file("torture_stale_tmp", &tmp_name, b"half-written garbage");
+    assert_eq!(loaded_records(stale.path()).0, total);
+    let mut store = FitnessStore::load(stale.path());
+    assert_eq!(store.compact().unwrap(), SaveOutcome::Written);
+    assert!(
+        !stale.path().join(&tmp_name).exists(),
+        "compaction must replace the stale tmp"
+    );
+    assert_eq!(loaded_records(stale.path()).0, total);
+
+    // A lost manifest: geometry is rebuilt from the shard files, and the
+    // next save writes a fresh manifest.
+    for damaged in [
+        fs_view.without_file("torture_no_manifest", "manifest"),
+        fs_view.with_file("torture_bad_manifest", "manifest", b"BTFS but wrong"),
+    ] {
+        let mut store = FitnessStore::load(damaged.path());
+        assert_eq!(store.shard_count(), 16, "geometry from shard headers");
+        store.len();
+        assert_eq!(store.report().valid_records, total);
+        for (k, v) in &entries {
+            assert_eq!(store.get(k).unwrap().fitness.to_bits(), v.fitness.to_bits());
+        }
+        assert_eq!(store.save().unwrap(), SaveOutcome::Written);
+        drop(store);
+        // Healed: the manifest decodes again and nothing was lost.
+        let mut healed = FitnessStore::load(damaged.path());
+        healed.len();
+        assert!(!healed.report().malformed_header);
+        assert_eq!(healed.report().valid_records, total);
+    }
+}
+
+#[test]
+fn concurrent_readers_writer_and_compactor_lose_nothing() {
+    let scratch = ScratchStore::new("torture_concurrent");
+    let seeds = seed_entries(32);
+    build_store(&scratch, &seeds);
+    let dir = scratch.path_buf();
+
+    const WRITES: u64 = 16;
+    let writer_key = |i: u64| key(0xA0A0_0000 ^ i, u128::from(i) | (1 << 100));
+
+    thread::scope(|s| {
+        let writer = s.spawn(|| {
+            for i in 0..WRITES {
+                let mut store = FitnessStore::load(&dir);
+                store.insert(writer_key(i), StoredFitness::new(i as f64, false));
+                // Contended shards are skipped, never corrupted: retry
+                // until this record is durably appended.
+                while store.save().unwrap() == SaveOutcome::SkippedLocked {
+                    thread::yield_now();
+                }
+            }
+        });
+        let compactor = s.spawn(|| {
+            for _ in 0..8 {
+                let mut store = FitnessStore::load(&dir);
+                store.len();
+                store.compact().unwrap(); // SkippedLocked is fine
+                thread::yield_now();
+            }
+        });
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                s.spawn(|| {
+                    for _ in 0..30 {
+                        let mut store = FitnessStore::load(&dir);
+                        // Seed records can never disappear...
+                        for (k, v) in &seeds {
+                            let got = store.get(k).expect("lost a seed record");
+                            assert_eq!(got.fitness.to_bits(), v.fitness.to_bits());
+                        }
+                        // ...and nothing appears that nobody wrote.
+                        for (k, _) in store.entries() {
+                            let known = seeds.iter().any(|(s, _)| *s == k)
+                                || (0..WRITES).any(|i| writer_key(i) == k);
+                            assert!(known, "phantom record {k:?}");
+                        }
+                        thread::yield_now();
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        compactor.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+    });
+
+    // Quiescent state: exactly the seeds plus every confirmed write.
+    let mut store = FitnessStore::load(&dir);
+    assert_eq!(store.len(), seeds.len() + WRITES as usize);
+    for i in 0..WRITES {
+        assert_eq!(
+            store.get(&writer_key(i)).unwrap().fitness.to_bits(),
+            (i as f64).to_bits()
+        );
+    }
+}
+
+#[test]
+fn sharded_gets_are_identical_to_v3_gets() {
+    let entries = seed_entries(48);
+    let feats = tiny_loop_module("torture_diff", 2).features();
+
+    let v3 = ScratchStore::new("torture_diff_v3");
+    write_v3_file(v3.path(), &entries, &[(0xFEA7, feats)]).unwrap();
+    let v4 = ScratchStore::snapshot_of("torture_diff_v4", v3.path());
+    let mut migrated = FitnessStore::load(v4.path());
+    assert_eq!(migrated.save().unwrap(), SaveOutcome::Written);
+    assert!(v4.path().is_dir());
+    drop(migrated);
+
+    let mut legacy = FitnessStore::load(v3.path());
+    let mut sharded = FitnessStore::load(v4.path());
+    for (k, _) in &entries {
+        let a = legacy.get(k).map(|v| (v.fitness.to_bits(), v.failed));
+        let b = sharded.get(k).map(|v| (v.fitness.to_bits(), v.failed));
+        assert_eq!(a, b, "{k:?}");
+        assert!(a.is_some());
+    }
+    for miss in [key(0xDEAD, 0), key(1, 99), key(u64::MAX, u128::MAX)] {
+        assert_eq!(legacy.get(&miss), None);
+        assert_eq!(sharded.get(&miss), None);
+    }
+    assert_eq!(legacy.len(), sharded.len());
+    assert_eq!(
+        legacy.module_features(0xFEA7).is_some(),
+        sharded.module_features(0xFEA7).is_some()
+    );
+    // Migration is lossless to the record.
+    assert_eq!(
+        legacy.report().valid_records,
+        sharded.report().valid_records
+    );
+}
+
+/// Trajectory-and-telemetry equality: the strongest form of "the store
+/// layout changed nothing about the search".
+fn assert_same_run(a: &TuneResult, b: &TuneResult, what: &str) {
+    assert_eq!(a.best_flags, b.best_flags, "{what}: best genome");
+    assert_eq!(
+        a.best_ncd.to_bits(),
+        b.best_ncd.to_bits(),
+        "{what}: fitness"
+    );
+    assert_eq!(a.iterations, b.iterations, "{what}: iterations");
+    assert_eq!(a.stopped_by, b.stopped_by, "{what}: stop reason");
+    assert_eq!(a.db.rows().len(), b.db.rows().len(), "{what}: history");
+    for (x, y) in a.db.rows().iter().zip(b.db.rows()) {
+        assert_eq!(x.flags, y.flags, "{what}: iter {}", x.iteration);
+        assert_eq!(
+            x.ncd.to_bits(),
+            y.ncd.to_bits(),
+            "{what}: iter {}",
+            x.iteration
+        );
+        assert_eq!(x.cache_hit, y.cache_hit, "{what}: iter {}", x.iteration);
+        assert_eq!(
+            x.persistent_hit, y.persistent_hit,
+            "{what}: iter {}",
+            x.iteration
+        );
+        assert_eq!(x.ast_reused, y.ast_reused, "{what}: iter {}", x.iteration);
+        assert_eq!(
+            x.lower_reused, y.lower_reused,
+            "{what}: iter {}",
+            x.iteration
+        );
+    }
+    assert_eq!(
+        a.engine_stats.evaluations, b.engine_stats.evaluations,
+        "{what}"
+    );
+    assert_eq!(
+        a.engine_stats.cache_hits, b.engine_stats.cache_hits,
+        "{what}"
+    );
+    assert_eq!(
+        a.engine_stats.persistent_hits, b.engine_stats.persistent_hits,
+        "{what}"
+    );
+    assert_eq!(a.engine_stats.compiles, b.engine_stats.compiles, "{what}");
+    assert_eq!(
+        a.engine_stats.full_compiles, b.engine_stats.full_compiles,
+        "{what}"
+    );
+    assert_eq!(
+        a.engine_stats.store_ast_hits, b.engine_stats.store_ast_hits,
+        "{what}"
+    );
+    assert_eq!(
+        a.engine_stats.store_lower_hits, b.engine_stats.store_lower_hits,
+        "{what}"
+    );
+}
+
+#[test]
+fn warm_tune_is_bit_identical_from_v3_file_v4_dir_and_service_backend() {
+    let module = tiny_loop_module("torture_warm", 6);
+
+    // Fill a v4 store with one cold run.
+    let filled = ScratchStore::new("torture_warm_fill");
+    Tuner::new(cached_tuner(60, Some(&filled)))
+        .tune(&module)
+        .unwrap();
+    assert!(filled.path().is_dir());
+
+    // Rebuild the identical record set as a legacy v3 single file, and
+    // strip the artifact sibling from the v4 copies so all three warm
+    // runs see the same bytes of warm-start state.
+    let fs_view = CrashFs::new(filled.path());
+    let v4_a = fs_view.without_file("torture_warm_v4a", "artifacts.log");
+    let v4_b = fs_view.without_file("torture_warm_v4b", "artifacts.log");
+    let mut filled_store = FitnessStore::load(filled.path());
+    let entries = filled_store.entries();
+    let features = filled_store.modules_with_features();
+    assert!(!entries.is_empty());
+    let v3 = ScratchStore::new("torture_warm_v3");
+    write_v3_file(v3.path(), &entries, &features).unwrap();
+
+    let from_v4 = Tuner::new(cached_tuner(60, Some(&v4_a)))
+        .tune(&module)
+        .unwrap();
+    let from_v3 = Tuner::new(cached_tuner(60, Some(&v3)))
+        .tune(&module)
+        .unwrap();
+    assert!(from_v4.engine_stats.persistent_hits > 0);
+    assert_same_run(&from_v4, &from_v3, "v4 dir vs v3 file");
+
+    // And the deployment shape changes nothing either: the same sharded
+    // store behind the service backend replays the same run.
+    let service = Tuner::new(bintuner::TunerConfig {
+        backend: Backend::Service(ServiceConfig::default()),
+        ..cached_tuner(60, Some(&v4_b))
+    })
+    .tune(&module)
+    .unwrap();
+    assert_same_run(&from_v4, &service, "in-process vs service");
+}

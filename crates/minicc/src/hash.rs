@@ -293,6 +293,28 @@ impl Module {
     pub fn content_hash(&self) -> u64 {
         let mut h = StableHasher::with_seed(0x4d4f_4455_4c45); // "MODULE"
         h.write_str(&self.name);
+        self.hash_decls(&mut h);
+        h.finish()
+    }
+
+    /// Stable 64-bit hash of everything *except* the module name.
+    ///
+    /// Optimization stages are a pure function of the declarations plus
+    /// the effect config — the name only flows through to the emitted
+    /// binary's label. Keying persisted stage artifacts by the body hash
+    /// lets a renamed-but-otherwise-identical module (a re-tune of
+    /// "the same code under a new version label") warm-start from the
+    /// previous run's artifacts even though its [`Module::content_hash`]
+    /// — and therefore every fitness-store key — is new.
+    pub fn body_hash(&self) -> u64 {
+        let mut h = StableHasher::with_seed(0x004d_424f_4459); // "MBODY"
+        self.hash_decls(&mut h);
+        h.finish()
+    }
+
+    /// Canonical encoding of the declarations (globals + functions),
+    /// shared by [`Module::content_hash`] and [`Module::body_hash`].
+    fn hash_decls(&self, h: &mut StableHasher) {
         h.write_usize(self.globals.len());
         for g in &self.globals {
             h.write_str(&g.name);
@@ -316,9 +338,8 @@ impl Module {
                 }
             }
             h.write_bool(f.is_library);
-            hash_body(&mut h, &f.body);
+            hash_body(h, &f.body);
         }
-        h.finish()
     }
 }
 
@@ -451,6 +472,24 @@ mod tests {
         let mut edited = sample_module();
         edited.funcs[0].body = vec![Stmt::Return(Expr::vc(BinOp::Add, "x", 42))];
         assert_ne!(m.content_hash(), edited.content_hash());
+    }
+
+    #[test]
+    fn body_hash_ignores_the_name_and_nothing_else() {
+        let m = sample_module();
+        assert_eq!(m.body_hash(), sample_module().body_hash());
+
+        // A rename moves the content hash but not the body hash — the
+        // property artifact warm-start of a relabeled module rests on.
+        let mut renamed = sample_module();
+        renamed.name = "other".into();
+        assert_ne!(m.content_hash(), renamed.content_hash());
+        assert_eq!(m.body_hash(), renamed.body_hash());
+
+        // Any actual body edit moves both.
+        let mut edited = sample_module();
+        edited.funcs[0].body = vec![Stmt::Return(Expr::vc(BinOp::Add, "x", 42))];
+        assert_ne!(m.body_hash(), edited.body_hash());
     }
 
     #[test]

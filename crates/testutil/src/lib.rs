@@ -20,13 +20,64 @@ use minicc::ast::{BinOp, Expr, FuncDef, LValue, Module, Stmt};
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// A unique scratch file path for a persistent-store test, removed on
-/// drop (and pre-removed at creation, so a crashed previous run cannot
-/// leak state into this one). No `tempfile` crate exists in the
-/// container; this is the shared stand-in.
+/// A unique scratch path for a persistent-store test, removed on drop
+/// (and pre-removed at creation, so a crashed previous run cannot leak
+/// state into this one). No `tempfile` crate exists in the container;
+/// this is the shared stand-in.
+///
+/// Understands both store layouts: the path may materialize as a v3
+/// single file or a v4 shard *directory*, and either way cleanup also
+/// sweeps the `.lock` and `.migrate` side paths a crashed run can leave
+/// behind.
 #[derive(Debug)]
 pub struct ScratchStore {
     path: PathBuf,
+}
+
+/// Remove every on-disk trace of a store at `path`: the single-file
+/// form, the shard-directory form, and the `.lock` / `.migrate` side
+/// paths. Missing pieces are fine.
+pub fn remove_store(path: &Path) {
+    let _ = fs::remove_file(path);
+    let _ = fs::remove_dir_all(path);
+    for ext in ["lock", "migrate"] {
+        let side = side_path(path, ext);
+        let _ = fs::remove_file(&side);
+        let _ = fs::remove_dir_all(&side);
+    }
+}
+
+fn side_path(path: &Path, ext: &str) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".");
+    os.push(ext);
+    PathBuf::from(os)
+}
+
+/// Copy a store from `src` to `dst`, whichever layout it is on disk: a
+/// v3 single file copies as one file, a v4 shard directory copies as a
+/// directory (manifest, shard logs, artifact log — every regular file
+/// inside). Lock files are skipped: a snapshot must never inherit a
+/// live lock.
+pub fn copy_store(src: &Path, dst: &Path) {
+    remove_store(dst);
+    if src.is_dir() {
+        fs::create_dir_all(dst).expect("create snapshot dir");
+        for entry in fs::read_dir(src).expect("read store dir") {
+            let entry = entry.expect("store dir entry");
+            let name = entry.file_name();
+            if name.to_string_lossy().ends_with(".lock") {
+                continue;
+            }
+            if entry.path().is_file() {
+                fs::copy(entry.path(), dst.join(&name)).expect("copy shard file");
+            }
+        }
+    } else if src.is_file() {
+        fs::copy(src, dst).expect("copy store file");
+    } else {
+        panic!("no store at {}", src.display());
+    }
 }
 
 impl ScratchStore {
@@ -37,8 +88,17 @@ impl ScratchStore {
             std::process::id(),
             name
         ));
-        let _ = fs::remove_file(&path);
+        remove_store(&path);
         ScratchStore { path }
+    }
+
+    /// A scratch store initialized as a byte-for-byte snapshot of the
+    /// store at `src` (either layout). Replaces whatever was at this
+    /// scratch path.
+    pub fn snapshot_of(name: &str, src: &Path) -> ScratchStore {
+        let s = ScratchStore::new(name);
+        copy_store(src, &s.path);
+        s
     }
 
     /// The scratch path.
@@ -54,7 +114,79 @@ impl ScratchStore {
 
 impl Drop for ScratchStore {
     fn drop(&mut self) {
-        let _ = fs::remove_file(&self.path);
+        remove_store(&self.path);
+    }
+}
+
+/// Fault injection over a store directory: clone the store into crash
+/// states a real power-cut or SIGKILL could produce — a file torn at an
+/// arbitrary byte boundary, a stale compaction temp file, a missing
+/// manifest — without touching the original.
+///
+/// Every method yields a fresh [`ScratchStore`] holding the damaged
+/// clone, so the torture suites can load it and assert the store
+/// recovers (valid prefix kept, no panic) while the pristine source
+/// stays reusable.
+#[derive(Debug)]
+pub struct CrashFs {
+    src: PathBuf,
+}
+
+impl CrashFs {
+    /// Wrap the (v4 directory) store at `src`. Panics if nothing is
+    /// there — a torture test pointed at a missing store is a test bug.
+    pub fn new(src: &Path) -> CrashFs {
+        assert!(src.exists(), "no store at {}", src.display());
+        CrashFs {
+            src: src.to_path_buf(),
+        }
+    }
+
+    /// Names of the regular files inside the store directory, sorted —
+    /// the tear points a crash could hit. Lock files excluded.
+    pub fn files(&self) -> Vec<String> {
+        let mut names: Vec<String> = fs::read_dir(&self.src)
+            .expect("read store dir")
+            .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+            .filter(|n| !n.ends_with(".lock"))
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Size in bytes of `file` inside the store.
+    pub fn len_of(&self, file: &str) -> u64 {
+        fs::metadata(self.src.join(file))
+            .expect("stat store file")
+            .len()
+    }
+
+    /// A clone of the store with `file` truncated to `len` bytes — the
+    /// state a crash mid-append leaves behind.
+    pub fn torn_at(&self, name: &str, file: &str, len: u64) -> ScratchStore {
+        let s = ScratchStore::snapshot_of(name, &self.src);
+        let target = s.path().join(file);
+        let data = fs::read(&target).expect("read file to tear");
+        let keep = (len as usize).min(data.len());
+        fs::write(&target, &data[..keep]).expect("write torn file");
+        s
+    }
+
+    /// A clone with `bytes` written to `file` inside the store dir —
+    /// for planting stale compaction temps (`shard-00.log.tmp`), garbage
+    /// manifests, or any other debris a crash can strand.
+    pub fn with_file(&self, name: &str, file: &str, bytes: &[u8]) -> ScratchStore {
+        let s = ScratchStore::snapshot_of(name, &self.src);
+        fs::write(s.path().join(file), bytes).expect("plant file");
+        s
+    }
+
+    /// A clone with `file` deleted — crash after unlink, before the
+    /// replacement rename landed.
+    pub fn without_file(&self, name: &str, file: &str) -> ScratchStore {
+        let s = ScratchStore::snapshot_of(name, &self.src);
+        fs::remove_file(s.path().join(file)).expect("remove file");
+        s
     }
 }
 
@@ -76,6 +208,16 @@ pub fn small_tuner(max_evals: usize) -> TunerConfig {
         },
         workers: 2,
         ..Default::default()
+    }
+}
+
+/// [`small_tuner`] wired to a scratch store: the shape every
+/// persistent-cache suite builds by hand. `None` gives the same preset
+/// with persistence off — the cold-reference arm of a differential.
+pub fn cached_tuner(max_evals: usize, store: Option<&ScratchStore>) -> TunerConfig {
+    TunerConfig {
+        cache_path: store.map(ScratchStore::path_buf),
+        ..small_tuner(max_evals)
     }
 }
 
@@ -147,6 +289,56 @@ mod tests {
             s.path_buf()
         };
         assert!(!path.exists(), "drop removed the scratch file");
+
+        // Directory form (v4 shard layout) plus lock droppings.
+        let path = {
+            let s = ScratchStore::new("selftest_dir");
+            fs::create_dir_all(s.path()).unwrap();
+            fs::write(s.path().join("manifest"), b"m").unwrap();
+            fs::write(side_path(s.path(), "lock"), b"0").unwrap();
+            s.path_buf()
+        };
+        assert!(!path.exists(), "drop removed the scratch dir");
+        assert!(!side_path(&path, "lock").exists(), "drop swept the lock");
+    }
+
+    #[test]
+    fn copy_store_handles_both_layouts_and_skips_locks() {
+        let dir = ScratchStore::new("copy_src");
+        fs::create_dir_all(dir.path()).unwrap();
+        fs::write(dir.path().join("manifest"), b"m").unwrap();
+        fs::write(dir.path().join("shard-00.log"), b"s0").unwrap();
+        fs::write(dir.path().join("shard-00.log.lock"), b"9").unwrap();
+        let snap = ScratchStore::snapshot_of("copy_dst", dir.path());
+        assert_eq!(fs::read(snap.path().join("shard-00.log")).unwrap(), b"s0");
+        assert!(!snap.path().join("shard-00.log.lock").exists());
+
+        let file = ScratchStore::new("copy_src_file");
+        fs::write(file.path(), b"v3").unwrap();
+        let snap2 = ScratchStore::snapshot_of("copy_dst_file", file.path());
+        assert_eq!(fs::read(snap2.path()).unwrap(), b"v3");
+    }
+
+    #[test]
+    fn crash_fs_tears_plants_and_removes_without_touching_the_source() {
+        let dir = ScratchStore::new("crash_src");
+        fs::create_dir_all(dir.path()).unwrap();
+        fs::write(dir.path().join("shard-00.log"), b"abcdef").unwrap();
+        let cfs = CrashFs::new(dir.path());
+        assert_eq!(cfs.files(), vec!["shard-00.log".to_string()]);
+        assert_eq!(cfs.len_of("shard-00.log"), 6);
+
+        let torn = cfs.torn_at("crash_torn", "shard-00.log", 3);
+        assert_eq!(fs::read(torn.path().join("shard-00.log")).unwrap(), b"abc");
+        let planted = cfs.with_file("crash_plant", "shard-00.log.tmp", b"zz");
+        assert!(planted.path().join("shard-00.log.tmp").exists());
+        let gone = cfs.without_file("crash_gone", "shard-00.log");
+        assert!(!gone.path().join("shard-00.log").exists());
+        // Source untouched throughout.
+        assert_eq!(
+            fs::read(dir.path().join("shard-00.log")).unwrap(),
+            b"abcdef"
+        );
     }
 
     #[test]
