@@ -1,20 +1,99 @@
 //! The `bintuner` binary.
 //!
-//! Today its one job is to be the re-exec target of the process farm:
-//! `bintuner --evald-worker <args>` runs one evaluation-service worker
-//! process (see [`bintuner::farm`]). Invoked any other way it prints a
-//! short usage, because the tuning loop itself is a library embedded by
-//! the test and bench harnesses.
+//! Two entry points:
+//!
+//! - `bintuner --evald-worker <args>` — the re-exec target of the
+//!   process farm: runs one evaluation-service worker process (see
+//!   [`bintuner::farm`]).
+//! - `bintuner daemon [flags]` — the multi-tenant tuning daemon `tuned`
+//!   (see [`bintuner::daemon`]): a long-lived server multiplexing tenant
+//!   jobs onto one shared farm and one shared persistent store.
+//!
+//! The tuning loop itself stays a library embedded by the test and
+//! bench harnesses.
+
+use bintuner::daemon::{Daemon, DaemonConfig};
+use evald::{ProcessFarm, ServiceConfig, TransportKind, WorkerMode};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  bintuner daemon [--unix <path> | --tcp] [--store <dir>]\n\
+         \x20                [--clients N] [--farm-transport unix|tcp]\n\
+         \x20                [--process-workers] [--queue N] [--runners N]\n\
+         \x20                [--max-evals N]\n  \
+         bintuner --evald-worker <args>   (spawned by ServiceHandle::launch)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_transport(s: &str) -> TransportKind {
+    match s {
+        "unix" => TransportKind::Unix,
+        "tcp" => TransportKind::Tcp,
+        _ => usage(),
+    }
+}
+
+fn daemon_main(args: &[String]) -> i32 {
+    let mut config = DaemonConfig::default();
+    let mut farm_transport = TransportKind::Unix;
+    let mut process_workers = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || it.next().map(String::as_str).unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--unix" => {
+                config.transport = TransportKind::Unix;
+                config.unix_path = Some(PathBuf::from(value()));
+            }
+            "--tcp" => config.transport = TransportKind::Tcp,
+            "--store" => config.store_path = Some(PathBuf::from(value())),
+            "--clients" => config.farm.clients = value().parse().unwrap_or_else(|_| usage()),
+            "--farm-transport" => farm_transport = parse_transport(value()),
+            "--process-workers" => process_workers = true,
+            "--queue" => config.queue_limit = value().parse().unwrap_or_else(|_| usage()),
+            "--runners" => config.runners = value().parse().unwrap_or_else(|_| usage()),
+            "--max-evals" => {
+                config.base.termination.max_evaluations =
+                    value().parse().unwrap_or_else(|_| usage());
+            }
+            _ => usage(),
+        }
+    }
+    config.farm = ServiceConfig {
+        transport: farm_transport,
+        workers: if process_workers {
+            // Re-exec this very binary as the farm's worker processes.
+            WorkerMode::Processes(ProcessFarm {
+                worker_binary: std::env::current_exe().ok(),
+                ..ProcessFarm::default()
+            })
+        } else {
+            WorkerMode::Threads
+        },
+        ..config.farm
+    };
+    let handle = match Daemon::launch(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("bintuner daemon: launch failed: {e}");
+            return 1;
+        }
+    };
+    println!("tuned listening on {}", handle.addr());
+    // Serve until killed; the handle's Drop (never reached) would shut
+    // down cleanly.
+    loop {
+        std::thread::park();
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("--evald-worker") {
-        std::process::exit(bintuner::farm::worker_main(&args[1..]));
+    match args.first().map(String::as_str) {
+        Some("--evald-worker") => std::process::exit(bintuner::farm::worker_main(&args[1..])),
+        Some("daemon") => std::process::exit(daemon_main(&args[1..])),
+        _ => usage(),
     }
-    eprintln!(
-        "bintuner: this binary currently only serves the evaluation-service \
-         process farm; run `bintuner --evald-worker --help-args` via \
-         ServiceHandle::launch instead of invoking it directly"
-    );
-    std::process::exit(2);
 }

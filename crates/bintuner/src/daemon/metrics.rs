@@ -1,0 +1,321 @@
+//! The daemon's metrics plane: per-daemon and per-tenant counters plus
+//! EWMA rate estimators, exported as one consistent snapshot frame.
+//!
+//! Everything on the job hot path is a relaxed atomic increment; the
+//! only locks are taken at job *completion* (rate estimators, tenant
+//! map) and at snapshot time — the metrics plane never serializes two
+//! running jobs against each other.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Exponentially weighted moving average over irregular observations.
+///
+/// The first observation seeds the average; each later one folds in
+/// with weight `alpha`. Deliberately simple — the estimator feeds
+/// capacity planning (is the farm keeping up?), not any differential
+/// guarantee, so wall-clock noise is acceptable by construction.
+#[derive(Debug)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// A fresh estimator with smoothing factor `alpha` (0 < alpha ≤ 1;
+    /// larger tracks faster).
+    pub fn new(alpha: f64) -> Ewma {
+        Ewma { alpha, value: None }
+    }
+
+    /// Fold in one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.value = Some(match self.value {
+            None => x,
+            Some(v) => v + self.alpha * (x - v),
+        });
+    }
+
+    /// The current estimate (`None` before any observation).
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+/// Per-tenant accounting (a tenant is the free-form string on Submit).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct TenantCounters {
+    /// Jobs this tenant submitted (accepted or rejected).
+    pub submitted: u64,
+    /// Jobs rejected at admission (queue full).
+    pub rejected: u64,
+    /// Jobs that completed successfully.
+    pub completed: u64,
+    /// Jobs that failed (service loss, invalid module).
+    pub failed: u64,
+    /// Real compiles this tenant's completed jobs performed.
+    pub compiles: u64,
+}
+
+/// The daemon-wide counters. Hot-path increments are relaxed atomics;
+/// see the module docs for the locking discipline.
+#[derive(Debug)]
+pub struct DaemonMetrics {
+    /// Submit frames received.
+    pub submitted: AtomicU64,
+    /// Jobs admitted to the queue.
+    pub accepted: AtomicU64,
+    /// Jobs refused at admission (bounded queue full, or shutdown).
+    pub rejected: AtomicU64,
+    /// Jobs that finished with a result.
+    pub completed: AtomicU64,
+    /// Jobs that finished with an error.
+    pub failed: AtomicU64,
+    /// Jobs cancelled while still queued.
+    pub cancelled: AtomicU64,
+    /// Jobs currently waiting in the admission queue.
+    pub queue_depth: AtomicU64,
+    /// Jobs currently executing on a runner.
+    pub running: AtomicU64,
+    /// Real compiles across all completed jobs.
+    pub compiles_total: AtomicU64,
+    /// Persistent fitness-store hits across all completed jobs — the
+    /// multi-tenant payoff counter: a duplicate submission is all hits,
+    /// zero compiles.
+    pub persistent_hits_total: AtomicU64,
+    /// Shared-farm launches (first job, module switches, relaunches
+    /// after a farm loss).
+    pub farm_launches: AtomicU64,
+    /// Shared-farm failures (a batch aborted because every worker was
+    /// lost, or a relaunch failed).
+    pub farm_failures: AtomicU64,
+    rates: Mutex<Rates>,
+    tenants: Mutex<HashMap<String, TenantCounters>>,
+}
+
+#[derive(Debug)]
+struct Rates {
+    job_seconds: Ewma,
+    compiles_per_second: Ewma,
+}
+
+impl Default for DaemonMetrics {
+    fn default() -> DaemonMetrics {
+        DaemonMetrics {
+            submitted: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            running: AtomicU64::new(0),
+            compiles_total: AtomicU64::new(0),
+            persistent_hits_total: AtomicU64::new(0),
+            farm_launches: AtomicU64::new(0),
+            farm_failures: AtomicU64::new(0),
+            rates: Mutex::new(Rates {
+                job_seconds: Ewma::new(0.3),
+                compiles_per_second: Ewma::new(0.3),
+            }),
+            tenants: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl DaemonMetrics {
+    /// Record a submission attempt for `tenant` (before admission).
+    pub fn on_submit(&self, tenant: &str) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.tenant_mut(tenant, |t| t.submitted += 1);
+    }
+
+    /// Record an admission rejection for `tenant`.
+    pub fn on_reject(&self, tenant: &str) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.tenant_mut(tenant, |t| t.rejected += 1);
+    }
+
+    /// Record a job completing. Runs off the hot path (once per job):
+    /// updates the EWMA rate estimators and the tenant map.
+    pub fn on_job_done(
+        &self,
+        tenant: &str,
+        succeeded: bool,
+        compiles: u64,
+        persistent_hits: u64,
+        wall_seconds: f64,
+    ) {
+        if succeeded {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.compiles_total.fetch_add(compiles, Ordering::Relaxed);
+        self.persistent_hits_total
+            .fetch_add(persistent_hits, Ordering::Relaxed);
+        {
+            let mut rates = self.rates.lock().unwrap();
+            rates.job_seconds.observe(wall_seconds);
+            if wall_seconds > 0.0 {
+                rates
+                    .compiles_per_second
+                    .observe(compiles as f64 / wall_seconds);
+            }
+        }
+        self.tenant_mut(tenant, |t| {
+            if succeeded {
+                t.completed += 1;
+            } else {
+                t.failed += 1;
+            }
+            t.compiles += compiles;
+        });
+    }
+
+    fn tenant_mut(&self, tenant: &str, f: impl FnOnce(&mut TenantCounters)) {
+        let mut tenants = self.tenants.lock().unwrap();
+        f(tenants.entry(tenant.to_string()).or_default());
+    }
+
+    /// One consistent snapshot (the payload of the Metrics frame).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let rates = self.rates.lock().unwrap();
+        let mut tenants: Vec<(String, TenantCounters)> = self
+            .tenants
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        tenants.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            running: self.running.load(Ordering::Relaxed),
+            compiles_total: self.compiles_total.load(Ordering::Relaxed),
+            persistent_hits_total: self.persistent_hits_total.load(Ordering::Relaxed),
+            farm_launches: self.farm_launches.load(Ordering::Relaxed),
+            farm_failures: self.farm_failures.load(Ordering::Relaxed),
+            ewma_job_seconds: rates.job_seconds.value(),
+            ewma_compiles_per_second: rates.compiles_per_second.value(),
+            tenants,
+        }
+    }
+}
+
+/// A point-in-time copy of every daemon counter — what the Metrics wire
+/// frame carries and what the CI artifact records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// See [`DaemonMetrics::submitted`].
+    pub submitted: u64,
+    /// See [`DaemonMetrics::accepted`].
+    pub accepted: u64,
+    /// See [`DaemonMetrics::rejected`].
+    pub rejected: u64,
+    /// See [`DaemonMetrics::completed`].
+    pub completed: u64,
+    /// See [`DaemonMetrics::failed`].
+    pub failed: u64,
+    /// See [`DaemonMetrics::cancelled`].
+    pub cancelled: u64,
+    /// See [`DaemonMetrics::queue_depth`].
+    pub queue_depth: u64,
+    /// See [`DaemonMetrics::running`].
+    pub running: u64,
+    /// See [`DaemonMetrics::compiles_total`].
+    pub compiles_total: u64,
+    /// See [`DaemonMetrics::persistent_hits_total`].
+    pub persistent_hits_total: u64,
+    /// See [`DaemonMetrics::farm_launches`].
+    pub farm_launches: u64,
+    /// See [`DaemonMetrics::farm_failures`].
+    pub farm_failures: u64,
+    /// EWMA of per-job wall seconds (`None` before the first job).
+    pub ewma_job_seconds: Option<f64>,
+    /// EWMA of compile throughput (`None` until a job with nonzero
+    /// wall time completes).
+    pub ewma_compiles_per_second: Option<f64>,
+    /// Per-tenant counters, sorted by tenant name.
+    pub tenants: Vec<(String, TenantCounters)>,
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "jobs.submitted {}", self.submitted)?;
+        writeln!(f, "jobs.accepted {}", self.accepted)?;
+        writeln!(f, "jobs.rejected {}", self.rejected)?;
+        writeln!(f, "jobs.completed {}", self.completed)?;
+        writeln!(f, "jobs.failed {}", self.failed)?;
+        writeln!(f, "jobs.cancelled {}", self.cancelled)?;
+        writeln!(f, "queue.depth {}", self.queue_depth)?;
+        writeln!(f, "jobs.running {}", self.running)?;
+        writeln!(f, "compiles.total {}", self.compiles_total)?;
+        writeln!(f, "store.persistent_hits {}", self.persistent_hits_total)?;
+        writeln!(f, "farm.launches {}", self.farm_launches)?;
+        writeln!(f, "farm.failures {}", self.farm_failures)?;
+        if let Some(s) = self.ewma_job_seconds {
+            writeln!(f, "ewma.job_seconds {s:.6}")?;
+        }
+        if let Some(c) = self.ewma_compiles_per_second {
+            writeln!(f, "ewma.compiles_per_second {c:.6}")?;
+        }
+        for (tenant, t) in &self.tenants {
+            writeln!(
+                f,
+                "tenant.{tenant} submitted={} rejected={} completed={} failed={} compiles={}",
+                t.submitted, t.rejected, t.completed, t.failed, t.compiles
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_seeds_then_smooths() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), None);
+        e.observe(10.0);
+        assert_eq!(e.value(), Some(10.0));
+        e.observe(20.0);
+        assert_eq!(e.value(), Some(15.0));
+        e.observe(15.0);
+        assert_eq!(e.value(), Some(15.0));
+    }
+
+    #[test]
+    fn snapshot_aggregates_tenants_sorted_and_display_is_parseable() {
+        let m = DaemonMetrics::default();
+        m.on_submit("zeta");
+        m.on_submit("alpha");
+        m.on_reject("zeta");
+        m.accepted.fetch_add(1, Ordering::Relaxed);
+        m.on_job_done("alpha", true, 40, 3, 2.0);
+        m.on_job_done("alpha", false, 0, 0, 0.0);
+        let snap = m.snapshot();
+        assert_eq!(snap.submitted, 2);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.failed, 1);
+        assert_eq!(snap.compiles_total, 40);
+        assert_eq!(snap.ewma_compiles_per_second, Some(20.0));
+        let names: Vec<&str> = snap.tenants.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["alpha", "zeta"], "sorted by tenant");
+        let text = snap.to_string();
+        assert!(text.contains("compiles.total 40"));
+        assert!(
+            text.contains("tenant.alpha submitted=1 rejected=0 completed=1 failed=1 compiles=40")
+        );
+    }
+}

@@ -1,0 +1,656 @@
+//! The daemon's client-facing wire format.
+//!
+//! Same discipline as `evald::wire`, same physical framing — so the
+//! daemon reuses the evald stream transports unchanged — but its own
+//! magic and version: the job-control plane and the farm data plane
+//! evolve independently, and a worker accidentally pointed at a daemon
+//! socket (or vice versa) is rejected by magic, not misparsed.
+//!
+//! ```text
+//! [len: u32]                        length of everything after this field
+//! [magic: "TUND"][version: u32]     format identification, checked per frame
+//! [tag: u8][payload ...]            canonical little-endian
+//! [checksum: u32]                   FNV-1a over magic..payload
+//! ```
+//!
+//! Floats cross as raw bits ([`f64::to_bits`]): a fetched result must
+//! be *bit-identical* to the solo-run `TuneResult`, checksum included.
+
+use bytes::BufMut;
+use evald::wire::{put_genome, Reader};
+use evald::EvaldError;
+use genetic::StopReason;
+use minicc::fnv1a32 as checksum;
+
+use super::metrics::{MetricsSnapshot, TenantCounters};
+
+/// Frame magic: `TUND`.
+pub const DAEMON_MAGIC: [u8; 4] = *b"TUND";
+
+/// Daemon wire-format version; bump on any layout change.
+pub const DAEMON_WIRE_VERSION: u32 = 1;
+
+/// Frame length cap, shared with the farm wire (one transport stack).
+pub const MAX_FRAME_LEN: usize = evald::wire::MAX_FRAME_LEN;
+
+const TAG_SUBMIT: u8 = 0;
+const TAG_ACCEPTED: u8 = 1;
+const TAG_REJECTED: u8 = 2;
+const TAG_STATUS: u8 = 3;
+const TAG_STATUS_REPLY: u8 = 4;
+const TAG_CANCEL: u8 = 5;
+const TAG_CANCEL_REPLY: u8 = 6;
+const TAG_FETCH_RESULT: u8 = 7;
+const TAG_RESULT_REPLY: u8 = 8;
+const TAG_METRICS: u8 = 9;
+const TAG_METRICS_REPLY: u8 = 10;
+
+/// Why a submission was refused at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectCode {
+    /// The bounded admission queue is full — resubmit later. Typed so
+    /// clients can distinguish back-pressure from a broken request.
+    QueueFull,
+    /// The daemon is shutting down.
+    ShuttingDown,
+    /// The submitted module bytes failed to decode.
+    BadModule,
+}
+
+impl RejectCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            RejectCode::QueueFull => 0,
+            RejectCode::ShuttingDown => 1,
+            RejectCode::BadModule => 2,
+        }
+    }
+
+    fn from_u8(b: u8) -> Result<RejectCode, EvaldError> {
+        Ok(match b {
+            0 => RejectCode::QueueFull,
+            1 => RejectCode::ShuttingDown,
+            2 => RejectCode::BadModule,
+            _ => return Err(EvaldError::Corrupt("unknown reject code")),
+        })
+    }
+}
+
+/// A job's lifecycle state as reported by Status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for a runner.
+    Queued,
+    /// Executing on a runner.
+    Running,
+    /// Finished with a result (fetch it).
+    Done,
+    /// Finished with an error (fetch carries the message).
+    Failed,
+    /// Cancelled while still queued.
+    Cancelled,
+    /// The daemon has no such job id.
+    Unknown,
+}
+
+impl JobState {
+    fn to_u8(self) -> u8 {
+        match self {
+            JobState::Queued => 0,
+            JobState::Running => 1,
+            JobState::Done => 2,
+            JobState::Failed => 3,
+            JobState::Cancelled => 4,
+            JobState::Unknown => 5,
+        }
+    }
+
+    fn from_u8(b: u8) -> Result<JobState, EvaldError> {
+        Ok(match b {
+            0 => JobState::Queued,
+            1 => JobState::Running,
+            2 => JobState::Done,
+            3 => JobState::Failed,
+            4 => JobState::Cancelled,
+            5 => JobState::Unknown,
+            _ => return Err(EvaldError::Corrupt("unknown job state")),
+        })
+    }
+}
+
+/// The trajectory-defining fields of a completed job's `TuneResult`,
+/// plus the cache telemetry the duplicate-submission differential
+/// asserts on. Fitness travels as raw bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireTuneOutcome {
+    /// Best (constraint-valid) flag vector.
+    pub best_flags: Vec<bool>,
+    /// `f64::to_bits` of the best NCD.
+    pub best_ncd_bits: u64,
+    /// Compilation iterations performed.
+    pub iterations: u64,
+    /// Why the search stopped.
+    pub stopped_by: StopReason,
+    /// Real compiles the job performed (0 for a pure duplicate hit).
+    pub compiles: u64,
+    /// Persistent fitness-store hits.
+    pub persistent_hits: u64,
+    /// Persistent AST-artifact hits.
+    pub store_ast_hits: u64,
+    /// Persistent lowered-binary-artifact hits.
+    pub store_lower_hits: u64,
+}
+
+fn stop_reason_to_u8(s: StopReason) -> u8 {
+    match s {
+        StopReason::MaxEvaluations => 0,
+        StopReason::TimeBudget => 1,
+        StopReason::Plateau => 2,
+    }
+}
+
+fn stop_reason_from_u8(b: u8) -> Result<StopReason, EvaldError> {
+    Ok(match b {
+        0 => StopReason::MaxEvaluations,
+        1 => StopReason::TimeBudget,
+        2 => StopReason::Plateau,
+        _ => return Err(EvaldError::Corrupt("unknown stop reason")),
+    })
+}
+
+/// One daemon-protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DaemonFrame {
+    /// Client → daemon: run a tuning job.
+    Submit {
+        /// Free-form tenant name (per-tenant metrics key).
+        tenant: String,
+        /// `minicc::codec::encode_module` bytes of the module to tune.
+        module: Vec<u8>,
+        /// GA seed.
+        seed: u64,
+        /// Evaluation budget (`Termination::max_evaluations`).
+        max_evaluations: u64,
+        /// Population-level dedup flag.
+        dedup: bool,
+    },
+    /// Daemon → client: admitted; poll/fetch with this id.
+    Accepted {
+        /// The assigned job id.
+        job: u64,
+    },
+    /// Daemon → client: refused at admission.
+    Rejected {
+        /// Typed reason.
+        code: RejectCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Client → daemon: query a job's state.
+    Status {
+        /// The job id.
+        job: u64,
+    },
+    /// Daemon → client: the job's state plus queue telemetry.
+    StatusReply {
+        /// The job id echoed.
+        job: u64,
+        /// Lifecycle state.
+        state: JobState,
+        /// Jobs waiting in the admission queue.
+        queue_depth: u64,
+        /// Jobs currently running.
+        running: u64,
+    },
+    /// Client → daemon: cancel a queued job (running jobs finish).
+    Cancel {
+        /// The job id.
+        job: u64,
+    },
+    /// Daemon → client: whether the cancel landed.
+    CancelReply {
+        /// The job id echoed.
+        job: u64,
+        /// `true` iff the job was still queued and is now cancelled.
+        cancelled: bool,
+    },
+    /// Client → daemon: block until the job reaches a terminal state,
+    /// then return its outcome.
+    FetchResult {
+        /// The job id.
+        job: u64,
+    },
+    /// Daemon → client: the terminal outcome.
+    ResultReply {
+        /// The job id echoed.
+        job: u64,
+        /// `Ok` for Done, `Err(message)` for Failed/Cancelled/Unknown.
+        outcome: Result<WireTuneOutcome, String>,
+    },
+    /// Client → daemon: request a metrics snapshot.
+    Metrics,
+    /// Daemon → client: the snapshot.
+    MetricsReply {
+        /// Every counter, consistently read.
+        snapshot: MetricsSnapshot,
+    },
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.put_u32_le(s.len() as u32);
+    out.put_slice(s.as_bytes());
+}
+
+fn read_str(r: &mut Reader<'_>) -> Result<String, EvaldError> {
+    String::from_utf8(r.bytes()?).map_err(|_| EvaldError::Corrupt("string is not UTF-8"))
+}
+
+fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        None => out.put_u8(0),
+        Some(v) => {
+            out.put_u8(1);
+            out.put_u64_le(v.to_bits());
+        }
+    }
+}
+
+fn read_opt_f64(r: &mut Reader<'_>) -> Result<Option<f64>, EvaldError> {
+    Ok(match r.u8()? {
+        0 => None,
+        1 => Some(f64::from_bits(r.u64()?)),
+        _ => return Err(EvaldError::Corrupt("option tag out of range")),
+    })
+}
+
+/// Encode one daemon frame, length prefix included — ready for any
+/// `evald::transport` sender.
+pub fn encode_daemon_frame(frame: &DaemonFrame) -> Vec<u8> {
+    let mut body: Vec<u8> = Vec::with_capacity(64);
+    body.put_slice(&DAEMON_MAGIC);
+    body.put_u32_le(DAEMON_WIRE_VERSION);
+    match frame {
+        DaemonFrame::Submit {
+            tenant,
+            module,
+            seed,
+            max_evaluations,
+            dedup,
+        } => {
+            body.put_u8(TAG_SUBMIT);
+            put_str(&mut body, tenant);
+            body.put_u32_le(module.len() as u32);
+            body.put_slice(module);
+            body.put_u64_le(*seed);
+            body.put_u64_le(*max_evaluations);
+            body.put_u8(u8::from(*dedup));
+        }
+        DaemonFrame::Accepted { job } => {
+            body.put_u8(TAG_ACCEPTED);
+            body.put_u64_le(*job);
+        }
+        DaemonFrame::Rejected { code, detail } => {
+            body.put_u8(TAG_REJECTED);
+            body.put_u8(code.to_u8());
+            put_str(&mut body, detail);
+        }
+        DaemonFrame::Status { job } => {
+            body.put_u8(TAG_STATUS);
+            body.put_u64_le(*job);
+        }
+        DaemonFrame::StatusReply {
+            job,
+            state,
+            queue_depth,
+            running,
+        } => {
+            body.put_u8(TAG_STATUS_REPLY);
+            body.put_u64_le(*job);
+            body.put_u8(state.to_u8());
+            body.put_u64_le(*queue_depth);
+            body.put_u64_le(*running);
+        }
+        DaemonFrame::Cancel { job } => {
+            body.put_u8(TAG_CANCEL);
+            body.put_u64_le(*job);
+        }
+        DaemonFrame::CancelReply { job, cancelled } => {
+            body.put_u8(TAG_CANCEL_REPLY);
+            body.put_u64_le(*job);
+            body.put_u8(u8::from(*cancelled));
+        }
+        DaemonFrame::FetchResult { job } => {
+            body.put_u8(TAG_FETCH_RESULT);
+            body.put_u64_le(*job);
+        }
+        DaemonFrame::ResultReply { job, outcome } => {
+            body.put_u8(TAG_RESULT_REPLY);
+            body.put_u64_le(*job);
+            match outcome {
+                Ok(o) => {
+                    body.put_u8(1);
+                    put_genome(&mut body, &o.best_flags);
+                    body.put_u64_le(o.best_ncd_bits);
+                    body.put_u64_le(o.iterations);
+                    body.put_u8(stop_reason_to_u8(o.stopped_by));
+                    body.put_u64_le(o.compiles);
+                    body.put_u64_le(o.persistent_hits);
+                    body.put_u64_le(o.store_ast_hits);
+                    body.put_u64_le(o.store_lower_hits);
+                }
+                Err(message) => {
+                    body.put_u8(0);
+                    put_str(&mut body, message);
+                }
+            }
+        }
+        DaemonFrame::Metrics => {
+            body.put_u8(TAG_METRICS);
+        }
+        DaemonFrame::MetricsReply { snapshot } => {
+            body.put_u8(TAG_METRICS_REPLY);
+            body.put_u64_le(snapshot.submitted);
+            body.put_u64_le(snapshot.accepted);
+            body.put_u64_le(snapshot.rejected);
+            body.put_u64_le(snapshot.completed);
+            body.put_u64_le(snapshot.failed);
+            body.put_u64_le(snapshot.cancelled);
+            body.put_u64_le(snapshot.queue_depth);
+            body.put_u64_le(snapshot.running);
+            body.put_u64_le(snapshot.compiles_total);
+            body.put_u64_le(snapshot.persistent_hits_total);
+            body.put_u64_le(snapshot.farm_launches);
+            body.put_u64_le(snapshot.farm_failures);
+            put_opt_f64(&mut body, snapshot.ewma_job_seconds);
+            put_opt_f64(&mut body, snapshot.ewma_compiles_per_second);
+            body.put_u32_le(snapshot.tenants.len() as u32);
+            for (tenant, t) in &snapshot.tenants {
+                put_str(&mut body, tenant);
+                body.put_u64_le(t.submitted);
+                body.put_u64_le(t.rejected);
+                body.put_u64_le(t.completed);
+                body.put_u64_le(t.failed);
+                body.put_u64_le(t.compiles);
+            }
+        }
+    }
+    let ck = checksum(&body);
+    let mut out = Vec::with_capacity(4 + body.len() + 4);
+    out.put_u32_le((body.len() + 4) as u32);
+    out.put_slice(&body);
+    out.put_u32_le(ck);
+    out
+}
+
+/// Decode one daemon frame from the head of `buf`, returning it with
+/// the byte count consumed.
+///
+/// # Errors
+///
+/// As `evald::wire::decode_frame`: `Truncated` for a partial frame,
+/// `BadMagic` / `VersionMismatch` / `Corrupt` for frames that cannot be
+/// trusted.
+pub fn decode_daemon_frame(buf: &[u8]) -> Result<(DaemonFrame, usize), EvaldError> {
+    if buf.len() < 4 {
+        return Err(EvaldError::Truncated {
+            needed: 4,
+            got: buf.len(),
+        });
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(EvaldError::Corrupt("frame length exceeds the cap"));
+    }
+    if len < 4 + 4 + 1 + 4 {
+        return Err(EvaldError::Corrupt("frame shorter than its fixed header"));
+    }
+    let total = 4 + len;
+    if buf.len() < total {
+        return Err(EvaldError::Truncated {
+            needed: total,
+            got: buf.len(),
+        });
+    }
+    let body = &buf[4..total];
+    if body[..4] != DAEMON_MAGIC {
+        return Err(EvaldError::BadMagic);
+    }
+    let version = u32::from_le_bytes(body[4..8].try_into().unwrap());
+    if version != DAEMON_WIRE_VERSION {
+        return Err(EvaldError::VersionMismatch {
+            got: version,
+            want: DAEMON_WIRE_VERSION,
+        });
+    }
+    let (payload, ck_bytes) = body.split_at(body.len() - 4);
+    let stored = u32::from_le_bytes(ck_bytes.try_into().unwrap());
+    if checksum(payload) != stored {
+        return Err(EvaldError::Corrupt("checksum mismatch"));
+    }
+    let mut r = Reader::new(&payload[9..]); // past magic+version+tag
+    let frame = match payload[8] {
+        TAG_SUBMIT => {
+            let tenant = read_str(&mut r)?;
+            let module = r.bytes()?;
+            DaemonFrame::Submit {
+                tenant,
+                module,
+                seed: r.u64()?,
+                max_evaluations: r.u64()?,
+                dedup: r.u8()? != 0,
+            }
+        }
+        TAG_ACCEPTED => DaemonFrame::Accepted { job: r.u64()? },
+        TAG_REJECTED => DaemonFrame::Rejected {
+            code: RejectCode::from_u8(r.u8()?)?,
+            detail: read_str(&mut r)?,
+        },
+        TAG_STATUS => DaemonFrame::Status { job: r.u64()? },
+        TAG_STATUS_REPLY => DaemonFrame::StatusReply {
+            job: r.u64()?,
+            state: JobState::from_u8(r.u8()?)?,
+            queue_depth: r.u64()?,
+            running: r.u64()?,
+        },
+        TAG_CANCEL => DaemonFrame::Cancel { job: r.u64()? },
+        TAG_CANCEL_REPLY => DaemonFrame::CancelReply {
+            job: r.u64()?,
+            cancelled: r.u8()? != 0,
+        },
+        TAG_FETCH_RESULT => DaemonFrame::FetchResult { job: r.u64()? },
+        TAG_RESULT_REPLY => {
+            let job = r.u64()?;
+            let outcome = match r.u8()? {
+                1 => Ok(WireTuneOutcome {
+                    best_flags: r.genome()?,
+                    best_ncd_bits: r.u64()?,
+                    iterations: r.u64()?,
+                    stopped_by: stop_reason_from_u8(r.u8()?)?,
+                    compiles: r.u64()?,
+                    persistent_hits: r.u64()?,
+                    store_ast_hits: r.u64()?,
+                    store_lower_hits: r.u64()?,
+                }),
+                0 => Err(read_str(&mut r)?),
+                _ => return Err(EvaldError::Corrupt("outcome tag out of range")),
+            };
+            DaemonFrame::ResultReply { job, outcome }
+        }
+        TAG_METRICS => DaemonFrame::Metrics,
+        TAG_METRICS_REPLY => {
+            let (submitted, accepted, rejected) = (r.u64()?, r.u64()?, r.u64()?);
+            let (completed, failed, cancelled) = (r.u64()?, r.u64()?, r.u64()?);
+            let (queue_depth, running) = (r.u64()?, r.u64()?);
+            let (compiles_total, persistent_hits_total) = (r.u64()?, r.u64()?);
+            let (farm_launches, farm_failures) = (r.u64()?, r.u64()?);
+            let ewma_job_seconds = read_opt_f64(&mut r)?;
+            let ewma_compiles_per_second = read_opt_f64(&mut r)?;
+            let n = r.u32()? as usize;
+            let mut tenants = Vec::with_capacity(n.min(1 << 12));
+            for _ in 0..n {
+                let tenant = read_str(&mut r)?;
+                tenants.push((
+                    tenant,
+                    TenantCounters {
+                        submitted: r.u64()?,
+                        rejected: r.u64()?,
+                        completed: r.u64()?,
+                        failed: r.u64()?,
+                        compiles: r.u64()?,
+                    },
+                ));
+            }
+            DaemonFrame::MetricsReply {
+                snapshot: MetricsSnapshot {
+                    submitted,
+                    accepted,
+                    rejected,
+                    completed,
+                    failed,
+                    cancelled,
+                    queue_depth,
+                    running,
+                    compiles_total,
+                    persistent_hits_total,
+                    farm_launches,
+                    farm_failures,
+                    ewma_job_seconds,
+                    ewma_compiles_per_second,
+                    tenants,
+                },
+            }
+        }
+        _ => return Err(EvaldError::Corrupt("unknown frame tag")),
+    };
+    r.done()?;
+    Ok((frame, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<DaemonFrame> {
+        vec![
+            DaemonFrame::Submit {
+                tenant: "ci".into(),
+                module: vec![1, 2, 3, 255],
+                seed: 0xB147,
+                max_evaluations: 90,
+                dedup: true,
+            },
+            DaemonFrame::Accepted { job: 7 },
+            DaemonFrame::Rejected {
+                code: RejectCode::QueueFull,
+                detail: "queue full (4 waiting)".into(),
+            },
+            DaemonFrame::Status { job: 7 },
+            DaemonFrame::StatusReply {
+                job: 7,
+                state: JobState::Running,
+                queue_depth: 3,
+                running: 2,
+            },
+            DaemonFrame::Cancel { job: 9 },
+            DaemonFrame::CancelReply {
+                job: 9,
+                cancelled: false,
+            },
+            DaemonFrame::FetchResult { job: 7 },
+            DaemonFrame::ResultReply {
+                job: 7,
+                outcome: Ok(WireTuneOutcome {
+                    best_flags: vec![true, false, true, true],
+                    best_ncd_bits: f64::to_bits(0.734),
+                    iterations: 90,
+                    stopped_by: StopReason::MaxEvaluations,
+                    compiles: 0,
+                    persistent_hits: 41,
+                    store_ast_hits: 2,
+                    store_lower_hits: 1,
+                }),
+            },
+            DaemonFrame::ResultReply {
+                job: 8,
+                outcome: Err("evaluation service failed: no live clients".into()),
+            },
+            DaemonFrame::Metrics,
+            DaemonFrame::MetricsReply {
+                snapshot: MetricsSnapshot {
+                    submitted: 5,
+                    accepted: 4,
+                    rejected: 1,
+                    completed: 3,
+                    failed: 1,
+                    cancelled: 0,
+                    queue_depth: 0,
+                    running: 0,
+                    compiles_total: 120,
+                    persistent_hits_total: 60,
+                    farm_launches: 2,
+                    farm_failures: 1,
+                    ewma_job_seconds: Some(1.25),
+                    ewma_compiles_per_second: None,
+                    tenants: vec![(
+                        "ci".into(),
+                        TenantCounters {
+                            submitted: 5,
+                            rejected: 1,
+                            completed: 3,
+                            failed: 1,
+                            compiles: 120,
+                        },
+                    )],
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        for frame in sample_frames() {
+            let bytes = encode_daemon_frame(&frame);
+            let (decoded, used) = decode_daemon_frame(&bytes).expect("valid frame decodes");
+            assert_eq!(decoded, frame);
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn truncation_version_magic_and_checksum_are_rejected() {
+        let bytes = encode_daemon_frame(&DaemonFrame::Accepted { job: 3 });
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(
+                    decode_daemon_frame(&bytes[..cut]),
+                    Err(EvaldError::Truncated { .. })
+                ),
+                "cut {cut}"
+            );
+        }
+        let mut wrong_version = bytes.clone();
+        wrong_version[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            decode_daemon_frame(&wrong_version),
+            Err(EvaldError::VersionMismatch { got: 99, want: 1 })
+        ));
+        // A farm frame sent to the daemon port: rejected by magic, not
+        // misparsed (and symmetrically, TUND magic fails EVLD decode).
+        let farm = evald::wire::encode_frame(&evald::wire::Frame::EndBatch { batch: 1 });
+        assert!(matches!(
+            decode_daemon_frame(&farm),
+            Err(EvaldError::BadMagic)
+        ));
+        assert!(matches!(
+            evald::wire::decode_frame(&bytes),
+            Err(EvaldError::BadMagic)
+        ));
+        let mut corrupt = bytes;
+        let last = corrupt.len() - 5; // inside the payload, before checksum
+        corrupt[last] ^= 0xFF;
+        assert!(matches!(
+            decode_daemon_frame(&corrupt),
+            Err(EvaldError::Corrupt(_))
+        ));
+    }
+}

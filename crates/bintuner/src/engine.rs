@@ -69,7 +69,7 @@ use crate::store::{
     StoredFitness,
 };
 use binrep::{Arch, Binary};
-use genetic::{Eval, Evaluator};
+use genetic::{Eval, EvalAbort, Evaluator};
 use lzc::NcdBaseline;
 use minicc::ast::Module;
 use minicc::{Compiler, EffectConfig, StageKeys};
@@ -137,9 +137,21 @@ pub struct MissResult {
 /// in order, and must be a pure function of each genome (bit-identical
 /// fitness wherever it runs): that is what makes a service-backed run
 /// replay the in-process trajectory exactly.
+///
+/// An executor that loses its entire substrate mid-batch (e.g. every
+/// farm worker dies) returns [`EvalAbort`] instead of panicking: the
+/// engine propagates it out of [`Evaluator::evaluate_batch`] so the GA
+/// run fails cleanly and the hosting process (a one-shot CLI or the
+/// tuning daemon) decides what dies. A failed *compile* is never an
+/// abort — it scores [`FAILED_COMPILE_PENALTY`] like any other result.
 pub trait MissExecutor: Sync {
     /// Compile + score every miss, preserving order.
-    fn execute(&self, misses: &[Vec<bool>]) -> Vec<MissResult>;
+    ///
+    /// # Errors
+    ///
+    /// [`EvalAbort`] when the executor can never produce this batch's
+    /// results (the evaluation substrate itself is gone).
+    fn execute(&self, misses: &[Vec<bool>]) -> Result<Vec<MissResult>, EvalAbort>;
 }
 
 impl EngineConfig {
@@ -500,6 +512,18 @@ impl<'a> FitnessEngine<'a> {
             .map_or_else(Vec::new, |s| s.lock().unwrap().drain_pending_fitness())
     }
 
+    /// Drain the stage artifacts queued into the engine's artifact store
+    /// since the last drain — the artifact half of the service's merge
+    /// barrier: a farm worker's engine carries an in-memory artifact
+    /// store purely so its freshly computed artifacts accumulate
+    /// somewhere drainable, and this ships them back to the server's
+    /// persistent log. Empty for engines without an artifact store.
+    pub fn drain_pending_artifacts(&self) -> crate::store::PendingArtifacts {
+        self.artifact_store
+            .as_ref()
+            .map_or_else(Default::default, |s| s.lock().unwrap().drain_pending())
+    }
+
     /// The persistent-store key for an effect configuration of this
     /// engine's `(module, profile, arch)`.
     fn store_key(&self, eff: &EffectConfig) -> StoreKey {
@@ -746,7 +770,7 @@ enum Source {
 }
 
 impl Evaluator for FitnessEngine<'_> {
-    fn evaluate_batch(&self, genomes: &[Vec<bool>]) -> Vec<Eval> {
+    fn evaluate_batch(&self, genomes: &[Vec<bool>]) -> Result<Vec<Eval>, EvalAbort> {
         let batch_start = Instant::now();
         let profile = self.compiler.profile();
 
@@ -950,7 +974,13 @@ impl Evaluator for FitnessEngine<'_> {
         let mut persist_ast: Vec<(u128, f64)> = Vec::new();
         if let Some(executor) = self.executor {
             let flags: Vec<Vec<bool>> = misses.iter().map(|(f, _)| (*f).clone()).collect();
-            let results = executor.execute(&flags);
+            // An abort here is safe to propagate mid-batch: the misses
+            // were planned and their artifact keys reserved, but no
+            // result has been committed to any cache tier — reserved
+            // membership without a value is the documented
+            // recompute-over-block safety valve, so a later engine (or
+            // none) sees consistent state.
+            let results = executor.execute(&flags)?;
             assert_eq!(
                 results.len(),
                 misses.len(),
@@ -1232,6 +1262,6 @@ impl Evaluator for FitnessEngine<'_> {
         }
         stats.failed_compiles += fresh_failures + cold_failures;
         stats.wall_seconds += batch_start.elapsed().as_secs_f64();
-        results
+        Ok(results)
     }
 }

@@ -207,6 +207,8 @@ fn run_worker(args: &WorkerArgs) -> Result<(), EvaldError> {
                 duplex.tx.send_frame(&encode_frame(&Frame::Merge {
                     client: args.client_id,
                     records: Vec::new(),
+                    ast_artifacts: Vec::new(),
+                    lower_artifacts: Vec::new(),
                 }))?;
             }
             Frame::Work { .. } => {
@@ -221,7 +223,7 @@ fn run_worker(args: &WorkerArgs) -> Result<(), EvaldError> {
     let module = minicc::codec::decode_module(&payload)
         .map_err(|_| EvaldError::Corrupt("job payload is not an encoded module"))?;
     let compiler = Compiler::new(args.kind);
-    let engine = FitnessEngine::with_store(
+    let mut engine = FitnessEngine::with_store(
         &compiler,
         &module,
         args.arch,
@@ -233,6 +235,12 @@ fn run_worker(args: &WorkerArgs) -> Result<(), EvaldError> {
         FitnessStore::in_memory(),
     )
     .map_err(|_| EvaldError::Protocol("worker engine failed its baseline compile"))?;
+    if args.artifact_cache {
+        // Producer-only seam, same as a thread client: never saved and
+        // never queried, it only captures fresh stage artifacts for the
+        // merge barrier (see `client_thread` in `crate::service`).
+        engine.set_artifact_store(crate::store::ArtifactStore::in_memory());
+    }
     let mut worker = EngineWorker::new(&engine);
     evald::serve(&mut worker, &mut duplex, &opts)
 }

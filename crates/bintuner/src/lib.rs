@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod daemon;
 pub mod db;
 pub mod engine;
 pub mod farm;
@@ -51,6 +52,7 @@ pub mod service;
 pub mod store;
 pub mod tuner;
 
+pub use daemon::{Daemon, DaemonAddr, DaemonClient, DaemonConfig, DaemonHandle};
 pub use db::{Database, IterationRow};
 pub use engine::{
     EngineConfig, EngineStats, FitnessEngine, MissExecutor, MissResult, FAILED_COMPILE_PENALTY,
@@ -65,7 +67,7 @@ pub use service::{
 };
 pub use store::{
     arch_tag, shard_for, shard_for_module, write_v3_file, ArtifactRetention, ArtifactStore,
-    AstArtifactKey, FitnessStore, FlagBits, LoadReport, LowerArtifactKey, SaveOutcome, StoreKey,
-    StoreLock, StoredFitness, DEFAULT_SHARD_COUNT,
+    AstArtifactKey, FitnessStore, FlagBits, LoadReport, LowerArtifactKey, PendingArtifacts,
+    SaveOutcome, StoreKey, StoreLock, StoredFitness, DEFAULT_SHARD_COUNT,
 };
 pub use tuner::{Backend, PersistSummary, PriorSummary, TuneError, TuneResult, Tuner, TunerConfig};

@@ -37,15 +37,17 @@
 
 use crate::engine::{EngineConfig, EngineStats, MissExecutor, MissResult, FAILED_COMPILE_PENALTY};
 use crate::farm::{resolve_worker_binary, Endpoint, WorkerSpec};
-use crate::store::FitnessStore;
+use crate::store::{ArtifactStore, FitnessStore};
 use crate::FitnessEngine;
 use binrep::Arch;
 use evald::transport::{tcp_accept, unix_accept};
 use evald::wire::ShardStats;
 use evald::{
     channel_duplex, run_client, tcp_listener, unix_connect, unix_listener, BoundUnixListener,
-    ClientOptions, CostModel, Duplex, EvalServer, EvaldError, MergeRecord, ShardWorker, WireEval,
+    ClientOptions, CostModel, Duplex, EvalServer, EvaldError, MergeRecord, ShardWorker,
+    WireAstArtifact, WireEval, WireLowerArtifact,
 };
+use genetic::EvalAbort;
 use minicc::ast::Module;
 use minicc::{Compiler, CompilerKind, CompilerProfile};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -79,6 +81,9 @@ pub struct ServiceSummary {
     pub duplicate_results: usize,
     /// Client-cache records merged back into the server-side store.
     pub merged_records: usize,
+    /// Client-produced stage artifacts merged back into the server-side
+    /// artifact store.
+    pub merged_artifacts: usize,
     /// Real compiles performed across the farm (includes duplicated
     /// straggler work, unlike the engine's logical compile count).
     pub farm_compiles: u64,
@@ -136,6 +141,10 @@ fn farm_socket_path() -> std::path::PathBuf {
 pub struct ServiceHandle {
     /// `None` once [`ServiceHandle::finish`] has torn the server down.
     server: Mutex<Option<EvalServer>>,
+    /// The service failure behind the most recent batch abort (set when
+    /// [`MissExecutor::execute`] returns `Err`; the tuner drains it via
+    /// [`ServiceHandle::take_failure`] to build `TuneError::Service`).
+    failure: Mutex<Option<Arc<EvaldError>>>,
     /// Thread-mode clients.
     clients: Vec<JoinHandle<()>>,
     /// Process-mode workers (`None` slots are workers already reaped,
@@ -216,7 +225,7 @@ fn client_thread(
     opts: ClientOptions,
 ) {
     let compiler = Compiler::new(kind);
-    let Ok(engine) = FitnessEngine::with_store(
+    let Ok(mut engine) = FitnessEngine::with_store(
         &compiler,
         &module,
         arch,
@@ -229,6 +238,15 @@ fn client_thread(
     ) else {
         return;
     };
+    if artifact_cache {
+        // An in-memory artifact store is a pure *producer* seam: it is
+        // never saved, so it never answers membership queries — the
+        // engine's compile classification (and thus the differential
+        // bit-identity guarantee) is untouched. Its only job is to
+        // capture freshly built stage artifacts for the merge barrier,
+        // where the server folds them into the persistent store.
+        engine.set_artifact_store(ArtifactStore::in_memory());
+    }
     let mut worker = EngineWorker::new(&engine);
     // A disconnect here is the server going away — normal end of service.
     let _ = run_client(&mut worker, duplex, &opts);
@@ -255,7 +273,14 @@ impl<'e, 'a> EngineWorker<'e, 'a> {
 impl ShardWorker for EngineWorker<'_, '_> {
     fn evaluate(&mut self, genomes: &[Vec<bool>]) -> (Vec<WireEval>, ShardStats) {
         use genetic::Evaluator;
-        let evals = self.engine.evaluate_batch(genomes);
+        // A worker-local engine has no executor installed, and an
+        // executor-less engine is infallible by construction (the
+        // `Evaluator` contract: compile failures are scored, not
+        // errors) — so this expect can never fire.
+        let evals = self
+            .engine
+            .evaluate_batch(genomes)
+            .expect("executor-less worker engine cannot abort");
         let now = self.engine.stats();
         let stats = ShardStats {
             compiles: (now.compiles - self.last.compiles) as u32,
@@ -294,6 +319,36 @@ impl ShardWorker for EngineWorker<'_, '_> {
                 flags: value.flags.to_bools(),
             })
             .collect()
+    }
+
+    fn drain_artifacts(&mut self) -> (Vec<WireAstArtifact>, Vec<WireLowerArtifact>) {
+        let pending = self.engine.drain_pending_artifacts();
+        (
+            pending
+                .ast
+                .into_iter()
+                .map(|(k, cost, blob)| WireAstArtifact {
+                    body_hash: k.body_hash,
+                    compiler: k.compiler,
+                    ast_digest: k.ast_digest,
+                    cost_bits: cost.to_bits(),
+                    blob,
+                })
+                .collect(),
+            pending
+                .lower
+                .into_iter()
+                .map(|(k, cost, blob)| WireLowerArtifact {
+                    body_hash: k.body_hash,
+                    compiler: k.compiler,
+                    arch: k.arch,
+                    ast_digest: k.ast_digest,
+                    lower_digest: k.lower_digest,
+                    cost_bits: cost.to_bits(),
+                    blob,
+                })
+                .collect(),
+        )
     }
 }
 
@@ -400,6 +455,7 @@ impl ServiceHandle {
         let server = EvalServer::new(server_side, cost, n_flags)?;
         Ok(ServiceHandle {
             server: Mutex::new(Some(server)),
+            failure: Mutex::new(None),
             clients: handles,
             children: Mutex::new(Vec::new()),
             spec: None,
@@ -534,6 +590,7 @@ impl ServiceHandle {
 
         Ok(ServiceHandle {
             server: Mutex::new(Some(server)),
+            failure: Mutex::new(None),
             clients: Vec::new(),
             children: Mutex::new(children),
             spec: Some(spec),
@@ -591,6 +648,28 @@ impl ServiceHandle {
     /// tests watch a respawned worker get absorbed mid-run.
     pub fn stats(&self) -> Option<ServiceStats> {
         self.server.lock().unwrap().as_ref().map(EvalServer::stats)
+    }
+
+    /// Take the service failure behind the most recent batch abort, if
+    /// one was recorded ([`MissExecutor::execute`] returning `Err`).
+    /// The tuner maps it into [`crate::TuneError::Service`] so the
+    /// caller — notably the daemon — sees *which* transport-level
+    /// failure killed the job, not just that the GA stopped.
+    pub fn take_failure(&self) -> Option<Arc<EvaldError>> {
+        self.failure.lock().unwrap().take()
+    }
+
+    /// Drain the client-produced stage artifacts accumulated on the
+    /// merge barrier (the tuner folds them into its persistent
+    /// [`ArtifactStore`] before saving — the single-writer rule, same
+    /// as the fitness-record fold). Call before
+    /// [`ServiceHandle::finish`].
+    pub fn take_artifacts(&self) -> (Vec<WireAstArtifact>, Vec<WireLowerArtifact>) {
+        let mut guard = self.server.lock().unwrap();
+        guard
+            .as_mut()
+            .map(EvalServer::take_merged_artifacts)
+            .unwrap_or_default()
     }
 
     /// Sever connections, join every thread, drain (or kill) every
@@ -686,6 +765,7 @@ impl ServiceHandle {
                 redispatched_shards: stats.redispatched_shards,
                 duplicate_results: stats.duplicate_results,
                 merged_records: stats.merged_records,
+                merged_artifacts: stats.merged_artifacts,
                 farm_compiles: stats.client_compiles,
                 farm_full_compiles: stats.client_full_compiles,
                 farm_ast_reuse: stats.client_ast_reuse,
@@ -710,33 +790,85 @@ impl Drop for ServiceHandle {
     }
 }
 
+/// `Arc<EvaldError>` adapted into the abort's source chain (std has no
+/// blanket `Error for Arc<T>`): the same allocation is shared with
+/// [`ServiceHandle::take_failure`], so the tuner's typed error and the
+/// abort's `source()` report one and the same failure.
+#[derive(Debug)]
+pub(crate) struct SharedEvaldError(pub(crate) Arc<EvaldError>);
+
+impl std::fmt::Display for SharedEvaldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl std::error::Error for SharedEvaldError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.0.source()
+    }
+}
+
 impl MissExecutor for ServiceHandle {
-    fn execute(&self, misses: &[Vec<bool>]) -> Vec<MissResult> {
+    fn execute(&self, misses: &[Vec<bool>]) -> Result<Vec<MissResult>, EvalAbort> {
         let mut guard = self.server.lock().unwrap();
-        let server = guard.as_mut().expect("service already finished");
+        let Some(server) = guard.as_mut() else {
+            return Err(EvalAbort::new(
+                "evaluation service already finished — no substrate left to evaluate on",
+            ));
+        };
         let evals = match server.evaluate(misses) {
             Ok(evals) => evals,
             // Losing *every* client mid-run leaves nothing to evaluate
-            // on; there is no degraded answer that keeps the GA honest,
-            // and the batch Evaluator protocol has no error channel, so
-            // this is the one unrecoverable stop. (Losing any proper
-            // subset of clients is handled by re-dispatch and never gets
-            // here.)
-            Err(e) => panic!(
-                "evaluation service failed with work outstanding: {e}{}",
-                server
-                    .last_loss()
-                    .map(|l| format!(" (last client loss: {l})"))
-                    .unwrap_or_default()
-            ),
+            // on, and there is no degraded answer that keeps the GA
+            // honest — so the *batch* aborts: the error unwinds through
+            // `Ga::run_batched` to the tuner, which surfaces it as
+            // `TuneError::Service`. The process hosting the service — a
+            // CLI run or a multi-tenant daemon — keeps running and
+            // decides whether to relaunch the farm. (Losing any proper
+            // subset of clients is handled by re-dispatch and never
+            // gets here.)
+            Err(e) => {
+                let message = format!(
+                    "evaluation service failed with work outstanding: {e}{}",
+                    server
+                        .last_loss()
+                        .map(|l| format!(" (last client loss: {l})"))
+                        .unwrap_or_default()
+                );
+                let cause = Arc::new(e);
+                *self.failure.lock().unwrap() = Some(Arc::clone(&cause));
+                return Err(EvalAbort::with_source(message, SharedEvaldError(cause)));
+            }
         };
-        evals
+        Ok(evals
             .into_iter()
             .map(|e| MissResult {
                 fitness: e.fitness(),
                 failed: e.failed,
                 wall_seconds: e.wall_seconds(),
             })
-            .collect()
+            .collect())
+    }
+}
+
+/// A [`MissExecutor`] that can also report the typed service failure
+/// behind its most recent batch abort.
+///
+/// [`Tuner::tune_with_executor`](crate::Tuner::tune_with_executor)
+/// accepts any implementor, so an embedder that multiplexes several
+/// tuning runs onto shared evaluation substrate — the `bintuner daemon`
+/// — plugs its farm proxy into the unchanged tuning pipeline and still
+/// gets a fully chained [`crate::TuneError::Service`] when the
+/// substrate dies.
+pub trait ServiceExecutor: MissExecutor {
+    /// Take the failure recorded by the most recent aborted
+    /// [`MissExecutor::execute`] call, if any.
+    fn take_failure(&self) -> Option<Arc<EvaldError>>;
+}
+
+impl ServiceExecutor for ServiceHandle {
+    fn take_failure(&self) -> Option<Arc<EvaldError>> {
+        ServiceHandle::take_failure(self)
     }
 }

@@ -118,6 +118,29 @@ struct PendingArtifact<K> {
     blob: Vec<u8>,
 }
 
+/// Artifacts drained out of a store's pending queues
+/// ([`ArtifactStore::drain_pending`]): `(key, stage seconds, blob)`
+/// triples, ready to cross the evaluation service's merge barrier.
+#[derive(Debug, Clone, Default)]
+pub struct PendingArtifacts {
+    /// Pending optimized-AST artifacts.
+    pub ast: Vec<(AstArtifactKey, f64, Vec<u8>)>,
+    /// Pending lowered-binary artifacts.
+    pub lower: Vec<(LowerArtifactKey, f64, Vec<u8>)>,
+}
+
+impl PendingArtifacts {
+    /// Total drained artifact count.
+    pub fn len(&self) -> usize {
+        self.ast.len() + self.lower.len()
+    }
+
+    /// Whether nothing was pending.
+    pub fn is_empty(&self) -> bool {
+        self.ast.is_empty() && self.lower.is_empty()
+    }
+}
+
 /// Disk-backed map from stage-digest keys to compiled artifact bytes.
 ///
 /// Blobs stay on disk: loading builds only the compact offset index,
@@ -358,6 +381,27 @@ impl ArtifactStore {
             return;
         }
         self.pending_lower.push(PendingArtifact { key, cost, blob });
+    }
+
+    /// Drain the artifacts queued since the last save (or drain),
+    /// clearing the pending queues — the client side of the evaluation
+    /// service ships these back through the merge barrier so farm
+    /// workers' freshly computed stage artifacts reach the server's
+    /// persistent log. Each entry is `(key, measured stage seconds,
+    /// encoded blob)`.
+    pub fn drain_pending(&mut self) -> PendingArtifacts {
+        PendingArtifacts {
+            ast: self
+                .pending_ast
+                .drain(..)
+                .map(|p| (p.key, p.cost, p.blob))
+                .collect(),
+            lower: self
+                .pending_lower
+                .drain(..)
+                .map(|p| (p.key, p.cost, p.blob))
+                .collect(),
+        }
     }
 
     /// Flush pending artifacts under the log's [`StoreLock`].

@@ -34,16 +34,25 @@ impl StoreLock {
     /// it (the caller should degrade, not block). A stale lock — owner
     /// pid dead — is reclaimed once.
     ///
-    /// Reclamation is check-then-unlink and therefore racy in principle
-    /// (`O_EXCL` is the only atomic primitive std offers here), so two
-    /// guards shrink the window to a pair of adjacent syscalls: the
-    /// holder pid is re-read immediately before the unlink (a racing
-    /// reclaimer's *fresh* lock is seen and respected), and after
-    /// creating our own lock we re-read it to confirm we still own it
-    /// (losing that verification degrades to `Ok(None)` — a skipped
-    /// save, the same safe fallback as plain contention). A lost race
-    /// that slips both guards costs what the pre-lock code always
-    /// risked: a torn append the corruption-tolerant loader truncates.
+    /// Reclamation claims by **rename**, the one atomic
+    /// take-whatever-is-there primitive std offers: the observed-stale
+    /// lock is renamed to a claimant-unique sibling, so exactly one
+    /// racing reclaimer wins and the holder re-check runs on a file the
+    /// claimant owns exclusively — unlike the old check-then-unlink
+    /// pair, there is no window where a racer's *fresh* lock can be
+    /// deleted after the check passed. If the claimed file no longer
+    /// matches the stale observation (a racer reclaimed and re-locked
+    /// between our read and our rename), the claim is undone by
+    /// renaming it straight back and the acquire degrades to
+    /// `Ok(None)`. The second guard is unchanged: after creating our
+    /// own lock we re-read it to confirm we still own it. What remains
+    /// is not a two-syscall window of ours but a compound race — a
+    /// racer's complete reclaim cycle inside our single read-to-rename
+    /// gap *and* a third acquirer's complete create-stamp-verify cycle
+    /// inside our single claim-to-restore gap — and a loss costs what
+    /// the pre-lock code always risked: a torn append the
+    /// corruption-tolerant loader truncates (pinned by
+    /// `save_after_torn_append_truncates_and_appends_cleanly`).
     ///
     /// # Errors
     ///
@@ -107,13 +116,39 @@ impl StoreLock {
                     if !stale || attempt == 1 {
                         return Ok(None);
                     }
-                    // Re-read right before unlinking: if the content
-                    // changed, another process already reclaimed and
-                    // re-locked — back off instead of deleting its lock.
-                    if read_holder(&path) != first {
+                    // Atomic claim: rename the observed-stale lock to a
+                    // name only this claimant uses. Of N racing
+                    // reclaimers exactly one rename succeeds (the rest
+                    // see the source vanish), and the winner holds the
+                    // claimed file exclusively — no racer mutates a
+                    // path nobody else knows.
+                    let claim = claim_path(&path);
+                    if fs::rename(&path, &claim).is_err() {
+                        // Lost the claim race (or the holder released
+                        // on its own): fall through to the second
+                        // `create_new` attempt, which decides cleanly.
+                        continue;
+                    }
+                    // Race-free holder re-check, *after* the claim.
+                    if read_holder(&claim).as_deref().map(str::trim)
+                        == first.as_deref().map(str::trim)
+                    {
+                        // Still the stale lock we observed: a dead pid
+                        // writes nothing, so nobody owns it. (The empty
+                        // torn-acquire case is also safe: a mid-acquire
+                        // racer stamping its pid writes through its fd
+                        // into *this* renamed file, and its own
+                        // ownership verification then fails against the
+                        // lock path.)
+                        let _ = fs::remove_file(&claim);
+                    } else {
+                        // The lock changed between observation and
+                        // claim — we grabbed a racer's fresh lock. Put
+                        // it back atomically and degrade; the racer
+                        // keeps (or correctly re-verifies) its claim.
+                        let _ = fs::rename(&claim, &path);
                         return Ok(None);
                     }
-                    let _ = fs::remove_file(&path);
                 }
                 Err(e) => return Err(e),
             }
@@ -133,6 +168,23 @@ impl Drop for StoreLock {
             let _ = fs::remove_file(&self.path);
         }
     }
+}
+
+/// Claimant-unique sibling of `lock_path` for a rename-based stale
+/// reclaim: the pid disambiguates processes, the counter disambiguates
+/// threads of one process racing on the same lock. Claim files are
+/// transient — removed (valid claim) or renamed back (lost race) on
+/// every path out of the reclaim.
+fn claim_path(lock_path: &Path) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static CLAIM_SEQ: AtomicU64 = AtomicU64::new(0);
+    let mut p = lock_path.as_os_str().to_owned();
+    p.push(format!(
+        ".claim.{}.{}",
+        std::process::id(),
+        CLAIM_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    PathBuf::from(p)
 }
 
 /// Whether a process with this pid exists.
@@ -205,6 +257,103 @@ mod tests {
             assert!(got.is_some(), "dead-pid lock not reclaimed on Linux");
         }
         let _ = fs::remove_file(StoreLock::lock_path(&path));
+    }
+
+    #[test]
+    fn swapped_lock_is_restored_not_stolen() {
+        // The compound race the rename claim defends against: between
+        // our staleness observation and our claim, a racer completes a
+        // full reclaim and re-locks. The alive probe runs exactly in
+        // that gap, so a probe with a side effect simulates the racer
+        // deterministically: it swaps the stale lock for a fresh
+        // live-pid lock. The claim must then be undone by the
+        // rename-back — the racer keeps its lock, we degrade to None,
+        // and no claim debris survives.
+        let path = scratch("swapped");
+        let lock_file = StoreLock::lock_path(&path);
+        fs::write(&lock_file, DEAD_PID.to_string()).unwrap();
+        let racer_pid = std::process::id().to_string();
+        let swapping_probe = {
+            let lock_file = lock_file.clone();
+            let racer_pid = racer_pid.clone();
+            move |_pid: u32| {
+                fs::write(&lock_file, &racer_pid).unwrap();
+                false // the observed holder is dead — proceed to reclaim
+            }
+        };
+        let got =
+            StoreLock::acquire_with(&path, &swapping_probe, &|f, pid| f.write_all(pid)).unwrap();
+        assert!(got.is_none(), "stole a lock that changed after observation");
+        assert_eq!(
+            fs::read_to_string(&lock_file).unwrap(),
+            racer_pid,
+            "the racer's fresh lock must survive at the lock path"
+        );
+        let dir = path.parent().unwrap_or(Path::new("."));
+        for entry in fs::read_dir(dir).unwrap() {
+            let name = entry.unwrap().file_name();
+            assert!(
+                !name.to_string_lossy().contains(".claim."),
+                "claim debris left behind: {name:?}"
+            );
+        }
+        let _ = fs::remove_file(&lock_file);
+    }
+
+    #[test]
+    fn stale_reclaim_admits_exactly_one_winner_under_contention() {
+        // The atomicity invariant of the rename claim: any number of
+        // threads hammering acquire on a path that keeps regrowing
+        // stale locks never observe two simultaneous holders. (Planting
+        // uses `create_new`, so a *held* lock is never overwritten —
+        // every planted file really is an orphan.)
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let path = scratch("contention");
+        let lock_file = StoreLock::lock_path(&path);
+        fs::write(&lock_file, DEAD_PID.to_string()).unwrap();
+        let holders = Arc::new(AtomicUsize::new(0));
+        let acquired = Arc::new(AtomicUsize::new(0));
+        let dead_probe = |pid: u32| pid != DEAD_PID && pid_alive(pid);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let path = path.clone();
+                let lock_file = lock_file.clone();
+                let holders = Arc::clone(&holders);
+                let acquired = Arc::clone(&acquired);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        if let Some(lock) =
+                            StoreLock::acquire_with(&path, &dead_probe, &|f, pid| f.write_all(pid))
+                                .unwrap()
+                        {
+                            let now = holders.fetch_add(1, Ordering::SeqCst);
+                            assert_eq!(now, 0, "two live holders of one store lock");
+                            acquired.fetch_add(1, Ordering::SeqCst);
+                            std::hint::spin_loop();
+                            holders.fetch_sub(1, Ordering::SeqCst);
+                            drop(lock);
+                        } else if let Ok(mut f) = fs::OpenOptions::new()
+                            .write(true)
+                            .create_new(true)
+                            .open(&lock_file)
+                        {
+                            // Replant a stale lock so reclaim keeps
+                            // being exercised, not just first-create.
+                            let _ = f.write_all(DEAD_PID.to_string().as_bytes());
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(
+            acquired.load(Ordering::SeqCst) > 0,
+            "contention test never acquired — vacuous"
+        );
+        let _ = fs::remove_file(&lock_file);
     }
 
     #[test]

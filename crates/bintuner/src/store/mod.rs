@@ -74,7 +74,9 @@ mod index;
 mod lock;
 mod shard;
 
-pub use artifact::{ArtifactRetention, ArtifactStore, AstArtifactKey, LowerArtifactKey};
+pub use artifact::{
+    ArtifactRetention, ArtifactStore, AstArtifactKey, LowerArtifactKey, PendingArtifacts,
+};
 pub use lock::StoreLock;
 pub use shard::{shard_for, shard_for_module, write_v3_file};
 

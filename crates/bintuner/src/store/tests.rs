@@ -217,6 +217,52 @@ fn truncated_shard_keeps_valid_prefix() {
 }
 
 #[test]
+fn save_after_torn_append_truncates_and_appends_cleanly() {
+    // The documented cost of the compound race the rename-based lock
+    // claim leaves open (see `StoreLock::acquire`): two writers both
+    // believe they hold one shard and their appends interleave, the
+    // loser's torn. Pin that this degrades exactly to the
+    // corruption-tolerant load — whole duplicate records dedup, the
+    // torn tail drops, the next save rewrites a clean shard — and
+    // never to a wedge or a load failure.
+    use std::io::Write as _;
+    let path = scratch("lost_race");
+    let mut store = FitnessStore::load_with_shard_count(&path, 1);
+    for i in 0..4 {
+        store.insert(key(i), value(i));
+    }
+    store.save().unwrap();
+    let shard_file = path.join("shard-00.log");
+    // The lost racer's unlocked append: one whole record (a duplicate
+    // of an existing entry) followed by a half record — the worst
+    // interleaving a momentary double-hold can produce.
+    let bytes = fs::read(&shard_file).unwrap();
+    let start = SHARD_HEADER_LEN;
+    let one_record = &bytes[start..start + RECORD_LEN];
+    let mut f = fs::OpenOptions::new()
+        .append(true)
+        .open(&shard_file)
+        .unwrap();
+    f.write_all(one_record).unwrap();
+    f.write_all(&one_record[..RECORD_LEN / 2]).unwrap();
+    drop(f);
+
+    let mut recovered = FitnessStore::load(&path);
+    assert_eq!(recovered.len(), 4, "duplicate dedups, torn tail drops");
+    assert_eq!(recovered.report().dropped_bytes, RECORD_LEN / 2);
+    // The surviving writer keeps functioning: its next save compacts
+    // the damage away and the lock protocol cycles on the repaired
+    // shard (the lock file is gone after a successful save).
+    recovered.insert(key(8), value(8));
+    assert_eq!(recovered.save().unwrap(), SaveOutcome::Written);
+    assert!(!StoreLock::lock_path(&shard_file).exists());
+    let mut clean = FitnessStore::load(&path);
+    assert_eq!(clean.len(), 5);
+    assert_eq!(clean.report().dropped_bytes, 0);
+    cleanup(&path);
+}
+
+#[test]
 fn checksum_corruption_drops_damaged_suffix() {
     let path = scratch("corrupt");
     let mut store = FitnessStore::load_with_shard_count(&path, 1);

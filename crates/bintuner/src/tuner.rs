@@ -7,7 +7,10 @@ use crate::db::{Database, IterationRow};
 use crate::engine::{EngineConfig, EngineStats, FitnessEngine, FAILED_COMPILE_PENALTY};
 use crate::priors::{mine_prior, PriorConfig, PriorMode};
 use crate::service::{ServiceConfig, ServiceHandle, ServiceSummary};
-use crate::store::{ArtifactStore, FitnessStore, FlagBits, SaveOutcome, StoreKey, StoredFitness};
+use crate::store::{
+    ArtifactStore, AstArtifactKey, FitnessStore, FlagBits, LowerArtifactKey, SaveOutcome, StoreKey,
+    StoredFitness,
+};
 use binrep::{Arch, Binary};
 use genetic::{Ga, GaParams, GaRun, StopReason, Termination};
 use lzc::NcdBaseline;
@@ -136,11 +139,14 @@ pub enum TuneError {
     /// The winning flag vector failed to recompile at the end of the run
     /// (would indicate a constraint-repair bug; recorded, not panicked).
     BestRecompile(CompileError),
-    /// The evaluation service could not be launched (transport setup, or
-    /// no client survived the handshake). `Arc`-wrapped so `TuneError`
-    /// stays cheaply cloneable; the underlying [`evald::EvaldError`] —
-    /// and through it any I/O error — is reachable via
-    /// [`std::error::Error::source`].
+    /// The evaluation service failed: it could not be launched
+    /// (transport setup, no client survived the handshake), or every
+    /// client was lost mid-batch with work outstanding (the batch
+    /// aborted through [`genetic::EvalAbort`] — the run stops but the
+    /// hosting process, e.g. a multi-tenant daemon, lives on).
+    /// `Arc`-wrapped so `TuneError` stays cheaply cloneable; the
+    /// underlying [`evald::EvaldError`] — and through it any I/O error
+    /// — is reachable via [`std::error::Error::source`].
     Service(std::sync::Arc<evald::EvaldError>),
 }
 
@@ -166,7 +172,7 @@ impl std::fmt::Display for TuneError {
             TuneError::BestRecompile(e) => {
                 write!(f, "best flag vector failed to recompile: {e}")
             }
-            TuneError::Service(e) => write!(f, "evaluation service failed to launch: {e}"),
+            TuneError::Service(e) => write!(f, "evaluation service failed: {e}"),
         }
     }
 }
@@ -312,6 +318,38 @@ impl Tuner {
     /// See [`TuneError`] — only the baseline compile and the final
     /// recompile of the winning flag vector can fail the run.
     pub fn tune(&self, module: &Module) -> Result<TuneResult, TuneError> {
+        self.tune_impl(module, None)
+    }
+
+    /// Like [`Tuner::tune`], but dispatching the deduplicated miss
+    /// lists to a caller-supplied executor instead of launching (or
+    /// embedding) an evaluation backend of its own —
+    /// [`TunerConfig::backend`] is ignored. This is how the tuning
+    /// daemon multiplexes many jobs onto one shared farm: each job runs
+    /// the full, unchanged pipeline (store warm start, prior mining,
+    /// GA, persistence), while compilation is brokered by the shared
+    /// proxy. The determinism contract is the executor's to keep: an
+    /// executor that returns the same bit-exact results as the
+    /// in-process pool yields a bit-identical [`TuneResult`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Tuner::tune`]; an executor abort surfaces as
+    /// [`TuneError::Service`] with the failure taken from
+    /// [`crate::service::ServiceExecutor::take_failure`].
+    pub fn tune_with_executor(
+        &self,
+        module: &Module,
+        executor: &dyn crate::service::ServiceExecutor,
+    ) -> Result<TuneResult, TuneError> {
+        self.tune_impl(module, Some(executor))
+    }
+
+    fn tune_impl(
+        &self,
+        module: &Module,
+        external: Option<&dyn crate::service::ServiceExecutor>,
+    ) -> Result<TuneResult, TuneError> {
         let engine_config = EngineConfig {
             workers: self.config.workers,
             artifact_cache: self.config.artifact_cache,
@@ -337,10 +375,12 @@ impl Tuner {
             _ => None,
         };
         // Service backend: launch the client farm before the engine so
-        // the executor reference outlives the engine borrowing it.
-        let service = match &self.config.backend {
-            Backend::InProcess => None,
-            Backend::Service(cfg) => Some(
+        // the executor reference outlives the engine borrowing it. An
+        // external executor (the daemon's shared-farm proxy) overrides
+        // the configured backend — the substrate already exists.
+        let service = match (&self.config.backend, external) {
+            (_, Some(_)) | (Backend::InProcess, None) => None,
+            (Backend::Service(cfg), None) => Some(
                 ServiceHandle::launch(
                     cfg,
                     self.config.compiler,
@@ -363,6 +403,8 @@ impl Tuner {
         };
         if let Some(service) = &service {
             engine.set_executor(service);
+        } else if let Some(external) = external {
+            engine.set_executor(external);
         }
         // The artifact store lives inside the (v4) store directory.
         // Loading against a v3 file or a missing path is a clean cold
@@ -384,7 +426,7 @@ impl Tuner {
         }
         let mut ga = Ga::new(profile.n_flags(), ga_params, self.config.seed);
         let repair = |flags: &[bool], seed: u64| profile.constraints().repair(flags, seed);
-        let run: GaRun = if self.config.dedup {
+        let run_result = if self.config.dedup {
             ga.run_batched_dedup(
                 &engine,
                 repair,
@@ -409,6 +451,29 @@ impl Tuner {
         } else {
             ga.run_batched(&engine, repair, &self.config.termination)
         };
+        let run: GaRun = match run_result {
+            Ok(run) => run,
+            Err(_abort) => {
+                // The evaluation substrate died mid-run — on the
+                // in-process backend this cannot happen (the engine is
+                // infallible without an executor), so the abort is the
+                // service's. The handle recorded the typed failure when
+                // it aborted the batch; surface that (full source
+                // chain), and let the handles' Drop impls tear the farm
+                // down. The caller — CLI or daemon — stays alive.
+                drop(engine);
+                let cause = service
+                    .as_ref()
+                    .and_then(ServiceHandle::take_failure)
+                    .or_else(|| external.and_then(crate::service::ServiceExecutor::take_failure))
+                    .unwrap_or_else(|| {
+                        std::sync::Arc::new(evald::EvaldError::Protocol(
+                            "evaluation aborted without a recorded service failure",
+                        ))
+                    });
+                return Err(TuneError::Service(cause));
+            }
+        };
         let baseline = engine.baseline_binary().clone();
         let mut stats = engine.stats();
         let (store_after, artifacts_after) = engine.into_stores();
@@ -418,7 +483,12 @@ impl Tuner {
         // already recorded every dispatched miss itself, so these
         // inserts dedup to no-ops; the fold is the defense-in-depth end
         // of the merge protocol, not the store-fill path (see
-        // `service` module docs).
+        // `service` module docs). The *artifact* fold below is NOT
+        // redundant, though: farm workers compile in their own address
+        // spaces, so their stage artifacts exist nowhere else — without
+        // this fold a process-worker run would persist no artifacts and
+        // the next warm start would silently rerun full pipelines.
+        let service_artifacts = service.as_ref().map(ServiceHandle::take_artifacts);
         let service_outcome = service.map(ServiceHandle::finish);
         let persistence = store_after.map(|mut store| {
             if let Some((_, merged)) = &service_outcome {
@@ -458,6 +528,37 @@ impl Tuner {
         // appends into. A skip (directory still missing, lock
         // contended) only costs future warm-starts, never correctness.
         if let Some(mut artifacts) = artifacts_after {
+            if let Some((ast, lower)) = service_artifacts {
+                // Client-produced stage artifacts, folded through the
+                // same single writer (insert dedups against live and
+                // pending entries, so thread-mode runs — where the
+                // server engine may have produced the same artifacts —
+                // stay idempotent).
+                for a in ast {
+                    artifacts.insert_ast(
+                        AstArtifactKey {
+                            body_hash: a.body_hash,
+                            compiler: a.compiler,
+                            ast_digest: a.ast_digest,
+                        },
+                        f64::from_bits(a.cost_bits),
+                        a.blob,
+                    );
+                }
+                for a in lower {
+                    artifacts.insert_lower(
+                        LowerArtifactKey {
+                            body_hash: a.body_hash,
+                            compiler: a.compiler,
+                            arch: a.arch,
+                            ast_digest: a.ast_digest,
+                            lower_digest: a.lower_digest,
+                        },
+                        f64::from_bits(a.cost_bits),
+                        a.blob,
+                    );
+                }
+            }
             let _ = artifacts.save();
         }
         let service_summary = service_outcome.map(|(summary, _)| summary);
@@ -734,8 +835,12 @@ mod tests {
         )
         .unwrap();
         let genome = compiler.profile().preset(OptLevel::O2);
-        let cold = engine.evaluate_batch(std::slice::from_ref(&genome));
-        let warm = engine.evaluate_batch(std::slice::from_ref(&genome));
+        let cold = engine
+            .evaluate_batch(std::slice::from_ref(&genome))
+            .unwrap();
+        let warm = engine
+            .evaluate_batch(std::slice::from_ref(&genome))
+            .unwrap();
         assert!(!cold[0].cache_hit);
         assert!(warm[0].cache_hit);
         // Bit-identical, not approximately equal.
@@ -766,7 +871,7 @@ mod tests {
         let a = compiler.profile().preset(OptLevel::O1);
         let b = compiler.profile().preset(OptLevel::O3);
         let batch = vec![a.clone(), b.clone(), a.clone(), b, a];
-        let evals = engine.evaluate_batch(&batch);
+        let evals = engine.evaluate_batch(&batch).unwrap();
         assert_eq!(
             evals.iter().map(|e| e.cache_hit).collect::<Vec<_>>(),
             vec![false, false, true, true, true]
@@ -797,7 +902,7 @@ mod tests {
         let mut bad = vec![false; compiler.profile().n_flags()];
         bad[compiler.profile().flag_index("-fpartial-inlining").unwrap()] = true;
         let good = compiler.profile().preset(OptLevel::O2);
-        let evals = engine.evaluate_batch(&[bad, good]);
+        let evals = engine.evaluate_batch(&[bad, good]).unwrap();
         assert_eq!(evals[0].fitness, FAILED_COMPILE_PENALTY);
         assert!(evals[1].fitness > evals[0].fitness);
         assert_eq!(engine.stats().failed_compiles, 1);

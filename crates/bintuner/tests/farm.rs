@@ -15,7 +15,7 @@ use bintuner::{
 use std::path::PathBuf;
 use std::process::{Command, Stdio};
 use std::time::{Duration, Instant};
-use testutil::{small_tuner, tiny_loop_module, ScratchStore};
+use testutil::{cached_tuner, small_tuner, tiny_loop_module, ScratchStore};
 
 /// The worker binary every farm in this suite re-execs.
 fn worker_binary() -> PathBuf {
@@ -122,6 +122,67 @@ fn killing_a_worker_process_mid_run_changes_nothing() {
     assert_eq!(summary.clients_lost, 1, "exactly the planned death");
 }
 
+#[test]
+fn process_farm_persists_stage_artifacts_for_warm_starts() {
+    // Farm workers compile in their own address spaces, so their stage
+    // artifacts exist nowhere the persistent store can see unless the
+    // merge barrier ships them home. Before that fold, a warm start
+    // behind `WorkerMode::Processes` silently reran full pipelines the
+    // in-process engine would have served from the artifact store. A
+    // *renamed* module makes every fitness key miss (keys hash the
+    // module content, name included) while the body-hash-keyed
+    // artifacts transfer — so the warm run's store hits below are
+    // served exclusively by artifacts the cold run persisted.
+    let local_store = ScratchStore::new("farm_artifacts_local");
+    let farm_store = ScratchStore::new("farm_artifacts_farm");
+    let first = tiny_loop_module("farm_artifacts_a", 6);
+    let renamed = tiny_loop_module("farm_artifacts_b", 6);
+    let with_farm = |store: &ScratchStore| TunerConfig {
+        backend: Backend::Service(ServiceConfig {
+            clients: 2,
+            transport: TransportKind::Unix,
+            workers: process_farm(),
+            fault: None,
+        }),
+        ..cached_tuner(90, Some(store))
+    };
+
+    let cold_farm = Tuner::new(with_farm(&farm_store)).tune(&first).unwrap();
+    Tuner::new(cached_tuner(90, Some(&local_store)))
+        .tune(&first)
+        .unwrap();
+    let summary = cold_farm.service.as_ref().expect("service telemetry");
+    assert!(summary.process_workers);
+    assert!(
+        summary.merged_artifacts > 0,
+        "the farm never shipped a stage artifact through the merge barrier"
+    );
+
+    let warm_local = Tuner::new(cached_tuner(90, Some(&local_store)))
+        .tune(&renamed)
+        .unwrap();
+    let warm_farm = Tuner::new(with_farm(&farm_store)).tune(&renamed).unwrap();
+    assert_identical_runs(&warm_local, &warm_farm, "warm renamed module");
+    // All fitness keys miss: the store hits are pure artifact traffic.
+    assert_eq!(warm_farm.engine_stats.persistent_hits, 0);
+    assert_eq!(
+        warm_farm.engine_stats.store_ast_hits, warm_local.engine_stats.store_ast_hits,
+        "backends disagree on persisted-AST hits"
+    );
+    assert_eq!(
+        warm_farm.engine_stats.store_lower_hits, warm_local.engine_stats.store_lower_hits,
+        "backends disagree on persisted-binary hits"
+    );
+    assert!(
+        warm_local.engine_stats.store_ast_hits > 0,
+        "the differential is vacuous without at least one store hit"
+    );
+    assert!(
+        warm_farm.engine_stats.full_compiles < cold_farm.engine_stats.full_compiles,
+        "warm farm run reran every full pipeline"
+    );
+}
+
 /// Deterministic pseudo-random genome batch (pure function of the
 /// arguments — the same batch always evaluates to the same fitnesses).
 fn batch(n_flags: usize, n: usize, salt: usize) -> Vec<Vec<bool>> {
@@ -157,6 +218,7 @@ fn sigkill_and_respawn_are_absorbed_without_changing_results() {
             .map(|salt| {
                 handle
                     .execute(&batch(n_flags, 10, salt))
+                    .unwrap()
                     .into_iter()
                     .map(|r| r.fitness.to_bits())
                     .collect()
@@ -172,6 +234,7 @@ fn sigkill_and_respawn_are_absorbed_without_changing_results() {
     let handle = ServiceHandle::launch(&cfg, kind, &bench.module, arch, true).unwrap();
     let first: Vec<u64> = handle
         .execute(&batch(n_flags, 10, 0))
+        .unwrap()
         .into_iter()
         .map(|r| r.fitness.to_bits())
         .collect();
@@ -181,6 +244,7 @@ fn sigkill_and_respawn_are_absorbed_without_changing_results() {
     assert!(!handle.kill_worker(0), "a worker dies once");
     let second: Vec<u64> = handle
         .execute(&batch(n_flags, 10, 1))
+        .unwrap()
         .into_iter()
         .map(|r| r.fitness.to_bits())
         .collect();
@@ -196,6 +260,7 @@ fn sigkill_and_respawn_are_absorbed_without_changing_results() {
         assert!(rounds < 200, "respawned worker never absorbed");
         let again: Vec<u64> = handle
             .execute(&batch(n_flags, 10, 2))
+            .unwrap()
             .into_iter()
             .map(|r| r.fitness.to_bits())
             .collect();
@@ -208,6 +273,50 @@ fn sigkill_and_respawn_are_absorbed_without_changing_results() {
     assert!(summary.clients_lost >= 1, "the SIGKILL was observed");
     assert!(summary.workers_killed >= 1, "the kill hook counted");
     assert!(summary.cost_observations > 0);
+}
+
+/// The headline bugfix, pinned at the handle level: SIGKILL *every*
+/// worker mid-run and the next batch must come back as a clean
+/// [`genetic::EvalAbort`] with the transport cause recorded — never a
+/// `panic!` (the pre-fix behavior, which would have taken a whole
+/// multi-tenant daemon down with one lost farm).
+#[test]
+fn killing_every_worker_fails_the_batch_not_the_process() {
+    let module = tiny_loop_module("farm_total_loss", 5);
+    let kind = minicc::CompilerKind::Gcc;
+    let n_flags = minicc::CompilerProfile::new(kind).n_flags();
+    let cfg = ServiceConfig {
+        clients: 2,
+        transport: TransportKind::Unix,
+        workers: process_farm(),
+        fault: None,
+    };
+    let handle = ServiceHandle::launch(&cfg, kind, &module, binrep::Arch::X86, true).unwrap();
+    // A healthy batch first, proving the farm really was up.
+    assert_eq!(handle.execute(&batch(n_flags, 8, 0)).unwrap().len(), 8);
+    assert!(handle.kill_worker(0), "worker 0 was alive to kill");
+    assert!(handle.kill_worker(1), "worker 1 was alive to kill");
+    let abort = handle
+        .execute(&batch(n_flags, 8, 1))
+        .expect_err("a farm with every worker dead must abort the batch, not the process");
+    assert!(
+        std::error::Error::source(&abort).is_some(),
+        "the abort chains its transport cause: {abort}"
+    );
+    let cause = handle
+        .take_failure()
+        .expect("the failure is recorded for take_failure");
+    assert!(
+        matches!(
+            *cause,
+            evald::EvaldError::NoClients | evald::EvaldError::Disconnected
+        ),
+        "total worker loss surfaces as a client-loss error, got {cause}"
+    );
+    // Dropping the dead handle must still tear down cleanly (join every
+    // thread, reap both corpses) — returning from this test is the
+    // assertion.
+    drop(handle);
 }
 
 #[test]

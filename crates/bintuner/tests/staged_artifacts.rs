@@ -205,8 +205,8 @@ fn eviction_bound_is_respected_and_changes_nothing() {
         })
         .collect();
     for batch in &batches {
-        let a = capped.evaluate_batch(batch);
-        let b = uncapped.evaluate_batch(batch);
+        let a = capped.evaluate_batch(batch).unwrap();
+        let b = uncapped.evaluate_batch(batch).unwrap();
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.fitness.to_bits(), y.fitness.to_bits());
         }
@@ -243,7 +243,7 @@ fn within_batch_stage_sharing_is_classified() {
     let idx = profile.flag_index("-freorder-functions").unwrap();
     assert!(late[idx]);
     late[idx] = false;
-    let evals = engine.evaluate_batch(&[base, late]);
+    let evals = engine.evaluate_batch(&[base, late]).unwrap();
     assert!(!evals[0].ast_reused && !evals[0].lower_reused);
     assert!(
         evals[1].lower_reused,

@@ -10,7 +10,10 @@
 //! writer.
 
 use crate::transport::Duplex;
-use crate::wire::{decode_frame, encode_frame, Frame, MergeRecord, ShardStats, WireEval};
+use crate::wire::{
+    decode_frame, encode_frame, Frame, MergeRecord, ShardStats, WireAstArtifact, WireEval,
+    WireLowerArtifact,
+};
 use crate::EvaldError;
 
 /// The embedder's evaluation engine, as seen by the client loop.
@@ -26,6 +29,14 @@ pub trait ShardWorker {
     /// without a cache return nothing.
     fn drain_merge(&mut self) -> Vec<MergeRecord> {
         Vec::new()
+    }
+
+    /// Drain the stage artifacts produced since the last drain (folded
+    /// into the server-side artifact store at batch end, alongside
+    /// [`ShardWorker::drain_merge`]). Workers without an artifact cache
+    /// return nothing.
+    fn drain_artifacts(&mut self) -> (Vec<WireAstArtifact>, Vec<WireLowerArtifact>) {
+        (Vec::new(), Vec::new())
     }
 
     /// React to the server's job description ([`Frame::Job`]) — opaque
@@ -105,9 +116,12 @@ pub fn serve(
                 }
             }
             Frame::EndBatch { .. } => {
+                let (ast_artifacts, lower_artifacts) = worker.drain_artifacts();
                 duplex.tx.send_frame(&encode_frame(&Frame::Merge {
                     client: opts.client_id,
                     records: worker.drain_merge(),
+                    ast_artifacts,
+                    lower_artifacts,
                 }))?;
             }
             Frame::Job { payload } => worker.on_job(&payload),
@@ -197,7 +211,9 @@ mod tests {
             merge,
             Frame::Merge {
                 client: 5,
-                records: vec![]
+                records: vec![],
+                ast_artifacts: vec![],
+                lower_artifacts: vec![],
             }
         );
         server

@@ -57,7 +57,9 @@ pub use transport::{
     channel_duplex, tcp_connect, tcp_listener, unix_connect, unix_listener, BoundUnixListener,
     Duplex, FrameReceiver, FrameSender,
 };
-pub use wire::{Frame, MergeRecord, ShardStats, WireEval, WIRE_VERSION};
+pub use wire::{
+    Frame, MergeRecord, ShardStats, WireAstArtifact, WireEval, WireLowerArtifact, WIRE_VERSION,
+};
 
 use std::fmt;
 use std::path::PathBuf;

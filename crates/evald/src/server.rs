@@ -21,7 +21,9 @@
 
 use crate::scheduler::{CostModel, Scheduler};
 use crate::transport::{Duplex, FrameReceiver, FrameSender};
-use crate::wire::{decode_frame, encode_frame, Frame, MergeRecord, WireEval};
+use crate::wire::{
+    decode_frame, encode_frame, Frame, MergeRecord, WireAstArtifact, WireEval, WireLowerArtifact,
+};
 use crate::EvaldError;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -43,6 +45,8 @@ pub struct ServiceStats {
     pub duplicate_results: usize,
     /// Client-cache records received in merge frames.
     pub merged_records: usize,
+    /// Client-produced stage artifacts received in merge frames (v4).
+    pub merged_artifacts: usize,
     /// Real compiles reported by clients (includes duplicated straggler
     /// work — the farm's actual effort, unlike the embedder's logical
     /// compile count).
@@ -159,6 +163,8 @@ pub struct EvalServer {
     next_batch: u64,
     stats: ServiceStats,
     merged: Vec<MergeRecord>,
+    merged_ast: Vec<WireAstArtifact>,
+    merged_lower: Vec<WireLowerArtifact>,
     /// Shard size chosen for each batch, in batch order (convergence
     /// telemetry for the adaptive cost model).
     shard_sizes: Vec<usize>,
@@ -205,6 +211,8 @@ impl EvalServer {
             next_batch: 0,
             stats: ServiceStats::default(),
             merged: Vec::new(),
+            merged_ast: Vec::new(),
+            merged_lower: Vec::new(),
             shard_sizes: Vec::new(),
             last_loss: None,
             idle: HashSet::new(),
@@ -468,7 +476,15 @@ impl EvalServer {
                     }
                     self.dispatch_next(&mut sched, c);
                 }
-                Event::Frame(_, Frame::Merge { records, .. }) => self.apply_merge(records),
+                Event::Frame(
+                    _,
+                    Frame::Merge {
+                        records,
+                        ast_artifacts,
+                        lower_artifacts,
+                        ..
+                    },
+                ) => self.apply_merge(records, ast_artifacts, lower_artifacts),
                 Event::Frame(c, Frame::Hello { n_flags, .. }) => {
                     if self.admit_joined(c, n_flags) {
                         // A reconnecting worker joins the running batch:
@@ -520,8 +536,16 @@ impl EvalServer {
         }
         while !waiting.is_empty() {
             match self.events.recv() {
-                Ok(Event::Frame(c, Frame::Merge { records, .. })) => {
-                    self.apply_merge(records);
+                Ok(Event::Frame(
+                    c,
+                    Frame::Merge {
+                        records,
+                        ast_artifacts,
+                        lower_artifacts,
+                        ..
+                    },
+                )) => {
+                    self.apply_merge(records, ast_artifacts, lower_artifacts);
                     waiting.remove(&c);
                 }
                 Ok(Event::Frame(c, Frame::Result { evals, stats, .. })) => {
@@ -561,15 +585,33 @@ impl EvalServer {
         Ok(())
     }
 
-    fn apply_merge(&mut self, records: Vec<MergeRecord>) {
+    fn apply_merge(
+        &mut self,
+        records: Vec<MergeRecord>,
+        ast: Vec<WireAstArtifact>,
+        lower: Vec<WireLowerArtifact>,
+    ) {
         self.stats.merged_records += records.len();
+        self.stats.merged_artifacts += ast.len() + lower.len();
         self.merged.extend(records);
+        self.merged_ast.extend(ast);
+        self.merged_lower.extend(lower);
     }
 
     /// Drain the accumulated client-cache records (the embedder folds
     /// them into its store — the single write path).
     pub fn take_merged(&mut self) -> Vec<MergeRecord> {
         std::mem::take(&mut self.merged)
+    }
+
+    /// Drain the accumulated client-produced stage artifacts (the
+    /// embedder folds them into its artifact store — same single-writer
+    /// rule as [`EvalServer::take_merged`]).
+    pub fn take_merged_artifacts(&mut self) -> (Vec<WireAstArtifact>, Vec<WireLowerArtifact>) {
+        (
+            std::mem::take(&mut self.merged_ast),
+            std::mem::take(&mut self.merged_lower),
+        )
     }
 
     /// A snapshot of the service telemetry.

@@ -29,8 +29,11 @@ pub const WIRE_MAGIC: [u8; 4] = *b"EVLD";
 /// changes; both ends reject mismatched frames instead of misreading
 /// them. (v2: [`ShardStats`] grew the three per-stage pipeline-reuse
 /// counters. v3: the [`Frame::Job`] frame, carrying the embedder's
-/// opaque job description to pre-forked worker processes.)
-pub const WIRE_VERSION: u32 = 3;
+/// opaque job description to pre-forked worker processes. v4:
+/// [`Frame::Merge`] grew the two stage-artifact record lists, so farm
+/// workers' freshly computed artifacts reach the server's persistent
+/// artifact store instead of being recomputed on every warm start.)
+pub const WIRE_VERSION: u32 = 4;
 
 /// Hard cap on one frame's declared length (a corrupted length prefix
 /// must not trigger a multi-gigabyte allocation).
@@ -92,6 +95,50 @@ pub struct MergeRecord {
     pub failed: bool,
     /// The representative flag vector (minable metadata).
     pub flags: Vec<bool>,
+}
+
+/// One client-produced stage-1 artifact (optimized AST) shipped back on
+/// the merge barrier so the server's persistent [`ArtifactStore`] learns
+/// it without recompiling (v4).
+///
+/// The key fields mirror the embedder's `AstArtifactKey` — module body
+/// hash, compiler tag, effect digest of the optimization prefix —
+/// without this crate depending on the store itself. The cost travels
+/// as raw `f64::to_bits` like every other float on the wire.
+///
+/// [`ArtifactStore`]: ../../bintuner/store/struct.ArtifactStore.html
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireAstArtifact {
+    /// Stable content hash of the module body.
+    pub body_hash: u64,
+    /// Stable one-byte compiler-profile tag.
+    pub compiler: u8,
+    /// Stable 128-bit digest of the stage-1 effect prefix.
+    pub ast_digest: u128,
+    /// `f64::to_bits` of the stage cost the artifact saves.
+    pub cost_bits: u64,
+    /// The canonically encoded artifact.
+    pub blob: Vec<u8>,
+}
+
+/// One client-produced stage-2 artifact (lowered binary) shipped back on
+/// the merge barrier (v4); see [`WireAstArtifact`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireLowerArtifact {
+    /// Stable content hash of the module body.
+    pub body_hash: u64,
+    /// Stable one-byte compiler-profile tag.
+    pub compiler: u8,
+    /// Stable one-byte architecture tag.
+    pub arch: u8,
+    /// Stable 128-bit digest of the stage-1 effect prefix.
+    pub ast_digest: u128,
+    /// Stable 128-bit digest of the full effect config.
+    pub lower_digest: u128,
+    /// `f64::to_bits` of the stage cost the artifact saves.
+    pub cost_bits: u64,
+    /// The canonically encoded artifact.
+    pub blob: Vec<u8>,
 }
 
 /// Per-shard client telemetry, carried on every [`Frame::Result`].
@@ -175,6 +222,10 @@ pub enum Frame {
         client: u32,
         /// Fresh records since the last merge.
         records: Vec<MergeRecord>,
+        /// Fresh stage-1 artifacts since the last merge (v4).
+        ast_artifacts: Vec<WireAstArtifact>,
+        /// Fresh stage-2 artifacts since the last merge (v4).
+        lower_artifacts: Vec<WireLowerArtifact>,
     },
     /// Server → client: exit cleanly.
     Shutdown,
@@ -190,7 +241,12 @@ pub enum Frame {
     },
 }
 
-fn put_genome(out: &mut Vec<u8>, genome: &[bool]) {
+/// Append one genome to `out` in the canonical wire encoding: a `u16`
+/// length prefix, then the bools packed LSB-first into bytes.
+///
+/// Public so embedder-defined protocols layered over the same transports
+/// (the BinTuner daemon's job frames) share one genome encoding.
+pub fn put_genome(out: &mut Vec<u8>, genome: &[bool]) {
     debug_assert!(genome.len() <= usize::from(u16::MAX));
     out.put_u16_le(genome.len() as u16);
     let mut byte = 0u8;
@@ -253,7 +309,12 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             body.put_u8(TAG_END_BATCH);
             body.put_u64_le(*batch);
         }
-        Frame::Merge { client, records } => {
+        Frame::Merge {
+            client,
+            records,
+            ast_artifacts,
+            lower_artifacts,
+        } => {
             body.put_u8(TAG_MERGE);
             body.put_u32_le(*client);
             body.put_u32_le(records.len() as u32);
@@ -266,6 +327,29 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
                 body.put_u64_le(r.fitness_bits);
                 body.put_u8(r.failed as u8);
                 put_genome(&mut body, &r.flags);
+            }
+            body.put_u32_le(ast_artifacts.len() as u32);
+            for a in ast_artifacts {
+                body.put_u64_le(a.body_hash);
+                body.put_u8(a.compiler);
+                body.put_u64_le((a.ast_digest >> 64) as u64);
+                body.put_u64_le(a.ast_digest as u64);
+                body.put_u64_le(a.cost_bits);
+                body.put_u32_le(a.blob.len() as u32);
+                body.put_slice(&a.blob);
+            }
+            body.put_u32_le(lower_artifacts.len() as u32);
+            for a in lower_artifacts {
+                body.put_u64_le(a.body_hash);
+                body.put_u8(a.compiler);
+                body.put_u8(a.arch);
+                body.put_u64_le((a.ast_digest >> 64) as u64);
+                body.put_u64_le(a.ast_digest as u64);
+                body.put_u64_le((a.lower_digest >> 64) as u64);
+                body.put_u64_le(a.lower_digest as u64);
+                body.put_u64_le(a.cost_bits);
+                body.put_u32_le(a.blob.len() as u32);
+                body.put_slice(&a.blob);
             }
         }
         Frame::Shutdown => body.put_u8(TAG_SHUTDOWN),
@@ -285,17 +369,23 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
 
 /// Bounds-checked cursor over a frame payload (decoding must reject
 /// malformed bytes, never panic).
-struct Reader<'a> {
+///
+/// Public so embedder-defined protocols layered over the same transports
+/// (the BinTuner daemon's job frames) get the same never-panic decoding
+/// discipline without re-deriving it.
+pub struct Reader<'a> {
     buf: &'a [u8],
     off: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Reader<'a> {
+    /// Start a cursor at the head of `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
         Reader { buf, off: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], EvaldError> {
+    /// Consume the next `n` bytes, or reject the payload as short.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], EvaldError> {
         if self.off + n > self.buf.len() {
             return Err(EvaldError::Corrupt("payload shorter than its fields"));
         }
@@ -304,29 +394,48 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, EvaldError> {
+    /// Consume one byte.
+    pub fn u8(&mut self) -> Result<u8, EvaldError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u16(&mut self) -> Result<u16, EvaldError> {
+    /// Consume a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, EvaldError> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
     }
 
-    fn u32(&mut self) -> Result<u32, EvaldError> {
+    /// Consume a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, EvaldError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Result<u64, EvaldError> {
+    /// Consume a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, EvaldError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn genome(&mut self) -> Result<Vec<bool>, EvaldError> {
+    /// Consume a `u128` encoded as high then low `u64` halves.
+    pub fn u128(&mut self) -> Result<u128, EvaldError> {
+        let hi = self.u64()?;
+        let lo = self.u64()?;
+        Ok((u128::from(hi) << 64) | u128::from(lo))
+    }
+
+    /// Consume a `u32`-length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, EvaldError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Consume one genome in the [`put_genome`] encoding.
+    pub fn genome(&mut self) -> Result<Vec<bool>, EvaldError> {
         let n = usize::from(self.u16()?);
         let bytes = self.take(n.div_ceil(8))?;
         Ok((0..n).map(|i| bytes[i / 8] & (1 << (i % 8)) != 0).collect())
     }
 
-    fn done(&self) -> Result<(), EvaldError> {
+    /// Require the payload to be fully consumed.
+    pub fn done(&self) -> Result<(), EvaldError> {
         if self.off == self.buf.len() {
             Ok(())
         } else {
@@ -434,17 +543,42 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), EvaldError> {
                     module_hash: r.u64()?,
                     compiler: r.u8()?,
                     arch: r.u8()?,
-                    effect_digest: {
-                        let hi = r.u64()?;
-                        let lo = r.u64()?;
-                        (u128::from(hi) << 64) | u128::from(lo)
-                    },
+                    effect_digest: r.u128()?,
                     fitness_bits: r.u64()?,
                     failed: r.u8()? != 0,
                     flags: r.genome()?,
                 });
             }
-            Frame::Merge { client, records }
+            let n = r.u32()? as usize;
+            let mut ast_artifacts = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                ast_artifacts.push(WireAstArtifact {
+                    body_hash: r.u64()?,
+                    compiler: r.u8()?,
+                    ast_digest: r.u128()?,
+                    cost_bits: r.u64()?,
+                    blob: r.bytes()?,
+                });
+            }
+            let n = r.u32()? as usize;
+            let mut lower_artifacts = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                lower_artifacts.push(WireLowerArtifact {
+                    body_hash: r.u64()?,
+                    compiler: r.u8()?,
+                    arch: r.u8()?,
+                    ast_digest: r.u128()?,
+                    lower_digest: r.u128()?,
+                    cost_bits: r.u64()?,
+                    blob: r.bytes()?,
+                });
+            }
+            Frame::Merge {
+                client,
+                records,
+                ast_artifacts,
+                lower_artifacts,
+            }
         }
         TAG_SHUTDOWN => Frame::Shutdown,
         TAG_JOB => {
@@ -513,6 +647,30 @@ mod tests {
                     failed: false,
                     flags: vec![true; 9],
                 }],
+                ast_artifacts: vec![WireAstArtifact {
+                    body_hash: 0xDEAD_BEEF,
+                    compiler: 0,
+                    ast_digest: u128::MAX - 7,
+                    cost_bits: 0.25f64.to_bits(),
+                    blob: vec![0x5A; 17],
+                }],
+                lower_artifacts: vec![WireLowerArtifact {
+                    body_hash: 0xDEAD_BEEF,
+                    compiler: 0,
+                    arch: 1,
+                    ast_digest: u128::MAX - 7,
+                    lower_digest: 0x0123_4567_89AB_CDEF,
+                    cost_bits: 0.125f64.to_bits(),
+                    blob: vec![],
+                }],
+            },
+            // Empty merge: the artifact lists must encode (and decode)
+            // as explicit zero counts, not be elided.
+            Frame::Merge {
+                client: 0,
+                records: vec![],
+                ast_artifacts: vec![],
+                lower_artifacts: vec![],
             },
             Frame::Shutdown,
             Frame::Job {

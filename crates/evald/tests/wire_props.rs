@@ -4,7 +4,10 @@
 //! misread as a different frame. These mirror the fitness store's
 //! corruption-tolerance guarantees at the transport boundary.
 
-use evald::wire::{decode_frame, encode_frame, Frame, MergeRecord, ShardStats, WireEval};
+use evald::wire::{
+    decode_frame, encode_frame, Frame, MergeRecord, ShardStats, WireAstArtifact, WireEval,
+    WireLowerArtifact,
+};
 use evald::EvaldError;
 use evald::WIRE_VERSION;
 use proptest::collection::vec;
@@ -37,6 +40,41 @@ fn record_strategy() -> impl Strategy<Value = MergeRecord> {
             failed,
             flags,
         })
+}
+
+fn ast_artifact_strategy() -> impl Strategy<Value = WireAstArtifact> {
+    (
+        (any::<u64>(), any::<u8>()),
+        (any::<u64>(), any::<u64>()),
+        (any::<u64>(), vec(any::<u8>(), 0..64)),
+    )
+        .prop_map(|((m, c), (hi, lo), (cost, blob))| WireAstArtifact {
+            body_hash: m,
+            compiler: c,
+            ast_digest: (u128::from(hi) << 64) | u128::from(lo),
+            cost_bits: cost,
+            blob,
+        })
+}
+
+fn lower_artifact_strategy() -> impl Strategy<Value = WireLowerArtifact> {
+    (
+        (any::<u64>(), any::<u8>(), any::<u8>()),
+        (any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>()),
+        (any::<u64>(), vec(any::<u8>(), 0..64)),
+    )
+        .prop_map(
+            |((m, c, a), (ahi, alo), (lhi, llo), (cost, blob))| WireLowerArtifact {
+                body_hash: m,
+                compiler: c,
+                arch: a,
+                ast_digest: (u128::from(ahi) << 64) | u128::from(alo),
+                lower_digest: (u128::from(lhi) << 64) | u128::from(llo),
+                cost_bits: cost,
+                blob,
+            },
+        )
 }
 
 proptest! {
@@ -87,8 +125,10 @@ proptest! {
 
     #[test]
     fn merge_frames_round_trip(client in any::<u32>(),
-                               records in vec(record_strategy(), 0..12)) {
-        let frame = Frame::Merge { client, records };
+                               records in vec(record_strategy(), 0..12),
+                               ast_artifacts in vec(ast_artifact_strategy(), 0..6),
+                               lower_artifacts in vec(lower_artifact_strategy(), 0..6)) {
+        let frame = Frame::Merge { client, records, ast_artifacts, lower_artifacts };
         let (decoded, _) = decode_frame(&encode_frame(&frame)).expect("valid frame decodes");
         prop_assert_eq!(decoded, frame);
     }

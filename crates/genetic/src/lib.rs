@@ -79,6 +79,55 @@ impl Eval {
     }
 }
 
+/// A typed abort from an [`Evaluator`]: the batch could not be scored
+/// and never will be — the search cannot continue.
+///
+/// This is the error channel a remote evaluation service needs: losing
+/// every worker mid-batch is not a per-genome failure (a failed compile
+/// still yields a fitness penalty) but the death of the evaluation
+/// substrate itself. In-process evaluators are infallible by
+/// construction and never produce one.
+#[derive(Debug)]
+pub struct EvalAbort {
+    message: String,
+    source: Option<Box<dyn std::error::Error + Send + Sync>>,
+}
+
+impl EvalAbort {
+    /// An abort with a message and no underlying cause.
+    pub fn new(message: impl Into<String>) -> EvalAbort {
+        EvalAbort {
+            message: message.into(),
+            source: None,
+        }
+    }
+
+    /// An abort wrapping the error that killed the evaluator.
+    pub fn with_source(
+        message: impl Into<String>,
+        source: impl std::error::Error + Send + Sync + 'static,
+    ) -> EvalAbort {
+        EvalAbort {
+            message: message.into(),
+            source: Some(Box::new(source)),
+        }
+    }
+}
+
+impl std::fmt::Display for EvalAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for EvalAbort {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.source
+            .as_deref()
+            .map(|e| e as &(dyn std::error::Error + 'static))
+    }
+}
+
 /// Batch fitness evaluation — the server/client split of the paper's
 /// Figure 4 architecture.
 ///
@@ -88,9 +137,20 @@ impl Eval {
 /// compile farms. `evaluate_batch` must return exactly one [`Eval`] per
 /// input genome, in input order, and must be deterministic in the genome
 /// (the GA's reproducibility guarantee rests on that).
+///
+/// A *failed evaluation* (e.g. a rejected flag combination) is still an
+/// `Ok` result — it scores the genome with a penalty fitness. `Err` is
+/// reserved for [`EvalAbort`]: the evaluator itself is gone and the run
+/// must stop. Evaluators with no failure mode simply always return `Ok`.
 pub trait Evaluator {
     /// Score every genome in `genomes`, preserving order.
-    fn evaluate_batch(&self, genomes: &[Vec<bool>]) -> Vec<Eval>;
+    ///
+    /// # Errors
+    ///
+    /// [`EvalAbort`] when the evaluation substrate failed mid-batch and
+    /// no results can ever be produced (the abort is propagated out of
+    /// [`Ga::run_batched`] / [`Ga::run_batched_dedup`] unchanged).
+    fn evaluate_batch(&self, genomes: &[Vec<bool>]) -> Result<Vec<Eval>, EvalAbort>;
 }
 
 /// Compat shim: adapts the historical `FnMut(&[bool]) -> (f64, f64)`
@@ -105,15 +165,15 @@ impl<F: FnMut(&[bool]) -> (f64, f64)> FnEvaluator<F> {
 }
 
 impl<F: FnMut(&[bool]) -> (f64, f64)> Evaluator for FnEvaluator<F> {
-    fn evaluate_batch(&self, genomes: &[Vec<bool>]) -> Vec<Eval> {
+    fn evaluate_batch(&self, genomes: &[Vec<bool>]) -> Result<Vec<Eval>, EvalAbort> {
         let f = &mut *self.0.borrow_mut();
-        genomes
+        Ok(genomes
             .iter()
             .map(|g| {
                 let (fitness, cost) = f(g);
                 Eval::new(fitness, cost)
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -410,7 +470,9 @@ impl Ga {
         repair: impl Fn(&[bool], u64) -> Vec<bool>,
         term: &Termination,
     ) -> GaRun {
+        // A closure evaluator has no abort channel, so this cannot fail.
         self.run_batched(&FnEvaluator::new(fitness), repair, term)
+            .expect("FnEvaluator is infallible")
     }
 
     /// Run the GA against a batch [`Evaluator`].
@@ -425,12 +487,18 @@ impl Ga {
     /// mid-batch, the remaining evaluations of that batch are discarded
     /// uncounted — exactly the evaluations the sequential loop would
     /// never have started.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the evaluator's [`EvalAbort`] unchanged; the partial
+    /// run is discarded (results already committed before the abort are
+    /// not replayable, and a half-run would misreport its stop reason).
     pub fn run_batched(
         &mut self,
         evaluator: &dyn Evaluator,
         repair: impl Fn(&[bool], u64) -> Vec<bool>,
         term: &Termination,
-    ) -> GaRun {
+    ) -> Result<GaRun, EvalAbort> {
         self.run_inner(evaluator, &repair, None, term)
     }
 
@@ -450,13 +518,18 @@ impl Ga {
     /// when re-breeding exhausts its attempts the duplicate child is
     /// accepted rather than looping forever (selection still needs a
     /// full population).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the evaluator's [`EvalAbort`] unchanged (see
+    /// [`Ga::run_batched`]).
     pub fn run_batched_dedup(
         &mut self,
         evaluator: &dyn Evaluator,
         repair: impl Fn(&[bool], u64) -> Vec<bool>,
         digest: impl Fn(&[bool]) -> u64,
         term: &Termination,
-    ) -> GaRun {
+    ) -> Result<GaRun, EvalAbort> {
         self.run_inner(evaluator, &repair, Some(&digest), term)
     }
 
@@ -481,7 +554,7 @@ impl Ga {
         repair: RepairFn<'_>,
         digest: Option<DigestFn<'_>>,
         term: &Termination,
-    ) -> GaRun {
+    ) -> Result<GaRun, EvalAbort> {
         /// Re-breeding attempts per child before accepting a duplicate.
         /// Bounded so a converged population (or a digest with few
         /// classes) cannot spin the breeding loop forever.
@@ -535,7 +608,7 @@ impl Ga {
                 seen.insert(digest(g));
             }
         }
-        let results = evaluator.evaluate_batch(&initial);
+        let results = evaluator.evaluate_batch(&initial)?;
         let (fitnesses, _) = state.commit(&initial, &results, &seeded_mask, false, term);
         let mut population: Vec<(Vec<bool>, f64)> = initial.into_iter().zip(fitnesses).collect();
 
@@ -598,7 +671,7 @@ impl Ga {
                     child
                 })
                 .collect();
-            let results = evaluator.evaluate_batch(&offspring);
+            let results = evaluator.evaluate_batch(&offspring)?;
             let (fitnesses, cut) = state.commit(&offspring, &results, &[], true, term);
             population = elites;
             population.extend(offspring.into_iter().zip(fitnesses));
@@ -609,7 +682,7 @@ impl Ga {
             }
         }
 
-        GaRun {
+        Ok(GaRun {
             best_genes: state.best.0,
             best_fitness: state.best.1,
             evaluations: state.evals,
@@ -621,7 +694,7 @@ impl Ga {
             skipped_duplicates,
             seeded_evaluations: state.seeded_evals,
             wall_seconds: state.wall,
-        }
+        })
     }
 }
 
@@ -798,9 +871,9 @@ mod tests {
     }
 
     impl Evaluator for BatchOnemax {
-        fn evaluate_batch(&self, genomes: &[Vec<bool>]) -> Vec<Eval> {
+        fn evaluate_batch(&self, genomes: &[Vec<bool>]) -> Result<Vec<Eval>, EvalAbort> {
             let mut seen = self.seen.borrow_mut();
-            genomes
+            Ok(genomes
                 .iter()
                 .map(|g| {
                     let hit = !seen.insert(g.clone());
@@ -812,7 +885,7 @@ mod tests {
                         ..Eval::new(0.0, 0.0)
                     }
                 })
-                .collect()
+                .collect())
         }
     }
 
@@ -825,11 +898,9 @@ mod tests {
             ..Default::default()
         };
         let run_seq = Ga::new(16, GaParams::default(), 7).run(onemax, |g, _| g.to_vec(), &term);
-        let run_batch = Ga::new(16, GaParams::default(), 7).run_batched(
-            &BatchOnemax::new(),
-            |g, _| g.to_vec(),
-            &term,
-        );
+        let run_batch = Ga::new(16, GaParams::default(), 7)
+            .run_batched(&BatchOnemax::new(), |g, _| g.to_vec(), &term)
+            .unwrap();
         assert_eq!(run_seq.best_genes, run_batch.best_genes);
         assert_eq!(run_seq.best_fitness, run_batch.best_fitness);
         assert_eq!(run_seq.evaluations, run_batch.evaluations);
@@ -845,15 +916,17 @@ mod tests {
     #[test]
     fn cache_hits_are_accounted() {
         let mut ga = Ga::new(12, GaParams::default(), 5);
-        let run = ga.run_batched(
-            &BatchOnemax::new(),
-            |g, _| g.to_vec(),
-            &Termination {
-                max_evaluations: 600,
-                plateau_growth: 0.0,
-                ..Default::default()
-            },
-        );
+        let run = ga
+            .run_batched(
+                &BatchOnemax::new(),
+                |g, _| g.to_vec(),
+                &Termination {
+                    max_evaluations: 600,
+                    plateau_growth: 0.0,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         // Tournament selection revisits genomes constantly on a 12-bit
         // space; the evaluator must have reported hits, and the run must
         // have accumulated them consistently with its history.
@@ -902,17 +975,17 @@ mod tests {
                 .collect::<std::collections::BTreeSet<_>>()
                 .len()
         };
-        let plain = Ga::new(24, GaParams::default(), 17).run_batched(
-            &BatchOnemax::new(),
-            |g, _| g.to_vec(),
-            &term,
-        );
-        let dedup = Ga::new(24, GaParams::default(), 17).run_batched_dedup(
-            &BatchOnemax::new(),
-            |g, _| g.to_vec(),
-            popcount_digest,
-            &term,
-        );
+        let plain = Ga::new(24, GaParams::default(), 17)
+            .run_batched(&BatchOnemax::new(), |g, _| g.to_vec(), &term)
+            .unwrap();
+        let dedup = Ga::new(24, GaParams::default(), 17)
+            .run_batched_dedup(
+                &BatchOnemax::new(),
+                |g, _| g.to_vec(),
+                popcount_digest,
+                &term,
+            )
+            .unwrap();
         // Re-breeding must actually have fired, and the same budget must
         // cover at least as many equivalence classes as without dedup.
         assert!(dedup.skipped_duplicates > 0, "{}", dedup.skipped_duplicates);
@@ -934,26 +1007,27 @@ mod tests {
         };
         // A single-class digest makes *every* re-breed a duplicate; the
         // bounded retry must still accept children and terminate.
-        let degenerate = Ga::new(16, GaParams::default(), 3).run_batched_dedup(
-            &BatchOnemax::new(),
-            |g, _| g.to_vec(),
-            |_| 0,
-            &term,
-        );
+        let degenerate = Ga::new(16, GaParams::default(), 3)
+            .run_batched_dedup(&BatchOnemax::new(), |g, _| g.to_vec(), |_| 0, &term)
+            .unwrap();
         assert_eq!(degenerate.evaluations, 200);
 
-        let a = Ga::new(16, GaParams::default(), 9).run_batched_dedup(
-            &BatchOnemax::new(),
-            |g, _| g.to_vec(),
-            popcount_digest,
-            &term,
-        );
-        let b = Ga::new(16, GaParams::default(), 9).run_batched_dedup(
-            &BatchOnemax::new(),
-            |g, _| g.to_vec(),
-            popcount_digest,
-            &term,
-        );
+        let a = Ga::new(16, GaParams::default(), 9)
+            .run_batched_dedup(
+                &BatchOnemax::new(),
+                |g, _| g.to_vec(),
+                popcount_digest,
+                &term,
+            )
+            .unwrap();
+        let b = Ga::new(16, GaParams::default(), 9)
+            .run_batched_dedup(
+                &BatchOnemax::new(),
+                |g, _| g.to_vec(),
+                popcount_digest,
+                &term,
+            )
+            .unwrap();
         assert_eq!(a.best_genes, b.best_genes);
         assert_eq!(a.evaluations, b.evaluations);
         assert_eq!(a.skipped_duplicates, b.skipped_duplicates);
@@ -984,18 +1058,17 @@ mod tests {
             plateau_growth: 0.0,
             ..Default::default()
         };
-        let baseline = Ga::new(16, GaParams::default(), 21).run_batched(
-            &BatchOnemax::new(),
-            |g, _| g.to_vec(),
-            &term,
-        );
+        let baseline = Ga::new(16, GaParams::default(), 21)
+            .run_batched(&BatchOnemax::new(), |g, _| g.to_vec(), &term)
+            .unwrap();
         let hooks_off = GaParams {
             seeded_initial: Vec::new(),
             mutation_bias: MutationBias::from_weights(vec![1.0; 16]),
             ..Default::default()
         };
-        let run =
-            Ga::new(16, hooks_off, 21).run_batched(&BatchOnemax::new(), |g, _| g.to_vec(), &term);
+        let run = Ga::new(16, hooks_off, 21)
+            .run_batched(&BatchOnemax::new(), |g, _| g.to_vec(), &term)
+            .unwrap();
         assert_identical_runs(&baseline, &run);
         assert_eq!(run.seeded_evaluations, 0);
         assert!(run.history.iter().all(|r| !r.seeded));
@@ -1008,14 +1081,16 @@ mod tests {
             seeded_initial: vec![good.clone(), vec![false; 12]],
             ..Default::default()
         };
-        let run = Ga::new(12, params, 4).run_batched(
-            &BatchOnemax::new(),
-            |g, _| g.to_vec(),
-            &Termination {
-                max_evaluations: 100,
-                ..Default::default()
-            },
-        );
+        let run = Ga::new(12, params, 4)
+            .run_batched(
+                &BatchOnemax::new(),
+                |g, _| g.to_vec(),
+                &Termination {
+                    max_evaluations: 100,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         // Slots 0 and 1 are the fixed baselines; slots 2 and 3 carry the
         // seeds verbatim (repair here is identity) and are flagged.
         assert_eq!(run.history[2].genes, good);
@@ -1037,22 +1112,16 @@ mod tests {
             seeded_initial: vec![vec![true; 7], vec![true; 99]],
             ..Default::default()
         };
-        let seeded = Ga::new(12, params, 8).run_batched(
-            &BatchOnemax::new(),
-            |g, _| g.to_vec(),
-            &Termination {
-                max_evaluations: 60,
-                ..Default::default()
-            },
-        );
-        let plain = Ga::new(12, GaParams::default(), 8).run_batched(
-            &BatchOnemax::new(),
-            |g, _| g.to_vec(),
-            &Termination {
-                max_evaluations: 60,
-                ..Default::default()
-            },
-        );
+        let term = Termination {
+            max_evaluations: 60,
+            ..Default::default()
+        };
+        let seeded = Ga::new(12, params, 8)
+            .run_batched(&BatchOnemax::new(), |g, _| g.to_vec(), &term)
+            .unwrap();
+        let plain = Ga::new(12, GaParams::default(), 8)
+            .run_batched(&BatchOnemax::new(), |g, _| g.to_vec(), &term)
+            .unwrap();
         assert_identical_runs(&plain, &seeded);
         assert_eq!(seeded.seeded_evaluations, 0);
     }
@@ -1070,15 +1139,17 @@ mod tests {
             must_mutate_count: 0,
             ..Default::default()
         };
-        let run = Ga::new(12, params, 6).run_batched(
-            &BatchOnemax::new(),
-            |g, _| g.to_vec(),
-            &Termination {
-                max_evaluations: 400,
-                plateau_growth: 0.0,
-                ..Default::default()
-            },
-        );
+        let run = Ga::new(12, params, 6)
+            .run_batched(
+                &BatchOnemax::new(),
+                |g, _| g.to_vec(),
+                &Termination {
+                    max_evaluations: 400,
+                    plateau_growth: 0.0,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         let flips = |i: usize| {
             run.history
                 .windows(2)
@@ -1112,22 +1183,17 @@ mod tests {
             plateau_growth: 0.0,
             ..Default::default()
         };
-        let plain = Ga::new(20, GaParams::default(), 13).run_batched(
-            &BatchOnemax::new(),
-            |g, _| g.to_vec(),
-            &term,
-        );
+        let plain = Ga::new(20, GaParams::default(), 13)
+            .run_batched(&BatchOnemax::new(), |g, _| g.to_vec(), &term)
+            .unwrap();
         let counter = std::cell::Cell::new(0u64);
         let unique_digest = |_: &[bool]| {
             counter.set(counter.get() + 1);
             counter.get()
         };
-        let dedup_off = Ga::new(20, GaParams::default(), 13).run_batched_dedup(
-            &BatchOnemax::new(),
-            |g, _| g.to_vec(),
-            unique_digest,
-            &term,
-        );
+        let dedup_off = Ga::new(20, GaParams::default(), 13)
+            .run_batched_dedup(&BatchOnemax::new(), |g, _| g.to_vec(), unique_digest, &term)
+            .unwrap();
         assert_identical_runs(&plain, &dedup_off);
         assert_eq!(dedup_off.skipped_duplicates, 0);
     }
@@ -1155,5 +1221,67 @@ mod tests {
         let distinct: std::collections::BTreeSet<Vec<bool>> =
             run.history.iter().map(|r| r.genes.clone()).collect();
         assert!(distinct.len() > 50, "{}", distinct.len());
+    }
+
+    /// Evaluator that scores `ok_batches` batches, then aborts — the
+    /// shape of a compile farm dying partway through a run.
+    struct AbortAfter {
+        ok_batches: std::cell::Cell<usize>,
+    }
+
+    impl Evaluator for AbortAfter {
+        fn evaluate_batch(&self, genomes: &[Vec<bool>]) -> Result<Vec<Eval>, EvalAbort> {
+            let left = self.ok_batches.get();
+            if left == 0 {
+                return Err(EvalAbort::with_source(
+                    "farm died",
+                    std::io::Error::other("all clients lost"),
+                ));
+            }
+            self.ok_batches.set(left - 1);
+            Ok(genomes
+                .iter()
+                .map(|g| Eval::new(onemax(g).0, 0.01))
+                .collect())
+        }
+    }
+
+    #[test]
+    fn evaluator_abort_propagates_from_both_batch_sites() {
+        let term = Termination {
+            max_evaluations: 500,
+            plateau_growth: 0.0,
+            ..Default::default()
+        };
+        // Abort on the very first (initial-population) batch.
+        let err = Ga::new(12, GaParams::default(), 4)
+            .run_batched(
+                &AbortAfter {
+                    ok_batches: std::cell::Cell::new(0),
+                },
+                |g, _| g.to_vec(),
+                &term,
+            )
+            .unwrap_err();
+        assert_eq!(err.to_string(), "farm died");
+        assert_eq!(
+            std::error::Error::source(&err).unwrap().to_string(),
+            "all clients lost"
+        );
+        // Abort on an offspring batch, through both entry points.
+        for dedup in [false, true] {
+            let evaluator = AbortAfter {
+                ok_batches: std::cell::Cell::new(1),
+            };
+            let mut ga = Ga::new(12, GaParams::default(), 4);
+            let err = if dedup {
+                ga.run_batched_dedup(&evaluator, |g, _| g.to_vec(), popcount_digest, &term)
+                    .unwrap_err()
+            } else {
+                ga.run_batched(&evaluator, |g, _| g.to_vec(), &term)
+                    .unwrap_err()
+            };
+            assert_eq!(err.to_string(), "farm died");
+        }
     }
 }
