@@ -1,7 +1,7 @@
 //! Engine scaling: tuner throughput at 1/2/4/8 fitness-engine workers,
-//! with cache hit-rate — the perf trajectory behind the batched, parallel,
-//! cached fitness engine (the reproduction's analog of the paper's
-//! Table 3 iteration-cost concern).
+//! with per-tier cache hit rates read from the btel registry — the perf
+//! trajectory behind the batched, parallel, cached fitness engine (the
+//! reproduction's analog of the paper's Table 3 iteration-cost concern).
 //!
 //! The tuned result is identical at every worker count (asserted below);
 //! only wall-clock changes. Speedup requires hardware parallelism —
@@ -28,8 +28,22 @@ fn config(workers: usize) -> TunerConfig {
             ..Default::default()
         },
         workers,
+        // The hit-rate columns come from the live registry, not from
+        // hand-rolled EngineStats arithmetic.
+        telemetry: btel::TelemetryMode::On,
         ..Default::default()
     }
+}
+
+/// Per-tier hit rate from the registry's labelled counter family.
+fn tier_rate(registry: &btel::Registry, tier: &str, evaluations: u64) -> String {
+    let hits = registry
+        .counter_value("bintuner_engine_cache_hits_total", Some(tier))
+        .unwrap_or(0);
+    format!(
+        "{:.1}%",
+        100.0 * btel::ratio(hits as f64, evaluations as f64)
+    )
 }
 
 fn main() {
@@ -69,6 +83,14 @@ fn main() {
             ),
         }
         let stats = result.engine_stats;
+        let registry = result.registry.as_ref().expect("telemetry registry");
+        let evaluations = registry
+            .counter_value("bintuner_engine_evaluations_total", None)
+            .unwrap_or(0);
+        assert_eq!(
+            evaluations, stats.evaluations as u64,
+            "registry and EngineStats disagree on evaluation count"
+        );
         rows.push(vec![
             workers.to_string(),
             result.iterations.to_string(),
@@ -76,14 +98,15 @@ fn main() {
             format!("{:.2}", wall),
             format!("{:.2}", baseline_wall / wall),
             format!("{:.0}", result.iterations as f64 / wall),
-            format!("{:.1}%", 100.0 * stats.cache_hit_rate()),
+            tier_rate(registry, "memo", evaluations),
+            tier_rate(registry, "persistent", evaluations),
             stats.failed_compiles.to_string(),
         ]);
     }
     print_table(
-        "Engine scaling (fixed seed; identical results by construction)",
+        "Engine scaling (fixed seed; identical results by construction; hit rates from the btel registry)",
         &[
-            "workers", "iters", "ncd", "wall_s", "speedup", "iters/s", "cache", "failed",
+            "workers", "iters", "ncd", "wall_s", "speedup", "iters/s", "memo", "persist", "failed",
         ],
         &rows,
     );

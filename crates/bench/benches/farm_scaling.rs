@@ -39,8 +39,26 @@ fn base_config() -> TunerConfig {
             population: 24,
             ..Default::default()
         },
+        // Hit-rate columns read the live registry (bit-identity across
+        // the telemetry switch is pinned by the differential suites).
+        telemetry: btel::TelemetryMode::On,
         ..Default::default()
     }
+}
+
+/// Per-tier hit rate from the registry's labelled counter family.
+fn tier_rate(result: &bintuner::TuneResult, tier: &str) -> String {
+    let registry = result.registry.as_ref().expect("telemetry registry");
+    let hits = registry
+        .counter_value("bintuner_engine_cache_hits_total", Some(tier))
+        .unwrap_or(0);
+    let evaluations = registry
+        .counter_value("bintuner_engine_evaluations_total", None)
+        .unwrap_or(0);
+    format!(
+        "{:.1}%",
+        100.0 * btel::ratio(hits as f64, evaluations as f64)
+    )
 }
 
 /// Locate the `bintuner` binary next to this bench executable
@@ -91,6 +109,8 @@ fn main() {
         "-".to_string(),
         "-".to_string(),
         "-".to_string(),
+        tier_rate(&local, "memo"),
+        tier_rate(&local, "persistent"),
     ]];
 
     let mut cases: Vec<(&str, TransportKind, usize, WorkerMode)> = vec![
@@ -159,14 +179,16 @@ fn main() {
             first,
             last,
             converged,
+            tier_rate(&result, "memo"),
+            tier_rate(&result, "persistent"),
         ]);
     }
 
     print_table(
-        "Farm scaling (fixed seed; identical results asserted; shard sizes adapt to measured cost)",
+        "Farm scaling (fixed seed; identical results asserted; shard sizes adapt to measured cost; hit rates from the btel registry)",
         &[
             "backend", "clients", "cost_obs", "ncd", "wall_s", "shards", "shard0", "shardN",
-            "s/genome",
+            "s/genome", "memo", "persist",
         ],
         &rows,
     );

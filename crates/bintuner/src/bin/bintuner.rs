@@ -8,11 +8,14 @@
 //! - `bintuner daemon [flags]` — the multi-tenant tuning daemon `tuned`
 //!   (see [`bintuner::daemon`]): a long-lived server multiplexing tenant
 //!   jobs onto one shared farm and one shared persistent store.
+//! - `bintuner metrics (--unix <path> | --tcp <addr>) [--trace]` —
+//!   render a live daemon's btel registry as Prometheus-style text (or,
+//!   with `--trace`, its recent job spans as JSONL).
 //!
 //! The tuning loop itself stays a library embedded by the test and
 //! bench harnesses.
 
-use bintuner::daemon::{Daemon, DaemonConfig};
+use bintuner::daemon::{Daemon, DaemonAddr, DaemonClient, DaemonConfig};
 use evald::{ProcessFarm, ServiceConfig, TransportKind, WorkerMode};
 use std::path::PathBuf;
 
@@ -22,6 +25,7 @@ fn usage() -> ! {
          \x20                [--clients N] [--farm-transport unix|tcp]\n\
          \x20                [--process-workers] [--queue N] [--runners N]\n\
          \x20                [--max-evals N]\n  \
+         bintuner metrics (--unix <path> | --tcp <addr>) [--trace]\n  \
          bintuner --evald-worker <args>   (spawned by ServiceHandle::launch)"
     );
     std::process::exit(2);
@@ -89,11 +93,53 @@ fn daemon_main(args: &[String]) -> i32 {
     }
 }
 
+fn metrics_main(args: &[String]) -> i32 {
+    let mut addr = None;
+    let mut trace = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || it.next().map(String::as_str).unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--unix" => addr = Some(DaemonAddr::Unix(PathBuf::from(value()))),
+            "--tcp" => {
+                let parsed = value().parse().unwrap_or_else(|_| usage());
+                addr = Some(DaemonAddr::Tcp(parsed));
+            }
+            "--trace" => trace = true,
+            _ => usage(),
+        }
+    }
+    let Some(addr) = addr else { usage() };
+    let mut client = match DaemonClient::connect(&addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("bintuner metrics: connect to {addr} failed: {e}");
+            return 1;
+        }
+    };
+    let fetched = if trace {
+        client.trace_dump()
+    } else {
+        client.metrics_text()
+    };
+    match fetched {
+        Ok(text) => {
+            print!("{text}");
+            0
+        }
+        Err(e) => {
+            eprintln!("bintuner metrics: fetch failed: {e}");
+            1
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("--evald-worker") => std::process::exit(bintuner::farm::worker_main(&args[1..])),
         Some("daemon") => std::process::exit(daemon_main(&args[1..])),
+        Some("metrics") => std::process::exit(metrics_main(&args[1..])),
         _ => usage(),
     }
 }

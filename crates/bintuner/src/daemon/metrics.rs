@@ -6,42 +6,10 @@
 //! map) and at snapshot time — the metrics plane never serializes two
 //! running jobs against each other.
 
+use btel::Ewma;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-
-/// Exponentially weighted moving average over irregular observations.
-///
-/// The first observation seeds the average; each later one folds in
-/// with weight `alpha`. Deliberately simple — the estimator feeds
-/// capacity planning (is the farm keeping up?), not any differential
-/// guarantee, so wall-clock noise is acceptable by construction.
-#[derive(Debug)]
-pub struct Ewma {
-    alpha: f64,
-    value: Option<f64>,
-}
-
-impl Ewma {
-    /// A fresh estimator with smoothing factor `alpha` (0 < alpha ≤ 1;
-    /// larger tracks faster).
-    pub fn new(alpha: f64) -> Ewma {
-        Ewma { alpha, value: None }
-    }
-
-    /// Fold in one observation.
-    pub fn observe(&mut self, x: f64) {
-        self.value = Some(match self.value {
-            None => x,
-            Some(v) => v + self.alpha * (x - v),
-        });
-    }
-
-    /// The current estimate (`None` before any observation).
-    pub fn value(&self) -> Option<f64> {
-        self.value
-    }
-}
 
 /// Per-tenant accounting (a tenant is the free-form string on Submit).
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -156,6 +124,10 @@ impl DaemonMetrics {
         self.persistent_hits_total
             .fetch_add(persistent_hits, Ordering::Relaxed);
         {
+            // btel::Ewma rejects non-finite and negative samples itself
+            // (`observe` returns false) — the edge cases the former
+            // private copy here ignored — so a clock hiccup can no
+            // longer poison the rate estimate.
             let mut rates = self.rates.lock().unwrap();
             rates.job_seconds.observe(wall_seconds);
             if wall_seconds > 0.0 {
@@ -284,14 +256,30 @@ mod tests {
 
     #[test]
     fn ewma_seeds_then_smooths() {
+        // The pinned α=0.5 trajectory of the former private estimator,
+        // now required of the shared btel::Ewma it migrated to.
         let mut e = Ewma::new(0.5);
         assert_eq!(e.value(), None);
-        e.observe(10.0);
+        assert!(e.observe(10.0));
         assert_eq!(e.value(), Some(10.0));
-        e.observe(20.0);
+        assert!(e.observe(20.0));
         assert_eq!(e.value(), Some(15.0));
-        e.observe(15.0);
+        assert!(e.observe(15.0));
         assert_eq!(e.value(), Some(15.0));
+    }
+
+    #[test]
+    fn ewma_rejects_poison_samples() {
+        // The edge cases the private copy ignored: NaN, ±inf, and
+        // negative wall clocks are dropped instead of folded in.
+        let mut e = Ewma::new(0.5);
+        assert!(!e.observe(f64::NAN));
+        assert!(!e.observe(f64::INFINITY));
+        assert!(!e.observe(-1.0));
+        assert_eq!(e.value(), None);
+        assert!(e.observe(4.0));
+        assert!(!e.observe(f64::NAN));
+        assert_eq!(e.value(), Some(4.0));
     }
 
     #[test]

@@ -341,6 +341,74 @@ impl ServiceExecutor for FarmExecutor {
     }
 }
 
+// ------------------------------------------------------------ telemetry
+
+/// The daemon's always-on btel plane. Unlike the per-run tuner
+/// telemetry (opt-in, bound by the Off-mode purity contract), a
+/// long-lived multi-tenant service wants its registry live from boot;
+/// every update below runs off the job hot path — admission, cancel,
+/// and completion, once per job.
+struct DaemonTelemetry {
+    registry: Arc<btel::Registry>,
+    /// Job-level spans (one per completed job), served by TraceDump.
+    tracer: btel::Tracer,
+    queue_depth: Arc<btel::Gauge>,
+    running: Arc<btel::Gauge>,
+    job_seconds: Arc<btel::Histogram>,
+}
+
+impl DaemonTelemetry {
+    fn new() -> DaemonTelemetry {
+        let registry = Arc::new(btel::Registry::new());
+        let queue_depth = registry.gauge(
+            "bintuner_daemon_queue_depth",
+            "Jobs waiting in the admission queue.",
+        );
+        let running = registry.gauge(
+            "bintuner_daemon_running",
+            "Jobs currently executing on a runner.",
+        );
+        let job_seconds = registry.histogram(
+            "bintuner_daemon_job_seconds",
+            "Wall time of each job from claim to terminal state.",
+        );
+        DaemonTelemetry {
+            registry,
+            tracer: btel::Tracer::enabled(1024),
+            queue_depth,
+            running,
+            job_seconds,
+        }
+    }
+
+    fn tenant_jobs(&self, tenant: &str) -> Arc<btel::Counter> {
+        self.registry.counter_with(
+            "bintuner_daemon_jobs_total",
+            "Jobs submitted, by tenant (accepted or rejected).",
+            "tenant",
+            tenant,
+        )
+    }
+
+    fn tenant_rejects(&self, tenant: &str) -> Arc<btel::Counter> {
+        self.registry.counter_with(
+            "bintuner_daemon_rejects_total",
+            "Jobs refused at admission, by tenant.",
+            "tenant",
+            tenant,
+        )
+    }
+
+    fn tenant_compiles(&self, tenant: &str) -> Arc<btel::Counter> {
+        self.registry.counter_with(
+            "bintuner_daemon_compiles_total",
+            "Real compiles performed by completed jobs, by tenant.",
+            "tenant",
+            tenant,
+        )
+    }
+}
+
 // ---------------------------------------------------------------- jobs
 
 struct JobSpec {
@@ -360,6 +428,7 @@ struct JobEntry {
 struct DaemonShared {
     config: DaemonConfig,
     metrics: Arc<DaemonMetrics>,
+    tel: DaemonTelemetry,
     farm: Arc<SharedFarm>,
     /// Job table. Lock order where both are needed: `queue` before
     /// `jobs` (admission and cancel take them in that order).
@@ -432,6 +501,7 @@ fn runner_loop(shared: Arc<DaemonShared>) {
             }
         };
         shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        shared.tel.queue_depth.add(-1);
         let Some((tenant, spec)) = ({
             let mut jobs = shared.jobs.lock().unwrap();
             jobs.get_mut(&job).and_then(|entry| {
@@ -442,10 +512,12 @@ fn runner_loop(shared: Arc<DaemonShared>) {
             continue;
         };
         shared.metrics.running.fetch_add(1, Ordering::Relaxed);
+        shared.tel.running.add(1);
         let start = Instant::now();
         let result = run_job(&shared, job, &spec);
         let wall = start.elapsed().as_secs_f64();
         shared.metrics.running.fetch_sub(1, Ordering::Relaxed);
+        shared.tel.running.add(-1);
         let outcome = outcome_of(&result);
         let (succeeded, compiles, hits) = match &outcome {
             Ok(o) => (true, o.compiles, o.persistent_hits),
@@ -454,6 +526,9 @@ fn runner_loop(shared: Arc<DaemonShared>) {
         shared
             .metrics
             .on_job_done(&tenant, succeeded, compiles, hits, wall);
+        shared.tel.tenant_compiles(&tenant).add(compiles);
+        shared.tel.job_seconds.observe_seconds(wall);
+        shared.tel.tracer.record("job", 0, start);
         let mut jobs = shared.jobs.lock().unwrap();
         if let Some(entry) = jobs.get_mut(&job) {
             entry.state = if succeeded {
@@ -478,8 +553,10 @@ fn handle_submit(
     dedup: bool,
 ) -> DaemonFrame {
     shared.metrics.on_submit(&tenant);
+    shared.tel.tenant_jobs(&tenant).inc();
     let reject = |code, detail: String| {
         shared.metrics.on_reject(&tenant);
+        shared.tel.tenant_rejects(&tenant).inc();
         DaemonFrame::Rejected { code, detail }
     };
     if shared.stop.load(Ordering::Relaxed) {
@@ -513,6 +590,7 @@ fn handle_submit(
     );
     queue.push_back(job);
     shared.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+    shared.tel.queue_depth.add(1);
     shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
     drop(queue);
     shared.queue_cv.notify_one();
@@ -529,6 +607,7 @@ fn handle_cancel(shared: &DaemonShared, job: u64) -> DaemonFrame {
     };
     queue.remove(pos);
     shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    shared.tel.queue_depth.add(-1);
     shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
     let mut jobs = shared.jobs.lock().unwrap();
     if let Some(entry) = jobs.get_mut(&job) {
@@ -603,6 +682,12 @@ fn handle_frame(shared: &DaemonShared, frame: DaemonFrame) -> Option<DaemonFrame
         DaemonFrame::FetchResult { job } => handle_fetch(shared, job),
         DaemonFrame::Metrics => DaemonFrame::MetricsReply {
             snapshot: shared.metrics.snapshot(),
+        },
+        DaemonFrame::MetricsText => DaemonFrame::MetricsTextReply {
+            text: shared.tel.registry.render_text(),
+        },
+        DaemonFrame::TraceDump => DaemonFrame::TraceDumpReply {
+            jsonl: btel::spans_to_jsonl(&shared.tel.tracer.snapshot()),
         },
         _ => return None,
     })
@@ -714,6 +799,7 @@ impl Daemon {
         let shared = Arc::new(DaemonShared {
             config,
             metrics,
+            tel: DaemonTelemetry::new(),
             farm,
             jobs: Mutex::new(HashMap::new()),
             done: Condvar::new(),
@@ -766,6 +852,13 @@ impl DaemonHandle {
         self.shared.metrics.snapshot()
     }
 
+    /// The daemon's always-on btel registry (queue-depth gauge,
+    /// admission rejects, per-tenant compile throughput) — what the
+    /// MetricsText frame and `bintuner metrics` render.
+    pub fn registry(&self) -> Arc<btel::Registry> {
+        self.shared.tel.registry.clone()
+    }
+
     /// Stop accepting, finish running jobs, cancel queued ones, tear
     /// the farm down, join every owned thread. Idempotent (also runs on
     /// drop).
@@ -799,6 +892,7 @@ impl DaemonHandle {
                     .metrics
                     .queue_depth
                     .fetch_sub(1, Ordering::Relaxed);
+                self.shared.tel.queue_depth.add(-1);
                 self.shared
                     .metrics
                     .cancelled
@@ -939,6 +1033,31 @@ impl DaemonClient {
         match self.call(&DaemonFrame::Metrics)? {
             DaemonFrame::MetricsReply { snapshot } => Ok(snapshot),
             _ => Err(EvaldError::Protocol("unexpected reply to Metrics")),
+        }
+    }
+
+    /// Fetch the Prometheus-style text exposition of the daemon's btel
+    /// registry (what `bintuner metrics` prints).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures.
+    pub fn metrics_text(&mut self) -> Result<String, EvaldError> {
+        match self.call(&DaemonFrame::MetricsText)? {
+            DaemonFrame::MetricsTextReply { text } => Ok(text),
+            _ => Err(EvaldError::Protocol("unexpected reply to MetricsText")),
+        }
+    }
+
+    /// Fetch the daemon's recent job spans as JSONL.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures.
+    pub fn trace_dump(&mut self) -> Result<String, EvaldError> {
+        match self.call(&DaemonFrame::TraceDump)? {
+            DaemonFrame::TraceDumpReply { jsonl } => Ok(jsonl),
+            _ => Err(EvaldError::Protocol("unexpected reply to TraceDump")),
         }
     }
 }

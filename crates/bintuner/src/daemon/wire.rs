@@ -28,7 +28,10 @@ use super::metrics::{MetricsSnapshot, TenantCounters};
 pub const DAEMON_MAGIC: [u8; 4] = *b"TUND";
 
 /// Daemon wire-format version; bump on any layout change.
-pub const DAEMON_WIRE_VERSION: u32 = 1;
+///
+/// History: v1 job control + MetricsSnapshot; v2 added the btel
+/// exposition frames (`MetricsText`/`TraceDump`).
+pub const DAEMON_WIRE_VERSION: u32 = 2;
 
 /// Frame length cap, shared with the farm wire (one transport stack).
 pub const MAX_FRAME_LEN: usize = evald::wire::MAX_FRAME_LEN;
@@ -44,6 +47,10 @@ const TAG_FETCH_RESULT: u8 = 7;
 const TAG_RESULT_REPLY: u8 = 8;
 const TAG_METRICS: u8 = 9;
 const TAG_METRICS_REPLY: u8 = 10;
+const TAG_METRICS_TEXT: u8 = 11;
+const TAG_METRICS_TEXT_REPLY: u8 = 12;
+const TAG_TRACE_DUMP: u8 = 13;
+const TAG_TRACE_DUMP_REPLY: u8 = 14;
 
 /// Why a submission was refused at admission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -234,6 +241,21 @@ pub enum DaemonFrame {
         /// Every counter, consistently read.
         snapshot: MetricsSnapshot,
     },
+    /// Client → daemon: request the Prometheus-style text exposition of
+    /// the daemon's btel registry (what `bintuner metrics` renders).
+    MetricsText,
+    /// Daemon → client: the rendered exposition.
+    MetricsTextReply {
+        /// `btel::Registry::render_text` output, UTF-8.
+        text: String,
+    },
+    /// Client → daemon: request the recent trace spans.
+    TraceDump,
+    /// Daemon → client: the spans as JSONL (one span object per line).
+    TraceDumpReply {
+        /// `btel::spans_to_jsonl` output, UTF-8.
+        jsonl: String,
+    },
 }
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
@@ -372,6 +394,20 @@ pub fn encode_daemon_frame(frame: &DaemonFrame) -> Vec<u8> {
                 body.put_u64_le(t.failed);
                 body.put_u64_le(t.compiles);
             }
+        }
+        DaemonFrame::MetricsText => {
+            body.put_u8(TAG_METRICS_TEXT);
+        }
+        DaemonFrame::MetricsTextReply { text } => {
+            body.put_u8(TAG_METRICS_TEXT_REPLY);
+            put_str(&mut body, text);
+        }
+        DaemonFrame::TraceDump => {
+            body.put_u8(TAG_TRACE_DUMP);
+        }
+        DaemonFrame::TraceDumpReply { jsonl } => {
+            body.put_u8(TAG_TRACE_DUMP_REPLY);
+            put_str(&mut body, jsonl);
         }
     }
     let ck = checksum(&body);
@@ -520,6 +556,14 @@ pub fn decode_daemon_frame(buf: &[u8]) -> Result<(DaemonFrame, usize), EvaldErro
                 },
             }
         }
+        TAG_METRICS_TEXT => DaemonFrame::MetricsText,
+        TAG_METRICS_TEXT_REPLY => DaemonFrame::MetricsTextReply {
+            text: read_str(&mut r)?,
+        },
+        TAG_TRACE_DUMP => DaemonFrame::TraceDump,
+        TAG_TRACE_DUMP_REPLY => DaemonFrame::TraceDumpReply {
+            jsonl: read_str(&mut r)?,
+        },
         _ => return Err(EvaldError::Corrupt("unknown frame tag")),
     };
     r.done()?;
@@ -603,6 +647,18 @@ mod tests {
                     )],
                 },
             },
+            DaemonFrame::MetricsText,
+            DaemonFrame::MetricsTextReply {
+                text: "# TYPE bintuner_daemon_jobs_total counter\n\
+                       bintuner_daemon_jobs_total{tenant=\"ci\"} 5\n"
+                    .into(),
+            },
+            DaemonFrame::TraceDump,
+            DaemonFrame::TraceDumpReply {
+                jsonl: "{\"id\":1,\"parent\":0,\"name\":\"batch\",\
+                        \"start_us\":10,\"dur_us\":42,\"client\":0}\n"
+                    .into(),
+            },
         ]
     }
 
@@ -632,7 +688,15 @@ mod tests {
         wrong_version[8..12].copy_from_slice(&99u32.to_le_bytes());
         assert!(matches!(
             decode_daemon_frame(&wrong_version),
-            Err(EvaldError::VersionMismatch { got: 99, want: 1 })
+            Err(EvaldError::VersionMismatch { got: 99, want: 2 })
+        ));
+        // A v1 peer (the pre-exposition protocol) is told exactly what
+        // the daemon speaks now, not misparsed.
+        let mut v1 = bytes.clone();
+        v1[8..12].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            decode_daemon_frame(&v1),
+            Err(EvaldError::VersionMismatch { got: 1, want: 2 })
         ));
         // A farm frame sent to the daemon port: rejected by magic, not
         // misparsed (and symmetrically, TUND magic fails EVLD decode).

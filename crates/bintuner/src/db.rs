@@ -36,6 +36,13 @@ pub struct IterationRow {
     /// Measured wall-clock seconds for this evaluation (0 for cache hits
     /// and for the sequential compat path, which does not measure).
     pub wall_seconds: f64,
+    /// Wall-clock seconds this evaluation spent producing the shared
+    /// optimized-AST artifact for its effect family (phase 1 of the
+    /// staged miss pipeline). Nonzero only on the first-use
+    /// representative of each family; kept separate from
+    /// [`IterationRow::wall_seconds`] so per-genome compile cost is not
+    /// inflated by shared artifact production.
+    pub ast_produce_seconds: f64,
 }
 
 /// An append-only record of a tuning run.
@@ -86,19 +93,19 @@ impl Database {
     /// Fraction of recorded iterations served from the in-run fitness
     /// cache.
     pub fn cache_hit_rate(&self) -> f64 {
-        if self.rows.is_empty() {
-            return 0.0;
-        }
-        self.rows.iter().filter(|r| r.cache_hit).count() as f64 / self.rows.len() as f64
+        btel::ratio(
+            self.rows.iter().filter(|r| r.cache_hit).count() as f64,
+            self.rows.len() as f64,
+        )
     }
 
     /// Fraction of recorded iterations served from the persistent
     /// cross-run store.
     pub fn persistent_hit_rate(&self) -> f64 {
-        if self.rows.is_empty() {
-            return 0.0;
-        }
-        self.rows.iter().filter(|r| r.persistent_hit).count() as f64 / self.rows.len() as f64
+        btel::ratio(
+            self.rows.iter().filter(|r| r.persistent_hit).count() as f64,
+            self.rows.len() as f64,
+        )
     }
 
     /// Total measured wall-clock seconds across recorded iterations.
@@ -115,25 +122,24 @@ impl Database {
     /// stage artifact (either tier-0 level) instead of running the full
     /// pipeline.
     pub fn stage_reuse_rate(&self) -> f64 {
-        if self.rows.is_empty() {
-            return 0.0;
-        }
-        self.rows
-            .iter()
-            .filter(|r| r.ast_reused || r.lower_reused)
-            .count() as f64
-            / self.rows.len() as f64
+        btel::ratio(
+            self.rows
+                .iter()
+                .filter(|r| r.ast_reused || r.lower_reused)
+                .count() as f64,
+            self.rows.len() as f64,
+        )
     }
 
     /// Export as CSV
-    /// (`iteration,ncd,best_ncd,elapsed_seconds,flags_enabled,cache_hit,persistent_hit,ast_reused,lower_reused,seeded_from_prior,wall_seconds`).
+    /// (`iteration,ncd,best_ncd,elapsed_seconds,flags_enabled,cache_hit,persistent_hit,ast_reused,lower_reused,seeded_from_prior,wall_seconds,ast_produce_seconds`).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "iteration,ncd,best_ncd,elapsed_seconds,flags_enabled,cache_hit,persistent_hit,ast_reused,lower_reused,seeded_from_prior,wall_seconds\n",
+            "iteration,ncd,best_ncd,elapsed_seconds,flags_enabled,cache_hit,persistent_hit,ast_reused,lower_reused,seeded_from_prior,wall_seconds,ast_produce_seconds\n",
         );
         for r in &self.rows {
             out.push_str(&format!(
-                "{},{:.6},{:.6},{:.3},{},{},{},{},{},{},{:.6}\n",
+                "{},{:.6},{:.6},{:.3},{},{},{},{},{},{},{:.6},{:.6}\n",
                 r.iteration,
                 r.ncd,
                 r.best_ncd,
@@ -144,7 +150,8 @@ impl Database {
                 r.ast_reused as u8,
                 r.lower_reused as u8,
                 r.seeded_from_prior as u8,
-                r.wall_seconds
+                r.wall_seconds,
+                r.ast_produce_seconds
             ));
         }
         out
@@ -170,6 +177,7 @@ mod tests {
                 lower_reused: i == 1,
                 seeded_from_prior: i == 1,
                 wall_seconds: 0.001 * i as f64,
+                ast_produce_seconds: if i == 0 { 0.002 } else { 0.0 },
             });
         }
         db
@@ -188,7 +196,7 @@ mod tests {
         assert_eq!(csv.lines().count(), 5);
         assert!(csv.starts_with("iteration,"));
         assert!(csv.lines().next().unwrap().ends_with(
-            "cache_hit,persistent_hit,ast_reused,lower_reused,seeded_from_prior,wall_seconds"
+            "cache_hit,persistent_hit,ast_reused,lower_reused,seeded_from_prior,wall_seconds,ast_produce_seconds"
         ));
     }
 

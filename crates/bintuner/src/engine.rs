@@ -74,6 +74,7 @@ use lzc::NcdBaseline;
 use minicc::ast::Module;
 use minicc::{Compiler, EffectConfig, StageKeys};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -229,30 +230,112 @@ pub struct EngineStats {
 impl EngineStats {
     /// Fraction of evaluations served from the in-run cache.
     pub fn cache_hit_rate(&self) -> f64 {
-        if self.evaluations == 0 {
-            0.0
-        } else {
-            self.cache_hits as f64 / self.evaluations as f64
-        }
+        btel::ratio(self.cache_hits as f64, self.evaluations as f64)
     }
 
     /// Fraction of evaluations served from the persistent store.
     pub fn persistent_hit_rate(&self) -> f64 {
-        if self.evaluations == 0 {
-            0.0
-        } else {
-            self.persistent_hits as f64 / self.evaluations as f64
-        }
+        btel::ratio(self.persistent_hits as f64, self.evaluations as f64)
     }
 
     /// Fraction of real compiles that reused at least one stage
     /// artifact (ran less than the full pipeline).
     pub fn stage_reuse_rate(&self) -> f64 {
-        if self.compiles == 0 {
-            0.0
-        } else {
-            (self.ast_reuse + self.lower_reuse) as f64 / self.compiles as f64
+        btel::ratio(
+            (self.ast_reuse + self.lower_reuse) as f64,
+            self.compiles as f64,
+        )
+    }
+}
+
+/// Telemetry handles for one [`FitnessEngine`], resolved once from a
+/// [`btel::Registry`] and installed with
+/// [`FitnessEngine::set_telemetry`]. Without one installed the engine
+/// honors the Off-mode purity contract: no extra clock readings, no
+/// telemetry state touched — the hot paths are bit-identical to a
+/// telemetry-free build.
+pub struct EngineTelemetry {
+    /// Span recorder. Stage spans (`ast`/`lower`/`mir`) parent to the
+    /// id set with [`EngineTelemetry::set_trace_parent`] when one is
+    /// set (a farm worker sets it to the server's dispatch-span id
+    /// carried on the wire), else to the enclosing `batch` span.
+    pub tracer: btel::Tracer,
+    trace_parent: AtomicU64,
+    evaluations: Arc<btel::Counter>,
+    hits_memo: Arc<btel::Counter>,
+    hits_persistent: Arc<btel::Counter>,
+    compiles_full: Arc<btel::Counter>,
+    compiles_ast_reuse: Arc<btel::Counter>,
+    compiles_lower_reuse: Arc<btel::Counter>,
+    stage_check: Arc<btel::Histogram>,
+    stage_ast: Arc<btel::Histogram>,
+    stage_lower: Arc<btel::Histogram>,
+    stage_mir: Arc<btel::Histogram>,
+    miss_seconds: Arc<btel::Histogram>,
+    batch_seconds: Arc<btel::Histogram>,
+}
+
+impl EngineTelemetry {
+    /// Resolve the engine's metric families from `registry` (handles
+    /// are cached here; the registry lock never sits on a hot path).
+    pub fn from_registry(registry: &btel::Registry, tracer: btel::Tracer) -> EngineTelemetry {
+        let hits = |tier| {
+            registry.counter_with(
+                "bintuner_engine_cache_hits_total",
+                "evaluations served from a cache tier",
+                "tier",
+                tier,
+            )
+        };
+        let compiles = |reuse| {
+            registry.counter_with(
+                "bintuner_engine_compiles_total",
+                "real compiles by stage-reuse class",
+                "reuse",
+                reuse,
+            )
+        };
+        let stage = |stage| {
+            registry.histogram_with(
+                "bintuner_engine_stage_seconds",
+                "per-stage compile wall clock",
+                "stage",
+                stage,
+            )
+        };
+        EngineTelemetry {
+            tracer,
+            trace_parent: AtomicU64::new(0),
+            evaluations: registry.counter(
+                "bintuner_engine_evaluations_total",
+                "genome evaluations requested (cache hits included)",
+            ),
+            hits_memo: hits("memo"),
+            hits_persistent: hits("persistent"),
+            compiles_full: compiles("full"),
+            compiles_ast_reuse: compiles("ast"),
+            compiles_lower_reuse: compiles("lower"),
+            stage_check: stage("check"),
+            stage_ast: stage("ast"),
+            stage_lower: stage("lower"),
+            stage_mir: stage("mir"),
+            miss_seconds: registry.histogram(
+                "bintuner_engine_miss_seconds",
+                "wall clock of one compiled-and-scored miss",
+            ),
+            batch_seconds: registry.histogram(
+                "bintuner_engine_batch_seconds",
+                "wall clock of one evaluate_batch call",
+            ),
         }
+    }
+
+    /// Set the parent span id for the next batches' stage spans (`0`
+    /// clears it). A farm worker calls this with the dispatch-span id
+    /// from the `Work` frame so its stage spans stitch into the
+    /// server's trace.
+    pub fn set_trace_parent(&self, parent: u64) {
+        self.trace_parent.store(parent, Ordering::Relaxed);
     }
 }
 
@@ -395,6 +478,10 @@ pub struct FitnessEngine<'a> {
     /// When set, the deduplicated miss list is dispatched here (the
     /// evaluation service) instead of the local worker pool.
     executor: Option<&'a dyn MissExecutor>,
+    /// Telemetry handles ([`FitnessEngine::set_telemetry`]); `None` is
+    /// the Off-mode purity contract — no clock readings beyond the
+    /// pre-instrumentation ones, no telemetry state touched.
+    tel: Option<EngineTelemetry>,
 }
 
 // The engine is shared by reference across scoped worker threads; keep
@@ -480,6 +567,7 @@ impl<'a> FitnessEngine<'a> {
             store: store.map(Mutex::new),
             artifact_store: None,
             executor: None,
+            tel: None,
         })
     }
 
@@ -489,6 +577,20 @@ impl<'a> FitnessEngine<'a> {
     /// service-backed run is bit-identical to an in-process one.
     pub fn set_executor(&mut self, executor: &'a dyn MissExecutor) {
         self.executor = Some(executor);
+    }
+
+    /// Install telemetry handles: per-tier cache counters, per-stage
+    /// wall histograms and trace spans from here on. Fitness results
+    /// and every cache/store decision are unaffected — telemetry only
+    /// observes.
+    pub fn set_telemetry(&mut self, tel: EngineTelemetry) {
+        self.tel = Some(tel);
+    }
+
+    /// The installed telemetry handles, if any (the farm worker uses
+    /// this to re-parent stage spans per dispatched shard).
+    pub fn telemetry(&self) -> Option<&EngineTelemetry> {
+        self.tel.as_ref()
     }
 
     /// Attach the persistent artifact store (see the `artifact_store`
@@ -677,10 +779,27 @@ impl<'a> FitnessEngine<'a> {
         )
     }
 
+    /// Run the machine-level stage, observing its wall clock into the
+    /// installed telemetry (Off mode: a plain `stage_mir` call, no
+    /// clock read). `stage_parent != 0` additionally records a `mir`
+    /// span under that parent.
+    fn mir_timed(&self, lowered: Binary, eff: &EffectConfig, stage_parent: u64) -> Binary {
+        let Some(tel) = &self.tel else {
+            return self.compiler.stage_mir(lowered, eff);
+        };
+        let t = Instant::now();
+        let bin = self.compiler.stage_mir(lowered, eff);
+        tel.stage_mir.observe_seconds(t.elapsed().as_secs_f64());
+        if stage_parent != 0 {
+            tel.tracer.record("mir", stage_parent, t);
+        }
+        bin
+    }
+
     /// Compile + score one miss according to its plan (run on workers).
     /// Misses are constraint-valid by partition and the module was
     /// validated at construction, so the staged pipeline cannot fail.
-    fn evaluate_miss(&self, eff: &EffectConfig, plan: &MissPlan) -> CacheEntry {
+    fn evaluate_miss(&self, eff: &EffectConfig, plan: &MissPlan, stage_parent: u64) -> CacheEntry {
         let lower_key = (plan.ast_digest, plan.lower_digest);
         // Only retained keys can have (or deserve) a cached stage-2
         // artifact; a store-classified miss fetches across runs.
@@ -699,7 +818,7 @@ impl<'a> FitnessEngine<'a> {
         }
         let bin = match cached {
             // The artifact must outlive this miss: mir runs on a clone.
-            Some(b) => self.compiler.stage_mir((*b).clone(), eff),
+            Some(b) => self.mir_timed((*b).clone(), eff, stage_parent),
             None => {
                 // The production phase ran every fresh AST for this
                 // batch, so this is a cache fetch; the compute fallback
@@ -709,6 +828,12 @@ impl<'a> FitnessEngine<'a> {
                 let t = Instant::now();
                 let lowered = self.compiler.stage_lower(&ast, eff, self.arch);
                 let lower_secs = t.elapsed().as_secs_f64();
+                if let Some(tel) = &self.tel {
+                    tel.stage_lower.observe_seconds(lower_secs);
+                    if stage_parent != 0 {
+                        tel.tracer.record("lower", stage_parent, t);
+                    }
+                }
                 if plan.retain_lower {
                     let mut values = self.artifact_values.lock().unwrap();
                     let b = values
@@ -721,11 +846,11 @@ impl<'a> FitnessEngine<'a> {
                     // drain.
                     values.lower_cost.entry(lower_key).or_insert(lower_secs);
                     drop(values);
-                    self.compiler.stage_mir((*b).clone(), eff)
+                    self.mir_timed((*b).clone(), eff, stage_parent)
                 } else {
                     // Single-use lowered binary: the mir stage consumes
                     // it in place, no clone, nothing retained.
-                    self.compiler.stage_mir(lowered, eff)
+                    self.mir_timed(lowered, eff, stage_parent)
                 }
             }
         };
@@ -737,10 +862,29 @@ impl<'a> FitnessEngine<'a> {
 
     /// Compile + score one miss with the artifact cache disabled: the
     /// full staged pipeline, nothing shared, nothing retained.
-    fn evaluate_full(&self, eff: &EffectConfig) -> CacheEntry {
-        let optimized = self.compiler.stage_ast(self.module, eff);
-        let lowered = self.compiler.stage_lower(&optimized, eff, self.arch);
-        let bin = self.compiler.stage_mir(lowered, eff);
+    fn evaluate_full(&self, eff: &EffectConfig, stage_parent: u64) -> CacheEntry {
+        let bin = match &self.tel {
+            None => {
+                let optimized = self.compiler.stage_ast(self.module, eff);
+                let lowered = self.compiler.stage_lower(&optimized, eff, self.arch);
+                self.compiler.stage_mir(lowered, eff)
+            }
+            Some(tel) => {
+                let t = Instant::now();
+                let optimized = self.compiler.stage_ast(self.module, eff);
+                tel.stage_ast.observe_seconds(t.elapsed().as_secs_f64());
+                if stage_parent != 0 {
+                    tel.tracer.record("ast", stage_parent, t);
+                }
+                let t = Instant::now();
+                let lowered = self.compiler.stage_lower(&optimized, eff, self.arch);
+                tel.stage_lower.observe_seconds(t.elapsed().as_secs_f64());
+                if stage_parent != 0 {
+                    tel.tracer.record("lower", stage_parent, t);
+                }
+                self.mir_timed(lowered, eff, stage_parent)
+            }
+        };
         CacheEntry {
             fitness: self.baseline.score(&binrep::encode_binary(&bin)),
             failed: false,
@@ -773,12 +917,25 @@ impl Evaluator for FitnessEngine<'_> {
     fn evaluate_batch(&self, genomes: &[Vec<bool>]) -> Result<Vec<Eval>, EvalAbort> {
         let batch_start = Instant::now();
         let profile = self.compiler.profile();
+        // Per-batch span context: the batch span's id is allocated up
+        // front so stage spans can hang off it; it is recorded (closed)
+        // at the end. `stage_parent == 0` exactly when tracing is off —
+        // the farm worker's wire convention, reused in-process.
+        let (batch_span, trace_parent, stage_parent) = match &self.tel {
+            Some(t) if t.tracer.is_enabled() => {
+                let parent = t.trace_parent.load(Ordering::Relaxed);
+                let id = t.tracer.alloc_id();
+                (id, parent, if parent != 0 { parent } else { id })
+            }
+            _ => (0, 0, 0),
+        };
 
         // Resolve each genome's effect config up front (cheap, lock-free).
         // Invalid vectors get `None`: they must not share the effect cache
         // with a valid vector resolving to the same effects. This is the
         // one constraint check a genome pays — the staged miss path never
         // re-checks.
+        let check_start = self.tel.as_ref().map(|_| Instant::now());
         let effects: Vec<Option<EffectConfig>> = genomes
             .iter()
             .map(|g| {
@@ -789,6 +946,12 @@ impl Evaluator for FitnessEngine<'_> {
                     .then(|| EffectConfig::from_flags(profile, g))
             })
             .collect();
+        if let (Some(tel), Some(t)) = (&self.tel, check_start) {
+            tel.stage_check.observe_seconds(t.elapsed().as_secs_f64());
+            if stage_parent != 0 {
+                tel.tracer.record("check", stage_parent, t);
+            }
+        }
 
         // Partition against the cache tiers: exact flag vector first,
         // then effect config, then the persistent cross-run store. The
@@ -972,6 +1135,14 @@ impl Evaluator for FitnessEngine<'_> {
         // currency, recorded at commit. Stays empty with an executor:
         // the artifacts then live in the clients' own engines.
         let mut persist_ast: Vec<(u128, f64)> = Vec::new();
+        // Phase-1 producer wall per miss slot: the representative miss
+        // that produced a shared stage-1 artifact reports this
+        // separately as [`Eval::ast_produce_seconds`] instead of having
+        // it folded into its own `wall_seconds` (which would overstate
+        // that genome's compile cost by the whole family's shared
+        // work). All zeros with an executor — producer wall is then
+        // inside the clients' own measured walls.
+        let mut ast_wall = vec![0.0f64; misses.len()];
         if let Some(executor) = self.executor {
             let flags: Vec<Vec<bool>> = misses.iter().map(|(f, _)| (*f).clone()).collect();
             // An abort here is safe to propagate mid-batch: the misses
@@ -998,8 +1169,8 @@ impl Evaluator for FitnessEngine<'_> {
         } else {
             // Phase 1: one producer task per AST digest this batch
             // introduces (the representative is its first Full-classified
-            // miss, which is charged the artifact's wall time).
-            let mut ast_wall = vec![0.0f64; misses.len()];
+            // miss, which reports the artifact's wall time as its
+            // `ast_produce_seconds`).
             if self.config.artifact_cache {
                 let mut fresh_ast: Vec<(u128, usize)> = Vec::new();
                 let mut seen: HashSet<u128> = HashSet::new();
@@ -1014,6 +1185,12 @@ impl Evaluator for FitnessEngine<'_> {
                         let t = Instant::now();
                         let _ = self.artifact_ast(digest, misses[slot].1);
                         ast_wall[slot] = t.elapsed().as_secs_f64();
+                        if let Some(tel) = &self.tel {
+                            tel.stage_ast.observe_seconds(ast_wall[slot]);
+                            if stage_parent != 0 {
+                                tel.tracer.record("ast", stage_parent, t);
+                            }
+                        }
                     }
                 } else {
                     let fresh_ref = &fresh_ast;
@@ -1028,7 +1205,14 @@ impl Evaluator for FitnessEngine<'_> {
                                         let (digest, slot) = fresh_ref[i];
                                         let t = Instant::now();
                                         let _ = self.artifact_ast(digest, misses_ref[slot].1);
-                                        part.push((slot, t.elapsed().as_secs_f64()));
+                                        let wall = t.elapsed().as_secs_f64();
+                                        if let Some(tel) = &self.tel {
+                                            tel.stage_ast.observe_seconds(wall);
+                                            if stage_parent != 0 {
+                                                tel.tracer.record("ast", stage_parent, t);
+                                            }
+                                        }
+                                        part.push((slot, wall));
                                         i += producers;
                                     }
                                     part
@@ -1056,11 +1240,15 @@ impl Evaluator for FitnessEngine<'_> {
                 let t = Instant::now();
                 let eff = misses[i].1;
                 let entry = if self.config.artifact_cache {
-                    self.evaluate_miss(eff, &plans[i])
+                    self.evaluate_miss(eff, &plans[i], stage_parent)
                 } else {
-                    self.evaluate_full(eff)
+                    self.evaluate_full(eff, stage_parent)
                 };
-                (entry, t.elapsed().as_secs_f64())
+                let wall = t.elapsed().as_secs_f64();
+                if let Some(tel) = &self.tel {
+                    tel.miss_seconds.observe_seconds(wall);
+                }
+                (entry, wall)
             };
             if workers <= 1 {
                 for (i, out) in computed.iter_mut().enumerate() {
@@ -1090,16 +1278,6 @@ impl Evaluator for FitnessEngine<'_> {
                         }
                     }
                 });
-            }
-            // Fold the phase-1 artifact time into its representative
-            // miss so per-iteration wall attribution matches the
-            // single-unit behavior.
-            for (i, wall) in ast_wall.into_iter().enumerate() {
-                if wall > 0.0 {
-                    if let Some((_, w)) = &mut computed[i] {
-                        *w += wall;
-                    }
-                }
             }
         }
 
@@ -1211,7 +1389,7 @@ impl Evaluator for FitnessEngine<'_> {
             .iter()
             .zip(sources)
             .map(|(g, src)| {
-                let (entry, wall, hit, reuse) = match src {
+                let (entry, wall, ast_produce, hit, reuse) = match src {
                     Source::Ready { entry, hit } => {
                         if hit == Hit::Persistent {
                             // A failure first served from the store is the
@@ -1219,16 +1397,26 @@ impl Evaluator for FitnessEngine<'_> {
                             // it once so cold and warm telemetry agree.
                             cold_failures += entry.failed as usize;
                         }
-                        (entry, 0.0, hit, None)
+                        (entry, 0.0, 0.0, hit, None)
                     }
                     Source::Slot(slot) => {
                         let (entry, wall) = computed[slot].expect("miss computed");
                         if first_use[slot] {
                             first_use[slot] = false;
                             cold_failures += entry.failed as usize;
-                            (entry, wall, Hit::Fresh, Some(plans[slot].reuse))
+                            // The representative also reports any shared
+                            // stage-1 production it performed for its
+                            // effect family — separately, so its own
+                            // wall stays truthful.
+                            (
+                                entry,
+                                wall,
+                                ast_wall[slot],
+                                Hit::Fresh,
+                                Some(plans[slot].reuse),
+                            )
                         } else {
-                            (entry, 0.0, Hit::InRun, None)
+                            (entry, 0.0, 0.0, Hit::InRun, None)
                         }
                     }
                 };
@@ -1238,6 +1426,7 @@ impl Evaluator for FitnessEngine<'_> {
                     fitness: entry.fitness,
                     cost_seconds: self.compiler.simulated_compile_seconds(self.module, g),
                     wall_seconds: wall,
+                    ast_produce_seconds: ast_produce,
                     cache_hit: hit == Hit::InRun,
                     persistent_hit: hit == Hit::Persistent,
                     ast_reused: reuse == Some(StageReuse::Ast),
@@ -1261,7 +1450,26 @@ impl Evaluator for FitnessEngine<'_> {
             stats.store_lower_hits += plan.store_lower as usize;
         }
         stats.failed_compiles += fresh_failures + cold_failures;
-        stats.wall_seconds += batch_start.elapsed().as_secs_f64();
+        let batch_wall = batch_start.elapsed().as_secs_f64();
+        stats.wall_seconds += batch_wall;
+        drop(stats);
+        if let Some(tel) = &self.tel {
+            tel.evaluations.add(genomes.len() as u64);
+            tel.hits_memo.add(hits as u64);
+            tel.hits_persistent.add(persistent as u64);
+            for plan in &plans {
+                match plan.reuse {
+                    StageReuse::Full => tel.compiles_full.inc(),
+                    StageReuse::Ast => tel.compiles_ast_reuse.inc(),
+                    StageReuse::Lower => tel.compiles_lower_reuse.inc(),
+                }
+            }
+            tel.batch_seconds.observe_seconds(batch_wall);
+            if batch_span != 0 {
+                tel.tracer
+                    .record_with_id(batch_span, "batch", trace_parent, batch_start);
+            }
+        }
         Ok(results)
     }
 }

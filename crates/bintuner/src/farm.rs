@@ -49,6 +49,9 @@ pub struct WorkerArgs {
     pub artifact_cache: bool,
     /// Server endpoint to connect back to.
     pub endpoint: Endpoint,
+    /// Whether the worker records trace spans (stage timings parented
+    /// to the server's dispatch spans, shipped back on Result frames).
+    pub trace: bool,
     /// Chaos hook: drop the connection after this many shards.
     pub fail_after: Option<usize>,
 }
@@ -88,6 +91,7 @@ impl WorkerArgs {
         let mut arch = None;
         let mut artifact_cache = None;
         let mut endpoint = None;
+        let mut trace = false;
         let mut fail_after = None;
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -135,6 +139,7 @@ impl WorkerArgs {
                     ));
                 }
                 "--unix" => endpoint = Some(Endpoint::Unix(PathBuf::from(value()?))),
+                "--trace" => trace = true,
                 "--fail-after" => {
                     fail_after = Some(
                         value()?
@@ -151,6 +156,7 @@ impl WorkerArgs {
             arch: arch.ok_or("--arch-tag is required")?,
             artifact_cache: artifact_cache.ok_or("--artifact-cache is required")?,
             endpoint: endpoint.ok_or("--tcp or --unix is required")?,
+            trace,
             fail_after,
         })
     }
@@ -241,6 +247,17 @@ fn run_worker(args: &WorkerArgs) -> Result<(), EvaldError> {
         // merge barrier (see `client_thread` in `crate::service`).
         engine.set_artifact_store(crate::store::ArtifactStore::in_memory());
     }
+    if args.trace {
+        // The worker keeps a private registry (only spans travel back;
+        // the handles hold their metrics alive without it) and an id
+        // base partitioning span ids per client so stitched traces
+        // never collide with the server's — or each other's — ids.
+        let registry = btel::Registry::new();
+        let tracer = btel::Tracer::with_id_base(4096, (u64::from(args.client_id) + 1) << 48);
+        engine.set_telemetry(crate::engine::EngineTelemetry::from_registry(
+            &registry, tracer,
+        ));
+    }
     let mut worker = EngineWorker::new(&engine);
     evald::serve(&mut worker, &mut duplex, &opts)
 }
@@ -253,6 +270,9 @@ pub(crate) struct WorkerSpec {
     pub arch: Arch,
     pub artifact_cache: bool,
     pub endpoint: Endpoint,
+    /// Spawn workers with `--trace` (the launch carried a
+    /// [`crate::service::FarmTelemetry`] with an enabled tracer).
+    pub trace: bool,
 }
 
 impl WorkerSpec {
@@ -273,6 +293,9 @@ impl WorkerSpec {
             Endpoint::Tcp(addr) => cmd.arg("--tcp").arg(addr.to_string()),
             Endpoint::Unix(path) => cmd.arg("--unix").arg(path),
         };
+        if self.trace {
+            cmd.arg("--trace");
+        }
         if let Some(k) = fail_after {
             cmd.arg("--fail-after").arg(k.to_string());
         }
@@ -351,12 +374,16 @@ mod tests {
                 arch: Arch::Arm,
                 artifact_cache: true,
                 endpoint: Endpoint::Tcp("127.0.0.1:4455".parse().unwrap()),
+                trace: false,
                 fail_after: None,
             }
         );
         let mut with_fault = base_args();
         with_fault.extend(["--fail-after".to_string(), "3".to_string()]);
         assert_eq!(WorkerArgs::parse(&with_fault).unwrap().fail_after, Some(3));
+        let mut with_trace = base_args();
+        with_trace.push("--trace".to_string());
+        assert!(WorkerArgs::parse(&with_trace).unwrap().trace);
         let unix: Vec<String> = base_args()
             .into_iter()
             .map(|a| if a == "--tcp" { "--unix".into() } else { a })

@@ -55,7 +55,8 @@ pub mod tuner;
 pub use daemon::{Daemon, DaemonAddr, DaemonClient, DaemonConfig, DaemonHandle};
 pub use db::{Database, IterationRow};
 pub use engine::{
-    EngineConfig, EngineStats, FitnessEngine, MissExecutor, MissResult, FAILED_COMPILE_PENALTY,
+    EngineConfig, EngineStats, EngineTelemetry, FitnessEngine, MissExecutor, MissResult,
+    FAILED_COMPILE_PENALTY,
 };
 pub use obfuscator::{obfuscate, ObfuscatorConfig};
 pub use potency::{
@@ -63,11 +64,11 @@ pub use potency::{
 };
 pub use priors::{mine_prior, PotencyPrior, PriorConfig, PriorMode};
 pub use service::{
-    FaultPlan, ProcessFarm, ServiceConfig, ServiceSummary, TransportKind, WorkerMode,
+    FarmTelemetry, FaultPlan, ProcessFarm, ServiceConfig, ServiceSummary, TransportKind, WorkerMode,
 };
 pub use store::{
     arch_tag, shard_for, shard_for_module, write_v3_file, ArtifactRetention, ArtifactStore,
     AstArtifactKey, FitnessStore, FlagBits, LoadReport, LowerArtifactKey, PendingArtifacts,
-    SaveOutcome, StoreKey, StoreLock, StoredFitness, DEFAULT_SHARD_COUNT,
+    SaveOutcome, StoreKey, StoreLock, StoreTelemetry, StoredFitness, DEFAULT_SHARD_COUNT,
 };
 pub use tuner::{Backend, PersistSummary, PriorSummary, TuneError, TuneResult, Tuner, TunerConfig};

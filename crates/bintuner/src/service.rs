@@ -35,7 +35,9 @@
 //! change *nothing* about the run's trajectory — `tests/service_vs_local.rs`
 //! pins bit-identity against the in-process engine.
 
-use crate::engine::{EngineConfig, EngineStats, MissExecutor, MissResult, FAILED_COMPILE_PENALTY};
+use crate::engine::{
+    EngineConfig, EngineStats, EngineTelemetry, MissExecutor, MissResult, FAILED_COMPILE_PENALTY,
+};
 use crate::farm::{resolve_worker_binary, Endpoint, WorkerSpec};
 use crate::store::{ArtifactStore, FitnessStore};
 use crate::FitnessEngine;
@@ -44,8 +46,8 @@ use evald::transport::{tcp_accept, unix_accept};
 use evald::wire::ShardStats;
 use evald::{
     channel_duplex, run_client, tcp_listener, unix_connect, unix_listener, BoundUnixListener,
-    ClientOptions, CostModel, Duplex, EvalServer, EvaldError, MergeRecord, ShardWorker,
-    WireAstArtifact, WireEval, WireLowerArtifact,
+    ClientOptions, CostModel, Duplex, EvalServer, EvaldError, MergeRecord, ServerTelemetry,
+    ShardWorker, WireAstArtifact, WireEval, WireLowerArtifact, WireSpan,
 };
 use genetic::EvalAbort;
 use minicc::ast::Module;
@@ -56,6 +58,46 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 pub use evald::{FaultPlan, ProcessFarm, ServiceConfig, ServiceStats, TransportKind, WorkerMode};
+
+/// Telemetry wiring for one service launch
+/// ([`ServiceHandle::launch_with`]). The registry receives the farm's
+/// dispatch-latency histogram and client-churn counters; the tracer
+/// receives server-side dispatch spans and the worker stage spans
+/// stitched in off `Result` frames. Workers (threads or processes)
+/// trace into per-client id ranges when the tracer is enabled, so a
+/// stitched trace never has colliding span ids.
+#[derive(Debug, Clone)]
+pub struct FarmTelemetry {
+    /// Metric families for the farm (`bintuner_farm_*`).
+    pub registry: Arc<btel::Registry>,
+    /// Server-side span recorder.
+    pub tracer: btel::Tracer,
+}
+
+impl FarmTelemetry {
+    /// Resolve the farm's server-side metric handles into an
+    /// [`evald::ServerTelemetry`].
+    fn server_telemetry(&self) -> ServerTelemetry {
+        ServerTelemetry {
+            tracer: self.tracer.clone(),
+            dispatch_seconds: self.registry.histogram(
+                "bintuner_farm_dispatch_seconds",
+                "shard dispatch-to-first-result wall clock",
+            ),
+            redispatched: self.registry.counter(
+                "bintuner_farm_redispatched_total",
+                "shard copies re-issued to idle clients (straggler steals)",
+            ),
+            clients_joined: self.registry.counter(
+                "bintuner_farm_clients_joined_total",
+                "clients absorbed after launch (reconnects/respawns)",
+            ),
+            clients_lost: self
+                .registry
+                .counter("bintuner_farm_clients_lost_total", "clients lost mid-run"),
+        }
+    }
+}
 
 /// What the evaluation service did over one run (on
 /// [`crate::TuneResult::service`] when `TunerConfig::backend` is a
@@ -221,6 +263,7 @@ fn client_thread(
     module: Module,
     arch: Arch,
     artifact_cache: bool,
+    trace: bool,
     duplex: Duplex,
     opts: ClientOptions,
 ) {
@@ -247,6 +290,14 @@ fn client_thread(
         // where the server folds them into the persistent store.
         engine.set_artifact_store(ArtifactStore::in_memory());
     }
+    if trace {
+        // Thread clients trace exactly like worker processes do: a
+        // private registry (only spans travel back over the wire) and a
+        // per-client span-id range for collision-free stitching.
+        let registry = btel::Registry::new();
+        let tracer = btel::Tracer::with_id_base(4096, (u64::from(opts.client_id) + 1) << 48);
+        engine.set_telemetry(EngineTelemetry::from_registry(&registry, tracer));
+    }
     let mut worker = EngineWorker::new(&engine);
     // A disconnect here is the server going away — normal end of service.
     let _ = run_client(&mut worker, duplex, &opts);
@@ -271,8 +322,14 @@ impl<'e, 'a> EngineWorker<'e, 'a> {
 }
 
 impl ShardWorker for EngineWorker<'_, '_> {
-    fn evaluate(&mut self, genomes: &[Vec<bool>]) -> (Vec<WireEval>, ShardStats) {
+    fn evaluate(&mut self, genomes: &[Vec<bool>], span: u64) -> (Vec<WireEval>, ShardStats) {
         use genetic::Evaluator;
+        // Re-parent this shard's stage spans to the server's dispatch
+        // span (`0` = tracing off upstream; a disabled local tracer
+        // ignores the parent anyway).
+        if let Some(tel) = self.engine.telemetry() {
+            tel.set_trace_parent(span);
+        }
         // A worker-local engine has no executor installed, and an
         // executor-less engine is infallible by construction (the
         // `Evaluator` contract: compile failures are scored, not
@@ -291,6 +348,7 @@ impl ShardWorker for EngineWorker<'_, '_> {
             ast_reuse: (now.ast_reuse - self.last.ast_reuse) as u32,
             lower_reuse: (now.lower_reuse - self.last.lower_reuse) as u32,
             wall_seconds: now.wall_seconds - self.last.wall_seconds,
+            span,
         };
         self.last = now;
         let wire = evals
@@ -299,10 +357,30 @@ impl ShardWorker for EngineWorker<'_, '_> {
                 fitness_bits: e.fitness.to_bits(),
                 // NCD is non-negative, so the penalty value is unambiguous.
                 failed: e.fitness.to_bits() == FAILED_COMPILE_PENALTY.to_bits(),
-                wall_seconds_bits: e.wall_seconds.to_bits(),
+                // The frame carries one wall figure per eval, so the
+                // worker's shared stage-1 production folds back in here:
+                // the server charges the farm's physical time, not the
+                // local attribution split.
+                wall_seconds_bits: (e.wall_seconds + e.ast_produce_seconds).to_bits(),
             })
             .collect();
         (wire, stats)
+    }
+
+    fn drain_spans(&mut self) -> Vec<WireSpan> {
+        self.engine.telemetry().map_or_else(Vec::new, |tel| {
+            tel.tracer
+                .drain()
+                .into_iter()
+                .map(|s| WireSpan {
+                    id: s.id,
+                    parent: s.parent,
+                    name: s.name,
+                    start_us: s.start_us,
+                    dur_us: s.dur_us,
+                })
+                .collect()
+        })
     }
 
     fn drain_merge(&mut self) -> Vec<MergeRecord> {
@@ -368,9 +446,30 @@ impl ServiceHandle {
         arch: Arch,
         artifact_cache: bool,
     ) -> Result<ServiceHandle, EvaldError> {
+        ServiceHandle::launch_with(cfg, kind, module, arch, artifact_cache, None)
+    }
+
+    /// [`ServiceHandle::launch`] with telemetry wiring: the server's
+    /// dispatch metrics and stitched spans land in `tel`'s registry and
+    /// tracer, and — when the tracer is enabled — every client traces
+    /// its compile stages back over the wire. `None` is the Off-mode
+    /// purity contract: bit-identical to a pre-telemetry launch.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceHandle::launch`].
+    pub fn launch_with(
+        cfg: &ServiceConfig,
+        kind: CompilerKind,
+        module: &Module,
+        arch: Arch,
+        artifact_cache: bool,
+        tel: Option<FarmTelemetry>,
+    ) -> Result<ServiceHandle, EvaldError> {
         let n_clients = cfg.clients.max(1);
         let n_flags = CompilerProfile::new(kind).n_flags() as u16;
         let cost = CostModel::from_features(&module.features());
+        let trace = tel.as_ref().is_some_and(|t| t.tracer.is_enabled());
         let fault_for = |i: usize| {
             cfg.fault
                 .and_then(|f| (f.client == i).then_some(f.after_shards))
@@ -388,6 +487,7 @@ impl ServiceHandle {
                 n_flags,
                 cost,
                 &fault_for,
+                tel,
             );
         }
 
@@ -405,7 +505,7 @@ impl ServiceHandle {
                         fail_after_shards: fault_for(i),
                     };
                     handles.push(std::thread::spawn(move || {
-                        client_thread(kind, module, arch, artifact_cache, client_end, opts);
+                        client_thread(kind, module, arch, artifact_cache, trace, client_end, opts);
                     }));
                 }
             }
@@ -429,7 +529,7 @@ impl ServiceHandle {
                     let client_end = unix_connect(listener.path())?;
                     server_side.push(unix_accept(&listener)?);
                     handles.push(std::thread::spawn(move || {
-                        client_thread(kind, module, arch, artifact_cache, client_end, opts);
+                        client_thread(kind, module, arch, artifact_cache, trace, client_end, opts);
                     }));
                 }
             }
@@ -446,13 +546,16 @@ impl ServiceHandle {
                     let client_end = evald::tcp_connect(addr)?;
                     server_side.push(tcp_accept(&listener)?);
                     handles.push(std::thread::spawn(move || {
-                        client_thread(kind, module, arch, artifact_cache, client_end, opts);
+                        client_thread(kind, module, arch, artifact_cache, trace, client_end, opts);
                     }));
                 }
             }
         }
 
-        let server = EvalServer::new(server_side, cost, n_flags)?;
+        let mut server = EvalServer::new(server_side, cost, n_flags)?;
+        if let Some(t) = &tel {
+            server.set_telemetry(t.server_telemetry());
+        }
         Ok(ServiceHandle {
             server: Mutex::new(Some(server)),
             failure: Mutex::new(None),
@@ -485,6 +588,7 @@ impl ServiceHandle {
         n_flags: u16,
         cost: CostModel,
         fault_for: &dyn Fn(usize) -> Option<usize>,
+        tel: Option<FarmTelemetry>,
     ) -> Result<ServiceHandle, EvaldError> {
         let binary = resolve_worker_binary(farm.worker_binary.as_ref())?;
         let (listener, endpoint) = match cfg.transport {
@@ -511,6 +615,7 @@ impl ServiceHandle {
             arch,
             artifact_cache,
             endpoint,
+            trace: tel.as_ref().is_some_and(|t| t.tracer.is_enabled()),
         };
 
         let mut children: Vec<Option<std::process::Child>> = Vec::with_capacity(n_clients);
@@ -554,6 +659,9 @@ impl ServiceHandle {
                 }
             }
             let mut server = EvalServer::new(server_side, cost, n_flags)?;
+            if let Some(t) = &tel {
+                server.set_telemetry(t.server_telemetry());
+            }
             // Workers build their engines from the job description; ship
             // it before any Work frame can be dispatched.
             server.set_job(minicc::codec::encode_module(module));

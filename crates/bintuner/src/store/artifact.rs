@@ -162,6 +162,9 @@ pub struct ArtifactStore {
     needs_rewrite: bool,
     retention: ArtifactRetention,
     report: LoadReport,
+    /// Save-timing histogram (`bintuner_store_artifact_save_seconds`);
+    /// `None` (the default) takes no telemetry path at all.
+    tel: Option<std::sync::Arc<btel::Histogram>>,
 }
 
 impl ArtifactStore {
@@ -196,6 +199,13 @@ impl ArtifactStore {
     /// The active retention policy.
     pub fn retention(&self) -> ArtifactRetention {
         self.retention
+    }
+
+    /// Install a save-timing histogram, conventionally declared in the
+    /// run's registry as `bintuner_store_artifact_save_seconds`. Without
+    /// this call saves take no telemetry path at all.
+    pub fn set_telemetry(&mut self, save_seconds: std::sync::Arc<btel::Histogram>) {
+        self.tel = Some(save_seconds);
     }
 
     fn parse(&mut self, bytes: &[u8]) {
@@ -443,10 +453,24 @@ impl ArtifactStore {
             || !path.exists()
             || self.file_bytes + pending_bytes > self.retention.max_bytes
             || self.live_bytes * 2 < self.file_bytes;
-        if compact {
-            self.rewrite(&path)?;
-        } else {
-            self.append(&path)?;
+        let tel = self.tel.clone();
+        match &tel {
+            None => {
+                if compact {
+                    self.rewrite(&path)?;
+                } else {
+                    self.append(&path)?;
+                }
+            }
+            Some(save_seconds) => {
+                let t = std::time::Instant::now();
+                if compact {
+                    self.rewrite(&path)?;
+                } else {
+                    self.append(&path)?;
+                }
+                save_seconds.observe_seconds(t.elapsed().as_secs_f64());
+            }
         }
         Ok(SaveOutcome::Written)
     }

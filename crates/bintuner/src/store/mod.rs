@@ -320,6 +320,43 @@ enum Layout {
     Foreign,
 }
 
+/// Telemetry handles for the persistent store. Installed via
+/// [`FitnessStore::set_telemetry`]; absent (the default) means the hard
+/// Off-mode purity contract — no clock reads, no telemetry state, byte-
+/// identical on-disk behavior.
+#[derive(Debug, Clone)]
+pub struct StoreTelemetry {
+    /// Wall time of each per-shard append or rewrite during
+    /// [`FitnessStore::save`].
+    pub shard_save_seconds: std::sync::Arc<btel::Histogram>,
+    /// Wall time of each per-shard compaction rewrite.
+    pub compact_seconds: std::sync::Arc<btel::Histogram>,
+    /// Shard saves/compactions skipped because another live process held
+    /// the advisory lock (lock contention; pending records are retried).
+    pub lock_skips: std::sync::Arc<btel::Counter>,
+}
+
+impl StoreTelemetry {
+    /// Declare the store's metric families in `registry` and return the
+    /// handles.
+    pub fn from_registry(registry: &btel::Registry) -> StoreTelemetry {
+        StoreTelemetry {
+            shard_save_seconds: registry.histogram(
+                "bintuner_store_shard_save_seconds",
+                "Wall time of each per-shard append/rewrite during FitnessStore::save.",
+            ),
+            compact_seconds: registry.histogram(
+                "bintuner_store_compact_seconds",
+                "Wall time of each per-shard compaction rewrite.",
+            ),
+            lock_skips: registry.counter(
+                "bintuner_store_lock_skips_total",
+                "Shard saves/compactions skipped under advisory-lock contention.",
+            ),
+        }
+    }
+}
+
 /// A disk-backed map from [`StoreKey`] to [`StoredFitness`], plus one
 /// [`ModuleFeatures`] entry per module for prior mining.
 ///
@@ -347,6 +384,9 @@ pub struct FitnessStore {
     /// shards restores the caller's insertion order exactly.
     next_seq: u64,
     report: LoadReport,
+    /// Save/compaction timing handles; `None` (the default) takes no
+    /// telemetry path at all.
+    tel: Option<StoreTelemetry>,
 }
 
 fn full_slots(n: usize) -> Vec<Option<ShardIndex>> {
@@ -367,6 +407,7 @@ impl FitnessStore {
             manifest_dirty: false,
             next_seq: 0,
             report: LoadReport::default(),
+            tel: None,
         }
     }
 
@@ -395,6 +436,7 @@ impl FitnessStore {
             manifest_dirty: false,
             next_seq: 0,
             report: LoadReport::default(),
+            tel: None,
         };
         match fs::metadata(&path) {
             Err(_) => {
@@ -624,6 +666,13 @@ impl FitnessStore {
     /// store; advances by one per load→save cycle).
     pub fn generation(&self) -> u32 {
         self.generation
+    }
+
+    /// Install save/compaction timing handles. Without this call the
+    /// store takes no telemetry path at all (the Off-mode purity
+    /// contract).
+    pub fn set_telemetry(&mut self, tel: StoreTelemetry) {
+        self.tel = Some(tel);
     }
 
     /// Insert (or overwrite) a result; queued for the next save and
@@ -902,10 +951,21 @@ impl FitnessStore {
             }
             let Some(_lock) = StoreLock::acquire(&shard::shard_path(dir, idx))? else {
                 skipped = true; // pending kept; retried on the next save
+                if let Some(tel) = &self.tel {
+                    tel.lock_skips.inc();
+                }
                 continue;
             };
             fitness_written |= shard.pending_fitness() > 0;
-            shard::save_shard(dir, idx, count, shard, false)?;
+            match &self.tel {
+                None => shard::save_shard(dir, idx, count, shard, false)?,
+                Some(tel) => {
+                    let t = std::time::Instant::now();
+                    shard::save_shard(dir, idx, count, shard, false)?;
+                    tel.shard_save_seconds
+                        .observe_seconds(t.elapsed().as_secs_f64());
+                }
+            }
         }
         let manifest_gen = if fitness_written {
             self.generation.saturating_add(1)
@@ -971,14 +1031,28 @@ impl FitnessStore {
             return Ok(SaveOutcome::Written);
         }
         let count = self.shard_count;
+        // Cloned up front (cheap Arc bumps): `ensure_shard` holds a
+        // mutable borrow of `self` across the write below.
+        let tel = self.tel.clone();
         let shard = self.ensure_shard(idx);
         if shard.live() == 0 && shard.pending.is_empty() && !shard::shard_path(&dir, idx).exists() {
             return Ok(SaveOutcome::Written);
         }
         let Some(_lock) = StoreLock::acquire(&shard::shard_path(&dir, idx))? else {
+            if let Some(tel) = &tel {
+                tel.lock_skips.inc();
+            }
             return Ok(SaveOutcome::SkippedLocked);
         };
-        shard::save_shard(&dir, idx, count, shard, true)?;
+        match &tel {
+            None => shard::save_shard(&dir, idx, count, shard, true)?,
+            Some(tel) => {
+                let t = std::time::Instant::now();
+                shard::save_shard(&dir, idx, count, shard, true)?;
+                tel.compact_seconds
+                    .observe_seconds(t.elapsed().as_secs_f64());
+            }
+        }
         Ok(SaveOutcome::Written)
     }
 }

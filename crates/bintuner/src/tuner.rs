@@ -93,6 +93,21 @@ pub struct TunerConfig {
     /// in everything but wall-clock and the stage-reuse telemetry
     /// (differentially tested on both backends).
     pub artifact_cache: bool,
+    /// The telemetry plane ([`btel::TelemetryMode::Off`] by default).
+    /// `On` builds a [`btel::Registry`] and a bounded [`btel::Tracer`],
+    /// installs them in the fitness engine (and, on a service backend,
+    /// in the eval server and every worker client, whose spans stitch
+    /// back over the wire), and returns them in
+    /// [`TuneResult::registry`] / [`TuneResult::spans`]. `Off` is a
+    /// hard purity contract — no extra clock reads, no telemetry state,
+    /// a run bit-identical to a pre-telemetry tuner (differentially
+    /// tested on every backend).
+    pub telemetry: btel::TelemetryMode,
+    /// Where to write the run's trace spans as JSONL (one object per
+    /// line), if anywhere. Only written when [`TunerConfig::telemetry`]
+    /// is `On`; a failed write is ignored — telemetry must never fail a
+    /// run.
+    pub trace_path: Option<PathBuf>,
 }
 
 impl Default for TunerConfig {
@@ -116,6 +131,8 @@ impl Default for TunerConfig {
             prior_config: PriorConfig::default(),
             backend: Backend::InProcess,
             artifact_cache: true,
+            telemetry: btel::TelemetryMode::Off,
+            trace_path: None,
         }
     }
 }
@@ -272,6 +289,14 @@ pub struct TuneResult {
     /// Evaluation-service telemetry ([`TunerConfig::backend`]; `None`
     /// for the in-process backend).
     pub service: Option<ServiceSummary>,
+    /// The metric registry behind this run, for exposition via
+    /// [`btel::Registry::render_text`]. `None` when
+    /// [`TunerConfig::telemetry`] was `Off`.
+    pub registry: Option<std::sync::Arc<btel::Registry>>,
+    /// The run's trace spans — engine batches, per-stage compile
+    /// timings, farm dispatches, with worker-side spans stitched in
+    /// over the wire. Empty when telemetry was off.
+    pub spans: Vec<btel::SpanRecord>,
 }
 
 /// BinTuner: tunes a module's optimization flags to maximize binary code
@@ -374,6 +399,21 @@ impl Tuner {
             )),
             _ => None,
         };
+        // Telemetry (when on) is built before the farm so the launch
+        // can thread it through: one registry and one span ring shared
+        // by the engine, the eval server, and — via the wire — every
+        // worker client.
+        let telemetry = if self.config.telemetry.is_on() {
+            Some(crate::service::FarmTelemetry {
+                registry: std::sync::Arc::new(btel::Registry::new()),
+                tracer: btel::Tracer::enabled(4096),
+            })
+        } else {
+            None
+        };
+        if let (Some(store), Some(t)) = (&mut store, &telemetry) {
+            store.set_telemetry(crate::store::StoreTelemetry::from_registry(&t.registry));
+        }
         // Service backend: launch the client farm before the engine so
         // the executor reference outlives the engine borrowing it. An
         // external executor (the daemon's shared-farm proxy) overrides
@@ -381,12 +421,13 @@ impl Tuner {
         let service = match (&self.config.backend, external) {
             (_, Some(_)) | (Backend::InProcess, None) => None,
             (Backend::Service(cfg), None) => Some(
-                ServiceHandle::launch(
+                ServiceHandle::launch_with(
                     cfg,
                     self.config.compiler,
                     module,
                     self.config.arch,
                     self.config.artifact_cache,
+                    telemetry.clone(),
                 )
                 .map_err(|e| TuneError::Service(std::sync::Arc::new(e)))?,
             ),
@@ -401,6 +442,12 @@ impl Tuner {
             )?,
             None => FitnessEngine::new(&self.compiler, module, self.config.arch, engine_config)?,
         };
+        if let Some(t) = &telemetry {
+            engine.set_telemetry(crate::engine::EngineTelemetry::from_registry(
+                &t.registry,
+                t.tracer.clone(),
+            ));
+        }
         if let Some(service) = &service {
             engine.set_executor(service);
         } else if let Some(external) = external {
@@ -414,7 +461,14 @@ impl Tuner {
         // both.
         if self.config.artifact_cache {
             if let Some(path) = &self.config.cache_path {
-                engine.set_artifact_store(ArtifactStore::load(path));
+                let mut artifacts = ArtifactStore::load(path);
+                if let Some(t) = &telemetry {
+                    artifacts.set_telemetry(t.registry.histogram(
+                        "bintuner_store_artifact_save_seconds",
+                        "Wall time of each artifact-log save (append or rewrite).",
+                    ));
+                }
+                engine.set_artifact_store(artifacts);
             }
         }
         let mut ga_params = self.config.ga.clone();
@@ -590,6 +644,20 @@ impl Tuner {
                 },
             }
         });
+        // Drain spans only after the service teardown above: worker-side
+        // spans are imported into this shared tracer as their Result
+        // frames fold in, so the ring is complete once the farm is down.
+        let (registry, spans) = match telemetry {
+            Some(t) => {
+                let spans = t.tracer.drain();
+                if let Some(path) = &self.config.trace_path {
+                    // Best-effort: telemetry must never fail a run.
+                    let _ = std::fs::write(path, btel::spans_to_jsonl(&spans));
+                }
+                (Some(t.registry), spans)
+            }
+            None => (None, Vec::new()),
+        };
         self.finish(
             module,
             run,
@@ -598,6 +666,8 @@ impl Tuner {
             persistence,
             prior_summary,
             service_summary,
+            registry,
+            spans,
         )
     }
 
@@ -637,6 +707,8 @@ impl Tuner {
             None,
             None,
             None,
+            None,
+            Vec::new(),
         )
     }
 
@@ -652,6 +724,8 @@ impl Tuner {
         persistence: Option<PersistSummary>,
         prior: Option<PriorSummary>,
         service: Option<ServiceSummary>,
+        registry: Option<std::sync::Arc<btel::Registry>>,
+        spans: Vec<btel::SpanRecord>,
     ) -> Result<TuneResult, TuneError> {
         let mut db = Database::new();
         for rec in &run.history {
@@ -667,6 +741,7 @@ impl Tuner {
                 lower_reused: rec.lower_reused,
                 seeded_from_prior: rec.seeded,
                 wall_seconds: rec.wall_seconds,
+                ast_produce_seconds: rec.ast_produce_seconds,
             });
         }
         let best_binary = self
@@ -687,6 +762,8 @@ impl Tuner {
             persistence,
             prior,
             service,
+            registry,
+            spans,
         })
     }
 }

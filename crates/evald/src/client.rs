@@ -12,7 +12,7 @@
 use crate::transport::Duplex;
 use crate::wire::{
     decode_frame, encode_frame, Frame, MergeRecord, ShardStats, WireAstArtifact, WireEval,
-    WireLowerArtifact,
+    WireLowerArtifact, WireSpan,
 };
 use crate::EvaldError;
 
@@ -22,7 +22,19 @@ pub trait ShardWorker {
     /// genome in shard order, plus per-shard telemetry. Must be a pure
     /// function of the genomes (caching aside): the server's straggler
     /// re-dispatch relies on duplicate evaluations being bit-identical.
-    fn evaluate(&mut self, genomes: &[Vec<bool>]) -> (Vec<WireEval>, ShardStats);
+    ///
+    /// `span` is the server's dispatch-span id for this shard, `0` when
+    /// tracing is off; tracing workers parent their stage spans under it
+    /// and echo it in [`ShardStats::span`]. Telemetry must never affect
+    /// the evaluations themselves.
+    fn evaluate(&mut self, genomes: &[Vec<bool>], span: u64) -> (Vec<WireEval>, ShardStats);
+
+    /// Drain the trace spans recorded since the last drain (shipped on
+    /// the same [`Frame::Result`] as the evaluations). Workers without
+    /// a tracer return nothing.
+    fn drain_spans(&mut self) -> Vec<WireSpan> {
+        Vec::new()
+    }
 
     /// Drain the records the local cache accumulated since the last
     /// drain (merged into the server-side store at batch end). Workers
@@ -100,13 +112,18 @@ pub fn serve(
         let bytes = duplex.rx.recv_frame()?;
         let (frame, _) = decode_frame(&bytes)?;
         match frame {
-            Frame::Work { shard, genomes } => {
-                let (evals, stats) = worker.evaluate(&genomes);
+            Frame::Work {
+                shard,
+                span,
+                genomes,
+            } => {
+                let (evals, stats) = worker.evaluate(&genomes, span);
                 duplex.tx.send_frame(&encode_frame(&Frame::Result {
                     shard,
                     client: opts.client_id,
                     evals,
                     stats,
+                    spans: worker.drain_spans(),
                 }))?;
                 shards_done += 1;
                 if opts.fail_after_shards == Some(shards_done) {
@@ -141,7 +158,7 @@ mod tests {
     struct Constant;
 
     impl ShardWorker for Constant {
-        fn evaluate(&mut self, genomes: &[Vec<bool>]) -> (Vec<WireEval>, ShardStats) {
+        fn evaluate(&mut self, genomes: &[Vec<bool>], _span: u64) -> (Vec<WireEval>, ShardStats) {
             (
                 genomes
                     .iter()
@@ -184,6 +201,7 @@ mod tests {
             .tx
             .send_frame(&encode_frame(&Frame::Work {
                 shard: 11,
+                span: 0,
                 genomes: vec![vec![true, false, true]],
             }))
             .unwrap();
@@ -243,6 +261,7 @@ mod tests {
             .tx
             .send_frame(&encode_frame(&Frame::Work {
                 shard: 0,
+                span: 0,
                 genomes: vec![vec![true]],
             }))
             .unwrap();

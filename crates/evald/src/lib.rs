@@ -52,13 +52,14 @@ pub mod wire;
 
 pub use client::{run_client, serve, ClientOptions, ShardWorker};
 pub use scheduler::{CostModel, Scheduler};
-pub use server::{ClientInjector, EvalServer, ServiceStats};
+pub use server::{ClientInjector, EvalServer, ServerTelemetry, ServiceStats};
 pub use transport::{
     channel_duplex, tcp_connect, tcp_listener, unix_connect, unix_listener, BoundUnixListener,
     Duplex, FrameReceiver, FrameSender,
 };
 pub use wire::{
-    Frame, MergeRecord, ShardStats, WireAstArtifact, WireEval, WireLowerArtifact, WIRE_VERSION,
+    Frame, MergeRecord, ShardStats, WireAstArtifact, WireEval, WireLowerArtifact, WireSpan,
+    WIRE_VERSION,
 };
 
 use std::fmt;

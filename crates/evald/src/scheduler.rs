@@ -18,6 +18,7 @@
 //! The scheduler is plain data behind the server's event loop — no locks
 //! of its own, no threads, fully unit-testable.
 
+use btel::Ewma;
 use minicc::ModuleFeatures;
 use std::collections::{BTreeMap, VecDeque};
 
@@ -73,8 +74,10 @@ pub struct CostModel {
     /// Modelled cost of compiling + scoring one genome, in arbitrary
     /// units (1.0 ≈ a small benchmark module). The static prior.
     pub cost_per_genome: f64,
-    /// EWMA of observed seconds-per-genome, per reporting client.
-    per_client: BTreeMap<u32, f64>,
+    /// EWMA of observed seconds-per-genome, per reporting client
+    /// (the shared [`btel::Ewma`] estimator; its convex-combination
+    /// update is bit-identical to the inline math it replaced).
+    per_client: BTreeMap<u32, Ewma>,
     /// Shard observations folded in so far.
     observations: u64,
 }
@@ -106,18 +109,24 @@ impl CostModel {
     /// evaluated `genomes` genomes in `wall_seconds`. Non-finite or
     /// negative measurements (a client with a broken clock) and empty
     /// shards are ignored — the model must never be poisoned into NaN
-    /// shard sizes.
+    /// shard sizes. The non-finite/negative guard lives in
+    /// [`btel::Ewma::observe`], shared with the daemon's rate
+    /// estimators.
     pub fn observe(&mut self, client: u32, genomes: usize, wall_seconds: f64) {
-        if genomes == 0 || !wall_seconds.is_finite() || wall_seconds < 0.0 {
+        if genomes == 0 {
             return;
         }
         let per = wall_seconds / genomes as f64;
-        let ewma = self
+        let mut ewma = self
             .per_client
-            .entry(client)
-            .and_modify(|e| *e = (1.0 - COST_EWMA_ALPHA) * *e + COST_EWMA_ALPHA * per)
-            .or_insert(per);
-        debug_assert!(ewma.is_finite());
+            .get(&client)
+            .copied()
+            .unwrap_or_else(|| Ewma::new(COST_EWMA_ALPHA));
+        if !ewma.observe(per) {
+            return;
+        }
+        debug_assert!(ewma.value().is_some_and(f64::is_finite));
+        self.per_client.insert(client, ewma);
         self.observations += 1;
     }
 
@@ -133,13 +142,21 @@ impl CostModel {
         if self.observations < MIN_COST_OBSERVATIONS || self.per_client.is_empty() {
             return None;
         }
-        Some(self.per_client.values().sum::<f64>() / self.per_client.len() as f64)
+        let sum: f64 = self
+            .per_client
+            .values()
+            .filter_map(|e| e.value())
+            .sum::<f64>();
+        Some(sum / self.per_client.len() as f64)
     }
 
     /// Per-client EWMA estimates of seconds-per-genome (telemetry:
     /// heterogeneity across the farm).
     pub fn client_secs_per_genome(&self) -> Vec<(u32, f64)> {
-        self.per_client.iter().map(|(&c, &s)| (c, s)).collect()
+        self.per_client
+            .iter()
+            .filter_map(|(&c, e)| e.value().map(|s| (c, s)))
+            .collect()
     }
 
     /// Shard size for a batch of `genomes` across `clients`: the finer
@@ -387,6 +404,45 @@ mod tests {
         // ((1-α)^24 ≈ 2e-4), so the bound floors to 24 rather than the
         // asymptotic 0.25/0.01 = 25.
         assert_eq!(warm, 24);
+    }
+
+    #[test]
+    fn ewma_migration_is_bit_identical_to_the_inline_update() {
+        // Unit-weight differential: replay the pre-migration inline
+        // update (`and_modify` over a plain f64 map) against the
+        // btel::Ewma-backed model over an uneven multi-client sequence,
+        // and demand the per-client estimates — and therefore every
+        // shard size the model will ever produce — match to the last
+        // bit.
+        let samples: &[(u32, usize, f64)] = &[
+            (0, 4, 0.2),
+            (1, 3, 0.33),
+            (0, 7, 1.05),
+            (0, 1, 0.0001),
+            (2, 5, 2.5),
+            (1, 4, 0.04),
+            (0, 6, 0.125),
+            (2, 2, 0.9),
+        ];
+        let mut old: BTreeMap<u32, f64> = BTreeMap::new();
+        let mut model = CostModel::uniform();
+        for &(client, genomes, wall) in samples {
+            let per = wall / genomes as f64;
+            old.entry(client)
+                .and_modify(|e| *e = (1.0 - COST_EWMA_ALPHA) * *e + COST_EWMA_ALPHA * per)
+                .or_insert(per);
+            model.observe(client, genomes, wall);
+        }
+        let new: BTreeMap<u32, f64> = model.client_secs_per_genome().into_iter().collect();
+        assert_eq!(old.len(), new.len());
+        for (client, inline) in &old {
+            assert_eq!(
+                inline.to_bits(),
+                new[client].to_bits(),
+                "client {client} estimate diverged after the Ewma migration"
+            );
+        }
+        assert_eq!(model.observations(), samples.len() as u64);
     }
 
     #[test]

@@ -23,12 +23,14 @@ use crate::scheduler::{CostModel, Scheduler};
 use crate::transport::{Duplex, FrameReceiver, FrameSender};
 use crate::wire::{
     decode_frame, encode_frame, Frame, MergeRecord, WireAstArtifact, WireEval, WireLowerArtifact,
+    WireSpan,
 };
 use crate::EvaldError;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Cumulative service telemetry.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -67,6 +69,24 @@ pub struct ServiceStats {
     pub clients_joined: usize,
     /// Shard wall-time measurements folded into the adaptive cost model.
     pub cost_observations: u64,
+}
+
+/// The embedder's telemetry handles for the dispatch server, resolved
+/// once against a `btel::Registry` and installed via
+/// [`EvalServer::set_telemetry`]. Absent (the default), the server
+/// takes no clock readings and sends span id `0` on every `Work` frame
+/// — bit-identical to pre-telemetry behavior.
+pub struct ServerTelemetry {
+    /// Records shard-dispatch spans and stitches in worker spans.
+    pub tracer: btel::Tracer,
+    /// Dispatch latency: `Work` sent → first `Result` received.
+    pub dispatch_seconds: Arc<btel::Histogram>,
+    /// Shard copies handed out beyond the first assignment.
+    pub redispatched: Arc<btel::Counter>,
+    /// Clients admitted after launch (reconnects).
+    pub clients_joined: Arc<btel::Counter>,
+    /// Clients lost over the service's lifetime.
+    pub clients_lost: Arc<btel::Counter>,
 }
 
 enum Event {
@@ -173,6 +193,15 @@ pub struct EvalServer {
     /// Clients with no useful work at last dispatch — re-poked when a
     /// client death re-queues shards.
     idle: HashSet<u32>,
+    /// Telemetry handles; `None` (the default) is the Off-mode purity
+    /// contract: no clocks, no spans, no metric writes.
+    tel: Option<ServerTelemetry>,
+    /// Send time per outstanding dispatch span, keyed by span id
+    /// (telemetry only). Keyed by span — not shard — so each straggler
+    /// copy of a re-dispatched shard closes its *own* dispatch span (the
+    /// one its worker parented stage spans under, echoed back in
+    /// [`crate::wire::ShardStats::span`]).
+    inflight_spans: HashMap<u64, Instant>,
 }
 
 impl EvalServer {
@@ -216,9 +245,19 @@ impl EvalServer {
             shard_sizes: Vec::new(),
             last_loss: None,
             idle: HashSet::new(),
+            tel: None,
+            inflight_spans: HashMap::new(),
         };
         server.handshake()?;
         Ok(server)
+    }
+
+    /// Install telemetry handles. Dispatches from here on carry real
+    /// span ids on their `Work` frames, dispatch latency lands in the
+    /// histogram, and worker-recorded spans are stitched into the
+    /// tracer as results arrive.
+    pub fn set_telemetry(&mut self, tel: ServerTelemetry) {
+        self.tel = Some(tel);
     }
 
     /// A handle for injecting client connections accepted *after*
@@ -296,6 +335,9 @@ impl EvalServer {
             return false;
         }
         self.stats.clients_joined += 1;
+        if let Some(t) = &self.tel {
+            t.clients_joined.inc();
+        }
         if let Some(job) = self.job.clone() {
             if !self.send_to(client, &Frame::Job { payload: job }) {
                 return false;
@@ -312,6 +354,9 @@ impl EvalServer {
             // must both observe EOF instead of blocking forever.
             sender.close();
             self.stats.clients_lost += 1;
+            if let Some(t) = &self.tel {
+                t.clients_lost.inc();
+            }
         }
         self.pending_hello.remove(&client);
         self.idle.remove(&client);
@@ -390,7 +435,22 @@ impl EvalServer {
             self.idle.insert(client);
             return;
         };
-        if self.send_to(client, &Frame::Work { shard, genomes }) {
+        let span = match &self.tel {
+            Some(t) if t.tracer.is_enabled() => {
+                let id = t.tracer.alloc_id();
+                self.inflight_spans.insert(id, Instant::now());
+                id
+            }
+            _ => 0,
+        };
+        if self.send_to(
+            client,
+            &Frame::Work {
+                shard,
+                span,
+                genomes,
+            },
+        ) {
             self.idle.remove(&client);
         } else {
             // Send failed: the client was dropped mid-dispatch. Release
@@ -398,6 +458,29 @@ impl EvalServer {
             // always produces one) re-pokes idle clients.
             sched.client_dead(client);
         }
+    }
+
+    /// Close out a shard's dispatch span and stitch the worker's spans
+    /// into the trace (no-op without telemetry). `span` is the dispatch
+    /// span the worker echoed back ([`crate::wire::ShardStats::span`]):
+    /// the copy that
+    /// actually produced this result, `0` when the Work frame predates
+    /// telemetry.
+    fn fold_result_telemetry(&mut self, client: u32, span: u64, spans: Vec<WireSpan>) {
+        let Some(t) = &self.tel else { return };
+        if let Some(sent) = self.inflight_spans.remove(&span) {
+            t.tracer.record_with_id(span, "dispatch", 0, sent);
+            t.dispatch_seconds
+                .observe_seconds(sent.elapsed().as_secs_f64());
+        }
+        t.tracer.import(spans.into_iter().map(|s| btel::SpanRecord {
+            id: s.id,
+            parent: s.parent,
+            name: s.name,
+            start_us: s.start_us,
+            dur_us: s.dur_us,
+            client,
+        }));
     }
 
     /// Re-poke idle clients (after a death re-queued shards).
@@ -447,6 +530,7 @@ impl EvalServer {
                         shard,
                         evals,
                         stats,
+                        spans,
                         ..
                     },
                 ) => {
@@ -456,6 +540,7 @@ impl EvalServer {
                     self.stats.client_ast_reuse += u64::from(stats.ast_reuse);
                     self.stats.client_lower_reuse += u64::from(stats.lower_reuse);
                     self.observe_cost(c, evals.len(), stats.wall_seconds);
+                    self.fold_result_telemetry(c, stats.span, spans);
                     match sched.complete(shard) {
                         Some(start) if sched.shard_len(shard) == Some(evals.len()) => {
                             for (k, e) in evals.into_iter().enumerate() {
@@ -515,7 +600,17 @@ impl EvalServer {
             }
         }
 
+        self.stats.redispatched_shards += sched.redispatched;
+        if let Some(t) = &self.tel {
+            t.redispatched.add(sched.redispatched as u64);
+        }
         self.flush_merges()?;
+        // Dispatch spans whose results never arrived (copies sent to
+        // clients that died mid-shard) would otherwise leak across
+        // batches. Cleared *after* the merge barrier: stragglers
+        // finishing re-dispatched copies during the barrier still close
+        // their own dispatch spans.
+        self.inflight_spans.clear();
         Ok(out
             .into_iter()
             .map(|e| e.expect("every shard completed"))
@@ -548,10 +643,20 @@ impl EvalServer {
                     self.apply_merge(records, ast_artifacts, lower_artifacts);
                     waiting.remove(&c);
                 }
-                Ok(Event::Frame(c, Frame::Result { evals, stats, .. })) => {
+                Ok(Event::Frame(
+                    c,
+                    Frame::Result {
+                        evals,
+                        stats,
+                        spans,
+                        ..
+                    },
+                )) => {
                     // A straggler finishing a re-dispatched copy after the
                     // batch completed: pure duplicate — but still a real
-                    // wall-time measurement for the cost model.
+                    // wall-time measurement for the cost model, and its
+                    // trace spans still stitch under their own dispatch.
+                    self.fold_result_telemetry(c, stats.span, spans);
                     self.stats.client_compiles += u64::from(stats.compiles);
                     self.stats.client_cache_hits += u64::from(stats.cache_hits);
                     self.stats.client_full_compiles += u64::from(stats.full_compiles);
@@ -698,7 +803,7 @@ mod tests {
     }
 
     impl ShardWorker for Popcount {
-        fn evaluate(&mut self, genomes: &[Vec<bool>]) -> (Vec<WireEval>, ShardStats) {
+        fn evaluate(&mut self, genomes: &[Vec<bool>], _span: u64) -> (Vec<WireEval>, ShardStats) {
             let mut stats = ShardStats::default();
             let evals = genomes
                 .iter()

@@ -382,6 +382,7 @@ mod tests {
         let mut server = unix_accept(&listener).unwrap();
         let frame = Frame::Work {
             shard: 9,
+            span: 0,
             genomes: vec![vec![true; 21], vec![false; 4]],
         };
         server.tx.send_frame(&encode_frame(&frame)).unwrap();
@@ -419,6 +420,7 @@ mod tests {
         let mut server = tcp_accept(&listener).unwrap();
         let frame = Frame::Work {
             shard: 5,
+            span: 0,
             genomes: vec![vec![true, false, true], vec![false; 9]],
         };
         server.tx.send_frame(&encode_frame(&frame)).unwrap();

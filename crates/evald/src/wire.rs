@@ -32,8 +32,13 @@ pub const WIRE_MAGIC: [u8; 4] = *b"EVLD";
 /// opaque job description to pre-forked worker processes. v4:
 /// [`Frame::Merge`] grew the two stage-artifact record lists, so farm
 /// workers' freshly computed artifacts reach the server's persistent
-/// artifact store instead of being recomputed on every warm start.)
-pub const WIRE_VERSION: u32 = 4;
+/// artifact store instead of being recomputed on every warm start. v5:
+/// trace-span propagation — [`Frame::Work`] carries the server's
+/// dispatch-span id, [`ShardStats`] echoes it, and [`Frame::Result`]
+/// carries the worker's recorded [`WireSpan`]s, so a farm worker's
+/// per-stage compile timings stitch into the dispatching server's
+/// trace.)
+pub const WIRE_VERSION: u32 = 5;
 
 /// Hard cap on one frame's declared length (a corrupted length prefix
 /// must not trigger a multi-gigabyte allocation).
@@ -141,6 +146,30 @@ pub struct WireLowerArtifact {
     pub blob: Vec<u8>,
 }
 
+/// One trace span recorded by a client while evaluating a shard,
+/// shipped back on [`Frame::Result`] (v5).
+///
+/// The span ids are opaque `u64`s minted by the recording tracer;
+/// workers offset their id space by client so stitched traces never
+/// collide, and a worker's root spans carry the server's dispatch-span
+/// id (delivered on [`Frame::Work`]) in `parent`. Offsets and
+/// durations are microseconds on the *worker's* monotonic clock — the
+/// consumer orders spans by parentage, not by cross-host clock
+/// comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSpan {
+    /// Span id, unique across the farm (workers offset their id space).
+    pub id: u64,
+    /// Parent span id; `0` means root.
+    pub parent: u64,
+    /// Stage or operation name (`ast`, `lower`, `mir`, …).
+    pub name: String,
+    /// Start offset on the recording process's monotonic clock, µs.
+    pub start_us: u64,
+    /// Duration, µs.
+    pub dur_us: u64,
+}
+
 /// Per-shard client telemetry, carried on every [`Frame::Result`].
 ///
 /// Equality compares `wall_seconds` by *bit pattern* (see the manual
@@ -162,6 +191,9 @@ pub struct ShardStats {
     pub lower_reuse: u32,
     /// Client-side wall-clock seconds spent on the shard.
     pub wall_seconds: f64,
+    /// The server's dispatch-span id for this shard, echoed from
+    /// [`Frame::Work`] (v5); `0` when tracing is off.
+    pub span: u64,
 }
 
 impl PartialEq for ShardStats {
@@ -172,6 +204,7 @@ impl PartialEq for ShardStats {
             && self.ast_reuse == other.ast_reuse
             && self.lower_reuse == other.lower_reuse
             && self.wall_seconds.to_bits() == other.wall_seconds.to_bits()
+            && self.span == other.span
     }
 }
 
@@ -195,6 +228,10 @@ pub enum Frame {
     Work {
         /// Globally unique shard id (never reused across batches).
         shard: u64,
+        /// The server's dispatch-span id for this shard (v5); `0` when
+        /// tracing is off — which doubles as the client's signal not to
+        /// record spans of its own.
+        span: u64,
         /// The genomes, in shard order.
         genomes: Vec<Vec<bool>>,
     },
@@ -209,6 +246,9 @@ pub enum Frame {
         evals: Vec<WireEval>,
         /// Per-shard telemetry.
         stats: ShardStats,
+        /// Trace spans the client recorded while evaluating the shard
+        /// (v5); empty when tracing is off.
+        spans: Vec<WireSpan>,
     },
     /// Server → client: the batch is complete; flush the local cache.
     EndBatch {
@@ -264,6 +304,18 @@ pub fn put_genome(out: &mut Vec<u8>, genome: &[bool]) {
     }
 }
 
+/// Append one [`WireSpan`] in the canonical encoding: fixed fields,
+/// then the name as a `u16`-length-prefixed UTF-8 string.
+fn put_span(out: &mut Vec<u8>, span: &WireSpan) {
+    out.put_u64_le(span.id);
+    out.put_u64_le(span.parent);
+    debug_assert!(span.name.len() <= usize::from(u16::MAX));
+    out.put_u16_le(span.name.len() as u16);
+    out.put_slice(span.name.as_bytes());
+    out.put_u64_le(span.start_us);
+    out.put_u64_le(span.dur_us);
+}
+
 /// Encode one frame, length prefix included.
 pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     let mut body: Vec<u8> = Vec::with_capacity(64);
@@ -275,9 +327,14 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             body.put_u32_le(*client);
             body.put_u16_le(*n_flags);
         }
-        Frame::Work { shard, genomes } => {
+        Frame::Work {
+            shard,
+            span,
+            genomes,
+        } => {
             body.put_u8(TAG_WORK);
             body.put_u64_le(*shard);
+            body.put_u64_le(*span);
             body.put_u32_le(genomes.len() as u32);
             for g in genomes {
                 put_genome(&mut body, g);
@@ -288,6 +345,7 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             client,
             evals,
             stats,
+            spans,
         } => {
             body.put_u8(TAG_RESULT);
             body.put_u64_le(*shard);
@@ -298,11 +356,16 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             body.put_u32_le(stats.ast_reuse);
             body.put_u32_le(stats.lower_reuse);
             body.put_u64_le(stats.wall_seconds.to_bits());
+            body.put_u64_le(stats.span);
             body.put_u32_le(evals.len() as u32);
             for e in evals {
                 body.put_u64_le(e.fitness_bits);
                 body.put_u8(e.failed as u8);
                 body.put_u64_le(e.wall_seconds_bits);
+            }
+            body.put_u32_le(spans.len() as u32);
+            for s in spans {
+                put_span(&mut body, s);
             }
         }
         Frame::EndBatch { batch } => {
@@ -434,6 +497,24 @@ impl<'a> Reader<'a> {
         Ok((0..n).map(|i| bytes[i / 8] & (1 << (i % 8)) != 0).collect())
     }
 
+    /// Consume one [`WireSpan`] in the [`put_span`] encoding. A name
+    /// that is not valid UTF-8 rejects the payload as corrupt.
+    fn span(&mut self) -> Result<WireSpan, EvaldError> {
+        let id = self.u64()?;
+        let parent = self.u64()?;
+        let n = usize::from(self.u16()?);
+        let name = std::str::from_utf8(self.take(n)?)
+            .map_err(|_| EvaldError::Corrupt("span name is not UTF-8"))?
+            .to_string();
+        Ok(WireSpan {
+            id,
+            parent,
+            name,
+            start_us: self.u64()?,
+            dur_us: self.u64()?,
+        })
+    }
+
     /// Require the payload to be fully consumed.
     pub fn done(&self) -> Result<(), EvaldError> {
         if self.off == self.buf.len() {
@@ -499,12 +580,17 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), EvaldError> {
         },
         TAG_WORK => {
             let shard = r.u64()?;
+            let span = r.u64()?;
             let n = r.u32()? as usize;
             let mut genomes = Vec::with_capacity(n.min(1 << 16));
             for _ in 0..n {
                 genomes.push(r.genome()?);
             }
-            Frame::Work { shard, genomes }
+            Frame::Work {
+                shard,
+                span,
+                genomes,
+            }
         }
         TAG_RESULT => {
             let shard = r.u64()?;
@@ -516,6 +602,7 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), EvaldError> {
                 ast_reuse: r.u32()?,
                 lower_reuse: r.u32()?,
                 wall_seconds: f64::from_bits(r.u64()?),
+                span: r.u64()?,
             };
             let n = r.u32()? as usize;
             let mut evals = Vec::with_capacity(n.min(1 << 16));
@@ -526,11 +613,17 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), EvaldError> {
                     wall_seconds_bits: r.u64()?,
                 });
             }
+            let n = r.u32()? as usize;
+            let mut spans = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                spans.push(r.span()?);
+            }
             Frame::Result {
                 shard,
                 client,
                 evals,
                 stats,
+                spans,
             }
         }
         TAG_END_BATCH => Frame::EndBatch { batch: r.u64()? },
@@ -605,6 +698,7 @@ mod tests {
             },
             Frame::Work {
                 shard: 42,
+                span: 9001,
                 genomes: vec![
                     vec![true, false, true],
                     vec![],
@@ -633,7 +727,33 @@ mod tests {
                     ast_reuse: 1,
                     lower_reuse: 0,
                     wall_seconds: 0.002,
+                    span: 9001,
                 },
+                spans: vec![
+                    WireSpan {
+                        id: (4u64 << 48) + 1,
+                        parent: 9001,
+                        name: "ast".to_string(),
+                        start_us: 12,
+                        dur_us: 340,
+                    },
+                    WireSpan {
+                        id: (4u64 << 48) + 2,
+                        parent: (4u64 << 48) + 1,
+                        name: String::new(),
+                        start_us: 0,
+                        dur_us: u64::MAX,
+                    },
+                ],
+            },
+            // Tracing off: span context zero, no spans — still a valid
+            // v5 frame with explicit zero counts.
+            Frame::Result {
+                shard: 43,
+                client: 0,
+                evals: vec![],
+                stats: ShardStats::default(),
+                spans: vec![],
             },
             Frame::EndBatch { batch: 7 },
             Frame::Merge {
@@ -771,6 +891,7 @@ mod tests {
             client: 0,
             evals: vec![],
             stats: nan,
+            spans: vec![],
         };
         let (decoded, _) = decode_frame(&encode_frame(&frame)).unwrap();
         assert_eq!(decoded, frame);
@@ -813,11 +934,79 @@ mod tests {
     }
 
     #[test]
+    fn span_names_must_be_utf8() {
+        let frame = Frame::Result {
+            shard: 5,
+            client: 1,
+            evals: vec![],
+            stats: ShardStats::default(),
+            spans: vec![WireSpan {
+                id: 1,
+                parent: 0,
+                name: "mir".to_string(),
+                start_us: 7,
+                dur_us: 8,
+            }],
+        };
+        let mut bytes = encode_frame(&frame);
+        // The span name's bytes are the only "mir" in the frame; smash
+        // them with invalid UTF-8 and re-seal the checksum: the decoder
+        // must reject the payload, not panic or mojibake.
+        let pos = bytes
+            .windows(3)
+            .position(|w| w == b"mir")
+            .expect("name bytes present");
+        bytes[pos] = 0xFF;
+        bytes[pos + 1] = 0xFE;
+        let ck_at = bytes.len() - 4;
+        let ck = checksum(&bytes[4..ck_at]);
+        bytes[ck_at..].copy_from_slice(&ck.to_le_bytes());
+        assert!(matches!(decode_frame(&bytes), Err(EvaldError::Corrupt(_))));
+    }
+
+    #[test]
+    fn result_spans_round_trip_with_extreme_values() {
+        let frame = Frame::Result {
+            shard: u64::MAX,
+            client: u32::MAX,
+            evals: vec![WireEval {
+                fitness_bits: f64::NAN.to_bits(),
+                failed: true,
+                wall_seconds_bits: f64::NEG_INFINITY.to_bits(),
+            }],
+            stats: ShardStats {
+                wall_seconds: f64::INFINITY,
+                span: u64::MAX,
+                ..ShardStats::default()
+            },
+            spans: vec![WireSpan {
+                id: u64::MAX,
+                parent: u64::MAX - 1,
+                name: "a".repeat(300),
+                start_us: u64::MAX,
+                dur_us: 0,
+            }],
+        };
+        let bytes = encode_frame(&frame);
+        let (decoded, used) = decode_frame(&bytes).unwrap();
+        assert_eq!(decoded, frame);
+        assert_eq!(used, bytes.len());
+        // Truncation inside the span block is detected at every cut.
+        for cut in 0..bytes.len() {
+            assert!(matches!(
+                decode_frame(&bytes[..cut]),
+                Err(EvaldError::Truncated { .. })
+            ));
+        }
+    }
+
+    #[test]
     fn genome_bitmap_edges() {
         for width in [0usize, 1, 7, 8, 9, 16, 137] {
             let genome: Vec<bool> = (0..width).map(|i| i % 2 == 0).collect();
             let frame = Frame::Work {
                 shard: 1,
+                span: 0,
                 genomes: vec![genome.clone()],
             };
             let (decoded, _) = decode_frame(&encode_frame(&frame)).unwrap();

@@ -6,7 +6,7 @@
 
 use evald::wire::{
     decode_frame, encode_frame, Frame, MergeRecord, ShardStats, WireAstArtifact, WireEval,
-    WireLowerArtifact,
+    WireLowerArtifact, WireSpan,
 };
 use evald::EvaldError;
 use evald::WIRE_VERSION;
@@ -23,6 +23,26 @@ fn eval_strategy() -> impl Strategy<Value = WireEval> {
         failed,
         wall_seconds_bits: w,
     })
+}
+
+fn span_strategy() -> impl Strategy<Value = WireSpan> {
+    (
+        (any::<u64>(), any::<u64>()),
+        vec(any::<u8>(), 0..24),
+        (any::<u64>(), any::<u64>()),
+    )
+        .prop_map(|((id, parent), name, (start_us, dur_us))| WireSpan {
+            id,
+            parent,
+            // Arbitrary bytes folded onto a stage-name-like alphabet
+            // (the wire requires valid UTF-8 span names).
+            name: name
+                .into_iter()
+                .map(|b| char::from(b'a' + b % 26))
+                .collect(),
+            start_us,
+            dur_us,
+        })
 }
 
 fn record_strategy() -> impl Strategy<Value = MergeRecord> {
@@ -82,8 +102,9 @@ proptest! {
 
     #[test]
     fn work_frames_round_trip(shard in any::<u64>(),
+                              span in any::<u64>(),
                               genomes in vec(genome_strategy(), 0..24)) {
-        let frame = Frame::Work { shard, genomes };
+        let frame = Frame::Work { shard, span, genomes };
         let bytes = encode_frame(&frame);
         let (decoded, used) = decode_frame(&bytes).expect("valid frame decodes");
         prop_assert_eq!(decoded, frame);
@@ -94,12 +115,14 @@ proptest! {
     fn result_frames_round_trip_bit_exactly(shard in any::<u64>(),
                                             client in any::<u32>(),
                                             evals in vec(eval_strategy(), 0..24),
+                                            spans in vec(span_strategy(), 0..12),
                                             compiles in any::<u32>(),
                                             hits in any::<u32>(),
                                             full in any::<u32>(),
                                             ast in any::<u32>(),
                                             lower in any::<u32>(),
-                                            wall in any::<u64>()) {
+                                            wall in any::<u64>(),
+                                            span in any::<u64>()) {
         // Fitness crosses the wire as raw bits: NaNs, infinities and
         // negative zero must all survive — the differential guarantee
         // needs *bit* equality, not f64 equality.
@@ -114,13 +137,37 @@ proptest! {
                 ast_reuse: ast,
                 lower_reuse: lower,
                 wall_seconds: f64::from_bits(wall),
+                span,
             },
+            spans,
         };
         let bytes = encode_frame(&frame);
         let (decoded, _) = decode_frame(&bytes).expect("valid frame decodes");
         // ShardStats equality is bitwise over wall_seconds, so whole-frame
         // equality is exactly the bit-exactness guarantee.
         prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn result_frames_with_spans_reject_every_truncation(spans in vec(span_strategy(), 1..8),
+                                                        evals in vec(eval_strategy(), 0..4)) {
+        // The span block sits at the tail of a Result frame — a cut at
+        // *any* byte (fixed fields, name bytes, mid-span) must surface
+        // as Truncated, never decode to a shorter span list.
+        let frame = Frame::Result {
+            shard: 3,
+            client: 1,
+            evals,
+            stats: ShardStats::default(),
+            spans,
+        };
+        let bytes = encode_frame(&frame);
+        for cut in 0..bytes.len() {
+            prop_assert!(matches!(
+                decode_frame(&bytes[..cut]),
+                Err(EvaldError::Truncated { .. })
+            ), "cut at {} not rejected", cut);
+        }
     }
 
     #[test]
@@ -136,7 +183,7 @@ proptest! {
     #[test]
     fn truncated_frames_are_rejected(genomes in vec(genome_strategy(), 1..8),
                                      cut_fraction in 0usize..100) {
-        let bytes = encode_frame(&Frame::Work { shard: 7, genomes });
+        let bytes = encode_frame(&Frame::Work { shard: 7, span: 0, genomes });
         let cut = cut_fraction * bytes.len() / 100; // strictly < len
         match decode_frame(&bytes[..cut]) {
             Err(EvaldError::Truncated { needed, got }) => {
@@ -152,7 +199,7 @@ proptest! {
         // Any version other than ours — older (a v2 peer) or newer —
         // must be rejected up front, before payload interpretation.
         let version = if version == WIRE_VERSION { version ^ 1 } else { version };
-        let mut bytes = encode_frame(&Frame::Work { shard: 1, genomes });
+        let mut bytes = encode_frame(&Frame::Work { shard: 1, span: 0, genomes });
         bytes[8..12].copy_from_slice(&version.to_le_bytes());
         prop_assert!(matches!(
             decode_frame(&bytes),

@@ -47,6 +47,12 @@ pub struct Eval {
     /// Measured wall-clock spent producing this evaluation, in seconds
     /// (0 when the evaluator does not measure, e.g. the closure shim).
     pub wall_seconds: f64,
+    /// Wall-clock seconds this evaluation spent producing a *shared*
+    /// stage-1 (AST) artifact on behalf of its whole effect family, in
+    /// addition to its own compile. Recorded separately from
+    /// `wall_seconds` so per-evaluation wall attribution stays truthful
+    /// (0 for cache hits and for non-producer evaluations).
+    pub ast_produce_seconds: f64,
     /// Whether the result came from the evaluator's *in-run* memoization
     /// cache rather than a fresh evaluation.
     pub cache_hit: bool,
@@ -71,6 +77,7 @@ impl Eval {
             fitness,
             cost_seconds,
             wall_seconds: 0.0,
+            ast_produce_seconds: 0.0,
             cache_hit: false,
             persistent_hit: false,
             ast_reused: false,
@@ -334,6 +341,9 @@ pub struct EvalRecord {
     /// Measured wall-clock seconds for this evaluation (0 when the
     /// evaluator does not measure).
     pub wall_seconds: f64,
+    /// Wall-clock seconds spent producing a shared stage-1 artifact for
+    /// this evaluation's effect family (see [`Eval::ast_produce_seconds`]).
+    pub ast_produce_seconds: f64,
 }
 
 /// The outcome of a GA run.
@@ -752,6 +762,7 @@ impl RunState {
                 lower_reused: eval.lower_reused,
                 seeded: was_seeded,
                 wall_seconds: eval.wall_seconds,
+                ast_produce_seconds: eval.ast_produce_seconds,
             });
             if bounded
                 && (self.evals >= term.max_evaluations

@@ -73,6 +73,21 @@ impl std::fmt::Display for CompileError {
 
 impl std::error::Error for CompileError {}
 
+/// Measured wall-clock seconds per pipeline stage for one compile
+/// (returned by [`Compiler::compile_timed`]; consumed by the telemetry
+/// plane's per-stage histograms and trace spans).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageWalls {
+    /// Constraint check + module validation + effect resolution.
+    pub check_seconds: f64,
+    /// Stage 1: AST optimization.
+    pub ast_seconds: f64,
+    /// Stage 2: lowering to machine code.
+    pub lower_seconds: f64,
+    /// Stage 3: machine-level optimization.
+    pub mir_seconds: f64,
+}
+
 /// A compiler instance for one profile (GCC or LLVM model).
 #[derive(Debug, Clone)]
 pub struct Compiler {
@@ -162,6 +177,42 @@ impl Compiler {
         mir_opt::optimize(&mut lowered, eff);
         debug_assert_eq!(lowered.validate(), Ok(()));
         lowered
+    }
+
+    /// Compile a module under an explicit flag vector, measuring each
+    /// pipeline stage (`check → ast → lower → mir`) on the monotonic
+    /// clock — the telemetry plane's per-stage timing hook.
+    ///
+    /// Runs the *same* stage sequence as [`Compiler::compile`], so the
+    /// binary is byte-identical to an untimed compile by construction
+    /// (pinned by `timed_compile_is_byte_identical`); only the clock
+    /// readings are extra. Untraced callers keep using
+    /// [`Compiler::compile`] and never pay for them.
+    ///
+    /// # Errors
+    ///
+    /// See [`Compiler::compile`].
+    pub fn compile_timed(
+        &self,
+        m: &Module,
+        flags: &[bool],
+        arch: Arch,
+    ) -> Result<(Binary, StageWalls), CompileError> {
+        let t0 = std::time::Instant::now();
+        let eff = self.check(m, flags)?;
+        let t1 = std::time::Instant::now();
+        let optimized = self.stage_ast(m, &eff);
+        let t2 = std::time::Instant::now();
+        let lowered = self.stage_lower(&optimized, &eff, arch);
+        let t3 = std::time::Instant::now();
+        let binary = self.stage_mir(lowered, &eff);
+        let walls = StageWalls {
+            check_seconds: (t1 - t0).as_secs_f64(),
+            ast_seconds: (t2 - t1).as_secs_f64(),
+            lower_seconds: (t3 - t2).as_secs_f64(),
+            mir_seconds: t3.elapsed().as_secs_f64(),
+        };
+        Ok((binary, walls))
     }
 
     /// Compile with a default `-Ox` preset.
@@ -548,6 +599,36 @@ mod tests {
             bin.validate().unwrap();
             for (args, expect) in [[3u32, 1], [1234, 0], [0, 1], [99999, 2]].iter().zip(&want) {
                 assert_eq!(&observe(&bin, args), expect, "{level} args {args:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn timed_compile_is_byte_identical() {
+        // The telemetry hook must change *nothing* but the clock
+        // readings: same binary bytes as the untimed path, every preset,
+        // and the same typed error on invalid inputs.
+        let m = kitchen_sink();
+        for kind in [CompilerKind::Gcc, CompilerKind::Llvm] {
+            let cc = Compiler::new(kind);
+            for level in OptLevel::ALL {
+                let flags = cc.profile().preset(level);
+                let plain = cc.compile(&m, &flags, Arch::X86).unwrap();
+                let (timed, walls) = cc.compile_timed(&m, &flags, Arch::X86).unwrap();
+                assert_eq!(timed, plain, "{kind:?} {level}");
+                assert!(walls.check_seconds >= 0.0);
+                assert!(walls.ast_seconds >= 0.0);
+                assert!(walls.lower_seconds >= 0.0);
+                assert!(walls.mir_seconds >= 0.0);
+            }
+            // Invalid flag vectors fail the same way.
+            let n = cc.profile().n_flags();
+            let all_on = vec![true; n];
+            if cc.check(&m, &all_on).is_err() {
+                assert!(matches!(
+                    cc.compile_timed(&m, &all_on, Arch::X86),
+                    Err(CompileError::InvalidFlags(_))
+                ));
             }
         }
     }
