@@ -142,6 +142,7 @@ fn main() {
                 transport,
                 workers,
                 fault: None,
+                liveness: Default::default(),
             }),
             ..base_config()
         };

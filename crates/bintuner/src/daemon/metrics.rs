@@ -40,7 +40,8 @@ pub struct DaemonMetrics {
     pub completed: AtomicU64,
     /// Jobs that finished with an error.
     pub failed: AtomicU64,
-    /// Jobs cancelled while still queued.
+    /// Jobs cancelled — dequeued while queued, or aborted at a batch
+    /// checkpoint while running.
     pub cancelled: AtomicU64,
     /// Jobs currently waiting in the admission queue.
     pub queue_depth: AtomicU64,

@@ -32,7 +32,7 @@
 pub mod metrics;
 pub mod wire;
 
-use crate::service::{ServiceExecutor, ServiceHandle, SharedEvaldError};
+use crate::service::{FarmTelemetry, ServiceExecutor, ServiceHandle, SharedEvaldError};
 use crate::store::{ArtifactStore, AstArtifactKey, LowerArtifactKey};
 use crate::tuner::{Backend, TuneError, TuneResult, Tuner, TunerConfig};
 use crate::{MissExecutor, MissResult};
@@ -60,6 +60,11 @@ use wire::{
 /// How often blocked waits (queue pop, result fetch, accept fallback)
 /// re-check the shutdown flag.
 const WAIT_TICK: Duration = Duration::from_millis(100);
+
+/// Submit-time deadlines beyond this are rejected with
+/// [`RejectCode::BadDeadline`] — a week covers any sane batch job and
+/// keeps `Instant + Duration` arithmetic far from overflow.
+const MAX_DEADLINE_MS: u64 = 7 * 24 * 60 * 60 * 1000;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -92,10 +97,21 @@ pub struct DaemonConfig {
     /// Runner threads (jobs executing concurrently). Their batches
     /// interleave on the one shared farm.
     pub runners: usize,
-    /// Chaos hook: inject this [`FaultPlan`] into the *first* farm
-    /// launch only (consumed thereafter), so a test can kill the farm
-    /// under one job and watch the next job's relaunch succeed.
+    /// Chaos hook: inject this [`FaultPlan`] into the first
+    /// [`DaemonConfig::farm_fault_launches`] farm launches (consumed
+    /// thereafter), so a test can kill the farm under one job and watch
+    /// the next job's relaunch succeed — or, with a repeat count at the
+    /// quarantine threshold, prove a poison module is quarantined.
     pub farm_fault_once: Option<FaultPlan>,
+    /// How many consecutive farm launches [`DaemonConfig::farm_fault_once`]
+    /// poisons (clamped to at least 1 when a plan is set).
+    pub farm_fault_launches: u32,
+    /// Poison-job quarantine threshold: a module whose farm launches or
+    /// batches fail this many *consecutive* times stops being allowed
+    /// near fresh workers — its jobs fail fast with
+    /// [`TuneError::Quarantined`] while other tenants' modules keep
+    /// running. `0` disables quarantine.
+    pub quarantine_strikes: u32,
 }
 
 impl Default for DaemonConfig {
@@ -109,6 +125,8 @@ impl Default for DaemonConfig {
             queue_limit: 16,
             runners: 2,
             farm_fault_once: None,
+            farm_fault_launches: 1,
+            quarantine_strikes: 3,
         }
     }
 }
@@ -151,10 +169,22 @@ struct FarmState {
 struct SharedFarm {
     cfg: ServiceConfig,
     base: TunerConfig,
-    fault_once: Mutex<Option<FaultPlan>>,
+    /// Remaining chaos-injected launches: the plan plus how many more
+    /// launches it poisons.
+    fault: Mutex<(Option<FaultPlan>, u32)>,
     metrics: Arc<DaemonMetrics>,
+    /// Farm-side btel families (`bintuner_farm_*`) resolved into the
+    /// daemon's always-on registry, so evictions, heartbeat misses and
+    /// respawns under *any* tenant's job show up in `bintuner metrics`.
+    tel: FarmTelemetry,
     state: Mutex<FarmState>,
     turn: Condvar,
+    /// Consecutive farm failures per module hash — the poison-job
+    /// score. Reset by any successful batch of that module; at
+    /// `quarantine_strikes` the module is barred from fresh workers.
+    strikes: Mutex<HashMap<u64, u32>>,
+    /// `DaemonConfig::quarantine_strikes` (0 = disabled).
+    quarantine_strikes: u32,
     /// Stage artifacts drained from farms torn down mid-daemon (module
     /// switches, failures), awaiting the next persist.
     pending: Mutex<(Vec<WireAstArtifact>, Vec<WireLowerArtifact>)>,
@@ -197,24 +227,53 @@ impl SharedFarm {
         true
     }
 
+    /// Record one farm failure against `module_hash`; returns the new
+    /// consecutive-strike count.
+    fn note_strike(&self, module_hash: u64) -> u32 {
+        let mut strikes = self.strikes.lock().unwrap();
+        let n = strikes.entry(module_hash).or_insert(0);
+        *n += 1;
+        *n
+    }
+
     /// Run one batch of `job`'s misses on the shared farm, waiting for
     /// the job's rotation turn, (re)launching the farm for `module` if
     /// needed. On a farm loss the recorded cause lands in `failure`
     /// (for [`ServiceExecutor::take_failure`]) and the dead farm is
     /// torn down so the next batch — this job's or another's —
-    /// relaunches fresh.
+    /// relaunches fresh. A module whose launches/batches have failed
+    /// `quarantine_strikes` consecutive times is refused up front
+    /// (poison-job quarantine): its abort is typed via `control`, it
+    /// never waits for a rotation turn, and the live farm — some other
+    /// tenant's — is untouched.
     fn execute(
         &self,
         job: u64,
         module: &Module,
         misses: &[Vec<bool>],
         failure: &Mutex<Option<Arc<EvaldError>>>,
+        control: &JobControl,
     ) -> Result<Vec<MissResult>, EvalAbort> {
+        let module_hash = module.content_hash();
+        if self.quarantine_strikes > 0 {
+            let strikes = self
+                .strikes
+                .lock()
+                .unwrap()
+                .get(&module_hash)
+                .copied()
+                .unwrap_or(0);
+            if strikes >= self.quarantine_strikes {
+                control.latch_abort(AbortKind::Quarantined { strikes });
+                return Err(EvalAbort::new(format!(
+                    "module quarantined as poison after {strikes} consecutive farm failures"
+                )));
+            }
+        }
         let mut state = self.state.lock().unwrap();
         while state.rotation.front() != Some(&job) {
             state = self.turn.wait(state).unwrap();
         }
-        let module_hash = module.content_hash();
         if state
             .slot
             .as_ref()
@@ -222,13 +281,22 @@ impl SharedFarm {
         {
             self.teardown_slot(&mut state);
             let mut cfg = self.cfg.clone();
-            cfg.fault = self.fault_once.lock().unwrap().take();
-            match ServiceHandle::launch(
+            {
+                let mut fault = self.fault.lock().unwrap();
+                cfg.fault = if fault.1 > 0 {
+                    fault.1 -= 1;
+                    fault.0
+                } else {
+                    None
+                };
+            }
+            match ServiceHandle::launch_with(
                 &cfg,
                 self.base.compiler,
                 module,
                 self.base.arch,
                 self.base.artifact_cache,
+                Some(self.tel.clone()),
             ) {
                 Ok(handle) => {
                     self.metrics.farm_launches.fetch_add(1, Ordering::Relaxed);
@@ -239,6 +307,7 @@ impl SharedFarm {
                 }
                 Err(e) => {
                     self.metrics.farm_failures.fetch_add(1, Ordering::Relaxed);
+                    self.note_strike(module_hash);
                     let cause = Arc::new(e);
                     *failure.lock().unwrap() = Some(cause.clone());
                     self.rotate(&mut state);
@@ -255,16 +324,24 @@ impl SharedFarm {
             .expect("slot just ensured")
             .handle
             .execute(misses);
-        if result.is_err() {
-            // The farm is gone (every worker lost mid-batch). Record
-            // the transport-level cause for the job's TuneError, bury
-            // the corpse, and let the rotation move on — the daemon
-            // itself never dies here.
-            if let Some(slot) = &state.slot {
-                *failure.lock().unwrap() = slot.handle.take_failure();
+        match &result {
+            Ok(_) => {
+                // A healthy batch clears the module's strike streak —
+                // only *consecutive* failures spell poison.
+                self.strikes.lock().unwrap().remove(&module_hash);
             }
-            self.teardown_slot(&mut state);
-            self.metrics.farm_failures.fetch_add(1, Ordering::Relaxed);
+            Err(_) => {
+                // The farm is gone (every worker lost mid-batch). Record
+                // the transport-level cause for the job's TuneError, bury
+                // the corpse, and let the rotation move on — the daemon
+                // itself never dies here.
+                if let Some(slot) = &state.slot {
+                    *failure.lock().unwrap() = slot.handle.take_failure();
+                }
+                self.teardown_slot(&mut state);
+                self.metrics.farm_failures.fetch_add(1, Ordering::Relaxed);
+                self.note_strike(module_hash);
+            }
         }
         self.rotate(&mut state);
         result
@@ -319,6 +396,53 @@ impl SharedFarm {
     }
 }
 
+/// Why a job was aborted at a batch checkpoint, latched into its
+/// [`JobControl`] so the runner can map the abort to the right terminal
+/// [`JobState`] (and the right typed [`TuneError`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AbortKind {
+    /// A Cancel frame reached it while running.
+    Cancelled,
+    /// Its submit-time wall-clock deadline passed.
+    DeadlineExceeded,
+    /// Its module hit the poison-job quarantine threshold.
+    Quarantined { strikes: u32 },
+}
+
+/// The daemon's handle into a *running* job: the cancellation latch and
+/// the wall-clock deadline, observed between evaluation batches (the
+/// natural checkpoints — a batch in flight is never torn mid-way, so
+/// trajectories stay deterministic up to the abort).
+struct JobControl {
+    cancel: AtomicBool,
+    /// Absolute deadline computed at admission (`None`: no deadline).
+    deadline: Option<Instant>,
+    abort: Mutex<Option<AbortKind>>,
+}
+
+impl JobControl {
+    fn new(deadline: Option<Instant>) -> Arc<JobControl> {
+        Arc::new(JobControl {
+            cancel: AtomicBool::new(false),
+            deadline,
+            abort: Mutex::new(None),
+        })
+    }
+
+    /// Record the first abort cause; later causes lose the race and are
+    /// dropped (one job, one terminal reason).
+    fn latch_abort(&self, kind: AbortKind) {
+        let mut abort = self.abort.lock().unwrap();
+        if abort.is_none() {
+            *abort = Some(kind);
+        }
+    }
+
+    fn take_abort(&self) -> Option<AbortKind> {
+        self.abort.lock().unwrap().take()
+    }
+}
+
 /// One job's view of the shared farm: a [`MissExecutor`] the tuner
 /// drives exactly as it would a private [`ServiceHandle`].
 struct FarmExecutor {
@@ -326,12 +450,23 @@ struct FarmExecutor {
     job: u64,
     module: Module,
     failure: Mutex<Option<Arc<EvaldError>>>,
+    control: Arc<JobControl>,
 }
 
 impl MissExecutor for FarmExecutor {
     fn execute(&self, misses: &[Vec<bool>]) -> Result<Vec<MissResult>, EvalAbort> {
+        // Batch checkpoint: cancellation and the deadline are observed
+        // here, *between* generations — never mid-batch.
+        if self.control.cancel.load(Ordering::Relaxed) {
+            self.control.latch_abort(AbortKind::Cancelled);
+            return Err(EvalAbort::new("job cancelled while running"));
+        }
+        if self.control.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.control.latch_abort(AbortKind::DeadlineExceeded);
+            return Err(EvalAbort::new("job deadline exceeded"));
+        }
         self.farm
-            .execute(self.job, &self.module, misses, &self.failure)
+            .execute(self.job, &self.module, misses, &self.failure, &self.control)
     }
 }
 
@@ -355,6 +490,10 @@ struct DaemonTelemetry {
     queue_depth: Arc<btel::Gauge>,
     running: Arc<btel::Gauge>,
     job_seconds: Arc<btel::Histogram>,
+    /// Jobs aborted past their submit-time deadline.
+    deadline_exceeded: Arc<btel::Counter>,
+    /// Jobs refused (or aborted) under poison-module quarantine.
+    quarantined: Arc<btel::Counter>,
 }
 
 impl DaemonTelemetry {
@@ -372,12 +511,34 @@ impl DaemonTelemetry {
             "bintuner_daemon_job_seconds",
             "Wall time of each job from claim to terminal state.",
         );
+        let deadline_exceeded = registry.counter(
+            "bintuner_daemon_deadline_exceeded_total",
+            "Jobs aborted because their submit-time deadline passed.",
+        );
+        let quarantined = registry.counter(
+            "bintuner_daemon_quarantined_total",
+            "Jobs failed fast under poison-module quarantine.",
+        );
         DaemonTelemetry {
             registry,
             tracer: btel::Tracer::enabled(1024),
             queue_depth,
             running,
             job_seconds,
+            deadline_exceeded,
+            quarantined,
+        }
+    }
+
+    /// Farm-side telemetry wiring that shares the daemon's registry, so
+    /// `bintuner_farm_*` counters (evictions, heartbeat misses,
+    /// respawns, backoff) land in the same exposition the MetricsText
+    /// frame serves. The farm's span tracer stays disabled — the daemon
+    /// records job-level spans itself.
+    fn farm_telemetry(&self) -> FarmTelemetry {
+        FarmTelemetry {
+            registry: self.registry.clone(),
+            tracer: btel::Tracer::disabled(),
         }
     }
 
@@ -423,6 +584,9 @@ struct JobEntry {
     state: JobState,
     spec: Option<JobSpec>,
     outcome: Option<Result<WireTuneOutcome, String>>,
+    /// Cancellation latch + deadline, shared with the runner executing
+    /// the job (if any) — how a Cancel frame reaches a *running* job.
+    control: Arc<JobControl>,
 }
 
 struct DaemonShared {
@@ -459,7 +623,12 @@ fn outcome_of(result: &Result<TuneResult, TuneError>) -> Result<WireTuneOutcome,
     }
 }
 
-fn run_job(shared: &DaemonShared, job: u64, spec: &JobSpec) -> Result<TuneResult, TuneError> {
+fn run_job(
+    shared: &DaemonShared,
+    job: u64,
+    spec: &JobSpec,
+    control: &Arc<JobControl>,
+) -> Result<TuneResult, TuneError> {
     let config = TunerConfig {
         seed: spec.seed,
         termination: Termination {
@@ -478,6 +647,7 @@ fn run_job(shared: &DaemonShared, job: u64, spec: &JobSpec) -> Result<TuneResult
         job,
         module: spec.module.clone(),
         failure: Mutex::new(None),
+        control: control.clone(),
     };
     shared.farm.attach(job);
     let result = Tuner::new(config).tune_with_executor(&spec.module, &executor);
@@ -502,11 +672,14 @@ fn runner_loop(shared: Arc<DaemonShared>) {
         };
         shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
         shared.tel.queue_depth.add(-1);
-        let Some((tenant, spec)) = ({
+        let Some((tenant, spec, control)) = ({
             let mut jobs = shared.jobs.lock().unwrap();
             jobs.get_mut(&job).and_then(|entry| {
                 entry.state = JobState::Running;
-                entry.spec.take().map(|s| (entry.tenant.clone(), s))
+                entry
+                    .spec
+                    .take()
+                    .map(|s| (entry.tenant.clone(), s, entry.control.clone()))
             })
         }) else {
             continue;
@@ -514,11 +687,25 @@ fn runner_loop(shared: Arc<DaemonShared>) {
         shared.metrics.running.fetch_add(1, Ordering::Relaxed);
         shared.tel.running.add(1);
         let start = Instant::now();
-        let result = run_job(&shared, job, &spec);
+        let result = run_job(&shared, job, &spec, &control);
         let wall = start.elapsed().as_secs_f64();
         shared.metrics.running.fetch_sub(1, Ordering::Relaxed);
         shared.tel.running.add(-1);
-        let outcome = outcome_of(&result);
+        // An abort latched at a batch checkpoint overrides the generic
+        // service error with the typed terminal state the client asked
+        // for (Cancelled / DeadlineExceeded) or the typed poison error.
+        let abort = control.take_abort().filter(|_| result.is_err());
+        let result = match abort {
+            Some(AbortKind::Quarantined { strikes }) => Err(TuneError::Quarantined { strikes }),
+            _ => result,
+        };
+        let outcome = match abort {
+            Some(AbortKind::Cancelled) => Err("job cancelled while running".to_string()),
+            Some(AbortKind::DeadlineExceeded) => {
+                Err("job deadline exceeded while running".to_string())
+            }
+            _ => outcome_of(&result),
+        };
         let (succeeded, compiles, hits) = match &outcome {
             Ok(o) => (true, o.compiles, o.persistent_hits),
             Err(_) => (false, 0, 0),
@@ -526,15 +713,24 @@ fn runner_loop(shared: Arc<DaemonShared>) {
         shared
             .metrics
             .on_job_done(&tenant, succeeded, compiles, hits, wall);
+        match abort {
+            Some(AbortKind::Cancelled) => {
+                shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(AbortKind::DeadlineExceeded) => shared.tel.deadline_exceeded.inc(),
+            Some(AbortKind::Quarantined { .. }) => shared.tel.quarantined.inc(),
+            None => {}
+        }
         shared.tel.tenant_compiles(&tenant).add(compiles);
         shared.tel.job_seconds.observe_seconds(wall);
         shared.tel.tracer.record("job", 0, start);
         let mut jobs = shared.jobs.lock().unwrap();
         if let Some(entry) = jobs.get_mut(&job) {
-            entry.state = if succeeded {
-                JobState::Done
-            } else {
-                JobState::Failed
+            entry.state = match abort {
+                _ if succeeded => JobState::Done,
+                Some(AbortKind::Cancelled) => JobState::Cancelled,
+                Some(AbortKind::DeadlineExceeded) => JobState::DeadlineExceeded,
+                _ => JobState::Failed,
             };
             entry.outcome = Some(outcome);
         }
@@ -551,6 +747,7 @@ fn handle_submit(
     seed: u64,
     max_evaluations: u64,
     dedup: bool,
+    deadline_ms: u64,
 ) -> DaemonFrame {
     shared.metrics.on_submit(&tenant);
     shared.tel.tenant_jobs(&tenant).inc();
@@ -562,10 +759,20 @@ fn handle_submit(
     if shared.stop.load(Ordering::Relaxed) {
         return reject(RejectCode::ShuttingDown, "daemon is shutting down".into());
     }
+    if deadline_ms > MAX_DEADLINE_MS {
+        return reject(
+            RejectCode::BadDeadline,
+            format!("deadline {deadline_ms}ms exceeds the {MAX_DEADLINE_MS}ms cap"),
+        );
+    }
     let module = match decode_module(&module) {
         Ok(m) => m,
         Err(e) => return reject(RejectCode::BadModule, format!("module decode failed: {e}")),
     };
+    // The deadline clock starts at admission — queue time counts
+    // against it, so an overloaded daemon fails a tight-deadline job
+    // fast instead of running it late.
+    let deadline = (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(deadline_ms));
     let mut queue = shared.queue.lock().unwrap();
     if queue.len() >= shared.config.queue_limit {
         return reject(
@@ -586,6 +793,7 @@ fn handle_submit(
                 dedup,
             }),
             outcome: None,
+            control: JobControl::new(deadline),
         },
     );
     queue.push_back(job);
@@ -599,29 +807,39 @@ fn handle_submit(
 
 fn handle_cancel(shared: &DaemonShared, job: u64) -> DaemonFrame {
     let mut queue = shared.queue.lock().unwrap();
-    let Some(pos) = queue.iter().position(|&j| j == job) else {
+    if let Some(pos) = queue.iter().position(|&j| j == job) {
+        // Still queued: dequeue and settle it right here.
+        queue.remove(pos);
+        shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        shared.tel.queue_depth.add(-1);
+        shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+        let mut jobs = shared.jobs.lock().unwrap();
+        if let Some(entry) = jobs.get_mut(&job) {
+            entry.state = JobState::Cancelled;
+            entry.spec = None;
+            entry.outcome = Some(Err("job cancelled while queued".into()));
+        }
+        drop(jobs);
+        drop(queue);
+        shared.done.notify_all();
         return DaemonFrame::CancelReply {
             job,
-            cancelled: false,
+            cancelled: true,
         };
-    };
-    queue.remove(pos);
-    shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
-    shared.tel.queue_depth.add(-1);
-    shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
-    let mut jobs = shared.jobs.lock().unwrap();
-    if let Some(entry) = jobs.get_mut(&job) {
-        entry.state = JobState::Cancelled;
-        entry.spec = None;
-        entry.outcome = Some(Err("job cancelled while queued".into()));
     }
-    drop(jobs);
     drop(queue);
-    shared.done.notify_all();
-    DaemonFrame::CancelReply {
-        job,
-        cancelled: true,
-    }
+    // Already claimed: latch the cancel flag for a *running* job; its
+    // runner observes it at the next batch checkpoint and settles the
+    // job as Cancelled (the runner owns the terminal transition and the
+    // cancelled counter on this path).
+    let jobs = shared.jobs.lock().unwrap();
+    let cancelled = jobs.get(&job).is_some_and(|entry| {
+        entry.state == JobState::Running && {
+            entry.control.cancel.store(true, Ordering::Relaxed);
+            true
+        }
+    });
+    DaemonFrame::CancelReply { job, cancelled }
 }
 
 fn handle_fetch(shared: &DaemonShared, job: u64) -> DaemonFrame {
@@ -663,7 +881,16 @@ fn handle_frame(shared: &DaemonShared, frame: DaemonFrame) -> Option<DaemonFrame
             seed,
             max_evaluations,
             dedup,
-        } => handle_submit(shared, tenant, module, seed, max_evaluations, dedup),
+            deadline_ms,
+        } => handle_submit(
+            shared,
+            tenant,
+            module,
+            seed,
+            max_evaluations,
+            dedup,
+            deadline_ms,
+        ),
         DaemonFrame::Status { job } => {
             let state = shared
                 .jobs
@@ -784,22 +1011,31 @@ impl Daemon {
             }
         };
         let metrics = Arc::new(DaemonMetrics::default());
+        let tel = DaemonTelemetry::new();
         let mut farm_cfg = config.farm.clone();
         farm_cfg.fault = None;
+        let fault_launches = if config.farm_fault_once.is_some() {
+            config.farm_fault_launches.max(1)
+        } else {
+            0
+        };
         let farm = Arc::new(SharedFarm {
             cfg: farm_cfg,
             base: config.base.clone(),
-            fault_once: Mutex::new(config.farm_fault_once),
+            fault: Mutex::new((config.farm_fault_once, fault_launches)),
             metrics: metrics.clone(),
+            tel: tel.farm_telemetry(),
             state: Mutex::new(FarmState::default()),
             turn: Condvar::new(),
+            strikes: Mutex::new(HashMap::new()),
+            quarantine_strikes: config.quarantine_strikes,
             pending: Mutex::new(Default::default()),
         });
         let runners = config.runners.max(1);
         let shared = Arc::new(DaemonShared {
             config,
             metrics,
-            tel: DaemonTelemetry::new(),
+            tel,
             farm,
             jobs: Mutex::new(HashMap::new()),
             done: Condvar::new(),
@@ -952,7 +1188,10 @@ impl DaemonClient {
     }
 
     /// Submit a tuning job: `Ok(Ok(job_id))` when admitted,
-    /// `Ok(Err((code, detail)))` when rejected.
+    /// `Ok(Err((code, detail)))` when rejected. `deadline_ms` is a
+    /// wall-clock budget from submission (`0`: none); a job that blows
+    /// it is aborted between evaluation batches with
+    /// [`JobState::DeadlineExceeded`].
     ///
     /// # Errors
     ///
@@ -965,6 +1204,7 @@ impl DaemonClient {
         seed: u64,
         max_evaluations: u64,
         dedup: bool,
+        deadline_ms: u64,
     ) -> Result<Result<u64, (RejectCode, String)>, EvaldError> {
         let reply = self.call(&DaemonFrame::Submit {
             tenant: tenant.to_string(),
@@ -972,6 +1212,7 @@ impl DaemonClient {
             seed,
             max_evaluations,
             dedup,
+            deadline_ms,
         })?;
         match reply {
             DaemonFrame::Accepted { job } => Ok(Ok(job)),
@@ -997,7 +1238,10 @@ impl DaemonClient {
         }
     }
 
-    /// Cancel a queued job; `false` when it already left the queue.
+    /// Cancel a job. A queued job is dequeued and settled immediately;
+    /// a *running* job has its cancel flag latched and aborts at the
+    /// next batch checkpoint. `false` when the job is already terminal
+    /// or unknown.
     ///
     /// # Errors
     ///

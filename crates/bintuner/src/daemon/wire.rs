@@ -30,8 +30,10 @@ pub const DAEMON_MAGIC: [u8; 4] = *b"TUND";
 /// Daemon wire-format version; bump on any layout change.
 ///
 /// History: v1 job control + MetricsSnapshot; v2 added the btel
-/// exposition frames (`MetricsText`/`TraceDump`).
-pub const DAEMON_WIRE_VERSION: u32 = 2;
+/// exposition frames (`MetricsText`/`TraceDump`); v3 added
+/// `Submit::deadline_ms`, [`JobState::DeadlineExceeded`] and
+/// [`RejectCode::BadDeadline`].
+pub const DAEMON_WIRE_VERSION: u32 = 3;
 
 /// Frame length cap, shared with the farm wire (one transport stack).
 pub const MAX_FRAME_LEN: usize = evald::wire::MAX_FRAME_LEN;
@@ -62,6 +64,10 @@ pub enum RejectCode {
     ShuttingDown,
     /// The submitted module bytes failed to decode.
     BadModule,
+    /// The submitted deadline is unusable (beyond the daemon's cap) —
+    /// typed so a fat-fingered deadline reads as a request bug, not
+    /// back-pressure.
+    BadDeadline,
 }
 
 impl RejectCode {
@@ -70,6 +76,7 @@ impl RejectCode {
             RejectCode::QueueFull => 0,
             RejectCode::ShuttingDown => 1,
             RejectCode::BadModule => 2,
+            RejectCode::BadDeadline => 3,
         }
     }
 
@@ -78,6 +85,7 @@ impl RejectCode {
             0 => RejectCode::QueueFull,
             1 => RejectCode::ShuttingDown,
             2 => RejectCode::BadModule,
+            3 => RejectCode::BadDeadline,
             _ => return Err(EvaldError::Corrupt("unknown reject code")),
         })
     }
@@ -94,10 +102,14 @@ pub enum JobState {
     Done,
     /// Finished with an error (fetch carries the message).
     Failed,
-    /// Cancelled while still queued.
+    /// Cancelled — while queued, or while running (the cancel flag is
+    /// observed between evaluation batches).
     Cancelled,
     /// The daemon has no such job id.
     Unknown,
+    /// Aborted because its submit-time wall-clock deadline passed
+    /// before it finished.
+    DeadlineExceeded,
 }
 
 impl JobState {
@@ -109,6 +121,7 @@ impl JobState {
             JobState::Failed => 3,
             JobState::Cancelled => 4,
             JobState::Unknown => 5,
+            JobState::DeadlineExceeded => 6,
         }
     }
 
@@ -120,6 +133,7 @@ impl JobState {
             3 => JobState::Failed,
             4 => JobState::Cancelled,
             5 => JobState::Unknown,
+            6 => JobState::DeadlineExceeded,
             _ => return Err(EvaldError::Corrupt("unknown job state")),
         })
     }
@@ -180,6 +194,11 @@ pub enum DaemonFrame {
         max_evaluations: u64,
         /// Population-level dedup flag.
         dedup: bool,
+        /// Wall-clock deadline in milliseconds from submission; `0`
+        /// means no deadline. A running job that blows it is aborted
+        /// between evaluation batches with
+        /// [`JobState::DeadlineExceeded`].
+        deadline_ms: u64,
     },
     /// Daemon → client: admitted; poll/fetch with this id.
     Accepted {
@@ -209,7 +228,9 @@ pub enum DaemonFrame {
         /// Jobs currently running.
         running: u64,
     },
-    /// Client → daemon: cancel a queued job (running jobs finish).
+    /// Client → daemon: cancel a job. A queued job is dequeued and
+    /// settled immediately; a running job aborts at its next
+    /// evaluation-batch checkpoint.
     Cancel {
         /// The job id.
         job: u64,
@@ -218,7 +239,8 @@ pub enum DaemonFrame {
     CancelReply {
         /// The job id echoed.
         job: u64,
-        /// `true` iff the job was still queued and is now cancelled.
+        /// `true` iff the job was queued (now cancelled) or running
+        /// (cancellation latched); `false` for terminal/unknown jobs.
         cancelled: bool,
     },
     /// Client → daemon: block until the job reaches a terminal state,
@@ -298,6 +320,7 @@ pub fn encode_daemon_frame(frame: &DaemonFrame) -> Vec<u8> {
             seed,
             max_evaluations,
             dedup,
+            deadline_ms,
         } => {
             body.put_u8(TAG_SUBMIT);
             put_str(&mut body, tenant);
@@ -306,6 +329,7 @@ pub fn encode_daemon_frame(frame: &DaemonFrame) -> Vec<u8> {
             body.put_u64_le(*seed);
             body.put_u64_le(*max_evaluations);
             body.put_u8(u8::from(*dedup));
+            body.put_u64_le(*deadline_ms);
         }
         DaemonFrame::Accepted { job } => {
             body.put_u8(TAG_ACCEPTED);
@@ -474,6 +498,7 @@ pub fn decode_daemon_frame(buf: &[u8]) -> Result<(DaemonFrame, usize), EvaldErro
                 seed: r.u64()?,
                 max_evaluations: r.u64()?,
                 dedup: r.u8()? != 0,
+                deadline_ms: r.u64()?,
             }
         }
         TAG_ACCEPTED => DaemonFrame::Accepted { job: r.u64()? },
@@ -582,11 +607,24 @@ mod tests {
                 seed: 0xB147,
                 max_evaluations: 90,
                 dedup: true,
+                deadline_ms: 0,
+            },
+            DaemonFrame::Submit {
+                tenant: "batch".into(),
+                module: vec![9],
+                seed: 1,
+                max_evaluations: 4,
+                dedup: false,
+                deadline_ms: 45_000,
             },
             DaemonFrame::Accepted { job: 7 },
             DaemonFrame::Rejected {
                 code: RejectCode::QueueFull,
                 detail: "queue full (4 waiting)".into(),
+            },
+            DaemonFrame::Rejected {
+                code: RejectCode::BadDeadline,
+                detail: "deadline beyond the daemon cap".into(),
             },
             DaemonFrame::Status { job: 7 },
             DaemonFrame::StatusReply {
@@ -594,6 +632,12 @@ mod tests {
                 state: JobState::Running,
                 queue_depth: 3,
                 running: 2,
+            },
+            DaemonFrame::StatusReply {
+                job: 11,
+                state: JobState::DeadlineExceeded,
+                queue_depth: 0,
+                running: 1,
             },
             DaemonFrame::Cancel { job: 9 },
             DaemonFrame::CancelReply {
@@ -688,15 +732,15 @@ mod tests {
         wrong_version[8..12].copy_from_slice(&99u32.to_le_bytes());
         assert!(matches!(
             decode_daemon_frame(&wrong_version),
-            Err(EvaldError::VersionMismatch { got: 99, want: 2 })
+            Err(EvaldError::VersionMismatch { got: 99, want: 3 })
         ));
-        // A v1 peer (the pre-exposition protocol) is told exactly what
+        // A v2 peer (no deadline field on Submit) is told exactly what
         // the daemon speaks now, not misparsed.
-        let mut v1 = bytes.clone();
-        v1[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let mut v2 = bytes.clone();
+        v2[8..12].copy_from_slice(&2u32.to_le_bytes());
         assert!(matches!(
-            decode_daemon_frame(&v1),
-            Err(EvaldError::VersionMismatch { got: 1, want: 2 })
+            decode_daemon_frame(&v2),
+            Err(EvaldError::VersionMismatch { got: 2, want: 3 })
         ));
         // A farm frame sent to the daemon port: rejected by magic, not
         // misparsed (and symmetrically, TUND magic fails EVLD decode).

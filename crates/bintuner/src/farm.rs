@@ -21,7 +21,7 @@ use crate::store::FitnessStore;
 use crate::FitnessEngine;
 use binrep::Arch;
 use evald::wire::{decode_frame, encode_frame, Frame};
-use evald::{tcp_connect, unix_connect, ClientOptions, EvaldError};
+use evald::{tcp_connect, unix_connect, ClientOptions, EvaldError, FaultKind};
 use minicc::{Compiler, CompilerKind, CompilerProfile};
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
@@ -52,8 +52,39 @@ pub struct WorkerArgs {
     /// Whether the worker records trace spans (stage timings parented
     /// to the server's dispatch spans, shipped back on Result frames).
     pub trace: bool,
-    /// Chaos hook: drop the connection after this many shards.
+    /// Chaos hook: trigger `fault_kind` after this many shards.
     pub fail_after: Option<usize>,
+    /// What the chaos hook does when it triggers (crash, hang, slow
+    /// frames, dropped frame). Inert while `fail_after` is `None`.
+    pub fault_kind: FaultKind,
+}
+
+/// Parse a `--fault-kind` value: `crash`, `hang`, `drop`, `slow:<ms>`.
+fn fault_kind_from_arg(arg: &str) -> Result<FaultKind, String> {
+    match arg {
+        "crash" => Ok(FaultKind::Crash),
+        "hang" => Ok(FaultKind::Hang),
+        "drop" => Ok(FaultKind::DropFrame),
+        other => match other.strip_prefix("slow:") {
+            Some(ms) => ms
+                .parse::<u64>()
+                .map(FaultKind::SlowFrame)
+                .map_err(|e| format!("--fault-kind slow: {e}")),
+            None => Err(format!(
+                "--fault-kind expects crash|hang|drop|slow:<ms>, got {other}"
+            )),
+        },
+    }
+}
+
+/// Inverse of [`fault_kind_from_arg`], used when spawning workers.
+fn fault_kind_to_arg(kind: FaultKind) -> String {
+    match kind {
+        FaultKind::Crash => "crash".to_string(),
+        FaultKind::Hang => "hang".to_string(),
+        FaultKind::DropFrame => "drop".to_string(),
+        FaultKind::SlowFrame(ms) => format!("slow:{ms}"),
+    }
 }
 
 /// Stable one-byte tag → [`CompilerKind`] (inverse of
@@ -93,6 +124,7 @@ impl WorkerArgs {
         let mut endpoint = None;
         let mut trace = false;
         let mut fail_after = None;
+        let mut fault_kind = FaultKind::Crash;
         let mut it = args.iter();
         while let Some(flag) = it.next() {
             let mut value = || {
@@ -147,6 +179,7 @@ impl WorkerArgs {
                             .map_err(|e| format!("--fail-after: {e}"))?,
                     );
                 }
+                "--fault-kind" => fault_kind = fault_kind_from_arg(&value()?)?,
                 other => return Err(format!("unknown worker argument {other}")),
             }
         }
@@ -158,7 +191,111 @@ impl WorkerArgs {
             endpoint: endpoint.ok_or("--tcp or --unix is required")?,
             trace,
             fail_after,
+            fault_kind,
         })
+    }
+}
+
+/// A deterministic, jitter-free exponential backoff schedule: attempt
+/// `k` waits `base_ms × factor^k`, capped at `max_ms`. Determinism is a
+/// feature here — the chaos differentials replay supervision decisions
+/// exactly, so respawn timing must be a pure function of the attempt
+/// number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffSchedule {
+    /// Delay before the first retry, milliseconds.
+    pub base_ms: u64,
+    /// Multiplier applied per subsequent attempt.
+    pub factor: u64,
+    /// Ceiling on any single delay, milliseconds.
+    pub max_ms: u64,
+}
+
+impl Default for BackoffSchedule {
+    fn default() -> BackoffSchedule {
+        BackoffSchedule {
+            base_ms: 50,
+            factor: 2,
+            max_ms: 2_000,
+        }
+    }
+}
+
+impl BackoffSchedule {
+    /// The delay before retry number `attempt` (zero-based).
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let mut delay = self.base_ms;
+        for _ in 0..attempt {
+            delay = delay.saturating_mul(self.factor);
+            if delay >= self.max_ms {
+                return self.max_ms;
+            }
+        }
+        delay.min(self.max_ms)
+    }
+}
+
+/// What the supervisor says after a failure: try again after the
+/// scheduled backoff, or stop burning the farm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupervisorVerdict {
+    /// Respawn after this many milliseconds.
+    Retry {
+        /// Backoff delay from the deterministic schedule.
+        delay_ms: u64,
+    },
+    /// The crash-loop budget is spent: K consecutive failures without a
+    /// success in between. The caller fails the job (quarantine) rather
+    /// than respawning again.
+    GiveUp,
+}
+
+/// Worker-lifecycle supervisor: consecutive-failure accounting over a
+/// [`BackoffSchedule`]. One success resets the streak; `strikes`
+/// consecutive failures is a crash loop and turns into
+/// [`SupervisorVerdict::GiveUp`] — the signal the daemon converts into
+/// poison-job quarantine. Deliberately clock-free (a failure *count*,
+/// not a failure *rate*): the schedule already spaces attempts out, and
+/// clock-free decisions replay deterministically in the chaos suite.
+#[derive(Debug, Clone)]
+pub struct Supervisor {
+    schedule: BackoffSchedule,
+    strikes: u32,
+    consecutive_failures: u32,
+}
+
+impl Supervisor {
+    /// A supervisor that gives up after `strikes` consecutive failures
+    /// (minimum 1).
+    pub fn new(schedule: BackoffSchedule, strikes: u32) -> Supervisor {
+        Supervisor {
+            schedule,
+            strikes: strikes.max(1),
+            consecutive_failures: 0,
+        }
+    }
+
+    /// Record a worker that came up healthy: the failure streak resets.
+    pub fn on_success(&mut self) {
+        self.consecutive_failures = 0;
+    }
+
+    /// Record a spawn failure / dead-on-arrival worker and rule on what
+    /// happens next.
+    pub fn on_failure(&mut self) -> SupervisorVerdict {
+        self.consecutive_failures += 1;
+        if self.consecutive_failures >= self.strikes {
+            SupervisorVerdict::GiveUp
+        } else {
+            SupervisorVerdict::Retry {
+                delay_ms: self.schedule.delay_ms(self.consecutive_failures - 1),
+            }
+        }
+    }
+
+    /// The current consecutive-failure streak.
+    pub fn failures(&self) -> u32 {
+        self.consecutive_failures
     }
 }
 
@@ -195,6 +332,7 @@ fn run_worker(args: &WorkerArgs) -> Result<(), EvaldError> {
         client_id: args.client_id,
         n_flags,
         fail_after_shards: args.fail_after,
+        fault_kind: args.fault_kind,
     };
     duplex.tx.send_frame(&encode_frame(&Frame::Hello {
         client: args.client_id,
@@ -223,7 +361,17 @@ fn run_worker(args: &WorkerArgs) -> Result<(), EvaldError> {
                 // shard on a healthy client.
                 return Err(EvaldError::Protocol("Work frame before Job"));
             }
-            Frame::Hello { .. } | Frame::Result { .. } | Frame::Merge { .. } => {}
+            Frame::Ping { nonce } => {
+                // Answer heartbeats even before the job arrives — a
+                // worker waiting on its Job is alive, not hung.
+                duplex
+                    .tx
+                    .send_frame(&encode_frame(&Frame::Pong { nonce }))?;
+            }
+            Frame::Hello { .. }
+            | Frame::Result { .. }
+            | Frame::Merge { .. }
+            | Frame::Pong { .. } => {}
         }
     };
     let module = minicc::codec::decode_module(&payload)
@@ -277,8 +425,14 @@ pub(crate) struct WorkerSpec {
 
 impl WorkerSpec {
     /// Spawn one worker process. Stdin is null; stderr is inherited so a
-    /// worker's own diagnostics surface in the parent's stream.
-    pub fn spawn(&self, client_id: u32, fail_after: Option<usize>) -> std::io::Result<Child> {
+    /// worker's own diagnostics surface in the parent's stream. `fault`
+    /// is the chaos hook: trigger the given [`FaultKind`] after that
+    /// many shards.
+    pub fn spawn(
+        &self,
+        client_id: u32,
+        fault: Option<(usize, FaultKind)>,
+    ) -> std::io::Result<Child> {
         let mut cmd = Command::new(&self.binary);
         cmd.arg("--evald-worker")
             .arg("--client-id")
@@ -296,8 +450,9 @@ impl WorkerSpec {
         if self.trace {
             cmd.arg("--trace");
         }
-        if let Some(k) = fail_after {
+        if let Some((k, kind)) = fault {
             cmd.arg("--fail-after").arg(k.to_string());
+            cmd.arg("--fault-kind").arg(fault_kind_to_arg(kind));
         }
         cmd.stdin(Stdio::null())
             .stdout(Stdio::null())
@@ -376,6 +531,7 @@ mod tests {
                 endpoint: Endpoint::Tcp("127.0.0.1:4455".parse().unwrap()),
                 trace: false,
                 fail_after: None,
+                fault_kind: FaultKind::Crash,
             }
         );
         let mut with_fault = base_args();
@@ -434,5 +590,77 @@ mod tests {
             resolve_worker_binary(Some(&configured)).unwrap(),
             configured
         );
+    }
+
+    #[test]
+    fn fault_kind_args_round_trip_the_spawn_command() {
+        // Every kind must survive the CLI hop parent → worker process.
+        for kind in [
+            FaultKind::Crash,
+            FaultKind::Hang,
+            FaultKind::DropFrame,
+            FaultKind::SlowFrame(75),
+        ] {
+            let arg = fault_kind_to_arg(kind);
+            assert_eq!(fault_kind_from_arg(&arg), Ok(kind), "via {arg:?}");
+            let mut args = base_args();
+            args.extend([
+                "--fail-after".to_string(),
+                "2".to_string(),
+                "--fault-kind".to_string(),
+                arg,
+            ]);
+            let parsed = WorkerArgs::parse(&args).unwrap();
+            assert_eq!(parsed.fault_kind, kind);
+            assert_eq!(parsed.fail_after, Some(2));
+        }
+        assert!(fault_kind_from_arg("slow").is_err());
+        assert!(fault_kind_from_arg("slow:abc").is_err());
+        assert!(fault_kind_from_arg("wedge").is_err());
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_capped() {
+        let schedule = BackoffSchedule {
+            base_ms: 50,
+            factor: 2,
+            max_ms: 500,
+        };
+        let delays: Vec<u64> = (0..6).map(|k| schedule.delay_ms(k)).collect();
+        assert_eq!(delays, vec![50, 100, 200, 400, 500, 500]);
+        // Jitter-free: the same attempt always gets the same delay.
+        assert_eq!(schedule.delay_ms(3), schedule.delay_ms(3));
+        // Overflow-safe far past the cap.
+        assert_eq!(schedule.delay_ms(u32::MAX), 500);
+    }
+
+    #[test]
+    fn supervisor_gives_up_after_k_consecutive_failures() {
+        let mut sup = Supervisor::new(BackoffSchedule::default(), 3);
+        assert_eq!(
+            sup.on_failure(),
+            SupervisorVerdict::Retry { delay_ms: 50 },
+            "first failure retries at the base delay"
+        );
+        assert_eq!(
+            sup.on_failure(),
+            SupervisorVerdict::Retry { delay_ms: 100 },
+            "second failure backs off exponentially"
+        );
+        assert_eq!(sup.failures(), 2);
+        assert_eq!(sup.on_failure(), SupervisorVerdict::GiveUp, "third strike");
+
+        // A success in between resets the streak — only *consecutive*
+        // failures are a crash loop.
+        let mut sup = Supervisor::new(BackoffSchedule::default(), 3);
+        sup.on_failure();
+        sup.on_failure();
+        sup.on_success();
+        assert_eq!(sup.failures(), 0);
+        assert_eq!(sup.on_failure(), SupervisorVerdict::Retry { delay_ms: 50 });
+
+        // strikes=1: no retries at all.
+        let mut sup = Supervisor::new(BackoffSchedule::default(), 1);
+        assert_eq!(sup.on_failure(), SupervisorVerdict::GiveUp);
     }
 }

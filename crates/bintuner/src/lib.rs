@@ -58,13 +58,15 @@ pub use engine::{
     EngineConfig, EngineStats, EngineTelemetry, FitnessEngine, MissExecutor, MissResult,
     FAILED_COMPILE_PENALTY,
 };
+pub use farm::{BackoffSchedule, Supervisor, SupervisorVerdict};
 pub use obfuscator::{obfuscate, ObfuscatorConfig};
 pub use potency::{
     flag_potency, marginal_potency, marginal_potency_weighted, pearson, FlagMarginal, FlagPotency,
 };
 pub use priors::{mine_prior, PotencyPrior, PriorConfig, PriorMode};
 pub use service::{
-    FarmTelemetry, FaultPlan, ProcessFarm, ServiceConfig, ServiceSummary, TransportKind, WorkerMode,
+    FarmTelemetry, FaultKind, FaultPlan, LivenessConfig, ProcessFarm, ServiceConfig,
+    ServiceSummary, TransportKind, WorkerMode,
 };
 pub use store::{
     arch_tag, shard_for, shard_for_module, write_v3_file, ArtifactRetention, ArtifactStore,

@@ -38,7 +38,9 @@
 use crate::engine::{
     EngineConfig, EngineStats, EngineTelemetry, MissExecutor, MissResult, FAILED_COMPILE_PENALTY,
 };
-use crate::farm::{resolve_worker_binary, Endpoint, WorkerSpec};
+use crate::farm::{
+    resolve_worker_binary, BackoffSchedule, Endpoint, Supervisor, SupervisorVerdict, WorkerSpec,
+};
 use crate::store::{ArtifactStore, FitnessStore};
 use crate::FitnessEngine;
 use binrep::Arch;
@@ -57,7 +59,10 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-pub use evald::{FaultPlan, ProcessFarm, ServiceConfig, ServiceStats, TransportKind, WorkerMode};
+pub use evald::{
+    FaultKind, FaultPlan, LivenessConfig, ProcessFarm, ServiceConfig, ServiceStats, TransportKind,
+    WorkerMode,
+};
 
 /// Telemetry wiring for one service launch
 /// ([`ServiceHandle::launch_with`]). The registry receives the farm's
@@ -95,8 +100,38 @@ impl FarmTelemetry {
             clients_lost: self
                 .registry
                 .counter("bintuner_farm_clients_lost_total", "clients lost mid-run"),
+            heartbeat_misses: self.registry.counter(
+                "bintuner_farm_heartbeat_misses_total",
+                "heartbeat probes unanswered past one interval",
+            ),
+            evictions: self.registry.counter(
+                "bintuner_farm_evictions_total",
+                "clients evicted by the liveness plane (hung or late)",
+            ),
         }
     }
+
+    /// Resolve the respawn-plane metric handles.
+    fn supervision_counters(&self) -> SupervisionCounters {
+        SupervisionCounters {
+            respawns: self.registry.counter(
+                "bintuner_farm_respawns_total",
+                "worker processes respawned under supervision",
+            ),
+            backoff_ms: self.registry.counter(
+                "bintuner_farm_backoff_ms_total",
+                "milliseconds spent in supervised respawn backoff",
+            ),
+        }
+    }
+}
+
+/// Respawn-plane metric handles (`bintuner_farm_{respawns,backoff_ms}`),
+/// held by the service so respawns *after* launch still count.
+#[derive(Clone)]
+struct SupervisionCounters {
+    respawns: Arc<btel::Counter>,
+    backoff_ms: Arc<btel::Counter>,
 }
 
 /// What the evaluation service did over one run (on
@@ -145,6 +180,11 @@ pub struct ServiceSummary {
     /// Clients that joined *after* launch (reconnecting/respawned worker
     /// processes absorbed mid-run).
     pub clients_joined: usize,
+    /// Clients the liveness plane evicted (missed heartbeats or a blown
+    /// dispatch deadline); a subset of `clients_lost`.
+    pub evicted_clients: usize,
+    /// Heartbeat probes still unanswered when the next probe fired.
+    pub heartbeat_misses: u64,
     /// Worker processes that had to be killed (drain timeout at
     /// shutdown, or the [`ServiceHandle::kill_worker`] chaos hook).
     pub workers_killed: usize,
@@ -202,6 +242,9 @@ pub struct ServiceHandle {
     acceptor: Option<Acceptor>,
     drain_grace_ms: u64,
     workers_killed: AtomicUsize,
+    /// Respawn-plane metric handles (`None` without telemetry or in
+    /// thread mode — threads are never respawned).
+    supervision: Option<SupervisionCounters>,
     transport: TransportKind,
     process_workers: bool,
     launched: usize,
@@ -430,6 +473,35 @@ impl ShardWorker for EngineWorker<'_, '_> {
     }
 }
 
+/// Spawn one worker process, retrying through the deterministic backoff
+/// schedule: one bad fork (transient EAGAIN, racing resource limits)
+/// must not fail the whole launch. Gives up — returning the *last*
+/// spawn error — after `attempts` consecutive failures.
+fn spawn_with_retry(
+    spec: &WorkerSpec,
+    client_id: u32,
+    fault: Option<(usize, FaultKind)>,
+    attempts: u32,
+    supervision: Option<&SupervisionCounters>,
+) -> std::io::Result<std::process::Child> {
+    let mut supervisor = Supervisor::new(BackoffSchedule::default(), attempts.max(1));
+    loop {
+        match spec.spawn(client_id, fault) {
+            Ok(child) => return Ok(child),
+            Err(e) => match supervisor.on_failure() {
+                SupervisorVerdict::Retry { delay_ms } => {
+                    if let Some(c) = supervision {
+                        c.respawns.inc();
+                        c.backoff_ms.add(delay_ms);
+                    }
+                    std::thread::sleep(Duration::from_millis(delay_ms));
+                }
+                SupervisorVerdict::GiveUp => return Err(e),
+            },
+        }
+    }
+}
+
 impl ServiceHandle {
     /// Launch the service for one tuning run: spawn the client farm,
     /// connect it over the configured transport, and complete the
@@ -472,7 +544,7 @@ impl ServiceHandle {
         let trace = tel.as_ref().is_some_and(|t| t.tracer.is_enabled());
         let fault_for = |i: usize| {
             cfg.fault
-                .and_then(|f| (f.client == i).then_some(f.after_shards))
+                .and_then(|f| (f.client == i).then_some((f.after_shards, f.kind)))
         };
 
         if let WorkerMode::Processes(farm) = &cfg.workers {
@@ -499,10 +571,12 @@ impl ServiceHandle {
                     let (server_end, client_end) = channel_duplex();
                     server_side.push(server_end);
                     let module = module.clone();
+                    let fault = fault_for(i);
                     let opts = ClientOptions {
                         client_id: i as u32,
                         n_flags,
-                        fail_after_shards: fault_for(i),
+                        fail_after_shards: fault.map(|(after, _)| after),
+                        fault_kind: fault.map(|(_, kind)| kind).unwrap_or_default(),
                     };
                     handles.push(std::thread::spawn(move || {
                         client_thread(kind, module, arch, artifact_cache, trace, client_end, opts);
@@ -515,10 +589,12 @@ impl ServiceHandle {
                 let listener = unix_listener(&farm_socket_path())?;
                 for i in 0..n_clients {
                     let module = module.clone();
+                    let fault = fault_for(i);
                     let opts = ClientOptions {
                         client_id: i as u32,
                         n_flags,
-                        fail_after_shards: fault_for(i),
+                        fail_after_shards: fault.map(|(after, _)| after),
+                        fault_kind: fault.map(|(_, kind)| kind).unwrap_or_default(),
                     };
                     // Connect on *this* thread, then accept the pending
                     // connection: both steps fail fast through `?`. A
@@ -537,10 +613,12 @@ impl ServiceHandle {
                 let (listener, addr) = tcp_listener()?;
                 for i in 0..n_clients {
                     let module = module.clone();
+                    let fault = fault_for(i);
                     let opts = ClientOptions {
                         client_id: i as u32,
                         n_flags,
-                        fail_after_shards: fault_for(i),
+                        fail_after_shards: fault.map(|(after, _)| after),
+                        fault_kind: fault.map(|(_, kind)| kind).unwrap_or_default(),
                     };
                     // Same connect-then-accept discipline as Unix.
                     let client_end = evald::tcp_connect(addr)?;
@@ -553,6 +631,7 @@ impl ServiceHandle {
         }
 
         let mut server = EvalServer::new(server_side, cost, n_flags)?;
+        server.set_liveness(cfg.liveness);
         if let Some(t) = &tel {
             server.set_telemetry(t.server_telemetry());
         }
@@ -566,6 +645,7 @@ impl ServiceHandle {
             acceptor: None,
             drain_grace_ms: 0,
             workers_killed: AtomicUsize::new(0),
+            supervision: None,
             transport: cfg.transport,
             process_workers: false,
             launched: n_clients,
@@ -587,9 +667,10 @@ impl ServiceHandle {
         n_clients: usize,
         n_flags: u16,
         cost: CostModel,
-        fault_for: &dyn Fn(usize) -> Option<usize>,
+        fault_for: &dyn Fn(usize) -> Option<(usize, FaultKind)>,
         tel: Option<FarmTelemetry>,
     ) -> Result<ServiceHandle, EvaldError> {
+        let supervision = tel.as_ref().map(FarmTelemetry::supervision_counters);
         let binary = resolve_worker_binary(farm.worker_binary.as_ref())?;
         let (listener, endpoint) = match cfg.transport {
             TransportKind::Channel => {
@@ -623,10 +704,18 @@ impl ServiceHandle {
         // failure — a launch error must not leak worker processes.
         let launch_result = (|| {
             for i in 0..n_clients {
-                children.push(Some(spec.spawn(i as u32, fault_for(i))?));
+                children.push(Some(spawn_with_retry(
+                    &spec,
+                    i as u32,
+                    fault_for(i),
+                    farm.spawn_attempts,
+                    supervision.as_ref(),
+                )?));
             }
             let mut server_side: Vec<Duplex> = Vec::with_capacity(n_clients);
-            let deadline = Instant::now() + Duration::from_secs(30);
+            // The accept deadline comes from the farm config (it used to
+            // be hard-coded at 30 s); `0` means "no patience at all".
+            let deadline = Instant::now() + Duration::from_millis(farm.accept_deadline_ms);
             let mut all_dead_since: Option<Instant> = None;
             while server_side.len() < n_clients {
                 match listener.accept() {
@@ -659,6 +748,7 @@ impl ServiceHandle {
                 }
             }
             let mut server = EvalServer::new(server_side, cost, n_flags)?;
+            server.set_liveness(cfg.liveness);
             if let Some(t) = &tel {
                 server.set_telemetry(t.server_telemetry());
             }
@@ -706,6 +796,7 @@ impl ServiceHandle {
             acceptor: Some(Acceptor { stop, thread }),
             drain_grace_ms: farm.drain_grace_ms,
             workers_killed: AtomicUsize::new(0),
+            supervision,
             transport: cfg.transport,
             process_workers: true,
             launched: n_clients,
@@ -747,6 +838,9 @@ impl ServiceHandle {
         })?;
         let id = self.next_worker_id.fetch_add(1, Ordering::Relaxed);
         let child = spec.spawn(id, None)?;
+        if let Some(c) = &self.supervision {
+            c.respawns.inc();
+        }
         self.children.lock().unwrap().push(Some(child));
         Ok(id)
     }
@@ -879,6 +973,8 @@ impl ServiceHandle {
                 farm_ast_reuse: stats.client_ast_reuse,
                 farm_lower_reuse: stats.client_lower_reuse,
                 clients_joined: stats.clients_joined,
+                evicted_clients: stats.evicted_clients,
+                heartbeat_misses: stats.heartbeat_misses,
                 workers_killed: self.workers_killed.load(Ordering::Relaxed),
                 cost_observations: stats.cost_observations,
                 observed_secs_per_genome,

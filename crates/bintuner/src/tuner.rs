@@ -165,6 +165,14 @@ pub enum TuneError {
     /// underlying [`evald::EvaldError`] — and through it any I/O error
     /// — is reachable via [`std::error::Error::source`].
     Service(std::sync::Arc<evald::EvaldError>),
+    /// The job was quarantined as poison: the *same* module killed or
+    /// hung freshly spawned workers this many consecutive times, so the
+    /// supervisor failed the job instead of burning the farm in a crash
+    /// loop. Other tenants on the shared farm are unharmed.
+    Quarantined {
+        /// Consecutive worker-fatal launches before giving up.
+        strikes: u32,
+    },
 }
 
 impl PartialEq for TuneError {
@@ -176,6 +184,9 @@ impl PartialEq for TuneError {
             // rendering is the honest equivalence for tests/logging.
             (TuneError::Service(a), TuneError::Service(b)) => {
                 std::sync::Arc::ptr_eq(a, b) || a.to_string() == b.to_string()
+            }
+            (TuneError::Quarantined { strikes: a }, TuneError::Quarantined { strikes: b }) => {
+                a == b
             }
             _ => false,
         }
@@ -190,6 +201,11 @@ impl std::fmt::Display for TuneError {
                 write!(f, "best flag vector failed to recompile: {e}")
             }
             TuneError::Service(e) => write!(f, "evaluation service failed: {e}"),
+            TuneError::Quarantined { strikes } => write!(
+                f,
+                "job quarantined as poison: fresh workers died or hung \
+                 {strikes} consecutive times on this module"
+            ),
         }
     }
 }
@@ -199,6 +215,7 @@ impl std::error::Error for TuneError {
         match self {
             TuneError::Baseline(e) | TuneError::BestRecompile(e) => Some(e),
             TuneError::Service(e) => Some(&**e),
+            TuneError::Quarantined { .. } => None,
         }
     }
 }
@@ -219,6 +236,11 @@ pub struct PersistSummary {
     pub new_entries: usize,
     /// The error message if saving the store failed.
     pub save_error: Option<String>,
+    /// The persistence plane *degraded to in-memory*: the save failed
+    /// (ENOSPC, an obstructed path, a torn disk) but the job itself
+    /// completed normally on the in-memory store — only the warm start
+    /// for future runs was lost. `true` iff `save_error` is `Some`.
+    pub degraded: bool,
     /// The save was skipped because another live process holds the
     /// store's advisory lock (two tuners sharing one `cache_path`): the
     /// run's results are intact, only the warm start for future runs was
@@ -573,6 +595,7 @@ impl Tuner {
                 path: store.path().expect("store built from a path").to_path_buf(),
                 loaded_entries,
                 new_entries,
+                degraded: save_error.is_some(),
                 save_error,
                 lock_skipped,
             }

@@ -69,7 +69,7 @@ fn submit_and_fetch(
     seed: u64,
 ) -> Result<WireTuneOutcome, String> {
     let job = client
-        .submit(tenant, module, seed, EVALS, false)
+        .submit(tenant, module, seed, EVALS, false, 0)
         .expect("submit over the wire")
         .expect("admitted");
     client.fetch_result(job).expect("fetch over the wire")
@@ -191,17 +191,14 @@ fn farm_loss_fails_the_job_not_the_daemon(transport: TransportKind) {
             clients: 1,
             ..ServiceConfig::default()
         },
-        farm_fault_once: Some(FaultPlan {
-            client: 0,
-            after_shards: 1,
-        }),
+        farm_fault_once: Some(FaultPlan::crash(0, 1)),
         ..daemon_config(transport, &store)
     })
     .unwrap();
     let mut client = DaemonClient::connect(daemon.addr()).unwrap();
 
     let job = client
-        .submit("alice", &module, 0x10E, EVALS, false)
+        .submit("alice", &module, 0x10E, EVALS, false, 0)
         .unwrap()
         .expect("admitted");
     let message = client
@@ -253,7 +250,7 @@ fn admission_control_rejects_with_types_not_blocking() {
     let mut client = DaemonClient::connect(daemon.addr()).unwrap();
 
     let (code, detail) = client
-        .submit("carol", &module, 1, EVALS, false)
+        .submit("carol", &module, 1, EVALS, false, 0)
         .unwrap()
         .expect_err("a full queue rejects");
     assert_eq!(code, RejectCode::QueueFull);

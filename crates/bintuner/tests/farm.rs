@@ -77,6 +77,7 @@ fn process_farm_is_bit_identical_on_both_stream_transports() {
                 transport,
                 workers: process_farm(),
                 fault: None,
+                liveness: Default::default(),
             },
         ))
         .tune(&bench.module)
@@ -108,10 +109,8 @@ fn killing_a_worker_process_mid_run_changes_nothing() {
             clients: 2,
             transport: TransportKind::Tcp,
             workers: process_farm(),
-            fault: Some(FaultPlan {
-                client: 1,
-                after_shards: 1,
-            }),
+            fault: Some(FaultPlan::crash(1, 1)),
+            liveness: Default::default(),
         },
     ))
     .tune(&bench.module)
@@ -143,6 +142,7 @@ fn process_farm_persists_stage_artifacts_for_warm_starts() {
             transport: TransportKind::Unix,
             workers: process_farm(),
             fault: None,
+            liveness: Default::default(),
         }),
         ..cached_tuner(90, Some(store))
     };
@@ -209,6 +209,7 @@ fn sigkill_and_respawn_are_absorbed_without_changing_results() {
         transport: TransportKind::Tcp,
         workers: process_farm(),
         fault: None,
+        liveness: Default::default(),
     };
 
     // Reference results from a healthy farm.
@@ -290,6 +291,7 @@ fn killing_every_worker_fails_the_batch_not_the_process() {
         transport: TransportKind::Unix,
         workers: process_farm(),
         fault: None,
+        liveness: Default::default(),
     };
     let handle = ServiceHandle::launch(&cfg, kind, &module, binrep::Arch::X86, true).unwrap();
     // A healthy batch first, proving the farm really was up.
@@ -328,6 +330,7 @@ fn process_workers_refuse_the_channel_transport() {
             transport: TransportKind::Channel,
             workers: process_farm(),
             fault: None,
+            liveness: Default::default(),
         },
         minicc::CompilerKind::Gcc,
         &bench.module,

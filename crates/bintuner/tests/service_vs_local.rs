@@ -179,10 +179,7 @@ fn killing_one_client_mid_run_changes_nothing() {
         ServiceConfig {
             clients: 3,
             transport: TransportKind::Channel,
-            fault: Some(FaultPlan {
-                client: 1,
-                after_shards: 2,
-            }),
+            fault: Some(FaultPlan::crash(1, 2)),
             ..ServiceConfig::default()
         },
     ))

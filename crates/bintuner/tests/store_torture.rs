@@ -445,3 +445,115 @@ fn warm_tune_is_bit_identical_from_v3_file_v4_dir_and_service_backend() {
     .unwrap();
     assert_same_run(&from_v4, &service, "in-process vs service");
 }
+
+#[test]
+fn squatted_shard_fails_the_save_with_an_error_and_keeps_every_durable_record() {
+    // 5. **ENOSPC mid-append** — the portable stand-in is a directory
+    //    squatting a shard log's path: every append and every rewrite
+    //    rename against it fails with a genuine `io::Error`, exactly
+    //    like a full disk. The contract: the save *reports* the error
+    //    (it never panics and never lies `Written`), the in-memory
+    //    state survives, and every record that was durable before the
+    //    failure is still served afterwards.
+    let scratch = ScratchStore::new("torture_enospc");
+    let entries = seed_entries(24);
+    build_store(&scratch, &entries);
+    let fs_view = CrashFs::new(scratch.path());
+    let (total, _) = loaded_records(scratch.path());
+
+    // Squat a shard that never materialized (24 seeds over 16 shards
+    // leave gaps), so the squat itself destroys no durable data and
+    // "clean prefix" means *everything that was there*.
+    let count = FitnessStore::load(scratch.path()).shard_count();
+    let empty_idx = (0..count)
+        .find(|i| !scratch.path().join(format!("shard-{i:02}.log")).exists())
+        .expect("the seed population must leave an empty shard");
+    let poison_key = (0..4096u128)
+        .map(|d| key(0xE05_0000, d))
+        .find(|k| bintuner::shard_for(k, count) == empty_idx)
+        .expect("4096 digests must hit every shard");
+
+    let damaged = fs_view.with_dir("torture_enospc_squat", &format!("shard-{empty_idx:02}.log"));
+    let mut store = FitnessStore::load(damaged.path());
+    store.insert(poison_key, StoredFitness::new(0.5, false));
+    store
+        .save()
+        .expect_err("appending into a squatted shard path must error, not lie");
+    // The failed save leaves the in-memory store whole — the run that
+    // owns it degrades to memory and keeps going.
+    assert_eq!(
+        store.get(&poison_key).unwrap().fitness.to_bits(),
+        0.5f64.to_bits(),
+        "in-memory state survives the failed save"
+    );
+
+    // On disk: the durable prefix is exactly intact — every seed record
+    // served, the never-durable poison record absent, the load clean.
+    let (kept, _) = loaded_records(damaged.path());
+    assert_eq!(kept, total, "no pre-existing record may be lost");
+    let mut reloaded = FitnessStore::load(damaged.path());
+    for (k, v) in &entries {
+        assert_eq!(
+            reloaded.get(k).unwrap().fitness.to_bits(),
+            v.fitness.to_bits(),
+            "clean prefix record {k:?}"
+        );
+    }
+    assert_eq!(
+        reloaded.get(&poison_key),
+        None,
+        "the lost write stayed lost"
+    );
+}
+
+#[test]
+fn persist_failure_degrades_the_run_to_memory_not_to_an_error() {
+    // The same failure through the tuner: a run whose final persist
+    // hits the unwritable path must still return `Ok` — fitness
+    // results owe nothing to the persistence plane — while flagging
+    // `PersistSummary::degraded` so operators see the store fell back
+    // to memory. The warm-start data that was already durable keeps
+    // serving duplicate runs as pure cache hits.
+    let scratch = ScratchStore::new("torture_degrade_run");
+    let module = tiny_loop_module("torture_degrade_mod", 6);
+    let clean = Tuner::new(cached_tuner(40, Some(&scratch)))
+        .tune(&module)
+        .expect("warm-up run");
+    let summary = clean.persistence.as_ref().expect("store-backed run");
+    assert!(!summary.degraded, "healthy save: {:?}", summary.save_error);
+    assert!(
+        clean.engine_stats.compiles > 0,
+        "the warm-up really compiled"
+    );
+    let (total_before, _) = loaded_records(scratch.path());
+
+    // Squat the manifest: shard appends still land, but the manifest
+    // generation bump — part of every record-writing save — fails, so
+    // the save reports an error while all prior bytes stay durable.
+    let damaged = CrashFs::new(scratch.path()).with_dir("torture_degrade_squat", "manifest");
+    let degraded = Tuner::new(bintuner::TunerConfig {
+        seed: 0xDE64,
+        ..cached_tuner(40, Some(&damaged))
+    })
+    .tune(&module)
+    .expect("a failed persist must not fail the run");
+    let summary = degraded.persistence.as_ref().expect("store-backed run");
+    assert!(summary.degraded, "the failed save must be flagged");
+    assert!(
+        summary.save_error.is_some(),
+        "the io::Error is carried, not swallowed"
+    );
+
+    // Clean prefix: the warm-up's records are all still served — a
+    // duplicate of the original run is a pure cache hit, zero compiles.
+    let (kept, _) = loaded_records(damaged.path());
+    assert!(kept >= total_before, "kept {kept} of {total_before}");
+    let replay = Tuner::new(cached_tuner(40, Some(&damaged)))
+        .tune(&module)
+        .expect("replay on the damaged store");
+    assert_eq!(
+        replay.engine_stats.compiles, 0,
+        "the durable prefix serves the replay entirely from the store"
+    );
+    assert!(replay.engine_stats.persistent_hits > 0);
+}

@@ -236,7 +236,7 @@ fn daemon_serves_metrics_and_traces_over_the_v2_wire() {
     let mut client = DaemonClient::connect(daemon.addr()).unwrap();
 
     let job = client
-        .submit("alice", &module, 0xBE1, 50, false)
+        .submit("alice", &module, 0xBE1, 50, false, 0)
         .expect("submit")
         .expect("admitted");
     client

@@ -14,7 +14,7 @@ use crate::wire::{
     decode_frame, encode_frame, Frame, MergeRecord, ShardStats, WireAstArtifact, WireEval,
     WireLowerArtifact, WireSpan,
 };
-use crate::EvaldError;
+use crate::{EvaldError, FaultKind};
 
 /// The embedder's evaluation engine, as seen by the client loop.
 pub trait ShardWorker {
@@ -68,9 +68,12 @@ pub struct ClientOptions {
     pub client_id: u32,
     /// Chromosome width this worker evaluates (handshake-checked).
     pub n_flags: u16,
-    /// Chaos hook: drop the connection after completing this many shards
-    /// (see [`crate::FaultPlan`]). `None` in production.
+    /// Chaos hook: trigger `fault_kind` after completing this many
+    /// shards (see [`crate::FaultPlan`]). `None` in production.
     pub fail_after_shards: Option<usize>,
+    /// What the chaos hook does when it triggers (ignored while
+    /// `fail_after_shards` is `None`).
+    pub fault_kind: FaultKind,
 }
 
 /// Drive `worker` over `duplex` until the server shuts the client down
@@ -108,6 +111,8 @@ pub fn serve(
     opts: &ClientOptions,
 ) -> Result<(), EvaldError> {
     let mut shards_done = 0usize;
+    let mut slow_ms: Option<u64> = None;
+    let mut drop_next = false;
     loop {
         let bytes = duplex.rx.recv_frame()?;
         let (frame, _) = decode_frame(&bytes)?;
@@ -118,18 +123,36 @@ pub fn serve(
                 genomes,
             } => {
                 let (evals, stats) = worker.evaluate(&genomes, span);
-                duplex.tx.send_frame(&encode_frame(&Frame::Result {
-                    shard,
-                    client: opts.client_id,
-                    evals,
-                    stats,
-                    spans: worker.drain_spans(),
-                }))?;
+                let spans = worker.drain_spans();
+                if drop_next {
+                    // Chaos: the evaluation happened but its Result is
+                    // lost. The server's dispatch deadline recovers it.
+                    drop_next = false;
+                } else {
+                    if let Some(ms) = slow_ms {
+                        std::thread::sleep(std::time::Duration::from_millis(ms));
+                    }
+                    duplex.tx.send_frame(&encode_frame(&Frame::Result {
+                        shard,
+                        client: opts.client_id,
+                        evals,
+                        stats,
+                        spans,
+                    }))?;
+                }
                 shards_done += 1;
                 if opts.fail_after_shards == Some(shards_done) {
-                    // Simulated crash: drop the connection without a word
-                    // (the server must recover via re-dispatch).
-                    return Ok(());
+                    match opts.fault_kind {
+                        // Simulated crash: drop the connection without a
+                        // word (the server recovers via re-dispatch).
+                        FaultKind::Crash => return Ok(()),
+                        // Simulated wedge: stop answering — no results,
+                        // no Pongs — until severed or shut down. Only the
+                        // server's liveness plane can recover the shards.
+                        FaultKind::Hang => return drain_silently(duplex),
+                        FaultKind::SlowFrame(ms) => slow_ms = Some(ms),
+                        FaultKind::DropFrame => drop_next = true,
+                    }
                 }
             }
             Frame::EndBatch { .. } => {
@@ -142,10 +165,33 @@ pub fn serve(
                 }))?;
             }
             Frame::Job { payload } => worker.on_job(&payload),
+            Frame::Ping { nonce } => {
+                duplex
+                    .tx
+                    .send_frame(&encode_frame(&Frame::Pong { nonce }))?;
+            }
             Frame::Shutdown => return Ok(()),
             // Server-bound frames are never addressed to a client;
             // ignore rather than die (forward compatibility).
-            Frame::Hello { .. } | Frame::Result { .. } | Frame::Merge { .. } => {}
+            Frame::Hello { .. }
+            | Frame::Result { .. }
+            | Frame::Merge { .. }
+            | Frame::Pong { .. } => {}
+        }
+    }
+}
+
+/// A deliberately hung client's terminal state: keep the connection open
+/// but answer nothing, draining inbound frames so a Shutdown broadcast
+/// or a server-side severance still ends the thread cleanly (the chaos
+/// suite must never leak a wedged thread past teardown).
+fn drain_silently(duplex: &mut Duplex) -> Result<(), EvaldError> {
+    loop {
+        let Ok(bytes) = duplex.rx.recv_frame() else {
+            return Ok(()); // severed by the server's eviction
+        };
+        if matches!(decode_frame(&bytes), Ok((Frame::Shutdown, _))) {
+            return Ok(());
         }
     }
 }
@@ -185,6 +231,7 @@ mod tests {
                     client_id: 5,
                     n_flags: 3,
                     fail_after_shards: None,
+                    fault_kind: FaultKind::Crash,
                 },
             )
         });
@@ -253,6 +300,7 @@ mod tests {
                     client_id: 0,
                     n_flags: 1,
                     fail_after_shards: Some(1),
+                    fault_kind: FaultKind::Crash,
                 },
             )
         });

@@ -115,6 +115,15 @@ pub struct ProcessFarm {
     /// Grace period in milliseconds to wait for a worker process to exit
     /// after shutdown before it is killed outright.
     pub drain_grace_ms: u64,
+    /// How long (milliseconds) launch waits for workers to connect back
+    /// before giving up on the stragglers. Previously a hard-coded 30s
+    /// inside the launcher; lifted here so slow CI hosts can widen it
+    /// and chaos tests can shrink it.
+    pub accept_deadline_ms: u64,
+    /// Spawn attempts per worker slot at launch: one bad fork retries
+    /// through the supervisor's deterministic backoff schedule instead
+    /// of failing the whole run. `1` means no retry.
+    pub spawn_attempts: u32,
 }
 
 impl Default for ProcessFarm {
@@ -122,20 +131,93 @@ impl Default for ProcessFarm {
         ProcessFarm {
             worker_binary: None,
             drain_grace_ms: 5_000,
+            accept_deadline_ms: 30_000,
+            spawn_attempts: 3,
         }
     }
 }
 
+/// What a deliberately faulted client does when its trigger shard count
+/// is reached (see [`FaultPlan`]). Every kind must leave the batch
+/// either bit-identical to the clean run (the server re-dispatches and
+/// first-result-wins) or failed with a typed error — never hung.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Drop the connection (the original `fail_after_shards` behavior):
+    /// a crashed worker.
+    #[default]
+    Crash,
+    /// Stop answering entirely — no results, no heartbeat Pongs — while
+    /// keeping the connection open: a wedged compile. Only the server's
+    /// liveness plane (missed heartbeats / dispatch deadline) can
+    /// recover the shard. The client drains frames silently until the
+    /// server severs it or sends Shutdown, so teardown never hangs.
+    Hang,
+    /// Delay each subsequent Result frame by this many milliseconds: a
+    /// straggler that is slow but alive.
+    SlowFrame(u64),
+    /// Silently drop the next Result frame after the trigger, then
+    /// behave normally: a lost message. The server's dispatch deadline
+    /// re-dispatches the shard elsewhere.
+    DropFrame,
+}
+
 /// A deliberate mid-run client failure, for resilience tests (chaos
-/// engineering): the chosen client drops its connection after completing
-/// a number of shards, and the service must finish the batch via
-/// re-dispatch with an identical result.
+/// engineering): the chosen client misbehaves per [`FaultKind`] after
+/// completing a number of shards, and the service must finish the batch
+/// via re-dispatch with an identical result (or a typed error).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultPlan {
     /// Zero-based index of the client that dies.
     pub client: usize,
-    /// Shards the client completes before dropping its connection.
+    /// Shards the client completes before the fault triggers.
     pub after_shards: usize,
+    /// What the fault does when it triggers.
+    pub kind: FaultKind,
+}
+
+impl FaultPlan {
+    /// The classic crash fault: `client` drops its connection after
+    /// `after_shards` completed shards.
+    pub fn crash(client: usize, after_shards: usize) -> FaultPlan {
+        FaultPlan {
+            client,
+            after_shards,
+            kind: FaultKind::Crash,
+        }
+    }
+}
+
+/// The server's liveness plane: heartbeat cadence and dispatch
+/// deadlines. Defaults are deliberately generous — production runs
+/// should never trip them on a healthy farm; chaos tests shrink them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LivenessConfig {
+    /// Milliseconds between heartbeat Pings to each connected client.
+    /// `0` disables the heartbeat plane entirely (dispatch deadlines
+    /// stay active).
+    pub heartbeat_interval_ms: u64,
+    /// Consecutive unanswered heartbeats before a client is evicted.
+    pub max_missed_heartbeats: u32,
+    /// Dispatch deadline = cost-model estimate for the shard × this
+    /// multiplier (then floored at `min_dispatch_deadline_ms`). A client
+    /// that blows the deadline is evicted and its shards re-dispatched.
+    pub deadline_multiplier: f64,
+    /// Floor on any dispatch deadline, milliseconds — also the deadline
+    /// used before the cost model has enough observations. `0` disables
+    /// dispatch deadlines entirely (heartbeats stay active).
+    pub min_dispatch_deadline_ms: u64,
+}
+
+impl Default for LivenessConfig {
+    fn default() -> LivenessConfig {
+        LivenessConfig {
+            heartbeat_interval_ms: 2_000,
+            max_missed_heartbeats: 5,
+            deadline_multiplier: 8.0,
+            min_dispatch_deadline_ms: 10_000,
+        }
+    }
 }
 
 /// Configuration of one evaluation service.
@@ -149,9 +231,11 @@ pub struct ServiceConfig {
     /// Processes require a stream transport ([`TransportKind::Unix`] or
     /// [`TransportKind::Tcp`]) — there is no channel across an exec.
     pub workers: WorkerMode,
-    /// Chaos hook: kill one client mid-run (see [`FaultPlan`]). `None`
+    /// Chaos hook: fault one client mid-run (see [`FaultPlan`]). `None`
     /// in production.
     pub fault: Option<FaultPlan>,
+    /// Heartbeat and dispatch-deadline tuning (see [`LivenessConfig`]).
+    pub liveness: LivenessConfig,
 }
 
 impl Default for ServiceConfig {
@@ -161,6 +245,7 @@ impl Default for ServiceConfig {
             transport: TransportKind::Channel,
             workers: WorkerMode::Threads,
             fault: None,
+            liveness: LivenessConfig::default(),
         }
     }
 }
@@ -278,5 +363,15 @@ mod tests {
         let farm = ProcessFarm::default();
         assert!(farm.worker_binary.is_none());
         assert!(farm.drain_grace_ms > 0);
+        assert!(farm.accept_deadline_ms >= 1_000);
+        assert!(farm.spawn_attempts >= 1);
+        // Liveness defaults must be generous enough that a healthy farm
+        // under CI load never trips them by accident.
+        let live = cfg.liveness;
+        assert!(live.heartbeat_interval_ms >= 1_000);
+        assert!(live.max_missed_heartbeats >= 3);
+        assert!(live.deadline_multiplier >= 4.0);
+        assert!(live.min_dispatch_deadline_ms >= 5_000);
+        assert_eq!(FaultPlan::crash(1, 2).kind, FaultKind::Crash);
     }
 }

@@ -18,6 +18,16 @@
 //! A dead client (closed connection, failed send, undecodable frame) is
 //! dropped from the rotation and its outstanding shards are re-queued;
 //! the batch completes as long as one client survives.
+//!
+//! A *hung* client — one that neither answers nor disconnects — is
+//! handled by the liveness plane ([`crate::LivenessConfig`]): the event
+//! loop waits in bounded ticks, probes idle clients with
+//! [`crate::wire::Frame::Ping`] heartbeats, and holds every outstanding
+//! dispatch to a wall-clock deadline derived from the adaptive cost
+//! model. A client that misses its heartbeat budget or blows a dispatch
+//! deadline is *evicted* exactly like a dead client. Eviction only
+//! changes scheduling; because evaluation is a pure function of the
+//! genome, results stay bit-identical to an unfaulted run.
 
 use crate::scheduler::{CostModel, Scheduler};
 use crate::transport::{Duplex, FrameReceiver, FrameSender};
@@ -25,12 +35,12 @@ use crate::wire::{
     decode_frame, encode_frame, Frame, MergeRecord, WireAstArtifact, WireEval, WireLowerArtifact,
     WireSpan,
 };
-use crate::EvaldError;
+use crate::{EvaldError, LivenessConfig};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Cumulative service telemetry.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -69,6 +79,13 @@ pub struct ServiceStats {
     pub clients_joined: usize,
     /// Shard wall-time measurements folded into the adaptive cost model.
     pub cost_observations: u64,
+    /// Heartbeat probes that were still unanswered when the next probe
+    /// came due (the liveness plane's early-warning signal).
+    pub heartbeat_misses: u64,
+    /// Clients the liveness plane condemned — too many missed
+    /// heartbeats or a blown dispatch deadline. A subset of
+    /// [`ServiceStats::clients_lost`].
+    pub evicted_clients: usize,
 }
 
 /// The embedder's telemetry handles for the dispatch server, resolved
@@ -87,6 +104,11 @@ pub struct ServerTelemetry {
     pub clients_joined: Arc<btel::Counter>,
     /// Clients lost over the service's lifetime.
     pub clients_lost: Arc<btel::Counter>,
+    /// Heartbeat probes unanswered when the next probe fired.
+    pub heartbeat_misses: Arc<btel::Counter>,
+    /// Liveness evictions (missed heartbeats or blown dispatch
+    /// deadlines).
+    pub evictions: Arc<btel::Counter>,
 }
 
 enum Event {
@@ -194,8 +216,26 @@ pub struct EvalServer {
     /// client death re-queues shards.
     idle: HashSet<u32>,
     /// Telemetry handles; `None` (the default) is the Off-mode purity
-    /// contract: no clocks, no spans, no metric writes.
+    /// contract: no telemetry clocks, no spans, no metric writes. (The
+    /// liveness plane keeps its own clock regardless — it steers
+    /// scheduling, which never changes results, not telemetry.)
     tel: Option<ServerTelemetry>,
+    /// Heartbeat cadence and dispatch-deadline policy (see
+    /// [`LivenessConfig`]); installed via [`EvalServer::set_liveness`].
+    liveness: LivenessConfig,
+    /// Pings sent to a client since its last frame (any frame counts as
+    /// proof of life). Reset to zero on receive; eviction when it
+    /// exceeds [`LivenessConfig::max_missed_heartbeats`].
+    unanswered_pings: HashMap<u32, u32>,
+    /// Wall-clock deadline for each client's outstanding dispatch
+    /// (a client holds at most one `Work` frame at a time). Set on
+    /// dispatch, cleared on its `Result`; blowing it is an eviction.
+    dispatch_deadlines: HashMap<u32, Instant>,
+    /// When the last round of heartbeat probes went out.
+    last_ping: Option<Instant>,
+    /// Monotonically increasing ping nonce (diagnostics only — any
+    /// inbound frame proves liveness, not just the matching Pong).
+    next_nonce: u64,
     /// Send time per outstanding dispatch span, keyed by span id
     /// (telemetry only). Keyed by span — not shard — so each straggler
     /// copy of a re-dispatched shard closes its *own* dispatch span (the
@@ -246,6 +286,11 @@ impl EvalServer {
             last_loss: None,
             idle: HashSet::new(),
             tel: None,
+            liveness: LivenessConfig::default(),
+            unanswered_pings: HashMap::new(),
+            dispatch_deadlines: HashMap::new(),
+            last_ping: None,
+            next_nonce: 0,
             inflight_spans: HashMap::new(),
         };
         server.handshake()?;
@@ -258,6 +303,13 @@ impl EvalServer {
     /// tracer as results arrive.
     pub fn set_telemetry(&mut self, tel: ServerTelemetry) {
         self.tel = Some(tel);
+    }
+
+    /// Install the liveness policy: heartbeat cadence, miss budget, and
+    /// dispatch-deadline scaling. The default ([`LivenessConfig`]) is
+    /// deliberately generous — tune it down only in chaos tests.
+    pub fn set_liveness(&mut self, liveness: LivenessConfig) {
+        self.liveness = liveness;
     }
 
     /// A handle for injecting client connections accepted *after*
@@ -360,6 +412,98 @@ impl EvalServer {
         }
         self.pending_hello.remove(&client);
         self.idle.remove(&client);
+        self.unanswered_pings.remove(&client);
+        self.dispatch_deadlines.remove(&client);
+    }
+
+    /// How long one event wait may block before the liveness plane gets
+    /// a turn. Derived from the heartbeat cadence; bounded so even a
+    /// heartbeat-free configuration keeps checking dispatch deadlines.
+    fn liveness_tick(&self) -> Duration {
+        let ms = if self.liveness.heartbeat_interval_ms == 0 {
+            500
+        } else {
+            (self.liveness.heartbeat_interval_ms / 2).clamp(25, 500)
+        };
+        Duration::from_millis(ms)
+    }
+
+    /// The wall-clock budget for a dispatch of `genomes` genomes: the
+    /// cost model's converged estimate scaled by the configured
+    /// multiplier, floored generously while the model is still cold.
+    fn dispatch_deadline(&self, genomes: usize) -> Option<Instant> {
+        if self.liveness.min_dispatch_deadline_ms == 0 {
+            return None; // dispatch deadlines disabled
+        }
+        let floor = Duration::from_millis(self.liveness.min_dispatch_deadline_ms);
+        let budget = match self.cost.observed_secs_per_genome() {
+            Some(secs) if secs > 0.0 => {
+                let scaled = secs * genomes as f64 * self.liveness.deadline_multiplier;
+                floor.max(Duration::from_secs_f64(scaled))
+            }
+            _ => floor,
+        };
+        Some(Instant::now() + budget)
+    }
+
+    /// One turn of the liveness plane, run whenever an event wait times
+    /// out: evict dispatches past their deadline, fire due heartbeat
+    /// probes, and condemn clients whose miss budget is spent. Returns
+    /// the condemned client ids; the caller evicts them through the
+    /// same path as a dead client.
+    fn liveness_sweep(&mut self) -> Vec<u32> {
+        let now = Instant::now();
+        let mut condemned: Vec<u32> = self
+            .dispatch_deadlines
+            .iter()
+            .filter(|&(_, deadline)| now >= *deadline)
+            .map(|(&c, _)| c)
+            .collect();
+        let due = self.liveness.heartbeat_interval_ms > 0
+            && !self.last_ping.is_some_and(|t| {
+                now.duration_since(t) < Duration::from_millis(self.liveness.heartbeat_interval_ms)
+            });
+        if due {
+            self.last_ping = Some(now);
+            for c in self.ready_ids() {
+                if self.dispatch_deadlines.contains_key(&c) {
+                    // Busy on a shard: the client loop cannot answer a
+                    // probe mid-evaluation, so the dispatch deadline —
+                    // not the heartbeat — governs it.
+                    continue;
+                }
+                let missed = self.unanswered_pings.get(&c).copied().unwrap_or(0);
+                if missed > 0 {
+                    self.stats.heartbeat_misses += 1;
+                    if let Some(t) = &self.tel {
+                        t.heartbeat_misses.inc();
+                    }
+                }
+                if missed >= self.liveness.max_missed_heartbeats {
+                    condemned.push(c);
+                    continue;
+                }
+                self.unanswered_pings.insert(c, missed + 1);
+                let nonce = self.next_nonce;
+                self.next_nonce += 1;
+                self.send_to(c, &Frame::Ping { nonce });
+            }
+        }
+        condemned.sort_unstable();
+        condemned.dedup();
+        condemned
+    }
+
+    /// Book-keeping shared by every liveness eviction (the severance
+    /// itself goes through [`EvalServer::drop_client`] as usual).
+    fn note_eviction(&mut self, client: u32) {
+        self.last_loss = Some(format!(
+            "client {client} evicted: missed heartbeats or blew its dispatch deadline"
+        ));
+        self.stats.evicted_clients += 1;
+        if let Some(t) = &self.tel {
+            t.evictions.inc();
+        }
     }
 
     /// Send a frame to `client`; on failure the client is dropped and
@@ -382,6 +526,9 @@ impl EvalServer {
     fn handshake(&mut self) -> Result<(), EvaldError> {
         let mut pending: HashSet<u32> = self.alive_ids().into_iter().collect();
         while !pending.is_empty() {
+            // deadline: the launch handshake is bounded by the embedder
+            // (thread clients Hello before their first recv; process
+            // farms gate admission behind their own accept deadline).
             match self.events.recv() {
                 Ok(Event::Frame(c, Frame::Hello { n_flags, .. })) => {
                     if self.pending_hello.contains(&c) {
@@ -443,6 +590,7 @@ impl EvalServer {
             }
             _ => 0,
         };
+        let deadline = self.dispatch_deadline(genomes.len());
         if self.send_to(
             client,
             &Frame::Work {
@@ -452,6 +600,12 @@ impl EvalServer {
             },
         ) {
             self.idle.remove(&client);
+            // The dispatch deadline takes over liveness duty from the
+            // heartbeat until the shard's Result comes back.
+            self.unanswered_pings.insert(client, 0);
+            if let Some(deadline) = deadline {
+                self.dispatch_deadlines.insert(client, deadline);
+            }
         } else {
             // Send failed: the client was dropped mid-dispatch. Release
             // its shards; the reader's Gone event (a closed connection
@@ -522,7 +676,26 @@ impl EvalServer {
             if self.alive() == 0 {
                 return Err(EvaldError::NoClients);
             }
-            let event = self.events.recv().map_err(|_| EvaldError::NoClients)?;
+            // deadline: bounded wait — every timeout tick runs the
+            // liveness sweep, so a hung client is evicted (shards
+            // requeued) instead of stalling the batch forever.
+            let event = match self.events.recv_timeout(self.liveness_tick()) {
+                Ok(event) => event,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    for c in self.liveness_sweep() {
+                        self.note_eviction(c);
+                        self.drop_client(c);
+                        sched.client_dead(c);
+                        self.wake_idle(&mut sched);
+                    }
+                    continue;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => return Err(EvaldError::NoClients),
+            };
+            if let Event::Frame(c, _) = &event {
+                // Any frame is proof of life.
+                self.unanswered_pings.insert(*c, 0);
+            }
             match event {
                 Event::Frame(
                     c,
@@ -534,6 +707,7 @@ impl EvalServer {
                         ..
                     },
                 ) => {
+                    self.dispatch_deadlines.remove(&c);
                     self.stats.client_compiles += u64::from(stats.compiles);
                     self.stats.client_cache_hits += u64::from(stats.cache_hits);
                     self.stats.client_full_compiles += u64::from(stats.full_compiles);
@@ -583,6 +757,10 @@ impl EvalServer {
                         self.wake_idle(&mut sched);
                     }
                 }
+                Event::Frame(_, Frame::Pong { .. }) => {
+                    // Heartbeat answer: the proof-of-life reset above
+                    // already did the work.
+                }
                 Event::Frame(c, _) => {
                     // Work/EndBatch/Shutdown/Job from a client: protocol
                     // violation — drop it.
@@ -630,8 +808,27 @@ impl EvalServer {
             }
         }
         while !waiting.is_empty() {
-            match self.events.recv() {
-                Ok(Event::Frame(
+            // deadline: bounded wait — the liveness sweep on timeout
+            // ticks evicts hung clients out of `waiting`, so the merge
+            // barrier cannot wedge on a worker that never answers.
+            let event = match self.events.recv_timeout(self.liveness_tick()) {
+                Ok(event) => event,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    for c in self.liveness_sweep() {
+                        self.note_eviction(c);
+                        self.drop_client(c);
+                        waiting.remove(&c);
+                    }
+                    continue;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            };
+            if let Event::Frame(c, _) = &event {
+                // Any frame is proof of life.
+                self.unanswered_pings.insert(*c, 0);
+            }
+            match event {
+                Event::Frame(
                     c,
                     Frame::Merge {
                         records,
@@ -639,11 +836,11 @@ impl EvalServer {
                         lower_artifacts,
                         ..
                     },
-                )) => {
+                ) => {
                     self.apply_merge(records, ast_artifacts, lower_artifacts);
                     waiting.remove(&c);
                 }
-                Ok(Event::Frame(
+                Event::Frame(
                     c,
                     Frame::Result {
                         evals,
@@ -651,7 +848,8 @@ impl EvalServer {
                         spans,
                         ..
                     },
-                )) => {
+                ) => {
+                    self.dispatch_deadlines.remove(&c);
                     // A straggler finishing a re-dispatched copy after the
                     // batch completed: pure duplicate — but still a real
                     // wall-time measurement for the cost model, and its
@@ -665,7 +863,7 @@ impl EvalServer {
                     self.observe_cost(c, evals.len(), stats.wall_seconds);
                     self.stats.duplicate_results += evals.len();
                 }
-                Ok(Event::Frame(c, Frame::Hello { n_flags, .. })) => {
+                Event::Frame(c, Frame::Hello { n_flags, .. }) => {
                     // A worker reconnecting between batches: admit it —
                     // the next batch's dispatch will pick it up. A bad
                     // Hello is a protocol violation as usual.
@@ -674,17 +872,20 @@ impl EvalServer {
                         waiting.remove(&c);
                     }
                 }
-                Ok(Event::Frame(c, _)) => {
+                Event::Frame(_, Frame::Pong { .. }) => {
+                    // Heartbeat answer: the proof-of-life reset above
+                    // already did the work.
+                }
+                Event::Frame(c, _) => {
                     self.drop_client(c);
                     waiting.remove(&c);
                 }
-                Ok(Event::Gone(c, e)) => {
+                Event::Gone(c, e) => {
                     self.last_loss = Some(e.to_string());
                     self.drop_client(c);
                     waiting.remove(&c);
                 }
-                Ok(Event::Joined(c, sender)) => self.register_joined(c, sender),
-                Err(_) => break,
+                Event::Joined(c, sender) => self.register_joined(c, sender),
             }
         }
         Ok(())
@@ -785,6 +986,7 @@ mod tests {
     use crate::client::{run_client, ClientOptions, ShardWorker};
     use crate::transport::channel_duplex;
     use crate::wire::ShardStats;
+    use crate::FaultKind;
 
     /// Toy worker: fitness = popcount; remembers seen genomes to report
     /// cache hits; merges one record per shard for sink coverage.
@@ -838,6 +1040,14 @@ mod tests {
     }
 
     fn launch(n_clients: usize, fail: Option<(usize, usize)>) -> (EvalServer, Vec<JoinHandle<()>>) {
+        launch_faulty(n_clients, fail, FaultKind::Crash)
+    }
+
+    fn launch_faulty(
+        n_clients: usize,
+        fail: Option<(usize, usize)>,
+        fault_kind: FaultKind,
+    ) -> (EvalServer, Vec<JoinHandle<()>>) {
         let mut server_side = Vec::new();
         let mut handles = Vec::new();
         for i in 0..n_clients {
@@ -847,6 +1057,7 @@ mod tests {
                 client_id: i as u32,
                 n_flags: 4,
                 fail_after_shards: fail.and_then(|(who, after)| (who == i).then_some(after)),
+                fault_kind,
             };
             handles.push(std::thread::spawn(move || {
                 let mut w = Popcount::new();
@@ -937,6 +1148,41 @@ mod tests {
     }
 
     #[test]
+    fn hung_client_is_evicted_with_identical_results() {
+        // Reference trajectory from a healthy farm.
+        let (mut healthy, healthy_handles) = launch(3, None);
+        let reference = healthy.evaluate(&batch(16)).unwrap();
+        healthy.shutdown();
+        for h in healthy_handles {
+            h.join().unwrap();
+        }
+
+        // Client 1 wedges after two shards — keeps its connection open,
+        // answers nothing. Tuned-down liveness so the eviction fires
+        // inside the test budget.
+        let (mut server, handles) = launch_faulty(3, Some((1, 2)), FaultKind::Hang);
+        server.set_liveness(LivenessConfig {
+            heartbeat_interval_ms: 50,
+            max_missed_heartbeats: 4,
+            deadline_multiplier: 4.0,
+            min_dispatch_deadline_ms: 250,
+        });
+        let evals = server.evaluate(&batch(16)).unwrap();
+        assert_eq!(evals, reference, "eviction is scheduling-only");
+        // A second batch still works on the survivors.
+        let again = server.evaluate(&batch(16)).unwrap();
+        assert_eq!(again, reference);
+        let stats = server.shutdown();
+        // Joining IS the no-hang assertion: the wedged client's thread
+        // unblocks when its severed connection surfaces.
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(stats.clients_lost, 1, "only the wedged client fell");
+        assert_eq!(stats.evicted_clients, 1, "and it fell by eviction");
+    }
+
+    #[test]
     fn losing_every_client_is_an_error_not_a_hang() {
         let (mut server, handles) = launch(2, Some((0, 1)));
         // Kill the second client too (fail plans only cover one, so use a
@@ -981,6 +1227,7 @@ mod tests {
                     client_id: 0,
                     n_flags: 9,
                     fail_after_shards: None,
+                    fault_kind: FaultKind::Crash,
                 },
             );
         });
@@ -1012,6 +1259,7 @@ mod tests {
                     client_id: 0,
                     n_flags: 4,
                     fail_after_shards: None,
+                    fault_kind: FaultKind::Crash,
                 },
             );
         });
@@ -1037,6 +1285,7 @@ mod tests {
                     client_id: 99,
                     n_flags: 4,
                     fail_after_shards: None,
+                    fault_kind: FaultKind::Crash,
                 },
             );
         }));
@@ -1076,6 +1325,7 @@ mod tests {
                     client_id: 0,
                     n_flags: 9, // farm speaks 4
                     fail_after_shards: None,
+                    fault_kind: FaultKind::Crash,
                 },
             );
         }));
@@ -1105,6 +1355,7 @@ mod tests {
                     client_id: 0,
                     n_flags: 9, // server expects 4
                     fail_after_shards: None,
+                    fault_kind: FaultKind::Crash,
                 },
             );
         });

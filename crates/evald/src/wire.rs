@@ -37,8 +37,10 @@ pub const WIRE_MAGIC: [u8; 4] = *b"EVLD";
 /// dispatch-span id, [`ShardStats`] echoes it, and [`Frame::Result`]
 /// carries the worker's recorded [`WireSpan`]s, so a farm worker's
 /// per-stage compile timings stitch into the dispatching server's
-/// trace.)
-pub const WIRE_VERSION: u32 = 5;
+/// trace. v6: the [`Frame::Ping`]/[`Frame::Pong`] liveness probes —
+/// the server's heartbeat plane, so a hung worker is *detected* rather
+/// than holding its shard copies forever.)
+pub const WIRE_VERSION: u32 = 6;
 
 /// Hard cap on one frame's declared length (a corrupted length prefix
 /// must not trigger a multi-gigabyte allocation).
@@ -51,6 +53,8 @@ const TAG_END_BATCH: u8 = 3;
 const TAG_MERGE: u8 = 4;
 const TAG_SHUTDOWN: u8 = 5;
 const TAG_JOB: u8 = 6;
+const TAG_PING: u8 = 7;
+const TAG_PONG: u8 = 8;
 
 /// One genome's evaluation as reported by a client.
 ///
@@ -279,6 +283,18 @@ pub enum Frame {
         /// The embedder-defined job description.
         payload: Vec<u8>,
     },
+    /// Server → client: liveness probe (v6). A healthy client answers
+    /// with [`Frame::Pong`] echoing the nonce; a client that misses N
+    /// consecutive probes is evicted like a dead client.
+    Ping {
+        /// Probe nonce, echoed verbatim in the answering Pong.
+        nonce: u64,
+    },
+    /// Client → server: answer to [`Frame::Ping`] (v6).
+    Pong {
+        /// The nonce from the probe being answered.
+        nonce: u64,
+    },
 }
 
 /// Append one genome to `out` in the canonical wire encoding: a `u16`
@@ -420,6 +436,14 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             body.put_u8(TAG_JOB);
             body.put_u32_le(payload.len() as u32);
             body.put_slice(payload);
+        }
+        Frame::Ping { nonce } => {
+            body.put_u8(TAG_PING);
+            body.put_u64_le(*nonce);
+        }
+        Frame::Pong { nonce } => {
+            body.put_u8(TAG_PONG);
+            body.put_u64_le(*nonce);
         }
     }
     let ck = checksum(&body);
@@ -680,6 +704,8 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), EvaldError> {
                 payload: r.take(n)?.to_vec(),
             }
         }
+        TAG_PING => Frame::Ping { nonce: r.u64()? },
+        TAG_PONG => Frame::Pong { nonce: r.u64()? },
         _ => return Err(EvaldError::Corrupt("unknown frame tag")),
     };
     r.done()?;
@@ -796,6 +822,8 @@ mod tests {
             Frame::Job {
                 payload: vec![0xAB; 33],
             },
+            Frame::Ping { nonce: 0xFEED },
+            Frame::Pong { nonce: u64::MAX },
         ]
     }
 

@@ -215,4 +215,44 @@ proptest! {
         prop_assert_eq!(decoded, frame);
         prop_assert_eq!(used, bytes.len());
     }
+
+    #[test]
+    fn liveness_frames_round_trip(nonce in any::<u64>(), pong in any::<bool>()) {
+        // The v6 heartbeat probes: nonce survives bit-exactly and the
+        // Ping/Pong distinction is never confused.
+        let frame = if pong { Frame::Pong { nonce } } else { Frame::Ping { nonce } };
+        let bytes = encode_frame(&frame);
+        let (decoded, used) = decode_frame(&bytes).expect("valid frame decodes");
+        prop_assert_eq!(decoded, frame);
+        prop_assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn liveness_frames_reject_every_truncation(nonce in any::<u64>(), pong in any::<bool>()) {
+        // A heartbeat cut at *any* byte — length prefix, magic, version,
+        // tag, nonce, checksum — must read as Truncated, never as a
+        // nonce-zero probe or some other frame.
+        let frame = if pong { Frame::Pong { nonce } } else { Frame::Ping { nonce } };
+        let bytes = encode_frame(&frame);
+        for cut in 0..bytes.len() {
+            prop_assert!(matches!(
+                decode_frame(&bytes[..cut]),
+                Err(EvaldError::Truncated { .. })
+            ), "cut at {} not rejected", cut);
+        }
+    }
+
+    #[test]
+    fn liveness_frames_reject_every_foreign_version(nonce in any::<u64>(),
+                                                    version in any::<u32>()) {
+        // A v5 peer (no heartbeat plane) must never half-understand a
+        // Ping: any foreign version is rejected before the tag is read.
+        let version = if version == WIRE_VERSION { version ^ 1 } else { version };
+        let mut bytes = encode_frame(&Frame::Ping { nonce });
+        bytes[8..12].copy_from_slice(&version.to_le_bytes());
+        prop_assert!(matches!(
+            decode_frame(&bytes),
+            Err(EvaldError::VersionMismatch { .. })
+        ));
+    }
 }

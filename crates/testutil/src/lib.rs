@@ -14,7 +14,7 @@
 
 #![warn(missing_docs)]
 
-use bintuner::TunerConfig;
+use bintuner::{FaultKind, FaultPlan, TunerConfig};
 use genetic::{GaParams, Termination};
 use minicc::ast::{BinOp, Expr, FuncDef, LValue, Module, Stmt};
 use std::fs;
@@ -188,6 +188,85 @@ impl CrashFs {
         fs::remove_file(s.path().join(file)).expect("remove file");
         s
     }
+
+    /// A clone with a *directory* squatting where `file` should be, so
+    /// every open-for-append on that path fails (`EISDIR`) — the
+    /// deterministic, portable stand-in for a full disk: the
+    /// deliberately-unwritable shard log an ENOSPC degrade test needs.
+    pub fn with_dir(&self, name: &str, file: &str) -> ScratchStore {
+        let s = ScratchStore::snapshot_of(name, &self.src);
+        let target = s.path().join(file);
+        let _ = fs::remove_file(&target);
+        fs::create_dir_all(&target).expect("plant dir");
+        s
+    }
+}
+
+/// A scripted chaos scenario: a named constructor layer over the farm's
+/// [`FaultPlan`]/[`FaultKind`] plumbing, so the chaos differential
+/// suites read as intent ("hang client 1 after 2 shards") instead of
+/// struct-literal soup. Every plan is deterministic — same scenario,
+/// same trigger, every run.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosPlan {
+    /// Short scenario name, used in assertion messages.
+    pub name: &'static str,
+    /// The farm-level fault to inject via `ServiceConfig::fault` /
+    /// `DaemonConfig::farm_fault_once`.
+    pub fault: FaultPlan,
+}
+
+impl ChaosPlan {
+    /// Client `client` drops its connection after `shards` shards.
+    pub fn crash_at(client: usize, shards: usize) -> ChaosPlan {
+        ChaosPlan {
+            name: "crash",
+            fault: FaultPlan {
+                client,
+                after_shards: shards,
+                kind: FaultKind::Crash,
+            },
+        }
+    }
+
+    /// Client `client` wedges (silent, connection open) after `shards`
+    /// shards — only heartbeats/deadlines can recover it.
+    pub fn hang_at(client: usize, shards: usize) -> ChaosPlan {
+        ChaosPlan {
+            name: "hang",
+            fault: FaultPlan {
+                client,
+                after_shards: shards,
+                kind: FaultKind::Hang,
+            },
+        }
+    }
+
+    /// Client `client` delays every Result frame by `ms` milliseconds
+    /// after `shards` shards — a straggler, slow but alive.
+    pub fn slow_frame(client: usize, shards: usize, ms: u64) -> ChaosPlan {
+        ChaosPlan {
+            name: "slow-frame",
+            fault: FaultPlan {
+                client,
+                after_shards: shards,
+                kind: FaultKind::SlowFrame(ms),
+            },
+        }
+    }
+
+    /// Client `client` silently drops one Result frame after `shards`
+    /// shards, then behaves — a lost message the deadline re-dispatches.
+    pub fn drop_frame(client: usize, shards: usize) -> ChaosPlan {
+        ChaosPlan {
+            name: "drop-frame",
+            fault: FaultPlan {
+                client,
+                after_shards: shards,
+                kind: FaultKind::DropFrame,
+            },
+        }
+    }
 }
 
 /// The small deterministic tuner preset used across the bintuner suites:
@@ -334,6 +413,15 @@ mod tests {
         assert!(planted.path().join("shard-00.log.tmp").exists());
         let gone = cfs.without_file("crash_gone", "shard-00.log");
         assert!(!gone.path().join("shard-00.log").exists());
+        let squat = cfs.with_dir("crash_squat", "shard-00.log");
+        assert!(squat.path().join("shard-00.log").is_dir());
+        assert!(
+            fs::OpenOptions::new()
+                .append(true)
+                .open(squat.path().join("shard-00.log"))
+                .is_err(),
+            "appending to the squatted path must fail"
+        );
         // Source untouched throughout.
         assert_eq!(
             fs::read(dir.path().join("shard-00.log")).unwrap(),
